@@ -1,0 +1,485 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§6.4 Figures 7-8, §8 Figures 9-11, the §8.2/§8.3 headline
+   numbers, and Figure 6's sensitivity table), and measures this
+   implementation's own primitive costs with Bechamel.
+
+     dune exec bench/main.exe
+
+   Paper numbers are printed beside ours.  Absolute performance numbers
+   for the server figures come from the calibrated cost model (the
+   paper's testbed constants); the Bechamel section reports what this
+   machine's pure-OCaml crypto sustains and rescales the headline
+   prediction to it. *)
+
+open Bechamel
+open Toolkit
+open Vuvuzela_crypto
+open Vuvuzela_dp
+open Vuvuzela
+
+let line () = print_endline (String.make 78 '-')
+
+let section title =
+  line ();
+  Printf.printf "%s\n" title;
+  line ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let make_bench_tests () =
+  let rng = Drbg.of_string "bench" in
+  let sk, _pk = Drbg.keypair ~rng () in
+  let _peer_sk, peer_pk = Drbg.keypair ~rng () in
+  let key = Drbg.generate rng 32 in
+  let nonce = Aead.nonce_of ~domain:1 ~counter:1 in
+  let msg256 = Drbg.generate rng 240 in
+  let server_pks = List.init 3 (fun _ -> snd (Drbg.keypair ~rng ())) in
+  let payload = Drbg.generate rng Types.exchange_payload_len in
+  let alice = Types.identity_of_seed (Bytes.of_string "bench-alice") in
+  let session = Conversation.derive ~identity:alice ~peer_pk in
+  let shuffle_data = Array.init 4096 Fun.id in
+  let laplace = Laplace.params ~mu:300_000. ~b:13_800. in
+  [
+    Test.make ~name:"x25519/scalarmult"
+      (Staged.stage (fun () -> Curve25519.shared ~secret:sk ~public:peer_pk));
+    Test.make ~name:"crypto/aead-seal-240B"
+      (Staged.stage (fun () -> Aead.seal ~key ~nonce msg256));
+    Test.make ~name:"crypto/sha256-240B"
+      (Staged.stage (fun () -> Sha256.digest msg256));
+    Test.make ~name:"crypto/hmac-240B"
+      (Staged.stage (fun () -> Hmac.sha256 ~key msg256));
+    Test.make ~name:"onion/wrap-3-layers"
+      (Staged.stage (fun () ->
+           Vuvuzela_mixnet.Onion.wrap ~rng ~server_pks ~round:1 payload));
+    Test.make ~name:"mixnet/shuffle-4096"
+      (Staged.stage (fun () ->
+           Vuvuzela_mixnet.Shuffle.apply
+             (Vuvuzela_mixnet.Shuffle.random_permutation ~rng 4096)
+             shuffle_data));
+    Test.make ~name:"dp/laplace-truncated-sample"
+      (Staged.stage (fun () -> Laplace.truncated_sample ~rng laplace));
+    Test.make ~name:"protocol/exchange-payload"
+      (Staged.stage (fun () ->
+           Conversation.exchange_payload session ~round:1
+             (Message.Empty { ack = 0 })));
+    (let sk, _pk = Ed25519.keypair ~rng () in
+     let msg = Drbg.generate rng 200 in
+     Test.make ~name:"crypto/ed25519-sign"
+       (Staged.stage (fun () -> Ed25519.sign ~secret:sk msg)));
+    (let sk, pk = Ed25519.keypair ~rng () in
+     let msg = Drbg.generate rng 200 in
+     let signature = Ed25519.sign ~secret:sk msg in
+     Test.make ~name:"crypto/ed25519-verify"
+       (Staged.stage (fun () -> Ed25519.verify ~public:pk ~signature msg)));
+  ]
+
+(* A full conversation round, end to end, through a real 3-server chain
+   with 4 clients: one Bechamel sample = one complete round (client
+   wrapping, 3 peels + noise + shuffles, dead-drop matching, replies,
+   unwrapping). *)
+let make_round_bench () =
+  let noise = Laplace.params ~mu:2. ~b:1. in
+  let chain =
+    Chain.create ~seed:"bench-chain" ~n_servers:3 ~noise
+      ~dial_noise:(Laplace.params ~mu:1. ~b:1.)
+      ~noise_mode:Noise.Deterministic ()
+  in
+  let pks = Chain.public_keys chain in
+  let clients =
+    List.init 4 (fun i ->
+        let id =
+          Types.identity_of_seed
+            (Bytes.of_string (Printf.sprintf "bench-c%d" i))
+        in
+        Client.create ~seed:(Printf.sprintf "bench-c%d" i) ~identity:id
+          ~server_pks:pks ())
+  in
+  (match clients with
+  | a :: b :: _ ->
+      Client.start_conversation a ~peer_pk:(Client.public_key b);
+      Client.start_conversation b ~peer_pk:(Client.public_key a)
+  | _ -> ());
+  let round = ref 0 in
+  Test.make ~name:"round/full-3srv-4clients"
+    (Staged.stage (fun () ->
+         incr round;
+         let requests =
+           Array.of_list
+             (List.map
+                (fun c -> Client.conversation_request c ~round:!round)
+                clients)
+         in
+         let results = Chain.conversation_round chain ~round:!round requests in
+         List.iteri
+           (fun i c ->
+             ignore (Client.handle_conversation_reply c ~round:!round results.(i)))
+           clients))
+
+let has_suffix ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let run_benchmarks () =
+  section "MICRO-BENCHMARKS (Bechamel, this machine, pure OCaml)";
+  let tests =
+    Test.make_grouped ~name:"vuvuzela" ~fmt:"%s %s"
+      (make_bench_tests () @ [ make_round_bench () ])
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let dh_ns = ref None in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ ns ] ->
+          if has_suffix ~suffix:"x25519/scalarmult" name then dh_ns := Some ns;
+          if ns > 1e6 then
+            Printf.printf "  %-42s %10.3f ms/op\n" name (ns /. 1e6)
+          else if ns > 1e3 then
+            Printf.printf "  %-42s %10.3f us/op\n" name (ns /. 1e3)
+          else Printf.printf "  %-42s %10.1f ns/op\n" name ns
+      | _ -> Printf.printf "  %-42s (no estimate)\n" name)
+    (List.sort compare rows);
+  !dh_ns
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let figure6 () =
+  section
+    "FIGURE 6 - sensitivity of (m1, m2) to one user's action vs cover story";
+  Format.printf "%a" Vuvuzela_attack.Observation.pp_table ();
+  let s1, s2 = Vuvuzela_attack.Observation.max_sensitivity () in
+  Printf.printf
+    "\nmax |dm1| = %d (paper: 2), max |dm2| = %d (paper: 1) -- %s\n" s1 s2
+    (if s1 = 2 && s2 = 1 then "MATCHES the paper's table" else "MISMATCH")
+
+(* ------------------------------------------------------------------ *)
+(* Figures 7 and 8                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let privacy_figure ~title ~paper_k curves =
+  section title;
+  List.iter2
+    (fun (c : Vuvuzela_sim.Figures.privacy_curve) paper ->
+      Printf.printf "mu=%-8.0f b=%-7.0f supported k=%-8d (paper: ~%d)\n"
+        c.Vuvuzela_sim.Figures.mu c.b c.supported_k paper;
+      Printf.printf "  %-10s %-10s %-12s\n" "k" "e^eps'" "delta'";
+      List.iter
+        (fun (k, e, d) -> Printf.printf "  %-10d %-10.3f %-12.3e\n" k e d)
+        (List.filteri (fun i _ -> i mod 3 = 0) c.points))
+    curves paper_k
+
+let figure7 () =
+  privacy_figure
+    ~title:
+      "FIGURE 7 - eps'/delta' vs rounds, conversation noise (paper: 70K / \
+       250K / 500K rounds at eps'=ln2)"
+    ~paper_k:[ 70_000; 250_000; 500_000 ]
+    (Vuvuzela_sim.Figures.figure7 ())
+
+let figure8 () =
+  privacy_figure
+    ~title:
+      "FIGURE 8 - eps'/delta' vs rounds, dialing noise (paper: 1200 / 3500 \
+       / 8000 rounds)"
+    ~paper_k:[ 1_200; 3_500; 8_000 ]
+    (Vuvuzela_sim.Figures.figure8 ())
+
+(* ------------------------------------------------------------------ *)
+(* Figures 9-11                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let figure9 () =
+  section
+    "FIGURE 9 - conversation latency vs online users (paper, mu=300K: 20 s \
+     at 10 users, 37 s at 1M, 55 s at 2M)";
+  let curves = Vuvuzela_sim.Figures.figure9 () in
+  Printf.printf "%-12s" "users";
+  List.iter (fun c -> Printf.printf "%14s" c.Vuvuzela_sim.Figures.label) curves;
+  print_newline ();
+  let xs = List.map fst (List.hd curves).Vuvuzela_sim.Figures.points in
+  List.iteri
+    (fun i users ->
+      Printf.printf "%-12d" users;
+      List.iter
+        (fun c ->
+          Printf.printf "%12.1f s"
+            (snd (List.nth c.Vuvuzela_sim.Figures.points i)))
+        curves;
+      print_newline ())
+    xs;
+  Printf.printf
+    "\ndiscrete-event pipeline (mu=300K): latency / round interval\n";
+  List.iter
+    (fun (u, lat, itv) -> Printf.printf "  %-10d %8.1f s %8.1f s\n" u lat itv)
+    (Vuvuzela_sim.Figures.figure9_des ())
+
+let figure10 () =
+  section
+    "FIGURE 10 - dialing latency vs online users, mu=13K (paper: 13 s at 10 \
+     users, 50 s at 2M)";
+  let c = Vuvuzela_sim.Figures.figure10 () in
+  List.iter
+    (fun (u, l) -> Printf.printf "  %-12d %8.1f s\n" u l)
+    c.Vuvuzela_sim.Figures.points
+
+let figure11 () =
+  section
+    "FIGURE 11 - latency vs chain length, 1M users, mu=300K (paper: ~5 s to \
+     ~140 s, quadratic)";
+  let points = Vuvuzela_sim.Figures.figure11 () in
+  List.iter (fun (s, l) -> Printf.printf "  %d servers: %8.1f s\n" s l) points;
+  Printf.printf
+    "  quadratic fit R^2 = %.4f (paper: \"scales roughly quadratically\")\n"
+    (Vuvuzela_sim.Figures.quadratic_r2 points)
+
+(* ------------------------------------------------------------------ *)
+(* Headlines                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let headlines dh_ns =
+  section "HEADLINE NUMBERS (§1, §8.2, §8.3)";
+  let h = Vuvuzela_sim.Figures.headlines () in
+  let row name ours paper =
+    Printf.printf "  %-44s %14s %14s\n" name ours paper
+  in
+  row "metric" "ours" "paper";
+  row "end-to-end latency, 1M users"
+    (Printf.sprintf "%.1f s" h.Vuvuzela_sim.Figures.latency_1m)
+    "37 s";
+  row "end-to-end latency, 2M users" (Printf.sprintf "%.1f s" h.latency_2m) "55 s";
+  row "end-to-end latency, 10 users" (Printf.sprintf "%.1f s" h.latency_10) "20 s";
+  row "throughput at 1M users"
+    (Printf.sprintf "%.0f msg/s" h.throughput_1m)
+    "68,000 msg/s";
+  row "crypto lower bound, 2M users (8.2)"
+    (Printf.sprintf "%.1f s" h.lower_bound_2m)
+    "~28 s";
+  row "noise requests per round (3 servers)"
+    (Printf.sprintf "%.1fM" (h.noise_requests /. 1e6))
+    "1.2M";
+  row "server bandwidth at 1M users"
+    (Printf.sprintf "%.0f MB/s" (h.server_bandwidth_1m /. 1e6))
+    "166 MB/s";
+  row "client bandwidth (conv + dialing)"
+    (Printf.sprintf "%.1f KB/s" (h.client_bandwidth /. 1e3))
+    "~12 KB/s";
+  row "invitation drop size, 1M users"
+    (Printf.sprintf "%.1f MB" (h.drop_bytes /. 1e6))
+    "~7 MB";
+  row "client messages per minute"
+    (Printf.sprintf "%.1f" h.messages_per_minute)
+    "4";
+  match dh_ns with
+  | Some ns ->
+      let ours_rate = 1e9 /. ns in
+      let scaled =
+        {
+          Vuvuzela_sim.Cost_model.paper with
+          Vuvuzela_sim.Cost_model.dh_ops_per_sec = ours_rate *. 36.;
+        }
+      in
+      Printf.printf
+        "\n  this machine's X25519: %.0f ops/s/core (paper's testbed: \
+         340,000 ops/s on 36 cores = %.0f/core);\n"
+        ours_rate (340_000. /. 36.);
+      Printf.printf
+        "  a 36-core server running this OCaml stack would complete a \
+         1M-user round in ~%.0f s.\n"
+        (Vuvuzela_sim.Cost_model.conv_latency scaled ~users:1_000_000
+           ~servers:3
+           ~noise:(Vuvuzela_sim.Figures.conv_noise_of 300_000.))
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* §6.4 posterior examples                                             *)
+(* ------------------------------------------------------------------ *)
+
+let posteriors () =
+  section "POSTERIOR BOUNDS (§6.4 worked example)";
+  let cases =
+    [ (0.5, log 2., 0.667); (0.5, log 3., 0.75); (0.01, log 3., 0.0294) ]
+  in
+  List.iter
+    (fun (prior, eps, paper) ->
+      Printf.printf
+        "  prior %5.1f%%, eps=%5.3f -> posterior %6.2f%% (paper: %.1f%%)\n"
+        (100. *. prior) eps
+        (100. *. Bayes.posterior ~prior ~eps)
+        (100. *. paper))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Live round measurement                                              *)
+(* ------------------------------------------------------------------ *)
+
+let live_round_scaling () =
+  section "LIVE IMPLEMENTATION - measured round cost vs batch size";
+  Printf.printf
+    "  (real crypto end to end; noise deterministic mu=4; 3 servers)\n";
+  List.iter
+    (fun n_clients ->
+      let noise = Laplace.params ~mu:4. ~b:1. in
+      let net =
+        Network.create ~seed:"bench-live" ~n_servers:3 ~noise
+          ~dial_noise:(Laplace.params ~mu:1. ~b:1.)
+          ~noise_mode:Noise.Deterministic ()
+      in
+      let clients =
+        List.init n_clients (fun i ->
+            Network.connect ~seed:(Printf.sprintf "lc%d" i) net)
+      in
+      let rec pair = function
+        | a :: b :: rest ->
+            Client.start_conversation a ~peer_pk:(Client.public_key b);
+            Client.start_conversation b ~peer_pk:(Client.public_key a);
+            pair rest
+        | _ -> ()
+      in
+      pair clients;
+      let t0 = Unix.gettimeofday () in
+      let rounds = 3 in
+      for _ = 1 to rounds do
+        ignore (Network.run_round net)
+      done;
+      let dt = (Unix.gettimeofday () -. t0) /. float_of_int rounds in
+      Printf.printf
+        "  %4d clients: %8.1f ms/round  (%6.0f exchanges/s sustainable)\n"
+        n_clients (1000. *. dt)
+        (float_of_int n_clients /. dt))
+    [ 4; 16; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: what each design element buys                            *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_noise () =
+  section "ABLATION - the optimal disclosure attack with and without noise";
+  Printf.printf
+    "  adversary posterior (prior 50%%) that a specific pair is talking, \
+     after k rounds:\n";
+  Printf.printf "  %-28s %8s %8s %8s\n" "configuration" "k=5" "k=20" "k=80";
+  let run noise talking k seed =
+    (* mean over 10 trials to smooth the likelihood random walk *)
+    let total = ref 0. in
+    for trial = 1 to 10 do
+      let rng = Drbg.of_string (Printf.sprintf "abl-%s-%d-%d" seed k trial) in
+      total :=
+        !total
+        +. (Vuvuzela_attack.Disclosure.model_attack ~rng ~noise ~talking
+              ~rounds:k ~prior:0.5 ())
+             .Vuvuzela_attack.Disclosure.posterior
+    done;
+    !total /. 10.
+  in
+  let row name noise =
+    Printf.printf "  %-28s %7.1f%% %7.1f%% %7.1f%%\n" name
+      (100. *. run noise true 5 name)
+      (100. *. run noise true 20 name)
+      (100. *. run noise true 80 name)
+  in
+  row "no noise (mixnet only)" (Laplace.params ~mu:0.01 ~b:0.01);
+  row "mu=50  (paper ratio)" (Laplace.params ~mu:50. ~b:(50. /. 21.7));
+  row "mu=200 (paper ratio)" (Laplace.params ~mu:200. ~b:(200. /. 21.7));
+  row "mu=800 (paper ratio)" (Laplace.params ~mu:800. ~b:(800. /. 21.7));
+  Printf.printf
+    "  -> without cover traffic the pair is identified in a handful of \
+     rounds;\n     noise at the paper's µ/b ratio pins the posterior near \
+     the prior.\n"
+
+let ablation_m_tuning () =
+  section "ABLATION - invitation-drop count m (§5.4 tradeoff)";
+  let users = 1_000_000 and dial_fraction = 0.05 in
+  let dial_noise = Vuvuzela_sim.Figures.dial_noise_13k in
+  Printf.printf "  1M users, 5%% dialing, µ=13K per server (3 servers):\n";
+  Printf.printf "  %-6s %18s %22s\n" "m" "client download" "server noise load";
+  List.iter
+    (fun m ->
+      let drop =
+        Vuvuzela_sim.Cost_model.invitation_drop_bytes ~users ~servers:3 ~m
+          ~dial_fraction ~dial_noise
+      in
+      let noise_total = float_of_int (3 * m) *. dial_noise.Laplace.mu in
+      Printf.printf "  %-6d %12.2f MB %18.0f invitations\n" m (drop /. 1e6)
+        noise_total)
+    [ 1; 2; 4; 8; 16 ];
+  let tuned =
+    Vuvuzela_dp.Noise.tune_drop_count ~users ~dial_fraction dial_noise
+  in
+  Printf.printf
+    "  §5.4 rule m = n·f/µ chooses m = %d (real ≈ noise per drop).\n" tuned
+
+let baseline_comparison () =
+  section
+    "BASELINES - Vuvuzela vs the O(n^2) prior systems (\"about 100x higher \
+     than prior systems\", §1)";
+  let noise = Vuvuzela_sim.Figures.conv_noise_of 300_000. in
+  Printf.printf "  round latency on the paper's hardware constants:\n";
+  Printf.printf "  %-12s %14s %14s %14s\n" "users" "vuvuzela" "broadcast" "PIR";
+  List.iter
+    (fun (r : Vuvuzela_sim.Baselines.comparison_row) ->
+      let f s = if s > 3600. then Printf.sprintf "%.1f h" (s /. 3600.) else Printf.sprintf "%.1f s" s in
+      Printf.printf "  %-12d %14s %14s %14s\n" r.users (f r.vuvuzela_s)
+        (f r.broadcast_s) (f r.pir_s))
+    (Vuvuzela_sim.Baselines.comparison_table ~noise
+       [ 1_000; 5_000; 50_000; 500_000; 2_000_000 ]);
+  let budget = 60. in
+  let cap f = Vuvuzela_sim.Baselines.max_users ~budget f in
+  let bc = cap (fun n -> Vuvuzela_sim.Baselines.broadcast_round_latency Vuvuzela_sim.Cost_model.paper ~users:n ~msg_bytes:256) in
+  let pir = cap (fun n -> Vuvuzela_sim.Baselines.pir_round_latency ~users:n ~msg_bytes:256) in
+  let vuv = cap (fun n -> Vuvuzela_sim.Baselines.vuvuzela_round_latency Vuvuzela_sim.Cost_model.paper ~users:n ~noise) in
+  Printf.printf
+    "\n  users supportable within a %.0f s round: broadcast %d, PIR %d, \
+     vuvuzela %d  (~%.0fx)\n"
+    budget bc pir vuv
+    (float_of_int vuv /. float_of_int (max bc pir));
+  Printf.printf
+    "  (paper: Dissent ~5K users / Riposte hundreds of msgs/s vs Vuvuzela \
+     2M users)\n"
+
+let workload_summary () =
+  section "WORKLOAD - functional implementation under the §8.1 mix (scaled)";
+  let s =
+    Vuvuzela_sim.Workload.run ~seed:"bench-workload"
+      ~profile:(Vuvuzela_sim.Workload.paper_mix ~users:10)
+      ~rounds:15 ()
+  in
+  Format.printf "  paper mix, 10 users, 15 rounds: %a@."
+    Vuvuzela_sim.Workload.pp_summary s;
+  let st =
+    Vuvuzela_sim.Workload.run ~seed:"bench-stress"
+      ~profile:(Vuvuzela_sim.Workload.stress ~users:10)
+      ~rounds:20 ()
+  in
+  Format.printf "  stress mix (churn+outages),   20 rounds: %a@."
+    Vuvuzela_sim.Workload.pp_summary st
+
+let () =
+  print_endline "VUVUZELA (SOSP 2015) - evaluation reproduction";
+  let dh_ns = run_benchmarks () in
+  figure6 ();
+  figure7 ();
+  figure8 ();
+  figure9 ();
+  figure10 ();
+  figure11 ();
+  headlines dh_ns;
+  posteriors ();
+  ablation_noise ();
+  ablation_m_tuning ();
+  baseline_comparison ();
+  live_round_scaling ();
+  workload_summary ();
+  line ();
+  print_endline "done.  See EXPERIMENTS.md for the paper-vs-measured index."

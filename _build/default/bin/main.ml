@@ -1,0 +1,374 @@
+(* The vuvuzela command-line tool.
+
+     vuvuzela demo      -- run an in-process deployment and chat
+     vuvuzela analyze   -- privacy guarantees for given noise parameters
+     vuvuzela simulate  -- latency/throughput from the calibrated model
+     vuvuzela attack    -- run the disclosure attack (live or model)
+     vuvuzela figures   -- regenerate a figure's data series
+*)
+
+open Cmdliner
+open Vuvuzela_dp
+open Vuvuzela
+
+(* ------------------------------------------------------------------ *)
+(* demo                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let demo users rounds mu seed =
+  let noise = Laplace.params ~mu ~b:(Float.max 1. (mu /. 21.7)) in
+  let net =
+    Network.create ~seed ~n_servers:3 ~noise
+      ~dial_noise:(Laplace.params ~mu:(Float.max 1. (mu /. 20.)) ~b:1.)
+      ~noise_mode:Noise.Sampled ()
+  in
+  let clients =
+    List.init (max 2 users) (fun i ->
+        Network.connect ~seed:(Printf.sprintf "%s-c%d" seed i) net)
+  in
+  (* Pair adjacent clients; odd one out idles. *)
+  let rec pair i = function
+    | a :: b :: rest ->
+        Client.start_conversation a ~peer_pk:(Client.public_key b);
+        Client.start_conversation b ~peer_pk:(Client.public_key a);
+        Client.send a (Printf.sprintf "ping from pair %d" i);
+        pair (i + 1) rest
+    | _ -> ()
+  in
+  pair 0 clients;
+  Printf.printf "%d clients, 3 servers, noise µ=%.0f; running %d rounds\n"
+    (List.length clients) mu rounds;
+  for _ = 1 to rounds do
+    let events = Network.run_round net in
+    let round = Network.round net - 1 in
+    List.iter
+      (fun (c, evs) ->
+        List.iter
+          (function
+            | Client.Delivered { text; _ } ->
+                Printf.printf "  round %2d: %s <- %S\n" round
+                  (String.sub
+                     (Vuvuzela_crypto.Bytes_util.to_hex (Client.public_key c))
+                     0 8)
+                  text
+            | _ -> ())
+          evs)
+      events;
+    match Chain.observed_histogram (Network.chain net) with
+    | Some h ->
+        Printf.printf "  round %2d: observable view m1=%d m2=%d\n" round
+          h.Deaddrop.m1 h.Deaddrop.m2
+    | None -> ()
+  done;
+  0
+
+let demo_cmd =
+  let users =
+    Arg.(value & opt int 6 & info [ "users"; "n" ] ~doc:"Number of clients.")
+  in
+  let rounds =
+    Arg.(value & opt int 5 & info [ "rounds"; "r" ] ~doc:"Conversation rounds.")
+  in
+  let mu =
+    Arg.(value & opt float 20. & info [ "mu" ] ~doc:"Noise mean per server.")
+  in
+  let seed =
+    Arg.(value & opt string "demo" & info [ "seed" ] ~doc:"Deterministic seed.")
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"run an in-process Vuvuzela deployment")
+    Term.(const demo $ users $ rounds $ mu $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let analyze mu b dialing =
+  let p = Laplace.params ~mu ~b in
+  let protocol =
+    if dialing then Composition.Dialing else Composition.Conversation
+  in
+  let g = Composition.per_round_of protocol p in
+  Printf.printf "noise: %s µ=%.0f b=%.1f\n"
+    (if dialing then "dialing" else "conversation")
+    mu b;
+  Printf.printf "per-round guarantee: ε=%.4e δ=%.4e\n" g.Mechanism.eps
+    g.Mechanism.delta;
+  let k = Composition.max_rounds g in
+  Printf.printf "supports %d rounds at ε'=ln 2, δ'=1e-4\n" k;
+  List.iter
+    (fun frac ->
+      let kk = max 1 (k * frac / 100) in
+      let c = Composition.compose ~k:kk ~d:Composition.default_d g in
+      Printf.printf
+        "  after %8d rounds: e^ε'=%.3f δ'=%.2e -> 50%% prior can reach %.1f%%\n"
+        kk (exp c.Mechanism.eps) c.Mechanism.delta
+        (100. *. Bayes.posterior ~prior:0.5 ~eps:c.Mechanism.eps))
+    [ 10; 50; 100 ];
+  0
+
+let analyze_cmd =
+  let mu = Arg.(value & opt float 300_000. & info [ "mu" ] ~doc:"Noise mean.") in
+  let b = Arg.(value & opt float 13_800. & info [ "b" ] ~doc:"Noise scale.") in
+  let dialing =
+    Arg.(value & flag & info [ "dialing" ] ~doc:"Analyze the dialing protocol.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"privacy guarantees for noise parameters")
+    Term.(const analyze $ mu $ b $ dialing)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate users servers mu des =
+  let noise = Laplace.params ~mu ~b:(mu /. 21.7) in
+  let model = Vuvuzela_sim.Cost_model.paper in
+  Printf.printf "%d users, %d servers, µ=%.0f (paper's testbed constants)\n"
+    users servers mu;
+  Printf.printf "closed form: latency %.1f s, interval %.1f s, %.0f msg/s, \
+                 server bw %.0f MB/s\n"
+    (Vuvuzela_sim.Cost_model.conv_latency model ~users ~servers ~noise)
+    (Vuvuzela_sim.Cost_model.conv_round_interval model ~users ~servers ~noise)
+    (Vuvuzela_sim.Cost_model.conv_throughput model ~users ~servers ~noise)
+    (Vuvuzela_sim.Cost_model.server_bandwidth model ~users ~servers ~noise
+    /. 1e6);
+  if des then begin
+    let r = Vuvuzela_sim.Pipeline.run ~users ~servers ~noise ~rounds:6 () in
+    Printf.printf
+      "discrete-event: latency %.1f s, interval %.1f s, %.0f msg/s, \
+       utilization [%s]\n"
+      r.Vuvuzela_sim.Pipeline.mean_latency r.Vuvuzela_sim.Pipeline.round_interval
+      r.Vuvuzela_sim.Pipeline.throughput
+      (String.concat "; "
+         (Array.to_list
+            (Array.map (Printf.sprintf "%.2f")
+               r.Vuvuzela_sim.Pipeline.server_utilization)))
+  end;
+  0
+
+let simulate_cmd =
+  let users = Arg.(value & opt int 1_000_000 & info [ "users"; "n" ] ~doc:"Users.") in
+  let servers = Arg.(value & opt int 3 & info [ "servers"; "s" ] ~doc:"Chain length.") in
+  let mu = Arg.(value & opt float 300_000. & info [ "mu" ] ~doc:"Noise mean.") in
+  let des = Arg.(value & flag & info [ "des" ] ~doc:"Also run the event simulation.") in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"performance from the calibrated cost model")
+    Term.(const simulate $ users $ servers $ mu $ des)
+
+(* ------------------------------------------------------------------ *)
+(* attack                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let attack live mu rounds talking seed =
+  let noise = Laplace.params ~mu ~b:(Float.max 0.01 (mu /. 21.7)) in
+  let v =
+    if live then
+      Vuvuzela_attack.Disclosure.network_attack ~idle_users:4 ~noise ~talking
+        ~rounds ~prior:0.5 ~seed ()
+    else begin
+      let rng = Vuvuzela_crypto.Drbg.of_string seed in
+      Vuvuzela_attack.Disclosure.model_attack ~rng ~noise ~talking ~rounds
+        ~prior:0.5 ()
+    end
+  in
+  Format.printf
+    "disclosure attack (%s, µ=%.1f, %d rounds, truth=%b):@.  %a@."
+    (if live then "live implementation" else "closed-form model")
+    mu rounds talking Vuvuzela_attack.Disclosure.pp_verdict v;
+  let g = Mechanism.conversation noise in
+  Printf.printf "  DP budget for these rounds: |logLR| ≤ %.3f\n"
+    (float_of_int rounds *. g.Mechanism.eps);
+  0
+
+let attack_cmd =
+  let live = Arg.(value & flag & info [ "live" ] ~doc:"Attack the real implementation.") in
+  let mu = Arg.(value & opt float 60. & info [ "mu" ] ~doc:"Noise mean.") in
+  let rounds = Arg.(value & opt int 12 & info [ "rounds" ] ~doc:"Rounds observed.") in
+  let talking =
+    Arg.(value & opt bool true & info [ "talking" ] ~doc:"Ground truth.")
+  in
+  let seed = Arg.(value & opt string "attack" & info [ "seed" ] ~doc:"Seed.") in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"run the statistical disclosure attack")
+    Term.(const attack $ live $ mu $ rounds $ talking $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* figures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let figures which =
+  (match which with
+  | "6" -> Format.printf "%a" Vuvuzela_attack.Observation.pp_table ()
+  | "7" | "8" ->
+      let curves =
+        if which = "7" then Vuvuzela_sim.Figures.figure7 ()
+        else Vuvuzela_sim.Figures.figure8 ()
+      in
+      List.iter
+        (fun (c : Vuvuzela_sim.Figures.privacy_curve) ->
+          Printf.printf "# mu=%.0f b=%.0f (supported k=%d)\n" c.mu c.b
+            c.supported_k;
+          List.iter
+            (fun (k, e, d) -> Printf.printf "%d\t%.4f\t%.4e\n" k e d)
+            c.points)
+        curves
+  | "9" ->
+      List.iter
+        (fun (c : Vuvuzela_sim.Figures.latency_curve) ->
+          Printf.printf "# %s\n" c.label;
+          List.iter (fun (u, l) -> Printf.printf "%d\t%.2f\n" u l) c.points)
+        (Vuvuzela_sim.Figures.figure9 ())
+  | "10" ->
+      let c = Vuvuzela_sim.Figures.figure10 () in
+      List.iter (fun (u, l) -> Printf.printf "%d\t%.2f\n" u l) c.points
+  | "11" ->
+      List.iter
+        (fun (s, l) -> Printf.printf "%d\t%.2f\n" s l)
+        (Vuvuzela_sim.Figures.figure11 ())
+  | s -> Printf.printf "unknown figure %S (choose 6..11)\n" s);
+  0
+
+let figures_cmd =
+  let which =
+    Arg.(value & pos 0 string "9" & info [] ~docv:"FIGURE" ~doc:"6..11")
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"regenerate a figure's data series (TSV)")
+    Term.(const figures $ which)
+
+(* ------------------------------------------------------------------ *)
+(* keygen                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let keygen seed =
+  let open Vuvuzela_crypto in
+  let conv_id =
+    match seed with
+    | Some s -> Types.identity_of_seed (Bytes.of_string s)
+    | None -> Types.fresh_identity ()
+  in
+  let sign_sk, sign_pk =
+    match seed with
+    | Some s -> Ed25519.keypair ~rng:(Drbg.of_string (s ^ "-signing")) ()
+    | None -> Ed25519.keypair ()
+  in
+  Printf.printf "conversation secret: %s\n" (Bytes_util.to_hex conv_id.Types.secret);
+  Printf.printf "conversation public: %s\n" (Bytes_util.to_hex conv_id.Types.public);
+  Printf.printf "signing secret:      %s\n" (Bytes_util.to_hex sign_sk);
+  Printf.printf "signing public:      %s\n" (Bytes_util.to_hex sign_pk);
+  Printf.printf
+    "\nshare the PUBLIC keys out of band (§9: clients store contacts' keys \
+     ahead of time).\n";
+  0
+
+let keygen_cmd =
+  let seed =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "seed" ] ~doc:"Deterministic derivation (testing only!).")
+  in
+  Cmd.v
+    (Cmd.info "keygen" ~doc:"generate a Vuvuzela identity (X25519 + Ed25519)")
+    Term.(const keygen $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* cert                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let cert signing_sk_hex subject_hex name expires verify_hex =
+  let open Vuvuzela_crypto in
+  match verify_hex with
+  | Some cert_hex -> (
+      match Certificate.decode (Bytes_util.of_hex cert_hex) with
+      | Error e ->
+          Printf.printf "malformed certificate: %s\n" e;
+          1
+      | Ok c -> (
+          Printf.printf "subject: %s\n" (Bytes_util.to_hex c.Certificate.subject_pk);
+          Printf.printf "issuer:  %s\n" (Bytes_util.to_hex c.Certificate.issuer_pk);
+          Printf.printf "expires: dialing round %d\n" c.Certificate.expires;
+          match
+            Certificate.verify ~now:0 ~trusted:(fun _ -> true) c
+          with
+          | Ok () ->
+              Printf.printf "signature: VALID (trust the issuer key yourself!)\n";
+              0
+          | Error e ->
+              Format.printf "signature: INVALID (%a)@." Certificate.pp_error e;
+              1))
+  | None -> (
+      match (signing_sk_hex, subject_hex) with
+      | Some sk_hex, Some subject_hex ->
+          let cert =
+            Certificate.issue
+              ~issuer_sk:(Bytes_util.of_hex sk_hex)
+              ~subject_pk:(Bytes_util.of_hex subject_hex)
+              ~name ~expires
+          in
+          Printf.printf "%s\n" (Bytes_util.to_hex (Certificate.encode cert));
+          0
+      | _ ->
+          Printf.printf
+            "pass --signing-sk and --subject to issue, or --verify CERT.\n";
+          1)
+
+let cert_cmd =
+  let sk =
+    Arg.(value & opt (some string) None & info [ "signing-sk" ] ~doc:"Issuer Ed25519 seed (hex).")
+  in
+  let subject =
+    Arg.(value & opt (some string) None & info [ "subject" ] ~doc:"Subject X25519 public key (hex).")
+  in
+  let name_t = Arg.(value & opt string "anonymous" & info [ "name" ] ~doc:"Display name to bind.") in
+  let expires_t = Arg.(value & opt int 1000 & info [ "expires" ] ~doc:"Last valid dialing round.") in
+  let verify =
+    Arg.(value & opt (some string) None & info [ "verify" ] ~doc:"Decode and check a certificate (hex).")
+  in
+  Cmd.v
+    (Cmd.info "cert" ~doc:"issue or inspect a §9 caller certificate")
+    Term.(const cert $ sk $ subject $ name_t $ expires_t $ verify)
+
+(* ------------------------------------------------------------------ *)
+(* baselines                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let baselines budget =
+  let noise = Vuvuzela_sim.Figures.conv_noise_of 300_000. in
+  Printf.printf "%-12s %14s %14s %14s\n" "users" "vuvuzela" "broadcast" "PIR";
+  List.iter
+    (fun (r : Vuvuzela_sim.Baselines.comparison_row) ->
+      Printf.printf "%-12d %12.1f s %12.1f s %12.1f s\n" r.users r.vuvuzela_s
+        r.broadcast_s r.pir_s)
+    (Vuvuzela_sim.Baselines.comparison_table ~noise
+       [ 1_000; 5_000; 50_000; 500_000; 2_000_000 ]);
+  let cap f = Vuvuzela_sim.Baselines.max_users ~budget f in
+  Printf.printf
+    "max users within %.0f s: broadcast %d, PIR %d, vuvuzela %d\n" budget
+    (cap (fun n ->
+         Vuvuzela_sim.Baselines.broadcast_round_latency
+           Vuvuzela_sim.Cost_model.paper ~users:n ~msg_bytes:256))
+    (cap (fun n -> Vuvuzela_sim.Baselines.pir_round_latency ~users:n ~msg_bytes:256))
+    (cap (fun n ->
+         Vuvuzela_sim.Baselines.vuvuzela_round_latency
+           Vuvuzela_sim.Cost_model.paper ~users:n ~noise));
+  0
+
+let baselines_cmd =
+  let budget =
+    Arg.(value & opt float 60. & info [ "budget" ] ~doc:"Round latency budget (s).")
+  in
+  Cmd.v
+    (Cmd.info "baselines" ~doc:"compare against O(n^2) prior systems (§1/§10)")
+    Term.(const baselines $ budget)
+
+let () =
+  let doc = "Vuvuzela: scalable private messaging (SOSP 2015) in OCaml" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "vuvuzela" ~doc)
+          [
+            demo_cmd; analyze_cmd; simulate_cmd; attack_cmd; figures_cmd;
+            keygen_cmd; cert_cmd; baselines_cmd;
+          ]))

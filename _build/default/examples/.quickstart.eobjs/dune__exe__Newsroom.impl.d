@@ -1,0 +1,1 @@
+examples/newsroom.ml: Bytes Bytes_util Certificate Client Dialing Drbg Ed25519 Format Hashtbl Laplace List Network Noise Printf String Vuvuzela Vuvuzela_crypto Vuvuzela_dp

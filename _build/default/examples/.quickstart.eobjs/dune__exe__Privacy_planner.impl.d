@@ -1,0 +1,1 @@
+examples/privacy_planner.ml: Arg Bayes Cmd Cmdliner Composition Laplace Mechanism Printf Term Vuvuzela_dp Vuvuzela_sim

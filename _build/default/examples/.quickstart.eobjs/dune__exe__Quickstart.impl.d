@@ -1,0 +1,1 @@
+examples/quickstart.ml: Chain Client Deaddrop Laplace List Network Noise Printf String Vuvuzela Vuvuzela_crypto Vuvuzela_dp

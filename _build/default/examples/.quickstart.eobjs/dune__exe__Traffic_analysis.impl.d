@@ -1,0 +1,1 @@
+examples/traffic_analysis.ml: Composition Disclosure Laplace List Mechanism Printf Strawman Vuvuzela_attack Vuvuzela_crypto Vuvuzela_dp

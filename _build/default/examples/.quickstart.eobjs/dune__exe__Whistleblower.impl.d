@@ -1,0 +1,1 @@
+examples/whistleblower.ml: Bayes Client Composition Laplace List Mechanism Network Noise Printf Vuvuzela Vuvuzela_dp

@@ -1,0 +1,131 @@
+(* Privacy planner: the §6.4 deployment-parameter workflow as a CLI.
+
+   Given a target (ε′, δ′) and either a desired number of protected
+   rounds or a noise budget µ, compute the missing pieces and report the
+   operational costs implied (per the paper's cost model).
+
+     dune exec examples/privacy_planner.exe -- --help
+     dune exec examples/privacy_planner.exe -- --mu 300000
+     dune exec examples/privacy_planner.exe -- --rounds 200000 --protocol dialing
+*)
+
+open Vuvuzela_dp
+open Cmdliner
+
+let report ~protocol ~target ~d (p : Laplace.params) =
+  let per_round = Composition.per_round_of protocol p in
+  let k = Composition.max_rounds ~d ~target per_round in
+  let spent = Composition.compose ~k:(max k 1) ~d per_round in
+  Printf.printf "noise:      µ=%.0f  b=%.1f  (std %.1f)\n" p.Laplace.mu
+    p.Laplace.b (Laplace.stddev p);
+  Printf.printf "per round:  ε=%.3e  δ=%.3e\n" per_round.Mechanism.eps
+    per_round.Mechanism.delta;
+  Printf.printf "supports:   %d rounds at ε'≤%.4f, δ'≤%.1e\n" k
+    target.Mechanism.eps target.Mechanism.delta;
+  Printf.printf "at budget:  ε'=%.4f (e^ε'=%.3f)  δ'=%.2e\n"
+    spent.Mechanism.eps (exp spent.Mechanism.eps) spent.Mechanism.delta;
+  Printf.printf "posterior:  a 50%% prior can reach %.1f%%\n"
+    (100. *. Bayes.posterior ~prior:0.5 ~eps:spent.Mechanism.eps);
+  match protocol with
+  | Composition.Conversation ->
+      let model = Vuvuzela_sim.Cost_model.paper in
+      let lat users =
+        Vuvuzela_sim.Cost_model.conv_latency model ~users ~servers:3 ~noise:p
+      in
+      Printf.printf
+        "cost:       %.0f noise requests/server/round; est. latency %.0f s \
+         at 1M users, %.0f s at 2M (3 servers)\n"
+        (Vuvuzela_sim.Cost_model.conv_noise_per_server p)
+        (lat 1_000_000) (lat 2_000_000)
+  | Composition.Dialing ->
+      let inv_bytes =
+        Vuvuzela_sim.Cost_model.invitation_drop_bytes ~users:1_000_000
+          ~servers:3 ~m:1 ~dial_fraction:0.05 ~dial_noise:p
+      in
+      Printf.printf
+        "cost:       %.0f noise invitations/drop/server/round; ~%.1f MB \
+         drop download at 1M users (m=1, 5%% dialing)\n"
+        p.Laplace.mu (inv_bytes /. 1e6)
+
+let run protocol mu rounds eps' delta' d =
+  let protocol =
+    match protocol with
+    | "conversation" -> Composition.Conversation
+    | "dialing" -> Composition.Dialing
+    | s -> failwith (Printf.sprintf "unknown protocol %S" s)
+  in
+  let target = { Mechanism.eps = eps'; delta = delta' } in
+  Printf.printf "target: ε'=%.4f (e^ε'=%.2f), δ'=%.1e, d=%.0e\n\n" eps'
+    (exp eps') delta' d;
+  (match (mu, rounds) with
+  | Some mu, None ->
+      (* Given µ: sweep b for the best supported k (§6.4 methodology). *)
+      let b, _k = Composition.best_b ~d ~target ~protocol ~mu () in
+      report ~protocol ~target ~d (Laplace.params ~mu ~b)
+  | None, Some k ->
+      (* Given k: invert composition and Theorem 1 (Equation 1). *)
+      let p = Composition.noise_for_target ~d ~protocol ~k target in
+      report ~protocol ~target ~d p
+  | Some mu, Some k ->
+      (* Both: report whether µ suffices for k. *)
+      let b, kmax = Composition.best_b ~d ~target ~protocol ~mu () in
+      report ~protocol ~target ~d (Laplace.params ~mu ~b);
+      if kmax >= k then
+        Printf.printf "\nverdict: µ=%.0f covers the requested %d rounds.\n" mu k
+      else
+        Printf.printf
+          "\nverdict: µ=%.0f covers only %d of the requested %d rounds; \
+           try µ≈%.0f.\n"
+          mu kmax k
+          (Composition.noise_for_target ~d ~protocol ~k target).Laplace.mu
+  | None, None ->
+      Printf.printf
+        "nothing to plan: pass --mu and/or --rounds (see --help).\n");
+  0
+
+let protocol_t =
+  Arg.(
+    value
+    & opt string "conversation"
+    & info [ "protocol"; "p" ] ~docv:"PROTO"
+        ~doc:"Protocol to plan for: conversation or dialing.")
+
+let mu_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "mu" ] ~docv:"MU" ~doc:"Mean noise per server per round.")
+
+let rounds_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "rounds"; "k" ] ~docv:"K"
+        ~doc:"Number of rounds the user must be protected for.")
+
+let eps_t =
+  Arg.(
+    value
+    & opt float (log 2.)
+    & info [ "eps" ] ~docv:"EPS" ~doc:"Target ε' (default ln 2).")
+
+let delta_t =
+  Arg.(
+    value
+    & opt float 1e-4
+    & info [ "delta" ] ~docv:"DELTA" ~doc:"Target δ' (default 1e-4).")
+
+let d_t =
+  Arg.(
+    value
+    & opt float Composition.default_d
+    & info [ "d" ] ~docv:"D"
+        ~doc:"Theorem 2's free parameter (default 1e-5).")
+
+let cmd =
+  let doc = "plan Vuvuzela noise parameters for a privacy target (§6.4)" in
+  Cmd.v
+    (Cmd.info "privacy_planner" ~doc)
+    Term.(const run $ protocol_t $ mu_t $ rounds_t $ eps_t $ delta_t $ d_t)
+
+let () = exit (Cmd.eval' cmd)

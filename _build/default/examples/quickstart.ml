@@ -1,0 +1,90 @@
+(* Quickstart: a complete private exchange between two users.
+
+   Sets up a 3-server Vuvuzela chain in-process (real crypto end to end),
+   has Alice dial Bob through the dialing protocol, and runs a short
+   conversation.  An idle bystander demonstrates that every client sends
+   identical-looking traffic whether or not it is talking.
+
+     dune exec examples/quickstart.exe *)
+
+open Vuvuzela
+open Vuvuzela_dp
+
+let short pk = String.sub (Vuvuzela_crypto.Bytes_util.to_hex pk) 0 8
+
+let () =
+  Printf.printf "== Vuvuzela quickstart ==\n\n";
+
+  (* A deployment: 3 servers, of which only one needs to be honest.
+     Test-scale noise; production parameters come from the planner
+     (see examples/privacy_planner.ml). *)
+  let net =
+    Network.create ~seed:"quickstart" ~n_servers:3
+      ~noise:(Laplace.params ~mu:20. ~b:5.)
+      ~dial_noise:(Laplace.params ~mu:5. ~b:2.)
+      ~noise_mode:Noise.Sampled ()
+  in
+  let alice = Network.connect ~seed:"alice" net in
+  let bob = Network.connect ~seed:"bob" net in
+  let carol = Network.connect ~seed:"carol" net in
+  Printf.printf "connected: alice=%s bob=%s carol=%s (idle)\n"
+    (short (Client.public_key alice))
+    (short (Client.public_key bob))
+    (short (Client.public_key carol));
+
+  (* Alice dials Bob: her invitation travels the mixnet into Bob's
+     invitation dead drop.  She preemptively enters the conversation,
+     anticipating that Bob reciprocates (§3). *)
+  Client.dial alice ~callee_pk:(Client.public_key bob);
+  Client.start_conversation alice ~peer_pk:(Client.public_key bob);
+  Printf.printf "\nalice dials bob...\n";
+  let dial_events = Network.run_dialing_round net in
+  List.iter
+    (fun (c, events) ->
+      List.iter
+        (function
+          | Client.Incoming_call { caller; _ } ->
+              Printf.printf "  %s got a call from %s -- accepting\n"
+                (short (Client.public_key c))
+                (short caller);
+              Client.start_conversation c ~peer_pk:caller
+          | _ -> ())
+        events)
+    dial_events;
+
+  (* Chat.  Each round every client (including idle Carol) submits one
+     fixed-size onion; the servers mix, add cover traffic, and match
+     dead drops. *)
+  Client.send alice "Hey Bob, this channel hides *who* is talking.";
+  Client.send alice "Even the servers can't tell, as long as one is honest.";
+  Client.send bob "And if I stay quiet, nobody can tell that either.";
+  Printf.printf "\nrunning conversation rounds:\n";
+  for _ = 1 to 4 do
+    let events = Network.run_round net in
+    let round = Network.round net - 1 in
+    List.iter
+      (fun (c, evs) ->
+        List.iter
+          (function
+            | Client.Delivered { text; _ } ->
+                Printf.printf "  round %d: %s received %S\n" round
+                  (short (Client.public_key c))
+                  text
+            | _ -> ())
+          evs)
+      events;
+    match Chain.observed_histogram (Network.chain net) with
+    | Some h ->
+        Printf.printf
+          "  round %d: adversary's entire view: m1=%d drops accessed once, \
+           m2=%d twice\n"
+          round h.Deaddrop.m1 h.Deaddrop.m2
+    | None -> ()
+  done;
+
+  let sa = Client.stats alice and sc = Client.stats carol in
+  Printf.printf
+    "\nalice sent %d data messages in %d rounds; idle carol also sent %d \
+     (indistinguishable cover) requests.\n"
+    sa.Client.data_sent sa.Client.rounds sc.Client.rounds;
+  Printf.printf "done.\n"

@@ -1,0 +1,108 @@
+(* Traffic analysis demo: the same adversary against the §4 strawman
+   baseline and against Vuvuzela.
+
+   The adversary wants to know whether users 0 and 1 ("Alice" and
+   "Bob") are talking.  Against the strawman (single visible server, no
+   mixing, no noise) one round is decisive.  Against Vuvuzela the
+   optimal statistical attack is run on the live implementation and its
+   confidence is compared with the differential-privacy bound.
+
+     dune exec examples/traffic_analysis.exe *)
+
+open Vuvuzela_dp
+open Vuvuzela_attack
+
+let () =
+  Printf.printf "== Traffic analysis: strawman vs Vuvuzela ==\n\n";
+
+  (* ---------------- Strawman ---------------- *)
+  Printf.printf "--- strawman (Figure 4: one visible server) ---\n";
+  let users = [ 0; 1; 2; 3; 4; 5 ] in
+  let behavior u =
+    match u with
+    | 0 -> Strawman.Talking_to 1
+    | 1 -> Strawman.Talking_to 0
+    | 2 -> Strawman.Talking_to 3
+    | 3 -> Strawman.Talking_to 2
+    | _ -> Strawman.Idle_cover
+  in
+  let log = Strawman.run_round ~round:1 ~users ~behavior in
+  Printf.printf "one round of observation; pairs visible to the adversary:\n";
+  List.iter
+    (fun (u, v) -> Printf.printf "  users %d and %d are talking\n" u v)
+    (Strawman.communicating_pairs log);
+  Printf.printf
+    "confirmation attack (block everyone but 0,1): talking=%b -- decisive \
+     in one round.\n\n"
+    (Strawman.confirmation_attack ~round:2 ~users ~behavior ~suspects:(0, 1));
+
+  (* ---------------- Vuvuzela, live ---------------- *)
+  Printf.printf "--- vuvuzela (live implementation, scaled noise) ---\n";
+  let noise = Laplace.params ~mu:60. ~b:(60. /. 21.7) in
+  let g = Mechanism.conversation noise in
+  Printf.printf "noise µ=%.0f b=%.1f -> per-round ε=%.3f δ=%.1e\n"
+    noise.Laplace.mu noise.Laplace.b g.Mechanism.eps g.Mechanism.delta;
+  let rounds = 12 in
+  let run talking seed =
+    Disclosure.network_attack ~idle_users:4 ~noise ~talking ~rounds
+      ~prior:0.5 ~seed ()
+  in
+  let v_talk = run true "ta-live-talking" in
+  let v_idle = run false "ta-live-idle" in
+  Printf.printf
+    "adversary (controls all users but the pair, and all servers but \
+     one) watches %d rounds:\n"
+    rounds;
+  Printf.printf "  when actually talking: posterior %.1f%% (logLR %+.3f)\n"
+    (100. *. v_talk.Disclosure.posterior)
+    v_talk.Disclosure.log_lr;
+  Printf.printf "  when not talking:      posterior %.1f%% (logLR %+.3f)\n"
+    (100. *. v_idle.Disclosure.posterior)
+    v_idle.Disclosure.log_lr;
+  Printf.printf
+    "  DP budget: |logLR| ≤ k·ε = %.2f; the realized evidence is a tiny \
+     random walk inside it\n"
+    (float_of_int rounds *. g.Mechanism.eps);
+  Printf.printf
+    "  (at production scale, µ=300K keeps ε'=ln 2 for %d rounds)\n"
+    (Composition.max_rounds
+       (Mechanism.conversation (Laplace.params ~mu:300_000. ~b:13_800.)));
+
+  (* ---------------- Ablation: noise off ---------------- *)
+  Printf.printf "\n--- ablation: the same system with noise disabled ---\n";
+  let no_noise = Laplace.params ~mu:0.01 ~b:0.01 in
+  let v_on =
+    Disclosure.network_attack ~idle_users:4 ~noise:no_noise ~talking:true
+      ~rounds:6 ~prior:0.5 ~seed:"ta-ablate-on" ()
+  in
+  let v_off =
+    Disclosure.network_attack ~idle_users:4 ~noise:no_noise ~talking:false
+      ~rounds:6 ~prior:0.5 ~seed:"ta-ablate-off" ()
+  in
+  Printf.printf
+    "without cover traffic the mixnet alone does not help:\n";
+  Printf.printf "  talking:     posterior %.1f%% after 6 rounds\n"
+    (100. *. v_on.Disclosure.posterior);
+  Printf.printf "  not talking: posterior %.1f%% after 6 rounds\n"
+    (100. *. v_off.Disclosure.posterior);
+
+  (* ---------------- Intersection attack ---------------- *)
+  Printf.printf "\n--- intersection attack (knock Alice offline, §4.2) ---\n";
+  let rng = Vuvuzela_crypto.Drbg.of_string "ta-intersect" in
+  let loud =
+    Disclosure.intersection_attack ~rng ~noise:no_noise ~talking:true
+      ~rounds_each:50 ()
+  in
+  let quiet =
+    Disclosure.intersection_attack ~rng
+      ~noise:(Laplace.params ~mu:3000. ~b:(3000. /. 21.7))
+      ~talking:true ~rounds_each:50 ()
+  in
+  Printf.printf
+    "difference in mean m2 between Alice-online and Alice-offline rounds \
+     (50 rounds each):\n";
+  Printf.printf "  no noise:        Δ=%.3f  z-score %.1f  (caught)\n"
+    loud.Disclosure.delta_estimate loud.Disclosure.z_score;
+  Printf.printf "  vuvuzela noise:  Δ=%.3f  z-score %.1f  (buried)\n"
+    quiet.Disclosure.delta_estimate quiet.Disclosure.z_score;
+  Printf.printf "done.\n"

@@ -1,0 +1,1 @@
+lib/attack/disclosure.ml: Array Bayes Client Float Format Laplace List Mechanism Network Observation Printf Vuvuzela Vuvuzela_dp

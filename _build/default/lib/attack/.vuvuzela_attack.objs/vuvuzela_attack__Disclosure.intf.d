@@ -1,0 +1,1 @@
+lib/attack/disclosure.mli: Format Vuvuzela_crypto Vuvuzela_dp

@@ -1,0 +1,1 @@
+lib/attack/observation.ml: Format List Option Vuvuzela

@@ -1,0 +1,1 @@
+lib/attack/observation.mli: Format Vuvuzela

@@ -1,0 +1,1 @@
+lib/attack/strawman.ml: Hashtbl List Option Printf

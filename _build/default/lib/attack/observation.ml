@@ -1,0 +1,101 @@
+(* The adversary's view of one conversation round, and the sensitivity
+   analysis behind Figure 6.
+
+   §6.1 shows the only useful observables are (m1, m2): the number of
+   dead drops accessed once and twice.  Figure 6 tabulates how much one
+   user's action can move them — the sensitivity that Theorem 1's noise
+   is sized against. *)
+
+(* Alice's possible per-round actions, in the vocabulary of Figure 6.
+   [b]/[c] denote partners who reciprocate (they always send an exchange
+   to their shared drop with Alice); [x]/[y] denote users who do not. *)
+type action =
+  | Idle
+  | Talk_b  (** exchange with b, reciprocated *)
+  | Talk_c  (** exchange with c, reciprocated *)
+  | Send_x  (** unreciprocated exchange toward x *)
+  | Send_y
+
+let action_name = function
+  | Idle -> "Idle"
+  | Talk_b -> "Conversation with b"
+  | Talk_c -> "Conversation with c"
+  | Send_x -> "Conversation with x"
+  | Send_y -> "Conversation with y"
+
+(* Dead drops in the model world.  [Rand] is the fresh random drop an
+   idle Alice touches; [Ab]/[Ac] are the drops Alice shares with b/c
+   (where b/c always have a standing request); [Ax]/[Ay] are the drops
+   Alice would use toward x/y (nobody else accesses them). *)
+type drop = Rand | Ab | Ac | Ax | Ay
+
+let alice_accesses = function
+  | Idle -> [ Rand ]
+  | Talk_b -> [ Ab ]
+  | Talk_c -> [ Ac ]
+  | Send_x -> [ Ax ]
+  | Send_y -> [ Ay ]
+
+(* Fixed background: b and c are in a conversation with Alice, so their
+   requests sit in Ab and Ac regardless of what Alice does. *)
+let background = [ Ab; Ac ]
+
+(* (m1, m2) contributed by the modeled drops for a given Alice action. *)
+let histogram action =
+  let accesses = alice_accesses action @ background in
+  let count d = List.length (List.filter (( = ) d) accesses) in
+  let drops = [ Rand; Ab; Ac; Ax; Ay ] in
+  let m1 = List.length (List.filter (fun d -> count d = 1) drops) in
+  let m2 = List.length (List.filter (fun d -> count d = 2) drops) in
+  (m1, m2)
+
+(* One Figure 6 cell: (∆m1, ∆m2) = histogram(real) − histogram(cover). *)
+let delta ~real ~cover =
+  let m1r, m2r = histogram real in
+  let m1c, m2c = histogram cover in
+  (m1r - m1c, m2r - m2c)
+
+let reals = [ Idle; Talk_b; Send_x ]
+let covers = [ Idle; Talk_b; Talk_c; Send_x; Send_y ]
+
+(* The full table, rows = cover stories, columns = real actions —
+   exactly Figure 6's layout. *)
+let sensitivity_table () =
+  List.map
+    (fun cover -> (cover, List.map (fun real -> delta ~real ~cover) reals))
+    covers
+
+(* The worst case over all cells: the sensitivity Theorem 1 needs. *)
+let max_sensitivity () =
+  List.fold_left
+    (fun (s1, s2) (_, row) ->
+      List.fold_left
+        (fun (s1, s2) (d1, d2) -> (max s1 (abs d1), max s2 (abs d2)))
+        (s1, s2) row)
+    (0, 0)
+    (sensitivity_table ())
+
+let pp_table fmt () =
+  Format.fprintf fmt "%-24s" "cover \\ real";
+  List.iter (fun r -> Format.fprintf fmt " | %-20s" (action_name r)) reals;
+  Format.pp_print_newline fmt ();
+  List.iter
+    (fun (cover, row) ->
+      Format.fprintf fmt "%-24s" (action_name cover);
+      List.iter (fun (d1, d2) -> Format.fprintf fmt " | %+d, %+d%14s" d1 d2 "") row;
+      Format.pp_print_newline fmt ())
+    (sensitivity_table ())
+
+(* ------------------------------------------------------------------ *)
+(* Observations of the real implementation                             *)
+(* ------------------------------------------------------------------ *)
+
+(* What the adversary records from a live round: the last server's
+   noised histogram.  (Anything else is ciphertext; §6.1.) *)
+type round_view = { m1 : int; m2 : int }
+
+let of_histogram (h : Vuvuzela.Deaddrop.histogram) =
+  { m1 = h.Vuvuzela.Deaddrop.m1; m2 = h.Vuvuzela.Deaddrop.m2 }
+
+let observe_chain chain =
+  Option.map of_histogram (Vuvuzela.Chain.observed_histogram chain)

@@ -1,0 +1,71 @@
+(* The §4 strawman baseline (Figure 4): a single fully-visible server,
+   no mixing, no noise.  Users deposit messages in dead drops and the
+   adversary — who has compromised the server — sees exactly which user
+   accessed which drop.
+
+   This is the baseline the disclosure attacks are demonstrated against:
+   on the strawman they identify communicating pairs immediately; on
+   Vuvuzela they are bounded by the differential-privacy budget. *)
+
+type user = int
+
+type behavior =
+  | Offline
+  | Idle_cover  (** accesses a fresh random drop *)
+  | Talking_to of user
+
+(* The adversary's per-round view: every (user, drop) access. *)
+type round_log = { accesses : (user * string) list }
+
+(* Deterministic drop naming mirrors H(s, r): unique per pair and round;
+   idle users get a unique singleton drop. *)
+let pair_drop u v ~round =
+  let lo = min u v and hi = max u v in
+  Printf.sprintf "pair-%d-%d-r%d" lo hi round
+
+let idle_drop u ~round = Printf.sprintf "idle-%d-r%d" u round
+
+(* Run one strawman round for a population.  [behavior u] gives each
+   user's action.  A Talking_to relation need not be symmetric; an
+   unreciprocated exchange shows up as a lone access, just as in the
+   real protocol. *)
+let run_round ~round ~users ~behavior =
+  let accesses =
+    List.filter_map
+      (fun u ->
+        match behavior u with
+        | Offline -> None
+        | Idle_cover -> Some (u, idle_drop u ~round)
+        | Talking_to v -> Some (u, pair_drop u v ~round))
+      users
+  in
+  { accesses }
+
+(* The trivial attack: read the log, return the communicating pairs —
+   drops accessed by exactly two distinct users. *)
+let communicating_pairs log =
+  let by_drop = Hashtbl.create 16 in
+  List.iter
+    (fun (u, d) ->
+      Hashtbl.replace by_drop d
+        (u :: Option.value ~default:[] (Hashtbl.find_opt by_drop d)))
+    log.accesses;
+  Hashtbl.fold
+    (fun _ users acc ->
+      match users with
+      | [ u; v ] when u <> v -> (min u v, max u v) :: acc
+      | _ -> acc)
+    by_drop []
+  |> List.sort_uniq compare
+
+(* Can the adversary tell whether [u] and [v] are talking from a single
+   round?  On the strawman: always, with certainty. *)
+let are_talking log ~u ~v = List.mem (min u v, max u v) (communicating_pairs log)
+
+(* The §2.1 active confirmation attack: block everyone except the two
+   suspects and watch whether an exchange still happens.  On the
+   strawman this is decisive in one round. *)
+let confirmation_attack ~round ~users ~behavior ~suspects:(u, v) =
+  let blocked_behavior w = if w = u || w = v then behavior w else Offline in
+  let log = run_round ~round ~users ~behavior:blocked_behavior in
+  are_talking log ~u ~v

@@ -1,0 +1,1 @@
+lib/core/address_book.ml: Bytes Certificate Curve25519 Ed25519 Hashtbl List String Vuvuzela_crypto Vuvuzela_mixnet Wire

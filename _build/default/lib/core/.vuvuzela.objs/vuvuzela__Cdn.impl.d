@@ -1,0 +1,1 @@
+lib/core/cdn.ml: Array Bytes Char Format Hashtbl List Printf Vuvuzela_crypto

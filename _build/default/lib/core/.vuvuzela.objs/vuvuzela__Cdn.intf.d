@@ -1,0 +1,1 @@
+lib/core/cdn.mli: Format

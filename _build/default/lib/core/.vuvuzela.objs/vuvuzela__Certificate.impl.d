@@ -1,0 +1,1 @@
+lib/core/certificate.ml: Box Bytes Bytes_util Drbg Ed25519 Format Sha256 Vuvuzela_crypto Vuvuzela_mixnet Wire

@@ -1,0 +1,1 @@
+lib/core/chain.ml: Array Bytes Dialing Option Printf Rpc Server Types Vuvuzela_crypto Vuvuzela_mixnet

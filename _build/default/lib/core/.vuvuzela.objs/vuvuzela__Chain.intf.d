@@ -1,0 +1,1 @@
+lib/core/chain.mli: Deaddrop Dialing Server Vuvuzela_dp

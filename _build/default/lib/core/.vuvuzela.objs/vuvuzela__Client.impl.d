@@ -1,0 +1,1 @@
+lib/core/client.ml: Bytes Certificate Conversation Dialing Drbg Format Hashtbl List Message Printf Queue String Types Vuvuzela_crypto Vuvuzela_mixnet

@@ -1,0 +1,1 @@
+lib/core/client.mli: Certificate Dialing Format Types

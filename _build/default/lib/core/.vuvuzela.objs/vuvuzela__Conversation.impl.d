@@ -1,0 +1,1 @@
+lib/core/conversation.ml: Bytes Bytes_util Curve25519 Drbg Hkdf Hmac Message Types Vuvuzela_crypto

@@ -1,0 +1,1 @@
+lib/core/conversation.mli: Message Types Vuvuzela_crypto

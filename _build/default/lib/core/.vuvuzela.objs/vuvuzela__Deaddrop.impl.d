@@ -1,0 +1,1 @@
+lib/core/deaddrop.ml: Array Bytes Char Format Hashtbl List Option Types Vuvuzela_crypto

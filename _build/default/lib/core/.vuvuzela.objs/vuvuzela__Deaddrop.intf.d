@@ -1,0 +1,1 @@
+lib/core/deaddrop.mli: Format Types

@@ -1,0 +1,1 @@
+lib/core/dialing.ml: Box Bytes Certificate Curve25519 Deaddrop Drbg List Types Vuvuzela_crypto Vuvuzela_mixnet Wire

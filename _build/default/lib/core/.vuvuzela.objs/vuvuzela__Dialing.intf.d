@@ -1,0 +1,1 @@
+lib/core/dialing.mli: Certificate Types Vuvuzela_crypto

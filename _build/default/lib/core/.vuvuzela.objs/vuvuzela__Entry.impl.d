@@ -1,0 +1,1 @@
+lib/core/entry.ml: Array List

@@ -1,0 +1,1 @@
+lib/core/message.ml: Aead Bytes Bytes_util Format Hkdf Printf String Types Vuvuzela_crypto Vuvuzela_mixnet Wire

@@ -1,0 +1,1 @@
+lib/core/network.ml: Bytes Cdn Chain Client Dialing Entry Hashtbl Laplace List Noise Option Types Vuvuzela_dp

@@ -1,0 +1,1 @@
+lib/core/network.mli: Cdn Chain Client Dialing Vuvuzela_dp

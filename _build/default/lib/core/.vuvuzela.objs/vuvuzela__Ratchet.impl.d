@@ -1,0 +1,1 @@
+lib/core/ratchet.ml: Bytes Hashtbl Hkdf Hmac Vuvuzela_crypto

@@ -1,0 +1,1 @@
+lib/core/rpc.ml: Array Bytes List Printf Vuvuzela_mixnet Wire

@@ -1,0 +1,1 @@
+lib/core/server.ml: Array Bytes Bytes_util Deaddrop Dialing Drbg Float Hashtbl Laplace List Logs Noise Onion Shuffle Types Vuvuzela_crypto Vuvuzela_dp Vuvuzela_mixnet

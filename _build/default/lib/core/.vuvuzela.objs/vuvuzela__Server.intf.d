@@ -1,0 +1,1 @@
+lib/core/server.mli: Deaddrop Dialing Vuvuzela_dp

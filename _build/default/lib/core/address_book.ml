@@ -1,0 +1,143 @@
+(* The client's local contact store (§9 "PKI for dialing").
+
+   "Looking up this key on-demand over the Internet via some key server
+   would disclose who the user is dialing, so Vuvuzela clients should
+   store public keys for contacts ahead of time."
+
+   An address book binds human names to conversation keys and (for
+   certified deployments) trusted signing keys.  It serializes to a
+   single binary blob so a client can persist it across restarts —
+   lookups never touch the network. *)
+
+open Vuvuzela_crypto
+open Vuvuzela_mixnet
+
+type contact = {
+  name : string;
+  conversation_pk : bytes;  (** X25519, for dialing and conversing *)
+  signing_pk : bytes option;  (** Ed25519, trusted to certify this name *)
+}
+
+type t = {
+  by_name : (string, contact) Hashtbl.t;
+  by_key : (string, contact) Hashtbl.t;  (** keyed by conversation pk *)
+}
+
+let create () = { by_name = Hashtbl.create 16; by_key = Hashtbl.create 16 }
+let size t = Hashtbl.length t.by_name
+
+let add t contact =
+  if Bytes.length contact.conversation_pk <> Curve25519.key_len then
+    invalid_arg "Address_book.add: bad conversation key";
+  (match contact.signing_pk with
+  | Some pk when Bytes.length pk <> Ed25519.public_key_len ->
+      invalid_arg "Address_book.add: bad signing key"
+  | _ -> ());
+  (* Replacing a renamed contact: drop any stale reverse entry. *)
+  (match Hashtbl.find_opt t.by_name contact.name with
+  | Some old -> Hashtbl.remove t.by_key (Bytes.to_string old.conversation_pk)
+  | None -> ());
+  Hashtbl.replace t.by_name contact.name contact;
+  Hashtbl.replace t.by_key (Bytes.to_string contact.conversation_pk) contact
+
+let remove t ~name =
+  match Hashtbl.find_opt t.by_name name with
+  | None -> ()
+  | Some c ->
+      Hashtbl.remove t.by_name name;
+      Hashtbl.remove t.by_key (Bytes.to_string c.conversation_pk)
+
+let find t ~name = Hashtbl.find_opt t.by_name name
+let find_by_key t ~conversation_pk =
+  Hashtbl.find_opt t.by_key (Bytes.to_string conversation_pk)
+
+let contacts t =
+  Hashtbl.fold (fun _ c acc -> c :: acc) t.by_name []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+(* Is [signing_pk] trusted to certify anyone in this book?  The trust
+   callback handed to {!Certificate.verify}. *)
+let trusts t signing_pk =
+  Hashtbl.fold
+    (fun _ c acc ->
+      acc
+      || match c.signing_pk with
+         | Some pk -> Bytes.equal pk signing_pk
+         | None -> false)
+    t.by_name false
+
+(* Full §9 verification of an incoming certified call: the certificate
+   must verify under a signing key we trust, cover the caller's
+   conversation key, and name the contact we associate with that signing
+   key. *)
+type vetting =
+  | Known of contact  (** certificate checks out; this is the contact *)
+  | Unknown  (** no matching trusted signer *)
+  | Invalid of Certificate.error
+
+let vet t ~now ~caller_pk (cert : Certificate.t) =
+  match Certificate.verify ~now ~trusted:(trusts t) cert with
+  | Error Certificate.Untrusted_issuer -> Unknown
+  | Error e -> Invalid e
+  | Ok () ->
+      if not (Bytes.equal cert.Certificate.subject_pk caller_pk) then
+        Invalid Certificate.Bad_signature
+      else begin
+        let owner =
+          List.find_opt
+            (fun c ->
+              match c.signing_pk with
+              | Some pk -> Bytes.equal pk cert.Certificate.issuer_pk
+              | None -> false)
+            (contacts t)
+        in
+        match owner with
+        | Some c when Certificate.matches_name cert c.name -> Known c
+        | Some _ -> Invalid Certificate.Bad_signature (* name mismatch *)
+        | None -> Unknown
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let serialize t =
+  Wire.encode (fun w ->
+      Wire.Writer.u32 w 0x41424f4f (* "ABOO" *);
+      Wire.Writer.u8 w 1;
+      let cs = contacts t in
+      Wire.Writer.u32 w (List.length cs);
+      List.iter
+        (fun c ->
+          Wire.Writer.bytes_var w (Bytes.of_string c.name);
+          Wire.Writer.bytes_fixed w ~len:32 c.conversation_pk;
+          match c.signing_pk with
+          | None -> Wire.Writer.u8 w 0
+          | Some pk ->
+              Wire.Writer.u8 w 1;
+              Wire.Writer.bytes_fixed w ~len:32 pk)
+        cs)
+
+let deserialize b =
+  Wire.decode
+    (fun r ->
+      if Wire.Reader.u32 r <> 0x41424f4f then
+        raise (Wire.Error "Address_book: bad magic");
+      if Wire.Reader.u8 r <> 1 then
+        raise (Wire.Error "Address_book: unknown version");
+      let n = Wire.Reader.u32 r in
+      if n > 1 lsl 20 then raise (Wire.Error "Address_book: absurd size");
+      let t = create () in
+      for _ = 1 to n do
+        let name = Bytes.to_string (Wire.Reader.bytes_var r) in
+        let conversation_pk = Wire.Reader.bytes_fixed r 32 in
+        let signing_pk =
+          match Wire.Reader.u8 r with
+          | 0 -> None
+          | 1 -> Some (Wire.Reader.bytes_fixed r 32)
+          | _ -> raise (Wire.Error "Address_book: bad tag")
+        in
+        add t { name; conversation_pk; signing_pk }
+      done;
+      t)
+    b

@@ -1,0 +1,38 @@
+(** The client's local contact store (§9): names, conversation keys and
+    trusted signing keys, kept offline so dialing never leaks a key
+    lookup. *)
+
+type contact = {
+  name : string;
+  conversation_pk : bytes;
+  signing_pk : bytes option;
+}
+
+type t
+
+val create : unit -> t
+val size : t -> int
+
+val add : t -> contact -> unit
+(** Insert or replace by name.
+    @raise Invalid_argument on malformed keys. *)
+
+val remove : t -> name:string -> unit
+val find : t -> name:string -> contact option
+val find_by_key : t -> conversation_pk:bytes -> contact option
+
+val contacts : t -> contact list
+(** Sorted by name. *)
+
+val trusts : t -> bytes -> bool
+(** Whether a signing key belongs to any contact — the trust callback
+    for {!Certificate.verify}. *)
+
+type vetting = Known of contact | Unknown | Invalid of Certificate.error
+
+val vet : t -> now:int -> caller_pk:bytes -> Certificate.t -> vetting
+(** Full vetting of an incoming certified call: signature, expiry,
+    subject binding, and name-to-signer consistency. *)
+
+val serialize : t -> bytes
+val deserialize : bytes -> (t, string) result

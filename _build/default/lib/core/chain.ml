@@ -1,0 +1,160 @@
+(* The chain of Vuvuzela servers and round orchestration (§3).
+
+   All clients connect (through the entry server) to server 0; requests
+   travel down the chain, are resolved at the last server, and results
+   travel back up.  This module runs the whole in-process round trip,
+   calling each server in order — the same sequence of messages a
+   networked deployment would exchange. *)
+
+type t = { servers : Server.t array }
+
+let create ?seed ?(dial_kind = Dialing.Plain) ~n_servers ~noise ~dial_noise
+    ~noise_mode () =
+  if n_servers < 1 then invalid_arg "Chain.create: need at least one server";
+  (* Build from the last server backwards so each server knows the public
+     keys of its downstream suffix. *)
+  let servers = Array.make n_servers None in
+  let suffix = ref [] in
+  for position = n_servers - 1 downto 0 do
+    let cfg =
+      {
+        Server.position;
+        chain_len = n_servers;
+        noise;
+        dial_noise;
+        noise_mode;
+        dial_kind;
+      }
+    in
+    let rng_seed =
+      Option.map
+        (fun s ->
+          Bytes.cat (Bytes.of_string s)
+            (Bytes.of_string (Printf.sprintf "-server-%d" position)))
+        seed
+    in
+    let server = Server.create ?rng_seed ~cfg ~suffix_pks:!suffix () in
+    servers.(position) <- Some server;
+    suffix := Server.public_key server :: !suffix
+  done;
+  { servers = Array.map Option.get servers }
+
+let length t = Array.length t.servers
+let server t i = t.servers.(i)
+let last t = t.servers.(length t - 1)
+
+(* Public keys in chain order — what clients onion-wrap against. *)
+let public_keys t =
+  Array.to_list (Array.map Server.public_key t.servers)
+
+(* Every batch that crosses a link is routed through the Rpc codec, so
+   the in-process chain exchanges exactly the bytes a networked
+   deployment would (framing, versioning, fixed item sizes). *)
+let through codec_encode codec_decode payload =
+  match codec_decode (codec_encode payload) with
+  | Ok v -> v
+  | Error msg -> invalid_arg ("Chain: framing error: " ^ msg)
+
+let send_conv_batch ~round onions =
+  through
+    (fun o -> Rpc.encode (Rpc.Conv_batch { round; onions = o }))
+    (fun b ->
+      match Rpc.decode b with
+      | Ok (Rpc.Conv_batch { onions; _ }) -> Ok onions
+      | Ok _ -> Error "unexpected message"
+      | Error e -> Error e)
+    onions
+
+let send_conv_results ~round replies =
+  through
+    (fun r -> Rpc.encode (Rpc.Conv_results { round; replies = r }))
+    (fun b ->
+      match Rpc.decode b with
+      | Ok (Rpc.Conv_results { replies; _ }) -> Ok replies
+      | Ok _ -> Error "unexpected message"
+      | Error e -> Error e)
+    replies
+
+let send_dial_results ~round replies =
+  through
+    (fun r -> Rpc.encode (Rpc.Dial_results { round; replies = r }))
+    (fun b ->
+      match Rpc.decode b with
+      | Ok (Rpc.Dial_results { replies; _ }) -> Ok replies
+      | Ok _ -> Error "unexpected message"
+      | Error e -> Error e)
+    replies
+
+let send_dial_batch ~round ~m onions =
+  through
+    (fun o -> Rpc.encode (Rpc.Dial_batch { round; m; onions = o }))
+    (fun b ->
+      match Rpc.decode b with
+      | Ok (Rpc.Dial_batch { onions; _ }) -> Ok onions
+      | Ok _ -> Error "unexpected message"
+      | Error e -> Error e)
+    onions
+
+(* Entry-server ingress policy: the framed batches require uniform item
+   sizes, so a wrong-sized client request is replaced with random bytes
+   of the correct size.  Its slot (and reply) survive; the garbage fails
+   authentication at the first server and earns a dummy reply. *)
+let normalize ~expected requests =
+  Array.map
+    (fun r ->
+      if Bytes.length r = expected then r
+      else Vuvuzela_crypto.Drbg.bytes expected)
+    requests
+
+(* One conversation round: forward through each mixing server, exchange
+   at the last, then backward.  [requests] are the clients' onions in
+   slot order; the result array is aligned with it. *)
+let conversation_round t ~round requests =
+  let n = length t in
+  let requests =
+    normalize
+      ~expected:
+        (Vuvuzela_mixnet.Onion.request_size ~chain_len:n
+           ~payload_len:Types.exchange_payload_len)
+      requests
+  in
+  let rec go i batch =
+    let batch = send_conv_batch ~round batch in
+    if i = n - 1 then Server.conv_exchange t.servers.(i) ~round batch
+    else begin
+      let forwarded = Server.conv_forward t.servers.(i) ~round batch in
+      let results = send_conv_results ~round (go (i + 1) forwarded) in
+      Server.conv_backward t.servers.(i) ~round results
+    end
+  in
+  go 0 requests
+
+(* One dialing round with [m] invitation drops. *)
+let dialing_round t ~round ~m requests =
+  let n = length t in
+  let requests =
+    normalize
+      ~expected:
+        (Vuvuzela_mixnet.Onion.request_size ~chain_len:n
+           ~payload_len:(Dialing.payload_len (Server.dial_kind t.servers.(0))))
+      requests
+  in
+  let rec go i batch =
+    let batch = send_dial_batch ~round ~m batch in
+    if i = n - 1 then Server.dial_deliver t.servers.(i) ~round ~m batch
+    else begin
+      let forwarded = Server.dial_forward t.servers.(i) ~round ~m batch in
+      let results = send_dial_results ~round (go (i + 1) forwarded) in
+      Server.dial_backward t.servers.(i) ~round results
+    end
+  in
+  go 0 requests
+
+let fetch_invitations t ~index = Server.fetch_invitations (last t) ~index
+
+(* §5.4: "The first server then informs clients of the value of m for a
+   given dialing round" — surfaced here for the coordinator. *)
+let proposed_m t = Server.proposed_m (last t)
+
+(* Adversary's view of the most recent round (for the attack harness). *)
+let observed_histogram t = Server.last_histogram (last t)

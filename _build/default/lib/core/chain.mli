@@ -1,0 +1,37 @@
+(** The chain of Vuvuzela servers and in-process round orchestration. *)
+
+type t
+
+val create :
+  ?seed:string ->
+  ?dial_kind:Dialing.kind ->
+  n_servers:int ->
+  noise:Vuvuzela_dp.Laplace.params ->
+  dial_noise:Vuvuzela_dp.Laplace.params ->
+  noise_mode:Vuvuzela_dp.Noise.mode ->
+  unit ->
+  t
+(** Build a chain; with [seed] the whole deployment (keys, noise,
+    shuffles) is deterministic, for tests. *)
+
+val length : t -> int
+val server : t -> int -> Server.t
+val last : t -> Server.t
+
+val public_keys : t -> bytes list
+(** In chain order; clients wrap onions against these. *)
+
+val conversation_round : t -> round:int -> bytes array -> bytes array
+(** Run a complete conversation round; the result array is slot-aligned
+    with [requests]. *)
+
+val dialing_round : t -> round:int -> m:int -> bytes array -> bytes array
+
+val fetch_invitations : t -> index:int -> bytes list
+
+val proposed_m : t -> int
+(** The last server's recommended invitation-drop count (§5.4). *)
+
+val observed_histogram : t -> Deaddrop.histogram option
+(** The last server's (i.e. the adversary's) view of the latest
+    conversation round. *)

@@ -1,0 +1,97 @@
+(** The full Vuvuzela client: a fixed number of fixed-size requests per
+    round (real or cover), reliable in-order text delivery with a
+    pipelined retransmission window, dialing participation, and the §9
+    multiple-conversations extension. *)
+
+type event =
+  | Delivered of { peer : bytes; text : string }
+  | Acked of { peer : bytes; seq : int }
+  | Incoming_call of { caller : bytes; certificate : Certificate.t option }
+      (** [certificate], when present, is NOT yet verified — apply
+          {!Certificate.verify} under your trust policy. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+type stats = {
+  mutable rounds : int;
+  mutable data_sent : int;
+  mutable retransmissions : int;
+  mutable data_received : int;
+  mutable duplicates : int;
+  mutable dial_rounds : int;
+  mutable invitations_scanned : int;
+}
+
+type certified_config = {
+  signing_sk : bytes;  (** Ed25519 seed for issuing certificates *)
+  name : string;
+  validity : int;  (** dialing rounds each certificate stays valid *)
+}
+
+type t
+
+val create :
+  ?seed:string ->
+  ?window:int ->
+  ?rtt:int ->
+  ?max_conversations:int ->
+  ?dial_kind:Dialing.kind ->
+  ?certified:certified_config ->
+  identity:Types.identity ->
+  server_pks:bytes list ->
+  unit ->
+  t
+(** [window] is the pipelining depth per conversation (default 4); [rtt]
+    the rounds before a retransmission (default 2); [max_conversations]
+    the fixed number of exchange requests sent every round (default 1 —
+    the paper's prototype; §9 suggests e.g. 5). *)
+
+val identity : t -> Types.identity
+val public_key : t -> bytes
+val stats : t -> stats
+val max_conversations : t -> int
+
+val in_conversation : t -> bool
+val peer : t -> bytes option
+val peers : t -> bytes list
+
+val start_conversation : t -> peer_pk:bytes -> unit
+(** Enter a conversation.  Restarts an existing one with the same peer;
+    at capacity, the oldest conversation is ended to make room. *)
+
+val end_conversation : ?peer:bytes -> t -> unit
+(** End one conversation, or all when [peer] is omitted. *)
+
+val send : t -> string -> unit
+(** Queue text for the single active partner.
+    @raise Invalid_argument if there is no (or more than one) active
+    conversation, or the text exceeds {!Types.text_capacity}. *)
+
+val send_to : t -> peer:bytes -> string -> unit
+
+val queued : ?peer:bytes -> t -> int
+(** Messages queued or in flight (for one peer, or in total). *)
+
+val conversation_requests : t -> round:int -> bytes list
+(** The onions to submit this round — always exactly
+    [max_conversations] of them, active or idle. *)
+
+val conversation_request : t -> round:int -> bytes
+(** Single-conversation convenience.
+    @raise Invalid_argument when [max_conversations > 1]. *)
+
+val handle_conversation_replies : t -> round:int -> bytes list -> event list
+(** Process the round's replies (slot-aligned with
+    {!conversation_requests}); returns deliveries and acks in order. *)
+
+val handle_conversation_reply : t -> round:int -> bytes -> event list
+(** Single-slot convenience (slot 0). *)
+
+val dial : t -> callee_pk:bytes -> unit
+(** Request a conversation at the next dialing round. *)
+
+val dialing_request : t -> dial_round:int -> m:int -> bytes
+val my_invitation_drop : t -> m:int -> int
+
+val handle_invitations : t -> bytes list -> event list
+(** Trial-decrypt a downloaded invitation drop. *)

@@ -1,0 +1,54 @@
+(* Client side of the conversation protocol (Algorithm 1).
+
+   A [session] binds two users who have agreed (via dialing) to talk.
+   For each round r it derives:
+
+     - the dead-drop ID   b = H(s, r)      (128 bits, fresh every round)
+     - the message keys   (direction-separated; see Message)
+
+   and builds the fixed-size exchange payload  b || Seal(m).  Idle
+   clients build the same payload from a session with a freshly random
+   public key (step 1b of Algorithm 1), so real and fake requests are
+   indistinguishable. *)
+
+open Vuvuzela_crypto
+
+type session = {
+  base : bytes;  (** HKDF'd conversation secret *)
+  keys : Message.keys;
+  peer_pk : bytes;
+}
+
+let derive ~identity:(id : Types.identity) ~peer_pk =
+  let raw = Curve25519.shared ~secret:id.secret ~public:peer_pk in
+  let base =
+    Hkdf.derive ~ikm:raw ~info:(Bytes.of_string "vuvuzela-session-v1") 32
+  in
+  { base; keys = Message.direction_keys ~base ~my_pk:id.public ~their_pk:peer_pk; peer_pk }
+
+(* Step 1b: a fake session with a random public key; the resulting dead
+   drop is uniformly random and the sealed message opens for nobody. *)
+let fake ?rng ~identity () =
+  derive ~identity ~peer_pk:(Drbg.bytes ?rng 32)
+
+(* b = H(s, r): per-round pseudo-random dead drop (§4.1, "Randomizing
+   dead drop IDs"). *)
+let drop_id session ~round =
+  let r = Bytes.create 8 in
+  Bytes_util.store_le64 r 0 round;
+  Bytes.sub
+    (Hmac.sha256 ~key:session.base (Bytes_util.concat [ Bytes.of_string "drop"; r ]))
+    0 Types.drop_id_len
+
+(* The exchange payload placed into the onion: drop ID followed by the
+   sealed message.  Always [Types.exchange_payload_len] bytes. *)
+let exchange_payload session ~round msg =
+  let sealed = Message.seal ~keys:session.keys ~round msg in
+  Bytes_util.concat [ drop_id session ~round; sealed ]
+
+(* Interpret the exchange result (the partner's sealed message, or the
+   all-zero empty result if nobody else accessed the drop, or garbage if
+   this was a fake session). *)
+let read_result session ~round result =
+  if Bytes.length result <> Types.exchange_result_len then None
+  else Message.open_ ~keys:session.keys ~round result

@@ -1,0 +1,113 @@
+(* Dead-drop stores kept by the last server in the chain.
+
+   Conversation drops (§4): ephemeral per round; each holds at most the
+   requests of one honest pair.  The store matches up accesses: the first
+   two requests to a drop exchange their sealed messages; a lone request
+   gets the empty (all-zero) result; extra adversarial requests to an
+   already-paired drop also get the empty result (footnote 6 of the
+   paper: honest collisions are negligible, so >2 accesses only arise
+   from adversarial duplication, and those learn nothing new).
+
+   Invitation drops (§5): a small fixed number m of large drops, each
+   accumulating all invitations (real + noise) for the public keys that
+   hash to it. *)
+
+type access = { slot : int; sealed : bytes }
+
+type t = {
+  drops : (string, access list) Hashtbl.t;
+      (* key: drop id; value: accesses in arrival order (newest first) *)
+  mutable total_accesses : int;
+}
+
+let create () = { drops = Hashtbl.create 1024; total_accesses = 0 }
+
+let clear t =
+  Hashtbl.reset t.drops;
+  t.total_accesses <- 0
+
+(* Record one exchange request. *)
+let put t ~slot ~drop_id ~sealed =
+  let key = Bytes.to_string drop_id in
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.drops key) in
+  Hashtbl.replace t.drops key ({ slot; sealed } :: prev);
+  t.total_accesses <- t.total_accesses + 1
+
+let empty_result = Bytes.make Types.exchange_result_len '\000'
+
+(* Resolve all drops: returns the per-slot results.  [n_slots] is the
+   batch size; every slot receives exactly [Types.exchange_result_len]
+   bytes. *)
+let resolve t ~n_slots =
+  let results = Array.make n_slots empty_result in
+  Hashtbl.iter
+    (fun _ accesses ->
+      match List.rev accesses with
+      | [ _ ] -> () (* lone access: empty result *)
+      | a :: b :: _rest ->
+          (* First two accesses exchange contents; any later (necessarily
+             adversarial) duplicates keep the empty result. *)
+          results.(a.slot) <- b.sealed;
+          results.(b.slot) <- a.sealed
+      | [] -> ())
+    t.drops;
+  results
+
+(* Observable variables (§4.2): the histogram of access counts.  [m1] is
+   the number of drops accessed once, [m2] accessed twice.  These two
+   numbers are all an adversary controlling the last server learns
+   beyond what its own requests tell it. *)
+type histogram = { m1 : int; m2 : int; m_more : int }
+
+let histogram t =
+  Hashtbl.fold
+    (fun _ accesses acc ->
+      match List.length accesses with
+      | 1 -> { acc with m1 = acc.m1 + 1 }
+      | 2 -> { acc with m2 = acc.m2 + 1 }
+      | n when n > 2 -> { acc with m_more = acc.m_more + 1 }
+      | _ -> acc)
+    t.drops
+    { m1 = 0; m2 = 0; m_more = 0 }
+
+let pp_histogram fmt { m1; m2; m_more } =
+  Format.fprintf fmt "{m1=%d; m2=%d; m>2=%d}" m1 m2 m_more
+
+(* ------------------------------------------------------------------ *)
+(* Invitation drops (dialing)                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Invitation = struct
+  type store = { mutable drops : bytes list array (* newest first *) }
+
+  let create ~m = { drops = Array.make (max 1 m) [] }
+  let drop_count s = Array.length s.drops
+
+  let clear s = Array.fill s.drops 0 (Array.length s.drops) []
+
+  (* §5.1: invitations for public key pk live in drop H(pk) mod m. *)
+  let index_of ~m pk =
+    let h = Vuvuzela_crypto.Sha256.digest pk in
+    (* Big-endian read of the first 8 digest bytes, reduced mod m. *)
+    let v = ref 0 in
+    for i = 0 to 7 do
+      v := ((!v lsl 8) lor Char.code (Bytes.get h i)) land max_int
+    done;
+    !v mod m
+
+  let put s ~index invitation =
+    if index <> Types.noop_drop then begin
+      if index < 0 || index >= Array.length s.drops then
+        invalid_arg "Invitation.put: bad drop index";
+      s.drops.(index) <- invitation :: s.drops.(index)
+    end
+
+  (* Clients download their whole drop and trial-decrypt (§5.1). *)
+  let fetch s ~index =
+    if index < 0 || index >= Array.length s.drops then
+      invalid_arg "Invitation.fetch: bad drop index";
+    List.rev s.drops.(index)
+
+  let size s ~index = List.length s.drops.(index)
+  let total s = Array.fold_left (fun acc l -> acc + List.length l) 0 s.drops
+end

@@ -1,0 +1,45 @@
+(** Dead-drop stores kept by the last server (§4 conversation drops,
+    §5 invitation drops) and the observable access-count histogram. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+val put : t -> slot:int -> drop_id:Types.drop_id -> sealed:bytes -> unit
+(** Record one exchange request occupying batch position [slot]. *)
+
+val empty_result : bytes
+(** The all-zero {!Types.exchange_result_len}-byte result returned for
+    lone accesses. *)
+
+val resolve : t -> n_slots:int -> bytes array
+(** Match up all accesses: the first two requests to a drop swap sealed
+    messages; every other slot gets {!empty_result}. *)
+
+type histogram = { m1 : int; m2 : int; m_more : int }
+(** The protocol's only observable variables (§4.2): counts of drops
+    accessed once, twice, and (adversarially) more than twice. *)
+
+val histogram : t -> histogram
+val pp_histogram : Format.formatter -> histogram -> unit
+
+module Invitation : sig
+  type store
+
+  val create : m:int -> store
+  val drop_count : store -> int
+  val clear : store -> unit
+
+  val index_of : m:int -> bytes -> int
+  (** [H(pk) mod m] (§5.1). *)
+
+  val put : store -> index:int -> bytes -> unit
+  (** Append an invitation; writes to {!Types.noop_drop} are discarded. *)
+
+  val fetch : store -> index:int -> bytes list
+  (** All invitations in arrival order (clients trial-decrypt each). *)
+
+  val size : store -> index:int -> int
+  val total : store -> int
+end

@@ -1,0 +1,33 @@
+(* The entry server (§7): an untrusted multiplexer that batches client
+   requests into a round for the chain and routes results back.
+
+   It learns only which clients are connected — which the threat model
+   already concedes — and cannot read or alter onions undetected (any
+   tampering makes the first server's AEAD open fail). *)
+
+type 'id t = {
+  mutable pending : ('id * bytes) list;  (** newest first *)
+  mutable closed : bool;
+}
+
+let create () = { pending = []; closed = false }
+
+let submit t id request =
+  if t.closed then invalid_arg "Entry.submit: round already closed";
+  t.pending <- (id, request) :: t.pending
+
+let size t = List.length t.pending
+
+(* Freeze the round: slot-ordered requests plus the slot → client map. *)
+let close_round t =
+  t.closed <- true;
+  let in_order = List.rev t.pending in
+  let requests = Array.of_list (List.map snd in_order) in
+  let ids = Array.of_list (List.map fst in_order) in
+  (requests, ids)
+
+(* Route results back: pairs each slot's result with its client. *)
+let demux ~ids results =
+  if Array.length ids <> Array.length results then
+    invalid_arg "Entry.demux: result batch size mismatch";
+  Array.to_list (Array.map2 (fun id r -> (id, r)) ids results)

@@ -1,0 +1,19 @@
+(** The untrusted entry server (§7): multiplexes client requests into
+    rounds and demultiplexes results. *)
+
+type 'id t
+
+val create : unit -> 'id t
+(** A fresh round collector. *)
+
+val submit : 'id t -> 'id -> bytes -> unit
+(** @raise Invalid_argument after {!close_round}. *)
+
+val size : 'id t -> int
+
+val close_round : 'id t -> bytes array * 'id array
+(** Slot-ordered request batch and the matching client ids. *)
+
+val demux : ids:'id array -> bytes array -> ('id * bytes) list
+(** Pair each slot's result with its client.
+    @raise Invalid_argument on size mismatch. *)

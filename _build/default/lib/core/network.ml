@@ -1,0 +1,176 @@
+(* A complete in-process Vuvuzela deployment: chain of servers, entry
+   server, client population, and the round clock.
+
+   This is the functional (real-crypto) counterpart of the performance
+   simulator in [vuvuzela_sim]: every byte that would cross the network
+   in a deployment is actually constructed, encrypted, shuffled and
+   decrypted here.  Tests, the examples, and the attack harness all run
+   against this module.
+
+   Fault injection: [run_round ~blocked] lets the caller model the
+   active network adversary of §2.1 ("block network traffic from Alice")
+   by suppressing chosen clients' requests for a round. *)
+
+open Vuvuzela_dp
+
+type t = {
+  chain : Chain.t;
+  server_pks : bytes list;
+  clients : (bytes, Client.t) Hashtbl.t;  (** keyed by public key *)
+  mutable order : Client.t list;  (** connection order, for determinism *)
+  mutable round : int;
+  mutable dial_round : int;
+  mutable m : int;  (** invitation drops for the next dialing round *)
+  mutable auto_tune_m : bool;
+  dial_kind : Dialing.kind;
+  cdn : Cdn.t option;  (** §5.5 distribution of invitation drops *)
+}
+
+let create ?seed ?(n_servers = 3)
+    ?(noise = Laplace.params ~mu:10. ~b:2.)
+    ?(dial_noise = Laplace.params ~mu:3. ~b:1.)
+    ?(noise_mode = Noise.Sampled) ?dial_kind ?(cdn_edges = 0) () =
+  let chain =
+    Chain.create ?seed ?dial_kind ~n_servers ~noise ~dial_noise ~noise_mode ()
+  in
+  let cdn =
+    if cdn_edges > 0 then
+      Some
+        (Cdn.create ~edges:cdn_edges
+           ~fetch:(fun ~dial_round:_ ~index -> Chain.fetch_invitations chain ~index)
+           ())
+    else None
+  in
+  {
+    chain;
+    server_pks = Chain.public_keys chain;
+    clients = Hashtbl.create 64;
+    order = [];
+    round = 1;
+    dial_round = 1;
+    m = 1;
+    auto_tune_m = false;
+    dial_kind = Option.value ~default:Dialing.Plain dial_kind;
+    cdn;
+  }
+
+let chain t = t.chain
+let round t = t.round
+let dial_round t = t.dial_round
+let n_clients t = Hashtbl.length t.clients
+let set_invitation_drops t m = t.m <- max 1 m
+let set_auto_tune_drops t flag = t.auto_tune_m <- flag
+let cdn_stats t = Option.map Cdn.stats t.cdn
+let invitation_drops t = t.m
+
+let connect ?seed ?window ?rtt ?max_conversations ?certified t =
+  let identity =
+    match seed with
+    | Some s -> Types.identity_of_seed (Bytes.of_string ("id-" ^ s))
+    | None -> Types.fresh_identity ()
+  in
+  let client =
+    Client.create ?seed ?window ?rtt ?max_conversations
+      ~dial_kind:t.dial_kind ?certified ~identity ~server_pks:t.server_pks ()
+  in
+  Hashtbl.replace t.clients identity.Types.public client;
+  t.order <- client :: t.order;
+  client
+
+let clients t = List.rev t.order
+let find_client t pk = Hashtbl.find_opt t.clients pk
+
+(* One conversation round for the whole deployment.  Returns each
+   participating client's events.  Clients in [blocked] stay silent this
+   round (adversarial blocking or a flaky link).  Each client submits
+   [max_conversations] requests (one slot each, §9). *)
+let run_round ?(blocked = fun _ -> false) t =
+  let round = t.round in
+  t.round <- round + 1;
+  let entry = Entry.create () in
+  List.iter
+    (fun c ->
+      if not (blocked c) then
+        List.iteri
+          (fun slot onion ->
+            Entry.submit entry (Client.public_key c, slot) onion)
+          (Client.conversation_requests c ~round))
+    (clients t);
+  let requests, ids = Entry.close_round entry in
+  let results = Chain.conversation_round t.chain ~round requests in
+  (* Group each client's slot replies back together, in slot order. *)
+  let by_client = Hashtbl.create 64 in
+  List.iter
+    (fun ((pk, slot), reply) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_client pk) in
+      Hashtbl.replace by_client pk ((slot, reply) :: prev))
+    (Entry.demux ~ids results);
+  List.filter_map
+    (fun c ->
+      let pk = Client.public_key c in
+      match Hashtbl.find_opt by_client pk with
+      | None -> None
+      | Some slot_replies ->
+          let replies =
+            List.sort compare slot_replies |> List.map snd
+          in
+          Some (c, Client.handle_conversation_replies c ~round replies))
+    (clients t)
+
+(* One dialing round: every connected client sends an invitation or
+   no-op, then downloads and scans its own invitation drop. *)
+let run_dialing_round ?(blocked = fun _ -> false) t =
+  let dial_round = t.dial_round in
+  t.dial_round <- dial_round + 1;
+  let m = t.m in
+  let entry = Entry.create () in
+  List.iter
+    (fun c ->
+      if not (blocked c) then
+        Entry.submit entry (Client.public_key c)
+          (Client.dialing_request c ~dial_round ~m))
+    (clients t);
+  let requests, ids = Entry.close_round entry in
+  let _acks = Chain.dialing_round t.chain ~round:dial_round ~m requests in
+  ignore ids;
+  (* §5.4: adopt the last server's m recommendation for the next round. *)
+  if t.auto_tune_m then t.m <- max 1 (Chain.proposed_m t.chain);
+  (* Download phase (unmixed; §5.5) — through the CDN when one is
+     deployed, straight from the last server otherwise. *)
+  List.filter_map
+    (fun c ->
+      if blocked c then None
+      else begin
+        let index = Client.my_invitation_drop c ~m in
+        let drop =
+          match t.cdn with
+          | Some cdn ->
+              Cdn.fetch cdn ~client_pk:(Client.public_key c) ~dial_round ~index
+          | None -> Chain.fetch_invitations t.chain ~index
+        in
+        match Client.handle_invitations c drop with
+        | [] -> None
+        | events -> Some (c, events)
+      end)
+    (clients t)
+
+(* Convenience: run n conversation rounds, accumulating events per
+   client. *)
+let run_rounds ?blocked t n =
+  let acc = ref [] in
+  for _ = 1 to n do
+    acc := run_round ?blocked t :: !acc
+  done;
+  List.concat (List.rev !acc)
+
+(* The deployment schedule of §8.1: conversation rounds run continuously
+   and a dialing round fires every [dial_every] conversation rounds (the
+   paper's prototype uses 10-minute dialing rounds against tens of
+   seconds per conversation round). *)
+let run_schedule ?blocked ?(dial_every = 10) t ~rounds =
+  let acc = ref [] in
+  for i = 1 to rounds do
+    if i mod dial_every = 0 then acc := run_dialing_round ?blocked t :: !acc;
+    acc := run_round ?blocked t :: !acc
+  done;
+  List.concat (List.rev !acc)

@@ -1,0 +1,73 @@
+(** A complete in-process deployment: chain + entry server + clients +
+    round clock, with fault injection for the active adversary. *)
+
+type t
+
+val create :
+  ?seed:string ->
+  ?n_servers:int ->
+  ?noise:Vuvuzela_dp.Laplace.params ->
+  ?dial_noise:Vuvuzela_dp.Laplace.params ->
+  ?noise_mode:Vuvuzela_dp.Noise.mode ->
+  ?dial_kind:Dialing.kind ->
+  ?cdn_edges:int ->
+  unit ->
+  t
+(** Defaults are sized for tests (tiny noise); production parameters come
+    from {!Vuvuzela_dp.Composition.noise_for_target}. *)
+
+val chain : t -> Chain.t
+val round : t -> int
+val dial_round : t -> int
+val n_clients : t -> int
+
+val set_invitation_drops : t -> int -> unit
+(** Set [m] for subsequent dialing rounds (§5.4 tuning). *)
+
+val invitation_drops : t -> int
+
+val set_auto_tune_drops : t -> bool -> unit
+(** Adopt the last server's §5.4 m-recommendation after each dialing
+    round. *)
+
+val cdn_stats : t -> Cdn.stats option
+(** Present when the deployment was created with [cdn_edges > 0]. *)
+
+val connect :
+  ?seed:string ->
+  ?window:int ->
+  ?rtt:int ->
+  ?max_conversations:int ->
+  ?certified:Client.certified_config ->
+  t ->
+  Client.t
+(** Add a client; with [seed], its identity and randomness are
+    deterministic. *)
+
+val clients : t -> Client.t list
+val find_client : t -> bytes -> Client.t option
+
+val run_round :
+  ?blocked:(Client.t -> bool) -> t -> (Client.t * Client.event list) list
+(** Run one conversation round; [blocked] clients send nothing (the
+    §2.1 active attack, or an outage). *)
+
+val run_dialing_round :
+  ?blocked:(Client.t -> bool) -> t -> (Client.t * Client.event list) list
+(** Run one dialing round including the download/scan phase; returns
+    only clients with events (incoming calls). *)
+
+val run_rounds :
+  ?blocked:(Client.t -> bool) ->
+  t ->
+  int ->
+  (Client.t * Client.event list) list
+
+val run_schedule :
+  ?blocked:(Client.t -> bool) ->
+  ?dial_every:int ->
+  t ->
+  rounds:int ->
+  (Client.t * Client.event list) list
+(** Interleave conversation rounds with a dialing round every
+    [dial_every] rounds (default 10), as a deployment would (§8.1). *)

@@ -1,0 +1,88 @@
+(* Symmetric key ratchet: forward secrecy for message contents (§9).
+
+   The paper notes that Vuvuzela's transport provides forward secrecy
+   for *metadata* (fresh server/onion keys each round) but that message
+   contents are sealed under keys derived from the long-term DH secret;
+   "existing techniques can achieve forward secrecy for message
+   contents".  This module is that technique: a hash ratchet in the
+   style of the symmetric-key stage of Axolotl/Signal [31].
+
+   Each conversation direction carries a chain key CK_r.  For round r:
+
+       MK_r    = HMAC(CK_r, "msg")     — seals that round's message
+       CK_{r+1} = HMAC(CK_r, "chain")  — then CK_r is erased
+
+   Compromising a client at round r yields CK_r but no earlier chain or
+   message keys (HMAC is one-way), so previously recorded ciphertexts
+   stay sealed.  Both partners advance in lock-step with the round
+   number; skipped rounds (offline periods) are fast-forwarded, with
+   message keys for the skipped rounds retained briefly in a bounded
+   out-of-order window so late retransmissions still open. *)
+
+open Vuvuzela_crypto
+
+type t = {
+  mutable chain : bytes;  (** CK for [next_round] *)
+  mutable next_round : int;
+  window : int;  (** how many skipped-round keys to retain *)
+  skipped : (int, bytes) Hashtbl.t;  (** round -> MK, bounded *)
+}
+
+let msg_label = Bytes.of_string "vuvuzela-ratchet-msg"
+let chain_label = Bytes.of_string "vuvuzela-ratchet-chain"
+
+let create ?(window = 16) ~base ~first_round () =
+  if window < 0 then invalid_arg "Ratchet.create: negative window";
+  {
+    chain = Hkdf.derive ~ikm:base ~info:(Bytes.of_string "vuvuzela-ratchet-v1") 32;
+    next_round = first_round;
+    window;
+    skipped = Hashtbl.create 8;
+  }
+
+let message_key_of chain = Hmac.sha256 ~key:chain msg_label
+let next_chain_of chain = Hmac.sha256 ~key:chain chain_label
+
+let next_round t = t.next_round
+
+(* Advance the chain to [round], retaining skipped message keys (at most
+   [window] of them) and erasing everything older. *)
+let advance_to t round =
+  while t.next_round < round do
+    if round - t.next_round <= t.window then
+      Hashtbl.replace t.skipped t.next_round (message_key_of t.chain);
+    t.chain <- next_chain_of t.chain;
+    t.next_round <- t.next_round + 1
+  done;
+  (* Bound the retained window. *)
+  Hashtbl.iter
+    (fun r _ -> if r < round - t.window then Hashtbl.remove t.skipped r)
+    (Hashtbl.copy t.skipped)
+
+(* The message key for [round].  Monotone use: asking for a round at or
+   ahead of the chain advances it (erasing older chain keys); asking for
+   a recently skipped round consumes its retained key; asking for an
+   erased round returns None — those messages are gone, by design. *)
+let key_for t ~round =
+  if round >= t.next_round then begin
+    advance_to t round;
+    let mk = message_key_of t.chain in
+    t.chain <- next_chain_of t.chain;
+    t.next_round <- round + 1;
+    Some mk
+  end
+  else begin
+    match Hashtbl.find_opt t.skipped round with
+    | Some mk ->
+        Hashtbl.remove t.skipped round;
+        Some mk
+    | None -> None
+  end
+
+(* Non-consuming variant for senders that may retransmit the same round
+   key... deliberately absent: every round uses a fresh key exactly once
+   per direction, and retransmissions happen in later rounds under later
+   keys (the transport header, not the key, carries the sequence
+   number). *)
+
+let erased t ~round = round < t.next_round && not (Hashtbl.mem t.skipped round)

@@ -1,0 +1,24 @@
+(** Symmetric hash ratchet: forward secrecy for message contents (§9),
+    in the style of Axolotl's symmetric stage.
+
+    One ratchet per conversation direction.  Keys move strictly forward
+    with the round number; old chain keys are erased, so a later
+    compromise cannot decrypt recorded ciphertexts. *)
+
+type t
+
+val create : ?window:int -> base:bytes -> first_round:int -> unit -> t
+(** [window] (default 16) bounds how many skipped rounds' message keys
+    are retained for out-of-order arrivals. *)
+
+val next_round : t -> int
+
+val key_for : t -> round:int -> bytes option
+(** The 32-byte message key for [round].  Advancing past rounds erases
+    their chain keys; a recently skipped round's key can be claimed once;
+    erased rounds return [None]. *)
+
+val advance_to : t -> int -> unit
+(** Explicitly fast-forward (e.g. after an offline period). *)
+
+val erased : t -> round:int -> bool

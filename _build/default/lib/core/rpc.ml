@@ -1,0 +1,168 @@
+(* The inter-server wire protocol: the framed messages that cross the
+   links between the entry server and the chain (§3.1's round
+   coordination and §7's architecture).
+
+   The in-process Network could pass OCaml values directly; routing every
+   batch through this codec instead keeps the implementation honest about
+   what actually crosses the wire — sizes, framing, and versioning — and
+   gives the cost model its byte counts.
+
+   Frame layout:  magic (u32) | version (u8) | tag (u8) | body
+
+   Batches carry a fixed per-item length so a malformed item cannot
+   desynchronize the stream. *)
+
+open Vuvuzela_mixnet
+
+let magic = 0x56555655 (* "VUVU" *)
+let version = 1
+
+type message =
+  | Round_announce of { round : int; deadline_ms : int }
+      (** first server → clients: a conversation round is open (§3.1
+          "announcing the start of a round ... waiting a fixed amount of
+          time") *)
+  | Dial_announce of { dial_round : int; m : int }
+      (** first server → clients: dialing round parameters, including
+          the §5.4-tuned drop count *)
+  | Conv_batch of { round : int; onions : bytes array }
+      (** entry → server 1, or server i → server i+1 (forward) *)
+  | Conv_results of { round : int; replies : bytes array }
+      (** backward pass *)
+  | Dial_batch of { round : int; m : int; onions : bytes array }
+  | Dial_results of { round : int; replies : bytes array }
+  | Fetch_drop of { dial_round : int; index : int }
+      (** client → last server (or CDN): download an invitation drop *)
+  | Drop_contents of { dial_round : int; index : int; invitations : bytes list }
+
+let tag_of = function
+  | Round_announce _ -> 1
+  | Dial_announce _ -> 2
+  | Conv_batch _ -> 3
+  | Conv_results _ -> 4
+  | Dial_batch _ -> 5
+  | Dial_results _ -> 6
+  | Fetch_drop _ -> 7
+  | Drop_contents _ -> 8
+
+(* Uniform-size batch: u32 count, u32 item length, then count items. *)
+let write_batch w (items : bytes array) =
+  let item_len =
+    if Array.length items = 0 then 0 else Bytes.length items.(0)
+  in
+  Array.iter
+    (fun b ->
+      if Bytes.length b <> item_len then
+        raise (Wire.Error "Rpc.write_batch: ragged batch"))
+    items;
+  Wire.Writer.u32 w (Array.length items);
+  Wire.Writer.u32 w item_len;
+  Array.iter (fun b -> Wire.Writer.raw w b) items
+
+let read_batch r =
+  let count = Wire.Reader.u32 r in
+  let item_len = Wire.Reader.u32 r in
+  if count > 1 lsl 26 then raise (Wire.Error "Rpc.read_batch: absurd count");
+  Array.init count (fun _ -> Wire.Reader.bytes_fixed r item_len)
+
+let encode msg =
+  Wire.encode (fun w ->
+      Wire.Writer.u32 w magic;
+      Wire.Writer.u8 w version;
+      Wire.Writer.u8 w (tag_of msg);
+      match msg with
+      | Round_announce { round; deadline_ms } ->
+          Wire.Writer.u64 w round;
+          Wire.Writer.u32 w deadline_ms
+      | Dial_announce { dial_round; m } ->
+          Wire.Writer.u64 w dial_round;
+          Wire.Writer.u32 w m
+      | Conv_batch { round; onions } ->
+          Wire.Writer.u64 w round;
+          write_batch w onions
+      | Conv_results { round; replies } ->
+          Wire.Writer.u64 w round;
+          write_batch w replies
+      | Dial_batch { round; m; onions } ->
+          Wire.Writer.u64 w round;
+          Wire.Writer.u32 w m;
+          write_batch w onions
+      | Dial_results { round; replies } ->
+          Wire.Writer.u64 w round;
+          write_batch w replies
+      | Fetch_drop { dial_round; index } ->
+          Wire.Writer.u64 w dial_round;
+          Wire.Writer.u32 w index
+      | Drop_contents { dial_round; index; invitations } ->
+          Wire.Writer.u64 w dial_round;
+          Wire.Writer.u32 w index;
+          Wire.Writer.u32 w (List.length invitations);
+          List.iter (fun inv -> Wire.Writer.bytes_var w inv) invitations)
+
+let decode b =
+  Wire.decode
+    (fun r ->
+      if Wire.Reader.u32 r <> magic then
+        raise (Wire.Error "Rpc.decode: bad magic");
+      let v = Wire.Reader.u8 r in
+      if v <> version then
+        raise (Wire.Error (Printf.sprintf "Rpc.decode: version %d" v));
+      match Wire.Reader.u8 r with
+      | 1 ->
+          let round = Wire.Reader.u64 r in
+          let deadline_ms = Wire.Reader.u32 r in
+          Round_announce { round; deadline_ms }
+      | 2 ->
+          let dial_round = Wire.Reader.u64 r in
+          let m = Wire.Reader.u32 r in
+          Dial_announce { dial_round; m }
+      | 3 ->
+          let round = Wire.Reader.u64 r in
+          Conv_batch { round; onions = read_batch r }
+      | 4 ->
+          let round = Wire.Reader.u64 r in
+          Conv_results { round; replies = read_batch r }
+      | 5 ->
+          let round = Wire.Reader.u64 r in
+          let m = Wire.Reader.u32 r in
+          Dial_batch { round; m; onions = read_batch r }
+      | 6 ->
+          let round = Wire.Reader.u64 r in
+          Dial_results { round; replies = read_batch r }
+      | 7 ->
+          let dial_round = Wire.Reader.u64 r in
+          let index = Wire.Reader.u32 r in
+          Fetch_drop { dial_round; index }
+      | 8 ->
+          let dial_round = Wire.Reader.u64 r in
+          let index = Wire.Reader.u32 r in
+          let n = Wire.Reader.u32 r in
+          if n > 1 lsl 26 then raise (Wire.Error "Rpc.decode: absurd count");
+          let invitations =
+            List.init n (fun _ -> Wire.Reader.bytes_var r)
+          in
+          Drop_contents { dial_round; index; invitations }
+      | t -> raise (Wire.Error (Printf.sprintf "Rpc.decode: unknown tag %d" t)))
+    b
+
+let equal_message a b =
+  match (a, b) with
+  | ( Round_announce { round = r1; deadline_ms = d1 },
+      Round_announce { round = r2; deadline_ms = d2 } ) -> r1 = r2 && d1 = d2
+  | ( Dial_announce { dial_round = r1; m = m1 },
+      Dial_announce { dial_round = r2; m = m2 } ) -> r1 = r2 && m1 = m2
+  | Conv_batch x, Conv_batch y -> x.round = y.round && x.onions = y.onions
+  | Conv_results x, Conv_results y -> x.round = y.round && x.replies = y.replies
+  | Dial_batch x, Dial_batch y ->
+      x.round = y.round && x.m = y.m && x.onions = y.onions
+  | Dial_results x, Dial_results y -> x.round = y.round && x.replies = y.replies
+  | ( Fetch_drop { dial_round = r1; index = i1 },
+      Fetch_drop { dial_round = r2; index = i2 } ) -> r1 = r2 && i1 = i2
+  | Drop_contents x, Drop_contents y ->
+      x.dial_round = y.dial_round && x.index = y.index
+      && x.invitations = y.invitations
+  | _ -> false
+
+(* Byte size of a message on the wire without building it (used by the
+   cost model's bandwidth accounting). *)
+let conv_batch_bytes ~count ~item_len = 4 + 1 + 1 + 8 + 4 + 4 + (count * item_len)

@@ -1,0 +1,29 @@
+(** The inter-server wire protocol: framed messages between clients, the
+    entry server, and the chain (§3.1 round coordination, §7
+    architecture).  Versioned, fixed-item-size batches. *)
+
+type message =
+  | Round_announce of { round : int; deadline_ms : int }
+  | Dial_announce of { dial_round : int; m : int }
+  | Conv_batch of { round : int; onions : bytes array }
+  | Conv_results of { round : int; replies : bytes array }
+  | Dial_batch of { round : int; m : int; onions : bytes array }
+  | Dial_results of { round : int; replies : bytes array }
+  | Fetch_drop of { dial_round : int; index : int }
+  | Drop_contents of {
+      dial_round : int;
+      index : int;
+      invitations : bytes list;
+    }
+
+val encode : message -> bytes
+(** @raise Vuvuzela_mixnet.Wire.Error on ragged batches. *)
+
+val decode : bytes -> (message, string) result
+(** Rejects bad magic, unknown versions/tags, absurd counts, and
+    truncated or trailing bytes. *)
+
+val equal_message : message -> message -> bool
+
+val conv_batch_bytes : count:int -> item_len:int -> int
+(** Exact wire size of a [Conv_batch], for bandwidth accounting. *)

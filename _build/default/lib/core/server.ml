@@ -1,0 +1,397 @@
+(* A Vuvuzela chain server (Algorithm 2).
+
+   Mixing servers (every position but the last) peel one onion layer,
+   inject cover traffic, shuffle, and forward; on the way back they
+   unshuffle, discard their own noise, and seal replies.  The last server
+   hosts the dead drops: it peels the final layer, matches exchanges, and
+   seals results.
+
+   The same object also implements the dialing round (§5): mixing servers
+   add per-drop noise invitations; the last server files invitations into
+   the invitation store that clients later download from. *)
+
+open Vuvuzela_crypto
+open Vuvuzela_dp
+open Vuvuzela_mixnet
+
+let log_src = Logs.Src.create "vuvuzela.server" ~doc:"Vuvuzela chain server"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  position : int;  (** 0-based index in the chain *)
+  chain_len : int;
+  noise : Laplace.params;  (** conversation noise (µ, b) *)
+  dial_noise : Laplace.params;  (** per-invitation-drop noise *)
+  noise_mode : Noise.mode;
+  dial_kind : Dialing.kind;  (** deployment-wide invitation format *)
+}
+
+type slot = Valid of { index : int; secret : bytes } | Invalid
+(* [index] is the request's position in this server's outgoing batch
+   before shuffling. *)
+
+type round_state = {
+  slots : slot array;  (** one per incoming request *)
+  perm : Shuffle.permutation;  (** over the outgoing batch *)
+  n_forwarded : int;
+  reply_payload_len : int;  (** result size arriving from downstream *)
+}
+
+type metrics = {
+  mutable requests_in : int;
+  mutable invalid_requests : int;
+  mutable duplicate_requests : int;
+  mutable noise_singles : int;
+  mutable noise_pairs : int;
+  mutable noise_invitations : int;
+  mutable rounds : int;
+}
+
+type t = {
+  cfg : config;
+  secret : bytes;
+  public : bytes;
+  suffix_pks : bytes list;  (** public keys of the downstream servers *)
+  rng : Drbg.t;
+  conv_rounds : (int, round_state) Hashtbl.t;
+  dial_rounds : (int, round_state) Hashtbl.t;
+  drops : Deaddrop.t;  (** last server only *)
+  mutable invitations : Deaddrop.Invitation.store option;
+      (** last server only; replaced each dialing round *)
+  mutable last_histogram : Deaddrop.histogram option;
+      (** instrumentation: what a compromised last server observes *)
+  mutable proposed_m : int;
+      (** last server's §5.4 recommendation for the next dialing round *)
+  metrics : metrics;
+}
+
+let create ?rng_seed ~cfg ~suffix_pks () =
+  let rng =
+    match rng_seed with
+    | Some seed -> Drbg.create ~seed
+    | None -> Drbg.create_system ()
+  in
+  let secret, public = Drbg.keypair ~rng () in
+  if cfg.position < 0 || cfg.position >= cfg.chain_len then
+    invalid_arg "Server.create: bad position";
+  if List.length suffix_pks <> cfg.chain_len - cfg.position - 1 then
+    invalid_arg "Server.create: suffix length mismatch";
+  {
+    cfg;
+    secret;
+    public;
+    suffix_pks;
+    rng;
+    conv_rounds = Hashtbl.create 8;
+    dial_rounds = Hashtbl.create 8;
+    drops = Deaddrop.create ();
+    invitations = None;
+    last_histogram = None;
+    proposed_m = 1;
+    metrics =
+      {
+        requests_in = 0;
+        invalid_requests = 0;
+        duplicate_requests = 0;
+        noise_singles = 0;
+        noise_pairs = 0;
+        noise_invitations = 0;
+        rounds = 0;
+      };
+  }
+
+let public_key t = t.public
+let proposed_m t = t.proposed_m
+let dial_kind t = t.cfg.dial_kind
+let is_last t = t.cfg.position = t.cfg.chain_len - 1
+let metrics t = t.metrics
+let last_histogram t = t.last_histogram
+
+(* Number of downstream servers (those that still add reply layers under
+   this server's results). *)
+let downstream t = t.cfg.chain_len - t.cfg.position - 1
+
+(* ------------------------------------------------------------------ *)
+(* Common peel + shuffle machinery                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Peel all incoming onions; returns the slot table and valid inners.
+
+   Two ingress defenses run before any request enters the mix:
+
+   - size uniformity ([expected_len]): a wrong-sized request is dropped;
+     it could otherwise be traced by its size through every hop;
+   - deduplication: a byte-identical copy of an earlier request in the
+     batch is dropped.  Without this, an adversary who replays a
+     victim's onion makes her dead drop receive three accesses — m_more
+     is observable and NOT covered by the (m1, m2) noise, so replay
+     would reveal that the victim is in a conversation. *)
+let peel_batch t ~round ~expected_len (onions : bytes array) =
+  let inners = ref [] in
+  let n_valid = ref 0 in
+  let seen = Hashtbl.create (Array.length onions) in
+  let slots =
+    Array.map
+      (fun onion ->
+        if Bytes.length onion <> expected_len then begin
+          t.metrics.invalid_requests <- t.metrics.invalid_requests + 1;
+          Invalid
+        end
+        else begin
+          let key = Bytes.to_string onion in
+          if Hashtbl.mem seen key then begin
+            t.metrics.duplicate_requests <- t.metrics.duplicate_requests + 1;
+            Invalid
+          end
+          else begin
+            Hashtbl.replace seen key ();
+            match Onion.peel ~server_sk:t.secret ~round onion with
+            | Some (inner, secret) ->
+                let index = !n_valid in
+                incr n_valid;
+                inners := inner :: !inners;
+                Valid { index; secret }
+            | None ->
+                t.metrics.invalid_requests <- t.metrics.invalid_requests + 1;
+                Invalid
+          end
+        end)
+      onions
+  in
+  t.metrics.requests_in <- t.metrics.requests_in + Array.length onions;
+  (slots, Array.of_list (List.rev !inners))
+
+(* Expected request size arriving at this server: the payload plus one
+   onion layer per remaining server. *)
+let conv_request_len t =
+  Onion.request_size
+    ~chain_len:(t.cfg.chain_len - t.cfg.position)
+    ~payload_len:Types.exchange_payload_len
+
+let dial_request_len t =
+  Onion.request_size
+    ~chain_len:(t.cfg.chain_len - t.cfg.position)
+    ~payload_len:(Dialing.payload_len t.cfg.dial_kind)
+
+(* Wrap a payload for the downstream chain, exactly as a client request
+   arriving at the next server looks. *)
+let wrap_noise t ~round payload =
+  (Onion.wrap ~rng:t.rng ~server_pks:t.suffix_pks ~round payload).Onion.onion
+
+let shuffle_and_record t table ~round ~slots ~reply_payload_len batch =
+  let perm = Shuffle.random_permutation ~rng:t.rng (Array.length batch) in
+  Hashtbl.replace table round
+    { slots; perm; n_forwarded = Array.length batch; reply_payload_len };
+  t.metrics.rounds <- t.metrics.rounds + 1;
+  Shuffle.apply perm batch
+
+(* Backward pass common to both protocols: unshuffle, keep the first
+   [n_valid] results (ours; noise occupied the tail), seal a reply per
+   incoming slot.  Invalid slots get a dummy of the correct size so batch
+   alignment and sizes stay uniform. *)
+let unshuffle_and_reply t table ~round (results : bytes array) =
+  match Hashtbl.find_opt table round with
+  | None -> invalid_arg "Server: backward pass for unknown round"
+  | Some st ->
+      Hashtbl.remove table round;
+      if Array.length results <> st.n_forwarded then
+        invalid_arg "Server: result batch size mismatch";
+      let unshuffled = Shuffle.unapply st.perm results in
+      let dummy_len = st.reply_payload_len + Onion.reply_overhead in
+      Array.map
+        (function
+          | Valid { index; secret } ->
+              Onion.seal_reply ~secret ~round unshuffled.(index)
+          | Invalid -> Drbg.generate t.rng dummy_len)
+        st.slots
+
+(* ------------------------------------------------------------------ *)
+(* Conversation protocol                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A noise exchange payload: random dead drop, random "sealed" bytes
+   (real sealed messages are uniformly distributed, so uniform bytes are
+   indistinguishable). *)
+let noise_exchange_payload ?(drop = None) t =
+  let drop_id =
+    match drop with Some d -> d | None -> Drbg.generate t.rng Types.drop_id_len
+  in
+  Bytes_util.concat
+    [ drop_id; Drbg.generate t.rng Types.sealed_message_len ]
+
+(* Cover traffic (Algorithm 2 step 2): ⌈n1⌉ single accesses and ⌈n2/2⌉
+   paired accesses, wrapped for the downstream chain. *)
+let conv_noise t ~round =
+  let plan = Noise.conversation ~rng:t.rng ~mode:t.cfg.noise_mode t.cfg.noise in
+  t.metrics.noise_singles <- t.metrics.noise_singles + plan.singles;
+  t.metrics.noise_pairs <- t.metrics.noise_pairs + plan.pairs;
+  let out = ref [] in
+  for _ = 1 to plan.singles do
+    out := wrap_noise t ~round (noise_exchange_payload t) :: !out
+  done;
+  for _ = 1 to plan.pairs do
+    let drop = Drbg.generate t.rng Types.drop_id_len in
+    out := wrap_noise t ~round (noise_exchange_payload ~drop:(Some drop) t) :: !out;
+    out := wrap_noise t ~round (noise_exchange_payload ~drop:(Some drop) t) :: !out
+  done;
+  Array.of_list !out
+
+(* Forward pass of a mixing server: peel, add noise, shuffle. *)
+let conv_forward t ~round onions =
+  if is_last t then invalid_arg "Server.conv_forward: last server";
+  let slots, inners =
+    peel_batch t ~round ~expected_len:(conv_request_len t) onions
+  in
+  let noise = conv_noise t ~round in
+  Log.debug (fun m ->
+      m "server %d: round %d fwd: %d in, %d valid, %d noise"
+        t.cfg.position round (Array.length onions) (Array.length inners)
+        (Array.length noise));
+  let reply_payload_len =
+    Types.exchange_result_len + (Onion.reply_overhead * downstream t)
+  in
+  shuffle_and_record t t.conv_rounds ~round ~slots ~reply_payload_len
+    (Array.append inners noise)
+
+let conv_backward t ~round results =
+  unshuffle_and_reply t t.conv_rounds ~round results
+
+(* The last server: peel, match dead drops, record the observable
+   histogram, seal results (Algorithm 2 steps 3b and 4). *)
+let conv_exchange t ~round onions =
+  if not (is_last t) then invalid_arg "Server.conv_exchange: not last server";
+  let slots, inners =
+    peel_batch t ~round ~expected_len:(conv_request_len t) onions
+  in
+  Deaddrop.clear t.drops;
+  Array.iteri
+    (fun slot payload ->
+      if Bytes.length payload = Types.exchange_payload_len then begin
+        let drop_id = Bytes.sub payload 0 Types.drop_id_len in
+        let sealed =
+          Bytes.sub payload Types.drop_id_len Types.sealed_message_len
+        in
+        Deaddrop.put t.drops ~slot ~drop_id ~sealed
+      end)
+    inners;
+  t.last_histogram <- Some (Deaddrop.histogram t.drops);
+  Log.debug (fun m ->
+      let h = Deaddrop.histogram t.drops in
+      m "server %d: round %d exchange: %d requests, m1=%d m2=%d"
+        t.cfg.position round (Array.length inners) h.Deaddrop.m1
+        h.Deaddrop.m2);
+  t.metrics.rounds <- t.metrics.rounds + 1;
+  let results = Deaddrop.resolve t.drops ~n_slots:(Array.length inners) in
+  (* Seal each result under the layer secret of its request. *)
+  Array.map
+    (function
+      | Valid { index; secret } ->
+          Onion.seal_reply ~secret ~round results.(index)
+      | Invalid ->
+          Drbg.generate t.rng
+            (Types.exchange_result_len + Onion.reply_overhead))
+    slots
+
+(* ------------------------------------------------------------------ *)
+(* Dialing protocol                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Mixing-server noise: ⌈max(0, Laplace)⌉ noise invitations per drop
+   (§5.3: every server must noise every drop). *)
+let dial_noise t ~round ~m =
+  let out = ref [] in
+  for index = 0 to m - 1 do
+    let n = Noise.dialing_per_drop ~rng:t.rng ~mode:t.cfg.noise_mode t.cfg.dial_noise in
+    t.metrics.noise_invitations <- t.metrics.noise_invitations + n;
+    for _ = 1 to n do
+      out :=
+        wrap_noise t ~round
+          (Dialing.noise ~rng:t.rng ~kind:t.cfg.dial_kind ~index ())
+        :: !out
+    done
+  done;
+  Array.of_list !out
+
+let dial_forward t ~round ~m onions =
+  if is_last t then invalid_arg "Server.dial_forward: last server";
+  let slots, inners =
+    peel_batch t ~round ~expected_len:(dial_request_len t) onions
+  in
+  let noise = dial_noise t ~round ~m in
+  let reply_payload_len =
+    Types.dial_result_len + (Onion.reply_overhead * downstream t)
+  in
+  shuffle_and_record t t.dial_rounds ~round ~slots ~reply_payload_len
+    (Array.append inners noise)
+
+let dial_backward t ~round results =
+  unshuffle_and_reply t t.dial_rounds ~round results
+
+let dial_ack = Bytes.make Types.dial_result_len '\x01'
+
+(* Last server: file invitations into drops, add its own per-drop noise
+   (the last server's noise need not transit the mixnet), ack. *)
+let dial_deliver t ~round ~m onions =
+  if not (is_last t) then invalid_arg "Server.dial_deliver: not last server";
+  let slots, inners =
+    peel_batch t ~round ~expected_len:(dial_request_len t) onions
+  in
+  let store = Deaddrop.Invitation.create ~m in
+  let arrived = ref 0 in
+  let expected_len = Dialing.invitation_len t.cfg.dial_kind in
+  Array.iter
+    (fun payload ->
+      match Dialing.decode_payload payload with
+      | Ok (index, invitation)
+        when Bytes.length invitation = expected_len
+             && (index = Types.noop_drop || (index >= 0 && index < m)) ->
+          if index <> Types.noop_drop then incr arrived;
+          Deaddrop.Invitation.put store ~index invitation
+      | Ok _ | Error _ -> ())
+    inners;
+  (* §5.4: propose m for the next round so each drop carries roughly µ
+     real invitations.  The arrivals include the mixing servers' noise
+     ((chain_len−1)·µ per drop on average), which the last server
+     subtracts out before applying m = n·f/µ. *)
+  (let mu = t.cfg.dial_noise.Vuvuzela_dp.Laplace.mu in
+   let upstream_noise =
+     float_of_int ((t.cfg.chain_len - 1) * m) *. mu
+   in
+   let real_estimate = Float.max 0. (float_of_int !arrived -. upstream_noise) in
+   t.proposed_m <- max 1 (int_of_float (Float.round (real_estimate /. mu)));
+   Log.debug (fun lm ->
+       lm "server %d: dial round %d: %d arrivals, est. %.0f real, propose m=%d"
+         t.cfg.position round !arrived real_estimate t.proposed_m));
+  for index = 0 to m - 1 do
+    let n = Noise.dialing_per_drop ~rng:t.rng ~mode:t.cfg.noise_mode t.cfg.dial_noise in
+    t.metrics.noise_invitations <- t.metrics.noise_invitations + n;
+    for _ = 1 to n do
+      match
+        Dialing.decode_payload
+          (Dialing.noise ~rng:t.rng ~kind:t.cfg.dial_kind ~index ())
+      with
+      | Ok (_, invitation) -> Deaddrop.Invitation.put store ~index invitation
+      | Error _ -> assert false
+    done
+  done;
+  t.invitations <- Some store;
+  t.metrics.rounds <- t.metrics.rounds + 1;
+  Array.map
+    (function
+      | Valid { secret; _ } -> Onion.seal_reply ~secret ~round dial_ack
+      | Invalid ->
+          Drbg.generate t.rng (Types.dial_result_len + Onion.reply_overhead))
+    slots
+
+(* Clients download invitation drops directly (§5.5: fetches need no
+   mixing or noising, and would be served by a CDN at scale). *)
+let fetch_invitations t ~index =
+  match t.invitations with
+  | None -> []
+  | Some store -> Deaddrop.Invitation.fetch store ~index
+
+let invitation_drop_size t ~index =
+  match t.invitations with
+  | None -> 0
+  | Some store -> Deaddrop.Invitation.size store ~index

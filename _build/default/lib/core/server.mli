@@ -1,0 +1,71 @@
+(** A Vuvuzela chain server (Algorithm 2): peel, noise, shuffle, forward;
+    unshuffle, seal on the way back.  The last server hosts dead drops
+    and invitation drops. *)
+
+type config = {
+  position : int;
+  chain_len : int;
+  noise : Vuvuzela_dp.Laplace.params;
+  dial_noise : Vuvuzela_dp.Laplace.params;
+  noise_mode : Vuvuzela_dp.Noise.mode;
+  dial_kind : Dialing.kind;
+}
+
+type metrics = {
+  mutable requests_in : int;
+  mutable invalid_requests : int;
+  mutable duplicate_requests : int;
+  mutable noise_singles : int;
+  mutable noise_pairs : int;
+  mutable noise_invitations : int;
+  mutable rounds : int;
+}
+
+type t
+
+val create : ?rng_seed:bytes -> cfg:config -> suffix_pks:bytes list -> unit -> t
+(** [suffix_pks] are the public keys of the servers after this one in the
+    chain (needed to wrap noise requests).
+    @raise Invalid_argument on inconsistent position/suffix. *)
+
+val public_key : t -> bytes
+val dial_kind : t -> Dialing.kind
+val is_last : t -> bool
+val metrics : t -> metrics
+
+val last_histogram : t -> Deaddrop.histogram option
+(** Instrumentation: the access-count histogram the last server observed
+    in the most recent conversation round — exactly the adversary's view
+    (§4.2). *)
+
+(** {2 Conversation rounds} *)
+
+val conv_forward : t -> round:int -> bytes array -> bytes array
+(** Mixing server: peel, add cover traffic, shuffle.  Invalid onions are
+    dropped from the forwarded batch but keep their reply slot. *)
+
+val conv_backward : t -> round:int -> bytes array -> bytes array
+(** Mixing server: unshuffle, discard own noise, seal replies.
+    @raise Invalid_argument for an unknown round or wrong batch size. *)
+
+val conv_exchange : t -> round:int -> bytes array -> bytes array
+(** Last server: peel, match dead drops, seal results. *)
+
+(** {2 Dialing rounds} *)
+
+val dial_forward : t -> round:int -> m:int -> bytes array -> bytes array
+val dial_backward : t -> round:int -> bytes array -> bytes array
+
+val dial_deliver : t -> round:int -> m:int -> bytes array -> bytes array
+(** Last server: file invitations into the [m] drops, add its own noise,
+    return fixed-size acks. *)
+
+val proposed_m : t -> int
+(** The last server's §5.4 recommendation for the next dialing round's
+    invitation-drop count (m = n·f/µ, estimated from the latest round's
+    arrivals minus upstream noise). *)
+
+val fetch_invitations : t -> index:int -> bytes list
+(** Download an invitation drop from the last server (unmixed, §5.5). *)
+
+val invitation_drop_size : t -> index:int -> int

@@ -1,0 +1,1 @@
+lib/crypto/aead.ml: Bytes Bytes_util Chacha20 Poly1305

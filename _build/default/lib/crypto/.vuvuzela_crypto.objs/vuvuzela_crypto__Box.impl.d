@@ -1,0 +1,1 @@
+lib/crypto/box.ml: Aead Bytes Bytes_util Curve25519 Drbg Hkdf Sha256

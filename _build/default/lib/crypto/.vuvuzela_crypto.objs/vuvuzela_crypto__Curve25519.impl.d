@@ -1,0 +1,1 @@
+lib/crypto/curve25519.ml: Array Bytes Bytes_util Fe25519

@@ -1,0 +1,1 @@
+lib/crypto/curve25519.mli:

@@ -1,0 +1,1 @@
+lib/crypto/ed25519.ml: Array Bytes Bytes_util Drbg Fe25519 Sha512

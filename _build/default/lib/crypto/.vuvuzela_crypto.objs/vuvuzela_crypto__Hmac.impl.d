@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Bytes Bytes_util Sha256

@@ -1,0 +1,44 @@
+(* ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).  This is Vuvuzela's
+   indistinguishable symmetric encryption: every onion layer and message
+   payload is sealed with it, so all ciphertexts of equal plaintext length
+   are equal length and uniformly distributed. *)
+
+let key_len = 32
+let nonce_len = 12
+let tag_len = 16
+
+let pad16 n = match n mod 16 with 0 -> Bytes.empty | r -> Bytes.make (16 - r) '\000'
+
+let mac_data ~aad ~ct =
+  let lens = Bytes.create 16 in
+  Bytes_util.store_le64 lens 0 (Bytes.length aad);
+  Bytes_util.store_le64 lens 8 (Bytes.length ct);
+  Bytes_util.concat
+    [ aad; pad16 (Bytes.length aad); ct; pad16 (Bytes.length ct); lens ]
+
+let poly_key ~key ~nonce = Bytes.sub (Chacha20.block ~key ~nonce ~counter:0) 0 32
+
+let seal ~key ~nonce ?(aad = Bytes.empty) plaintext =
+  let ct = Chacha20.encrypt ~counter:1 ~key ~nonce plaintext in
+  let tag = Poly1305.mac ~key:(poly_key ~key ~nonce) (mac_data ~aad ~ct) in
+  Bytes_util.concat [ ct; tag ]
+
+let open_ ~key ~nonce ?(aad = Bytes.empty) sealed =
+  let n = Bytes.length sealed in
+  if n < tag_len then None
+  else begin
+    let ct = Bytes.sub sealed 0 (n - tag_len) in
+    let tag = Bytes.sub sealed (n - tag_len) tag_len in
+    if Poly1305.verify ~key:(poly_key ~key ~nonce) ~tag (mac_data ~aad ~ct)
+    then Some (Chacha20.decrypt ~counter:1 ~key ~nonce ct)
+    else None
+  end
+
+(* Vuvuzela nonces: each round and onion layer needs a distinct nonce under
+   the same derived key.  We build a 12-byte nonce from a 32-bit domain tag
+   and a 64-bit counter (the round number). *)
+let nonce_of ~domain ~counter =
+  let n = Bytes.create nonce_len in
+  Bytes_util.store_le32 n 0 domain;
+  Bytes_util.store_le64 n 4 counter;
+  n

@@ -1,0 +1,23 @@
+(** ChaCha20-Poly1305 AEAD (RFC 8439).
+
+    Sealing adds exactly {!tag_len} bytes, matching the paper's 16-byte
+    per-layer encryption overhead. *)
+
+val key_len : int
+(** 32. *)
+
+val nonce_len : int
+(** 12. *)
+
+val tag_len : int
+(** 16. *)
+
+val seal : key:bytes -> nonce:bytes -> ?aad:bytes -> bytes -> bytes
+(** [seal ~key ~nonce ?aad pt] is [ciphertext || tag]. *)
+
+val open_ : key:bytes -> nonce:bytes -> ?aad:bytes -> bytes -> bytes option
+(** Authenticated decryption; [None] on any tampering. *)
+
+val nonce_of : domain:int -> counter:int -> bytes
+(** Deterministic 12-byte nonce from a 32-bit domain separator and a
+    64-bit counter (Vuvuzela uses the round number). *)

@@ -1,0 +1,47 @@
+(* Public-key authenticated encryption in the NaCl "box" style:
+   X25519 -> HKDF -> ChaCha20-Poly1305.  Vuvuzela uses:
+
+   - [seal]/[open_] between a client's per-layer ephemeral key and a
+     server's long-term key (onion layers), and between conversation
+     partners' keys (message payloads);
+   - [seal_anonymous]/[open_anonymous] for dialing invitations, where the
+     recipient must not learn anything before trial decryption succeeds
+     and invitations from different senders must be indistinguishable. *)
+
+let overhead = Aead.tag_len
+let anonymous_overhead = Curve25519.key_len + Aead.tag_len
+
+(* Shared symmetric key for the (secret, public) pair.  Both directions of
+   a DH pair derive the same key, so callers must domain-separate nonces
+   (Vuvuzela derives direction from public-key order; see Conversation). *)
+let precompute ~secret ~public =
+  let raw = Curve25519.shared ~secret ~public in
+  Hkdf.derive ~ikm:raw ~info:(Bytes.of_string "vuvuzela-box-v1") Aead.key_len
+
+let seal ~key ~nonce ?aad pt = Aead.seal ~key ~nonce ?aad pt
+let open_ ~key ~nonce ?aad ct = Aead.open_ ~key ~nonce ?aad ct
+
+(* Sealed (anonymous) box: a fresh ephemeral keypair per message; the
+   ephemeral public key rides in front of the ciphertext.  The nonce is
+   derived from both public keys so it is unique per ephemeral key. *)
+let anon_nonce ~epk ~pk =
+  Bytes.sub (Sha256.digest_list [ epk; pk ]) 0 Aead.nonce_len
+
+let seal_anonymous ?rng ~recipient_pk pt =
+  let esk, epk = Drbg.keypair ?rng () in
+  let key = precompute ~secret:esk ~public:recipient_pk in
+  let nonce = anon_nonce ~epk ~pk:recipient_pk in
+  Bytes_util.concat [ epk; Aead.seal ~key ~nonce pt ]
+
+let open_anonymous ~recipient_sk ~recipient_pk sealed =
+  if Bytes.length sealed < anonymous_overhead then None
+  else begin
+    let epk = Bytes.sub sealed 0 Curve25519.key_len in
+    let ct =
+      Bytes.sub sealed Curve25519.key_len
+        (Bytes.length sealed - Curve25519.key_len)
+    in
+    let key = precompute ~secret:recipient_sk ~public:epk in
+    let nonce = anon_nonce ~epk ~pk:recipient_pk in
+    Aead.open_ ~key ~nonce ct
+  end

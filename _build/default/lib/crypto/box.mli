@@ -1,0 +1,25 @@
+(** Public-key authenticated encryption (X25519 + HKDF +
+    ChaCha20-Poly1305), in the NaCl "box" style. *)
+
+val overhead : int
+(** Bytes added by {!seal} (16). *)
+
+val anonymous_overhead : int
+(** Bytes added by {!seal_anonymous} (48): ephemeral public key + tag.
+    An 80-byte Vuvuzela invitation is a 32-byte sender key under this
+    overhead, exactly matching §8.1 of the paper. *)
+
+val precompute : secret:bytes -> public:bytes -> bytes
+(** Symmetric key derived from the X25519 shared point via HKDF.  Both
+    sides of the DH pair obtain the same key. *)
+
+val seal : key:bytes -> nonce:bytes -> ?aad:bytes -> bytes -> bytes
+val open_ : key:bytes -> nonce:bytes -> ?aad:bytes -> bytes -> bytes option
+
+val seal_anonymous : ?rng:Drbg.t -> recipient_pk:bytes -> bytes -> bytes
+(** Sealed box: fresh ephemeral key per message; the recipient can open it
+    but cannot identify the sender from the ciphertext, and third parties
+    learn nothing (used for dialing invitations). *)
+
+val open_anonymous :
+  recipient_sk:bytes -> recipient_pk:bytes -> bytes -> bytes option

@@ -1,0 +1,29 @@
+(** X25519 Diffie-Hellman scalar multiplication (RFC 7748), pure OCaml
+    (TweetNaCl 16-bit limb schedule).
+
+    This is the dominant CPU cost of Vuvuzela's servers (§8.2 of the
+    paper); the simulator's cost model is calibrated against this module's
+    measured throughput and against the paper's reported 340K ops/s per
+    36-core server. *)
+
+val key_len : int
+(** 32. *)
+
+val scalar_len : int
+(** 32. *)
+
+val clamp : bytes -> bytes
+(** RFC 7748 scalar clamping (non-destructive copy). *)
+
+val scalarmult : scalar:bytes -> point:bytes -> bytes
+(** [scalarmult ~scalar ~point] is X25519(scalar, point).  The scalar is
+    clamped internally. *)
+
+val base_point : bytes
+(** The u-coordinate 9. *)
+
+val scalarmult_base : bytes -> bytes
+(** Public key from a 32-byte secret. *)
+
+val shared : secret:bytes -> public:bytes -> bytes
+(** Raw shared point; derive symmetric keys via {!Hkdf} (see {!Box}). *)

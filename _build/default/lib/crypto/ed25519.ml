@@ -1,0 +1,284 @@
+(* Ed25519 signatures (RFC 8032), following TweetNaCl's structure over
+   the shared Fe25519 field arithmetic.
+
+   Vuvuzela's core protocols need no signatures, but its PKI story does
+   (§2.3 assumes signature schemes; §9 "the caller can supply a
+   certificate along with the invitation") — see {!Vuvuzela.Certificate}.
+
+   Points are held in extended coordinates (X, Y, Z, T) with
+   x = X/Z, y = Y/Z, xy = T/Z. *)
+
+let public_key_len = 32
+let secret_key_len = 32
+let signature_len = 64
+
+type point = Fe25519.t array (* 4 coordinates *)
+
+let fe = Fe25519.of_limbs
+
+(* Curve constants (TweetNaCl): d, 2d, and the base point (X, Y);
+   I = sqrt(-1). *)
+let const_d =
+  fe
+    [|
+      0x78a3; 0x1359; 0x4dca; 0x75eb; 0xd8ab; 0x4141; 0x0a4d; 0x0070;
+      0xe898; 0x7779; 0x4079; 0x8cc7; 0xfe73; 0x2b6f; 0x6cee; 0x5203;
+    |]
+
+let const_d2 =
+  fe
+    [|
+      0xf159; 0x26b2; 0x9b94; 0xebd6; 0xb156; 0x8283; 0x149a; 0x00e0;
+      0xd130; 0xeef3; 0x80f2; 0x198e; 0xfce7; 0x56df; 0xd9dc; 0x2406;
+    |]
+
+let const_x =
+  fe
+    [|
+      0xd51a; 0x8f25; 0x2d60; 0xc956; 0xa7b2; 0x9525; 0xc760; 0x692c;
+      0xdc5c; 0xfdd6; 0xe231; 0xc0a4; 0x53fe; 0xcd6e; 0x36d3; 0x2169;
+    |]
+
+let const_y =
+  fe
+    [|
+      0x6658; 0x6666; 0x6666; 0x6666; 0x6666; 0x6666; 0x6666; 0x6666;
+      0x6666; 0x6666; 0x6666; 0x6666; 0x6666; 0x6666; 0x6666; 0x6666;
+    |]
+
+let const_i =
+  fe
+    [|
+      0xa0b0; 0x4a0e; 0x1b27; 0xc4ee; 0xe478; 0xad2f; 0x1806; 0x2f43;
+      0xd7a7; 0x3dfb; 0x0099; 0x2b4d; 0xdf0b; 0x4fc1; 0x2480; 0x2b83;
+    |]
+
+(* The group order L = 2^252 + 27742317777372353535851937790883648493,
+   as 32 little-endian bytes. *)
+let order_l =
+  [|
+    0xed; 0xd3; 0xf5; 0x5c; 0x1a; 0x63; 0x12; 0x58; 0xd6; 0x9c; 0xf7;
+    0xa2; 0xde; 0xf9; 0xde; 0x14; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0;
+    0; 0; 0x10;
+  |]
+
+(* Extended-coordinate point addition: p <- p + q. *)
+let point_add (p : point) (q : point) =
+  let open Fe25519 in
+  let a = create ()
+  and b = create ()
+  and c = create ()
+  and d = create ()
+  and t = create ()
+  and e = create ()
+  and f = create ()
+  and g = create ()
+  and h = create () in
+  sub a p.(1) p.(0);
+  sub t q.(1) q.(0);
+  mul a a t;
+  add b p.(0) p.(1);
+  add t q.(0) q.(1);
+  mul b b t;
+  mul c p.(3) q.(3);
+  mul c c const_d2;
+  mul d p.(2) q.(2);
+  add d d d;
+  sub e b a;
+  sub f d c;
+  add g d c;
+  add h b a;
+  mul p.(0) e f;
+  mul p.(1) h g;
+  mul p.(2) g f;
+  mul p.(3) e h
+
+let point_cswap (p : point) (q : point) b =
+  for i = 0 to 3 do
+    Fe25519.cswap p.(i) q.(i) b
+  done
+
+(* Compress: 32-byte y with the sign of x in the top bit. *)
+let point_pack (p : point) =
+  let open Fe25519 in
+  let zi = create () and tx = create () and ty = create () in
+  invert zi p.(2);
+  mul tx p.(0) zi;
+  mul ty p.(1) zi;
+  let r = pack ty in
+  Bytes_util.set_u8 r 31 (Bytes_util.get_u8 r 31 lxor (parity tx lsl 7));
+  r
+
+let identity_point () =
+  [| Fe25519.zero (); Fe25519.one (); Fe25519.one (); Fe25519.zero () |]
+
+(* Constant-time double-and-add ladder over the 256-bit scalar encoding
+   (TweetNaCl's cswap ladder). *)
+let point_scalarmult (q : point) (s : bytes) : point =
+  let p = identity_point () in
+  let q = Array.map Fe25519.copy q in
+  for i = 255 downto 0 do
+    let b = (Bytes_util.get_u8 s (i lsr 3) lsr (i land 7)) land 1 in
+    point_cswap p q b;
+    point_add q p;
+    point_add p p;
+    point_cswap p q b
+  done;
+  p
+
+let base_point () =
+  let t = Fe25519.create () in
+  Fe25519.mul t const_x const_y;
+  [| Fe25519.copy const_x; Fe25519.copy const_y; Fe25519.one (); t |]
+
+let point_scalarmult_base s = point_scalarmult (base_point ()) s
+
+(* Decompress a public key / R value; fails on non-curve points.
+   Returns the point with x NEGATED (TweetNaCl's unpackneg), which is
+   what verification wants: it computes R' = sB + h·(-A). *)
+let point_unpack_neg (p : bytes) : point option =
+  let open Fe25519 in
+  let r = [| create (); unpack p; one (); create () |] in
+  let num = create ()
+  and den = create ()
+  and t = create ()
+  and chk = create ()
+  and den2 = create ()
+  and den4 = create ()
+  and den6 = create () in
+  square num r.(1);
+  mul den num const_d;
+  sub num num r.(2);
+  add den r.(2) den;
+  square den2 den;
+  square den4 den2;
+  mul den6 den4 den2;
+  mul t den6 num;
+  mul t t den;
+  pow2523 t t;
+  mul t t num;
+  mul t t den;
+  mul t t den;
+  mul r.(0) t den;
+  square chk r.(0);
+  mul chk chk den;
+  if not (equal chk num) then mul r.(0) r.(0) const_i;
+  square chk r.(0);
+  mul chk chk den;
+  if not (equal chk num) then None
+  else begin
+    if parity r.(0) = Bytes_util.get_u8 p 31 lsr 7 then
+      sub r.(0) (zero ()) r.(0);
+    mul r.(3) r.(0) r.(1);
+    Some r
+  end
+
+(* Reduce a 64-byte (or zero-padded) little-endian value modulo L
+   (TweetNaCl's modL). *)
+let mod_l (x : int array) =
+  (* x has 64 entries; result written into the first 32 and returned as
+     bytes. *)
+  let carry = ref 0 in
+  for i = 63 downto 32 do
+    carry := 0;
+    for j = i - 32 to i - 13 do
+      x.(j) <- x.(j) + !carry - (16 * x.(i) * order_l.(j - (i - 32)));
+      carry := (x.(j) + 128) asr 8;
+      x.(j) <- x.(j) - (!carry lsl 8)
+    done;
+    x.(i - 12) <- x.(i - 12) + !carry;
+    x.(i) <- 0
+  done;
+  carry := 0;
+  for j = 0 to 31 do
+    x.(j) <- x.(j) + !carry - ((x.(31) asr 4) * order_l.(j));
+    carry := x.(j) asr 8;
+    x.(j) <- x.(j) land 255
+  done;
+  for j = 0 to 31 do
+    x.(j) <- x.(j) - (!carry * order_l.(j))
+  done;
+  let r = Bytes.create 32 in
+  for i = 0 to 31 do
+    if i < 31 then x.(i + 1) <- x.(i + 1) + (x.(i) asr 8);
+    Bytes_util.set_u8 r i (x.(i) land 255)
+  done;
+  r
+
+let reduce_64 (h : bytes) =
+  let x = Array.init 64 (fun i -> Bytes_util.get_u8 h i) in
+  mod_l x
+
+(* Expand a 32-byte seed per RFC 8032: the clamped scalar and the prefix
+   used to derive deterministic nonces. *)
+let expand_secret seed =
+  let d = Sha512.digest seed in
+  let scalar = Bytes.sub d 0 32 in
+  Bytes_util.set_u8 scalar 0 (Bytes_util.get_u8 scalar 0 land 248);
+  Bytes_util.set_u8 scalar 31
+    ((Bytes_util.get_u8 scalar 31 land 127) lor 64);
+  (scalar, Bytes.sub d 32 32)
+
+let public_key seed =
+  if Bytes.length seed <> secret_key_len then
+    invalid_arg "Ed25519.public_key: bad seed length";
+  let scalar, _ = expand_secret seed in
+  point_pack (point_scalarmult_base scalar)
+
+let keypair ?rng () =
+  let seed = Drbg.bytes ?rng 32 in
+  (seed, public_key seed)
+
+let sign ~secret:seed message =
+  if Bytes.length seed <> secret_key_len then
+    invalid_arg "Ed25519.sign: bad seed length";
+  let scalar, prefix = expand_secret seed in
+  let pk = point_pack (point_scalarmult_base scalar) in
+  (* r = H(prefix || M) mod L;  R = rB. *)
+  let r = reduce_64 (Sha512.digest_list [ prefix; message ]) in
+  let r_enc = point_pack (point_scalarmult_base r) in
+  (* h = H(R || A || M) mod L;  S = (r + h·a) mod L. *)
+  let h = reduce_64 (Sha512.digest_list [ r_enc; pk; message ]) in
+  let x = Array.make 64 0 in
+  for i = 0 to 31 do
+    x.(i) <- Bytes_util.get_u8 r i
+  done;
+  for i = 0 to 31 do
+    for j = 0 to 31 do
+      x.(i + j) <-
+        x.(i + j) + (Bytes_util.get_u8 h i * Bytes_util.get_u8 scalar j)
+    done
+  done;
+  let s = mod_l x in
+  Bytes.cat r_enc s
+
+let verify ~public:pk ~signature message =
+  if
+    Bytes.length pk <> public_key_len
+    || Bytes.length signature <> signature_len
+  then false
+  else begin
+    match point_unpack_neg pk with
+    | None -> false
+    | Some neg_a ->
+        let r_enc = Bytes.sub signature 0 32 in
+        let s = Bytes.sub signature 32 32 in
+        (* Reject non-canonical s (s >= L): required by RFC 8032 and
+           prevents signature malleability. *)
+        let rec ge i =
+          if i < 0 then true
+          else begin
+            let sb = Bytes_util.get_u8 s i and lb = order_l.(i) in
+            if sb > lb then true else if sb < lb then false else ge (i - 1)
+          end
+        in
+        if ge 31 then false
+        else begin
+          let h = reduce_64 (Sha512.digest_list [ r_enc; pk; message ]) in
+          (* R' = sB + h·(-A); valid iff R' = R. *)
+          let p = point_scalarmult neg_a h in
+          let q = point_scalarmult_base s in
+          point_add p q;
+          Bytes_util.ct_equal (point_pack p) r_enc
+        end
+  end

@@ -1,0 +1,26 @@
+(** Ed25519 signatures (RFC 8032), pure OCaml.
+
+    Used by {!Vuvuzela.Certificate} for the §9 PKI extension (binding a
+    caller's conversation key to a long-term signing identity). *)
+
+val public_key_len : int
+(** 32. *)
+
+val secret_key_len : int
+(** 32 (the RFC 8032 seed). *)
+
+val signature_len : int
+(** 64. *)
+
+val keypair : ?rng:Drbg.t -> unit -> bytes * bytes
+(** Fresh [(seed, public_key)]. *)
+
+val public_key : bytes -> bytes
+(** Derive the public key from a 32-byte seed. *)
+
+val sign : secret:bytes -> bytes -> bytes
+(** Deterministic 64-byte signature (R || S). *)
+
+val verify : public:bytes -> signature:bytes -> bytes -> bool
+(** Strict verification: rejects bad lengths, off-curve keys, and
+    non-canonical S. *)

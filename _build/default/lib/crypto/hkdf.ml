@@ -1,0 +1,25 @@
+(* HKDF with SHA-256 (RFC 5869).  Vuvuzela uses this to derive symmetric
+   keys from X25519 shared secrets (one key per onion layer, and
+   direction-separated conversation keys). *)
+
+let extract ?salt ikm =
+  let salt = match salt with None -> Bytes.make 32 '\000' | Some s -> s in
+  Hmac.sha256 ~key:salt ikm
+
+let expand ~prk ?(info = Bytes.empty) len =
+  if len > 255 * 32 then invalid_arg "Hkdf.expand: length too large";
+  let out = Buffer.create len in
+  let t = ref Bytes.empty in
+  let i = ref 1 in
+  while Buffer.length out < len do
+    let block =
+      Hmac.sha256 ~key:prk
+        (Bytes_util.concat [ !t; info; Bytes.make 1 (Char.chr !i) ])
+    in
+    t := block;
+    Buffer.add_bytes out block;
+    incr i
+  done;
+  Bytes.sub (Buffer.to_bytes out) 0 len
+
+let derive ?salt ~ikm ?info len = expand ~prk:(extract ?salt ikm) ?info len

@@ -1,0 +1,16 @@
+(* HMAC-SHA256 (RFC 2104 / FIPS 198-1). *)
+
+let block_size = 64
+
+let sha256 ~key data =
+  let key =
+    if Bytes.length key > block_size then Sha256.digest key else key
+  in
+  let ipad = Bytes.make block_size '\x36' in
+  let opad = Bytes.make block_size '\x5c' in
+  Bytes_util.xor_into ~src:key ~dst:ipad (Bytes.length key);
+  Bytes_util.xor_into ~src:key ~dst:opad (Bytes.length key);
+  let inner = Sha256.digest_list [ ipad; data ] in
+  Sha256.digest_list [ opad; inner ]
+
+let verify ~key ~tag data = Bytes_util.ct_equal tag (sha256 ~key data)

@@ -1,0 +1,7 @@
+(** HMAC-SHA256 (RFC 2104). *)
+
+val sha256 : key:bytes -> bytes -> bytes
+(** [sha256 ~key data] is the 32-byte HMAC-SHA256 tag of [data]. *)
+
+val verify : key:bytes -> tag:bytes -> bytes -> bool
+(** Constant-time tag verification. *)

@@ -1,0 +1,21 @@
+(** Poly1305 one-time authenticator (RFC 8439).
+
+    The key must be used for a single message; {!Aead} derives a fresh
+    Poly1305 key from each (ChaCha20 key, nonce) pair. *)
+
+type t
+
+val key_len : int
+(** 32. *)
+
+val tag_len : int
+(** 16. *)
+
+val init : bytes -> t
+val feed : t -> bytes -> unit
+
+val finish : t -> bytes
+(** 16-byte tag.  The state must not be fed after finishing. *)
+
+val mac : key:bytes -> bytes -> bytes
+val verify : key:bytes -> tag:bytes -> bytes -> bool

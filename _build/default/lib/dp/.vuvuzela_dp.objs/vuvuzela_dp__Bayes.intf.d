@@ -1,0 +1,1 @@
+lib/dp/bayes.mli:

@@ -1,0 +1,1 @@
+lib/dp/laplace.ml: Drbg Float Format Vuvuzela_crypto

@@ -1,0 +1,1 @@
+lib/dp/laplace.mli: Format Vuvuzela_crypto

@@ -1,0 +1,1 @@
+lib/dp/noise.ml: Float Format Laplace

@@ -1,0 +1,1 @@
+lib/dp/noise.mli: Format Laplace Vuvuzela_crypto

@@ -1,0 +1,93 @@
+(* Multi-round privacy: Theorem 2 (advanced adaptive composition,
+   Dwork-Roth Theorem 3.20) and the planning helpers behind Figures 7
+   and 8. *)
+
+(* Theorem 2: after k rounds of an (ε, δ)-DP mechanism,
+     ε′ = √(2k·ln(1/d))·ε + k·ε·(e^ε − 1)
+     δ′ = k·δ + d
+   for any free parameter d > 0. *)
+let compose ~k ~d (g : Mechanism.guarantee) =
+  if k < 0 then invalid_arg "Composition.compose: negative k";
+  if d <= 0. then invalid_arg "Composition.compose: d must be positive";
+  let kf = float_of_int k in
+  {
+    Mechanism.eps =
+      (sqrt (2. *. kf *. log (1. /. d)) *. g.eps)
+      +. (kf *. g.eps *. (exp g.eps -. 1.));
+    delta = (kf *. g.delta) +. d;
+  }
+
+(* The paper's default targets: ε′ = ln 2, δ′ = 1e-4, with d = 1e-5
+   (§6.4: "we set d in Theorem 2 to 1e-5"). *)
+let default_d = 1e-5
+let default_target = { Mechanism.eps = log 2.; delta = 1e-4 }
+
+let satisfies ~target (g : Mechanism.guarantee) =
+  g.Mechanism.eps <= target.Mechanism.eps +. 1e-12
+  && g.delta <= target.Mechanism.delta +. 1e-15
+
+(* Largest k such that k rounds still satisfy [target].  ε′ and δ′ are
+   both monotone in k, so binary search applies. *)
+let max_rounds ?(d = default_d) ?(target = default_target) per_round =
+  if not (satisfies ~target (compose ~k:1 ~d per_round)) then 0
+  else begin
+    let lo = ref 1 and hi = ref 2 in
+    while satisfies ~target (compose ~k:!hi ~d per_round) do
+      lo := !hi;
+      hi := !hi * 2;
+      if !hi > 1 lsl 40 then invalid_arg "Composition.max_rounds: unbounded"
+    done;
+    (* Invariant: lo satisfies, hi does not. *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if satisfies ~target (compose ~k:mid ~d per_round) then lo := mid
+      else hi := mid
+    done;
+    !lo
+  end
+
+type protocol = Conversation | Dialing
+
+let per_round_of protocol p =
+  match protocol with
+  | Conversation -> Mechanism.conversation p
+  | Dialing -> Mechanism.dialing p
+
+(* §6.4's methodology: "for each mean µ, we set b ... to achieve ε′ = ln 2
+   and δ′ = 1e-4 for as large a value of k as possible, using a parameter
+   sweep".  δ′ grows with b while ε′ falls with it (footnote 10), so we
+   sweep b and keep the maximizer. *)
+let best_b ?(d = default_d) ?(target = default_target) ~protocol ~mu
+    ?(b_lo = 1.) ?(b_hi = 1e6) ?(steps = 400) () =
+  let best = ref (b_lo, 0) in
+  let ratio = (b_hi /. b_lo) ** (1. /. float_of_int steps) in
+  let b = ref b_lo in
+  for _ = 0 to steps do
+    let p = Laplace.params ~mu ~b:!b in
+    let k = max_rounds ~d ~target (per_round_of protocol p) in
+    if k > snd !best then best := (!b, k);
+    b := !b *. ratio
+  done;
+  !best
+
+(* One point of Figure 7/8: (e^{ε′}, δ′) after k rounds. *)
+let figure_point ~protocol ~mu ~b ~k ~d =
+  let g = compose ~k ~d (per_round_of protocol (Laplace.params ~mu ~b)) in
+  (exp g.Mechanism.eps, g.delta)
+
+(* How the needed mean noise µ scales (§6.4 bullet list): for a target
+   (ε′, δ′) over k rounds, recover the per-round budget and then the
+   noise via Equation 1.  Uses the ε-dominant inversion of Theorem 2. *)
+let noise_for_target ?(d = default_d) ~protocol ~k target =
+  let kf = float_of_int k in
+  (* Solve ε′ = √(2k ln(1/d))·ε + k·ε² (approximating e^ε−1 ≈ ε) for ε. *)
+  let a = kf in
+  let b_ = sqrt (2. *. kf *. log (1. /. d)) in
+  let c = -.target.Mechanism.eps in
+  let eps = (-.b_ +. sqrt ((b_ *. b_) -. (4. *. a *. c))) /. (2. *. a) in
+  let delta = (target.Mechanism.delta -. d) /. kf in
+  if delta <= 0. then invalid_arg "Composition.noise_for_target: δ′ <= d";
+  let g = { Mechanism.eps; delta } in
+  match protocol with
+  | Conversation -> Mechanism.conversation_noise_for g
+  | Dialing -> Mechanism.dialing_noise_for g

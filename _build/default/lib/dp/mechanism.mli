@@ -1,0 +1,27 @@
+(** Per-round differential-privacy accounting (§6.2 Theorem 1, Lemma 3,
+    and the §6.5 dialing variant). *)
+
+type guarantee = { eps : float; delta : float }
+
+val pp_guarantee : Format.formatter -> guarantee -> unit
+
+val lemma3 : sensitivity:float -> Laplace.params -> guarantee
+(** Lemma 3: one counter with sensitivity [t] noised by
+    [⌈max(0, Laplace(µ,b))⌉] is [(t/b, ½·e^{(t−µ)/b})]-DP. *)
+
+val conversation : Laplace.params -> guarantee
+(** Theorem 1: [(4/b, e^{(2−µ)/b})]-DP per conversation round. *)
+
+val dialing : Laplace.params -> guarantee
+(** §6.5: [(2/b, ½·e^{(1−µ)/b})]-DP per dialing round. *)
+
+val conversation_noise_for : guarantee -> Laplace.params
+(** Equation 1: [(µ, b)] achieving a target per-round [(ε, δ)]. *)
+
+val dialing_noise_for : guarantee -> Laplace.params
+
+val m1_noise : Laplace.params -> Laplace.params
+(** Noise distribution on the dead-drops-accessed-once counter. *)
+
+val m2_noise : Laplace.params -> Laplace.params
+(** Noise on the accessed-twice counter: [Laplace(µ/2, b/2)]. *)

@@ -1,0 +1,1 @@
+lib/mixnet/onion.ml: Aead Array Box Bytes Bytes_util Curve25519 Drbg List Vuvuzela_crypto

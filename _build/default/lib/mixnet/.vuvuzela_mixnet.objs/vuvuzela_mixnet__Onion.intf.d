@@ -1,0 +1,1 @@
+lib/mixnet/onion.mli: Vuvuzela_crypto

@@ -1,0 +1,1 @@
+lib/mixnet/shuffle.ml: Array Drbg Fun Vuvuzela_crypto

@@ -1,0 +1,1 @@
+lib/mixnet/shuffle.mli: Vuvuzela_crypto

@@ -1,0 +1,1 @@
+lib/mixnet/wire.ml: Buffer Bytes Char Printf Result

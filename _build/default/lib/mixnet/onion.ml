@@ -1,0 +1,95 @@
+(* Onion encryption (Algorithm 1, step 2; Algorithm 2, steps 1 and 4).
+
+   A request for a chain of n servers is encrypted in n layers, innermost
+   first.  Layer i carries a fresh ephemeral public key pk_i and the AEAD
+   sealing of layer i+1 under s_i = DH(sk_i, server_i's key):
+
+       e_i = pk_i || Seal(s_i, nonce_req(round), e_{i+1})
+
+   Every layer uses a fresh ephemeral keypair — reusing a key across
+   rounds would itself be an observable variable (§7).  Servers remember
+   s_i per request slot and seal results on the way back:
+
+       e'_i = Seal(s_i, nonce_rep(round), e'_{i+1})
+
+   Request layers add [layer_overhead] = 48 bytes each (32-byte key +
+   16-byte tag); reply layers add [reply_overhead] = 16 bytes each.  All
+   onions for the same chain length and payload size are therefore the
+   same length — a precondition for indistinguishability. *)
+
+open Vuvuzela_crypto
+
+let layer_overhead = Curve25519.key_len + Aead.tag_len
+let reply_overhead = Aead.tag_len
+
+(* Nonce domains: request and reply layers must not collide under the
+   same layer secret. *)
+let request_nonce ~round = Aead.nonce_of ~domain:0x5571 ~counter:round
+let reply_nonce ~round = Aead.nonce_of ~domain:0x5572 ~counter:round
+
+type wrapped = {
+  onion : bytes;  (** what the client sends to the first server *)
+  secrets : bytes array;
+      (** per-layer symmetric secrets, index 0 = first server; needed to
+          unwrap the reply *)
+}
+
+(* Wrap [payload] for the servers whose public keys are [server_pks]
+   (first server first).  Encryption happens in reverse order. *)
+let wrap ?rng ~server_pks ~round payload =
+  let n = List.length server_pks in
+  if n = 0 then invalid_arg "Onion.wrap: empty chain";
+  let secrets = Array.make n Bytes.empty in
+  let nonce = request_nonce ~round in
+  let rec go i pks acc =
+    match pks with
+    | [] -> acc
+    | spk :: rest ->
+        (* Innermost layer corresponds to the last server, so recurse
+           first, then seal for this (earlier) server. *)
+        let inner = go (i + 1) rest acc in
+        let esk, epk = Drbg.keypair ?rng () in
+        let s = Box.precompute ~secret:esk ~public:spk in
+        secrets.(i) <- s;
+        Bytes_util.concat [ epk; Aead.seal ~key:s ~nonce inner ]
+  in
+  let onion = go 0 server_pks payload in
+  { onion; secrets }
+
+(* Server side: strip one layer.  Returns the inner onion and the layer
+   secret to seal the reply with. *)
+let peel ~server_sk ~round onion =
+  if Bytes.length onion < layer_overhead then None
+  else begin
+    let epk = Bytes.sub onion 0 Curve25519.key_len in
+    let sealed =
+      Bytes.sub onion Curve25519.key_len
+        (Bytes.length onion - Curve25519.key_len)
+    in
+    let s = Box.precompute ~secret:server_sk ~public:epk in
+    match Aead.open_ ~key:s ~nonce:(request_nonce ~round) sealed with
+    | Some inner -> Some (inner, s)
+    | None -> None
+  end
+
+let seal_reply ~secret ~round reply =
+  Aead.seal ~key:secret ~nonce:(reply_nonce ~round) reply
+
+(* Client side: remove all reply layers (first server's layer is
+   outermost). *)
+let unwrap_reply ~secrets ~round reply =
+  let nonce = reply_nonce ~round in
+  let rec go i acc =
+    if i >= Array.length secrets then Some acc
+    else
+      match Aead.open_ ~key:secrets.(i) ~nonce acc with
+      | Some inner -> go (i + 1) inner
+      | None -> None
+  in
+  go 0 reply
+
+let request_size ~chain_len ~payload_len =
+  payload_len + (chain_len * layer_overhead)
+
+let reply_size ~chain_len ~payload_len =
+  payload_len + (chain_len * reply_overhead)

@@ -1,0 +1,37 @@
+(** Onion encryption for Vuvuzela's server chain (Algorithm 1 step 2,
+    Algorithm 2 steps 1 and 4).
+
+    Requests gain {!layer_overhead} = 48 bytes per server (ephemeral key +
+    AEAD tag); replies gain {!reply_overhead} = 16 bytes per server.  All
+    onions of a given chain length and payload size have identical length,
+    as indistinguishability requires. *)
+
+val layer_overhead : int
+val reply_overhead : int
+
+type wrapped = {
+  onion : bytes;  (** send this to the first server *)
+  secrets : bytes array;  (** per-layer secrets for unwrapping the reply *)
+}
+
+val wrap :
+  ?rng:Vuvuzela_crypto.Drbg.t ->
+  server_pks:bytes list ->
+  round:int ->
+  bytes ->
+  wrapped
+(** Wrap a payload for the chain; [server_pks] lists the first server
+    first.  Fresh ephemeral keys per layer per call. *)
+
+val peel : server_sk:bytes -> round:int -> bytes -> (bytes * bytes) option
+(** Server side: strip one layer, returning [(inner, layer_secret)], or
+    [None] if the layer fails to authenticate. *)
+
+val seal_reply : secret:bytes -> round:int -> bytes -> bytes
+(** Server side: add one reply layer under the stored layer secret. *)
+
+val unwrap_reply : secrets:bytes array -> round:int -> bytes -> bytes option
+(** Client side: strip all reply layers. *)
+
+val request_size : chain_len:int -> payload_len:int -> int
+val reply_size : chain_len:int -> payload_len:int -> int

@@ -1,0 +1,1 @@
+lib/sim/baselines.ml: Array Box Bytes Cost_model Drbg List Printf Vuvuzela Vuvuzela_crypto

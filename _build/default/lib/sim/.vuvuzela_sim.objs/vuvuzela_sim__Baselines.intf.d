@@ -1,0 +1,1 @@
+lib/sim/baselines.mli: Cost_model Vuvuzela_crypto Vuvuzela_dp

@@ -1,0 +1,1 @@
+lib/sim/figures.ml: Composition Cost_model Laplace List Pipeline Printf Vuvuzela_dp

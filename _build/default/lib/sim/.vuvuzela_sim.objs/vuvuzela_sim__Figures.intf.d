@@ -1,0 +1,1 @@
+lib/sim/figures.mli: Cost_model Vuvuzela_dp

@@ -1,0 +1,1 @@
+lib/sim/pipeline.ml: Array Cost_model Event_sim Float List

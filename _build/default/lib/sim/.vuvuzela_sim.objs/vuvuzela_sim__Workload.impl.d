@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Array Client Drbg Format Fun List Network Printf Scanf Vuvuzela Vuvuzela_crypto Vuvuzela_dp

@@ -1,0 +1,49 @@
+(** Related-work baseline comparators (§1, §10): the O(n²) broadcast and
+    PIR families that Vuvuzela's linear design displaces, on the same
+    hardware constants. *)
+
+val broadcast_round_latency :
+  Cost_model.t -> users:int -> msg_bytes:int -> float
+(** Dissent/Herbivore-style: n² message copies per round. *)
+
+val pir_round_latency : users:int -> msg_bytes:int -> float
+(** Pynchon-Gate-style: n² database-scan work per round. *)
+
+val vuvuzela_round_latency :
+  Cost_model.t -> users:int -> noise:Vuvuzela_dp.Laplace.params -> float
+
+val max_users : budget:float -> (int -> float) -> int
+(** Largest user count keeping the (monotone) latency within [budget]. *)
+
+type comparison_row = {
+  users : int;
+  vuvuzela_s : float;
+  broadcast_s : float;
+  pir_s : float;
+}
+
+val comparison_table :
+  ?model:Cost_model.t ->
+  noise:Vuvuzela_dp.Laplace.params ->
+  int list ->
+  comparison_row list
+
+(** A functional toy broadcast messenger (everyone receives everything;
+    trivially metadata-private, quadratically expensive) used to
+    validate the model's shape at laptop scale. *)
+module Broadcast : sig
+  type t
+
+  val create : n:int -> seed:string -> t
+
+  val run_round :
+    ?rng:Vuvuzela_crypto.Drbg.t -> t -> sends:(int * int * string) list -> int
+  (** Run one round with [(sender, recipient, text)] sends; every user
+      also emits cover.  Returns the number of broadcast blobs. *)
+
+  val inbox : t -> int -> (bytes * string) list
+  (** Delivered (sender public key, text) pairs, oldest first. *)
+
+  val trial_decryptions : t -> int
+  (** Total trial decryptions across the population — grows as n². *)
+end

@@ -1,0 +1,83 @@
+(** The calibrated cost model of the paper's testbed (§8.1-§8.2):
+    closed-form latency, throughput and bandwidth for the conversation
+    and dialing protocols. *)
+
+type t = {
+  dh_ops_per_sec : float;
+  protocol_overhead : float;
+  link_bandwidth : float;
+  rpc_overhead_bytes : int;
+  pipeline_efficiency : float;
+  dial_coschedule_latency : float;
+}
+
+val paper : t
+(** 340K Curve25519 ops/s per 36-core server, 10 Gbps links, the
+    measured ~1.9× full-protocol overhead, and an 0.85 pipeline
+    efficiency calibrated to the paper's 68K msgs/s. *)
+
+val conv_noise_per_server : Vuvuzela_dp.Laplace.params -> float
+(** ≈ 2µ cover requests per mixing server per round. *)
+
+val conv_total_requests :
+  users:int -> servers:int -> noise:Vuvuzela_dp.Laplace.params -> float
+
+val conv_lower_bound :
+  t -> users:int -> servers:int -> noise:Vuvuzela_dp.Laplace.params -> float
+(** §8.2's bare-crypto bound: one DH per request per server, strictly
+    sequential servers. *)
+
+val request_bytes : servers:int -> at:int -> int
+val reply_bytes : servers:int -> at:int -> int
+
+val conv_latency :
+  t -> users:int -> servers:int -> noise:Vuvuzela_dp.Laplace.params -> float
+(** End-to-end conversation round latency (Figures 9 and 11). *)
+
+val conv_round_interval :
+  t -> users:int -> servers:int -> noise:Vuvuzela_dp.Laplace.params -> float
+(** Time between pipelined round completions. *)
+
+val conv_throughput :
+  t -> users:int -> servers:int -> noise:Vuvuzela_dp.Laplace.params -> float
+
+val dial_total_requests :
+  users:int ->
+  servers:int ->
+  m:int ->
+  dial_noise:Vuvuzela_dp.Laplace.params ->
+  float
+
+val dial_latency :
+  t ->
+  users:int ->
+  servers:int ->
+  m:int ->
+  dial_noise:Vuvuzela_dp.Laplace.params ->
+  float
+(** Figure 10. *)
+
+val server_bandwidth :
+  t -> users:int -> servers:int -> noise:Vuvuzela_dp.Laplace.params -> float
+(** Bytes/sec through one server (each message counted once). *)
+
+val invitation_drop_bytes :
+  users:int ->
+  servers:int ->
+  m:int ->
+  dial_fraction:float ->
+  dial_noise:Vuvuzela_dp.Laplace.params ->
+  float
+(** §8.3's ~7 MB dialing download. *)
+
+val client_bandwidth :
+  t ->
+  users:int ->
+  servers:int ->
+  noise:Vuvuzela_dp.Laplace.params ->
+  m:int ->
+  dial_fraction:float ->
+  dial_noise:Vuvuzela_dp.Laplace.params ->
+  dial_interval:float ->
+  float
+(** Average client bytes/sec (§8.3's ~12 KB/s). *)

@@ -1,0 +1,132 @@
+(* A small discrete-event simulation engine: a time-ordered event heap
+   and exclusive resources with FIFO queueing.
+
+   The pipeline simulator builds Vuvuzela's server chain on top of this:
+   each server machine is a [Resource] (it processes one round's batch
+   at a time), rounds are processes that seize servers in chain order,
+   and the engine advances virtual time.  This is how we measure round
+   pipelining effects (Figure 9's throughput, §8.3's messages/minute)
+   rather than assuming them. *)
+
+type event = { time : float; seq : int; action : unit -> unit }
+
+module Heap = struct
+  (* Binary min-heap on (time, seq). *)
+  type t = { mutable a : event array; mutable n : int }
+
+  let create () = { a = Array.make 64 { time = 0.; seq = 0; action = ignore }; n = 0 }
+  let lt x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
+
+  let push h e =
+    if h.n = Array.length h.a then begin
+      let bigger = Array.make (2 * h.n) e in
+      Array.blit h.a 0 bigger 0 h.n;
+      h.a <- bigger
+    end;
+    h.a.(h.n) <- e;
+    h.n <- h.n + 1;
+    let i = ref (h.n - 1) in
+    while !i > 0 && lt h.a.(!i) h.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let t = h.a.(!i) in
+      h.a.(!i) <- h.a.(p);
+      h.a.(p) <- t;
+      i := p
+    done
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.n <- h.n - 1;
+      h.a.(0) <- h.a.(h.n);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.n && lt h.a.(l) h.a.(!smallest) then smallest := l;
+        if r < h.n && lt h.a.(r) h.a.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let t = h.a.(!i) in
+          h.a.(!i) <- h.a.(!smallest);
+          h.a.(!smallest) <- t;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+type t = {
+  heap : Heap.t;
+  mutable now : float;
+  mutable next_seq : int;
+  mutable processed : int;
+}
+
+let create () = { heap = Heap.create (); now = 0.; next_seq = 0; processed = 0 }
+let now t = t.now
+let events_processed t = t.processed
+
+let schedule t ~delay action =
+  if delay < 0. then invalid_arg "Event_sim.schedule: negative delay";
+  let e = { time = t.now +. delay; seq = t.next_seq; action } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.heap e
+
+(* Run until the event queue drains or [until] is reached. *)
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match Heap.pop t.heap with
+    | None -> continue := false
+    | Some e -> (
+        match until with
+        | Some limit when e.time > limit ->
+            t.now <- limit;
+            continue := false
+        | _ ->
+            t.now <- e.time;
+            t.processed <- t.processed + 1;
+            e.action ())
+  done
+
+(* An exclusive resource with FIFO queueing: [acquire] runs [k] as soon
+   as the resource is free, and the holder calls the provided release
+   function when done. *)
+module Resource = struct
+  type nonrec t = {
+    sim : t;
+    mutable busy : bool;
+    waiting : (unit -> unit) Queue.t;
+    mutable busy_time : float;
+    mutable last_acquired : float;
+  }
+
+  let create sim =
+    { sim; busy = false; waiting = Queue.create (); busy_time = 0.; last_acquired = 0. }
+
+  let utilization r ~horizon = if horizon <= 0. then 0. else r.busy_time /. horizon
+
+  let rec acquire r k =
+    if r.busy then Queue.push (fun () -> acquire r k) r.waiting
+    else begin
+      r.busy <- true;
+      r.last_acquired <- r.sim.now;
+      k (fun () ->
+          r.busy <- false;
+          r.busy_time <- r.busy_time +. (r.sim.now -. r.last_acquired);
+          match Queue.take_opt r.waiting with
+          | Some next -> next ()
+          | None -> ())
+    end
+
+  (* Hold the resource for [duration] of simulated time, then run [k]. *)
+  let use r ~duration k =
+    acquire r (fun release ->
+        schedule r.sim ~delay:duration (fun () ->
+            release ();
+            k ()))
+end

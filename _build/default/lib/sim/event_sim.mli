@@ -1,0 +1,31 @@
+(** A small discrete-event simulation engine: a time-ordered event heap
+    (FIFO on ties) and exclusive resources with queueing. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+val events_processed : t -> int
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** @raise Invalid_argument on negative delay. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue, or stop the clock at [until]. *)
+
+module Resource : sig
+  type sim := t
+  type t
+
+  val create : sim -> t
+
+  val acquire : t -> ((unit -> unit) -> unit) -> unit
+  (** [acquire r k] runs [k release] once the resource is free; the
+      holder must call [release] exactly once. *)
+
+  val use : t -> duration:float -> (unit -> unit) -> unit
+  (** Hold the resource for [duration] simulated seconds, then
+      continue. *)
+
+  val utilization : t -> horizon:float -> float
+end

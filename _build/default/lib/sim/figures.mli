@@ -1,0 +1,62 @@
+(** Regeneration harnesses for every figure and headline number in the
+    paper's evaluation (§6.4 Figures 7-8, §8 Figures 9-11). *)
+
+type point = { x : float; y : float }
+
+val series : (float -> float) -> float list -> point list
+
+val fig7_params : (float * float) list
+(** (µ, b) triples of Figure 7: (150K, 7300), (300K, 13800),
+    (450K, 20000). *)
+
+val fig8_params : (float * float) list
+
+type privacy_curve = {
+  mu : float;
+  b : float;
+  points : (int * float * float) list;  (** (k, e^ε′, δ′) *)
+  supported_k : int;
+}
+
+val figure7 : unit -> privacy_curve list
+val figure8 : unit -> privacy_curve list
+
+type latency_curve = { label : string; points : (int * float) list }
+
+val conv_noise_of : float -> Vuvuzela_dp.Laplace.params
+(** Noise with the paper's µ/b ratio for a given mean. *)
+
+val fig9_users : int list
+
+val figure9 : ?model:Cost_model.t -> unit -> latency_curve list
+(** Closed-form latency vs users for µ = 100K/200K/300K. *)
+
+val figure9_des :
+  ?model:Cost_model.t -> ?mu:float -> unit -> (int * float * float) list
+(** The same sweep on the discrete-event pipeline:
+    (users, latency, round interval). *)
+
+val dial_noise_13k : Vuvuzela_dp.Laplace.params
+val figure10 : ?model:Cost_model.t -> unit -> latency_curve
+
+val figure11 : ?model:Cost_model.t -> unit -> (int * float) list
+(** Latency vs chain length at 1M users, µ = 300K. *)
+
+val quadratic_r2 : (int * float) list -> float
+(** Least-squares fit of latency against servers²; R². *)
+
+type headline = {
+  latency_1m : float;
+  latency_2m : float;
+  latency_10 : float;
+  throughput_1m : float;
+  lower_bound_2m : float;
+  noise_requests : float;
+  server_bandwidth_1m : float;
+  client_bandwidth : float;
+  drop_bytes : float;
+  messages_per_minute : float;
+}
+
+val headlines : ?model:Cost_model.t -> unit -> headline
+(** The §1/§8.2/§8.3 headline numbers. *)

@@ -1,0 +1,248 @@
+(* Synthetic workload generation: populations of clients with the
+   behavioural mix of §8.1 (a fraction of users conversing, 5% dialing
+   per dialing round, the rest idle cover traffic), plus churn and
+   outages.
+
+   Drives the *functional* implementation (Vuvuzela.Network, real
+   crypto) and reports end-to-end delivery statistics — the counterpart
+   of the paper's client simulators, at laptop scale.  The same profile
+   numbers feed the cost model's dial_fraction input at paper scale. *)
+
+open Vuvuzela_crypto
+open Vuvuzela
+
+type profile = {
+  users : int;
+  paired_fraction : float;  (** users in active conversations *)
+  message_rate : float;  (** P(paired user sends a text each round) *)
+  dial_fraction : float;  (** §8.1: fraction dialing per dialing round *)
+  churn : float;  (** P(a pair hangs up each round) *)
+  offline : float;  (** P(a client misses a round) *)
+  dial_every : int;  (** conversation rounds per dialing round *)
+}
+
+(* The paper's evaluation mix (§8.1): every simulated user exchanges
+   messages every round, 5% dial per dialing round.  Offline/churn are
+   zero there; the [stress] profile below turns them on. *)
+let paper_mix ~users =
+  {
+    users;
+    paired_fraction = 1.0;
+    message_rate = 1.0;
+    dial_fraction = 0.05;
+    churn = 0.;
+    offline = 0.;
+    dial_every = 10;
+  }
+
+let stress ~users =
+  {
+    users;
+    paired_fraction = 0.6;
+    message_rate = 0.4;
+    dial_fraction = 0.1;
+    churn = 0.05;
+    offline = 0.15;
+    dial_every = 5;
+  }
+
+type summary = {
+  rounds : int;
+  dial_rounds : int;
+  sent : int;
+  delivered : int;
+  retransmissions : int;
+  duplicates : int;
+  calls_placed : int;
+  calls_heard : int;
+  mean_delivery_rounds : float;
+      (** rounds between send and in-order delivery *)
+  max_delivery_rounds : int;
+  final_m : int;  (** invitation drops after auto-tuning *)
+}
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "{rounds=%d; sent=%d; delivered=%d; retx=%d; dup=%d; calls=%d/%d; \
+     delivery=%.2f rounds (max %d); m=%d}"
+    s.rounds s.sent s.delivered s.retransmissions s.duplicates s.calls_heard
+    s.calls_placed s.mean_delivery_rounds s.max_delivery_rounds s.final_m
+
+(* Run [profile] for [rounds] conversation rounds over a fresh network.
+   Message payloads encode their send round so delivery latency is
+   measured end to end. *)
+let run ?(seed = "workload") ?(noise = Vuvuzela_dp.Laplace.params ~mu:4. ~b:1.)
+    ?(dial_noise = Vuvuzela_dp.Laplace.params ~mu:2. ~b:1.) ~profile ~rounds ()
+    =
+  let net =
+    Network.create ~seed ~n_servers:3 ~noise ~dial_noise
+      ~noise_mode:Vuvuzela_dp.Noise.Deterministic ()
+  in
+  Network.set_auto_tune_drops net true;
+  let rng = Drbg.of_string (seed ^ "-driver") in
+  let clients =
+    Array.init profile.users (fun i ->
+        Network.connect ~seed:(Printf.sprintf "%s-c%d" seed i) net)
+  in
+  let n = Array.length clients in
+  let partner = Array.make n (-1) in
+  let unpair i =
+    if partner.(i) >= 0 then begin
+      let j = partner.(i) in
+      partner.(i) <- -1;
+      partner.(j) <- -1;
+      Client.end_conversation clients.(i);
+      Client.end_conversation clients.(j)
+    end
+  in
+  let pair i j =
+    unpair i;
+    unpair j;
+    partner.(i) <- j;
+    partner.(j) <- i;
+    Client.start_conversation clients.(i) ~peer_pk:(Client.public_key clients.(j));
+    Client.start_conversation clients.(j) ~peer_pk:(Client.public_key clients.(i))
+  in
+  (* Initial pairing. *)
+  let want_paired = int_of_float (profile.paired_fraction *. float_of_int n) in
+  let idx = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Drbg.uniform ~rng (i + 1) in
+    let t = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- t
+  done;
+  let p = ref 0 in
+  while !p + 1 < want_paired do
+    pair idx.(!p) idx.(!p + 1);
+    p := !p + 2
+  done;
+  let sent = ref 0
+  and delivered = ref 0
+  and calls_placed = ref 0
+  and calls_heard = ref 0
+  and latency_sum = ref 0
+  and latency_max = ref 0
+  and dial_rounds = ref 0 in
+  let bernoulli prob = Drbg.float_unit ~rng () < prob in
+  for round = 1 to rounds do
+    (* Churn: some pairs hang up; the freed clients may redial later. *)
+    for i = 0 to n - 1 do
+      if partner.(i) > i && bernoulli profile.churn then unpair i
+    done;
+    (* Dialing rounds on schedule. *)
+    if round mod profile.dial_every = 0 then begin
+      incr dial_rounds;
+      for i = 0 to n - 1 do
+        if partner.(i) < 0 && bernoulli profile.dial_fraction then begin
+          (* Dial a random unpaired other. *)
+          let j = Drbg.uniform ~rng n in
+          if j <> i && partner.(j) < 0 then begin
+            incr calls_placed;
+            Client.dial clients.(i) ~callee_pk:(Client.public_key clients.(j));
+            (* Caller pre-enters the conversation (§3). *)
+            Client.start_conversation clients.(i)
+              ~peer_pk:(Client.public_key clients.(j));
+            partner.(i) <- j (* provisional; confirmed on answer *)
+          end
+        end
+      done;
+      let events = Network.run_dialing_round net in
+      List.iter
+        (fun (c, evs) ->
+          List.iter
+            (function
+              | Client.Incoming_call { caller; _ } ->
+                  incr calls_heard;
+                  (* Callee answers if still free. *)
+                  let ci = ref (-1) in
+                  Array.iteri (fun k cl -> if cl == c then ci := k) clients;
+                  if !ci >= 0 && partner.(!ci) < 0 then begin
+                    Client.start_conversation c ~peer_pk:caller;
+                    (match Network.find_client net caller with
+                    | Some caller_client ->
+                        Array.iteri
+                          (fun k cl ->
+                            if cl == caller_client then partner.(!ci) <- k)
+                          clients;
+                        if partner.(!ci) >= 0 then
+                          partner.(partner.(!ci)) <- !ci
+                    | None -> ())
+                  end
+              | _ -> ())
+            evs)
+        events
+    end;
+    (* Sends: paired clients emit round-stamped texts. *)
+    for i = 0 to n - 1 do
+      let j = partner.(i) in
+      if j >= 0 && partner.(j) = i && bernoulli profile.message_rate then begin
+        incr sent;
+        Client.send clients.(i) (Printf.sprintf "r%d.%d" round !sent)
+      end
+    done;
+    (* Outages: each client independently misses the round. *)
+    let blocked _c = bernoulli profile.offline in
+    let events = Network.run_round ~blocked net in
+    List.iter
+      (fun (_, evs) ->
+        List.iter
+          (function
+            | Client.Delivered { text; _ } -> (
+                incr delivered;
+                (* recover the send round from the stamp *)
+                try
+                  Scanf.sscanf text "r%d." (fun r ->
+                      let lat = round - r in
+                      latency_sum := !latency_sum + lat;
+                      if lat > !latency_max then latency_max := lat)
+                with Scanf.Scan_failure _ | End_of_file -> ())
+            | _ -> ())
+          evs)
+      events
+  done;
+  (* Drain outstanding retransmissions. *)
+  let drain = 15 in
+  for extra = 1 to drain do
+    let events = Network.run_round net in
+    List.iter
+      (fun (_, evs) ->
+        List.iter
+          (function
+            | Client.Delivered { text; _ } -> (
+                incr delivered;
+                try
+                  Scanf.sscanf text "r%d." (fun r ->
+                      let lat = rounds + extra - r in
+                      latency_sum := !latency_sum + lat;
+                      if lat > !latency_max then latency_max := lat)
+                with Scanf.Scan_failure _ | End_of_file -> ())
+            | _ -> ())
+          evs)
+      events
+  done;
+  let retransmissions =
+    Array.fold_left
+      (fun acc c -> acc + (Client.stats c).Client.retransmissions)
+      0 clients
+  in
+  let duplicates =
+    Array.fold_left
+      (fun acc c -> acc + (Client.stats c).Client.duplicates)
+      0 clients
+  in
+  {
+    rounds;
+    dial_rounds = !dial_rounds;
+    sent = !sent;
+    delivered = !delivered;
+    retransmissions;
+    duplicates;
+    calls_placed = !calls_placed;
+    calls_heard = !calls_heard;
+    mean_delivery_rounds =
+      (if !delivered = 0 then 0.
+       else float_of_int !latency_sum /. float_of_int !delivered);
+    max_delivery_rounds = !latency_max;
+    final_m = Network.invitation_drops net;
+  }

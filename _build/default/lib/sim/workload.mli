@@ -1,0 +1,48 @@
+(** Synthetic workload generation over the functional implementation:
+    §8.1's behavioural mix (conversing users, 5% dialing, idle cover)
+    plus churn and outages, with end-to-end delivery statistics. *)
+
+type profile = {
+  users : int;
+  paired_fraction : float;
+  message_rate : float;
+  dial_fraction : float;
+  churn : float;
+  offline : float;
+  dial_every : int;
+}
+
+val paper_mix : users:int -> profile
+(** §8.1: everyone paired and messaging every round, 5% dialing, no
+    churn or outages. *)
+
+val stress : users:int -> profile
+(** A hostile mix: 60% paired, 40% message rate, 10% dialing, 5% churn,
+    15% per-round outages. *)
+
+type summary = {
+  rounds : int;
+  dial_rounds : int;
+  sent : int;
+  delivered : int;
+  retransmissions : int;
+  duplicates : int;
+  calls_placed : int;
+  calls_heard : int;
+  mean_delivery_rounds : float;
+  max_delivery_rounds : int;
+  final_m : int;
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val run :
+  ?seed:string ->
+  ?noise:Vuvuzela_dp.Laplace.params ->
+  ?dial_noise:Vuvuzela_dp.Laplace.params ->
+  profile:profile ->
+  rounds:int ->
+  unit ->
+  summary
+(** Run the profile over a fresh 3-server deployment (real crypto),
+    including a retransmission drain at the end. *)

@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Array Disclosure Drbg Float Laplace List Mechanism Observation QCheck QCheck_alcotest Strawman Test Vuvuzela_attack Vuvuzela_crypto Vuvuzela_dp

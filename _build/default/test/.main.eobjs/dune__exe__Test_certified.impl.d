@@ -1,0 +1,1 @@
+test/test_certified.ml: Alcotest Array Bytes Bytes_util Certificate Chain Client Dialing Drbg Ed25519 Laplace List Network Noise Server Types Vuvuzela Vuvuzela_crypto Vuvuzela_dp Vuvuzela_mixnet

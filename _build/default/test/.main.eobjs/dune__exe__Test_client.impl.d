@@ -1,0 +1,1 @@
+test/test_client.ml: Alcotest Bytes_util Client Gen Laplace List Network Noise Printf QCheck QCheck_alcotest String Test Types Vuvuzela Vuvuzela_crypto Vuvuzela_dp

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Aead Alcotest Box Bytes Bytes_util Chacha20 Char Curve25519 Drbg Fe25519 Gen Hkdf Hmac List Poly1305 Printf QCheck QCheck_alcotest Sha256 Test Vuvuzela_crypto

@@ -1,0 +1,1 @@
+test/test_dp.ml: Alcotest Bayes Composition Drbg Float Laplace List Mechanism Noise QCheck QCheck_alcotest Test Vuvuzela_crypto Vuvuzela_dp

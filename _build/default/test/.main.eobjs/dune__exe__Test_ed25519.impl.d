@@ -1,0 +1,1 @@
+test/test_ed25519.ml: Alcotest Array Bytes Bytes_util Certificate Char Drbg Ed25519 Gen List QCheck QCheck_alcotest Sha512 String Test Types Vuvuzela Vuvuzela_crypto

@@ -1,0 +1,1 @@
+test/test_mixnet.ml: Alcotest Array Bytes Bytes_util Char Drbg Fun Gen Hashtbl List Onion Option Printf QCheck QCheck_alcotest Shuffle String Test Vuvuzela_crypto Vuvuzela_mixnet Wire

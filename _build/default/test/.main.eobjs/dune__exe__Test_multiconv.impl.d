@@ -1,0 +1,1 @@
+test/test_multiconv.ml: Alcotest Bytes Chain Client Deaddrop Laplace List Network Noise Printf Vuvuzela Vuvuzela_crypto Vuvuzela_dp

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Bytes_util Chain Client Deaddrop Drbg Hashtbl Laplace List Network Noise Option Printf String Vuvuzela Vuvuzela_crypto Vuvuzela_dp

@@ -1,0 +1,1 @@
+test/test_ratchet.ml: Aead Alcotest Bytes Bytes_util Gen Hashtbl List Option Printf QCheck QCheck_alcotest Ratchet Test Vuvuzela Vuvuzela_crypto

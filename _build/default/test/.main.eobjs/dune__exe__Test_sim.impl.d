@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Baselines Cost_model Event_sim Figures Float List Pipeline Printf QCheck QCheck_alcotest Test Vuvuzela Vuvuzela_crypto Vuvuzela_sim

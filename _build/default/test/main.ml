@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "vuvuzela"
+    [
+      Test_crypto.suite;
+      Test_ed25519.suite;
+      Test_dp.suite;
+      Test_mixnet.suite;
+      Test_protocol.suite;
+      Test_server.suite;
+      Test_client.suite;
+      Test_multiconv.suite;
+      Test_network.suite;
+      Test_ratchet.suite;
+      Test_certified.suite;
+      Test_infra.suite;
+      Test_sim.suite;
+      Test_workload.suite;
+      Test_attack.suite;
+    ]

@@ -1,0 +1,516 @@
+(* Crypto substrate tests: RFC/NIST vectors plus qcheck properties. *)
+
+open Vuvuzela_crypto
+
+let hex = Bytes_util.of_hex
+let check_hex msg expected actual =
+  Alcotest.(check string) msg expected (Bytes_util.to_hex actual)
+
+(* ------------------------------------------------------------------ *)
+(* SHA-256 (FIPS 180-4 / NIST CAVS)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_sha256_vectors () =
+  check_hex "sha256(abc)"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.digest_string "abc");
+  check_hex "sha256(empty)"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.digest_string "");
+  check_hex "sha256(two blocks)"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.digest_string
+       "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_hex "sha256(million a)"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.digest (Bytes.make 1_000_000 'a'))
+
+let test_sha256_incremental () =
+  (* Feeding in odd-sized chunks must agree with one-shot digesting. *)
+  let data = Bytes.init 1000 (fun i -> Char.chr (i land 0xff)) in
+  let expected = Bytes_util.to_hex (Sha256.digest data) in
+  let t = Sha256.init () in
+  let pos = ref 0 in
+  let sizes = [ 1; 7; 63; 64; 65; 100; 128; 200; 372 ] in
+  List.iter
+    (fun n ->
+      Sha256.feed t (Bytes.sub data !pos n);
+      pos := !pos + n)
+    sizes;
+  assert (!pos = 1000);
+  check_hex "incremental = one-shot" expected (Sha256.get t)
+
+let test_sha256_get_nondestructive () =
+  let t = Sha256.init () in
+  Sha256.feed t (Bytes.of_string "ab");
+  let d1 = Sha256.get t in
+  let d2 = Sha256.get t in
+  check_hex "get twice agrees" (Bytes_util.to_hex d1) d2;
+  Sha256.feed t (Bytes.of_string "c");
+  check_hex "can continue after get"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.get t)
+
+(* ------------------------------------------------------------------ *)
+(* HMAC-SHA256 (RFC 4231)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_hmac_vectors () =
+  let case name key data expected =
+    check_hex name expected (Hmac.sha256 ~key data)
+  in
+  case "rfc4231 tc1"
+    (Bytes.make 20 '\x0b')
+    (Bytes.of_string "Hi There")
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7";
+  case "rfc4231 tc2" (Bytes.of_string "Jefe")
+    (Bytes.of_string "what do ya want for nothing?")
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843";
+  case "rfc4231 tc3" (Bytes.make 20 '\xaa') (Bytes.make 50 '\xdd')
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe";
+  case "rfc4231 tc4"
+    (hex "0102030405060708090a0b0c0d0e0f10111213141516171819")
+    (Bytes.make 50 '\xcd')
+    "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b";
+  case "rfc4231 tc6 (large key)" (Bytes.make 131 '\xaa')
+    (Bytes.of_string "Test Using Larger Than Block-Size Key - Hash Key First")
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54";
+  case "rfc4231 tc7 (large key+data)" (Bytes.make 131 '\xaa')
+    (Bytes.of_string
+       "This is a test using a larger than block-size key and a larger \
+        than block-size data. The key needs to be hashed before being \
+        used by the HMAC algorithm.")
+    "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+
+let test_hmac_verify () =
+  let key = Bytes.of_string "k" and data = Bytes.of_string "d" in
+  let tag = Hmac.sha256 ~key data in
+  Alcotest.(check bool) "verify ok" true (Hmac.verify ~key ~tag data);
+  let bad = Bytes.copy tag in
+  Bytes.set bad 0 (Char.chr (Char.code (Bytes.get bad 0) lxor 1));
+  Alcotest.(check bool) "verify bad" false (Hmac.verify ~key ~tag:bad data)
+
+(* ------------------------------------------------------------------ *)
+(* HKDF (RFC 5869)                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_hkdf_vectors () =
+  let okm =
+    Hkdf.derive
+      ~salt:(hex "000102030405060708090a0b0c")
+      ~ikm:(Bytes.make 22 '\x0b')
+      ~info:(hex "f0f1f2f3f4f5f6f7f8f9")
+      42
+  in
+  check_hex "rfc5869 tc1"
+    "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+    okm;
+  let prk = Hkdf.extract ~salt:(hex "000102030405060708090a0b0c") (Bytes.make 22 '\x0b') in
+  check_hex "rfc5869 tc1 prk"
+    "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5" prk;
+  let okm3 = Hkdf.derive ~ikm:(Bytes.make 22 '\x0b') 42 in
+  check_hex "rfc5869 tc3 (no salt, no info)"
+    "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+    okm3
+
+(* ------------------------------------------------------------------ *)
+(* ChaCha20 (RFC 8439)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_chacha20_block () =
+  let key = hex "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f" in
+  let nonce = hex "000000090000004a00000000" in
+  check_hex "rfc8439 2.3.2 block"
+    "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4ed2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+    (Chacha20.block ~key ~nonce ~counter:1)
+
+let sunscreen =
+  "Ladies and Gentlemen of the class of '99: If I could offer you only \
+   one tip for the future, sunscreen would be it."
+
+let test_chacha20_encrypt () =
+  let key = hex "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f" in
+  let nonce = hex "000000000000004a00000000" in
+  let ct = Chacha20.encrypt ~counter:1 ~key ~nonce (Bytes.of_string sunscreen) in
+  check_hex "rfc8439 2.4.2 ciphertext"
+    "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0bf91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d807ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab77937365af90bbf74a35be6b40b8eedf2785e42874d"
+    ct;
+  Alcotest.(check string) "roundtrip" sunscreen
+    (Bytes.to_string (Chacha20.decrypt ~counter:1 ~key ~nonce ct))
+
+(* ------------------------------------------------------------------ *)
+(* Poly1305 (RFC 8439)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_poly1305_vector () =
+  let key = hex "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b" in
+  check_hex "rfc8439 2.5.2 tag" "a8061dc1305136c6c22b8baf0c0127a9"
+    (Poly1305.mac ~key (Bytes.of_string "Cryptographic Forum Research Group"))
+
+let test_poly1305_incremental () =
+  let key = Drbg.generate (Drbg.of_string "poly-inc") 32 in
+  let data = Drbg.generate (Drbg.of_string "poly-data") 333 in
+  let one_shot = Poly1305.mac ~key data in
+  let t = Poly1305.init key in
+  let pos = ref 0 in
+  List.iter
+    (fun n ->
+      Poly1305.feed t (Bytes.sub data !pos n);
+      pos := !pos + n)
+    [ 1; 15; 16; 17; 31; 100; 153 ];
+  assert (!pos = 333);
+  check_hex "incremental = one-shot" (Bytes_util.to_hex one_shot)
+    (Poly1305.finish t)
+
+(* Edge cases around the 2^130-5 modulus: an all-0xff block exercises the
+   final conditional subtraction. *)
+let test_poly1305_edge () =
+  (* r = 2-ish, data forcing h ≈ p: from the RFC's security considerations
+     appendix (test vector 2 of poly1305-donna). *)
+  let key = hex "0200000000000000000000000000000000000000000000000000000000000000" in
+  let data = hex "ffffffffffffffffffffffffffffffff" in
+  (* h = 2^128 - 1 + 2^128 = ..., tag = 03000... *)
+  check_hex "wrap edge" "03000000000000000000000000000000"
+    (Poly1305.mac ~key data)
+
+(* ------------------------------------------------------------------ *)
+(* AEAD (RFC 8439 §2.8.2)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_aead_vector () =
+  let key = hex "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f" in
+  let nonce = hex "070000004041424344454647" in
+  let aad = hex "50515253c0c1c2c3c4c5c6c7" in
+  let sealed = Aead.seal ~key ~nonce ~aad (Bytes.of_string sunscreen) in
+  check_hex "rfc8439 2.8.2 ct||tag"
+    ("d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6\
+      3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36\
+      92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc\
+      3ff4def08e4b7a9de576d26586cec64b6116"
+    ^ "1ae10b594f09e26a7e902ecbd0600691")
+    sealed;
+  (match Aead.open_ ~key ~nonce ~aad sealed with
+  | Some pt -> Alcotest.(check string) "roundtrip" sunscreen (Bytes.to_string pt)
+  | None -> Alcotest.fail "AEAD open failed");
+  (* Any bit flip anywhere must be rejected. *)
+  for i = 0 to Bytes.length sealed - 1 do
+    let bad = Bytes.copy sealed in
+    Bytes.set bad i (Char.chr (Char.code (Bytes.get bad i) lxor 0x40));
+    match Aead.open_ ~key ~nonce ~aad bad with
+    | None -> ()
+    | Some _ -> Alcotest.fail (Printf.sprintf "tamper at byte %d accepted" i)
+  done
+
+let test_aead_wrong_aad () =
+  let key = Bytes.make 32 '\x01' in
+  let nonce = Aead.nonce_of ~domain:7 ~counter:42 in
+  let sealed = Aead.seal ~key ~nonce ~aad:(Bytes.of_string "a") (Bytes.of_string "m") in
+  Alcotest.(check bool) "wrong aad rejected" true
+    (Aead.open_ ~key ~nonce ~aad:(Bytes.of_string "b") sealed = None);
+  Alcotest.(check bool) "short input rejected" true
+    (Aead.open_ ~key ~nonce (Bytes.make 3 'x') = None)
+
+(* ------------------------------------------------------------------ *)
+(* X25519 (RFC 7748)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_x25519_vectors () =
+  let v1 =
+    Curve25519.scalarmult
+      ~scalar:(hex "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4")
+      ~point:(hex "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c")
+  in
+  check_hex "rfc7748 vector 1"
+    "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552" v1;
+  let v2 =
+    Curve25519.scalarmult
+      ~scalar:(hex "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d")
+      ~point:(hex "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493")
+  in
+  check_hex "rfc7748 vector 2"
+    "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957" v2
+
+let test_x25519_dh () =
+  let a_sk = hex "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a" in
+  let b_sk = hex "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb" in
+  let a_pk = Curve25519.scalarmult_base a_sk in
+  let b_pk = Curve25519.scalarmult_base b_sk in
+  check_hex "alice pk"
+    "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a" a_pk;
+  check_hex "bob pk"
+    "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f" b_pk;
+  let s1 = Curve25519.shared ~secret:a_sk ~public:b_pk in
+  let s2 = Curve25519.shared ~secret:b_sk ~public:a_pk in
+  check_hex "shared secret"
+    "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742" s1;
+  check_hex "dh commutes" (Bytes_util.to_hex s1) s2
+
+let test_x25519_iterated () =
+  (* RFC 7748 §5.2 iteration test, 1000 rounds. *)
+  let k = ref (hex "0900000000000000000000000000000000000000000000000000000000000000") in
+  let u = ref !k in
+  for i = 1 to 1000 do
+    let r = Curve25519.scalarmult ~scalar:!k ~point:!u in
+    u := !k;
+    k := r;
+    if i = 1 then
+      check_hex "after 1 iteration"
+        "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079" !k
+  done;
+  check_hex "after 1000 iterations"
+    "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51" !k
+
+(* ------------------------------------------------------------------ *)
+(* DRBG                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_drbg_deterministic () =
+  let a = Drbg.of_string "seed" and b = Drbg.of_string "seed" in
+  check_hex "same seed, same stream"
+    (Bytes_util.to_hex (Drbg.generate a 64))
+    (Drbg.generate b 64);
+  let c = Drbg.of_string "other" in
+  Alcotest.(check bool) "different seed differs" false
+    (Bytes.equal (Drbg.generate a 64) (Drbg.generate c 64))
+
+let test_drbg_stream_disjoint () =
+  let a = Drbg.of_string "seed" in
+  let x = Drbg.generate a 32 and y = Drbg.generate a 32 in
+  Alcotest.(check bool) "consecutive draws differ" false (Bytes.equal x y)
+
+let test_drbg_uniform_bounds () =
+  let rng = Drbg.of_string "uniform" in
+  for _ = 1 to 1000 do
+    let v = Drbg.uniform ~rng 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "uniform out of range"
+  done;
+  let f = Drbg.float_unit ~rng () in
+  Alcotest.(check bool) "float in [0,1)" true (f >= 0. && f < 1.)
+
+(* ------------------------------------------------------------------ *)
+(* Box                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_box_roundtrip () =
+  let rng = Drbg.of_string "box" in
+  let a_sk, a_pk = Drbg.keypair ~rng () in
+  let b_sk, b_pk = Drbg.keypair ~rng () in
+  let k1 = Box.precompute ~secret:a_sk ~public:b_pk in
+  let k2 = Box.precompute ~secret:b_sk ~public:a_pk in
+  check_hex "precompute symmetric" (Bytes_util.to_hex k1) k2;
+  let nonce = Aead.nonce_of ~domain:1 ~counter:5 in
+  let sealed = Box.seal ~key:k1 ~nonce (Bytes.of_string "hi bob") in
+  (match Box.open_ ~key:k2 ~nonce sealed with
+  | Some pt -> Alcotest.(check string) "box roundtrip" "hi bob" (Bytes.to_string pt)
+  | None -> Alcotest.fail "box open failed")
+
+let test_sealed_box () =
+  let rng = Drbg.of_string "sealed" in
+  let sk, pk = Drbg.keypair ~rng () in
+  let sealed = Box.seal_anonymous ~rng ~recipient_pk:pk (Bytes.of_string "invite") in
+  Alcotest.(check int) "anonymous overhead" (6 + Box.anonymous_overhead)
+    (Bytes.length sealed);
+  (match Box.open_anonymous ~recipient_sk:sk ~recipient_pk:pk sealed with
+  | Some pt -> Alcotest.(check string) "sealed roundtrip" "invite" (Bytes.to_string pt)
+  | None -> Alcotest.fail "sealed open failed");
+  (* The wrong recipient's trial decryption must fail. *)
+  let sk2, pk2 = Drbg.keypair ~rng () in
+  Alcotest.(check bool) "wrong recipient fails" true
+    (Box.open_anonymous ~recipient_sk:sk2 ~recipient_pk:pk2 sealed = None)
+
+(* An 80-byte paper invitation = 32-byte payload + sealed-box overhead. *)
+let test_invitation_size () =
+  Alcotest.(check int) "invitation is 80 bytes" 80 (32 + Box.anonymous_overhead)
+
+(* ------------------------------------------------------------------ *)
+(* Bytes_util                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_hex_roundtrip () =
+  let b = Drbg.generate (Drbg.of_string "hex") 57 in
+  check_hex "roundtrip" (Bytes_util.to_hex b) (Bytes_util.of_hex (Bytes_util.to_hex b));
+  Alcotest.check_raises "odd length" (Invalid_argument "Bytes_util.of_hex: odd length")
+    (fun () -> ignore (Bytes_util.of_hex "abc"));
+  Alcotest.check_raises "bad digit" (Invalid_argument "Bytes_util.of_hex: bad digit")
+    (fun () -> ignore (Bytes_util.of_hex "zz"))
+
+let test_endian () =
+  let b = Bytes.create 8 in
+  Bytes_util.store_le64 b 0 0x1122334455667788;
+  Alcotest.(check int) "le64 roundtrip" 0x1122334455667788 (Bytes_util.le64 b 0);
+  Alcotest.(check int) "le32" 0x55667788 (Bytes_util.le32 b 0);
+  Bytes_util.store_be32 b 0 0xdeadbeef;
+  Alcotest.(check int) "be32 roundtrip" 0xdeadbeef (Bytes_util.be32 b 0)
+
+let test_ct_equal () =
+  Alcotest.(check bool) "equal" true
+    (Bytes_util.ct_equal (Bytes.of_string "abc") (Bytes.of_string "abc"));
+  Alcotest.(check bool) "unequal" false
+    (Bytes_util.ct_equal (Bytes.of_string "abc") (Bytes.of_string "abd"));
+  Alcotest.(check bool) "length mismatch" false
+    (Bytes_util.ct_equal (Bytes.of_string "ab") (Bytes.of_string "abc"))
+
+let test_pad_to () =
+  let p = Bytes_util.pad_to 5 (Bytes.of_string "ab") in
+  Alcotest.(check string) "padded" "ab\000\000\000" (Bytes.to_string p);
+  Alcotest.check_raises "too long" (Invalid_argument "Bytes_util.pad_to: too long")
+    (fun () -> ignore (Bytes_util.pad_to 1 (Bytes.of_string "ab")))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_props =
+  let open QCheck in
+  let bytes_gen n = Gen.map Bytes.of_string (Gen.string_size (Gen.return n)) in
+  let arb_msg = make ~print:(fun b -> Bytes_util.to_hex b)
+      (Gen.map Bytes.of_string Gen.(string_size (int_bound 300))) in
+  [
+    Test.make ~name:"aead seal/open roundtrip" ~count:100 arb_msg (fun msg ->
+        let key = Bytes.make 32 '\x42' in
+        let nonce = Aead.nonce_of ~domain:0 ~counter:1 in
+        match Aead.open_ ~key ~nonce (Aead.seal ~key ~nonce msg) with
+        | Some pt -> Bytes.equal pt msg
+        | None -> false);
+    Test.make ~name:"aead: wrong key never opens" ~count:50 arb_msg (fun msg ->
+        let key = Bytes.make 32 '\x42' and key' = Bytes.make 32 '\x43' in
+        let nonce = Aead.nonce_of ~domain:0 ~counter:1 in
+        Aead.open_ ~key:key' ~nonce (Aead.seal ~key ~nonce msg) = None);
+    Test.make ~name:"chacha20 encrypt is an involution" ~count:100 arb_msg
+      (fun msg ->
+        let key = Bytes.make 32 '\x24' in
+        let nonce = Bytes.make 12 '\x05' in
+        Bytes.equal msg (Chacha20.decrypt ~key ~nonce (Chacha20.encrypt ~key ~nonce msg)));
+    Test.make ~name:"x25519 dh commutes" ~count:10
+      (make (Gen.pair (bytes_gen 32) (bytes_gen 32)))
+      (fun (a, b) ->
+        let a_pk = Curve25519.scalarmult_base a in
+        let b_pk = Curve25519.scalarmult_base b in
+        Bytes.equal
+          (Curve25519.shared ~secret:a ~public:b_pk)
+          (Curve25519.shared ~secret:b ~public:a_pk));
+    Test.make ~name:"sealed box roundtrip" ~count:25 arb_msg (fun msg ->
+        let rng = Drbg.of_string "prop-sealed" in
+        let sk, pk = Drbg.keypair ~rng () in
+        match
+          Box.open_anonymous ~recipient_sk:sk ~recipient_pk:pk
+            (Box.seal_anonymous ~rng ~recipient_pk:pk msg)
+        with
+        | Some pt -> Bytes.equal pt msg
+        | None -> false);
+    Test.make ~name:"hex roundtrip" ~count:100 arb_msg (fun b ->
+        Bytes.equal b (Bytes_util.of_hex (Bytes_util.to_hex b)));
+    Test.make ~name:"hmac differs on tampered data" ~count:50
+      (make (Gen.map Bytes.of_string Gen.(string_size (int_range 1 100))))
+      (fun data ->
+        let key = Bytes.of_string "k" in
+        let tampered = Bytes.copy data in
+        Bytes.set tampered 0 (Char.chr (Char.code (Bytes.get data 0) lxor 1));
+        not (Bytes.equal (Hmac.sha256 ~key data) (Hmac.sha256 ~key tampered)));
+  ]
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "crypto",
+    [
+      tc "sha256 vectors" `Quick test_sha256_vectors;
+      tc "sha256 incremental" `Quick test_sha256_incremental;
+      tc "sha256 get nondestructive" `Quick test_sha256_get_nondestructive;
+      tc "hmac vectors" `Quick test_hmac_vectors;
+      tc "hmac verify" `Quick test_hmac_verify;
+      tc "hkdf vectors" `Quick test_hkdf_vectors;
+      tc "chacha20 block" `Quick test_chacha20_block;
+      tc "chacha20 encrypt" `Quick test_chacha20_encrypt;
+      tc "poly1305 vector" `Quick test_poly1305_vector;
+      tc "poly1305 incremental" `Quick test_poly1305_incremental;
+      tc "poly1305 wrap edge" `Quick test_poly1305_edge;
+      tc "aead vector + tamper sweep" `Quick test_aead_vector;
+      tc "aead wrong aad" `Quick test_aead_wrong_aad;
+      tc "x25519 vectors" `Quick test_x25519_vectors;
+      tc "x25519 diffie-hellman" `Quick test_x25519_dh;
+      tc "x25519 iterated (1000)" `Slow test_x25519_iterated;
+      tc "drbg deterministic" `Quick test_drbg_deterministic;
+      tc "drbg stream disjoint" `Quick test_drbg_stream_disjoint;
+      tc "drbg uniform bounds" `Quick test_drbg_uniform_bounds;
+      tc "box roundtrip" `Quick test_box_roundtrip;
+      tc "sealed box" `Quick test_sealed_box;
+      tc "invitation size" `Quick test_invitation_size;
+      tc "hex roundtrip" `Quick test_hex_roundtrip;
+      tc "endian helpers" `Quick test_endian;
+      tc "constant-time equal" `Quick test_ct_equal;
+      tc "pad_to" `Quick test_pad_to;
+    ]
+    @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props )
+
+(* ------------------------------------------------------------------ *)
+(* Fe25519 field algebra                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Direct algebraic properties of the shared field arithmetic that both
+   X25519 and Ed25519 stand on. *)
+let fe_suite =
+  let open QCheck in
+  let arb_fe =
+    make
+      ~print:(fun a -> Bytes_util.to_hex (Fe25519.pack a))
+      (Gen.map
+         (fun s -> Fe25519.unpack (Bytes.of_string s))
+         Gen.(string_size (return 32)))
+  in
+  let eq = Fe25519.equal in
+  [
+    QCheck.Test.make ~name:"fe: mul commutes" ~count:100 (pair arb_fe arb_fe)
+      (fun (a, b) ->
+        let x = Fe25519.create () and y = Fe25519.create () in
+        Fe25519.mul x a b;
+        Fe25519.mul y b a;
+        eq x y);
+    QCheck.Test.make ~name:"fe: mul associates" ~count:100
+      (triple arb_fe arb_fe arb_fe) (fun (a, b, c) ->
+        let ab = Fe25519.create ()
+        and bc = Fe25519.create ()
+        and l = Fe25519.create ()
+        and r = Fe25519.create () in
+        Fe25519.mul ab a b;
+        Fe25519.mul l ab c;
+        Fe25519.mul bc b c;
+        Fe25519.mul r a bc;
+        eq l r);
+    QCheck.Test.make ~name:"fe: distributivity" ~count:100
+      (triple arb_fe arb_fe arb_fe) (fun (a, b, c) ->
+        let bc = Fe25519.create ()
+        and l = Fe25519.create ()
+        and ab = Fe25519.create ()
+        and ac = Fe25519.create ()
+        and r = Fe25519.create () in
+        Fe25519.add bc b c;
+        Fe25519.mul l a bc;
+        Fe25519.mul ab a b;
+        Fe25519.mul ac a c;
+        Fe25519.add r ab ac;
+        Fe25519.carry r;
+        eq l r);
+    QCheck.Test.make ~name:"fe: a * a^-1 = 1 (a <> 0)" ~count:50 arb_fe
+      (fun a ->
+        let zero = Fe25519.zero () in
+        if eq a zero then true
+        else begin
+          let inv = Fe25519.create () and prod = Fe25519.create () in
+          Fe25519.invert inv a;
+          Fe25519.mul prod a inv;
+          eq prod (Fe25519.one ())
+        end);
+    QCheck.Test.make ~name:"fe: pack/unpack roundtrip is canonical"
+      ~count:100 arb_fe (fun a ->
+        let packed = Fe25519.pack a in
+        Bytes.equal packed (Fe25519.pack (Fe25519.unpack packed)));
+    QCheck.Test.make ~name:"fe: square = mul self" ~count:100 arb_fe
+      (fun a ->
+        let s = Fe25519.create () and m = Fe25519.create () in
+        Fe25519.square s a;
+        Fe25519.mul m a a;
+        eq s m);
+  ]
+  |> List.map (QCheck_alcotest.to_alcotest ~long:false)
+
+let suite = (fst suite, snd suite @ fe_suite)

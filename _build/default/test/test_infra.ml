@@ -1,0 +1,318 @@
+(* Infrastructure tests: the RPC wire protocol, the §5.5 CDN, and the
+   §9 address book. *)
+
+open Vuvuzela_crypto
+open Vuvuzela_dp
+open Vuvuzela
+
+(* ------------------------------------------------------------------ *)
+(* Rpc                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip msg =
+  match Rpc.decode (Rpc.encode msg) with
+  | Ok m ->
+      if not (Rpc.equal_message msg m) then Alcotest.fail "rpc mismatch"
+  | Error e -> Alcotest.fail e
+
+let test_rpc_roundtrips () =
+  let rng = Drbg.of_string "rpc" in
+  let batch n len = Array.init n (fun _ -> Drbg.generate rng len) in
+  roundtrip (Rpc.Round_announce { round = 42; deadline_ms = 10_000 });
+  roundtrip (Rpc.Dial_announce { dial_round = 7; m = 4 });
+  roundtrip (Rpc.Conv_batch { round = 3; onions = batch 5 416 });
+  roundtrip (Rpc.Conv_batch { round = 3; onions = [||] });
+  roundtrip (Rpc.Conv_results { round = 3; replies = batch 5 304 });
+  roundtrip (Rpc.Dial_batch { round = 1; m = 2; onions = batch 3 226 });
+  roundtrip (Rpc.Dial_results { round = 1; replies = batch 3 49 });
+  roundtrip (Rpc.Fetch_drop { dial_round = 9; index = 1 });
+  roundtrip
+    (Rpc.Drop_contents
+       { dial_round = 9; index = 1; invitations = [ Drbg.generate rng 80 ] });
+  roundtrip (Rpc.Drop_contents { dial_round = 9; index = 0; invitations = [] })
+
+let test_rpc_rejections () =
+  let good = Rpc.encode (Rpc.Round_announce { round = 1; deadline_ms = 1 }) in
+  (* Bad magic. *)
+  let bad = Bytes.copy good in
+  Bytes.set bad 0 'X';
+  (match Rpc.decode bad with Error _ -> () | Ok _ -> Alcotest.fail "bad magic");
+  (* Bad version. *)
+  let bad = Bytes.copy good in
+  Bytes.set bad 4 '\x09';
+  (match Rpc.decode bad with Error _ -> () | Ok _ -> Alcotest.fail "bad version");
+  (* Unknown tag. *)
+  let bad = Bytes.copy good in
+  Bytes.set bad 5 '\xee';
+  (match Rpc.decode bad with Error _ -> () | Ok _ -> Alcotest.fail "bad tag");
+  (* Truncation anywhere must fail cleanly. *)
+  for cut = 0 to Bytes.length good - 1 do
+    match Rpc.decode (Bytes.sub good 0 cut) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncated at %d accepted" cut
+  done;
+  (* Trailing garbage rejected. *)
+  (match Rpc.decode (Bytes.cat good (Bytes.make 1 'z')) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing bytes accepted");
+  (* Ragged batch rejected at encode time. *)
+  Alcotest.(check bool) "ragged batch" true
+    (try
+       ignore
+         (Rpc.encode
+            (Rpc.Conv_batch
+               { round = 1; onions = [| Bytes.make 3 'a'; Bytes.make 4 'b' |] }));
+       false
+     with Vuvuzela_mixnet.Wire.Error _ -> true)
+
+let test_rpc_fuzz () =
+  (* Random byte strings never crash the decoder. *)
+  let rng = Drbg.of_string "rpc-fuzz" in
+  for _ = 1 to 500 do
+    let len = Drbg.uniform ~rng 64 in
+    match Rpc.decode (Drbg.generate rng len) with
+    | Ok _ | Error _ -> ()
+  done
+
+let test_rpc_batch_bytes () =
+  let onions = Array.init 7 (fun _ -> Bytes.make 416 'x') in
+  let encoded = Rpc.encode (Rpc.Conv_batch { round = 1; onions }) in
+  Alcotest.(check int) "conv_batch_bytes exact"
+    (Bytes.length encoded)
+    (Rpc.conv_batch_bytes ~count:7 ~item_len:416)
+
+(* ------------------------------------------------------------------ *)
+(* CDN                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cdn_caching () =
+  let origin_calls = ref 0 in
+  let fetch ~dial_round ~index =
+    incr origin_calls;
+    [ Bytes.of_string (Printf.sprintf "drop-%d-%d" dial_round index) ]
+  in
+  let cdn = Cdn.create ~edges:1 ~fetch () in
+  let pk = Bytes.make 32 'a' in
+  (* 50 clients on one edge fetch the same drop: origin hit once. *)
+  for _ = 1 to 50 do
+    match Cdn.fetch cdn ~client_pk:pk ~dial_round:1 ~index:0 with
+    | [ b ] -> Alcotest.(check string) "content" "drop-1-0" (Bytes.to_string b)
+    | _ -> Alcotest.fail "wrong contents"
+  done;
+  Alcotest.(check int) "origin touched once" 1 !origin_calls;
+  let s = Cdn.stats cdn in
+  Alcotest.(check int) "49 hits" 49 s.Cdn.edge_hits;
+  Alcotest.(check int) "1 miss" 1 s.Cdn.edge_misses
+
+let test_cdn_spread_and_eviction () =
+  let fetch ~dial_round ~index =
+    [ Bytes.of_string (Printf.sprintf "d%d.%d" dial_round index) ]
+  in
+  let cdn = Cdn.create ~edges:4 ~history:1 ~fetch () in
+  let rng = Drbg.of_string "cdn" in
+  (* Many clients across edges. *)
+  for _ = 1 to 100 do
+    ignore (Cdn.fetch cdn ~client_pk:(Drbg.generate rng 32) ~dial_round:1 ~index:0)
+  done;
+  let s = Cdn.stats cdn in
+  (* At most one miss per edge. *)
+  Alcotest.(check bool) "misses bounded by edges" true (s.Cdn.edge_misses <= 4);
+  (* Advance far: old round evicted, returns []. *)
+  ignore (Cdn.fetch cdn ~client_pk:(Drbg.generate rng 32) ~dial_round:5 ~index:0);
+  Alcotest.(check (list string)) "evicted round empty" []
+    (List.map Bytes.to_string
+       (Cdn.fetch cdn ~client_pk:(Drbg.generate rng 32) ~dial_round:1 ~index:0))
+
+let test_cdn_against_live_chain () =
+  (* The CDN fronts a real chain's invitation store: clients get exactly
+     what a direct fetch returns, while the origin serves each edge
+     once. *)
+  let net =
+    Network.create ~seed:"cdn-live" ~n_servers:3
+      ~noise:(Laplace.params ~mu:2. ~b:1.)
+      ~dial_noise:(Laplace.params ~mu:2. ~b:1.)
+      ~noise_mode:Noise.Deterministic ()
+  in
+  let alice = Network.connect ~seed:"alice" net in
+  let bob = Network.connect ~seed:"bob" net in
+  Client.dial alice ~callee_pk:(Client.public_key bob);
+  ignore (Network.run_dialing_round net);
+  let chain = Network.chain net in
+  let cdn =
+    Cdn.create ~edges:2
+      ~fetch:(fun ~dial_round:_ ~index -> Chain.fetch_invitations chain ~index)
+      ()
+  in
+  let direct = Chain.fetch_invitations chain ~index:0 in
+  let via_cdn =
+    Cdn.fetch cdn ~client_pk:(Client.public_key bob) ~dial_round:1 ~index:0
+  in
+  Alcotest.(check int) "same count" (List.length direct) (List.length via_cdn);
+  Alcotest.(check bool) "same bytes" true
+    (List.for_all2 Bytes.equal direct via_cdn);
+  (* Bob can scan the CDN copy. *)
+  Alcotest.(check int) "bob finds his call" 1
+    (List.length (Dialing.scan ~identity:(Client.identity bob) via_cdn))
+
+(* ------------------------------------------------------------------ *)
+(* Address book                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mk_contact ?signing name seed =
+  let id = Types.identity_of_seed (Bytes.of_string seed) in
+  {
+    Address_book.name;
+    conversation_pk = id.Types.public;
+    signing_pk = signing;
+  }
+
+let test_address_book_basics () =
+  let book = Address_book.create () in
+  Address_book.add book (mk_contact "alice" "ab-alice");
+  Address_book.add book (mk_contact "bob" "ab-bob");
+  Alcotest.(check int) "two contacts" 2 (Address_book.size book);
+  (match Address_book.find book ~name:"alice" with
+  | Some c -> Alcotest.(check string) "found" "alice" c.Address_book.name
+  | None -> Alcotest.fail "alice missing");
+  let alice_pk =
+    (Option.get (Address_book.find book ~name:"alice")).Address_book.conversation_pk
+  in
+  (match Address_book.find_by_key book ~conversation_pk:alice_pk with
+  | Some c -> Alcotest.(check string) "reverse lookup" "alice" c.Address_book.name
+  | None -> Alcotest.fail "reverse lookup failed");
+  Address_book.remove book ~name:"alice";
+  Alcotest.(check int) "one left" 1 (Address_book.size book);
+  Alcotest.(check bool) "reverse entry gone" true
+    (Address_book.find_by_key book ~conversation_pk:alice_pk = None)
+
+let test_address_book_serialization () =
+  let book = Address_book.create () in
+  let _, spk = Ed25519.keypair ~rng:(Drbg.of_string "ab-signer") () in
+  Address_book.add book (mk_contact ~signing:spk "carol" "ab-carol");
+  Address_book.add book (mk_contact "dave" "ab-dave");
+  match Address_book.deserialize (Address_book.serialize book) with
+  | Ok book' ->
+      Alcotest.(check int) "size preserved" 2 (Address_book.size book');
+      let c = Option.get (Address_book.find book' ~name:"carol") in
+      Alcotest.(check bool) "signing key preserved" true
+        (c.Address_book.signing_pk = Some spk);
+      Alcotest.(check bool) "trusts carol's signer" true
+        (Address_book.trusts book' spk)
+  | Error e -> Alcotest.fail e
+
+let test_address_book_vetting () =
+  let book = Address_book.create () in
+  let carol_sk, carol_spk = Ed25519.keypair ~rng:(Drbg.of_string "vet-carol") () in
+  let mallory_sk, _ = Ed25519.keypair ~rng:(Drbg.of_string "vet-mallory") () in
+  let carol_id = Types.identity_of_seed (Bytes.of_string "vet-carol-id") in
+  Address_book.add book
+    {
+      Address_book.name = "carol";
+      conversation_pk = carol_id.Types.public;
+      signing_pk = Some carol_spk;
+    };
+  (* Genuine call from carol. *)
+  let cert =
+    Certificate.self_signed ~signing_sk:carol_sk
+      ~conversation_pk:carol_id.Types.public ~name:"carol" ~expires:10
+  in
+  (match Address_book.vet book ~now:1 ~caller_pk:carol_id.Types.public cert with
+  | Address_book.Known c -> Alcotest.(check string) "vetted" "carol" c.Address_book.name
+  | _ -> Alcotest.fail "genuine call rejected");
+  (* Unknown signer. *)
+  let stranger =
+    Certificate.self_signed ~signing_sk:mallory_sk
+      ~conversation_pk:carol_id.Types.public ~name:"carol" ~expires:10
+  in
+  (match Address_book.vet book ~now:1 ~caller_pk:carol_id.Types.public stranger with
+  | Address_book.Unknown -> ()
+  | _ -> Alcotest.fail "unknown signer not flagged");
+  (* Carol's key signing a cert for a DIFFERENT conversation key than
+     the actual caller: invalid. *)
+  let other = Types.identity_of_seed (Bytes.of_string "vet-other") in
+  let misbound =
+    Certificate.self_signed ~signing_sk:carol_sk
+      ~conversation_pk:other.Types.public ~name:"carol" ~expires:10
+  in
+  (match Address_book.vet book ~now:1 ~caller_pk:carol_id.Types.public misbound with
+  | Address_book.Invalid _ -> ()
+  | _ -> Alcotest.fail "subject mismatch not flagged");
+  (* Expired. *)
+  match Address_book.vet book ~now:99 ~caller_pk:carol_id.Types.public cert with
+  | Address_book.Invalid (Certificate.Expired _) -> ()
+  | _ -> Alcotest.fail "expiry not flagged"
+
+let test_address_book_rename () =
+  let book = Address_book.create () in
+  Address_book.add book (mk_contact "al" "ab-rename");
+  Address_book.add book (mk_contact "albert" "ab-rename");
+  (* Same conversation key under a new name: old reverse entry must
+     point at the newest record; size counts names. *)
+  Alcotest.(check int) "two names" 2 (Address_book.size book)
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"rpc fuzz never crashes" ~count:200
+      (string_of_size (Gen.int_bound 100))
+      (fun s ->
+        match Rpc.decode (Bytes.of_string s) with Ok _ | Error _ -> true);
+    Test.make ~name:"address book serialize roundtrip" ~count:30
+      (small_list (string_gen_of_size (Gen.int_range 1 20) Gen.printable))
+      (fun names ->
+        let book = Address_book.create () in
+        List.iteri
+          (fun i name ->
+            Address_book.add book (mk_contact name (Printf.sprintf "ab-p%d" i)))
+          names;
+        match Address_book.deserialize (Address_book.serialize book) with
+        | Ok book' -> Address_book.size book' = Address_book.size book
+        | Error _ -> false);
+  ]
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "infra",
+    [
+      tc "rpc roundtrips" `Quick test_rpc_roundtrips;
+      tc "rpc rejections" `Quick test_rpc_rejections;
+      tc "rpc fuzz" `Quick test_rpc_fuzz;
+      tc "rpc batch byte accounting" `Quick test_rpc_batch_bytes;
+      tc "cdn caching" `Quick test_cdn_caching;
+      tc "cdn spread and eviction" `Quick test_cdn_spread_and_eviction;
+      tc "cdn against live chain" `Quick test_cdn_against_live_chain;
+      tc "address book basics" `Quick test_address_book_basics;
+      tc "address book serialization" `Quick test_address_book_serialization;
+      tc "address book vetting" `Quick test_address_book_vetting;
+      tc "address book rename" `Quick test_address_book_rename;
+    ]
+    @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props )
+
+(* CDN integrated into the deployment's dialing downloads. *)
+let test_network_with_cdn () =
+  let net =
+    Network.create ~seed:"net-cdn" ~n_servers:3
+      ~noise:(Laplace.params ~mu:2. ~b:1.)
+      ~dial_noise:(Laplace.params ~mu:2. ~b:1.)
+      ~noise_mode:Noise.Deterministic ~cdn_edges:2 ()
+  in
+  let a = Network.connect ~seed:"a" net in
+  let b = Network.connect ~seed:"b" net in
+  let _extras =
+    List.init 6 (fun i -> Network.connect ~seed:(Printf.sprintf "x%d" i) net)
+  in
+  Client.dial a ~callee_pk:(Client.public_key b);
+  let events = Network.run_dialing_round net in
+  Alcotest.(check int) "call delivered through cdn" 1 (List.length events);
+  match Network.cdn_stats net with
+  | Some s ->
+      (* 8 clients fetched the (single) drop; origin served each edge at
+         most once. *)
+      Alcotest.(check int) "all fetches went through the cdn" 8
+        (s.Cdn.edge_hits + s.Cdn.edge_misses);
+      Alcotest.(check bool) "origin requests bounded by edges" true
+        (s.Cdn.origin_requests <= 2)
+  | None -> Alcotest.fail "cdn stats missing"
+
+let suite =
+  (fst suite, snd suite @ [ Alcotest.test_case "network with cdn" `Quick test_network_with_cdn ])

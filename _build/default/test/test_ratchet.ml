@@ -1,0 +1,124 @@
+(* Forward-secrecy ratchet tests (§9 extension). *)
+
+open Vuvuzela_crypto
+open Vuvuzela
+
+let base = Bytes.of_string "ratchet-test-base-secret"
+
+let test_lockstep () =
+  (* Two parties with the same base derive identical keys per round. *)
+  let a = Ratchet.create ~base ~first_round:1 () in
+  let b = Ratchet.create ~base ~first_round:1 () in
+  for round = 1 to 20 do
+    match (Ratchet.key_for a ~round, Ratchet.key_for b ~round) with
+    | Some ka, Some kb ->
+        Alcotest.(check string)
+          (Printf.sprintf "round %d keys agree" round)
+          (Bytes_util.to_hex ka) (Bytes_util.to_hex kb)
+    | _ -> Alcotest.fail "key unavailable in lockstep"
+  done
+
+let test_keys_distinct () =
+  let a = Ratchet.create ~base ~first_round:1 () in
+  let seen = Hashtbl.create 64 in
+  for round = 1 to 100 do
+    match Ratchet.key_for a ~round with
+    | Some k ->
+        let h = Bytes.to_string k in
+        if Hashtbl.mem seen h then Alcotest.failf "key repeated at %d" round;
+        Hashtbl.replace seen h ()
+    | None -> Alcotest.fail "missing key"
+  done
+
+let test_forward_secrecy () =
+  (* After advancing, earlier rounds are unrecoverable. *)
+  let a = Ratchet.create ~window:4 ~base ~first_round:1 () in
+  ignore (Ratchet.key_for a ~round:1);
+  ignore (Ratchet.key_for a ~round:2);
+  ignore (Ratchet.key_for a ~round:50);
+  Alcotest.(check bool) "round 1 erased" true (Ratchet.erased a ~round:1);
+  Alcotest.(check (option string)) "round 1 key gone" None
+    (Option.map Bytes.to_string (Ratchet.key_for a ~round:1));
+  Alcotest.(check (option string)) "round 2 key gone (consumed)" None
+    (Option.map Bytes.to_string (Ratchet.key_for a ~round:2));
+  (* Rounds 30..45 are also gone: outside the window of 4. *)
+  Alcotest.(check bool) "round 30 erased" true (Ratchet.erased a ~round:30)
+
+let test_skipped_window () =
+  (* Rounds skipped within the window remain claimable exactly once. *)
+  let a = Ratchet.create ~window:8 ~base ~first_round:1 () in
+  ignore (Ratchet.key_for a ~round:5);
+  (* rounds 1-4 were skipped and retained *)
+  let b = Ratchet.create ~window:8 ~base ~first_round:1 () in
+  let expected =
+    Option.map Bytes_util.to_hex (Ratchet.key_for b ~round:3)
+  in
+  let got = Option.map Bytes_util.to_hex (Ratchet.key_for a ~round:3) in
+  Alcotest.(check (option string)) "skipped key matches lockstep" expected got;
+  Alcotest.(check (option string)) "consumed once" None
+    (Option.map Bytes_util.to_hex (Ratchet.key_for a ~round:3))
+
+let test_interop_with_aead () =
+  (* End to end: seal at round r with sender ratchet, open with receiver
+     ratchet even with gaps and reordering. *)
+  let send = Ratchet.create ~base ~first_round:1 () in
+  let recv = Ratchet.create ~base ~first_round:1 () in
+  let seal round msg =
+    let key = Option.get (Ratchet.key_for send ~round) in
+    Aead.seal ~key ~nonce:(Aead.nonce_of ~domain:9 ~counter:round)
+      (Bytes.of_string msg)
+  in
+  let open_ round ct =
+    match Ratchet.key_for recv ~round with
+    | None -> None
+    | Some key ->
+        Aead.open_ ~key ~nonce:(Aead.nonce_of ~domain:9 ~counter:round) ct
+  in
+  let c1 = seal 1 "first" in
+  let c3 = seal 3 "third" in
+  let c7 = seal 7 "seventh" in
+  (* Receiver sees 7 first (skipping 1-6), then goes back for 1 and 3. *)
+  Alcotest.(check (option string)) "round 7" (Some "seventh")
+    (Option.map Bytes.to_string (open_ 7 c7));
+  Alcotest.(check (option string)) "round 1 late" (Some "first")
+    (Option.map Bytes.to_string (open_ 1 c1));
+  Alcotest.(check (option string)) "round 3 late" (Some "third")
+    (Option.map Bytes.to_string (open_ 3 c3))
+
+let test_window_zero () =
+  (* window 0: strictly in-order; any skip is lost. *)
+  let a = Ratchet.create ~window:0 ~base ~first_round:1 () in
+  ignore (Ratchet.key_for a ~round:2);
+  Alcotest.(check bool) "skipped round lost" true (Ratchet.erased a ~round:1)
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"ratchet keys agree under any access order" ~count:30
+      (list_of_size (Gen.int_range 1 10) (int_range 1 30))
+      (fun rounds ->
+        (* Receiver accesses rounds in the given (possibly weird) order;
+           whenever a key is available it must equal the lockstep key. *)
+        let recv = Ratchet.create ~window:32 ~base ~first_round:1 () in
+        List.for_all
+          (fun r ->
+            match Ratchet.key_for recv ~round:r with
+            | None -> true (* consumed or erased: acceptable *)
+            | Some k ->
+                let fresh = Ratchet.create ~window:32 ~base ~first_round:1 () in
+                Ratchet.key_for fresh ~round:r = Some k)
+          rounds);
+  ]
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "ratchet",
+    [
+      tc "lockstep derivation" `Quick test_lockstep;
+      tc "keys distinct" `Quick test_keys_distinct;
+      tc "forward secrecy" `Quick test_forward_secrecy;
+      tc "skipped window" `Quick test_skipped_window;
+      tc "interop with aead" `Quick test_interop_with_aead;
+      tc "window zero" `Quick test_window_zero;
+    ]
+    @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props )

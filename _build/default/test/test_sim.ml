@@ -1,0 +1,408 @@
+(* Simulator tests: the DES engine itself, the calibrated cost model
+   against the paper's reported numbers, and the figure harnesses'
+   shape properties. *)
+
+open Vuvuzela_sim
+
+let feq ?(tol = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+let within msg ~pct expected actual =
+  if expected = 0. then feq msg expected actual
+  else begin
+    let rel = Float.abs ((actual -. expected) /. expected) in
+    if rel > pct /. 100. then
+      Alcotest.failf "%s: %.4g is %.1f%% from paper's %.4g (allow %.0f%%)"
+        msg actual (100. *. rel) expected pct
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Event_sim engine                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_event_ordering () =
+  let sim = Event_sim.create () in
+  let log = ref [] in
+  Event_sim.schedule sim ~delay:3. (fun () -> log := 3 :: !log);
+  Event_sim.schedule sim ~delay:1. (fun () -> log := 1 :: !log);
+  Event_sim.schedule sim ~delay:2. (fun () -> log := 2 :: !log);
+  Event_sim.run sim;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  feq "clock at last event" 3. (Event_sim.now sim);
+  Alcotest.(check int) "all processed" 3 (Event_sim.events_processed sim)
+
+let test_event_fifo_ties () =
+  (* Same-time events run in scheduling order. *)
+  let sim = Event_sim.create () in
+  let log = ref [] in
+  for i = 1 to 10 do
+    Event_sim.schedule sim ~delay:5. (fun () -> log := i :: !log)
+  done;
+  Event_sim.run sim;
+  Alcotest.(check (list int)) "fifo ties" (List.init 10 (fun i -> i + 1))
+    (List.rev !log)
+
+let test_event_nested_scheduling () =
+  let sim = Event_sim.create () in
+  let log = ref [] in
+  Event_sim.schedule sim ~delay:1. (fun () ->
+      log := "a" :: !log;
+      Event_sim.schedule sim ~delay:1. (fun () -> log := "c" :: !log));
+  Event_sim.schedule sim ~delay:1.5 (fun () -> log := "b" :: !log);
+  Event_sim.run sim;
+  Alcotest.(check (list string)) "nested" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_event_until () =
+  let sim = Event_sim.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Event_sim.schedule sim ~delay:(float_of_int i) (fun () -> incr count)
+  done;
+  Event_sim.run ~until:5.5 sim;
+  Alcotest.(check int) "only first five" 5 !count;
+  feq "clock clamped" 5.5 (Event_sim.now sim)
+
+let test_event_negative_delay () =
+  let sim = Event_sim.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Event_sim.schedule: negative delay") (fun () ->
+      Event_sim.schedule sim ~delay:(-1.) ignore)
+
+let test_resource_exclusion () =
+  let sim = Event_sim.create () in
+  let r = Event_sim.Resource.create sim in
+  let log = ref [] in
+  (* Three jobs of 2s each contend: completions at 2, 4, 6. *)
+  for i = 1 to 3 do
+    Event_sim.schedule sim ~delay:0. (fun () ->
+        Event_sim.Resource.use r ~duration:2. (fun () ->
+            log := (i, Event_sim.now sim) :: !log))
+  done;
+  Event_sim.run sim;
+  Alcotest.(check (list (pair int (float 0.001))))
+    "serialized completions"
+    [ (1, 2.); (2, 4.); (3, 6.) ]
+    (List.rev !log);
+  feq ~tol:1e-6 "fully utilized" 1.
+    (Event_sim.Resource.utilization r ~horizon:6.)
+
+let test_resource_heap_growth () =
+  (* Push enough events to force several heap reallocations. *)
+  let sim = Event_sim.create () in
+  let count = ref 0 in
+  for i = 1 to 1000 do
+    Event_sim.schedule sim ~delay:(float_of_int (1000 - i)) (fun () -> incr count)
+  done;
+  Event_sim.run sim;
+  Alcotest.(check int) "all 1000 ran" 1000 !count
+
+(* ------------------------------------------------------------------ *)
+(* Cost model vs the paper                                             *)
+(* ------------------------------------------------------------------ *)
+
+let noise300k = Figures.conv_noise_of 300_000.
+
+let test_paper_lower_bound () =
+  (* §8.2: (3.2e6 × 3)/(3.4e5) ≈ 28 s. *)
+  within "lower bound at 2M users" ~pct:3. 28.2
+    (Cost_model.conv_lower_bound Cost_model.paper ~users:2_000_000 ~servers:3
+       ~noise:noise300k)
+
+let test_paper_noise_total () =
+  feq "1.2M noise requests"
+    1_200_000.
+    (2. *. Cost_model.conv_noise_per_server noise300k)
+
+let test_paper_latencies () =
+  let lat users =
+    Cost_model.conv_latency Cost_model.paper ~users ~servers:3 ~noise:noise300k
+  in
+  (* Paper: 20 s at 10 users, 37 s at 1M, 55 s at 2M. *)
+  within "10 users" ~pct:10. 20. (lat 10);
+  within "1M users" ~pct:10. 37. (lat 1_000_000);
+  within "2M users" ~pct:10. 55. (lat 2_000_000)
+
+let test_paper_throughput () =
+  within "68K msgs/s at 1M users" ~pct:10. 68_000.
+    (Cost_model.conv_throughput Cost_model.paper ~users:1_000_000 ~servers:3
+       ~noise:noise300k)
+
+let test_paper_client_costs () =
+  let h = Figures.headlines () in
+  within "client bandwidth ~12 KB/s" ~pct:15. 12_000. h.Figures.client_bandwidth;
+  within "dialing drop ~7 MB" ~pct:15. 7e6 h.Figures.drop_bytes;
+  within "4 msgs/minute" ~pct:15. 4. h.Figures.messages_per_minute
+
+let test_paper_dialing_noise_count () =
+  (* §8.3: "about 39,000 noise invitations" per drop with µ=13K and 3
+     servers. *)
+  let bytes =
+    Cost_model.invitation_drop_bytes ~users:0 ~servers:3 ~m:1
+      ~dial_fraction:0. ~dial_noise:Figures.dial_noise_13k
+  in
+  within "39K noise invitations" ~pct:2. 39_000.
+    (bytes /. float_of_int Vuvuzela.Types.invitation_len)
+
+let test_latency_linear_in_users () =
+  let lat users =
+    Cost_model.conv_latency Cost_model.paper ~users ~servers:3 ~noise:noise300k
+  in
+  let base = lat 10 in
+  let slope1 = (lat 1_000_000 -. base) /. 1e6 in
+  let slope2 = (lat 2_000_000 -. lat 1_000_000) /. 1e6 in
+  within "constant slope (linear scaling)" ~pct:2. slope1 slope2
+
+let test_noise_independent_of_users () =
+  (* §6.4: the cover traffic is the same for 10 users as for 2M. *)
+  feq "noise at 10 = noise at 2M"
+    (Cost_model.conv_total_requests ~users:0 ~servers:3 ~noise:noise300k)
+    (Cost_model.conv_total_requests ~users:2_000_000 ~servers:3 ~noise:noise300k
+    -. 2_000_000.)
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_figure7_supported_rounds () =
+  let curves = Figures.figure7 () in
+  let supported mu =
+    (List.find (fun c -> c.Figures.mu = mu) curves).Figures.supported_k
+  in
+  (* Paper: 70K / 250K / 500K (we match within ~10%). *)
+  within "µ=150K" ~pct:10. 70_000. (float_of_int (supported 150_000.));
+  within "µ=300K" ~pct:10. 250_000. (float_of_int (supported 300_000.));
+  within "µ=450K" ~pct:5. 500_000. (float_of_int (supported 450_000.))
+
+let test_figure7_monotone () =
+  List.iter
+    (fun c ->
+      let rec check = function
+        | (k1, e1, d1) :: ((k2, e2, d2) :: _ as rest) ->
+            if k2 > k1 && (e2 < e1 || d2 < d1) then
+              Alcotest.failf "µ=%g: ε′ or δ′ not monotone in k" c.Figures.mu;
+            check rest
+        | _ -> ()
+      in
+      check c.Figures.points)
+    (Figures.figure7 ())
+
+let test_figure7_ordering () =
+  (* More noise ⇒ lower ε′ at the same k. *)
+  let curves = Figures.figure7 () in
+  let eps_at mu =
+    let c = List.find (fun c -> c.Figures.mu = mu) curves in
+    let _, e, _ = List.nth c.Figures.points 6 in
+    e
+  in
+  Alcotest.(check bool) "450K < 300K < 150K at mid-k" true
+    (eps_at 450_000. < eps_at 300_000. && eps_at 300_000. < eps_at 150_000.)
+
+let test_figure8_supported_rounds () =
+  let curves = Figures.figure8 () in
+  let supported mu =
+    (List.find (fun c -> c.Figures.mu = mu) curves).Figures.supported_k
+  in
+  (* Paper: 1200 / 3500 / 8000; exact Theorem 2 arithmetic gives the
+     same order of magnitude (the paper rounds generously). *)
+  within "µ=8K" ~pct:15. 1_200. (float_of_int (supported 8_000.));
+  within "µ=13K" ~pct:25. 3_500. (float_of_int (supported 13_000.));
+  within "µ=20K" ~pct:25. 8_000. (float_of_int (supported 20_000.))
+
+let test_figure9_shape () =
+  let curves = Figures.figure9 () in
+  Alcotest.(check int) "three noise levels" 3 (List.length curves);
+  List.iter
+    (fun c ->
+      let rec mono = function
+        | (u1, l1) :: ((u2, l2) :: _ as rest) ->
+            if u2 > u1 && l2 <= l1 then
+              Alcotest.failf "%s: latency not increasing" c.Figures.label;
+            mono rest
+        | _ -> ()
+      in
+      mono c.Figures.points)
+    curves;
+  (* Higher µ ⇒ higher latency at every x. *)
+  match curves with
+  | [ c100; c200; c300 ] ->
+      List.iter2
+        (fun (_, l1) (_, l2) ->
+          if l1 >= l2 then Alcotest.fail "µ=100K should be below µ=200K")
+        c100.Figures.points c200.Figures.points;
+      List.iter2
+        (fun (_, l2) (_, l3) ->
+          if l2 >= l3 then Alcotest.fail "µ=200K should be below µ=300K")
+        c200.Figures.points c300.Figures.points
+  | _ -> Alcotest.fail "unexpected curve count"
+
+let test_figure10_shape () =
+  let c = Figures.figure10 () in
+  let first = snd (List.hd c.Figures.points) in
+  let last = snd (List.nth c.Figures.points (List.length c.Figures.points - 1)) in
+  within "13 s at 10 users" ~pct:10. 13. first;
+  within "50 s at 2M users" ~pct:10. 50. last
+
+let test_figure11_quadratic () =
+  let points = Figures.figure11 () in
+  let r2 = Figures.quadratic_r2 points in
+  if r2 < 0.98 then Alcotest.failf "latency vs servers² fit R²=%.3f" r2;
+  within "~140 s at 6 servers" ~pct:10. 140. (snd (List.nth points 5))
+
+let test_des_matches_closed_form () =
+  (* The pipeline DES and the closed-form model must agree on latency. *)
+  List.iter
+    (fun users ->
+      let closed =
+        Cost_model.conv_latency Cost_model.paper ~users ~servers:3
+          ~noise:noise300k
+      in
+      let r = Pipeline.run ~users ~servers:3 ~noise:noise300k ~rounds:4 () in
+      within
+        (Printf.sprintf "DES vs closed form at %d users" users)
+        ~pct:3. closed r.Pipeline.mean_latency)
+    [ 10; 500_000; 2_000_000 ]
+
+let test_des_pipelining () =
+  (* Rounds overlap: the interval between completions is well below the
+     end-to-end latency once the pipe is full. *)
+  let r = Pipeline.run ~users:1_000_000 ~servers:3 ~noise:noise300k ~rounds:8 () in
+  Alcotest.(check int) "all rounds completed" 8 r.Pipeline.rounds_completed;
+  if r.Pipeline.round_interval >= r.Pipeline.mean_latency /. 2. then
+    Alcotest.failf "no pipelining: interval %.1f vs latency %.1f"
+      r.Pipeline.round_interval r.Pipeline.mean_latency;
+  within "throughput near closed form" ~pct:15.
+    (Cost_model.conv_throughput Cost_model.paper ~users:1_000_000 ~servers:3
+       ~noise:noise300k)
+    r.Pipeline.throughput
+
+let test_des_utilization () =
+  let r = Pipeline.run ~users:1_000_000 ~servers:3 ~noise:noise300k ~rounds:8 () in
+  (* Every server works; none exceeds full utilization. *)
+  Array.iteri
+    (fun i u ->
+      if u <= 0.05 || u > 1.0 then
+        Alcotest.failf "server %d utilization %.2f out of range" i u)
+    r.Pipeline.server_utilization
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"latency increases with servers" ~count:30
+      (pair (int_range 1 5) (int_range 0 1_000_000))
+      (fun (s, users) ->
+        Cost_model.conv_latency Cost_model.paper ~users ~servers:s
+          ~noise:noise300k
+        < Cost_model.conv_latency Cost_model.paper ~users ~servers:(s + 1)
+            ~noise:noise300k);
+    Test.make ~name:"throughput positive and bounded by dh rate" ~count:30
+      (int_range 1 2_000_000)
+      (fun users ->
+        let tp =
+          Cost_model.conv_throughput Cost_model.paper ~users ~servers:3
+            ~noise:noise300k
+        in
+        tp > 0. && tp < Cost_model.paper.Cost_model.dh_ops_per_sec);
+  ]
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "sim",
+    [
+      tc "event ordering" `Quick test_event_ordering;
+      tc "event fifo ties" `Quick test_event_fifo_ties;
+      tc "nested scheduling" `Quick test_event_nested_scheduling;
+      tc "run until" `Quick test_event_until;
+      tc "negative delay" `Quick test_event_negative_delay;
+      tc "resource exclusion" `Quick test_resource_exclusion;
+      tc "heap growth" `Quick test_resource_heap_growth;
+      tc "paper lower bound (§8.2)" `Quick test_paper_lower_bound;
+      tc "paper noise total" `Quick test_paper_noise_total;
+      tc "paper latencies (fig 9 endpoints)" `Quick test_paper_latencies;
+      tc "paper throughput" `Quick test_paper_throughput;
+      tc "paper client costs (§8.3)" `Quick test_paper_client_costs;
+      tc "paper dialing noise count" `Quick test_paper_dialing_noise_count;
+      tc "latency linear in users" `Quick test_latency_linear_in_users;
+      tc "noise independent of users" `Quick test_noise_independent_of_users;
+      tc "figure 7 supported rounds" `Quick test_figure7_supported_rounds;
+      tc "figure 7 monotone" `Quick test_figure7_monotone;
+      tc "figure 7 ordering" `Quick test_figure7_ordering;
+      tc "figure 8 supported rounds" `Quick test_figure8_supported_rounds;
+      tc "figure 9 shape" `Quick test_figure9_shape;
+      tc "figure 10 endpoints" `Quick test_figure10_shape;
+      tc "figure 11 quadratic" `Quick test_figure11_quadratic;
+      tc "DES matches closed form" `Quick test_des_matches_closed_form;
+      tc "DES pipelines rounds" `Quick test_des_pipelining;
+      tc "DES utilization sane" `Quick test_des_utilization;
+    ]
+    @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props )
+
+(* ------------------------------------------------------------------ *)
+(* Baselines (§1/§10 related-work comparison)                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_baseline_scaling_shapes () =
+  (* Broadcast and PIR are quadratic; Vuvuzela is linear.  Doubling the
+     users must roughly 4× the baselines but at most ~2× Vuvuzela. *)
+  let b n =
+    Baselines.broadcast_round_latency Cost_model.paper ~users:n ~msg_bytes:256
+  in
+  let p n = Baselines.pir_round_latency ~users:n ~msg_bytes:256 in
+  let v n = Baselines.vuvuzela_round_latency Cost_model.paper ~users:n ~noise:noise300k in
+  let ratio f = f 200_000 /. f 100_000 in
+  if Float.abs (ratio b -. 4.) > 0.2 then
+    Alcotest.failf "broadcast ratio %.2f not ~4" (ratio b);
+  if Float.abs (ratio p -. 4.) > 0.2 then
+    Alcotest.failf "pir ratio %.2f not ~4" (ratio p);
+  if ratio v > 2.0 then Alcotest.failf "vuvuzela ratio %.2f not sub-linear-ish" (ratio v)
+
+let test_baseline_crossover_claim () =
+  (* The paper's claim: prior systems cap at ~5K users (Dissent) while
+     Vuvuzela reaches 2M at sub-minute latency — about 100×.  On our
+     common constants, with a 60 s round budget: *)
+  let budget = 60. in
+  let bc =
+    Baselines.max_users ~budget (fun n ->
+        Baselines.broadcast_round_latency Cost_model.paper ~users:n ~msg_bytes:256)
+  in
+  let pir =
+    Baselines.max_users ~budget (fun n ->
+        Baselines.pir_round_latency ~users:n ~msg_bytes:256)
+  in
+  let vuv =
+    Baselines.max_users ~budget (fun n ->
+        Baselines.vuvuzela_round_latency Cost_model.paper ~users:n ~noise:noise300k)
+  in
+  if bc > 100_000 then Alcotest.failf "broadcast supports %d users?!" bc;
+  if vuv < 1_500_000 then Alcotest.failf "vuvuzela only %d users" vuv;
+  let factor = float_of_int vuv /. float_of_int (max bc pir) in
+  if factor < 10. then
+    Alcotest.failf "scaling factor only %.0f× over baselines" factor
+
+let test_functional_broadcast () =
+  let rng = Vuvuzela_crypto.Drbg.of_string "bc-test" in
+  let bc = Baselines.Broadcast.create ~n:6 ~seed:"bc" in
+  let blobs =
+    Baselines.Broadcast.run_round ~rng bc ~sends:[ (0, 1, "hi one"); (2, 3, "hi three") ]
+  in
+  (* 2 real + 6 cover blobs broadcast to 6 users. *)
+  Alcotest.(check int) "blob count" 8 blobs;
+  Alcotest.(check int) "n^2 trial decryptions" (8 * 6)
+    (Baselines.Broadcast.trial_decryptions bc);
+  (match Baselines.Broadcast.inbox bc 1 with
+  | [ (_, text) ] -> Alcotest.(check string) "delivered" "hi one" text
+  | l -> Alcotest.failf "inbox 1 has %d entries" (List.length l));
+  (match Baselines.Broadcast.inbox bc 3 with
+  | [ (_, text) ] -> Alcotest.(check string) "delivered" "hi three" text
+  | l -> Alcotest.failf "inbox 3 has %d entries" (List.length l));
+  Alcotest.(check int) "bystander got nothing" 0
+    (List.length (Baselines.Broadcast.inbox bc 5))
+
+let suite =
+  ( fst suite,
+    snd suite
+    @ [
+        Alcotest.test_case "baseline scaling shapes" `Quick test_baseline_scaling_shapes;
+        Alcotest.test_case "baseline crossover (100x claim)" `Quick test_baseline_crossover_claim;
+        Alcotest.test_case "functional broadcast messenger" `Quick test_functional_broadcast;
+      ] )

@@ -1,0 +1,73 @@
+(* Workload generator tests: the §8.1 mix delivers everything reliably;
+   hostile mixes stay consistent. *)
+
+open Vuvuzela_sim
+
+let test_paper_mix_reliable () =
+  (* No churn, no outages: everything sent is delivered, no duplicates,
+     no retransmissions needed. *)
+  let s =
+    Workload.run ~seed:"wl-paper"
+      ~profile:(Workload.paper_mix ~users:8)
+      ~rounds:12 ()
+  in
+  Alcotest.(check int) "all delivered" s.Workload.sent s.Workload.delivered;
+  Alcotest.(check int) "no duplicates" 0 s.Workload.duplicates;
+  Alcotest.(check int) "no retransmissions" 0 s.Workload.retransmissions;
+  (* Window-4 pipelining with everyone sending every round produces a
+     small queueing delay, but it stays bounded. *)
+  if s.Workload.mean_delivery_rounds > 6. then
+    Alcotest.failf "mean delivery %.2f rounds too slow"
+      s.Workload.mean_delivery_rounds
+
+let test_stress_mix_consistent () =
+  let s =
+    Workload.run ~seed:"wl-stress"
+      ~profile:(Workload.stress ~users:10)
+      ~rounds:30 ()
+  in
+  (* With churn, hang-ups can discard queued tails, but we can never
+     deliver more than was sent, and duplicates are rejected. *)
+  Alcotest.(check bool) "delivered <= sent" true
+    (s.Workload.delivered <= s.Workload.sent);
+  Alcotest.(check bool) "some progress" true (s.Workload.delivered > 0);
+  Alcotest.(check bool) "calls heard <= placed" true
+    (s.Workload.calls_heard <= s.Workload.calls_placed)
+
+let test_outages_force_retransmissions () =
+  let profile =
+    { (Workload.paper_mix ~users:6) with Workload.offline = 0.3 }
+  in
+  let s = Workload.run ~seed:"wl-outage" ~profile ~rounds:20 () in
+  Alcotest.(check bool) "retransmissions occurred" true
+    (s.Workload.retransmissions > 0);
+  Alcotest.(check int) "still exactly-once" s.Workload.sent s.Workload.delivered
+
+let test_dialing_schedule_counts () =
+  let profile =
+    { (Workload.paper_mix ~users:4) with Workload.dial_every = 5 }
+  in
+  let s = Workload.run ~seed:"wl-dial" ~profile ~rounds:20 () in
+  Alcotest.(check int) "dial rounds on schedule" 4 s.Workload.dial_rounds
+
+let test_deterministic_under_seed () =
+  let run () =
+    Workload.run ~seed:"wl-det" ~profile:(Workload.stress ~users:6) ~rounds:15 ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "sent deterministic" a.Workload.sent b.Workload.sent;
+  Alcotest.(check int) "delivered deterministic" a.Workload.delivered
+    b.Workload.delivered;
+  Alcotest.(check int) "retx deterministic" a.Workload.retransmissions
+    b.Workload.retransmissions
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "workload",
+    [
+      tc "paper mix is fully reliable" `Quick test_paper_mix_reliable;
+      tc "stress mix stays consistent" `Quick test_stress_mix_consistent;
+      tc "outages force retransmissions" `Quick test_outages_force_retransmissions;
+      tc "dialing schedule counts" `Quick test_dialing_schedule_counts;
+      tc "deterministic under seed" `Quick test_deterministic_under_seed;
+    ] )

@@ -111,7 +111,7 @@ let make_round_bench () =
                 (fun c -> Client.conversation_request c ~round:!round)
                 clients)
          in
-         let results = Chain.conversation_round chain ~round:!round requests in
+         let results = Chain.conversation_round_exn chain ~round:!round requests in
          List.iteri
            (fun i c ->
              ignore (Client.handle_conversation_reply c ~round:!round results.(i)))
@@ -361,6 +361,61 @@ let live_round_scaling () =
     [ 4; 16; 64 ]
 
 (* ------------------------------------------------------------------ *)
+(* Parallel round engine                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_scaling () =
+  section "PARALLEL - multicore round engine (client onions/s vs jobs)";
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "  (this host reports %d core(s); round outputs are bit-identical at \
+     every job count)\n"
+    cores;
+  let job_counts = List.sort_uniq compare [ 1; 2; 4; cores ] in
+  let n_clients = 48 in
+  let baseline = ref None in
+  List.iter
+    (fun jobs ->
+      let noise = Laplace.params ~mu:4. ~b:1. in
+      let net =
+        Network.create ~seed:"bench-par" ~n_servers:3 ~noise
+          ~dial_noise:(Laplace.params ~mu:1. ~b:1.)
+          ~noise_mode:Noise.Deterministic ~jobs ()
+      in
+      let clients =
+        List.init n_clients (fun i ->
+            Network.connect ~seed:(Printf.sprintf "pc%d" i) net)
+      in
+      let rec pair = function
+        | a :: b :: rest ->
+            Client.start_conversation a ~peer_pk:(Client.public_key b);
+            Client.start_conversation b ~peer_pk:(Client.public_key a);
+            pair rest
+        | _ -> ()
+      in
+      pair clients;
+      ignore (Network.run_round net) (* warm-up: spin up the domains *);
+      let rounds = 3 in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to rounds do
+        ignore (Network.run_round net)
+      done;
+      let dt = (Unix.gettimeofday () -. t0) /. float_of_int rounds in
+      Network.shutdown net;
+      let onions_s = float_of_int n_clients /. dt in
+      let speedup =
+        match !baseline with
+        | None ->
+            baseline := Some dt;
+            1.
+        | Some b -> b /. dt
+      in
+      Printf.printf
+        "  jobs=%-3d %8.1f ms/round  %8.0f onions/s  speedup %.2fx\n" jobs
+        (1000. *. dt) onions_s speedup)
+    job_counts
+
+(* ------------------------------------------------------------------ *)
 (* Ablations: what each design element buys                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -480,6 +535,7 @@ let () =
   ablation_m_tuning ();
   baseline_comparison ();
   live_round_scaling ();
+  parallel_scaling ();
   workload_summary ();
   line ();
   print_endline "done.  See EXPERIMENTS.md for the paper-vs-measured index."

@@ -15,12 +15,12 @@ open Vuvuzela
 (* demo                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let demo users rounds mu seed =
+let demo users rounds mu seed jobs =
   let noise = Laplace.params ~mu ~b:(Float.max 1. (mu /. 21.7)) in
   let net =
     Network.create ~seed ~n_servers:3 ~noise
       ~dial_noise:(Laplace.params ~mu:(Float.max 1. (mu /. 20.)) ~b:1.)
-      ~noise_mode:Noise.Sampled ()
+      ~noise_mode:Noise.Sampled ~jobs ()
   in
   let clients =
     List.init (max 2 users) (fun i ->
@@ -36,11 +36,13 @@ let demo users rounds mu seed =
     | _ -> ()
   in
   pair 0 clients;
-  Printf.printf "%d clients, 3 servers, noise µ=%.0f; running %d rounds\n"
-    (List.length clients) mu rounds;
+  Printf.printf "%d clients, 3 servers, noise µ=%.0f, %d job(s); running %d \
+                 rounds\n"
+    (List.length clients) mu (Network.jobs net) rounds;
   for _ = 1 to rounds do
-    let events = Network.run_round net in
+    let report = Network.run_round net in
     let round = Network.round net - 1 in
+    Format.printf "  %a@." Network.pp_round_report report;
     List.iter
       (fun (c, evs) ->
         List.iter
@@ -53,13 +55,14 @@ let demo users rounds mu seed =
                   text
             | _ -> ())
           evs)
-      events;
+      report.Network.events;
     match Chain.observed_histogram (Network.chain net) with
     | Some h ->
         Printf.printf "  round %2d: observable view m1=%d m2=%d\n" round
           h.Deaddrop.m1 h.Deaddrop.m2
     | None -> ()
   done;
+  Network.shutdown net;
   0
 
 let demo_cmd =
@@ -75,9 +78,26 @@ let demo_cmd =
   let seed =
     Arg.(value & opt string "demo" & info [ "seed" ] ~doc:"Deterministic seed.")
   in
+  let jobs =
+    let positive =
+      let parse s =
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> Ok n
+        | Some _ -> Error (`Msg "JOBS must be >= 1")
+        | None -> Error (`Msg (Printf.sprintf "invalid value %S" s))
+      in
+      Arg.conv (parse, Format.pp_print_int)
+    in
+    Arg.(
+      value & opt positive 1
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Worker domains for the servers' per-onion crypto (results are \
+             identical at any value).")
+  in
   Cmd.v
     (Cmd.info "demo" ~doc:"run an in-process Vuvuzela deployment")
-    Term.(const demo $ users $ rounds $ mu $ seed)
+    Term.(const demo $ users $ rounds $ mu $ seed $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)

@@ -60,7 +60,7 @@ let () =
     [ deep_throat; insider; impostor ];
 
   Printf.printf "\ndialing round: three calls arrive at the desk...\n";
-  let events = Network.run_dialing_round net in
+  let events = (Network.run_dialing_round net).Network.events in
   let now = Network.dial_round net - 1 in
   let trusted k = Hashtbl.mem vetted (Bytes.to_string k) in
   List.iter
@@ -106,7 +106,7 @@ let () =
   List.iter
     (fun peer -> Client.send_to desk ~peer "received, go secure")
     (Client.peers desk);
-  let rounds = Network.run_rounds net 4 in
+  let rounds = Network.events_of (Network.run_rounds net 4) in
   List.iter
     (fun (c, evs) ->
       List.iter

@@ -38,7 +38,9 @@ let () =
   Client.dial alice ~callee_pk:(Client.public_key bob);
   Client.start_conversation alice ~peer_pk:(Client.public_key bob);
   Printf.printf "\nalice dials bob...\n";
-  let dial_events = Network.run_dialing_round net in
+  let dial_report = Network.run_dialing_round net in
+  Printf.printf "  (%d of %d dialing requests acked by the chain)\n"
+    dial_report.Network.confirmed_acks dial_report.Network.batch_size;
   List.iter
     (fun (c, events) ->
       List.iter
@@ -50,7 +52,7 @@ let () =
               Client.start_conversation c ~peer_pk:caller
           | _ -> ())
         events)
-    dial_events;
+    dial_report.Network.events;
 
   (* Chat.  Each round every client (including idle Carol) submits one
      fixed-size onion; the servers mix, add cover traffic, and match
@@ -60,7 +62,7 @@ let () =
   Client.send bob "And if I stay quiet, nobody can tell that either.";
   Printf.printf "\nrunning conversation rounds:\n";
   for _ = 1 to 4 do
-    let events = Network.run_round net in
+    let report = Network.run_round net in
     let round = Network.round net - 1 in
     List.iter
       (fun (c, evs) ->
@@ -72,7 +74,7 @@ let () =
                   text
             | _ -> ())
           evs)
-      events;
+      report.Network.events;
     match Chain.observed_histogram (Network.chain net) with
     | Some h ->
         Printf.printf

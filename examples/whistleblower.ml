@@ -55,7 +55,7 @@ let () =
   Printf.printf "phase 2: source dials the reporter\n";
   Client.dial source ~callee_pk:(Client.public_key reporter);
   Client.start_conversation source ~peer_pk:(Client.public_key reporter);
-  let events = Network.run_dialing_round net in
+  let events = (Network.run_dialing_round net).Network.events in
   List.iter
     (fun (c, evs) ->
       List.iter
@@ -82,7 +82,7 @@ let () =
   let rounds_used = ref 0 in
   while !delivered < List.length documents && !rounds_used < 20 do
     incr rounds_used;
-    let events = Network.run_round net in
+    let events = (Network.run_round net).Network.events in
     List.iter
       (fun (c, evs) ->
         List.iter

@@ -6,11 +6,20 @@
    calling each server in order — the same sequence of messages a
    networked deployment would exchange. *)
 
-type t = { servers : Server.t array }
+module Pool = Vuvuzela_parallel.Pool
 
-let create ?seed ?(dial_kind = Dialing.Plain) ~n_servers ~noise ~dial_noise
-    ~noise_mode () =
+type t = {
+  servers : Server.t array;
+  pool : Pool.t option;  (** shared by all servers; [None] ⇒ sequential *)
+}
+
+let create ?seed ?(dial_kind = Dialing.Plain) ?(jobs = 1) ~n_servers ~noise
+    ~dial_noise ~noise_mode () =
   if n_servers < 1 then invalid_arg "Chain.create: need at least one server";
+  if jobs < 1 then invalid_arg "Chain.create: jobs must be >= 1";
+  (* The servers take turns (the in-process round trip is sequential
+     along the chain), so one pool serves them all. *)
+  let pool = if jobs > 1 then Some (Pool.create ~jobs) else None in
   (* Build from the last server backwards so each server knows the public
      keys of its downstream suffix. *)
   let servers = Array.make n_servers None in
@@ -24,6 +33,7 @@ let create ?seed ?(dial_kind = Dialing.Plain) ~n_servers ~noise ~dial_noise
         dial_noise;
         noise_mode;
         dial_kind;
+        jobs;
       }
     in
     let rng_seed =
@@ -33,15 +43,17 @@ let create ?seed ?(dial_kind = Dialing.Plain) ~n_servers ~noise ~dial_noise
             (Bytes.of_string (Printf.sprintf "-server-%d" position)))
         seed
     in
-    let server = Server.create ?rng_seed ~cfg ~suffix_pks:!suffix () in
+    let server = Server.create ?rng_seed ?pool ~cfg ~suffix_pks:!suffix () in
     servers.(position) <- Some server;
     suffix := Server.public_key server :: !suffix
   done;
-  { servers = Array.map Option.get servers }
+  { servers = Array.map Option.get servers; pool }
 
 let length t = Array.length t.servers
 let server t i = t.servers.(i)
 let last t = t.servers.(length t - 1)
+let jobs t = match t.pool with Some p -> Pool.jobs p | None -> 1
+let shutdown t = Option.iter Pool.shutdown t.pool
 
 (* Public keys in chain order — what clients onion-wrap against. *)
 let public_keys t =
@@ -49,14 +61,25 @@ let public_keys t =
 
 (* Every batch that crosses a link is routed through the Rpc codec, so
    the in-process chain exchanges exactly the bytes a networked
-   deployment would (framing, versioning, fixed item sizes). *)
-let through codec_encode codec_decode payload =
-  match codec_decode (codec_encode payload) with
-  | Ok v -> v
-  | Error msg -> invalid_arg ("Chain: framing error: " ^ msg)
+   deployment would (framing, versioning, fixed item sizes).  A batch
+   the codec rejects becomes a typed [Rpc.status] error — itself pushed
+   through the codec, since a real deployment would send the failure as
+   a frame too. *)
+let status_frame st =
+  match Rpc.decode (Rpc.encode (Rpc.Status st)) with
+  | Ok (Rpc.Status st) -> st
+  | Ok _ | Error _ -> assert false (* the codec round-trips its own frames *)
 
-let send_conv_batch ~round onions =
-  through
+let through ~round ~server ~stage codec_encode codec_decode payload =
+  match codec_decode (codec_encode payload) with
+  | Ok v -> Ok v
+  | Error detail ->
+      Error (status_frame { Rpc.round; server; stage; detail })
+
+let ( let* ) = Result.bind
+
+let send_conv_batch ~round ~server onions =
+  through ~round ~server ~stage:"conv-batch"
     (fun o -> Rpc.encode (Rpc.Conv_batch { round; onions = o }))
     (fun b ->
       match Rpc.decode b with
@@ -65,8 +88,8 @@ let send_conv_batch ~round onions =
       | Error e -> Error e)
     onions
 
-let send_conv_results ~round replies =
-  through
+let send_conv_results ~round ~server replies =
+  through ~round ~server ~stage:"conv-results"
     (fun r -> Rpc.encode (Rpc.Conv_results { round; replies = r }))
     (fun b ->
       match Rpc.decode b with
@@ -75,8 +98,8 @@ let send_conv_results ~round replies =
       | Error e -> Error e)
     replies
 
-let send_dial_results ~round replies =
-  through
+let send_dial_results ~round ~server replies =
+  through ~round ~server ~stage:"dial-results"
     (fun r -> Rpc.encode (Rpc.Dial_results { round; replies = r }))
     (fun b ->
       match Rpc.decode b with
@@ -85,8 +108,8 @@ let send_dial_results ~round replies =
       | Error e -> Error e)
     replies
 
-let send_dial_batch ~round ~m onions =
-  through
+let send_dial_batch ~round ~m ~server onions =
+  through ~round ~server ~stage:"dial-batch"
     (fun o -> Rpc.encode (Rpc.Dial_batch { round; m; onions = o }))
     (fun b ->
       match Rpc.decode b with
@@ -119,12 +142,13 @@ let conversation_round t ~round requests =
       requests
   in
   let rec go i batch =
-    let batch = send_conv_batch ~round batch in
-    if i = n - 1 then Server.conv_exchange t.servers.(i) ~round batch
+    let* batch = send_conv_batch ~round ~server:i batch in
+    if i = n - 1 then Ok (Server.conv_exchange t.servers.(i) ~round batch)
     else begin
       let forwarded = Server.conv_forward t.servers.(i) ~round batch in
-      let results = send_conv_results ~round (go (i + 1) forwarded) in
-      Server.conv_backward t.servers.(i) ~round results
+      let* below = go (i + 1) forwarded in
+      let* results = send_conv_results ~round ~server:i below in
+      Ok (Server.conv_backward t.servers.(i) ~round results)
     end
   in
   go 0 requests
@@ -140,15 +164,30 @@ let dialing_round t ~round ~m requests =
       requests
   in
   let rec go i batch =
-    let batch = send_dial_batch ~round ~m batch in
-    if i = n - 1 then Server.dial_deliver t.servers.(i) ~round ~m batch
+    let* batch = send_dial_batch ~round ~m ~server:i batch in
+    if i = n - 1 then Ok (Server.dial_deliver t.servers.(i) ~round ~m batch)
     else begin
       let forwarded = Server.dial_forward t.servers.(i) ~round ~m batch in
-      let results = send_dial_results ~round (go (i + 1) forwarded) in
-      Server.dial_backward t.servers.(i) ~round results
+      let* below = go (i + 1) forwarded in
+      let* results = send_dial_results ~round ~server:i below in
+      Ok (Server.dial_backward t.servers.(i) ~round results)
     end
   in
   go 0 requests
+
+(* Convenience for callers (benchmarks, attack harnesses) that treat a
+   framing failure as fatal. *)
+let fail_status st = failwith (Format.asprintf "Chain: %a" Rpc.pp_status st)
+
+let conversation_round_exn t ~round requests =
+  match conversation_round t ~round requests with
+  | Ok replies -> replies
+  | Error st -> fail_status st
+
+let dialing_round_exn t ~round ~m requests =
+  match dialing_round t ~round ~m requests with
+  | Ok replies -> replies
+  | Error st -> fail_status st
 
 let fetch_invitations t ~index = Server.fetch_invitations (last t) ~index
 

@@ -5,6 +5,7 @@ type t
 val create :
   ?seed:string ->
   ?dial_kind:Dialing.kind ->
+  ?jobs:int ->
   n_servers:int ->
   noise:Vuvuzela_dp.Laplace.params ->
   dial_noise:Vuvuzela_dp.Laplace.params ->
@@ -12,20 +13,38 @@ val create :
   unit ->
   t
 (** Build a chain; with [seed] the whole deployment (keys, noise,
-    shuffles) is deterministic, for tests. *)
+    shuffles) is deterministic, for tests.  [jobs] (default 1) sets the
+    domain count for the per-onion crypto; the servers share one pool.
+    Round results are bit-identical at any job count. *)
 
 val length : t -> int
 val server : t -> int -> Server.t
 val last : t -> Server.t
 
+val jobs : t -> int
+(** The chain's configured degree of parallelism. *)
+
+val shutdown : t -> unit
+(** Join the shared worker domains, if any.  Idempotent; further rounds
+    after shutdown run sequentially on servers whose pool is gone, so
+    treat the chain as finished. *)
+
 val public_keys : t -> bytes list
 (** In chain order; clients wrap onions against these. *)
 
-val conversation_round : t -> round:int -> bytes array -> bytes array
+val conversation_round :
+  t -> round:int -> bytes array -> (bytes array, Rpc.status) result
 (** Run a complete conversation round; the result array is slot-aligned
-    with [requests]. *)
+    with [requests].  [Error] carries the typed status frame of the
+    first link whose batch failed to decode. *)
 
-val dialing_round : t -> round:int -> m:int -> bytes array -> bytes array
+val dialing_round :
+  t -> round:int -> m:int -> bytes array -> (bytes array, Rpc.status) result
+
+val conversation_round_exn : t -> round:int -> bytes array -> bytes array
+(** [conversation_round], raising [Failure] on a status frame. *)
+
+val dialing_round_exn : t -> round:int -> m:int -> bytes array -> bytes array
 
 val fetch_invitations : t -> index:int -> bytes list
 

@@ -82,6 +82,8 @@ type t = {
   mutable convs : conv_state list;  (** oldest first; length <= max *)
   mutable pending_dial : bytes option;
   pending_rounds : (int * int, slot_ctx) Hashtbl.t;  (** (round, slot) *)
+  pending_dial_rounds : (int, bytes array) Hashtbl.t;
+      (** dial_round → reply secrets, for confirming the chain's ack *)
   stats : stats;
 }
 
@@ -116,6 +118,7 @@ let create ?seed ?(window = 4) ?(rtt = 2) ?(max_conversations = 1) ?dial_kind
     convs = [];
     pending_dial = None;
     pending_rounds = Hashtbl.create 8;
+    pending_dial_rounds = Hashtbl.create 8;
     stats =
       {
         rounds = 0;
@@ -367,9 +370,37 @@ let dialing_request t ~dial_round ~m =
               ~callee_pk ~m ())
     | None -> Dialing.noop ~rng:t.rng ~kind:t.dial_kind ()
   in
-  (Vuvuzela_mixnet.Onion.wrap ~rng:t.rng ~server_pks:t.server_pks
-     ~round:dial_round payload)
-    .Vuvuzela_mixnet.Onion.onion
+  let wrapped =
+    Vuvuzela_mixnet.Onion.wrap ~rng:t.rng ~server_pks:t.server_pks
+      ~round:dial_round payload
+  in
+  (* Keep the reply secrets so the chain's fixed-size ack can be
+     confirmed when it comes back.  Unconfirmed entries (lost acks)
+     would otherwise accumulate forever. *)
+  if Hashtbl.length t.pending_dial_rounds > 64 then
+    Hashtbl.iter
+      (fun r _ ->
+        if r < dial_round - 64 then Hashtbl.remove t.pending_dial_rounds r)
+      (Hashtbl.copy t.pending_dial_rounds);
+  Hashtbl.replace t.pending_dial_rounds dial_round
+    wrapped.Vuvuzela_mixnet.Onion.secrets;
+  wrapped.Vuvuzela_mixnet.Onion.onion
+
+(* The chain acks every dialing request with the same fixed plaintext,
+   sealed per-layer like any reply; a confirmed ack tells the client its
+   invitation (or no-op) survived every hop. *)
+let dial_ack_plaintext = Bytes.make Types.dial_result_len '\x01'
+
+let confirm_dial_ack t ~dial_round ack =
+  match Hashtbl.find_opt t.pending_dial_rounds dial_round with
+  | None -> false
+  | Some secrets -> (
+      Hashtbl.remove t.pending_dial_rounds dial_round;
+      match
+        Vuvuzela_mixnet.Onion.unwrap_reply ~secrets ~round:dial_round ack
+      with
+      | Some result -> Bytes.equal result dial_ack_plaintext
+      | None -> false)
 
 let my_invitation_drop t ~m = Dialing.my_drop ~identity:t.identity ~m
 

@@ -91,6 +91,14 @@ val dial : t -> callee_pk:bytes -> unit
 (** Request a conversation at the next dialing round. *)
 
 val dialing_request : t -> dial_round:int -> m:int -> bytes
+(** This dialing round's onion (a real invitation or a no-op).  The
+    reply secrets are retained for {!confirm_dial_ack}. *)
+
+val confirm_dial_ack : t -> dial_round:int -> bytes -> bool
+(** Unwrap the chain's fixed-size ack for [dial_round] and check it;
+    [true] means the request survived every hop.  Each round's ack can
+    be confirmed at most once. *)
+
 val my_invitation_drop : t -> m:int -> int
 
 val handle_invitations : t -> bytes list -> event list

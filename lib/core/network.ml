@@ -29,9 +29,10 @@ type t = {
 let create ?seed ?(n_servers = 3)
     ?(noise = Laplace.params ~mu:10. ~b:2.)
     ?(dial_noise = Laplace.params ~mu:3. ~b:1.)
-    ?(noise_mode = Noise.Sampled) ?dial_kind ?(cdn_edges = 0) () =
+    ?(noise_mode = Noise.Sampled) ?dial_kind ?jobs ?(cdn_edges = 0) () =
   let chain =
-    Chain.create ?seed ?dial_kind ~n_servers ~noise ~dial_noise ~noise_mode ()
+    Chain.create ?seed ?dial_kind ?jobs ~n_servers ~noise ~dial_noise
+      ~noise_mode ()
   in
   let cdn =
     if cdn_edges > 0 then
@@ -55,6 +56,8 @@ let create ?seed ?(n_servers = 3)
   }
 
 let chain t = t.chain
+let jobs t = Chain.jobs t.chain
+let shutdown t = Chain.shutdown t.chain
 let round t = t.round
 let dial_round t = t.dial_round
 let n_clients t = Hashtbl.length t.clients
@@ -80,11 +83,49 @@ let connect ?seed ?window ?rtt ?max_conversations ?certified t =
 let clients t = List.rev t.order
 let find_client t pk = Hashtbl.find_opt t.clients pk
 
-(* One conversation round for the whole deployment.  Returns each
-   participating client's events.  Clients in [blocked] stay silent this
-   round (adversarial blocking or a flaky link).  Each client submits
-   [max_conversations] requests (one slot each, §9). *)
-let run_round ?(blocked = fun _ -> false) t =
+(* What one round did, beyond the per-client events: enough for a
+   coordinator (or a test) to account for load and spot failures without
+   re-deriving anything. *)
+type round_report = {
+  round : int;  (** the conversation or dialing round that ran *)
+  dialing : bool;
+  events : (Client.t * Client.event list) list;
+      (** per participating client, in connection order *)
+  batch_size : int;  (** requests the entry server forwarded *)
+  wire_bytes : int;  (** size of the entry → first-server batch frame *)
+  elapsed_ms : float;  (** wall clock for the chain round trip *)
+  confirmed_acks : int;
+      (** dialing rounds: acks that unwrapped to the expected fixed
+          plaintext; [0] for conversation rounds *)
+  failure : Rpc.status option;
+      (** a link's typed error frame; when set, [events] is empty *)
+}
+
+let events_of reports = List.concat_map (fun r -> r.events) reports
+
+let pp_round_report ppf r =
+  match r.failure with
+  | Some st ->
+      Format.fprintf ppf "%s round %d FAILED (%a)"
+        (if r.dialing then "dialing" else "conv")
+        r.round Rpc.pp_status st
+  | None ->
+      Format.fprintf ppf
+        "%s round %d: %d requests, %d B on the wire, %.1f ms%s"
+        (if r.dialing then "dialing" else "conv")
+        r.round r.batch_size r.wire_bytes r.elapsed_ms
+        (if r.dialing then Printf.sprintf ", %d acks" r.confirmed_acks else "")
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, (Unix.gettimeofday () -. t0) *. 1000.)
+
+(* One conversation round for the whole deployment.  Clients in
+   [blocked] stay silent this round (adversarial blocking or a flaky
+   link).  Each client submits [max_conversations] requests (one slot
+   each, §9). *)
+let run_round ?(blocked = fun _ -> false) (t : t) =
   let round = t.round in
   t.round <- round + 1;
   let entry = Entry.create () in
@@ -97,29 +138,47 @@ let run_round ?(blocked = fun _ -> false) t =
           (Client.conversation_requests c ~round))
     (clients t);
   let requests, ids = Entry.close_round entry in
-  let results = Chain.conversation_round t.chain ~round requests in
-  (* Group each client's slot replies back together, in slot order. *)
-  let by_client = Hashtbl.create 64 in
-  List.iter
-    (fun ((pk, slot), reply) ->
-      let prev = Option.value ~default:[] (Hashtbl.find_opt by_client pk) in
-      Hashtbl.replace by_client pk ((slot, reply) :: prev))
-    (Entry.demux ~ids results);
-  List.filter_map
-    (fun c ->
-      let pk = Client.public_key c in
-      match Hashtbl.find_opt by_client pk with
-      | None -> None
-      | Some slot_replies ->
-          let replies =
-            List.sort compare slot_replies |> List.map snd
-          in
-          Some (c, Client.handle_conversation_replies c ~round replies))
-    (clients t)
+  let batch_size = Array.length requests in
+  let wire_bytes =
+    Rpc.conv_batch_bytes ~count:batch_size
+      ~item_len:
+        (Vuvuzela_mixnet.Onion.request_size ~chain_len:(Chain.length t.chain)
+           ~payload_len:Types.exchange_payload_len)
+  in
+  let outcome, elapsed_ms =
+    timed (fun () -> Chain.conversation_round t.chain ~round requests)
+  in
+  let report failure events =
+    { round; dialing = false; events; batch_size; wire_bytes; elapsed_ms;
+      confirmed_acks = 0; failure }
+  in
+  match outcome with
+  | Error st -> report (Some st) []
+  | Ok results ->
+      (* Group each client's slot replies back together, in slot order. *)
+      let by_client = Hashtbl.create 64 in
+      List.iter
+        (fun ((pk, slot), reply) ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_client pk) in
+          Hashtbl.replace by_client pk ((slot, reply) :: prev))
+        (Entry.demux ~ids results);
+      report None
+        (List.filter_map
+           (fun c ->
+             let pk = Client.public_key c in
+             match Hashtbl.find_opt by_client pk with
+             | None -> None
+             | Some slot_replies ->
+                 let replies =
+                   List.sort compare slot_replies |> List.map snd
+                 in
+                 Some (c, Client.handle_conversation_replies c ~round replies))
+           (clients t))
 
 (* One dialing round: every connected client sends an invitation or
-   no-op, then downloads and scans its own invitation drop. *)
-let run_dialing_round ?(blocked = fun _ -> false) t =
+   no-op, confirms the chain's ack, then downloads and scans its own
+   invitation drop. *)
+let run_dialing_round ?(blocked = fun _ -> false) (t : t) =
   let dial_round = t.dial_round in
   t.dial_round <- dial_round + 1;
   let m = t.m in
@@ -131,37 +190,61 @@ let run_dialing_round ?(blocked = fun _ -> false) t =
           (Client.dialing_request c ~dial_round ~m))
     (clients t);
   let requests, ids = Entry.close_round entry in
-  let _acks = Chain.dialing_round t.chain ~round:dial_round ~m requests in
-  ignore ids;
-  (* §5.4: adopt the last server's m recommendation for the next round. *)
-  if t.auto_tune_m then t.m <- max 1 (Chain.proposed_m t.chain);
-  (* Download phase (unmixed; §5.5) — through the CDN when one is
-     deployed, straight from the last server otherwise. *)
-  List.filter_map
-    (fun c ->
-      if blocked c then None
-      else begin
-        let index = Client.my_invitation_drop c ~m in
-        let drop =
-          match t.cdn with
-          | Some cdn ->
-              Cdn.fetch cdn ~client_pk:(Client.public_key c) ~dial_round ~index
-          | None -> Chain.fetch_invitations t.chain ~index
-        in
-        match Client.handle_invitations c drop with
-        | [] -> None
-        | events -> Some (c, events)
-      end)
-    (clients t)
+  let batch_size = Array.length requests in
+  let wire_bytes =
+    Rpc.dial_batch_bytes ~count:batch_size
+      ~item_len:
+        (Vuvuzela_mixnet.Onion.request_size ~chain_len:(Chain.length t.chain)
+           ~payload_len:(Dialing.payload_len t.dial_kind))
+  in
+  let outcome, elapsed_ms =
+    timed (fun () -> Chain.dialing_round t.chain ~round:dial_round ~m requests)
+  in
+  let report failure ~confirmed_acks events =
+    { round = dial_round; dialing = true; events; batch_size; wire_bytes;
+      elapsed_ms; confirmed_acks; failure }
+  in
+  match outcome with
+  | Error st -> report (Some st) ~confirmed_acks:0 []
+  | Ok acks ->
+      (* Route each slot's ack back to its client; a confirmed ack means
+         that request survived every hop. *)
+      let confirmed_acks =
+        List.fold_left
+          (fun n (pk, ack) ->
+            match Hashtbl.find_opt t.clients pk with
+            | Some c when Client.confirm_dial_ack c ~dial_round ack -> n + 1
+            | Some _ | None -> n)
+          0
+          (Entry.demux ~ids acks)
+      in
+      (* §5.4: adopt the last server's m recommendation for the next
+         round. *)
+      if t.auto_tune_m then t.m <- max 1 (Chain.proposed_m t.chain);
+      (* Download phase (unmixed; §5.5) — through the CDN when one is
+         deployed, straight from the last server otherwise. *)
+      report None ~confirmed_acks
+        (List.filter_map
+           (fun c ->
+             if blocked c then None
+             else begin
+               let index = Client.my_invitation_drop c ~m in
+               let drop =
+                 match t.cdn with
+                 | Some cdn ->
+                     Cdn.fetch cdn ~client_pk:(Client.public_key c) ~dial_round
+                       ~index
+                 | None -> Chain.fetch_invitations t.chain ~index
+               in
+               match Client.handle_invitations c drop with
+               | [] -> None
+               | events -> Some (c, events)
+             end)
+           (clients t))
 
-(* Convenience: run n conversation rounds, accumulating events per
-   client. *)
+(* Convenience: run n conversation rounds, collecting the reports. *)
 let run_rounds ?blocked t n =
-  let acc = ref [] in
-  for _ = 1 to n do
-    acc := run_round ?blocked t :: !acc
-  done;
-  List.concat (List.rev !acc)
+  List.init n (fun _ -> run_round ?blocked t)
 
 (* The deployment schedule of §8.1: conversation rounds run continuously
    and a dialing round fires every [dial_every] conversation rounds (the
@@ -173,4 +256,4 @@ let run_schedule ?blocked ?(dial_every = 10) t ~rounds =
     if i mod dial_every = 0 then acc := run_dialing_round ?blocked t :: !acc;
     acc := run_round ?blocked t :: !acc
   done;
-  List.concat (List.rev !acc)
+  List.rev !acc

@@ -10,13 +10,22 @@ val create :
   ?dial_noise:Vuvuzela_dp.Laplace.params ->
   ?noise_mode:Vuvuzela_dp.Noise.mode ->
   ?dial_kind:Dialing.kind ->
+  ?jobs:int ->
   ?cdn_edges:int ->
   unit ->
   t
 (** Defaults are sized for tests (tiny noise); production parameters come
-    from {!Vuvuzela_dp.Composition.noise_for_target}. *)
+    from {!Vuvuzela_dp.Composition.noise_for_target}.  [jobs] (default 1)
+    sets the chain's crypto parallelism; results are bit-identical at any
+    job count. *)
 
 val chain : t -> Chain.t
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Join the chain's worker domains, if any.  Idempotent. *)
+
 val round : t -> int
 val dial_round : t -> int
 val n_clients : t -> int
@@ -47,27 +56,45 @@ val connect :
 val clients : t -> Client.t list
 val find_client : t -> bytes -> Client.t option
 
-val run_round :
-  ?blocked:(Client.t -> bool) -> t -> (Client.t * Client.event list) list
+type round_report = {
+  round : int;  (** the conversation or dialing round that ran *)
+  dialing : bool;
+  events : (Client.t * Client.event list) list;
+      (** per participating client, in connection order; for dialing
+          rounds, only clients with incoming calls appear *)
+  batch_size : int;  (** requests the entry server forwarded *)
+  wire_bytes : int;  (** size of the entry → first-server batch frame *)
+  elapsed_ms : float;  (** wall clock for the chain round trip *)
+  confirmed_acks : int;
+      (** dialing rounds: acks that unwrapped to the expected fixed
+          plaintext; [0] for conversation rounds *)
+  failure : Rpc.status option;
+      (** a link's typed error frame; when set, [events] is empty *)
+}
+(** What one round did — load accounting and failure surfacing alongside
+    the per-client events. *)
+
+val events_of : round_report list -> (Client.t * Client.event list) list
+(** Flatten reports to their events, in round order. *)
+
+val pp_round_report : Format.formatter -> round_report -> unit
+
+val run_round : ?blocked:(Client.t -> bool) -> t -> round_report
 (** Run one conversation round; [blocked] clients send nothing (the
     §2.1 active attack, or an outage). *)
 
-val run_dialing_round :
-  ?blocked:(Client.t -> bool) -> t -> (Client.t * Client.event list) list
-(** Run one dialing round including the download/scan phase; returns
-    only clients with events (incoming calls). *)
+val run_dialing_round : ?blocked:(Client.t -> bool) -> t -> round_report
+(** Run one dialing round: submissions, ack confirmation, and the
+    download/scan phase. *)
 
 val run_rounds :
-  ?blocked:(Client.t -> bool) ->
-  t ->
-  int ->
-  (Client.t * Client.event list) list
+  ?blocked:(Client.t -> bool) -> t -> int -> round_report list
 
 val run_schedule :
   ?blocked:(Client.t -> bool) ->
   ?dial_every:int ->
   t ->
   rounds:int ->
-  (Client.t * Client.event list) list
+  round_report list
 (** Interleave conversation rounds with a dialing round every
     [dial_every] rounds (default 10), as a deployment would (§8.1). *)

@@ -17,6 +17,13 @@ open Vuvuzela_mixnet
 let magic = 0x56555655 (* "VUVU" *)
 let version = 1
 
+type status = {
+  round : int;
+  server : int;  (** chain position reporting the failure *)
+  stage : string;  (** e.g. ["conv-batch"], ["dial-results"] *)
+  detail : string;
+}
+
 type message =
   | Round_announce of { round : int; deadline_ms : int }
       (** first server → clients: a conversation round is open (§3.1
@@ -34,6 +41,9 @@ type message =
   | Fetch_drop of { dial_round : int; index : int }
       (** client → last server (or CDN): download an invitation drop *)
   | Drop_contents of { dial_round : int; index : int; invitations : bytes list }
+  | Status of status
+      (** error frame: a server rejected a batch (framing, size, or
+          protocol violation); replaces the results it cannot produce *)
 
 let tag_of = function
   | Round_announce _ -> 1
@@ -44,6 +54,7 @@ let tag_of = function
   | Dial_results _ -> 6
   | Fetch_drop _ -> 7
   | Drop_contents _ -> 8
+  | Status _ -> 9
 
 (* Uniform-size batch: u32 count, u32 item length, then count items. *)
 let write_batch w (items : bytes array) =
@@ -97,7 +108,12 @@ let encode msg =
           Wire.Writer.u64 w dial_round;
           Wire.Writer.u32 w index;
           Wire.Writer.u32 w (List.length invitations);
-          List.iter (fun inv -> Wire.Writer.bytes_var w inv) invitations)
+          List.iter (fun inv -> Wire.Writer.bytes_var w inv) invitations
+      | Status { round; server; stage; detail } ->
+          Wire.Writer.u64 w round;
+          Wire.Writer.u32 w server;
+          Wire.Writer.bytes_var w (Bytes.of_string stage);
+          Wire.Writer.bytes_var w (Bytes.of_string detail))
 
 let decode b =
   Wire.decode
@@ -142,6 +158,12 @@ let decode b =
             List.init n (fun _ -> Wire.Reader.bytes_var r)
           in
           Drop_contents { dial_round; index; invitations }
+      | 9 ->
+          let round = Wire.Reader.u64 r in
+          let server = Wire.Reader.u32 r in
+          let stage = Bytes.to_string (Wire.Reader.bytes_var r) in
+          let detail = Bytes.to_string (Wire.Reader.bytes_var r) in
+          Status { round; server; stage; detail }
       | t -> raise (Wire.Error (Printf.sprintf "Rpc.decode: unknown tag %d" t)))
     b
 
@@ -161,8 +183,15 @@ let equal_message a b =
   | Drop_contents x, Drop_contents y ->
       x.dial_round = y.dial_round && x.index = y.index
       && x.invitations = y.invitations
+  | Status x, Status y -> x = y
   | _ -> false
 
 (* Byte size of a message on the wire without building it (used by the
-   cost model's bandwidth accounting). *)
+   cost model's bandwidth accounting and the round reports). *)
 let conv_batch_bytes ~count ~item_len = 4 + 1 + 1 + 8 + 4 + 4 + (count * item_len)
+
+(* A [Dial_batch] additionally carries the u32 drop count [m]. *)
+let dial_batch_bytes ~count ~item_len = conv_batch_bytes ~count ~item_len + 4
+
+let pp_status ppf { round; server; stage; detail } =
+  Format.fprintf ppf "round %d: server %d [%s]: %s" round server stage detail

@@ -2,6 +2,17 @@
     entry server, and the chain (§3.1 round coordination, §7
     architecture).  Versioned, fixed-item-size batches. *)
 
+type status = {
+  round : int;
+  server : int;  (** chain position reporting the failure *)
+  stage : string;  (** which link/message failed, e.g. ["conv-batch"] *)
+  detail : string;
+}
+(** A typed error frame: sent in place of the results a server cannot
+    produce (framing violation, size mismatch, protocol error), so
+    failures cross the wire as first-class messages instead of killing
+    the connection. *)
+
 type message =
   | Round_announce of { round : int; deadline_ms : int }
   | Dial_announce of { dial_round : int; m : int }
@@ -15,6 +26,7 @@ type message =
       index : int;
       invitations : bytes list;
     }
+  | Status of status
 
 val encode : message -> bytes
 (** @raise Vuvuzela_mixnet.Wire.Error on ragged batches. *)
@@ -27,3 +39,8 @@ val equal_message : message -> message -> bool
 
 val conv_batch_bytes : count:int -> item_len:int -> int
 (** Exact wire size of a [Conv_batch], for bandwidth accounting. *)
+
+val dial_batch_bytes : count:int -> item_len:int -> int
+(** Exact wire size of a [Dial_batch]. *)
+
+val pp_status : Format.formatter -> status -> unit

@@ -13,6 +13,7 @@
 open Vuvuzela_crypto
 open Vuvuzela_dp
 open Vuvuzela_mixnet
+module Pool = Vuvuzela_parallel.Pool
 
 let log_src = Logs.Src.create "vuvuzela.server" ~doc:"Vuvuzela chain server"
 
@@ -25,6 +26,7 @@ type config = {
   dial_noise : Laplace.params;  (** per-invitation-drop noise *)
   noise_mode : Noise.mode;
   dial_kind : Dialing.kind;  (** deployment-wide invitation format *)
+  jobs : int;  (** domains for the per-onion crypto hot paths *)
 }
 
 type slot = Valid of { index : int; secret : bytes } | Invalid
@@ -53,6 +55,8 @@ type t = {
   secret : bytes;
   public : bytes;
   suffix_pks : bytes list;  (** public keys of the downstream servers *)
+  pool : Pool.t option;  (** [None] ⇒ sequential *)
+  owns_pool : bool;  (** created here (vs. shared by the chain) *)
   rng : Drbg.t;
   conv_rounds : (int, round_state) Hashtbl.t;
   dial_rounds : (int, round_state) Hashtbl.t;
@@ -66,7 +70,7 @@ type t = {
   metrics : metrics;
 }
 
-let create ?rng_seed ~cfg ~suffix_pks () =
+let create ?rng_seed ?pool ~cfg ~suffix_pks () =
   let rng =
     match rng_seed with
     | Some seed -> Drbg.create ~seed
@@ -77,11 +81,22 @@ let create ?rng_seed ~cfg ~suffix_pks () =
     invalid_arg "Server.create: bad position";
   if List.length suffix_pks <> cfg.chain_len - cfg.position - 1 then
     invalid_arg "Server.create: suffix length mismatch";
+  (* A chain shares one pool across its servers (they take turns, so
+     per-server pools would idle); a standalone server with [jobs > 1]
+     gets its own. *)
+  let pool, owns_pool =
+    match pool with
+    | Some p -> (Some p, false)
+    | None when cfg.jobs > 1 -> (Some (Pool.create ~jobs:cfg.jobs), true)
+    | None -> (None, false)
+  in
   {
     cfg;
     secret;
     public;
     suffix_pks;
+    pool;
+    owns_pool;
     rng;
     conv_rounds = Hashtbl.create 8;
     dial_rounds = Hashtbl.create 8;
@@ -102,6 +117,21 @@ let create ?rng_seed ~cfg ~suffix_pks () =
   }
 
 let public_key t = t.public
+let jobs t = t.cfg.jobs
+
+let shutdown t =
+  match t.pool with
+  | Some p when t.owns_pool -> Pool.shutdown p
+  | _ -> ()
+
+(* Fan a pure per-item function out over the pool (sequential when the
+   server runs with jobs = 1).  The combinators write slot [i] of the
+   output from slot [i] of the input, so results are bit-identical to
+   [Array.mapi] at any job count; all RNG draws, metrics, and table
+   updates stay on the coordinating domain. *)
+let par_mapi t f a =
+  match t.pool with Some p -> Pool.mapi_array p f a | None -> Array.mapi f a
+
 let proposed_m t = t.proposed_m
 let dial_kind t = t.cfg.dial_kind
 let is_last t = t.cfg.position = t.cfg.chain_len - 1
@@ -128,36 +158,51 @@ let downstream t = t.cfg.chain_len - t.cfg.position - 1
      is observable and NOT covered by the (m1, m2) noise, so replay
      would reveal that the victim is in a conversation. *)
 let peel_batch t ~round ~expected_len (onions : bytes array) =
-  let inners = ref [] in
-  let n_valid = ref 0 in
+  (* Pass 1 (coordinator): the cheap ingress checks, in slot order —
+     they share the dedup table. *)
   let seen = Hashtbl.create (Array.length onions) in
-  let slots =
+  let admitted =
     Array.map
       (fun onion ->
-        if Bytes.length onion <> expected_len then begin
-          t.metrics.invalid_requests <- t.metrics.invalid_requests + 1;
-          Invalid
-        end
+        if Bytes.length onion <> expected_len then `Bad_size
         else begin
           let key = Bytes.to_string onion in
-          if Hashtbl.mem seen key then begin
-            t.metrics.duplicate_requests <- t.metrics.duplicate_requests + 1;
-            Invalid
-          end
+          if Hashtbl.mem seen key then `Duplicate
           else begin
             Hashtbl.replace seen key ();
-            match Onion.peel ~server_sk:t.secret ~round onion with
-            | Some (inner, secret) ->
-                let index = !n_valid in
-                incr n_valid;
-                inners := inner :: !inners;
-                Valid { index; secret }
-            | None ->
-                t.metrics.invalid_requests <- t.metrics.invalid_requests + 1;
-                Invalid
+            `Peel
           end
         end)
       onions
+  in
+  (* Pass 2 (fan-out): the expensive DH + AEAD peel, pure per slot. *)
+  let peeled =
+    par_mapi t
+      (fun i onion ->
+        match admitted.(i) with
+        | `Peel -> Onion.peel ~server_sk:t.secret ~round onion
+        | `Bad_size | `Duplicate -> None)
+      onions
+  in
+  (* Pass 3 (coordinator): assign batch indices in slot order, count. *)
+  let inners = ref [] in
+  let n_valid = ref 0 in
+  let slots =
+    Array.mapi
+      (fun i admit ->
+        match (admit, peeled.(i)) with
+        | `Peel, Some (inner, secret) ->
+            let index = !n_valid in
+            incr n_valid;
+            inners := inner :: !inners;
+            Valid { index; secret }
+        | `Duplicate, _ ->
+            t.metrics.duplicate_requests <- t.metrics.duplicate_requests + 1;
+            Invalid
+        | (`Bad_size | `Peel), _ ->
+            t.metrics.invalid_requests <- t.metrics.invalid_requests + 1;
+            Invalid)
+      admitted
   in
   t.metrics.requests_in <- t.metrics.requests_in + Array.length onions;
   (slots, Array.of_list (List.rev !inners))
@@ -174,10 +219,29 @@ let dial_request_len t =
     ~chain_len:(t.cfg.chain_len - t.cfg.position)
     ~payload_len:(Dialing.payload_len t.cfg.dial_kind)
 
-(* Wrap a payload for the downstream chain, exactly as a client request
-   arriving at the next server looks. *)
-let wrap_noise t ~round payload =
-  (Onion.wrap ~rng:t.rng ~server_pks:t.suffix_pks ~round payload).Onion.onion
+(* Noise onions are planned in two stages so the wrapping crypto can
+   fan out: the coordinator draws every random input (payload bytes and
+   per-layer ephemeral secrets — in exactly the order the one-shot
+   [Onion.wrap] would have consumed the DRBG), then the pure
+   [Onion.wrap_with] runs on the pool.  A spec is one pending noise
+   onion. *)
+type noise_spec = { payload : bytes; eph_sks : bytes array }
+
+let noise_spec t payload =
+  {
+    payload;
+    eph_sks =
+      Onion.draw_eph_sks ~rng:t.rng ~chain_len:(List.length t.suffix_pks) ();
+  }
+
+(* Wrap the planned noise for the downstream chain, exactly as client
+   requests arriving at the next server look. *)
+let wrap_noise_specs t ~round specs =
+  par_mapi t
+    (fun _ { payload; eph_sks } ->
+      (Onion.wrap_with ~eph_sks ~server_pks:t.suffix_pks ~round payload)
+        .Onion.onion)
+    specs
 
 let shuffle_and_record t table ~round ~slots ~reply_payload_len batch =
   let perm = Shuffle.random_permutation ~rng:t.rng (Array.length batch) in
@@ -199,11 +263,21 @@ let unshuffle_and_reply t table ~round (results : bytes array) =
         invalid_arg "Server: result batch size mismatch";
       let unshuffled = Shuffle.unapply st.perm results in
       let dummy_len = st.reply_payload_len + Onion.reply_overhead in
-      Array.map
-        (function
+      (* Dummies consume the DRBG in slot order on the coordinator
+         (sealing draws nothing, so the stream matches the old
+         interleaved loop); the AEAD seals then fan out. *)
+      let dummies =
+        Array.map
+          (function
+            | Valid _ -> Bytes.empty
+            | Invalid -> Drbg.generate t.rng dummy_len)
+          st.slots
+      in
+      par_mapi t
+        (fun i -> function
           | Valid { index; secret } ->
               Onion.seal_reply ~secret ~round unshuffled.(index)
-          | Invalid -> Drbg.generate t.rng dummy_len)
+          | Invalid -> dummies.(i))
         st.slots
 
 (* ------------------------------------------------------------------ *)
@@ -228,14 +302,14 @@ let conv_noise t ~round =
   t.metrics.noise_pairs <- t.metrics.noise_pairs + plan.pairs;
   let out = ref [] in
   for _ = 1 to plan.singles do
-    out := wrap_noise t ~round (noise_exchange_payload t) :: !out
+    out := noise_spec t (noise_exchange_payload t) :: !out
   done;
   for _ = 1 to plan.pairs do
     let drop = Drbg.generate t.rng Types.drop_id_len in
-    out := wrap_noise t ~round (noise_exchange_payload ~drop:(Some drop) t) :: !out;
-    out := wrap_noise t ~round (noise_exchange_payload ~drop:(Some drop) t) :: !out
+    out := noise_spec t (noise_exchange_payload ~drop:(Some drop) t) :: !out;
+    out := noise_spec t (noise_exchange_payload ~drop:(Some drop) t) :: !out
   done;
-  Array.of_list !out
+  wrap_noise_specs t ~round (Array.of_list !out)
 
 (* Forward pass of a mixing server: peel, add noise, shuffle. *)
 let conv_forward t ~round onions =
@@ -283,14 +357,19 @@ let conv_exchange t ~round onions =
         h.Deaddrop.m2);
   t.metrics.rounds <- t.metrics.rounds + 1;
   let results = Deaddrop.resolve t.drops ~n_slots:(Array.length inners) in
-  (* Seal each result under the layer secret of its request. *)
-  Array.map
-    (function
-      | Valid { index; secret } ->
-          Onion.seal_reply ~secret ~round results.(index)
-      | Invalid ->
-          Drbg.generate t.rng
-            (Types.exchange_result_len + Onion.reply_overhead))
+  (* Seal each result under the layer secret of its request.  Dummies
+     (RNG) first, in slot order; the seals fan out. *)
+  let dummy_len = Types.exchange_result_len + Onion.reply_overhead in
+  let dummies =
+    Array.map
+      (function
+        | Valid _ -> Bytes.empty | Invalid -> Drbg.generate t.rng dummy_len)
+      slots
+  in
+  par_mapi t
+    (fun i -> function
+      | Valid { index; secret } -> Onion.seal_reply ~secret ~round results.(index)
+      | Invalid -> dummies.(i))
     slots
 
 (* ------------------------------------------------------------------ *)
@@ -306,12 +385,11 @@ let dial_noise t ~round ~m =
     t.metrics.noise_invitations <- t.metrics.noise_invitations + n;
     for _ = 1 to n do
       out :=
-        wrap_noise t ~round
-          (Dialing.noise ~rng:t.rng ~kind:t.cfg.dial_kind ~index ())
+        noise_spec t (Dialing.noise ~rng:t.rng ~kind:t.cfg.dial_kind ~index ())
         :: !out
     done
   done;
-  Array.of_list !out
+  wrap_noise_specs t ~round (Array.of_list !out)
 
 let dial_forward t ~round ~m onions =
   if is_last t then invalid_arg "Server.dial_forward: last server";
@@ -377,11 +455,17 @@ let dial_deliver t ~round ~m onions =
   done;
   t.invitations <- Some store;
   t.metrics.rounds <- t.metrics.rounds + 1;
-  Array.map
-    (function
+  let dummy_len = Types.dial_result_len + Onion.reply_overhead in
+  let dummies =
+    Array.map
+      (function
+        | Valid _ -> Bytes.empty | Invalid -> Drbg.generate t.rng dummy_len)
+      slots
+  in
+  par_mapi t
+    (fun i -> function
       | Valid { secret; _ } -> Onion.seal_reply ~secret ~round dial_ack
-      | Invalid ->
-          Drbg.generate t.rng (Types.dial_result_len + Onion.reply_overhead))
+      | Invalid -> dummies.(i))
     slots
 
 (* Clients download invitation drops directly (§5.5: fetches need no

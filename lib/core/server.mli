@@ -9,6 +9,9 @@ type config = {
   dial_noise : Vuvuzela_dp.Laplace.params;
   noise_mode : Vuvuzela_dp.Noise.mode;
   dial_kind : Dialing.kind;
+  jobs : int;
+      (** domains for the per-onion crypto hot paths; [1] = sequential.
+          Results are bit-identical at any job count. *)
 }
 
 type metrics = {
@@ -23,12 +26,29 @@ type metrics = {
 
 type t
 
-val create : ?rng_seed:bytes -> cfg:config -> suffix_pks:bytes list -> unit -> t
+val create :
+  ?rng_seed:bytes ->
+  ?pool:Vuvuzela_parallel.Pool.t ->
+  cfg:config ->
+  suffix_pks:bytes list ->
+  unit ->
+  t
 (** [suffix_pks] are the public keys of the servers after this one in the
-    chain (needed to wrap noise requests).
+    chain (needed to wrap noise requests).  [pool] shares a domain pool
+    with other servers (the chain does this — its servers take turns);
+    without it, [cfg.jobs > 1] creates a private pool owned by this
+    server.
     @raise Invalid_argument on inconsistent position/suffix. *)
 
 val public_key : t -> bytes
+
+val jobs : t -> int
+(** The configured degree of parallelism. *)
+
+val shutdown : t -> unit
+(** Join the server's own worker domains, if it created any.  A shared
+    [?pool] is the chain's to shut down.  Idempotent. *)
+
 val dial_kind : t -> Dialing.kind
 val is_last : t -> bool
 val metrics : t -> metrics

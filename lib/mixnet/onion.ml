@@ -34,11 +34,15 @@ type wrapped = {
           unwrap the reply *)
 }
 
-(* Wrap [payload] for the servers whose public keys are [server_pks]
-   (first server first).  Encryption happens in reverse order. *)
-let wrap ?rng ~server_pks ~round payload =
+(* Wrap [payload] under pre-drawn ephemeral secrets, [eph_sks.(i)] for
+   layer i (raw 32-byte strings; clamped here).  Pure — no RNG — so
+   batches of wraps can fan out across domains while the coordinating
+   domain keeps the single RNG stream. *)
+let wrap_with ~eph_sks ~server_pks ~round payload =
   let n = List.length server_pks in
   if n = 0 then invalid_arg "Onion.wrap: empty chain";
+  if Array.length eph_sks <> n then
+    invalid_arg "Onion.wrap_with: one ephemeral secret per layer";
   let secrets = Array.make n Bytes.empty in
   let nonce = request_nonce ~round in
   let rec go i pks acc =
@@ -48,13 +52,32 @@ let wrap ?rng ~server_pks ~round payload =
         (* Innermost layer corresponds to the last server, so recurse
            first, then seal for this (earlier) server. *)
         let inner = go (i + 1) rest acc in
-        let esk, epk = Drbg.keypair ?rng () in
+        let esk = Curve25519.clamp eph_sks.(i) in
+        let epk = Curve25519.scalarmult_base esk in
         let s = Box.precompute ~secret:esk ~public:spk in
         secrets.(i) <- s;
         Bytes_util.concat [ epk; Aead.seal ~key:s ~nonce inner ]
   in
   let onion = go 0 server_pks payload in
   { onion; secrets }
+
+(* Draw the per-layer ephemeral secrets for one onion.  Innermost layer
+   first: that is the order the original recursive wrap consumed the
+   DRBG in, so seeded runs stay byte-for-byte reproducible. *)
+let draw_eph_sks ?rng ~chain_len () =
+  let eph_sks = Array.make chain_len Bytes.empty in
+  for i = chain_len - 1 downto 0 do
+    eph_sks.(i) <- Drbg.bytes ?rng Curve25519.scalar_len
+  done;
+  eph_sks
+
+(* Wrap [payload] for the servers whose public keys are [server_pks]
+   (first server first).  Encryption happens in reverse order. *)
+let wrap ?rng ~server_pks ~round payload =
+  let n = List.length server_pks in
+  if n = 0 then invalid_arg "Onion.wrap: empty chain";
+  wrap_with ~eph_sks:(draw_eph_sks ?rng ~chain_len:n ()) ~server_pks ~round
+    payload
 
 (* Server side: strip one layer.  Returns the inner onion and the layer
    secret to seal the reply with. *)

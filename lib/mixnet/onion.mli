@@ -23,6 +23,18 @@ val wrap :
 (** Wrap a payload for the chain; [server_pks] lists the first server
     first.  Fresh ephemeral keys per layer per call. *)
 
+val draw_eph_sks :
+  ?rng:Vuvuzela_crypto.Drbg.t -> chain_len:int -> unit -> bytes array
+(** Draw one raw (unclamped) ephemeral secret per layer, in the same
+    DRBG order {!wrap} consumes them (innermost layer first). *)
+
+val wrap_with :
+  eph_sks:bytes array -> server_pks:bytes list -> round:int -> bytes -> wrapped
+(** [wrap] with the per-layer ephemeral secrets supplied by the caller
+    (see {!draw_eph_sks}).  Pure — safe to fan out across domains.
+    [wrap ?rng ... p] ≡
+    [wrap_with ~eph_sks:(draw_eph_sks ?rng ~chain_len ()) ... p]. *)
+
 val peel : server_sk:bytes -> round:int -> bytes -> (bytes * bytes) option
 (** Server side: strip one layer, returning [(inner, layer_secret)], or
     [None] if the layer fails to authenticate. *)

@@ -147,7 +147,7 @@ let run ?(seed = "workload") ?(noise = Vuvuzela_dp.Laplace.params ~mu:4. ~b:1.)
           end
         end
       done;
-      let events = Network.run_dialing_round net in
+      let events = (Network.run_dialing_round net).Network.events in
       List.iter
         (fun (c, evs) ->
           List.iter
@@ -183,7 +183,7 @@ let run ?(seed = "workload") ?(noise = Vuvuzela_dp.Laplace.params ~mu:4. ~b:1.)
     done;
     (* Outages: each client independently misses the round. *)
     let blocked _c = bernoulli profile.offline in
-    let events = Network.run_round ~blocked net in
+    let events = (Network.run_round ~blocked net).Network.events in
     List.iter
       (fun (_, evs) ->
         List.iter
@@ -204,7 +204,7 @@ let run ?(seed = "workload") ?(noise = Vuvuzela_dp.Laplace.params ~mu:4. ~b:1.)
   (* Drain outstanding retransmissions. *)
   let drain = 15 in
   for extra = 1 to drain do
-    let events = Network.run_round net in
+    let events = (Network.run_round net).Network.events in
     List.iter
       (fun (_, evs) ->
         List.iter

@@ -30,7 +30,7 @@ let test_certified_call_end_to_end () =
       net
   in
   Client.dial alice ~callee_pk:(Client.public_key bob);
-  let events = Network.run_dialing_round net in
+  let events = (Network.run_dialing_round net).Network.events in
   match events with
   | [ (c, [ Client.Incoming_call { caller; certificate = Some cert } ]) ] ->
       Alcotest.(check bool) "callee is bob" true (c == bob);
@@ -107,7 +107,7 @@ let test_plain_invitation_rejected_in_certified_deployment () =
        ~round:77 payload)
       .Vuvuzela_mixnet.Onion.onion
   in
-  let acks = Chain.dialing_round chain ~round:77 ~m:1 [| onion |] in
+  let acks = Chain.dialing_round_exn chain ~round:77 ~m:1 [| onion |] in
   Alcotest.(check int) "still acked (alignment kept)" 1 (Array.length acks);
   (* The undersized onion is dropped at the FIRST server (size
      uniformity at ingress), before it can be traced through the mix. *)
@@ -134,7 +134,7 @@ let test_expired_certificate_flagged () =
   in
   let bob = Network.connect ~seed:"bob3" net in
   Client.dial alice ~callee_pk:(Client.public_key bob);
-  let events = Network.run_dialing_round net in
+  let events = (Network.run_dialing_round net).Network.events in
   match events with
   | [ (_, [ Client.Incoming_call { certificate = Some cert; _ } ]) ] -> (
       (* validity 0 expires after the dialing round it was issued in;
@@ -159,7 +159,7 @@ let test_certified_noise_not_decryptable () =
       net
   in
   ignore bob;
-  let events = Network.run_dialing_round net in
+  let events = (Network.run_dialing_round net).Network.events in
   Alcotest.(check int) "silence" 0 (List.length events);
   (* The drop is nonetheless non-empty (noise from 3 servers). *)
   let size =

@@ -42,7 +42,7 @@ let test_basic_delivery () =
   let a, b = pair_up net in
   Client.send a "hello";
   Client.send b "hi there";
-  let events = Network.run_rounds net 2 in
+  let events = Network.events_of @@ Network.run_rounds net 2 in
   Alcotest.(check (list string)) "bob got hello" [ "hello" ] (texts_for b events);
   Alcotest.(check (list string)) "alice got hi" [ "hi there" ] (texts_for a events)
 
@@ -51,7 +51,7 @@ let test_in_order_delivery () =
   let a, b = pair_up net in
   let msgs = List.init 10 (Printf.sprintf "msg-%02d") in
   List.iter (Client.send a) msgs;
-  let events = Network.run_rounds net 15 in
+  let events = Network.events_of @@ Network.run_rounds net 15 in
   Alcotest.(check (list string)) "all delivered in order" msgs (texts_for b events);
   Alcotest.(check int) "nothing left queued" 0 (Client.queued a)
 
@@ -65,7 +65,7 @@ let test_pipelining_window () =
   Client.start_conversation b ~peer_pk:(Client.public_key a);
   let msgs = List.init 8 (Printf.sprintf "p%d") in
   List.iter (Client.send a) msgs;
-  let events = Network.run_rounds net 9 in
+  let events = Network.events_of @@ Network.run_rounds net 9 in
   Alcotest.(check (list string)) "all 8 within 9 rounds" msgs (texts_for b events);
   Alcotest.(check int) "no retransmissions without loss" 0
     (Client.stats a).Client.retransmissions
@@ -78,11 +78,11 @@ let test_window_one_is_stop_and_wait () =
   Client.start_conversation b ~peer_pk:(Client.public_key a);
   Client.send a "one";
   Client.send a "two";
-  let events = Network.run_rounds net 2 in
+  let events = Network.events_of @@ Network.run_rounds net 2 in
   (* With window 1, "two" cannot be sent until "one" is acked (ack
      arrives in round 2's reply), so only "one" lands in 2 rounds. *)
   Alcotest.(check (list string)) "only first delivered" [ "one" ] (texts_for b events);
-  let events = Network.run_rounds net 3 in
+  let events = Network.events_of @@ Network.run_rounds net 3 in
   Alcotest.(check (list string)) "second follows" [ "two" ] (texts_for b events)
 
 let test_retransmission_on_block () =
@@ -92,11 +92,11 @@ let test_retransmission_on_block () =
   (* Block Alice for the first two rounds: her message cannot have been
      exchanged. *)
   let blocked c = c == a in
-  let events = Network.run_rounds ~blocked net 2 in
+  let events = Network.events_of @@ Network.run_rounds ~blocked net 2 in
   Alcotest.(check (list string)) "nothing delivered while blocked" []
     (delivered_texts events);
   (* Unblock: the client retransmits and delivery succeeds. *)
-  let events = Network.run_rounds net 6 in
+  let events = Network.events_of @@ Network.run_rounds net 6 in
   Alcotest.(check (list string)) "delivered after unblock"
     [ "survives blocking" ] (texts_for b events)
 
@@ -105,9 +105,9 @@ let test_retransmission_on_receiver_block () =
   let a, b = pair_up net in
   Client.send a "to a deaf bob";
   (* Bob offline: Alice's exchanges are lone accesses. *)
-  let events = Network.run_rounds ~blocked:(fun c -> c == b) net 3 in
+  let events = Network.events_of @@ Network.run_rounds ~blocked:(fun c -> c == b) net 3 in
   Alcotest.(check (list string)) "not delivered" [] (delivered_texts events);
-  let events = Network.run_rounds net 6 in
+  let events = Network.events_of @@ Network.run_rounds net 6 in
   Alcotest.(check (list string)) "delivered once bob returns"
     [ "to a deaf bob" ] (texts_for b events);
   Alcotest.(check bool) "retransmissions happened" true
@@ -123,7 +123,7 @@ let test_no_duplicate_delivery () =
   let all = ref [] in
   for round = 1 to 30 do
     let blocked c = (round mod 3 = 0 && c == a) || (round mod 4 = 0 && c == b) in
-    let events = Network.run_round ~blocked net in
+    let events = (Network.run_round ~blocked net).Network.events in
     all := !all @ texts_for b events
   done;
   Alcotest.(check (list string)) "exactly once, in order" msgs !all
@@ -135,7 +135,7 @@ let test_bidirectional_concurrent () =
   let msgs_b = List.init 5 (Printf.sprintf "b->a %d") in
   List.iter (Client.send a) msgs_a;
   List.iter (Client.send b) msgs_b;
-  let events = Network.run_rounds net 10 in
+  let events = Network.events_of @@ Network.run_rounds net 10 in
   Alcotest.(check (list string)) "a→b" msgs_a (texts_for b events);
   Alcotest.(check (list string)) "b→a" msgs_b (texts_for a events)
 
@@ -144,7 +144,7 @@ let test_idle_clients_receive_nothing () =
   let a, b = pair_up net in
   let idle = Network.connect ~seed:"idle" net in
   Client.send a "private";
-  let events = Network.run_rounds net 4 in
+  let events = Network.events_of @@ Network.run_rounds net 4 in
   Alcotest.(check (list string)) "bob gets it" [ "private" ] (texts_for b events);
   Alcotest.(check (list string)) "idle client gets nothing" []
     (texts_for idle events);
@@ -174,7 +174,7 @@ let test_end_conversation_stops_delivery () =
   ignore (Network.run_rounds net 2);
   Client.end_conversation b;
   Client.send a "after hangup";
-  let events = Network.run_rounds net 4 in
+  let events = Network.events_of @@ Network.run_rounds net 4 in
   Alcotest.(check (list string)) "no delivery after hangup" []
     (texts_for b events);
   Alcotest.(check bool) "bob idle" false (Client.in_conversation b)
@@ -190,7 +190,7 @@ let test_conversation_switch () =
   Client.start_conversation b ~peer_pk:(Client.public_key c);
   Client.start_conversation c ~peer_pk:(Client.public_key b);
   Client.send c "hello from charlie";
-  let events = Network.run_rounds net 4 in
+  let events = Network.events_of @@ Network.run_rounds net 4 in
   Alcotest.(check (list string)) "bob hears charlie" [ "hello from charlie" ]
     (texts_for b events);
   Alcotest.(check bool) "bob's peer is charlie" true
@@ -207,7 +207,7 @@ let test_dial_and_converse () =
   let _idle = Network.connect ~seed:"idle" net in
   Client.dial a ~callee_pk:(Client.public_key b);
   Client.start_conversation a ~peer_pk:(Client.public_key b);
-  let dial_events = Network.run_dialing_round net in
+  let dial_events = (Network.run_dialing_round net).Network.events in
   (* Bob (and only Bob) hears the call. *)
   (match dial_events with
   | [ (c, [ Client.Incoming_call { caller; _ } ]) ] ->
@@ -218,7 +218,7 @@ let test_dial_and_converse () =
       Client.start_conversation b ~peer_pk:caller
   | _ -> Alcotest.fail "expected exactly one incoming call");
   Client.send a "we're connected";
-  let events = Network.run_rounds net 3 in
+  let events = Network.events_of @@ Network.run_rounds net 3 in
   Alcotest.(check (list string)) "conversation works" [ "we're connected" ]
     (texts_for b events)
 
@@ -227,9 +227,9 @@ let test_dial_consumed_once () =
   let a = Network.connect ~seed:"alice" net in
   let b = Network.connect ~seed:"bob" net in
   Client.dial a ~callee_pk:(Client.public_key b);
-  let ev1 = Network.run_dialing_round net in
+  let ev1 = (Network.run_dialing_round net).Network.events in
   Alcotest.(check int) "first round rings" 1 (List.length ev1);
-  let ev2 = Network.run_dialing_round net in
+  let ev2 = (Network.run_dialing_round net).Network.events in
   Alcotest.(check int) "second round silent (dial consumed)" 0
     (List.length ev2)
 
@@ -241,7 +241,7 @@ let test_multiple_invitation_drops () =
   let c = Network.connect ~seed:"charlie" net in
   Client.dial a ~callee_pk:(Client.public_key b);
   Client.dial c ~callee_pk:(Client.public_key a);
-  let events = Network.run_dialing_round net in
+  let events = (Network.run_dialing_round net).Network.events in
   let callers_of client =
     List.concat_map
       (fun (cl, evs) ->
@@ -261,7 +261,7 @@ let test_blocked_dialer_silent () =
   let a = Network.connect ~seed:"alice" net in
   let b = Network.connect ~seed:"bob" net in
   Client.dial a ~callee_pk:(Client.public_key b);
-  let events = Network.run_dialing_round ~blocked:(fun c -> c == a) net in
+  let events = (Network.run_dialing_round ~blocked:(fun c -> c == a) net).Network.events in
   Alcotest.(check int) "no call when dialer blocked" 0 (List.length events)
 
 (* ------------------------------------------------------------------ *)
@@ -279,7 +279,7 @@ let test_many_pairs () =
         Client.send a (Printf.sprintf "pair-%d ping" i);
         (a, b, i))
   in
-  let events = Network.run_rounds net 4 in
+  let events = Network.events_of @@ Network.run_rounds net 4 in
   List.iter
     (fun (_, b, i) ->
       Alcotest.(check (list string))
@@ -313,7 +313,7 @@ let qcheck_props =
         Client.start_conversation a ~peer_pk:(Client.public_key b);
         Client.start_conversation b ~peer_pk:(Client.public_key a);
         List.iter (Client.send a) msgs;
-        let events = Network.run_rounds net (List.length msgs + 8) in
+        let events = Network.events_of @@ Network.run_rounds net (List.length msgs + 8) in
         texts_for b events = msgs);
   ]
 
@@ -359,7 +359,7 @@ let test_pending_round_gc () =
   Client.send a "after the storm";
   (* Network's round counter is far behind the client's private ones;
      run enough rounds for a fresh exchange. *)
-  let events = Network.run_rounds net 3 in
+  let events = Network.events_of @@ Network.run_rounds net 3 in
   Alcotest.(check (list string)) "still functional" [ "after the storm" ]
     (texts_for b events)
 

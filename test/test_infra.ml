@@ -29,7 +29,11 @@ let test_rpc_roundtrips () =
   roundtrip
     (Rpc.Drop_contents
        { dial_round = 9; index = 1; invitations = [ Drbg.generate rng 80 ] });
-  roundtrip (Rpc.Drop_contents { dial_round = 9; index = 0; invitations = [] })
+  roundtrip (Rpc.Drop_contents { dial_round = 9; index = 0; invitations = [] });
+  roundtrip
+    (Rpc.Status
+       { round = 12; server = 1; stage = "conv-batch"; detail = "ragged" });
+  roundtrip (Rpc.Status { round = 0; server = 0; stage = ""; detail = "" })
 
 let test_rpc_rejections () =
   let good = Rpc.encode (Rpc.Round_announce { round = 1; deadline_ms = 1 }) in
@@ -79,7 +83,17 @@ let test_rpc_batch_bytes () =
   let encoded = Rpc.encode (Rpc.Conv_batch { round = 1; onions }) in
   Alcotest.(check int) "conv_batch_bytes exact"
     (Bytes.length encoded)
-    (Rpc.conv_batch_bytes ~count:7 ~item_len:416)
+    (Rpc.conv_batch_bytes ~count:7 ~item_len:416);
+  let encoded = Rpc.encode (Rpc.Dial_batch { round = 1; m = 4; onions }) in
+  Alcotest.(check int) "dial_batch_bytes exact"
+    (Bytes.length encoded)
+    (Rpc.dial_batch_bytes ~count:7 ~item_len:416)
+
+let test_rpc_status_pp () =
+  let st = { Rpc.round = 3; server = 1; stage = "conv-batch"; detail = "x" } in
+  Alcotest.(check string)
+    "status formats" "round 3: server 1 [conv-batch]: x"
+    (Format.asprintf "%a" Rpc.pp_status st)
 
 (* ------------------------------------------------------------------ *)
 (* CDN                                                                 *)
@@ -250,6 +264,19 @@ let test_address_book_rename () =
      point at the newest record; size counts names. *)
   Alcotest.(check int) "two names" 2 (Address_book.size book)
 
+(* Hand-assemble a [Conv_batch] frame whose batch header lies about its
+   contents, bypassing the encoder's own checks. *)
+let raw_conv_batch_frame ~count ~item_len ~body_len =
+  let module Wire = Vuvuzela_mixnet.Wire in
+  Wire.encode (fun w ->
+      Wire.Writer.u32 w 0x56555655 (* magic *);
+      Wire.Writer.u8 w 1 (* version *);
+      Wire.Writer.u8 w 3 (* Conv_batch *);
+      Wire.Writer.u64 w 1 (* round *);
+      Wire.Writer.u32 w count;
+      Wire.Writer.u32 w item_len;
+      Wire.Writer.raw w (Bytes.make body_len 'x'))
+
 let qcheck_props =
   let open QCheck in
   [
@@ -257,6 +284,43 @@ let qcheck_props =
       (string_of_size (Gen.int_bound 100))
       (fun s ->
         match Rpc.decode (Bytes.of_string s) with Ok _ | Error _ -> true);
+    Test.make ~name:"rpc read_batch rejects short or long bodies" ~count:100
+      (triple (int_range 1 50) (int_range 1 64) (int_range 1 32))
+      (fun (count, item_len, delta) ->
+        (* The header promises count*item_len bytes; a body that is
+           [delta] bytes short or long must be rejected, never
+           resynchronized around. *)
+        let expect = count * item_len in
+        Result.is_error
+          (Rpc.decode
+             (raw_conv_batch_frame ~count ~item_len
+                ~body_len:(max 0 (expect - delta))))
+        && Result.is_error
+             (Rpc.decode
+                (raw_conv_batch_frame ~count ~item_len
+                   ~body_len:(expect + delta))));
+    Test.make ~name:"rpc read_batch rejects absurd counts" ~count:50
+      (int_range 0 1_000_000)
+      (fun extra ->
+        Result.is_error
+          (Rpc.decode
+             (raw_conv_batch_frame
+                ~count:((1 lsl 26) + 1 + extra)
+                ~item_len:1 ~body_len:0)));
+    Test.make ~name:"rpc ragged batches rejected at encode" ~count:50
+      (pair (int_range 0 20) (int_range 0 20))
+      (fun (la, lb) ->
+        la = lb
+        || (try
+              ignore
+                (Rpc.encode
+                   (Rpc.Conv_batch
+                      {
+                        round = 1;
+                        onions = [| Bytes.make la 'a'; Bytes.make lb 'b' |];
+                      }));
+              false
+            with Vuvuzela_mixnet.Wire.Error _ -> true));
     Test.make ~name:"address book serialize roundtrip" ~count:30
       (small_list (string_gen_of_size (Gen.int_range 1 20) Gen.printable))
       (fun names ->
@@ -278,6 +342,7 @@ let suite =
       tc "rpc rejections" `Quick test_rpc_rejections;
       tc "rpc fuzz" `Quick test_rpc_fuzz;
       tc "rpc batch byte accounting" `Quick test_rpc_batch_bytes;
+      tc "rpc status formatting" `Quick test_rpc_status_pp;
       tc "cdn caching" `Quick test_cdn_caching;
       tc "cdn spread and eviction" `Quick test_cdn_spread_and_eviction;
       tc "cdn against live chain" `Quick test_cdn_against_live_chain;
@@ -302,7 +367,7 @@ let test_network_with_cdn () =
     List.init 6 (fun i -> Network.connect ~seed:(Printf.sprintf "x%d" i) net)
   in
   Client.dial a ~callee_pk:(Client.public_key b);
-  let events = Network.run_dialing_round net in
+  let events = (Network.run_dialing_round net).Network.events in
   Alcotest.(check int) "call delivered through cdn" 1 (List.length events);
   match Network.cdn_stats net with
   | Some s ->

@@ -55,7 +55,7 @@ let test_concurrent_conversations () =
   Client.send_to hub ~peer:(Client.public_key c) "to c";
   Client.send b "from b";
   Client.send c "from c";
-  let events = Network.run_rounds net 4 in
+  let events = Network.events_of @@ Network.run_rounds net 4 in
   Alcotest.(check (list string)) "b heard hub" [ "to b" ]
     (texts_from (Client.public_key hub) events b);
   Alcotest.(check (list string)) "c heard hub" [ "to c" ]
@@ -144,7 +144,7 @@ let test_mixed_population () =
       Client.start_conversation s ~peer_pk:(Client.public_key hub);
       Client.send_to hub ~peer:(Client.public_key s) (Printf.sprintf "hi %d" i))
     spokes;
-  let events = Network.run_rounds net 3 in
+  let events = Network.events_of @@ Network.run_rounds net 3 in
   List.iteri
     (fun i s ->
       Alcotest.(check (list string))

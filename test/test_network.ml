@@ -60,7 +60,7 @@ let test_m_tuning_preserves_delivery () =
   Alcotest.(check bool) "m grew" true (m2 > 1);
   (* Round 2 at the new m: a dials b; b must still hear it. *)
   Client.dial a ~callee_pk:(Client.public_key b);
-  let events = Network.run_dialing_round net in
+  let events = (Network.run_dialing_round net).Network.events in
   let b_called =
     List.exists
       (fun (c, evs) ->
@@ -103,8 +103,8 @@ let test_schedule_dial_then_converse () =
                   Client.start_conversation b ~peer_pk:caller
               | _ -> ())
             evs)
-        (Network.run_dialing_round net);
-    events := Network.run_round net @ !events
+        (Network.run_dialing_round net).Network.events;
+    events := (Network.run_round net).Network.events @ !events
   done;
   List.iter
     (fun (c, evs) ->
@@ -180,7 +180,7 @@ let test_soak () =
     (* Random blocking. *)
     let victim = Drbg.uniform ~rng (2 * n) in
     let blocked c = victim < n && c == clients.(victim) in
-    let events = Network.run_round ~blocked net in
+    let events = (Network.run_round ~blocked net).Network.events in
     ignore round;
     List.iter
       (fun (c, evs) ->
@@ -200,7 +200,7 @@ let test_soak () =
       ignore c;
       ignore evs)
     [];
-  let final_events = Network.run_rounds net 10 in
+  let final_events = Network.events_of @@ Network.run_rounds net 10 in
   List.iter
     (fun (c, evs) ->
       List.iter

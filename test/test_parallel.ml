@@ -1,0 +1,174 @@
+(* The multicore round engine: the domain pool's combinators, and the
+   determinism contract — a seeded deployment must produce bit-identical
+   observables (histograms, events, reports) at any job count, because
+   every RNG draw stays on the coordinating domain. *)
+
+open Vuvuzela_dp
+open Vuvuzela
+module Pool = Vuvuzela_parallel.Pool
+
+(* ------------------------------------------------------------------ *)
+(* Pool combinators                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_matches_sequential () =
+  let pool = Pool.create ~jobs:4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  Alcotest.(check int) "jobs" 4 (Pool.jobs pool);
+  List.iter
+    (fun n ->
+      let a = Array.init n (fun i -> i) in
+      let f i x = (i * 31) + x in
+      Alcotest.(check (array int))
+        (Printf.sprintf "mapi %d" n)
+        (Array.mapi f a) (Pool.mapi_array pool f a);
+      let g x = x * x in
+      Alcotest.(check (array int))
+        (Printf.sprintf "map %d" n)
+        (Array.map g a) (Pool.map_array pool g a);
+      (* iter_array visits every index exactly once. *)
+      let hits = Array.make n 0 in
+      Pool.iter_array pool (fun i -> hits.(i) <- hits.(i) + 1) a;
+      Alcotest.(check (array int))
+        (Printf.sprintf "iter %d" n)
+        (Array.make n 1) hits)
+    [ 0; 1; 2; 3; 7; 8; 64; 1000 ]
+
+let test_pool_run_and_exceptions () =
+  let pool = Pool.create ~jobs:3 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let r = Pool.run pool [| (fun () -> 10); (fun () -> 20); (fun () -> 30) |] in
+  Alcotest.(check (array int)) "run results in order" [| 10; 20; 30 |] r;
+  (* A worker's exception reaches the caller; the pool survives it. *)
+  Alcotest.check_raises "exception propagates" Exit (fun () ->
+      ignore
+        (Pool.map_array pool
+           (fun x -> if x = 777 then raise Exit else x)
+           (Array.init 1000 Fun.id)));
+  Alcotest.(check (array int)) "pool still usable" [| 0; 2; 4 |]
+    (Pool.map_array pool (fun x -> 2 * x) [| 0; 1; 2 |])
+
+let test_pool_jobs_one_is_sequential () =
+  let pool = Pool.create ~jobs:1 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  (* With one job everything runs on the calling domain — side effects
+     land in submission order. *)
+  let seen = ref [] in
+  ignore
+    (Pool.mapi_array pool
+       (fun i _ ->
+         seen := i :: !seen;
+         i)
+       (Array.make 16 ()));
+  Alcotest.(check (list int)) "in order" (List.init 16 (fun i -> 15 - i)) !seen
+
+(* ------------------------------------------------------------------ *)
+(* Deployment determinism across job counts                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Run a small seeded deployment (dialing + 6 conversation rounds) and
+   summarize everything observable: the last server's histogram, every
+   round report's accounting, and every client event. *)
+let run_deployment ~jobs =
+  let net =
+    Network.create ~seed:"par-det" ~n_servers:3
+      ~noise:(Laplace.params ~mu:3. ~b:1.)
+      ~dial_noise:(Laplace.params ~mu:2. ~b:1.)
+      ~noise_mode:Noise.Sampled ~jobs ()
+  in
+  Alcotest.(check int) "configured jobs" jobs (Network.jobs net);
+  let a = Network.connect ~seed:"a" net in
+  let b = Network.connect ~seed:"b" net in
+  let _idle =
+    List.init 3 (fun i -> Network.connect ~seed:(Printf.sprintf "i%d" i) net)
+  in
+  Client.dial a ~callee_pk:(Client.public_key b);
+  Client.start_conversation a ~peer_pk:(Client.public_key b);
+  let dial_report = Network.run_dialing_round net in
+  List.iter
+    (fun (c, evs) ->
+      List.iter
+        (function
+          | Client.Incoming_call { caller; _ } ->
+              Client.start_conversation c ~peer_pk:caller
+          | _ -> ())
+        evs)
+    dial_report.Network.events;
+  Client.send a "hello determinism";
+  Client.send b "same bytes at any job count";
+  let reports = Network.run_rounds net 6 in
+  let histogram =
+    match Chain.observed_histogram (Network.chain net) with
+    | Some h -> (h.Deaddrop.m1, h.Deaddrop.m2)
+    | None -> (-1, -1)
+  in
+  let transcript =
+    List.map
+      (fun r ->
+        Printf.sprintf "round=%d dialing=%b batch=%d wire=%d acks=%d [%s]"
+          r.Network.round r.Network.dialing r.Network.batch_size
+          r.Network.wire_bytes r.Network.confirmed_acks
+          (String.concat "; "
+             (List.concat_map
+                (fun (c, evs) ->
+                  List.map
+                    (fun e ->
+                      Vuvuzela_crypto.Bytes_util.to_hex (Client.public_key c)
+                      ^ ":"
+                      ^ Format.asprintf "%a" Client.pp_event e)
+                    evs)
+                r.Network.events)))
+      (dial_report :: reports)
+  in
+  Network.shutdown net;
+  (histogram, transcript)
+
+let test_deployment_determinism () =
+  let ref_h, ref_t = run_deployment ~jobs:1 in
+  (* The conversation actually happened... *)
+  Alcotest.(check bool) "events occurred" true
+    (List.exists (fun line -> String.length line > 60) ref_t);
+  (* ...and replays bit-identically under 2 and 4 domains. *)
+  List.iter
+    (fun jobs ->
+      let h, t = run_deployment ~jobs in
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "histogram jobs=%d" jobs)
+        ref_h h;
+      Alcotest.(check (list string))
+        (Printf.sprintf "transcript jobs=%d" jobs)
+        ref_t t)
+    [ 2; 4 ]
+
+let test_standalone_server_pool () =
+  (* A server created with jobs > 1 and no shared pool owns one, and
+     [shutdown] is idempotent. *)
+  let cfg =
+    {
+      Server.position = 0;
+      chain_len = 1;
+      noise = Laplace.params ~mu:2. ~b:1.;
+      dial_noise = Laplace.params ~mu:1. ~b:1.;
+      noise_mode = Noise.Deterministic;
+      dial_kind = Dialing.Plain;
+      jobs = 2;
+    }
+  in
+  let s =
+    Server.create ~rng_seed:(Bytes.of_string "solo") ~cfg ~suffix_pks:[] ()
+  in
+  Alcotest.(check int) "server jobs" 2 (Server.jobs s);
+  Server.shutdown s;
+  Server.shutdown s
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "parallel",
+    [
+      tc "pool matches sequential" `Quick test_pool_matches_sequential;
+      tc "pool run and exceptions" `Quick test_pool_run_and_exceptions;
+      tc "pool jobs=1 sequential" `Quick test_pool_jobs_one_is_sequential;
+      tc "deployment bit-identical across jobs" `Quick
+        test_deployment_determinism;
+      tc "standalone server pool" `Quick test_standalone_server_pool;
+    ] )

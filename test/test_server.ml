@@ -38,7 +38,7 @@ let test_chain_exchange_two_users () =
   let mb = Message.Data { seq = 1; ack = 0; text = "from bob" } in
   let sa, wa = request ~rng ~chain ~round ~peer:bob.Types.public alice ma in
   let sb, wb = request ~rng ~chain ~round ~peer:alice.Types.public bob mb in
-  let results = Chain.conversation_round chain ~round [| wa.onion; wb.onion |] in
+  let results = Chain.conversation_round_exn chain ~round [| wa.onion; wb.onion |] in
   Alcotest.(check int) "slot-aligned results" 2 (Array.length results);
   let open_result s (w : Vuvuzela_mixnet.Onion.wrapped) r =
     match Vuvuzela_mixnet.Onion.unwrap_reply ~secrets:w.secrets ~round r with
@@ -57,7 +57,7 @@ let test_chain_idle_user_gets_nothing () =
   let rng = Drbg.of_string "t2" in
   let round = 3 in
   let s, w = request ~rng ~chain ~round alice (Message.Empty { ack = 0 }) in
-  let results = Chain.conversation_round chain ~round [| w.onion |] in
+  let results = Chain.conversation_round_exn chain ~round [| w.onion |] in
   match Vuvuzela_mixnet.Onion.unwrap_reply ~secrets:w.secrets ~round results.(0) with
   | None -> Alcotest.fail "reply unwrap failed"
   | Some result ->
@@ -70,7 +70,7 @@ let test_histogram_includes_noise () =
   let round = 1 in
   let _, wa = request ~rng ~chain ~round ~peer:bob.Types.public alice (Message.Empty { ack = 0 }) in
   let _, wb = request ~rng ~chain ~round ~peer:alice.Types.public bob (Message.Empty { ack = 0 }) in
-  ignore (Chain.conversation_round chain ~round [| wa.onion; wb.onion |]);
+  ignore (Chain.conversation_round_exn chain ~round [| wa.onion; wb.onion |]);
   match Chain.observed_histogram chain with
   | None -> Alcotest.fail "no histogram"
   | Some h ->
@@ -81,7 +81,7 @@ let test_histogram_includes_noise () =
 
 let test_noise_metrics () =
   let chain = make_chain ~n:3 () in
-  ignore (Chain.conversation_round chain ~round:1 [||]);
+  ignore (Chain.conversation_round_exn chain ~round:1 [||]);
   (* Mixing servers add noise; the last does not (conversation). *)
   let m0 = Server.metrics (Chain.server chain 0) in
   let m1 = Server.metrics (Chain.server chain 1) in
@@ -105,7 +105,7 @@ let test_invalid_onion_keeps_alignment () =
   let _, wb = request ~rng ~chain ~round ~peer:alice.Types.public bob mb in
   let junk = Drbg.generate rng (Bytes.length wa.onion) in
   let results =
-    Chain.conversation_round chain ~round [| wa.onion; junk; wb.onion |]
+    Chain.conversation_round_exn chain ~round [| wa.onion; junk; wb.onion |]
   in
   Alcotest.(check int) "three results" 3 (Array.length results);
   (* The real pair still exchanges despite the junk slot between them. *)
@@ -124,7 +124,7 @@ let test_invalid_onion_keeps_alignment () =
 
 let test_empty_round () =
   let chain = make_chain () in
-  let results = Chain.conversation_round chain ~round:1 [||] in
+  let results = Chain.conversation_round_exn chain ~round:1 [||] in
   Alcotest.(check int) "no client results" 0 (Array.length results)
 
 let test_single_server_chain () =
@@ -136,7 +136,7 @@ let test_single_server_chain () =
   let mb = Message.Data { seq = 1; ack = 0; text = "b" } in
   let sa, wa = request ~rng ~chain ~round ~peer:bob.Types.public alice ma in
   let _, wb = request ~rng ~chain ~round ~peer:alice.Types.public bob mb in
-  let results = Chain.conversation_round chain ~round [| wa.onion; wb.onion |] in
+  let results = Chain.conversation_round_exn chain ~round [| wa.onion; wb.onion |] in
   match Vuvuzela_mixnet.Onion.unwrap_reply ~secrets:wa.secrets ~round results.(0) with
   | None -> Alcotest.fail "unwrap failed"
   | Some result -> (
@@ -150,8 +150,8 @@ let test_rounds_are_independent () =
   (* A request wrapped for round 1 replayed in round 2 must die at the
      first server (nonce mismatch): its reply slot is garbage. *)
   let _, w = request ~rng ~chain ~round:1 ~peer:bob.Types.public alice (Message.Empty { ack = 0 }) in
-  ignore (Chain.conversation_round chain ~round:1 [| w.onion |]);
-  let results = Chain.conversation_round chain ~round:2 [| w.onion |] in
+  ignore (Chain.conversation_round_exn chain ~round:1 [| w.onion |]);
+  let results = Chain.conversation_round_exn chain ~round:2 [| w.onion |] in
   Alcotest.(check bool) "replayed onion yields no readable reply" true
     (Vuvuzela_mixnet.Onion.unwrap_reply ~secrets:w.secrets ~round:2 results.(0) = None)
 
@@ -177,7 +177,7 @@ let test_dialing_end_to_end () =
   in
   let invite = wrap (Dialing.invite ~rng ~identity:alice ~callee_pk:bob.Types.public ~m ()) in
   let idle = wrap (Dialing.noop ~rng ()) in
-  let acks = Chain.dialing_round chain ~round ~m [| invite; idle |] in
+  let acks = Chain.dialing_round_exn chain ~round ~m [| invite; idle |] in
   Alcotest.(check int) "both acked" 2 (Array.length acks);
   (* Bob downloads his drop and finds Alice. *)
   let index = Deaddrop.Invitation.index_of ~m bob.Types.public in
@@ -204,7 +204,7 @@ let test_dialing_noop_not_delivered () =
        ~round:1 payload)
       .Vuvuzela_mixnet.Onion.onion
   in
-  ignore (Chain.dialing_round chain ~round:1 ~m [| wrap (Dialing.noop ~rng ()) |]);
+  ignore (Chain.dialing_round_exn chain ~round:1 ~m [| wrap (Dialing.noop ~rng ()) |]);
   (* No real invitation anywhere: scans find nothing. *)
   for i = 0 to m - 1 do
     let drop = Chain.fetch_invitations chain ~index:i in
@@ -223,7 +223,7 @@ let test_dialing_out_of_range_index_dropped () =
        ~round:1 payload)
       .Vuvuzela_mixnet.Onion.onion
   in
-  let acks = Chain.dialing_round chain ~round:1 ~m [| onion |] in
+  let acks = Chain.dialing_round_exn chain ~round:1 ~m [| onion |] in
   Alcotest.(check int) "still acked (uniform replies)" 1 (Array.length acks)
 
 let suite =
@@ -257,7 +257,7 @@ let test_replay_dedup () =
   let _, wb = request ~rng ~chain ~round ~peer:alice.Types.public bob mb in
   (* The adversary injects an exact copy of Alice's onion. *)
   let results =
-    Chain.conversation_round chain ~round [| wa.onion; wb.onion; wa.onion |]
+    Chain.conversation_round_exn chain ~round [| wa.onion; wb.onion; wa.onion |]
   in
   (match Chain.observed_histogram chain with
   | Some h ->
@@ -286,7 +286,7 @@ let test_size_uniformity_ingress () =
   let _, wa = request ~rng ~chain ~round ~peer:bob.Types.public alice (Message.Empty { ack = 0 }) in
   let short = Drbg.generate rng (Bytes.length wa.onion - 1) in
   let long = Drbg.generate rng (Bytes.length wa.onion + 48) in
-  let results = Chain.conversation_round chain ~round [| short; wa.onion; long |] in
+  let results = Chain.conversation_round_exn chain ~round [| short; wa.onion; long |] in
   Alcotest.(check int) "all slots answered" 3 (Array.length results);
   Alcotest.(check int) "both rejected at server 0" 2
     (Server.metrics (Chain.server chain 0)).Server.invalid_requests
@@ -324,7 +324,7 @@ let qcheck_observable_invariant =
         let _, w = request ~rng ~chain ~round u (Message.Empty { ack = 0 }) in
         requests := w.onion :: !requests
       done;
-      ignore (Chain.conversation_round chain ~round (Array.of_list !requests));
+      ignore (Chain.conversation_round_exn chain ~round (Array.of_list !requests));
       match Chain.observed_histogram chain with
       | Some h ->
           (* tiny_noise µ=5: 2 noising servers × 5 singles, × 3 pairs. *)

@@ -416,6 +416,70 @@ let parallel_scaling () =
     job_counts
 
 (* ------------------------------------------------------------------ *)
+(* Faults: retry overhead under the round supervisor                   *)
+(* ------------------------------------------------------------------ *)
+
+(* What a failed-and-retried round costs: crashes are planted at every
+   even round number, and since each retry consumes the next (odd)
+   number, every supervised round's first attempt crashes and its retry
+   succeeds — each round does the client build + chain trip twice, with
+   fresh onions and redrawn noise.  The interesting number is the
+   per-round overhead against a fault-free run of the same deployment,
+   at jobs ∈ {1, 4} (expected ≈ 2x). *)
+let faults_overhead () =
+  section "FAULTS - round supervisor retry overhead (every round retried once)";
+  let n_clients = 24 and rounds = 6 in
+  let run ~jobs ~with_faults =
+    let fault_plan =
+      if with_faults then
+        Some
+          (List.init rounds (fun i ->
+               {
+                 Vuvuzela_faults.Fault.round = 2 * (i + 1);
+                 server = 1;
+                 kind = Vuvuzela_faults.Fault.Crash;
+               }))
+      else None
+    in
+    let net =
+      Network.create ~seed:"bench-faults" ~n_servers:3
+        ~noise:(Laplace.params ~mu:4. ~b:1.)
+        ~dial_noise:(Laplace.params ~mu:1. ~b:1.)
+        ~noise_mode:Noise.Deterministic ~jobs ?fault_plan ~max_retries:2 ()
+    in
+    let clients =
+      List.init n_clients (fun i ->
+          Network.connect ~seed:(Printf.sprintf "fc%d" i) net)
+    in
+    let rec pair = function
+      | a :: b :: rest ->
+          Client.start_conversation a ~peer_pk:(Client.public_key b);
+          Client.start_conversation b ~peer_pk:(Client.public_key a);
+          pair rest
+      | _ -> ()
+    in
+    pair clients;
+    ignore (Network.run_round net) (* warm-up, and lands on round 1 *);
+    let t0 = Unix.gettimeofday () in
+    let reports = Network.run_rounds net rounds in
+    let dt = (Unix.gettimeofday () -. t0) /. float_of_int rounds in
+    Network.shutdown net;
+    let retried =
+      List.length (List.filter (fun r -> r.Network.attempts > 1) reports)
+    in
+    (1000. *. dt, retried)
+  in
+  List.iter
+    (fun jobs ->
+      let clean_ms, _ = run ~jobs ~with_faults:false in
+      let faulty_ms, retried = run ~jobs ~with_faults:true in
+      Printf.printf
+        "  jobs=%-3d clean %7.1f ms/round   faulted %7.1f ms/round \
+         (%d/%d rounds retried, overhead %.2fx)\n"
+        jobs clean_ms faulty_ms retried rounds (faulty_ms /. clean_ms))
+    [ 1; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* Ablations: what each design element buys                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -536,6 +600,7 @@ let () =
   baseline_comparison ();
   live_round_scaling ();
   parallel_scaling ();
+  faults_overhead ();
   workload_summary ();
   line ();
   print_endline "done.  See EXPERIMENTS.md for the paper-vs-measured index."

@@ -15,12 +15,13 @@ open Vuvuzela
 (* demo                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let demo users rounds mu seed jobs =
+let demo users rounds mu seed jobs fault_plan round_deadline_ms max_retries =
   let noise = Laplace.params ~mu ~b:(Float.max 1. (mu /. 21.7)) in
   let net =
     Network.create ~seed ~n_servers:3 ~noise
       ~dial_noise:(Laplace.params ~mu:(Float.max 1. (mu /. 20.)) ~b:1.)
-      ~noise_mode:Noise.Sampled ~jobs ()
+      ~noise_mode:Noise.Sampled ~jobs ?fault_plan ?round_deadline_ms
+      ~max_retries ()
   in
   let clients =
     List.init (max 2 users) (fun i ->
@@ -53,6 +54,12 @@ let demo users rounds mu seed jobs =
                      (Vuvuzela_crypto.Bytes_util.to_hex (Client.public_key c))
                      0 8)
                   text
+            | Client.Round_failed { status; _ } ->
+                Format.printf "  round %2d: %s round failed (%a)@." round
+                  (String.sub
+                     (Vuvuzela_crypto.Bytes_util.to_hex (Client.public_key c))
+                     0 8)
+                  Rpc.pp_status status
             | _ -> ())
           evs)
       report.Network.events;
@@ -95,9 +102,48 @@ let demo_cmd =
             "Worker domains for the servers' per-onion crypto (results are \
              identical at any value).")
   in
+  let fault_plan =
+    let plan_conv =
+      let parse s =
+        match Vuvuzela_faults.Fault.parse s with
+        | Ok plan -> Ok (Some plan)
+        | Error e -> Error (`Msg e)
+      in
+      let pp ppf = function
+        | None -> Format.pp_print_string ppf ""
+        | Some plan ->
+            Format.pp_print_string ppf (Vuvuzela_faults.Fault.to_string plan)
+      in
+      Arg.conv (parse, pp)
+    in
+    Arg.(
+      value & opt plan_conv None
+      & info [ "fault-plan" ] ~docv:"PLAN"
+          ~doc:
+            "Inject deterministic faults at the chain's links, e.g. \
+             'crash\\@2;corrupt(3)\\@4:1' (kind\\@round:server, ';'-separated; \
+             kinds: crash, drop, corrupt(byte), truncate(n), pad(n), \
+             delay(ms), tamper(slot)).")
+  in
+  let round_deadline_ms =
+    Arg.(
+      value & opt (some float) None
+      & info [ "round-deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Abort (and retry) any round attempt that exceeds this many \
+             milliseconds, injected delays included.")
+  in
+  let max_retries =
+    Arg.(
+      value & opt int 2
+      & info [ "max-retries" ]
+          ~doc:"Retries per round after the first attempt fails.")
+  in
   Cmd.v
     (Cmd.info "demo" ~doc:"run an in-process Vuvuzela deployment")
-    Term.(const demo $ users $ rounds $ mu $ seed $ jobs)
+    Term.(
+      const demo $ users $ rounds $ mu $ seed $ jobs $ fault_plan
+      $ round_deadline_ms $ max_retries)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)

@@ -7,14 +7,23 @@
    networked deployment would exchange. *)
 
 module Pool = Vuvuzela_parallel.Pool
+module Fault = Vuvuzela_faults.Fault
 
 type t = {
   servers : Server.t array;
   pool : Pool.t option;  (** shared by all servers; [None] ⇒ sequential *)
+  faults : Fault.injector option;  (** injected at forward link crossings *)
+  tap : (round:int -> server:int -> bytes array -> unit) option;
+      (** observes every forward batch exactly as it crosses the wire
+          (post-tamper, pre-framing) — the tests' wiretap *)
+  mutable shut_down : bool;
+  mutable delay_ms : float;
+      (** virtual link stall accumulated by [Delay_ms] faults during the
+          round in flight; reset when a round starts *)
 }
 
-let create ?seed ?(dial_kind = Dialing.Plain) ?(jobs = 1) ~n_servers ~noise
-    ~dial_noise ~noise_mode () =
+let create ?seed ?(dial_kind = Dialing.Plain) ?(jobs = 1) ?fault_plan ?tap
+    ~n_servers ~noise ~dial_noise ~noise_mode () =
   if n_servers < 1 then invalid_arg "Chain.create: need at least one server";
   if jobs < 1 then invalid_arg "Chain.create: jobs must be >= 1";
   (* The servers take turns (the in-process round trip is sequential
@@ -47,13 +56,29 @@ let create ?seed ?(dial_kind = Dialing.Plain) ?(jobs = 1) ~n_servers ~noise
     servers.(position) <- Some server;
     suffix := Server.public_key server :: !suffix
   done;
-  { servers = Array.map Option.get servers; pool }
+  {
+    servers = Array.map Option.get servers;
+    pool;
+    faults = Option.map Fault.injector fault_plan;
+    tap;
+    shut_down = false;
+    delay_ms = 0.;
+  }
 
 let length t = Array.length t.servers
 let server t i = t.servers.(i)
 let last t = t.servers.(length t - 1)
 let jobs t = match t.pool with Some p -> Pool.jobs p | None -> 1
-let shutdown t = Option.iter Pool.shutdown t.pool
+
+let shutdown t =
+  t.shut_down <- true;
+  Option.iter Pool.shutdown t.pool
+
+let is_shut_down t = t.shut_down
+let last_round_delay_ms t = t.delay_ms
+
+let pending_faults t =
+  match t.faults with None -> 0 | Some inj -> Fault.pending inj
 
 (* Public keys in chain order — what clients onion-wrap against. *)
 let public_keys t =
@@ -78,8 +103,75 @@ let through ~round ~server ~stage codec_encode codec_decode payload =
 
 let ( let* ) = Result.bind
 
-let send_conv_batch ~round ~server onions =
-  through ~round ~server ~stage:"conv-batch"
+(* ------------------------------------------------------------------ *)
+(* Fault injection at forward links                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Frame-level faults mutate the encoded bytes after the tap (the tap
+   observes what the sender emitted; the fault models the wire). *)
+let mutate_frame frame = function
+  | Fault.Corrupt_frame pos ->
+      let frame = Bytes.copy frame in
+      let len = Bytes.length frame in
+      if len > 0 then begin
+        let pos = pos mod len in
+        Bytes.set frame pos
+          (Char.chr (Char.code (Bytes.get frame pos) lxor 0xff))
+      end;
+      frame
+  | Fault.Truncate_frame n -> Bytes.sub frame 0 (min n (Bytes.length frame))
+  | Fault.Extend_frame n -> Bytes.cat frame (Bytes.make n '\xaa')
+  | Fault.Crash | Fault.Drop_link | Fault.Delay_ms _ | Fault.Tamper_slot _ ->
+      frame
+
+(* A forward batch crossing the link into [server]: fire the faults
+   scheduled for this (round, server) site, then frame, then decode at
+   the receiver.  Control faults (crash/drop) abort with a typed status;
+   [Delay_ms] accumulates virtual stall time for the supervisor's
+   deadline check; [Tamper_slot] flips a byte of one onion (the §2.1
+   active adversary — framing survives, authentication at the receiver
+   does not). *)
+let forward_send t ~round ~server ~stage encode decode (batch : bytes array) =
+  let kinds =
+    match t.faults with
+    | None -> []
+    | Some inj -> Fault.fire inj ~round ~server
+  in
+  let batch = ref batch in
+  let frame_faults = ref [] in
+  let fatal = ref None in
+  List.iter
+    (fun k ->
+      if !fatal = None then
+        match k with
+        | Fault.Crash -> fatal := Some "server crashed (injected fault)"
+        | Fault.Drop_link -> fatal := Some "link dropped (injected fault)"
+        | Fault.Delay_ms ms -> t.delay_ms <- t.delay_ms +. float_of_int ms
+        | Fault.Tamper_slot s ->
+            let b = Array.map Bytes.copy !batch in
+            if Array.length b > 0 then begin
+              let item = b.(s mod Array.length b) in
+              if Bytes.length item > 0 then
+                Bytes.set item 0
+                  (Char.chr (Char.code (Bytes.get item 0) lxor 0xff));
+              batch := b
+            end
+        | (Fault.Corrupt_frame _ | Fault.Truncate_frame _ | Fault.Extend_frame _)
+          as k -> frame_faults := k :: !frame_faults)
+    kinds;
+  match !fatal with
+  | Some detail -> Error (status_frame { Rpc.round; server; stage; detail })
+  | None -> (
+      let batch = !batch in
+      Option.iter (fun tap -> tap ~round ~server batch) t.tap;
+      let frame = List.fold_left mutate_frame (encode batch) (List.rev !frame_faults) in
+      match decode frame with
+      | Ok v -> Ok v
+      | Error detail ->
+          Error (status_frame { Rpc.round; server; stage; detail }))
+
+let send_conv_batch t ~round ~server onions =
+  forward_send t ~round ~server ~stage:"conv-batch"
     (fun o -> Rpc.encode (Rpc.Conv_batch { round; onions = o }))
     (fun b ->
       match Rpc.decode b with
@@ -108,8 +200,8 @@ let send_dial_results ~round ~server replies =
       | Error e -> Error e)
     replies
 
-let send_dial_batch ~round ~m ~server onions =
-  through ~round ~server ~stage:"dial-batch"
+let send_dial_batch t ~round ~m ~server onions =
+  forward_send t ~round ~server ~stage:"dial-batch"
     (fun o -> Rpc.encode (Rpc.Dial_batch { round; m; onions = o }))
     (fun b ->
       match Rpc.decode b with
@@ -133,47 +225,55 @@ let normalize ~expected requests =
    at the last, then backward.  [requests] are the clients' onions in
    slot order; the result array is aligned with it. *)
 let conversation_round t ~round requests =
-  let n = length t in
-  let requests =
-    normalize
-      ~expected:
-        (Vuvuzela_mixnet.Onion.request_size ~chain_len:n
-           ~payload_len:Types.exchange_payload_len)
-      requests
-  in
-  let rec go i batch =
-    let* batch = send_conv_batch ~round ~server:i batch in
-    if i = n - 1 then Ok (Server.conv_exchange t.servers.(i) ~round batch)
-    else begin
-      let forwarded = Server.conv_forward t.servers.(i) ~round batch in
-      let* below = go (i + 1) forwarded in
-      let* results = send_conv_results ~round ~server:i below in
-      Ok (Server.conv_backward t.servers.(i) ~round results)
-    end
-  in
-  go 0 requests
+  if t.shut_down then Error (status_frame (Rpc.chain_shutdown ~round))
+  else begin
+    t.delay_ms <- 0.;
+    let n = length t in
+    let requests =
+      normalize
+        ~expected:
+          (Vuvuzela_mixnet.Onion.request_size ~chain_len:n
+             ~payload_len:Types.exchange_payload_len)
+        requests
+    in
+    let rec go i batch =
+      let* batch = send_conv_batch t ~round ~server:i batch in
+      if i = n - 1 then Ok (Server.conv_exchange t.servers.(i) ~round batch)
+      else begin
+        let forwarded = Server.conv_forward t.servers.(i) ~round batch in
+        let* below = go (i + 1) forwarded in
+        let* results = send_conv_results ~round ~server:i below in
+        Ok (Server.conv_backward t.servers.(i) ~round results)
+      end
+    in
+    go 0 requests
+  end
 
 (* One dialing round with [m] invitation drops. *)
 let dialing_round t ~round ~m requests =
-  let n = length t in
-  let requests =
-    normalize
-      ~expected:
-        (Vuvuzela_mixnet.Onion.request_size ~chain_len:n
-           ~payload_len:(Dialing.payload_len (Server.dial_kind t.servers.(0))))
-      requests
-  in
-  let rec go i batch =
-    let* batch = send_dial_batch ~round ~m ~server:i batch in
-    if i = n - 1 then Ok (Server.dial_deliver t.servers.(i) ~round ~m batch)
-    else begin
-      let forwarded = Server.dial_forward t.servers.(i) ~round ~m batch in
-      let* below = go (i + 1) forwarded in
-      let* results = send_dial_results ~round ~server:i below in
-      Ok (Server.dial_backward t.servers.(i) ~round results)
-    end
-  in
-  go 0 requests
+  if t.shut_down then Error (status_frame (Rpc.chain_shutdown ~round))
+  else begin
+    t.delay_ms <- 0.;
+    let n = length t in
+    let requests =
+      normalize
+        ~expected:
+          (Vuvuzela_mixnet.Onion.request_size ~chain_len:n
+             ~payload_len:(Dialing.payload_len (Server.dial_kind t.servers.(0))))
+        requests
+    in
+    let rec go i batch =
+      let* batch = send_dial_batch t ~round ~m ~server:i batch in
+      if i = n - 1 then Ok (Server.dial_deliver t.servers.(i) ~round ~m batch)
+      else begin
+        let forwarded = Server.dial_forward t.servers.(i) ~round ~m batch in
+        let* below = go (i + 1) forwarded in
+        let* results = send_dial_results ~round ~server:i below in
+        Ok (Server.dial_backward t.servers.(i) ~round results)
+      end
+    in
+    go 0 requests
+  end
 
 (* Convenience for callers (benchmarks, attack harnesses) that treat a
    framing failure as fatal. *)
@@ -189,7 +289,22 @@ let dialing_round_exn t ~round ~m requests =
   | Ok replies -> replies
   | Error st -> fail_status st
 
-let fetch_invitations t ~index = Server.fetch_invitations (last t) ~index
+let fetch_invitations ?dial_round t ~index =
+  Server.fetch_invitations ?dial_round (last t) ~index
+
+(* ------------------------------------------------------------------ *)
+(* Round aborts                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Discard a failed round's state on every server so the supervisor's
+   retry (under a fresh round number) starts from a clean slate and each
+   server redraws its noise for the new attempt. *)
+
+let abort_round t ~round =
+  Array.iter (fun s -> Server.abort_conv_round s ~round) t.servers
+
+let abort_dialing_round t ~round =
+  Array.iter (fun s -> Server.abort_dial_round s ~round) t.servers
 
 (* §5.4: "The first server then informs clients of the value of m for a
    given dialing round" — surfaced here for the coordinator. *)

@@ -6,6 +6,8 @@ val create :
   ?seed:string ->
   ?dial_kind:Dialing.kind ->
   ?jobs:int ->
+  ?fault_plan:Vuvuzela_faults.Fault.plan ->
+  ?tap:(round:int -> server:int -> bytes array -> unit) ->
   n_servers:int ->
   noise:Vuvuzela_dp.Laplace.params ->
   dial_noise:Vuvuzela_dp.Laplace.params ->
@@ -15,7 +17,13 @@ val create :
 (** Build a chain; with [seed] the whole deployment (keys, noise,
     shuffles) is deterministic, for tests.  [jobs] (default 1) sets the
     domain count for the per-onion crypto; the servers share one pool.
-    Round results are bit-identical at any job count. *)
+    Round results are bit-identical at any job count.
+
+    [fault_plan] arms deterministic fault injection at the forward link
+    boundaries (each fault fires once at its (round, server) site).
+    [tap] observes every forward batch exactly as it crosses a link —
+    after any [Tamper_slot] fault, before framing — so tests can assert
+    wire-level invariants such as "no onion ciphertext crosses twice". *)
 
 val length : t -> int
 val server : t -> int -> Server.t
@@ -25,9 +33,21 @@ val jobs : t -> int
 (** The chain's configured degree of parallelism. *)
 
 val shutdown : t -> unit
-(** Join the shared worker domains, if any.  Idempotent; further rounds
-    after shutdown run sequentially on servers whose pool is gone, so
-    treat the chain as finished. *)
+(** Join the shared worker domains, if any, and mark the chain finished.
+    Idempotent.  Rounds attempted afterwards return the typed
+    {!Rpc.chain_shutdown} status instead of silently running
+    sequentially on servers whose pool is gone. *)
+
+val is_shut_down : t -> bool
+
+val last_round_delay_ms : t -> float
+(** Virtual link stall accumulated by [Delay_ms] faults during the most
+    recent round (0 when no delay fault fired).  The supervisor adds
+    this to the measured wall-clock time before its deadline check, so
+    deadline misses are deterministic under a fixed seed. *)
+
+val pending_faults : t -> int
+(** Scheduled faults that have not fired yet (0 without a fault plan). *)
 
 val public_keys : t -> bytes list
 (** In chain order; clients wrap onions against these. *)
@@ -46,7 +66,17 @@ val conversation_round_exn : t -> round:int -> bytes array -> bytes array
 
 val dialing_round_exn : t -> round:int -> m:int -> bytes array -> bytes array
 
-val fetch_invitations : t -> index:int -> bytes list
+val fetch_invitations : ?dial_round:int -> t -> index:int -> bytes list
+(** Defaults to the most recent dialing round's store; [?dial_round]
+    reaches any round inside the last server's retention window. *)
+
+val abort_round : t -> round:int -> unit
+(** Discard a failed conversation round's state on every server, so the
+    supervisor's retry (under a fresh round number, with freshly drawn
+    noise) starts clean. *)
+
+val abort_dialing_round : t -> round:int -> unit
+(** Same for a dialing round; also discards its invitation store. *)
 
 val proposed_m : t -> int
 (** The last server's recommended invitation-drop count (§5.4). *)

@@ -27,11 +27,18 @@ type event =
       (** [certificate] is present (but not yet verified!) in certified
           deployments; check it with {!Certificate.verify} before
           trusting the caller's claimed identity *)
+  | Round_failed of { round : int; dialing : bool; status : Rpc.status }
+      (** the round this client submitted a request to was aborted; the
+          supervisor will retry (or has given up — see the report) *)
 
 let pp_event fmt = function
   | Delivered { text; _ } -> Format.fprintf fmt "Delivered %S" text
   | Acked { seq; _ } -> Format.fprintf fmt "Acked %d" seq
   | Incoming_call _ -> Format.fprintf fmt "Incoming_call"
+  | Round_failed { round; dialing; status } ->
+      Format.fprintf fmt "Round_failed %s%d [%s]"
+        (if dialing then "dial " else "")
+        round status.Rpc.stage
 
 type unacked = { seq : int; text : string; mutable last_sent : int }
 
@@ -81,6 +88,9 @@ type t = {
   certified : certified_config option;
   mutable convs : conv_state list;  (** oldest first; length <= max *)
   mutable pending_dial : bytes option;
+  mutable last_dial : (int * bytes) option;
+      (** the dialing round our latest real invitation went into, and
+          its callee — so an aborted dialing round can requeue it *)
   pending_rounds : (int * int, slot_ctx) Hashtbl.t;  (** (round, slot) *)
   pending_dial_rounds : (int, bytes array) Hashtbl.t;
       (** dial_round → reply secrets, for confirming the chain's ack *)
@@ -117,6 +127,7 @@ let create ?seed ?(window = 4) ?(rtt = 2) ?(max_conversations = 1) ?dial_kind
     certified;
     convs = [];
     pending_dial = None;
+    last_dial = None;
     pending_rounds = Hashtbl.create 8;
     pending_dial_rounds = Hashtbl.create 8;
     stats =
@@ -351,6 +362,7 @@ let dialing_request t ~dial_round ~m =
     match t.pending_dial with
     | Some callee_pk -> (
         t.pending_dial <- None;
+        t.last_dial <- Some (dial_round, callee_pk);
         match (t.dial_kind, t.certified) with
         | Dialing.Certified, None ->
             invalid_arg
@@ -403,6 +415,39 @@ let confirm_dial_ack t ~dial_round ack =
       | None -> false)
 
 let my_invitation_drop t ~m = Dialing.my_drop ~identity:t.identity ~m
+
+(* ------------------------------------------------------------------ *)
+(* Round aborts                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A conversation round died in the chain: no reply is coming, so the
+   per-slot contexts are garbage.  Drop them — the reply secrets were
+   for onions that never completed the round trip and must never be
+   reused — and mark anything first sent in that round as immediately
+   overdue, so the retry round's [compose_message] retransmits it
+   (inside a fresh onion with fresh ephemeral keys) instead of waiting a
+   full RTT. *)
+let abort_round t ~round =
+  for slot = 0 to t.max_conversations - 1 do
+    Hashtbl.remove t.pending_rounds (round, slot)
+  done;
+  List.iter
+    (fun c ->
+      List.iter
+        (fun u -> if u.last_sent = round then u.last_sent <- round - t.rtt)
+        c.inflight)
+    t.convs
+
+(* A dialing round died: forget its ack secrets, and if our invitation
+   went into it, requeue the callee so the next dialing round re-sends a
+   fresh invitation (never the stored onion). *)
+let abort_dial_round t ~dial_round =
+  Hashtbl.remove t.pending_dial_rounds dial_round;
+  match t.last_dial with
+  | Some (r, callee_pk) when r = dial_round ->
+      t.last_dial <- None;
+      if t.pending_dial = None then t.pending_dial <- Some callee_pk
+  | _ -> ()
 
 (* Scan a downloaded invitation drop; surface each caller exactly once.
    In certified deployments the (unverified) certificate rides along on

@@ -9,6 +9,9 @@ type event =
   | Incoming_call of { caller : bytes; certificate : Certificate.t option }
       (** [certificate], when present, is NOT yet verified — apply
           {!Certificate.verify} under your trust policy. *)
+  | Round_failed of { round : int; dialing : bool; status : Rpc.status }
+      (** a round this client submitted to was aborted (fault, deadline,
+          or shutdown); queued messages are retried in later rounds *)
 
 val pp_event : Format.formatter -> event -> unit
 
@@ -100,6 +103,24 @@ val confirm_dial_ack : t -> dial_round:int -> bytes -> bool
     be confirmed at most once. *)
 
 val my_invitation_drop : t -> m:int -> int
+
+(** {2 Round aborts}
+
+    The supervisor's client-side recovery: when a round fails in the
+    chain, each participant discards that round's reply secrets (the
+    onions never completed, and a stored onion must never be
+    re-submitted — the retry rebuilds requests with fresh ephemeral
+    keys) and requeues whatever the round carried. *)
+
+val abort_round : t -> round:int -> unit
+(** Conversation round [round] was aborted: drop its slot contexts and
+    mark messages first sent in it as immediately overdue, so the next
+    round retransmits them in fresh onions. *)
+
+val abort_dial_round : t -> dial_round:int -> unit
+(** Dialing round [dial_round] was aborted: drop its ack secrets and, if
+    this client's invitation went into it, requeue the callee so the
+    next dialing round sends a fresh invitation. *)
 
 val handle_invitations : t -> bytes list -> event list
 (** Trial-decrypt a downloaded invitation drop. *)

@@ -7,9 +7,21 @@
    decrypted here.  Tests, the examples, and the attack harness all run
    against this module.
 
-   Fault injection: [run_round ~blocked] lets the caller model the
-   active network adversary of §2.1 ("block network traffic from Alice")
-   by suppressing chosen clients' requests for a round. *)
+   Fault handling: the coordinator is a round supervisor.  A round that
+   fails — a typed [Rpc.status] from any link (crash, dropped or
+   corrupted frame) or a deadline miss — is aborted everywhere: servers
+   discard the round's state (the retry redraws noise), clients discard
+   the round's reply secrets and requeue what it carried.  The retry
+   runs under a fresh round number and clients rebuild their requests
+   from scratch, so fresh ephemeral keys are drawn and no onion
+   ciphertext ever crosses a link twice (re-submitting a stored onion
+   would let the §2.1 adversary correlate attempts).  Retries are
+   bounded by [max_retries]; a round that still fails is reported with
+   its full abort history and per-client [Round_failed] events.
+
+   [run_round ~blocked] additionally models the active network adversary
+   of §2.1 ("block network traffic from Alice") by suppressing chosen
+   clients' requests for a round. *)
 
 open Vuvuzela_dp
 
@@ -24,21 +36,33 @@ type t = {
   mutable auto_tune_m : bool;
   dial_kind : Dialing.kind;
   cdn : Cdn.t option;  (** §5.5 distribution of invitation drops *)
+  mutable round_deadline_ms : float option;
+      (** supervisor deadline per attempt; [None] disables the check *)
+  mutable max_retries : int;  (** extra attempts after the first *)
+  mutable m_history : (int * int) list;
+      (** completed dialing rounds and their [m], newest first, bounded
+          by the last server's invitation retention — the download
+          catch-up schedule for clients that missed rounds *)
+  last_fetched : (bytes, int) Hashtbl.t;
+      (** per client: the newest dialing round whose drops it has
+          downloaded (or predates) *)
 }
 
 let create ?seed ?(n_servers = 3)
     ?(noise = Laplace.params ~mu:10. ~b:2.)
     ?(dial_noise = Laplace.params ~mu:3. ~b:1.)
-    ?(noise_mode = Noise.Sampled) ?dial_kind ?jobs ?(cdn_edges = 0) () =
+    ?(noise_mode = Noise.Sampled) ?dial_kind ?jobs ?(cdn_edges = 0)
+    ?fault_plan ?tap ?round_deadline_ms ?(max_retries = 2) () =
   let chain =
-    Chain.create ?seed ?dial_kind ?jobs ~n_servers ~noise ~dial_noise
-      ~noise_mode ()
+    Chain.create ?seed ?dial_kind ?jobs ?fault_plan ?tap ~n_servers ~noise
+      ~dial_noise ~noise_mode ()
   in
   let cdn =
     if cdn_edges > 0 then
       Some
-        (Cdn.create ~edges:cdn_edges
-           ~fetch:(fun ~dial_round:_ ~index -> Chain.fetch_invitations chain ~index)
+        (Cdn.create ~edges:cdn_edges ~history:Server.invitation_history
+           ~fetch:(fun ~dial_round ~index ->
+             Chain.fetch_invitations chain ~dial_round ~index)
            ())
     else None
   in
@@ -53,6 +77,10 @@ let create ?seed ?(n_servers = 3)
     auto_tune_m = false;
     dial_kind = Option.value ~default:Dialing.Plain dial_kind;
     cdn;
+    round_deadline_ms;
+    max_retries = max 0 max_retries;
+    m_history = [];
+    last_fetched = Hashtbl.create 64;
   }
 
 let chain t = t.chain
@@ -65,6 +93,10 @@ let set_invitation_drops t m = t.m <- max 1 m
 let set_auto_tune_drops t flag = t.auto_tune_m <- flag
 let cdn_stats t = Option.map Cdn.stats t.cdn
 let invitation_drops t = t.m
+let set_round_deadline_ms t d = t.round_deadline_ms <- d
+let round_deadline_ms t = t.round_deadline_ms
+let set_max_retries t n = t.max_retries <- max 0 n
+let max_retries t = t.max_retries
 
 let connect ?seed ?window ?rtt ?max_conversations ?certified t =
   let identity =
@@ -78,6 +110,9 @@ let connect ?seed ?window ?rtt ?max_conversations ?certified t =
   in
   Hashtbl.replace t.clients identity.Types.public client;
   t.order <- client :: t.order;
+  (* A new client has nothing to catch up on: its download history
+     starts at the most recently completed dialing round. *)
+  Hashtbl.replace t.last_fetched identity.Types.public (t.dial_round - 1);
   client
 
 let clients t = List.rev t.order
@@ -87,160 +122,258 @@ let find_client t pk = Hashtbl.find_opt t.clients pk
    coordinator (or a test) to account for load and spot failures without
    re-deriving anything. *)
 type round_report = {
-  round : int;  (** the conversation or dialing round that ran *)
+  round : int;  (** the round number of the last attempt *)
   dialing : bool;
   events : (Client.t * Client.event list) list;
-      (** per participating client, in connection order *)
+      (** per participating client, in connection order; on a failed
+          report these are the [Round_failed] notifications *)
   batch_size : int;  (** requests the entry server forwarded *)
   wire_bytes : int;  (** size of the entry → first-server batch frame *)
-  elapsed_ms : float;  (** wall clock for the chain round trip *)
+  elapsed_ms : float;
+      (** wall clock for the last attempt's chain round trip, plus any
+          injected virtual link delay *)
   confirmed_acks : int;
       (** dialing rounds: acks that unwrapped to the expected fixed
           plaintext; [0] for conversation rounds *)
+  attempts : int;  (** total attempts, [1] when nothing failed *)
+  aborts : Rpc.status list;
+      (** each failed attempt's status, in order; on a report that
+          ultimately succeeded the last entry is the abort the
+          successful retry recovered from *)
   failure : Rpc.status option;
-      (** a link's typed error frame; when set, [events] is empty *)
+      (** set iff the round ultimately failed (= last element of
+          [aborts]); the real events of the round were lost *)
 }
 
-let events_of reports = List.concat_map (fun r -> r.events) reports
+(* Failed reports carry only [Round_failed] notifications, not protocol
+   events, so flattening skips them; [failures_of] is the other half. *)
+let events_of reports =
+  List.concat_map
+    (fun r -> if r.failure = None then r.events else [])
+    reports
+
+let failures_of reports = List.filter_map (fun r -> r.failure) reports
 
 let pp_round_report ppf r =
+  let attempts ppf =
+    if r.attempts > 1 then
+      Format.fprintf ppf " after %d attempts (%d aborted)" r.attempts
+        (List.length r.aborts)
+  in
   match r.failure with
   | Some st ->
-      Format.fprintf ppf "%s round %d FAILED (%a)"
+      Format.fprintf ppf "%s round %d FAILED%t (%a)"
         (if r.dialing then "dialing" else "conv")
-        r.round Rpc.pp_status st
+        r.round attempts Rpc.pp_status st
   | None ->
       Format.fprintf ppf
-        "%s round %d: %d requests, %d B on the wire, %.1f ms%s"
+        "%s round %d: %d requests, %d B on the wire, %.1f ms%s%t"
         (if r.dialing then "dialing" else "conv")
         r.round r.batch_size r.wire_bytes r.elapsed_ms
         (if r.dialing then Printf.sprintf ", %d acks" r.confirmed_acks else "")
+        attempts
 
 let timed f =
   let t0 = Unix.gettimeofday () in
   let v = f () in
   (v, (Unix.gettimeofday () -. t0) *. 1000.)
 
-(* One conversation round for the whole deployment.  Clients in
-   [blocked] stay silent this round (adversarial blocking or a flaky
-   link).  Each client submits [max_conversations] requests (one slot
-   each, §9). *)
+(* The supervisor's per-attempt deadline check.  Injected [Delay_ms]
+   faults stall a link virtually (the chain accumulates them instead of
+   sleeping), so the effective round time is wall clock plus virtual
+   delay — which keeps deadline misses deterministic under a seed. *)
+let check_deadline t ~round ~elapsed_ms outcome =
+  match (outcome, t.round_deadline_ms) with
+  | Ok _, Some deadline_ms when elapsed_ms > deadline_ms ->
+      Error (Rpc.deadline_exceeded ~round ~deadline_ms)
+  | _ -> outcome
+
+(* One conversation round for the whole deployment, supervised.  Clients
+   in [blocked] stay silent (adversarial blocking or a flaky link).
+   Each client submits [max_conversations] requests (one slot each, §9).
+
+   Each attempt consumes a fresh round number and rebuilds every request
+   from scratch — fresh ephemeral keys, fresh noise — so a failed
+   attempt leaks nothing that links it to the retry. *)
 let run_round ?(blocked = fun _ -> false) (t : t) =
-  let round = t.round in
-  t.round <- round + 1;
-  let entry = Entry.create () in
-  List.iter
-    (fun c ->
-      if not (blocked c) then
+  let participants = List.filter (fun c -> not (blocked c)) (clients t) in
+  let aborts = ref [] in
+  let rec attempt n =
+    let round = t.round in
+    t.round <- round + 1;
+    let entry = Entry.create () in
+    List.iter
+      (fun c ->
         List.iteri
           (fun slot onion ->
             Entry.submit entry (Client.public_key c, slot) onion)
           (Client.conversation_requests c ~round))
-    (clients t);
-  let requests, ids = Entry.close_round entry in
-  let batch_size = Array.length requests in
-  let wire_bytes =
-    Rpc.conv_batch_bytes ~count:batch_size
-      ~item_len:
-        (Vuvuzela_mixnet.Onion.request_size ~chain_len:(Chain.length t.chain)
-           ~payload_len:Types.exchange_payload_len)
+      participants;
+    let requests, ids = Entry.close_round entry in
+    let batch_size = Array.length requests in
+    let wire_bytes =
+      Rpc.conv_batch_bytes ~count:batch_size
+        ~item_len:
+          (Vuvuzela_mixnet.Onion.request_size ~chain_len:(Chain.length t.chain)
+             ~payload_len:Types.exchange_payload_len)
+    in
+    let outcome, wall_ms =
+      timed (fun () -> Chain.conversation_round t.chain ~round requests)
+    in
+    let elapsed_ms = wall_ms +. Chain.last_round_delay_ms t.chain in
+    let report failure events =
+      { round; dialing = false; events; batch_size; wire_bytes; elapsed_ms;
+        confirmed_acks = 0; attempts = n; aborts = List.rev !aborts; failure }
+    in
+    match check_deadline t ~round ~elapsed_ms outcome with
+    | Error st ->
+        (* Abort everywhere: servers drop the round's state (noise is
+           redrawn on retry), clients drop its reply secrets and mark
+           its messages for immediate retransmission. *)
+        Chain.abort_round t.chain ~round;
+        List.iter (fun c -> Client.abort_round c ~round) participants;
+        aborts := st :: !aborts;
+        if n <= t.max_retries && Rpc.retryable st then attempt (n + 1)
+        else
+          report (Some st)
+            (List.map
+               (fun c ->
+                 (c, [ Client.Round_failed { round; dialing = false; status = st } ]))
+               participants)
+    | Ok results ->
+        (* Group each client's slot replies back together, in slot order. *)
+        let by_client = Hashtbl.create 64 in
+        List.iter
+          (fun ((pk, slot), reply) ->
+            let prev = Option.value ~default:[] (Hashtbl.find_opt by_client pk) in
+            Hashtbl.replace by_client pk ((slot, reply) :: prev))
+          (Entry.demux ~ids results);
+        report None
+          (List.filter_map
+             (fun c ->
+               let pk = Client.public_key c in
+               match Hashtbl.find_opt by_client pk with
+               | None -> None
+               | Some slot_replies ->
+                   let replies =
+                     List.sort compare slot_replies |> List.map snd
+                   in
+                   Some (c, Client.handle_conversation_replies c ~round replies))
+             participants)
   in
-  let outcome, elapsed_ms =
-    timed (fun () -> Chain.conversation_round t.chain ~round requests)
-  in
-  let report failure events =
-    { round; dialing = false; events; batch_size; wire_bytes; elapsed_ms;
-      confirmed_acks = 0; failure }
-  in
-  match outcome with
-  | Error st -> report (Some st) []
-  | Ok results ->
-      (* Group each client's slot replies back together, in slot order. *)
-      let by_client = Hashtbl.create 64 in
-      List.iter
-        (fun ((pk, slot), reply) ->
-          let prev = Option.value ~default:[] (Hashtbl.find_opt by_client pk) in
-          Hashtbl.replace by_client pk ((slot, reply) :: prev))
-        (Entry.demux ~ids results);
-      report None
-        (List.filter_map
-           (fun c ->
-             let pk = Client.public_key c in
-             match Hashtbl.find_opt by_client pk with
-             | None -> None
-             | Some slot_replies ->
-                 let replies =
-                   List.sort compare slot_replies |> List.map snd
-                 in
-                 Some (c, Client.handle_conversation_replies c ~round replies))
-           (clients t))
+  attempt 1
 
-(* One dialing round: every connected client sends an invitation or
-   no-op, confirms the chain's ack, then downloads and scans its own
-   invitation drop. *)
+(* The download/scan phase of a dialing round (unmixed; §5.5) — through
+   the CDN when one is deployed, straight from the last server
+   otherwise.  A client downloads every completed dialing round it has
+   not seen yet (each with that round's own [m]), so a client that was
+   blocked across dialing rounds still receives its invitations once it
+   participates again. *)
+let download_invitations t c =
+  let pk = Client.public_key c in
+  let upto = t.dial_round - 1 in
+  let from =
+    match Hashtbl.find_opt t.last_fetched pk with
+    | Some r -> r + 1
+    | None -> upto
+  in
+  let events = ref [] in
+  for r = from to upto do
+    match List.assoc_opt r t.m_history with
+    | None -> ()  (* aborted round, or older than the retention window *)
+    | Some m ->
+        let index = Client.my_invitation_drop c ~m in
+        let drop =
+          match t.cdn with
+          | Some cdn -> Cdn.fetch cdn ~client_pk:pk ~dial_round:r ~index
+          | None -> Chain.fetch_invitations t.chain ~dial_round:r ~index
+        in
+        events := !events @ Client.handle_invitations c drop
+  done;
+  Hashtbl.replace t.last_fetched pk upto;
+  !events
+
+(* One dialing round, supervised like [run_round]: every participating
+   client sends an invitation or no-op, confirms the chain's ack, then
+   downloads and scans the invitation drops it has not seen yet.  An
+   aborted attempt requeues each client's invitation (the retry builds a
+   fresh one) and discards the last server's partial invitation store. *)
 let run_dialing_round ?(blocked = fun _ -> false) (t : t) =
-  let dial_round = t.dial_round in
-  t.dial_round <- dial_round + 1;
+  let participants = List.filter (fun c -> not (blocked c)) (clients t) in
   let m = t.m in
-  let entry = Entry.create () in
-  List.iter
-    (fun c ->
-      if not (blocked c) then
+  let aborts = ref [] in
+  let rec attempt n =
+    let dial_round = t.dial_round in
+    t.dial_round <- dial_round + 1;
+    let entry = Entry.create () in
+    List.iter
+      (fun c ->
         Entry.submit entry (Client.public_key c)
           (Client.dialing_request c ~dial_round ~m))
-    (clients t);
-  let requests, ids = Entry.close_round entry in
-  let batch_size = Array.length requests in
-  let wire_bytes =
-    Rpc.dial_batch_bytes ~count:batch_size
-      ~item_len:
-        (Vuvuzela_mixnet.Onion.request_size ~chain_len:(Chain.length t.chain)
-           ~payload_len:(Dialing.payload_len t.dial_kind))
-  in
-  let outcome, elapsed_ms =
-    timed (fun () -> Chain.dialing_round t.chain ~round:dial_round ~m requests)
-  in
-  let report failure ~confirmed_acks events =
-    { round = dial_round; dialing = true; events; batch_size; wire_bytes;
-      elapsed_ms; confirmed_acks; failure }
-  in
-  match outcome with
-  | Error st -> report (Some st) ~confirmed_acks:0 []
-  | Ok acks ->
-      (* Route each slot's ack back to its client; a confirmed ack means
-         that request survived every hop. *)
-      let confirmed_acks =
-        List.fold_left
-          (fun n (pk, ack) ->
-            match Hashtbl.find_opt t.clients pk with
-            | Some c when Client.confirm_dial_ack c ~dial_round ack -> n + 1
-            | Some _ | None -> n)
-          0
-          (Entry.demux ~ids acks)
-      in
-      (* §5.4: adopt the last server's m recommendation for the next
-         round. *)
-      if t.auto_tune_m then t.m <- max 1 (Chain.proposed_m t.chain);
-      (* Download phase (unmixed; §5.5) — through the CDN when one is
-         deployed, straight from the last server otherwise. *)
-      report None ~confirmed_acks
-        (List.filter_map
-           (fun c ->
-             if blocked c then None
-             else begin
-               let index = Client.my_invitation_drop c ~m in
-               let drop =
-                 match t.cdn with
-                 | Some cdn ->
-                     Cdn.fetch cdn ~client_pk:(Client.public_key c) ~dial_round
-                       ~index
-                 | None -> Chain.fetch_invitations t.chain ~index
-               in
-               match Client.handle_invitations c drop with
+      participants;
+    let requests, ids = Entry.close_round entry in
+    let batch_size = Array.length requests in
+    let wire_bytes =
+      Rpc.dial_batch_bytes ~count:batch_size
+        ~item_len:
+          (Vuvuzela_mixnet.Onion.request_size ~chain_len:(Chain.length t.chain)
+             ~payload_len:(Dialing.payload_len t.dial_kind))
+    in
+    let outcome, wall_ms =
+      timed (fun () ->
+          Chain.dialing_round t.chain ~round:dial_round ~m requests)
+    in
+    let elapsed_ms = wall_ms +. Chain.last_round_delay_ms t.chain in
+    let report failure ~confirmed_acks events =
+      { round = dial_round; dialing = true; events; batch_size; wire_bytes;
+        elapsed_ms; confirmed_acks; attempts = n; aborts = List.rev !aborts;
+        failure }
+    in
+    match check_deadline t ~round:dial_round ~elapsed_ms outcome with
+    | Error st ->
+        Chain.abort_dialing_round t.chain ~round:dial_round;
+        List.iter (fun c -> Client.abort_dial_round c ~dial_round) participants;
+        aborts := st :: !aborts;
+        if n <= t.max_retries && Rpc.retryable st then attempt (n + 1)
+        else
+          report (Some st) ~confirmed_acks:0
+            (List.map
+               (fun c ->
+                 ( c,
+                   [ Client.Round_failed
+                       { round = dial_round; dialing = true; status = st } ] ))
+               participants)
+    | Ok acks ->
+        (* Route each slot's ack back to its client; a confirmed ack
+           means that request survived every hop. *)
+        let confirmed_acks =
+          List.fold_left
+            (fun n (pk, ack) ->
+              match Hashtbl.find_opt t.clients pk with
+              | Some c when Client.confirm_dial_ack c ~dial_round ack -> n + 1
+              | Some _ | None -> n)
+            0
+            (Entry.demux ~ids acks)
+        in
+        (* §5.4: adopt the last server's m recommendation for the next
+           round. *)
+        if t.auto_tune_m then t.m <- max 1 (Chain.proposed_m t.chain);
+        (* Only completed rounds enter the download schedule; the bound
+           matches the last server's invitation retention. *)
+        t.m_history <-
+          (dial_round, m)
+          :: List.filteri
+               (fun i _ -> i < Server.invitation_history - 1)
+               t.m_history;
+        report None ~confirmed_acks
+          (List.filter_map
+             (fun c ->
+               match download_invitations t c with
                | [] -> None
-               | events -> Some (c, events)
-             end)
-           (clients t))
+               | events -> Some (c, events))
+             participants)
+  in
+  attempt 1
 
 (* Convenience: run n conversation rounds, collecting the reports. *)
 let run_rounds ?blocked t n =

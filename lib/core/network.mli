@@ -1,5 +1,6 @@
 (** A complete in-process deployment: chain + entry server + clients +
-    round clock, with fault injection for the active adversary. *)
+    round clock, run by a supervisor with deadlines, bounded retries,
+    and fault injection for the active adversary. *)
 
 type t
 
@@ -12,19 +13,32 @@ val create :
   ?dial_kind:Dialing.kind ->
   ?jobs:int ->
   ?cdn_edges:int ->
+  ?fault_plan:Vuvuzela_faults.Fault.plan ->
+  ?tap:(round:int -> server:int -> bytes array -> unit) ->
+  ?round_deadline_ms:float ->
+  ?max_retries:int ->
   unit ->
   t
 (** Defaults are sized for tests (tiny noise); production parameters come
     from {!Vuvuzela_dp.Composition.noise_for_target}.  [jobs] (default 1)
     sets the chain's crypto parallelism; results are bit-identical at any
-    job count. *)
+    job count.
+
+    [fault_plan] arms deterministic fault injection at the chain's link
+    boundaries and [tap] observes every forward batch on the wire (see
+    {!Chain.create}).  [round_deadline_ms] (default: no deadline) bounds
+    each round attempt — wall clock plus any injected virtual delay —
+    and [max_retries] (default 2) bounds how many times the supervisor
+    retries an aborted round before giving up. *)
 
 val chain : t -> Chain.t
 
 val jobs : t -> int
 
 val shutdown : t -> unit
-(** Join the chain's worker domains, if any.  Idempotent. *)
+(** Join the chain's worker domains, if any, and mark the chain
+    finished: subsequent rounds fail with the typed
+    {!Rpc.chain_shutdown} status (never retried).  Idempotent. *)
 
 val round : t -> int
 val dial_round : t -> int
@@ -38,6 +52,16 @@ val invitation_drops : t -> int
 val set_auto_tune_drops : t -> bool -> unit
 (** Adopt the last server's §5.4 m-recommendation after each dialing
     round. *)
+
+val set_round_deadline_ms : t -> float option -> unit
+(** Change the supervisor's per-attempt deadline; [None] disables it. *)
+
+val round_deadline_ms : t -> float option
+
+val set_max_retries : t -> int -> unit
+(** Retries after the first attempt of a round (clamped to >= 0). *)
+
+val max_retries : t -> int
 
 val cdn_stats : t -> Cdn.stats option
 (** Present when the deployment was created with [cdn_edges > 0]. *)
@@ -57,35 +81,58 @@ val clients : t -> Client.t list
 val find_client : t -> bytes -> Client.t option
 
 type round_report = {
-  round : int;  (** the conversation or dialing round that ran *)
+  round : int;  (** the round number of the last attempt *)
   dialing : bool;
   events : (Client.t * Client.event list) list;
       (** per participating client, in connection order; for dialing
-          rounds, only clients with incoming calls appear *)
+          rounds, only clients with incoming calls appear.  On a failed
+          report these are the per-client [Round_failed] notifications
+          instead. *)
   batch_size : int;  (** requests the entry server forwarded *)
   wire_bytes : int;  (** size of the entry → first-server batch frame *)
-  elapsed_ms : float;  (** wall clock for the chain round trip *)
+  elapsed_ms : float;
+      (** wall clock for the last attempt's chain round trip, plus any
+          injected virtual link delay *)
   confirmed_acks : int;
       (** dialing rounds: acks that unwrapped to the expected fixed
           plaintext; [0] for conversation rounds *)
+  attempts : int;  (** total attempts made, [1] when nothing failed *)
+  aborts : Rpc.status list;
+      (** each failed attempt's status, in order; non-empty with
+          [failure = None] means a retry recovered the round *)
   failure : Rpc.status option;
-      (** a link's typed error frame; when set, [events] is empty *)
+      (** set iff the round ultimately failed, after exhausting retries
+          or hitting a non-retryable status (= last element of
+          [aborts]) *)
 }
-(** What one round did — load accounting and failure surfacing alongside
-    the per-client events. *)
+(** What one round did — load accounting, the supervisor's attempt
+    history, and failure surfacing alongside the per-client events. *)
 
 val events_of : round_report list -> (Client.t * Client.event list) list
-(** Flatten reports to their events, in round order. *)
+(** Flatten reports to their protocol events, in round order.  Failed
+    reports are skipped (their events are [Round_failed] notifications,
+    not protocol traffic); collect those with {!failures_of}. *)
+
+val failures_of : round_report list -> Rpc.status list
+(** The statuses of the rounds that ultimately failed, in round order. *)
 
 val pp_round_report : Format.formatter -> round_report -> unit
 
 val run_round : ?blocked:(Client.t -> bool) -> t -> round_report
-(** Run one conversation round; [blocked] clients send nothing (the
-    §2.1 active attack, or an outage). *)
+(** Run one conversation round under the supervisor; [blocked] clients
+    send nothing (the §2.1 active attack, or an outage).  A failed
+    attempt is aborted on every server and client, then retried under a
+    fresh round number with freshly built requests (fresh ephemeral
+    keys — a stored onion is never re-submitted) and freshly drawn
+    noise, at most [max_retries] times. *)
 
 val run_dialing_round : ?blocked:(Client.t -> bool) -> t -> round_report
-(** Run one dialing round: submissions, ack confirmation, and the
-    download/scan phase. *)
+(** Run one dialing round under the same supervisor: submissions, ack
+    confirmation, and the download/scan phase.  An aborted attempt
+    requeues each participant's invitation for the retry.  The download
+    phase covers every completed dialing round a client has not seen
+    yet (within the last server's retention window), so a client blocked
+    across dialing rounds still receives its invitations later. *)
 
 val run_rounds :
   ?blocked:(Client.t -> bool) -> t -> int -> round_report list

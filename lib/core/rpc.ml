@@ -195,3 +195,34 @@ let dial_batch_bytes ~count ~item_len = conv_batch_bytes ~count ~item_len + 4
 
 let pp_status ppf { round; server; stage; detail } =
   Format.fprintf ppf "round %d: server %d [%s]: %s" round server stage detail
+
+(* Well-known coordinator statuses.  These never cross a link (there is
+   nobody left to send them to), but they share the [status] type so the
+   round supervisor and the reports treat every abort reason
+   uniformly. *)
+
+let shutdown_stage = "chain-shutdown"
+let deadline_stage = "deadline"
+
+let chain_shutdown ~round =
+  {
+    round;
+    server = 0;
+    stage = shutdown_stage;
+    detail = "round attempted after Chain.shutdown";
+  }
+
+let deadline_exceeded ~round ~deadline_ms =
+  {
+    round;
+    server = 0;
+    stage = deadline_stage;
+    detail = Printf.sprintf "exceeded %.0f ms round deadline" deadline_ms;
+  }
+
+let is_chain_shutdown st = st.stage = shutdown_stage
+
+(* A shut-down chain stays shut down; everything else (framing faults,
+   crashes, deadline misses) is transient under the paper's model — a
+   crashed server restarts, so a fresh attempt can succeed. *)
+let retryable st = not (is_chain_shutdown st)

@@ -44,3 +44,23 @@ val dial_batch_bytes : count:int -> item_len:int -> int
 (** Exact wire size of a [Dial_batch]. *)
 
 val pp_status : Format.formatter -> status -> unit
+
+(** {2 Coordinator statuses}
+
+    Abort reasons that originate at the round supervisor rather than on
+    a link, sharing the [status] type so reports and retry policies are
+    uniform. *)
+
+val chain_shutdown : round:int -> status
+(** A round was attempted after {!Chain.shutdown} (stage
+    ["chain-shutdown"]). *)
+
+val deadline_exceeded : round:int -> deadline_ms:float -> status
+(** The round exceeded the supervisor's deadline (stage ["deadline"]). *)
+
+val is_chain_shutdown : status -> bool
+
+val retryable : status -> bool
+(** Whether a fresh attempt can succeed: true for every status except
+    {!chain_shutdown} (a shut-down chain stays down; link faults,
+    crashes, and deadline misses are transient under §7's model). *)

@@ -61,8 +61,10 @@ type t = {
   conv_rounds : (int, round_state) Hashtbl.t;
   dial_rounds : (int, round_state) Hashtbl.t;
   drops : Deaddrop.t;  (** last server only *)
-  mutable invitations : Deaddrop.Invitation.store option;
-      (** last server only; replaced each dialing round *)
+  mutable invitations : (int * Deaddrop.Invitation.store) list;
+      (** last server only; newest round first, at most
+          [invitation_history] rounds so briefly-blocked clients can
+          catch up on missed downloads *)
   mutable last_histogram : Deaddrop.histogram option;
       (** instrumentation: what a compromised last server observes *)
   mutable proposed_m : int;
@@ -101,7 +103,7 @@ let create ?rng_seed ?pool ~cfg ~suffix_pks () =
     conv_rounds = Hashtbl.create 8;
     dial_rounds = Hashtbl.create 8;
     drops = Deaddrop.create ();
-    invitations = None;
+    invitations = [];
     last_histogram = None;
     proposed_m = 1;
     metrics =
@@ -134,6 +136,11 @@ let par_mapi t f a =
 
 let proposed_m t = t.proposed_m
 let dial_kind t = t.cfg.dial_kind
+
+(* How many past dialing rounds' invitation stores the last server keeps
+   on hand, so a briefly-blocked client can still download the drops it
+   missed once it reconnects. *)
+let invitation_history = 8
 let is_last t = t.cfg.position = t.cfg.chain_len - 1
 let metrics t = t.metrics
 let last_histogram t = t.last_histogram
@@ -453,7 +460,9 @@ let dial_deliver t ~round ~m onions =
       | Error _ -> assert false
     done
   done;
-  t.invitations <- Some store;
+  t.invitations <-
+    (round, store)
+    :: List.filteri (fun i _ -> i < invitation_history - 1) t.invitations;
   t.metrics.rounds <- t.metrics.rounds + 1;
   let dummy_len = Types.dial_result_len + Onion.reply_overhead in
   let dummies =
@@ -469,13 +478,36 @@ let dial_deliver t ~round ~m onions =
     slots
 
 (* Clients download invitation drops directly (§5.5: fetches need no
-   mixing or noising, and would be served by a CDN at scale). *)
-let fetch_invitations t ~index =
-  match t.invitations with
+   mixing or noising, and would be served by a CDN at scale).  Without
+   [dial_round] the newest store answers; with it, a client that missed
+   rounds can still fetch any store inside the retention window. *)
+let invitation_store t = function
+  | None -> (
+      match t.invitations with [] -> None | (_, store) :: _ -> Some store)
+  | Some dial_round -> List.assoc_opt dial_round t.invitations
+
+let fetch_invitations ?dial_round t ~index =
+  match invitation_store t dial_round with
   | None -> []
   | Some store -> Deaddrop.Invitation.fetch store ~index
 
-let invitation_drop_size t ~index =
-  match t.invitations with
+let invitation_drop_size ?dial_round t ~index =
+  match invitation_store t dial_round with
   | None -> 0
   | Some store -> Deaddrop.Invitation.size store ~index
+
+(* ------------------------------------------------------------------ *)
+(* Round aborts                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The supervisor's recovery path: discard everything this server
+   recorded for a failed round so the retry (under a fresh round number)
+   starts clean.  Conversation and dialing rounds number independently,
+   so the abort entry points are separate — aborting conversation round
+   N must not destroy dialing round N's invitation store. *)
+
+let abort_conv_round t ~round = Hashtbl.remove t.conv_rounds round
+
+let abort_dial_round t ~round =
+  Hashtbl.remove t.dial_rounds round;
+  t.invitations <- List.remove_assoc round t.invitations

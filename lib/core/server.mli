@@ -85,7 +85,25 @@ val proposed_m : t -> int
     invitation-drop count (m = n·f/µ, estimated from the latest round's
     arrivals minus upstream noise). *)
 
-val fetch_invitations : t -> index:int -> bytes list
-(** Download an invitation drop from the last server (unmixed, §5.5). *)
+val fetch_invitations : ?dial_round:int -> t -> index:int -> bytes list
+(** Download an invitation drop from the last server (unmixed, §5.5).
+    Defaults to the most recent dialing round; [?dial_round] reaches any
+    of the last {!invitation_history} rounds' stores, so a
+    briefly-blocked client can catch up on the invitations it missed. *)
 
-val invitation_drop_size : t -> index:int -> int
+val invitation_drop_size : ?dial_round:int -> t -> index:int -> int
+
+val invitation_history : int
+(** How many past dialing rounds' invitation stores the last server
+    retains (older stores are dropped). *)
+
+(** {2 Round aborts}
+
+    The round supervisor's recovery path: a failed round's state is
+    discarded on every server so the retry — under a fresh round number,
+    with freshly drawn noise — starts clean.  Conversation and dialing
+    rounds number independently, hence separate entry points. *)
+
+val abort_conv_round : t -> round:int -> unit
+val abort_dial_round : t -> round:int -> unit
+(** Also discards the round's invitation store, if it was filed. *)

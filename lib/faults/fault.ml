@@ -1,0 +1,154 @@
+(* Declarative fault plans for the chain's link boundaries.
+
+   A plan is pure data so that a failure schedule can come from a CLI
+   flag, a test literal, or a seeded generator, and so that the same
+   plan plus the same deployment seed reproduces the same run bit for
+   bit.  The injector consumes each fault the first time its (round,
+   server) site is crossed: transient failures that a bounded retry
+   policy can outlast, which is exactly the availability model of the
+   paper (a crashed server restarts, a lossy link recovers). *)
+
+open Vuvuzela_crypto
+
+type kind =
+  | Crash
+  | Drop_link
+  | Corrupt_frame of int
+  | Truncate_frame of int
+  | Extend_frame of int
+  | Delay_ms of int
+  | Tamper_slot of int
+
+type fault = { round : int; server : int; kind : kind }
+type plan = fault list
+
+let pp_kind ppf = function
+  | Crash -> Format.pp_print_string ppf "crash"
+  | Drop_link -> Format.pp_print_string ppf "drop"
+  | Corrupt_frame pos -> Format.fprintf ppf "corrupt(%d)" pos
+  | Truncate_frame n -> Format.fprintf ppf "truncate(%d)" n
+  | Extend_frame n -> Format.fprintf ppf "pad(%d)" n
+  | Delay_ms ms -> Format.fprintf ppf "delay(%d)" ms
+  | Tamper_slot slot -> Format.fprintf ppf "tamper(%d)" slot
+
+let pp_fault ppf { round; server; kind } =
+  Format.fprintf ppf "%a@@%d:%d" pp_kind kind round server
+
+let to_string plan =
+  String.concat ";" (List.map (Format.asprintf "%a" pp_fault) plan)
+
+(* ------------------------------------------------------------------ *)
+(* Grammar                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let int_of ~what s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 0 -> Ok n
+  | Some _ -> Error (Printf.sprintf "%s must be >= 0, got %s" what s)
+  | None -> Error (Printf.sprintf "bad %s %S" what s)
+
+let kind_of spec =
+  let spec = String.trim spec in
+  match String.index_opt spec '(' with
+  | None -> (
+      match spec with
+      | "crash" -> Ok Crash
+      | "drop" -> Ok Drop_link
+      | _ -> Error (Printf.sprintf "unknown fault kind %S" spec))
+  | Some lp ->
+      if spec.[String.length spec - 1] <> ')' then
+        Error (Printf.sprintf "missing ')' in %S" spec)
+      else
+        let name = String.sub spec 0 lp in
+        let arg = String.sub spec (lp + 1) (String.length spec - lp - 2) in
+        let* n = int_of ~what:(name ^ " argument") arg in
+        (match String.trim name with
+        | "corrupt" -> Ok (Corrupt_frame n)
+        | "truncate" -> Ok (Truncate_frame n)
+        | "pad" -> Ok (Extend_frame n)
+        | "delay" -> Ok (Delay_ms n)
+        | "tamper" -> Ok (Tamper_slot n)
+        | other -> Error (Printf.sprintf "unknown fault kind %S" other))
+
+let split_on char s =
+  match String.index_opt s char with
+  | None -> (s, None)
+  | Some i ->
+      ( String.sub s 0 i,
+        Some (String.sub s (i + 1) (String.length s - i - 1)) )
+
+let fault_of spec =
+  let spec = String.trim spec in
+  match split_on '@' spec with
+  | _, None -> Error (Printf.sprintf "missing '@round' in %S" spec)
+  | kind_s, Some site -> (
+      let* kind = kind_of kind_s in
+      (* site := round [':' server] ['x' count] *)
+      let site, count_s = split_on 'x' site in
+      let round_s, server_s = split_on ':' site in
+      let* round = int_of ~what:"round" round_s in
+      let* server =
+        match server_s with None -> Ok 0 | Some s -> int_of ~what:"server" s
+      in
+      let* count =
+        match count_s with None -> Ok 1 | Some s -> int_of ~what:"count" s
+      in
+      if round < 1 then Error (Printf.sprintf "round must be >= 1 in %S" spec)
+      else if count < 1 then
+        Error (Printf.sprintf "count must be >= 1 in %S" spec)
+      else Ok (List.init count (fun i -> { round = round + i; server; kind })))
+
+let parse s =
+  let rec go acc = function
+    | [] -> Ok (List.concat (List.rev acc))
+    | piece :: rest ->
+        let* faults = fault_of piece in
+        go (faults :: acc) rest
+  in
+  String.split_on_char ';' s
+  |> List.filter (fun p -> String.trim p <> "")
+  |> go []
+
+(* ------------------------------------------------------------------ *)
+(* Chaos schedules                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Parameters are chosen so each drawn fault misbehaves decisively:
+   corruption hits the 6-byte magic/version/tag header (decode always
+   fails, never a silent payload flip), delays are an hour (past any
+   deadline a test would set). *)
+let random_plan ~rng ~rounds ~n_servers ?(faults = 4) () =
+  List.init faults (fun _ ->
+      let round = 1 + Drbg.uniform ~rng rounds in
+      let server = Drbg.uniform ~rng n_servers in
+      let kind =
+        match Drbg.uniform ~rng 5 with
+        | 0 -> Crash
+        | 1 -> Drop_link
+        | 2 -> Corrupt_frame (Drbg.uniform ~rng 6)
+        | 3 -> Delay_ms 3_600_000
+        | _ -> Tamper_slot (Drbg.uniform ~rng 8)
+      in
+      { round; server; kind })
+
+(* ------------------------------------------------------------------ *)
+(* Injection                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type injector = { mutable pending_faults : fault list }
+
+let injector plan = { pending_faults = plan }
+
+let fire inj ~round ~server =
+  let hit, rest =
+    List.partition
+      (fun f -> f.round = round && f.server = server)
+      inj.pending_faults
+  in
+  inj.pending_faults <- rest;
+  List.map (fun f -> f.kind) hit
+
+let pending inj = List.length inj.pending_faults
+let exhausted inj = inj.pending_faults = []

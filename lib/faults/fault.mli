@@ -1,0 +1,90 @@
+(** Declarative, deterministic fault injection for the server chain.
+
+    Vuvuzela's availability story (§4.2, §7 of the paper) is that a
+    failed round is indistinguishable from "the partner didn't reply":
+    servers abort the round and redraw noise, clients retry with fresh
+    onions.  Exercising that machinery needs reproducible failures, so a
+    fault plan is pure data: a list of (round, link, kind) triples that
+    the chain consumes as rounds run.  Under a fixed deployment seed a
+    plan makes the whole failure schedule — and everything downstream of
+    it — bit-deterministic.
+
+    Faults fire at the chain's forward link boundaries: a fault at
+    [server = i] affects the batch crossing the link {i} (entry → server
+    0, or server i-1 → server i) in round [round].  Each fault fires at
+    most once (a crashed server restarts for the retry; a lossy link
+    recovers), which is what lets a bounded retry policy make progress. *)
+
+type kind =
+  | Crash  (** the receiving server aborts the round *)
+  | Drop_link  (** the batch never arrives *)
+  | Corrupt_frame of int
+      (** XOR byte [pos mod frame length] of the encoded frame with 0xff;
+          positions 0-5 hit the magic/version/tag header and are
+          guaranteed to fail decoding *)
+  | Truncate_frame of int  (** cut the frame to its first [n] bytes *)
+  | Extend_frame of int  (** append [n] garbage bytes to the frame *)
+  | Delay_ms of int
+      (** the link stalls: virtual delay added to the round's elapsed
+          time, for exercising deadlines deterministically *)
+  | Tamper_slot of int
+      (** the §2.1 active adversary: flip a byte of onion
+          [slot mod batch size]; framing survives but that request fails
+          authentication at the receiving server *)
+
+type fault = { round : int; server : int; kind : kind }
+(** [server] is the 0-based chain position whose incoming link the fault
+    hits; [round] is the conversation- or dialing-round number running
+    when it fires. *)
+
+type plan = fault list
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_fault : Format.formatter -> fault -> unit
+
+val to_string : plan -> string
+(** Render a plan in the grammar [parse] accepts. *)
+
+val parse : string -> (plan, string) result
+(** Parse the fault-plan grammar (also the CLI [--fault-plan] syntax):
+
+    {v
+    plan   := fault (';' fault)* | ''
+    fault  := kind '@' round [':' server] ['x' count]
+    kind   := 'crash' | 'drop' | 'corrupt(' byte ')' | 'truncate(' n ')'
+            | 'pad(' n ')' | 'delay(' ms ')' | 'tamper(' slot ')'
+    v}
+
+    [server] defaults to 0 (the entry link); ['x' count] repeats the
+    fault at [count] consecutive rounds starting at [round] (so
+    [crash@2:1x3] crashes server 1's link in rounds 2, 3 and 4 — one
+    firing per round).  Whitespace around tokens is ignored. *)
+
+val random_plan :
+  rng:Vuvuzela_crypto.Drbg.t ->
+  rounds:int ->
+  n_servers:int ->
+  ?faults:int ->
+  unit ->
+  plan
+(** A chaos schedule: [faults] (default 4) faults drawn from the seeded
+    [rng], with rounds in [1, rounds], servers in [0, n_servers), and
+    parameters chosen so every kind misbehaves decisively (header-byte
+    corruption that always breaks decoding, delays far past any sane
+    deadline).  Same [rng] state, same plan. *)
+
+(** {2 Injection} *)
+
+type injector
+(** The mutable consumption state of one plan.  A chain owns one. *)
+
+val injector : plan -> injector
+
+val fire : injector -> round:int -> server:int -> kind list
+(** The faults scheduled for this link crossing, in plan order; each is
+    consumed (removed from the pending set) as it is returned. *)
+
+val pending : injector -> int
+(** Faults not yet fired. *)
+
+val exhausted : injector -> bool

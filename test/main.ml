@@ -13,6 +13,7 @@ let () =
       Test_ratchet.suite;
       Test_certified.suite;
       Test_infra.suite;
+      Test_faults.suite;
       Test_parallel.suite;
       Test_sim.suite;
       Test_workload.suite;

@@ -117,6 +117,55 @@ let test_schedule_dial_then_converse () =
     !events;
   Alcotest.(check bool) "delivered through the schedule" true !got
 
+(* A client blocked across dialing rounds must not lose its incoming
+   invitations: the last server retains recent rounds' invitation
+   stores, and the download phase catches a returning client up on every
+   round it missed.  Its own outbox survives the outage too. *)
+let test_blocked_client_spans_dialing_rounds () =
+  let net = make_net () in
+  let a = Network.connect ~seed:"a" net in
+  let b = Network.connect ~seed:"b" net in
+  let blocked c = c == b in
+  (* b converses with a and has queued text when the outage starts. *)
+  Client.start_conversation a ~peer_pk:(Client.public_key b);
+  Client.start_conversation b ~peer_pk:(Client.public_key a);
+  Client.send b "queued before the outage";
+  (* a dials b during the outage; the schedule spans two dialing
+     rounds that b misses entirely. *)
+  Client.dial a ~callee_pk:(Client.public_key b);
+  let outage = Network.run_schedule ~blocked ~dial_every:2 net ~rounds:4 in
+  Alcotest.(check int) "b heard nothing while blocked" 0
+    (List.length
+       (List.filter (fun (c, _) -> c == b) (Network.events_of outage)));
+  (* b returns: the next dialing round's download phase covers the
+     missed rounds, so the invitation arrives without a re-dial. *)
+  let report = Network.run_dialing_round net in
+  let b_called =
+    List.exists
+      (fun (c, evs) ->
+        c == b
+        && List.exists
+             (function Client.Incoming_call { caller; _ } ->
+                 Bytes.equal caller (Client.public_key a)
+               | _ -> false)
+             evs)
+      report.Network.events
+  in
+  Alcotest.(check bool) "b catches up on the missed invitation" true b_called;
+  (* Unblocking resumes conversation delivery with no lost outbox. *)
+  let texts =
+    List.concat_map
+      (fun (c, evs) ->
+        if c == a then
+          List.filter_map
+            (function Client.Delivered { text; _ } -> Some text | _ -> None)
+            evs
+        else [])
+      (Network.events_of (Network.run_rounds net 6))
+  in
+  Alcotest.(check (list string)) "b's queued text delivered after the outage"
+    [ "queued before the outage" ] texts
+
 let test_run_schedule_round_counts () =
   let net = make_net () in
   let _ = Network.connect ~seed:"lone" net in
@@ -256,6 +305,8 @@ let suite =
       tc "manual m not overridden" `Quick test_manual_m_not_overridden;
       tc "schedule: dial then converse" `Quick test_schedule_dial_then_converse;
       tc "run_schedule round counts" `Quick test_run_schedule_round_counts;
+      tc "blocked client spans dialing rounds" `Quick
+        test_blocked_client_spans_dialing_rounds;
       tc "randomized soak (60 rounds, churn+blocking)" `Slow test_soak;
     ] )
 

@@ -416,6 +416,89 @@ let parallel_scaling () =
     job_counts
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: machine-readable per-stage latency export                *)
+(* ------------------------------------------------------------------ *)
+
+(* Instrumented rounds at jobs ∈ {1, 2, 4}; the registry's stage
+   histograms become BENCH_round_stages.json — per-stage p50/p95/p99 and
+   wire bytes per round — so perf regressions are diffable run-to-run
+   without scraping stdout. *)
+let round_stage_export () =
+  section "TELEMETRY - per-stage round latency (writes BENCH_round_stages.json)";
+  let module T = Vuvuzela_telemetry in
+  let rounds = 8 and n_clients = 24 in
+  let per_jobs jobs =
+    let tel = T.Telemetry.create () in
+    let net =
+      Network.create ~seed:"bench-stages" ~n_servers:3
+        ~noise:(Laplace.params ~mu:4. ~b:1.)
+        ~dial_noise:(Laplace.params ~mu:1. ~b:1.)
+        ~noise_mode:Noise.Deterministic ~jobs ~telemetry:tel ()
+    in
+    let clients =
+      List.init n_clients (fun i ->
+          Network.connect ~seed:(Printf.sprintf "sc%d" i) net)
+    in
+    let rec pair = function
+      | a :: b :: rest ->
+          Client.start_conversation a ~peer_pk:(Client.public_key b);
+          Client.start_conversation b ~peer_pk:(Client.public_key a);
+          pair rest
+      | _ -> ()
+    in
+    pair clients;
+    let reports = Network.run_rounds net rounds in
+    Network.shutdown net;
+    let reg = T.Telemetry.metrics tel in
+    let wire_per_round =
+      List.fold_left (fun acc r -> acc + r.Network.wire_bytes) 0 reports
+      / rounds
+    in
+    Printf.printf "  jobs=%-3d %8d B/round on the wire;" jobs wire_per_round;
+    let stages =
+      List.map
+        (fun stage ->
+          let h =
+            T.Metrics.histogram reg ~labels:[ ("stage", stage) ]
+              "vuvuzela_stage_ms"
+          in
+          if stage = "peel" || stage = "reseal" then
+            Printf.printf "  %s p95 %.2f ms" stage (T.Metrics.quantile h 0.95);
+          T.Json.Obj
+            [
+              ("stage", T.Json.Str stage);
+              ("count", T.Json.Num (float_of_int (T.Metrics.hist_count h)));
+              ("p50_ms", T.Json.Num (T.Metrics.quantile h 0.50));
+              ("p95_ms", T.Json.Num (T.Metrics.quantile h 0.95));
+              ("p99_ms", T.Json.Num (T.Metrics.quantile h 0.99));
+            ])
+        T.Telemetry.server_stages
+    in
+    print_newline ();
+    T.Json.Obj
+      [
+        ("jobs", T.Json.Num (float_of_int jobs));
+        ("wire_bytes_per_round", T.Json.Num (float_of_int wire_per_round));
+        ("stages", T.Json.List stages);
+      ]
+  in
+  let doc =
+    T.Json.Obj
+      [
+        ("benchmark", T.Json.Str "round-stages");
+        ("servers", T.Json.Num 3.);
+        ("clients", T.Json.Num (float_of_int n_clients));
+        ("rounds_per_job_count", T.Json.Num (float_of_int rounds));
+        ("job_counts", T.Json.List (List.map per_jobs [ 1; 2; 4 ]));
+      ]
+  in
+  let oc = open_out "BENCH_round_stages.json" in
+  output_string oc (T.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote BENCH_round_stages.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Faults: retry overhead under the round supervisor                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -600,6 +683,7 @@ let () =
   baseline_comparison ();
   live_round_scaling ();
   parallel_scaling ();
+  round_stage_export ();
   faults_overhead ();
   workload_summary ();
   line ();

@@ -15,13 +15,25 @@ open Vuvuzela
 (* demo                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let demo users rounds mu seed jobs fault_plan round_deadline_ms max_retries =
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let demo users rounds mu seed jobs fault_plan round_deadline_ms max_retries
+    metrics_out trace_out budget_warn =
   let noise = Laplace.params ~mu ~b:(Float.max 1. (mu /. 21.7)) in
+  (* Any observability flag turns the sink on; without one the nil sink
+     keeps the demo on the exact zero-cost path the tests pin. *)
+  let telemetry =
+    if metrics_out <> None || trace_out <> None || budget_warn <> None then
+      Some (Vuvuzela_telemetry.Telemetry.create ())
+    else None
+  in
   let net =
     Network.create ~seed ~n_servers:3 ~noise
       ~dial_noise:(Laplace.params ~mu:(Float.max 1. (mu /. 20.)) ~b:1.)
-      ~noise_mode:Noise.Sampled ~jobs ?fault_plan ?round_deadline_ms
-      ~max_retries ()
+      ~noise_mode:Noise.Sampled ~jobs ?fault_plan ?telemetry
+      ?budget_warn ?round_deadline_ms ~max_retries ()
   in
   let clients =
     List.init (max 2 users) (fun i ->
@@ -69,6 +81,40 @@ let demo users rounds mu seed jobs fault_plan round_deadline_ms max_retries =
           h.Deaddrop.m1 h.Deaddrop.m2
     | None -> ()
   done;
+  (* Flush the sink to its files and print the budget ledger's verdict. *)
+  Option.iter
+    (fun tel ->
+      let module T = Vuvuzela_telemetry in
+      Option.iter
+        (fun path ->
+          let m = T.Telemetry.metrics tel in
+          (* .json gets the structured export (quantiles included); any
+             other extension gets Prometheus text exposition. *)
+          if Filename.check_suffix path ".json" then
+            write_file path (T.Json.to_string (T.Metrics.to_json m))
+          else write_file path (T.Metrics.to_prometheus m);
+          Printf.printf "metrics written to %s\n" path)
+        metrics_out;
+      Option.iter
+        (fun path ->
+          write_file path (T.Trace.to_jsonl (T.Telemetry.trace tel));
+          Printf.printf "trace written to %s (%d spans)\n" path
+            (T.Trace.span_count (T.Telemetry.trace tel)))
+        trace_out;
+      Option.iter
+        (fun ledger ->
+          let worst = T.Ledger.worst ledger in
+          Printf.printf
+            "privacy budget: %d clients, worst eps'=%.3f delta'=%.2e%s\n"
+            (T.Ledger.clients ledger)
+            worst.Mechanism.eps worst.Mechanism.delta
+            (match T.Ledger.warn_eps ledger with
+            | Some w ->
+                Printf.sprintf " (%d over eps'=%.3f)"
+                  (T.Ledger.over_budget ledger) w
+            | None -> ""))
+        (T.Telemetry.ledger tel))
+    telemetry;
   Network.shutdown net;
   0
 
@@ -139,11 +185,38 @@ let demo_cmd =
       & info [ "max-retries" ]
           ~doc:"Retries per round after the first attempt fails.")
   in
+  let metrics_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the metrics registry on exit: Prometheus text \
+             exposition, or structured JSON (with quantile estimates) \
+             when FILE ends in .json.")
+  in
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the span trace on exit, one JSON span per line \
+             (per-round, per-server pipeline stages with parent links).")
+  in
+  let budget_warn =
+    Arg.(
+      value & opt (some float) None
+      & info [ "budget-warn" ] ~docv:"EPS"
+          ~doc:
+            "Track each client's cumulative privacy spend (Theorem 2 \
+             composition over attempted rounds) and warn when ε' crosses \
+             EPS.  Also enables the budget gauges in --metrics-out.")
+  in
   Cmd.v
     (Cmd.info "demo" ~doc:"run an in-process Vuvuzela deployment")
     Term.(
       const demo $ users $ rounds $ mu $ seed $ jobs $ fault_plan
-      $ round_deadline_ms $ max_retries)
+      $ round_deadline_ms $ max_retries $ metrics_out $ trace_out
+      $ budget_warn)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)

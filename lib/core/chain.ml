@@ -8,6 +8,7 @@
 
 module Pool = Vuvuzela_parallel.Pool
 module Fault = Vuvuzela_faults.Fault
+module Telemetry = Vuvuzela_telemetry.Telemetry
 
 type t = {
   servers : Server.t array;
@@ -16,6 +17,8 @@ type t = {
   tap : (round:int -> server:int -> bytes array -> unit) option;
       (** observes every forward batch exactly as it crosses the wire
           (post-tamper, pre-framing) — the tests' wiretap *)
+  tel : Telemetry.t option;
+      (** shared with the servers; [None] is the nil sink *)
   mutable shut_down : bool;
   mutable delay_ms : float;
       (** virtual link stall accumulated by [Delay_ms] faults during the
@@ -23,7 +26,7 @@ type t = {
 }
 
 let create ?seed ?(dial_kind = Dialing.Plain) ?(jobs = 1) ?fault_plan ?tap
-    ~n_servers ~noise ~dial_noise ~noise_mode () =
+    ?telemetry ~n_servers ~noise ~dial_noise ~noise_mode () =
   if n_servers < 1 then invalid_arg "Chain.create: need at least one server";
   if jobs < 1 then invalid_arg "Chain.create: jobs must be >= 1";
   (* The servers take turns (the in-process round trip is sequential
@@ -52,7 +55,9 @@ let create ?seed ?(dial_kind = Dialing.Plain) ?(jobs = 1) ?fault_plan ?tap
             (Bytes.of_string (Printf.sprintf "-server-%d" position)))
         seed
     in
-    let server = Server.create ?rng_seed ?pool ~cfg ~suffix_pks:!suffix () in
+    let server =
+      Server.create ?rng_seed ?pool ?telemetry ~cfg ~suffix_pks:!suffix ()
+    in
     servers.(position) <- Some server;
     suffix := Server.public_key server :: !suffix
   done;
@@ -61,6 +66,7 @@ let create ?seed ?(dial_kind = Dialing.Plain) ?(jobs = 1) ?fault_plan ?tap
     pool;
     faults = Option.map Fault.injector fault_plan;
     tap;
+    tel = telemetry;
     shut_down = false;
     delay_ms = 0.;
   }
@@ -131,12 +137,48 @@ let mutate_frame frame = function
    deadline check; [Tamper_slot] flips a byte of one onion (the §2.1
    active adversary — framing survives, authentication at the receiver
    does not). *)
+(* Short tag for a fault kind — the metric label and span annotation. *)
+let fault_tag = function
+  | Fault.Crash -> "crash"
+  | Fault.Drop_link -> "drop-link"
+  | Fault.Delay_ms _ -> "delay"
+  | Fault.Tamper_slot _ -> "tamper-slot"
+  | Fault.Corrupt_frame _ -> "corrupt-frame"
+  | Fault.Truncate_frame _ -> "truncate-frame"
+  | Fault.Extend_frame _ -> "extend-frame"
+
+(* Every fired fault becomes a counter sample and a span annotation on
+   the innermost open span (the round's root span when firing between
+   stages); [Delay_ms] additionally feeds its own counter so the virtual
+   stall is visible separately from wall-clock timings (which exclude
+   it). *)
+let record_faults t ~server kinds =
+  match (t.tel, kinds) with
+  | None, _ | _, [] -> ()
+  | Some _, kinds ->
+      List.iter
+        (fun k ->
+          let tag = fault_tag k in
+          Telemetry.add_counter t.tel
+            ~labels:[ ("kind", tag) ]
+            "vuvuzela_faults_injected_total";
+          Telemetry.annotate t.tel
+            (Printf.sprintf "fault.%s" tag)
+            (Printf.sprintf "server=%d" server);
+          match k with
+          | Fault.Delay_ms ms ->
+              Telemetry.add_counter t.tel ~by:(float_of_int ms)
+                "vuvuzela_injected_delay_ms_total"
+          | _ -> ())
+        kinds
+
 let forward_send t ~round ~server ~stage encode decode (batch : bytes array) =
   let kinds =
     match t.faults with
     | None -> []
     | Some inj -> Fault.fire inj ~round ~server
   in
+  record_faults t ~server kinds;
   let batch = ref batch in
   let frame_faults = ref [] in
   let fatal = ref None in
@@ -246,7 +288,7 @@ let conversation_round t ~round requests =
         Ok (Server.conv_backward t.servers.(i) ~round results)
       end
     in
-    go 0 requests
+    Telemetry.span t.tel ~name:"conv-round" ~round (fun () -> go 0 requests)
   end
 
 (* One dialing round with [m] invitation drops. *)
@@ -272,7 +314,8 @@ let dialing_round t ~round ~m requests =
         Ok (Server.dial_backward t.servers.(i) ~round results)
       end
     in
-    go 0 requests
+    Telemetry.span t.tel ~name:"dial-round" ~round ~dialing:true (fun () ->
+        go 0 requests)
   end
 
 (* Convenience for callers (benchmarks, attack harnesses) that treat a

@@ -8,6 +8,7 @@ val create :
   ?jobs:int ->
   ?fault_plan:Vuvuzela_faults.Fault.plan ->
   ?tap:(round:int -> server:int -> bytes array -> unit) ->
+  ?telemetry:Vuvuzela_telemetry.Telemetry.t ->
   n_servers:int ->
   noise:Vuvuzela_dp.Laplace.params ->
   dial_noise:Vuvuzela_dp.Laplace.params ->
@@ -23,7 +24,15 @@ val create :
     boundaries (each fault fires once at its (round, server) site).
     [tap] observes every forward batch exactly as it crosses a link —
     after any [Tamper_slot] fault, before framing — so tests can assert
-    wire-level invariants such as "no onion ciphertext crosses twice". *)
+    wire-level invariants such as "no onion ciphertext crosses twice".
+
+    [telemetry] (default: the nil sink) is shared with every server: each
+    round gets a root span ([conv-round] / [dial-round]) with the
+    per-stage server spans beneath it, and fired faults are counted
+    ([vuvuzela_faults_injected_total{kind}], with [Delay_ms] stall also
+    accumulated into [vuvuzela_injected_delay_ms_total]) and annotated
+    on the innermost open span.  Instrumentation never draws from the
+    RNG — rounds are bit-identical with telemetry on or off. *)
 
 val length : t -> int
 val server : t -> int -> Server.t

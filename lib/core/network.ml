@@ -24,9 +24,13 @@
    clients' requests for a round. *)
 
 open Vuvuzela_dp
+module Telemetry = Vuvuzela_telemetry.Telemetry
+module Ledger = Vuvuzela_telemetry.Ledger
 
 type t = {
   chain : Chain.t;
+  tel : Telemetry.t option;
+      (** shared with the chain and its servers; [None] is the nil sink *)
   server_pks : bytes list;
   clients : (bytes, Client.t) Hashtbl.t;  (** keyed by public key *)
   mutable order : Client.t list;  (** connection order, for determinism *)
@@ -52,11 +56,23 @@ let create ?seed ?(n_servers = 3)
     ?(noise = Laplace.params ~mu:10. ~b:2.)
     ?(dial_noise = Laplace.params ~mu:3. ~b:1.)
     ?(noise_mode = Noise.Sampled) ?dial_kind ?jobs ?(cdn_edges = 0)
-    ?fault_plan ?tap ?round_deadline_ms ?(max_retries = 2) () =
+    ?fault_plan ?tap ?telemetry ?budget_warn ?round_deadline_ms
+    ?(max_retries = 2) () =
   let chain =
-    Chain.create ?seed ?dial_kind ?jobs ?fault_plan ?tap ~n_servers ~noise
-      ~dial_noise ~noise_mode ()
+    Chain.create ?seed ?dial_kind ?jobs ?fault_plan ?tap ?telemetry ~n_servers
+      ~noise ~dial_noise ~noise_mode ()
   in
+  (* The privacy-budget ledger composes the deployment's actual per-round
+     guarantees (Theorem 1 for conversations, §6.5 for dialing) under
+     Theorem 2, per client, per *attempt* — each attempt publishes a
+     fresh noise draw. *)
+  Option.iter
+    (fun tel ->
+      Telemetry.set_ledger tel
+        (Ledger.create ?warn_eps:budget_warn
+           ~conv:(Mechanism.conversation noise)
+           ~dial:(Mechanism.dialing dial_noise) ()))
+    telemetry;
   let cdn =
     if cdn_edges > 0 then
       Some
@@ -68,6 +84,7 @@ let create ?seed ?(n_servers = 3)
   in
   {
     chain;
+    tel = telemetry;
     server_pks = Chain.public_keys chain;
     clients = Hashtbl.create 64;
     order = [];
@@ -84,6 +101,7 @@ let create ?seed ?(n_servers = 3)
   }
 
 let chain t = t.chain
+let telemetry t = t.tel
 let jobs t = Chain.jobs t.chain
 let shutdown t = Chain.shutdown t.chain
 let round t = t.round
@@ -154,24 +172,23 @@ let events_of reports =
 
 let failures_of reports = List.filter_map (fun r -> r.failure) reports
 
+(* One stable line per report, success or failure — machine-grepable:
+   every field appears in every line, in the same order, so log
+   consumers need exactly one format.  Pinned by a regression test. *)
 let pp_round_report ppf r =
-  let attempts ppf =
-    if r.attempts > 1 then
-      Format.fprintf ppf " after %d attempts (%d aborted)" r.attempts
-        (List.length r.aborts)
-  in
-  match r.failure with
-  | Some st ->
-      Format.fprintf ppf "%s round %d FAILED%t (%a)"
-        (if r.dialing then "dialing" else "conv")
-        r.round attempts Rpc.pp_status st
-  | None ->
-      Format.fprintf ppf
-        "%s round %d: %d requests, %d B on the wire, %.1f ms%s%t"
-        (if r.dialing then "dialing" else "conv")
-        r.round r.batch_size r.wire_bytes r.elapsed_ms
-        (if r.dialing then Printf.sprintf ", %d acks" r.confirmed_acks else "")
-        attempts
+  Format.fprintf ppf
+    "%s round %d%s: %d requests, %d B wire, %.1f ms%s, attempts=%d, aborts=%d%a"
+    (if r.dialing then "dialing" else "conv")
+    r.round
+    (if r.failure = None then "" else " FAILED")
+    r.batch_size r.wire_bytes r.elapsed_ms
+    (if r.dialing then Printf.sprintf ", %d acks" r.confirmed_acks else "")
+    r.attempts
+    (List.length r.aborts)
+    (fun ppf -> function
+      | None -> ()
+      | Some st -> Format.fprintf ppf " (%a)" Rpc.pp_status st)
+    r.failure
 
 let timed f =
   let t0 = Unix.gettimeofday () in
@@ -195,20 +212,63 @@ let check_deadline t ~round ~elapsed_ms outcome =
    Each attempt consumes a fresh round number and rebuilds every request
    from scratch — fresh ephemeral keys, fresh noise — so a failed
    attempt leaks nothing that links it to the retry. *)
+(* Per-attempt bookkeeping shared by the two supervisors: one charge per
+   participant (each attempt publishes a fresh noise draw), budget
+   gauges refreshed, attempt counted. *)
+let charge_attempt t ~participants ~dialing =
+  match t.tel with
+  | None -> ()
+  | Some _ ->
+      List.iter
+        (fun c ->
+          Telemetry.charge t.tel ~client:(Client.public_key c) ~dialing)
+        participants;
+      Telemetry.refresh_budget t.tel;
+      Telemetry.add_counter t.tel
+        ~labels:[ ("kind", if dialing then "dial" else "conv") ]
+        "vuvuzela_round_attempts_total"
+
+(* Satellite of the fault layer: [Delay_ms] faults are virtual (the
+   chain accumulates them instead of sleeping), so latency metrics
+   record the *wall* time only — injected stall lives in its own
+   counter ([vuvuzela_injected_delay_ms_total]) and in [elapsed_ms],
+   which the deadline check uses. *)
+let observe_attempt t ~dialing ~wall_ms ~wire_bytes =
+  match t.tel with
+  | None -> ()
+  | Some _ ->
+      let kind = [ ("kind", if dialing then "dial" else "conv") ] in
+      Telemetry.observe t.tel ~labels:kind "vuvuzela_round_ms" wall_ms;
+      Telemetry.add_counter t.tel ~labels:kind
+        ~by:(float_of_int wire_bytes) "vuvuzela_wire_bytes_total"
+
+let count_outcome t ~dialing outcome =
+  match t.tel with
+  | None -> ()
+  | Some _ ->
+      Telemetry.add_counter t.tel
+        ~labels:[ ("kind", if dialing then "dial" else "conv") ]
+        (match outcome with
+        | `Completed -> "vuvuzela_rounds_total"
+        | `Retried -> "vuvuzela_round_retries_total"
+        | `Failed -> "vuvuzela_round_failures_total")
+
 let run_round ?(blocked = fun _ -> false) (t : t) =
   let participants = List.filter (fun c -> not (blocked c)) (clients t) in
   let aborts = ref [] in
   let rec attempt n =
     let round = t.round in
     t.round <- round + 1;
+    charge_attempt t ~participants ~dialing:false;
     let entry = Entry.create () in
-    List.iter
-      (fun c ->
-        List.iteri
-          (fun slot onion ->
-            Entry.submit entry (Client.public_key c, slot) onion)
-          (Client.conversation_requests c ~round))
-      participants;
+    Telemetry.span t.tel ~name:"client-build" ~round (fun () ->
+        List.iter
+          (fun c ->
+            List.iteri
+              (fun slot onion ->
+                Entry.submit entry (Client.public_key c, slot) onion)
+              (Client.conversation_requests c ~round))
+          participants);
     let requests, ids = Entry.close_round entry in
     let batch_size = Array.length requests in
     let wire_bytes =
@@ -221,6 +281,7 @@ let run_round ?(blocked = fun _ -> false) (t : t) =
       timed (fun () -> Chain.conversation_round t.chain ~round requests)
     in
     let elapsed_ms = wall_ms +. Chain.last_round_delay_ms t.chain in
+    observe_attempt t ~dialing:false ~wall_ms ~wire_bytes;
     let report failure events =
       { round; dialing = false; events; batch_size; wire_bytes; elapsed_ms;
         confirmed_acks = 0; attempts = n; aborts = List.rev !aborts; failure }
@@ -233,14 +294,20 @@ let run_round ?(blocked = fun _ -> false) (t : t) =
         Chain.abort_round t.chain ~round;
         List.iter (fun c -> Client.abort_round c ~round) participants;
         aborts := st :: !aborts;
-        if n <= t.max_retries && Rpc.retryable st then attempt (n + 1)
-        else
+        if n <= t.max_retries && Rpc.retryable st then begin
+          count_outcome t ~dialing:false `Retried;
+          attempt (n + 1)
+        end
+        else begin
+          count_outcome t ~dialing:false `Failed;
           report (Some st)
             (List.map
                (fun c ->
                  (c, [ Client.Round_failed { round; dialing = false; status = st } ]))
                participants)
+        end
     | Ok results ->
+        count_outcome t ~dialing:false `Completed;
         (* Group each client's slot replies back together, in slot order. *)
         let by_client = Hashtbl.create 64 in
         List.iter
@@ -249,17 +316,18 @@ let run_round ?(blocked = fun _ -> false) (t : t) =
             Hashtbl.replace by_client pk ((slot, reply) :: prev))
           (Entry.demux ~ids results);
         report None
-          (List.filter_map
-             (fun c ->
-               let pk = Client.public_key c in
-               match Hashtbl.find_opt by_client pk with
-               | None -> None
-               | Some slot_replies ->
-                   let replies =
-                     List.sort compare slot_replies |> List.map snd
-                   in
-                   Some (c, Client.handle_conversation_replies c ~round replies))
-             participants)
+          (Telemetry.span t.tel ~name:"client-decrypt" ~round (fun () ->
+               List.filter_map
+                 (fun c ->
+                   let pk = Client.public_key c in
+                   match Hashtbl.find_opt by_client pk with
+                   | None -> None
+                   | Some slot_replies ->
+                       let replies =
+                         List.sort compare slot_replies |> List.map snd
+                       in
+                       Some (c, Client.handle_conversation_replies c ~round replies))
+                 participants))
   in
   attempt 1
 
@@ -305,12 +373,15 @@ let run_dialing_round ?(blocked = fun _ -> false) (t : t) =
   let rec attempt n =
     let dial_round = t.dial_round in
     t.dial_round <- dial_round + 1;
+    charge_attempt t ~participants ~dialing:true;
     let entry = Entry.create () in
-    List.iter
-      (fun c ->
-        Entry.submit entry (Client.public_key c)
-          (Client.dialing_request c ~dial_round ~m))
-      participants;
+    Telemetry.span t.tel ~name:"client-build" ~round:dial_round ~dialing:true
+      (fun () ->
+        List.iter
+          (fun c ->
+            Entry.submit entry (Client.public_key c)
+              (Client.dialing_request c ~dial_round ~m))
+          participants);
     let requests, ids = Entry.close_round entry in
     let batch_size = Array.length requests in
     let wire_bytes =
@@ -324,6 +395,7 @@ let run_dialing_round ?(blocked = fun _ -> false) (t : t) =
           Chain.dialing_round t.chain ~round:dial_round ~m requests)
     in
     let elapsed_ms = wall_ms +. Chain.last_round_delay_ms t.chain in
+    observe_attempt t ~dialing:true ~wall_ms ~wire_bytes;
     let report failure ~confirmed_acks events =
       { round = dial_round; dialing = true; events; batch_size; wire_bytes;
         elapsed_ms; confirmed_acks; attempts = n; aborts = List.rev !aborts;
@@ -334,8 +406,12 @@ let run_dialing_round ?(blocked = fun _ -> false) (t : t) =
         Chain.abort_dialing_round t.chain ~round:dial_round;
         List.iter (fun c -> Client.abort_dial_round c ~dial_round) participants;
         aborts := st :: !aborts;
-        if n <= t.max_retries && Rpc.retryable st then attempt (n + 1)
-        else
+        if n <= t.max_retries && Rpc.retryable st then begin
+          count_outcome t ~dialing:true `Retried;
+          attempt (n + 1)
+        end
+        else begin
+          count_outcome t ~dialing:true `Failed;
           report (Some st) ~confirmed_acks:0
             (List.map
                (fun c ->
@@ -343,17 +419,22 @@ let run_dialing_round ?(blocked = fun _ -> false) (t : t) =
                    [ Client.Round_failed
                        { round = dial_round; dialing = true; status = st } ] ))
                participants)
+        end
     | Ok acks ->
+        count_outcome t ~dialing:true `Completed;
         (* Route each slot's ack back to its client; a confirmed ack
            means that request survived every hop. *)
         let confirmed_acks =
-          List.fold_left
-            (fun n (pk, ack) ->
-              match Hashtbl.find_opt t.clients pk with
-              | Some c when Client.confirm_dial_ack c ~dial_round ack -> n + 1
-              | Some _ | None -> n)
-            0
-            (Entry.demux ~ids acks)
+          Telemetry.span t.tel ~name:"client-decrypt" ~round:dial_round
+            ~dialing:true (fun () ->
+              List.fold_left
+                (fun n (pk, ack) ->
+                  match Hashtbl.find_opt t.clients pk with
+                  | Some c when Client.confirm_dial_ack c ~dial_round ack ->
+                      n + 1
+                  | Some _ | None -> n)
+                0
+                (Entry.demux ~ids acks))
         in
         (* §5.4: adopt the last server's m recommendation for the next
            round. *)

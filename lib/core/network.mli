@@ -15,6 +15,8 @@ val create :
   ?cdn_edges:int ->
   ?fault_plan:Vuvuzela_faults.Fault.plan ->
   ?tap:(round:int -> server:int -> bytes array -> unit) ->
+  ?telemetry:Vuvuzela_telemetry.Telemetry.t ->
+  ?budget_warn:float ->
   ?round_deadline_ms:float ->
   ?max_retries:int ->
   unit ->
@@ -29,9 +31,22 @@ val create :
     {!Chain.create}).  [round_deadline_ms] (default: no deadline) bounds
     each round attempt — wall clock plus any injected virtual delay —
     and [max_retries] (default 2) bounds how many times the supervisor
-    retries an aborted round before giving up. *)
+    retries an aborted round before giving up.
+
+    [telemetry] (default: the nil sink) is shared down the stack (chain,
+    servers): per-stage spans, round spans, client-build/client-decrypt
+    spans, round latency/wire-byte/outcome metrics — latency histograms
+    record wall-clock only, with injected virtual delay kept in its own
+    counter — and a privacy-budget ledger composing the deployment's
+    per-round guarantees under Theorem 2, charged per client per
+    attempt.  [budget_warn] sets the ledger's cumulative-ε′ warning
+    threshold.  Instrumentation never draws from the RNG: a seeded
+    deployment is bit-identical with telemetry on or off. *)
 
 val chain : t -> Chain.t
+
+val telemetry : t -> Vuvuzela_telemetry.Telemetry.t option
+(** The sink the deployment was created with, if any. *)
 
 val jobs : t -> int
 
@@ -117,6 +132,13 @@ val failures_of : round_report list -> Rpc.status list
 (** The statuses of the rounds that ultimately failed, in round order. *)
 
 val pp_round_report : Format.formatter -> round_report -> unit
+(** One stable line per report — same fields, same order, success or
+    failure:
+    {v
+conv round 3: 8 requests, 12345 B wire, 4.2 ms, attempts=1, aborts=0
+dialing round 1: 8 requests, 2345 B wire, 1.3 ms, 8 acks, attempts=2, aborts=1
+conv round 5 FAILED: 8 requests, 12345 B wire, 3.1 ms, attempts=3, aborts=3 (...)
+    v} *)
 
 val run_round : ?blocked:(Client.t -> bool) -> t -> round_report
 (** Run one conversation round under the supervisor; [blocked] clients

@@ -14,6 +14,7 @@ open Vuvuzela_crypto
 open Vuvuzela_dp
 open Vuvuzela_mixnet
 module Pool = Vuvuzela_parallel.Pool
+module Telemetry = Vuvuzela_telemetry.Telemetry
 
 let log_src = Logs.Src.create "vuvuzela.server" ~doc:"Vuvuzela chain server"
 
@@ -70,9 +71,11 @@ type t = {
   mutable proposed_m : int;
       (** last server's §5.4 recommendation for the next dialing round *)
   metrics : metrics;
+  tel : Telemetry.t option;
+      (** the deployment's telemetry sink; [None] is the nil sink *)
 }
 
-let create ?rng_seed ?pool ~cfg ~suffix_pks () =
+let create ?rng_seed ?pool ?telemetry ~cfg ~suffix_pks () =
   let rng =
     match rng_seed with
     | Some seed -> Drbg.create ~seed
@@ -116,6 +119,7 @@ let create ?rng_seed ?pool ~cfg ~suffix_pks () =
         noise_invitations = 0;
         rounds = 0;
       };
+    tel = telemetry;
   }
 
 let public_key t = t.public
@@ -212,6 +216,17 @@ let peel_batch t ~round ~expected_len (onions : bytes array) =
       admitted
   in
   t.metrics.requests_in <- t.metrics.requests_in + Array.length onions;
+  (match t.tel with
+  | None -> ()
+  | Some _ ->
+      let server = [ ("server", string_of_int t.cfg.position) ] in
+      Telemetry.add_counter t.tel ~labels:server
+        ~by:(float_of_int (Array.length onions))
+        "vuvuzela_requests_total";
+      let bad = Array.length onions - !n_valid in
+      if bad > 0 then
+        Telemetry.add_counter t.tel ~labels:server ~by:(float_of_int bad)
+          "vuvuzela_rejected_requests_total");
   (slots, Array.of_list (List.rev !inners))
 
 (* Expected request size arriving at this server: the payload plus one
@@ -261,14 +276,20 @@ let shuffle_and_record t table ~round ~slots ~reply_payload_len batch =
    [n_valid] results (ours; noise occupied the tail), seal a reply per
    incoming slot.  Invalid slots get a dummy of the correct size so batch
    alignment and sizes stay uniform. *)
-let unshuffle_and_reply t table ~round (results : bytes array) =
+let unshuffle_and_reply t table ~round ~dialing (results : bytes array) =
   match Hashtbl.find_opt table round with
   | None -> invalid_arg "Server: backward pass for unknown round"
   | Some st ->
       Hashtbl.remove table round;
       if Array.length results <> st.n_forwarded then
         invalid_arg "Server: result batch size mismatch";
-      let unshuffled = Shuffle.unapply st.perm results in
+      let unshuffled =
+        Telemetry.stage t.tel ~name:"unpeel" ~round ~server:t.cfg.position
+          ~dialing (fun () -> Shuffle.unapply st.perm results)
+      in
+      Telemetry.stage t.tel ~name:"reseal" ~round ~server:t.cfg.position
+        ~dialing
+      @@ fun () ->
       let dummy_len = st.reply_payload_len + Onion.reply_overhead in
       (* Dummies consume the DRBG in slot order on the coordinator
          (sealing draws nothing, so the stream matches the old
@@ -307,6 +328,13 @@ let conv_noise t ~round =
   let plan = Noise.conversation ~rng:t.rng ~mode:t.cfg.noise_mode t.cfg.noise in
   t.metrics.noise_singles <- t.metrics.noise_singles + plan.singles;
   t.metrics.noise_pairs <- t.metrics.noise_pairs + plan.pairs;
+  Telemetry.add_counter t.tel
+    ~labels:[ ("kind", "single") ]
+    ~by:(float_of_int plan.singles) "vuvuzela_noise_onions_total";
+  Telemetry.add_counter t.tel
+    ~labels:[ ("kind", "pair") ]
+    ~by:(float_of_int (2 * plan.pairs))
+    "vuvuzela_noise_onions_total";
   let out = ref [] in
   for _ = 1 to plan.singles do
     out := noise_spec t (noise_exchange_payload t) :: !out
@@ -318,13 +346,23 @@ let conv_noise t ~round =
   done;
   wrap_noise_specs t ~round (Array.of_list !out)
 
-(* Forward pass of a mixing server: peel, add noise, shuffle. *)
+(* Forward pass of a mixing server: peel, add noise, shuffle.  The
+   stage spans ([peel]/[noise]/[shuffle], plus a zero-duration
+   [exchange] marker — mixing servers host no dead drops) wrap the work
+   without reordering it: each thunk runs exactly once, in place, so the
+   DRBG stream is identical with telemetry on or off. *)
 let conv_forward t ~round onions =
   if is_last t then invalid_arg "Server.conv_forward: last server";
+  let pos = t.cfg.position in
   let slots, inners =
-    peel_batch t ~round ~expected_len:(conv_request_len t) onions
+    Telemetry.stage t.tel ~name:"peel" ~round ~server:pos (fun () ->
+        peel_batch t ~round ~expected_len:(conv_request_len t) onions)
   in
-  let noise = conv_noise t ~round in
+  let noise =
+    Telemetry.stage t.tel ~name:"noise" ~round ~server:pos (fun () ->
+        conv_noise t ~round)
+  in
+  Telemetry.mark t.tel ~name:"exchange" ~round ~server:pos ();
   Log.debug (fun m ->
       m "server %d: round %d fwd: %d in, %d valid, %d noise"
         t.cfg.position round (Array.length onions) (Array.length inners)
@@ -332,38 +370,52 @@ let conv_forward t ~round onions =
   let reply_payload_len =
     Types.exchange_result_len + (Onion.reply_overhead * downstream t)
   in
-  shuffle_and_record t t.conv_rounds ~round ~slots ~reply_payload_len
-    (Array.append inners noise)
+  Telemetry.stage t.tel ~name:"shuffle" ~round ~server:pos (fun () ->
+      shuffle_and_record t t.conv_rounds ~round ~slots ~reply_payload_len
+        (Array.append inners noise))
 
 let conv_backward t ~round results =
-  unshuffle_and_reply t t.conv_rounds ~round results
+  unshuffle_and_reply t t.conv_rounds ~round ~dialing:false results
 
 (* The last server: peel, match dead drops, record the observable
    histogram, seal results (Algorithm 2 steps 3b and 4). *)
 let conv_exchange t ~round onions =
   if not (is_last t) then invalid_arg "Server.conv_exchange: not last server";
+  let pos = t.cfg.position in
   let slots, inners =
-    peel_batch t ~round ~expected_len:(conv_request_len t) onions
+    Telemetry.stage t.tel ~name:"peel" ~round ~server:pos (fun () ->
+        peel_batch t ~round ~expected_len:(conv_request_len t) onions)
   in
-  Deaddrop.clear t.drops;
-  Array.iteri
-    (fun slot payload ->
-      if Bytes.length payload = Types.exchange_payload_len then begin
-        let drop_id = Bytes.sub payload 0 Types.drop_id_len in
-        let sealed =
-          Bytes.sub payload Types.drop_id_len Types.sealed_message_len
-        in
-        Deaddrop.put t.drops ~slot ~drop_id ~sealed
-      end)
-    inners;
-  t.last_histogram <- Some (Deaddrop.histogram t.drops);
+  (* The last server adds no conversation noise and never shuffles (its
+     output goes straight back up); zero-duration markers keep stage
+     coverage total for every (round, server) pair. *)
+  Telemetry.mark t.tel ~name:"noise" ~round ~server:pos ();
+  Telemetry.mark t.tel ~name:"shuffle" ~round ~server:pos ();
+  let results =
+    Telemetry.stage t.tel ~name:"exchange" ~round ~server:pos (fun () ->
+        Deaddrop.clear t.drops;
+        Array.iteri
+          (fun slot payload ->
+            if Bytes.length payload = Types.exchange_payload_len then begin
+              let drop_id = Bytes.sub payload 0 Types.drop_id_len in
+              let sealed =
+                Bytes.sub payload Types.drop_id_len Types.sealed_message_len
+              in
+              Deaddrop.put t.drops ~slot ~drop_id ~sealed
+            end)
+          inners;
+        t.last_histogram <- Some (Deaddrop.histogram t.drops);
+        t.metrics.rounds <- t.metrics.rounds + 1;
+        Deaddrop.resolve t.drops ~n_slots:(Array.length inners))
+  in
   Log.debug (fun m ->
       let h = Deaddrop.histogram t.drops in
       m "server %d: round %d exchange: %d requests, m1=%d m2=%d"
         t.cfg.position round (Array.length inners) h.Deaddrop.m1
         h.Deaddrop.m2);
-  t.metrics.rounds <- t.metrics.rounds + 1;
-  let results = Deaddrop.resolve t.drops ~n_slots:(Array.length inners) in
+  Telemetry.mark t.tel ~name:"unpeel" ~round ~server:pos ();
+  Telemetry.stage t.tel ~name:"reseal" ~round ~server:pos
+  @@ fun () ->
   (* Seal each result under the layer secret of its request.  Dummies
      (RNG) first, in slot order; the seals fan out. *)
   let dummy_len = Types.exchange_result_len + Onion.reply_overhead in
@@ -396,22 +448,34 @@ let dial_noise t ~round ~m =
         :: !out
     done
   done;
+  Telemetry.add_counter t.tel
+    ~labels:[ ("kind", "invitation") ]
+    ~by:(float_of_int (List.length !out))
+    "vuvuzela_noise_onions_total";
   wrap_noise_specs t ~round (Array.of_list !out)
 
 let dial_forward t ~round ~m onions =
   if is_last t then invalid_arg "Server.dial_forward: last server";
+  let pos = t.cfg.position in
   let slots, inners =
-    peel_batch t ~round ~expected_len:(dial_request_len t) onions
+    Telemetry.stage t.tel ~name:"peel" ~round ~server:pos ~dialing:true
+      (fun () -> peel_batch t ~round ~expected_len:(dial_request_len t) onions)
   in
-  let noise = dial_noise t ~round ~m in
+  let noise =
+    Telemetry.stage t.tel ~name:"noise" ~round ~server:pos ~dialing:true
+      (fun () -> dial_noise t ~round ~m)
+  in
+  Telemetry.mark t.tel ~name:"exchange" ~round ~server:pos ~dialing:true ();
   let reply_payload_len =
     Types.dial_result_len + (Onion.reply_overhead * downstream t)
   in
-  shuffle_and_record t t.dial_rounds ~round ~slots ~reply_payload_len
-    (Array.append inners noise)
+  Telemetry.stage t.tel ~name:"shuffle" ~round ~server:pos ~dialing:true
+    (fun () ->
+      shuffle_and_record t t.dial_rounds ~round ~slots ~reply_payload_len
+        (Array.append inners noise))
 
 let dial_backward t ~round results =
-  unshuffle_and_reply t t.dial_rounds ~round results
+  unshuffle_and_reply t t.dial_rounds ~round ~dialing:true results
 
 let dial_ack = Bytes.make Types.dial_result_len '\x01'
 
@@ -419,51 +483,68 @@ let dial_ack = Bytes.make Types.dial_result_len '\x01'
    (the last server's noise need not transit the mixnet), ack. *)
 let dial_deliver t ~round ~m onions =
   if not (is_last t) then invalid_arg "Server.dial_deliver: not last server";
+  let pos = t.cfg.position in
   let slots, inners =
-    peel_batch t ~round ~expected_len:(dial_request_len t) onions
+    Telemetry.stage t.tel ~name:"peel" ~round ~server:pos ~dialing:true
+      (fun () -> peel_batch t ~round ~expected_len:(dial_request_len t) onions)
   in
   let store = Deaddrop.Invitation.create ~m in
-  let arrived = ref 0 in
-  let expected_len = Dialing.invitation_len t.cfg.dial_kind in
-  Array.iter
-    (fun payload ->
-      match Dialing.decode_payload payload with
-      | Ok (index, invitation)
-        when Bytes.length invitation = expected_len
-             && (index = Types.noop_drop || (index >= 0 && index < m)) ->
-          if index <> Types.noop_drop then incr arrived;
-          Deaddrop.Invitation.put store ~index invitation
-      | Ok _ | Error _ -> ())
-    inners;
-  (* §5.4: propose m for the next round so each drop carries roughly µ
-     real invitations.  The arrivals include the mixing servers' noise
-     ((chain_len−1)·µ per drop on average), which the last server
-     subtracts out before applying m = n·f/µ. *)
-  (let mu = t.cfg.dial_noise.Vuvuzela_dp.Laplace.mu in
-   let upstream_noise =
-     float_of_int ((t.cfg.chain_len - 1) * m) *. mu
-   in
-   let real_estimate = Float.max 0. (float_of_int !arrived -. upstream_noise) in
-   t.proposed_m <- max 1 (int_of_float (Float.round (real_estimate /. mu)));
-   Log.debug (fun lm ->
-       lm "server %d: dial round %d: %d arrivals, est. %.0f real, propose m=%d"
-         t.cfg.position round !arrived real_estimate t.proposed_m));
-  for index = 0 to m - 1 do
-    let n = Noise.dialing_per_drop ~rng:t.rng ~mode:t.cfg.noise_mode t.cfg.dial_noise in
-    t.metrics.noise_invitations <- t.metrics.noise_invitations + n;
-    for _ = 1 to n do
-      match
-        Dialing.decode_payload
-          (Dialing.noise ~rng:t.rng ~kind:t.cfg.dial_kind ~index ())
-      with
-      | Ok (_, invitation) -> Deaddrop.Invitation.put store ~index invitation
-      | Error _ -> assert false
-    done
-  done;
+  Telemetry.stage t.tel ~name:"exchange" ~round ~server:pos ~dialing:true
+    (fun () ->
+      let arrived = ref 0 in
+      let expected_len = Dialing.invitation_len t.cfg.dial_kind in
+      Array.iter
+        (fun payload ->
+          match Dialing.decode_payload payload with
+          | Ok (index, invitation)
+            when Bytes.length invitation = expected_len
+                 && (index = Types.noop_drop || (index >= 0 && index < m)) ->
+              if index <> Types.noop_drop then incr arrived;
+              Deaddrop.Invitation.put store ~index invitation
+          | Ok _ | Error _ -> ())
+        inners;
+      (* §5.4: propose m for the next round so each drop carries roughly µ
+         real invitations.  The arrivals include the mixing servers' noise
+         ((chain_len−1)·µ per drop on average), which the last server
+         subtracts out before applying m = n·f/µ. *)
+      let mu = t.cfg.dial_noise.Vuvuzela_dp.Laplace.mu in
+      let upstream_noise = float_of_int ((t.cfg.chain_len - 1) * m) *. mu in
+      let real_estimate =
+        Float.max 0. (float_of_int !arrived -. upstream_noise)
+      in
+      t.proposed_m <- max 1 (int_of_float (Float.round (real_estimate /. mu)));
+      Log.debug (fun lm ->
+          lm
+            "server %d: dial round %d: %d arrivals, est. %.0f real, propose \
+             m=%d"
+            t.cfg.position round !arrived real_estimate t.proposed_m));
+  (* The last server's own per-drop noise goes straight into the store —
+     it need not transit the mixnet (§5.3). *)
+  Telemetry.stage t.tel ~name:"noise" ~round ~server:pos ~dialing:true
+    (fun () ->
+      for index = 0 to m - 1 do
+        let n =
+          Noise.dialing_per_drop ~rng:t.rng ~mode:t.cfg.noise_mode
+            t.cfg.dial_noise
+        in
+        t.metrics.noise_invitations <- t.metrics.noise_invitations + n;
+        for _ = 1 to n do
+          match
+            Dialing.decode_payload
+              (Dialing.noise ~rng:t.rng ~kind:t.cfg.dial_kind ~index ())
+          with
+          | Ok (_, invitation) -> Deaddrop.Invitation.put store ~index invitation
+          | Error _ -> assert false
+        done
+      done);
+  Telemetry.mark t.tel ~name:"shuffle" ~round ~server:pos ~dialing:true ();
+  Telemetry.mark t.tel ~name:"unpeel" ~round ~server:pos ~dialing:true ();
   t.invitations <-
     (round, store)
     :: List.filteri (fun i _ -> i < invitation_history - 1) t.invitations;
   t.metrics.rounds <- t.metrics.rounds + 1;
+  Telemetry.stage t.tel ~name:"reseal" ~round ~server:pos ~dialing:true
+  @@ fun () ->
   let dummy_len = Types.dial_result_len + Onion.reply_overhead in
   let dummies =
     Array.map

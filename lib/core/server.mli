@@ -29,6 +29,7 @@ type t
 val create :
   ?rng_seed:bytes ->
   ?pool:Vuvuzela_parallel.Pool.t ->
+  ?telemetry:Vuvuzela_telemetry.Telemetry.t ->
   cfg:config ->
   suffix_pks:bytes list ->
   unit ->
@@ -38,6 +39,13 @@ val create :
     with other servers (the chain does this — its servers take turns);
     without it, [cfg.jobs > 1] creates a private pool owned by this
     server.
+
+    [telemetry] (default: the nil sink) records a span per pipeline
+    stage per round — [peel], [noise], [shuffle], [exchange], [reseal],
+    [unpeel]; stages that do not apply to this position appear as
+    zero-duration markers so coverage is total — and counts
+    requests/noise into the registry.  Instrumentation never draws from
+    the RNG, so rounds are bit-identical with telemetry on or off.
     @raise Invalid_argument on inconsistent position/suffix. *)
 
 val public_key : t -> bytes

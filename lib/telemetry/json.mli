@@ -1,0 +1,35 @@
+(** A minimal JSON value: just enough for the telemetry exporters (metrics
+    JSON, trace JSONL) and the smoke test's schema checker.  No external
+    dependencies; numbers are floats, objects preserve insertion order. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Strings are escaped per RFC 8259;
+    floats print as integers when they are whole (so counts round-trip
+    readably) and with ["%.6g"] otherwise.  Non-finite numbers render as
+    [null]. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document (surrounding whitespace allowed).  Intended
+    for validating our own exports, not arbitrary input: numbers are
+    parsed with [float_of_string], and unicode escapes [\uXXXX] are
+    decoded only for the BMP. *)
+
+(** {2 Accessors} (for schema checking) *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] for missing fields or non-objects. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+(** [Num] whose value is integral. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option

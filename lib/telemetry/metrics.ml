@@ -1,0 +1,301 @@
+(* Counters, gauges, fixed-bucket histograms.  Deterministic: the
+   registry only aggregates numbers handed to it — no clock, no RNG —
+   and exports sort by (name, labels), so two runs that observe the same
+   sequence produce byte-identical expositions. *)
+
+type counter = { mutable c : float }
+type gauge = { mutable g : float }
+
+type histogram = {
+  bounds : float array;  (* increasing finite upper bounds *)
+  counts : int array;  (* length = Array.length bounds + 1; last = +inf *)
+  mutable sum : float;
+  mutable count : int;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type metric = {
+  name : string;
+  labels : (string * string) list;  (* sorted by key *)
+  help : string;
+  instrument : instrument;
+}
+
+type registry = {
+  tbl : (string, metric) Hashtbl.t;  (* keyed by name + rendered labels *)
+  mutable order : metric list;  (* registration order, newest first *)
+}
+
+let create () = { tbl = Hashtbl.create 64; order = [] }
+
+let valid_name name =
+  name <> ""
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       name
+
+let render_labels labels =
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+    ^ "}"
+
+let key name labels = name ^ render_labels labels
+
+let find_or_create reg ~help ~labels name make check =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+  let labels = List.sort compare labels in
+  let k = key name labels in
+  match Hashtbl.find_opt reg.tbl k with
+  | Some m -> check m.instrument
+  | None ->
+      let instrument = make () in
+      let m = { name; labels; help; instrument } in
+      Hashtbl.replace reg.tbl k m;
+      reg.order <- m :: reg.order;
+      instrument
+
+let counter reg ?(help = "") ?(labels = []) name =
+  match
+    find_or_create reg ~help ~labels name
+      (fun () -> Counter { c = 0. })
+      (function
+        | Counter _ as i -> i
+        | _ -> invalid_arg ("Metrics: " ^ name ^ " is not a counter"))
+  with
+  | Counter c -> c
+  | _ -> assert false
+
+let inc ?(by = 1.) c =
+  if by < 0. then invalid_arg "Metrics.inc: counters are monotone";
+  c.c <- c.c +. by
+
+let counter_value c = c.c
+
+let gauge reg ?(help = "") ?(labels = []) name =
+  match
+    find_or_create reg ~help ~labels name
+      (fun () -> Gauge { g = 0. })
+      (function
+        | Gauge _ as i -> i
+        | _ -> invalid_arg ("Metrics: " ^ name ^ " is not a gauge"))
+  with
+  | Gauge g -> g
+  | _ -> assert false
+
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+(* 0.05 ms .. 10 s, roughly 1-2-5 per decade: covers a single AEAD seal
+   up to a multi-second, million-onion round. *)
+let default_ms_buckets =
+  [|
+    0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.; 100.; 250.; 500.;
+    1000.; 2500.; 5000.; 10_000.;
+  |]
+
+let histogram reg ?(help = "") ?(labels = []) ?(buckets = default_ms_buckets)
+    name =
+  if Array.length buckets = 0 then
+    invalid_arg "Metrics.histogram: need at least one bucket";
+  Array.iteri
+    (fun i b ->
+      if not (Float.is_finite b) then
+        invalid_arg "Metrics.histogram: bucket bounds must be finite";
+      if i > 0 && buckets.(i - 1) >= b then
+        invalid_arg "Metrics.histogram: bucket bounds must increase")
+    buckets;
+  match
+    find_or_create reg ~help ~labels name
+      (fun () ->
+        Histogram
+          {
+            bounds = Array.copy buckets;
+            counts = Array.make (Array.length buckets + 1) 0;
+            sum = 0.;
+            count = 0;
+          })
+      (function
+        | Histogram h as i ->
+            if h.bounds <> buckets then
+              invalid_arg
+                ("Metrics: " ^ name ^ " re-registered with different buckets");
+            i
+        | _ -> invalid_arg ("Metrics: " ^ name ^ " is not a histogram"))
+  with
+  | Histogram h -> h
+  | _ -> assert false
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let rec bucket i = if i = n then n else if v <= h.bounds.(i) then i else bucket (i + 1) in
+  let i = bucket 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.count <- h.count + 1
+
+let hist_count h = h.count
+let hist_sum h = h.sum
+
+(* Prometheus's histogram_quantile: find the bucket holding rank q·count
+   and interpolate linearly inside it.  The first bucket interpolates
+   from 0; a rank in the +inf bucket degrades to the largest finite
+   bound. *)
+let quantile h q =
+  if q < 0. || q > 1. then invalid_arg "Metrics.quantile: q outside [0, 1]";
+  if h.count = 0 then 0.
+  else begin
+    let rank = q *. float_of_int h.count in
+    let n = Array.length h.bounds in
+    let rec go i cum =
+      if i >= n then h.bounds.(n - 1)
+      else begin
+        let cum' = cum + h.counts.(i) in
+        if float_of_int cum' >= rank then begin
+          let lo = if i = 0 then 0. else h.bounds.(i - 1) in
+          let hi = h.bounds.(i) in
+          if h.counts.(i) = 0 then hi
+          else
+            lo
+            +. (hi -. lo)
+               *. ((rank -. float_of_int cum) /. float_of_int h.counts.(i))
+        end
+        else go (i + 1) cum'
+      end
+    in
+    go 0 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_metrics reg =
+  List.sort
+    (fun a b ->
+      match compare a.name b.name with 0 -> compare a.labels b.labels | c -> c)
+    reg.order
+
+let fmt_value f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let prom_labels labels =
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+    ^ "}"
+
+let to_prometheus reg =
+  let buf = Buffer.create 1024 in
+  let seen_family = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      if not (Hashtbl.mem seen_family m.name) then begin
+        Hashtbl.replace seen_family m.name ();
+        if m.help <> "" then
+          Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" m.name m.help);
+        let ty =
+          match m.instrument with
+          | Counter _ -> "counter"
+          | Gauge _ -> "gauge"
+          | Histogram _ -> "histogram"
+        in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" m.name ty)
+      end;
+      match m.instrument with
+      | Counter c ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" m.name (prom_labels m.labels)
+               (fmt_value c.c))
+      | Gauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" m.name (prom_labels m.labels)
+               (fmt_value g.g))
+      | Histogram h ->
+          let cum = ref 0 in
+          Array.iteri
+            (fun i bound ->
+              cum := !cum + h.counts.(i);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" m.name
+                   (prom_labels (m.labels @ [ ("le", fmt_value bound) ]))
+                   !cum))
+            h.bounds;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" m.name
+               (prom_labels (m.labels @ [ ("le", "+Inf") ]))
+               h.count);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" m.name (prom_labels m.labels)
+               (fmt_value h.sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" m.name (prom_labels m.labels)
+               h.count))
+    (sorted_metrics reg);
+  Buffer.contents buf
+
+let labels_json labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let to_json reg =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  List.iter
+    (fun m ->
+      let base = [ ("name", Json.Str m.name); ("labels", labels_json m.labels) ] in
+      match m.instrument with
+      | Counter c -> counters := Json.Obj (base @ [ ("value", Json.Num c.c) ]) :: !counters
+      | Gauge g -> gauges := Json.Obj (base @ [ ("value", Json.Num g.g) ]) :: !gauges
+      | Histogram h ->
+          let buckets =
+            Json.List
+              (Array.to_list
+                 (Array.mapi
+                    (fun i bound ->
+                      Json.Obj
+                        [
+                          ("le", Json.Num bound);
+                          ("count", Json.Num (float_of_int h.counts.(i)));
+                        ])
+                    h.bounds)
+              @ [
+                  Json.Obj
+                    [
+                      ("le", Json.Null);
+                      ( "count",
+                        Json.Num
+                          (float_of_int h.counts.(Array.length h.bounds)) );
+                    ];
+                ])
+          in
+          histograms :=
+            Json.Obj
+              (base
+              @ [
+                  ("count", Json.Num (float_of_int h.count));
+                  ("sum", Json.Num h.sum);
+                  ("p50", Json.Num (quantile h 0.50));
+                  ("p90", Json.Num (quantile h 0.90));
+                  ("p95", Json.Num (quantile h 0.95));
+                  ("p99", Json.Num (quantile h 0.99));
+                  ("buckets", buckets);
+                ])
+            :: !histograms)
+    (sorted_metrics reg);
+  Json.Obj
+    [
+      ("counters", Json.List (List.rev !counters));
+      ("gauges", Json.List (List.rev !gauges));
+      ("histograms", Json.List (List.rev !histograms));
+    ]

@@ -1,0 +1,101 @@
+(* The sink: registry + tracer + optional ledger, and the option-taking
+   helpers the core calls.  The [None] path of every helper is a single
+   match — the nil sink must not perturb timing-sensitive code, and must
+   never touch an RNG (determinism with telemetry on/off is asserted in
+   test_telemetry.ml). *)
+
+type t = {
+  metrics : Metrics.registry;
+  trace : Trace.t;
+  mutable ledger : Ledger.t option;
+}
+
+let create ?clock () =
+  { metrics = Metrics.create (); trace = Trace.create ?clock (); ledger = None }
+
+let metrics t = t.metrics
+let trace t = t.trace
+let set_ledger t l = t.ledger <- Some l
+let ledger t = t.ledger
+
+let server_stages = [ "peel"; "noise"; "shuffle"; "exchange"; "reseal"; "unpeel" ]
+
+let stage tel ~name ~round ~server ?dialing f =
+  match tel with
+  | None -> f ()
+  | Some t ->
+      let s = Trace.begin_span t.trace ~name ~round ~server ?dialing () in
+      Fun.protect
+        ~finally:(fun () ->
+          Trace.end_span t.trace s;
+          Metrics.observe
+            (Metrics.histogram t.metrics
+               ~help:"Per-stage latency of the round pipeline"
+               ~labels:[ ("stage", name) ] "vuvuzela_stage_ms")
+            s.Trace.dur_ms)
+        f
+
+let span tel ~name ~round ?server ?dialing f =
+  match tel with
+  | None -> f ()
+  | Some t -> Trace.with_span t.trace ~name ~round ?server ?dialing f
+
+let mark tel ~name ~round ~server ?dialing () =
+  match tel with
+  | None -> ()
+  | Some t -> Trace.instant t.trace ~name ~round ~server ?dialing ()
+
+let annotate tel k v =
+  match tel with None -> () | Some t -> Trace.annotate t.trace k v
+
+let add_counter tel ?labels ?by name =
+  match tel with
+  | None -> ()
+  | Some t -> Metrics.inc ?by (Metrics.counter t.metrics ?labels name)
+
+let set_gauge tel ?labels name v =
+  match tel with
+  | None -> ()
+  | Some t -> Metrics.set (Metrics.gauge t.metrics ?labels name) v
+
+let observe tel ?labels ?buckets name v =
+  match tel with
+  | None -> ()
+  | Some t -> Metrics.observe (Metrics.histogram t.metrics ?labels ?buckets name) v
+
+let charge tel ~client ~dialing =
+  match tel with
+  | None -> ()
+  | Some t -> (
+      match t.ledger with
+      | None -> ()
+      | Some ledger ->
+          if Ledger.charge ledger ~client ~dialing then
+            Metrics.inc
+              (Metrics.counter t.metrics
+                 ~help:"Clients whose cumulative eps' crossed the warning threshold"
+                 "vuvuzela_budget_warnings_total"))
+
+let refresh_budget tel =
+  match tel with
+  | None -> ()
+  | Some t -> (
+      match t.ledger with
+      | None -> ()
+      | Some ledger ->
+          let worst = Ledger.worst ledger in
+          Metrics.set
+            (Metrics.gauge t.metrics
+               ~help:"Largest cumulative eps' across clients (Theorem 2)"
+               "vuvuzela_budget_eps_max")
+            worst.Vuvuzela_dp.Mechanism.eps;
+          Metrics.set
+            (Metrics.gauge t.metrics
+               ~help:"Largest cumulative delta' across clients (Theorem 2)"
+               "vuvuzela_budget_delta_max")
+            worst.Vuvuzela_dp.Mechanism.delta;
+          Metrics.set
+            (Metrics.gauge t.metrics
+               ~help:"Clients currently over the eps' warning threshold"
+               "vuvuzela_budget_over_warn_clients")
+            (float_of_int (Ledger.over_budget ledger)))

@@ -1,0 +1,78 @@
+(** The telemetry sink the round engine is wired through: one metrics
+    registry + one span tracer + (optionally) one privacy-budget ledger.
+
+    Every instrumentation point in the core takes a [t option]; [None]
+    is the nil sink and costs a single pattern match — no allocation, no
+    clock read, no RNG use — so rounds are bit-identical with telemetry
+    enabled or disabled at any job count.
+
+    All helpers run on the coordinating domain (the same single-domain
+    contract as the engine's RNG draws). *)
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** [clock] is injected into the tracer (seconds; default
+    [Unix.gettimeofday]). *)
+
+val metrics : t -> Metrics.registry
+val trace : t -> Trace.t
+
+val set_ledger : t -> Ledger.t -> unit
+(** Attach budget accounting (done by the deployment, which knows the
+    noise parameters). *)
+
+val ledger : t -> Ledger.t option
+
+(** {2 Instrumentation points} (all no-ops on [None]) *)
+
+val stage :
+  t option -> name:string -> round:int -> server:int -> ?dialing:bool ->
+  (unit -> 'a) -> 'a
+(** Trace a pipeline stage as a span {e and} observe its duration into
+    the [vuvuzela_stage_ms{stage=name}] histogram. *)
+
+val span :
+  t option -> name:string -> round:int -> ?server:int -> ?dialing:bool ->
+  (unit -> 'a) -> 'a
+(** Trace a span without feeding the stage histogram (round roots,
+    client phases). *)
+
+val mark :
+  t option -> name:string -> round:int -> server:int -> ?dialing:bool ->
+  unit -> unit
+(** Record a zero-duration span for a stage that does not apply to this
+    participant, so per-(round, server) stage coverage stays total.
+    Does not feed the stage histogram (zeros would distort latency
+    quantiles). *)
+
+val annotate : t option -> string -> string -> unit
+(** Annotate the innermost open span. *)
+
+val add_counter :
+  t option -> ?labels:(string * string) list -> ?by:float -> string -> unit
+
+val set_gauge :
+  t option -> ?labels:(string * string) list -> string -> float -> unit
+
+val observe :
+  t option -> ?labels:(string * string) list -> ?buckets:float array ->
+  string -> float -> unit
+
+val charge :
+  t option -> client:bytes -> dialing:bool -> unit
+(** Charge the ledger (if attached) for one attempted round,
+    incrementing [vuvuzela_budget_warnings_total] when this client
+    crosses the warning threshold (at most once per client). *)
+
+val refresh_budget : t option -> unit
+(** Recompute the budget gauges from the ledger:
+    [vuvuzela_budget_eps_max], [vuvuzela_budget_delta_max],
+    [vuvuzela_budget_over_warn_clients].  Called once per round by the
+    deployment, after charging its participants. *)
+
+(** {2 Stage names} *)
+
+val server_stages : string list
+(** The six per-server pipeline stages, in pipeline order:
+    ["peel"; "noise"; "shuffle"; "exchange"; "reseal"; "unpeel"]. *)

@@ -1,0 +1,225 @@
+(* Append-only span recorder.  All mutation happens on the coordinating
+   domain (the same contract as the round engine's RNG), so a plain list
+   and stack suffice. *)
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  round : int;
+  server : int;
+  dialing : bool;
+  start_ms : float;
+  mutable dur_ms : float;
+  mutable annotations : (string * string) list;
+  mutable closed : bool;
+}
+
+type t = {
+  clock : unit -> float;
+  epoch : float;
+  mutable spans : span list;  (* begin order, newest first *)
+  mutable next_id : int;
+  mutable stack : span list;  (* open spans, innermost first *)
+}
+
+let create ?(clock = Unix.gettimeofday) () =
+  { clock; epoch = clock (); spans = []; next_id = 0; stack = [] }
+
+let now_ms t = (t.clock () -. t.epoch) *. 1000.
+
+let begin_span t ~name ~round ?(server = -1) ?(dialing = false) () =
+  let s =
+    {
+      id = t.next_id;
+      parent = (match t.stack with [] -> None | p :: _ -> Some p.id);
+      name;
+      round;
+      server;
+      dialing;
+      start_ms = now_ms t;
+      dur_ms = 0.;
+      annotations = [];
+      closed = false;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.spans <- s :: t.spans;
+  t.stack <- s :: t.stack;
+  s
+
+let end_span t s =
+  if not s.closed then begin
+    s.dur_ms <- now_ms t -. s.start_ms;
+    s.closed <- true;
+    (* Pop s and, defensively, any unclosed children a raising stage
+       left behind. *)
+    let rec pop = function
+      | x :: rest when x == s -> rest
+      | x :: rest ->
+          if not x.closed then begin
+            x.dur_ms <- now_ms t -. x.start_ms;
+            x.closed <- true
+          end;
+          pop rest
+      | [] -> []
+    in
+    t.stack <- pop t.stack
+  end
+
+let with_span t ~name ~round ?server ?dialing f =
+  let s = begin_span t ~name ~round ?server ?dialing () in
+  Fun.protect ~finally:(fun () -> end_span t s) f
+
+let instant t ~name ~round ?server ?dialing () =
+  let s = begin_span t ~name ~round ?server ?dialing () in
+  (* Zero duration by construction, not by clock coincidence. *)
+  s.closed <- true;
+  s.dur_ms <- 0.;
+  t.stack <- (match t.stack with x :: rest when x == s -> rest | st -> st)
+
+let annotate t k v =
+  match t.stack with
+  | [] -> ()
+  | s :: _ -> s.annotations <- (k, v) :: s.annotations
+
+let spans t = List.rev t.spans
+let span_count t = t.next_id
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let span_to_json s =
+  Json.Obj
+    [
+      ("id", Json.Num (float_of_int s.id));
+      ("parent", match s.parent with None -> Json.Null | Some p -> Json.Num (float_of_int p));
+      ("name", Json.Str s.name);
+      ("round", Json.Num (float_of_int s.round));
+      ("server", Json.Num (float_of_int s.server));
+      ("dialing", Json.Bool s.dialing);
+      ("start_ms", Json.Num s.start_ms);
+      ("dur_ms", Json.Num s.dur_ms);
+      ( "annotations",
+        Json.Obj
+          (List.rev_map (fun (k, v) -> (k, Json.Str v)) s.annotations) );
+    ]
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Json.to_string (span_to_json s));
+      Buffer.add_char buf '\n')
+    (spans t);
+  Buffer.contents buf
+
+(* Per (round, dialing): stage name -> total duration.  Root spans
+   (parent = None) are the enclosing round/coordinator spans; excluding
+   them keeps each millisecond attributed exactly once. *)
+let flame_summary t =
+  let rounds = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if s.parent <> None then begin
+        let key = (s.round, s.dialing) in
+        let stages =
+          match Hashtbl.find_opt rounds key with
+          | Some h -> h
+          | None ->
+              let h = Hashtbl.create 8 in
+              Hashtbl.replace rounds key h;
+              h
+        in
+        let prev = Option.value ~default:0. (Hashtbl.find_opt stages s.name) in
+        Hashtbl.replace stages s.name (prev +. s.dur_ms)
+      end)
+    (spans t);
+  Hashtbl.fold
+    (fun key stages acc ->
+      let entries =
+        List.sort compare (Hashtbl.fold (fun n d l -> (n, d) :: l) stages [])
+      in
+      (key, entries) :: acc)
+    rounds []
+  |> List.sort compare
+
+let pp_flame ppf t =
+  List.iter
+    (fun ((round, dialing), stages) ->
+      Format.fprintf ppf "%s %d:"
+        (if dialing then "dial" else "conv")
+        round;
+      List.iter
+        (fun (name, ms) -> Format.fprintf ppf " %s=%.2fms" name ms)
+        stages;
+      Format.fprintf ppf "@.")
+    (flame_summary t)
+
+(* ------------------------------------------------------------------ *)
+(* Schema checking                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let check_line ~seen_ids line_no line =
+  let fail fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" line_no m)) fmt in
+  match Json.parse line with
+  | Error e -> fail "not valid JSON (%s)" e
+  | Ok json ->
+      let req name extract =
+        match Option.bind (Json.member name json) extract with
+        | Some v -> Ok v
+        | None -> fail "missing or mistyped field %S" name
+      in
+      let* id = req "id" Json.to_int in
+      let* _name =
+        match Option.bind (Json.member "name" json) Json.to_str with
+        | Some "" -> fail "empty span name"
+        | Some n -> Ok n
+        | None -> fail "missing or mistyped field \"name\""
+      in
+      let* _round = req "round" Json.to_int in
+      let* _server = req "server" Json.to_int in
+      let* _dialing = req "dialing" Json.to_bool in
+      let* start_ms = req "start_ms" Json.to_float in
+      let* dur_ms = req "dur_ms" Json.to_float in
+      let* () =
+        match Json.member "parent" json with
+        | Some Json.Null -> Ok ()
+        | Some (Json.Num _ as p) -> (
+            match Json.to_int p with
+            | Some parent when Hashtbl.mem seen_ids parent -> Ok ()
+            | Some parent -> fail "parent %d not declared on an earlier line" parent
+            | None -> fail "non-integral parent id")
+        | _ -> fail "missing or mistyped field \"parent\""
+      in
+      let* () =
+        match Json.member "annotations" json with
+        | Some (Json.Obj fields) ->
+            if List.for_all (fun (_, v) -> match v with Json.Str _ -> true | _ -> false) fields
+            then Ok ()
+            else fail "non-string annotation value"
+        | _ -> fail "missing or mistyped field \"annotations\""
+      in
+      if start_ms < 0. then fail "negative start_ms"
+      else if dur_ms < 0. then fail "negative dur_ms"
+      else if Hashtbl.mem seen_ids id then fail "duplicate span id %d" id
+      else begin
+        Hashtbl.replace seen_ids id ();
+        Ok ()
+      end
+
+let validate_jsonl text =
+  let seen_ids = Hashtbl.create 256 in
+  let lines = String.split_on_char '\n' text in
+  let rec go n = function
+    | [] -> Ok ()
+    | [ "" ] -> Ok ()  (* trailing newline *)
+    | line :: rest -> (
+        match check_line ~seen_ids n line with
+        | Ok () -> go (n + 1) rest
+        | Error _ as e -> e)
+  in
+  if text = "" then Error "empty trace" else go 1 lines

@@ -1,0 +1,85 @@
+(** Lightweight span tracing for the round pipeline.
+
+    A span is one timed stage of one round on one participant: servers
+    record [peel]/[noise]/[shuffle]/[exchange]/[reseal]/[unpeel], the
+    coordinator records the enclosing round span, clients record
+    build/decrypt.  Spans nest: beginning a span while another is open
+    links the child to it, so a round's stage spans all hang off that
+    round's root span.
+
+    The tracer is append-only and single-domain (the round engine keeps
+    instrumentation on the coordinating domain).  Timestamps come from
+    the injected [clock] — wall time by default, a counter in tests —
+    and are relative to the tracer's creation, so exports are stable
+    under a fake clock. *)
+
+type t
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  round : int;
+  server : int;  (** chain position; [-1] for coordinator/client spans *)
+  dialing : bool;
+  start_ms : float;  (** relative to the tracer's epoch *)
+  mutable dur_ms : float;
+  mutable annotations : (string * string) list;  (** newest first *)
+  mutable closed : bool;
+}
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** [clock] returns seconds (monotonic enough for durations); defaults
+    to [Unix.gettimeofday]. *)
+
+val begin_span :
+  t -> name:string -> round:int -> ?server:int -> ?dialing:bool -> unit ->
+  span
+(** Opens a span as a child of the innermost open span (if any) and
+    makes it the innermost. *)
+
+val end_span : t -> span -> unit
+(** Closes the span (idempotent), recording its duration and popping it
+    — and any unclosed children, defensively — off the open stack. *)
+
+val with_span :
+  t -> name:string -> round:int -> ?server:int -> ?dialing:bool ->
+  (unit -> 'a) -> 'a
+(** [begin_span]/[end_span] around a thunk, exception-safe. *)
+
+val instant :
+  t -> name:string -> round:int -> ?server:int -> ?dialing:bool -> unit ->
+  unit
+(** A zero-duration marker span — a stage that does not apply to this
+    participant but must still appear in the trace for coverage. *)
+
+val annotate : t -> string -> string -> unit
+(** Attach a key/value to the innermost open span; dropped when no span
+    is open. *)
+
+val spans : t -> span list
+(** All spans, in begin order. *)
+
+val span_count : t -> int
+
+(** {2 Export} *)
+
+val span_to_json : span -> Json.t
+
+val to_jsonl : t -> string
+(** One span per line, in begin order:
+    [{"id":…,"parent":…,"name":…,"round":…,"server":…,"dialing":…,
+      "start_ms":…,"dur_ms":…,"annotations":{…}}]. *)
+
+val flame_summary : t -> ((int * bool) * (string * float) list) list
+(** Per (round, dialing): total duration by stage name (coordinator
+    root spans excluded so stages are not double-counted), rounds in
+    ascending order, stages sorted by name. *)
+
+val pp_flame : Format.formatter -> t -> unit
+(** The flame summary as one aligned line per round. *)
+
+val validate_jsonl : string -> (unit, string) result
+(** The smoke test's schema checker: every line must parse as a span
+    object with the right field types, ids must be unique and parents
+    must reference an earlier id, durations must be non-negative. *)

@@ -15,6 +15,7 @@ let () =
       Test_infra.suite;
       Test_faults.suite;
       Test_parallel.suite;
+      Test_telemetry.suite;
       Test_sim.suite;
       Test_workload.suite;
       Test_attack.suite;

@@ -338,7 +338,53 @@ let test_deployment_determinism () =
     "dde1a987fd52ec655763ea34ab9295846b0d43ffb7cb558d791211a95beedf70" pk1;
   ignore (m1a, m2a)
 
+(* [pp_round_report] is a stable one-line format — same fields, same
+   order, success or failure — that tooling greps.  Pinned on synthetic
+   records so any format drift is a deliberate, reviewed change. *)
+let test_round_report_format () =
+  let base =
+    {
+      Network.round = 7;
+      dialing = false;
+      events = [];
+      batch_size = 12;
+      wire_bytes = 34560;
+      elapsed_ms = 4.2;
+      confirmed_acks = 0;
+      attempts = 1;
+      aborts = [];
+      failure = None;
+    }
+  in
+  let render r = Format.asprintf "%a" Network.pp_round_report r in
+  Alcotest.(check string) "success line"
+    "conv round 7: 12 requests, 34560 B wire, 4.2 ms, attempts=1, aborts=0"
+    (render base);
+  let st = { Rpc.round = 8; server = 1; stage = "conv-batch"; detail = "boom" } in
+  Alcotest.(check string) "recovered line counts its aborts"
+    "conv round 9: 12 requests, 34560 B wire, 4.2 ms, attempts=2, aborts=1"
+    (render { base with Network.round = 9; attempts = 2; aborts = [ st ] });
+  Alcotest.(check string) "dialing line carries acks"
+    "dialing round 3: 12 requests, 34560 B wire, 4.2 ms, 11 acks, attempts=1, \
+     aborts=0"
+    (render { base with Network.round = 3; dialing = true; confirmed_acks = 11 });
+  Alcotest.(check string) "failure line keeps every field"
+    "conv round 8 FAILED: 12 requests, 34560 B wire, 4.2 ms, attempts=3, \
+     aborts=3 (round 8: server 1 [conv-batch]: boom)"
+    (render
+       { base with
+         Network.round = 8;
+         attempts = 3;
+         aborts = [ st; st; st ];
+         failure = Some st;
+       })
+
 let suite =
   ( fst suite,
     snd suite
-    @ [ Alcotest.test_case "deployment determinism (golden)" `Quick test_deployment_determinism ] )
+    @ [
+        Alcotest.test_case "deployment determinism (golden)" `Quick
+          test_deployment_determinism;
+        Alcotest.test_case "round report format (pinned)" `Quick
+          test_round_report_format;
+      ] )

@@ -499,6 +499,128 @@ let round_stage_export () =
   Printf.printf "  wrote BENCH_round_stages.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Crypto: 51-bit field rewrite vs the retained seed implementation    *)
+(* ------------------------------------------------------------------ *)
+
+(* Throughput of the rewritten X25519 (5×51-bit limbs) against the
+   retained seed ladder (Curve25519_ref, 16×16-bit limbs), AEAD seal/open
+   throughput, and the end-to-end round cost at jobs ∈ {1, 4} — written
+   to BENCH_crypto.json so the speedup is diffable run-to-run. *)
+let crypto_bench () =
+  section "CRYPTO - 51-bit field vs seed ladder (writes BENCH_crypto.json)";
+  let module T = Vuvuzela_telemetry in
+  let rng = Drbg.of_string "bench-crypto" in
+  let sk, _pk = Drbg.keypair ~rng () in
+  let _peer_sk, peer_pk = Drbg.keypair ~rng () in
+  let ops_per_sec ?(min_s = 0.4) f =
+    for _ = 1 to 16 do
+      f ()
+    done;
+    let t0 = Unix.gettimeofday () in
+    let n = ref 0 in
+    let elapsed = ref 0. in
+    while !elapsed < min_s do
+      for _ = 1 to 32 do
+        f ()
+      done;
+      n := !n + 32;
+      elapsed := Unix.gettimeofday () -. t0
+    done;
+    float_of_int !n /. !elapsed
+  in
+  let x_new =
+    ops_per_sec (fun () ->
+        ignore (Curve25519.scalarmult ~scalar:sk ~point:peer_pk))
+  in
+  let x_ref =
+    ops_per_sec (fun () ->
+        ignore (Curve25519_ref.scalarmult ~scalar:sk ~point:peer_pk))
+  in
+  let x_base = ops_per_sec (fun () -> ignore (Curve25519.scalarmult_base sk)) in
+  let speedup = x_new /. x_ref in
+  Printf.printf "  x25519 (51-bit limbs)   %10.0f ops/s\n" x_new;
+  Printf.printf "  x25519 (seed, 16-bit)   %10.0f ops/s\n" x_ref;
+  Printf.printf "  x25519 fixed-base       %10.0f ops/s\n" x_base;
+  Printf.printf "  speedup %.2fx %s\n" speedup
+    (if speedup >= 3. then "(meets the >=3x target)"
+     else "(BELOW the 3x target)");
+  let key = Drbg.generate rng Aead.key_len in
+  let nonce = Aead.nonce_of ~domain:7 ~counter:1 in
+  let msg = Drbg.generate rng 1024 in
+  let sealed = Aead.seal ~key ~nonce msg in
+  let seal_ops = ops_per_sec (fun () -> ignore (Aead.seal ~key ~nonce msg)) in
+  let open_ops =
+    ops_per_sec (fun () -> ignore (Aead.open_ ~key ~nonce sealed))
+  in
+  let mb ops = ops *. 1024. /. 1e6 in
+  Printf.printf "  aead seal (1 KiB)       %10.1f MB/s\n" (mb seal_ops);
+  Printf.printf "  aead open (1 KiB)       %10.1f MB/s\n" (mb open_ops);
+  (* End-to-end conversation rounds (real crypto, 3 servers, 24 clients)
+     at jobs 1 and 4 — the consumer-visible effect of the field rewrite. *)
+  let round_ms jobs =
+    let net =
+      Network.create ~seed:"bench-crypto-round" ~n_servers:3
+        ~noise:(Laplace.params ~mu:4. ~b:1.)
+        ~dial_noise:(Laplace.params ~mu:1. ~b:1.)
+        ~noise_mode:Noise.Deterministic ~jobs ()
+    in
+    let clients =
+      List.init 24 (fun i ->
+          Network.connect ~seed:(Printf.sprintf "cc%d" i) net)
+    in
+    let rec pair = function
+      | a :: b :: rest ->
+          Client.start_conversation a ~peer_pk:(Client.public_key b);
+          Client.start_conversation b ~peer_pk:(Client.public_key a);
+          pair rest
+      | _ -> ()
+    in
+    pair clients;
+    ignore (Network.run_round net) (* warm-up *);
+    let rounds = 4 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to rounds do
+      ignore (Network.run_round net)
+    done;
+    let dt = (Unix.gettimeofday () -. t0) /. float_of_int rounds in
+    Network.shutdown net;
+    Printf.printf "  round (24 clients)      %10.1f ms at jobs=%d\n"
+      (1000. *. dt) jobs;
+    T.Json.Obj
+      [
+        ("jobs", T.Json.Num (float_of_int jobs));
+        ("ms_per_round", T.Json.Num (1000. *. dt));
+      ]
+  in
+  let rounds = List.map round_ms [ 1; 4 ] in
+  let doc =
+    T.Json.Obj
+      [
+        ("benchmark", T.Json.Str "crypto");
+        ( "x25519",
+          T.Json.Obj
+            [
+              ("ops_per_sec", T.Json.Num x_new);
+              ("seed_ops_per_sec", T.Json.Num x_ref);
+              ("fixed_base_ops_per_sec", T.Json.Num x_base);
+              ("speedup_vs_seed", T.Json.Num speedup);
+            ] );
+        ( "aead_1kib",
+          T.Json.Obj
+            [
+              ("seal_mb_per_sec", T.Json.Num (mb seal_ops));
+              ("open_mb_per_sec", T.Json.Num (mb open_ops));
+            ] );
+        ("round", T.Json.List rounds);
+      ]
+  in
+  let oc = open_out "BENCH_crypto.json" in
+  output_string oc (T.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote BENCH_crypto.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Faults: retry overhead under the round supervisor                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -684,6 +806,7 @@ let () =
   live_round_scaling ();
   parallel_scaling ();
   round_stage_export ();
+  crypto_bench ();
   faults_overhead ();
   workload_summary ();
   line ();

@@ -4,16 +4,18 @@
 
    This is the paper's dominant cost: every onion layer wrap/unwrap is one
    scalar multiplication (§8.2, "each 36-core machine can perform about
-   340,000 Curve25519 Diffie-Hellman operations per second"). *)
+   340,000 Curve25519 Diffie-Hellman operations per second").  The field
+   is the 51-bit-limb Fe25519; the seed ladder is retained verbatim in
+   Curve25519_ref as the differential-testing oracle.
+
+   Two multiplications per ladder step involve a constant: x1 (the input
+   u-coordinate) and (A-2)/4 = 121665.  The 121665 step always uses the
+   small-constant path; scalarmult_base additionally specialises the x1
+   step, since the base point's u-coordinate is just 9 — the fixed-base
+   path every client hits once per round for its ephemeral keys. *)
 
 let key_len = 32
 let scalar_len = 32
-
-let _121665 : Fe25519.t =
-  let a = Fe25519.create () in
-  a.(0) <- 0xdb41;
-  a.(1) <- 1;
-  a
 
 let clamp scalar =
   let z = Bytes.copy scalar in
@@ -21,14 +23,11 @@ let clamp scalar =
   Bytes_util.set_u8 z 31 ((Bytes_util.get_u8 z 31 land 127) lor 64);
   z
 
-let scalarmult ~scalar ~point =
-  if Bytes.length scalar <> scalar_len then
-    invalid_arg "Curve25519: bad scalar length";
-  if Bytes.length point <> key_len then
-    invalid_arg "Curve25519: bad point length";
+(* The ladder proper.  [x] seeds the second ladder point; [mul_x1]
+   multiplies by the input u-coordinate ([mul] by the unpacked point in
+   general, [mul_small] by 9 on the fixed-base path). *)
+let ladder z (x : Fe25519.t) (mul_x1 : Fe25519.t -> Fe25519.t -> unit) =
   let open Fe25519 in
-  let z = clamp scalar in
-  let x = unpack point in
   let a = create ()
   and b = copy x
   and c = create ()
@@ -53,11 +52,11 @@ let scalarmult ~scalar ~point =
     sub a a c;
     square b a;
     sub c d f;
-    mul a c _121665;
+    mul_small a c 121665;
     add a a d;
     mul c c a;
     mul a d f;
-    mul d b x;
+    mul_x1 d b;
     square b e;
     cswap a b r;
     cswap c d r
@@ -68,12 +67,27 @@ let scalarmult ~scalar ~point =
   mul out a inv_c;
   pack out
 
+let scalarmult ~scalar ~point =
+  if Bytes.length scalar <> scalar_len then
+    invalid_arg "Curve25519: bad scalar length";
+  if Bytes.length point <> key_len then
+    invalid_arg "Curve25519: bad point length";
+  let z = clamp scalar in
+  let x = Fe25519.unpack point in
+  ladder z x (fun o b -> Fe25519.mul o b x)
+
 let base_point =
   let b = Bytes.make 32 '\000' in
   Bytes.set b 0 '\x09';
   b
 
-let scalarmult_base scalar = scalarmult ~scalar ~point:base_point
+let scalarmult_base scalar =
+  if Bytes.length scalar <> scalar_len then
+    invalid_arg "Curve25519: bad scalar length";
+  let z = clamp scalar in
+  let x = Fe25519.create () in
+  x.(0) <- 9;
+  ladder z x (fun o b -> Fe25519.mul_small o b 9)
 
 (* Diffie-Hellman: the raw shared point is passed through HKDF before use
    as a symmetric key (see Box), matching best practice. *)

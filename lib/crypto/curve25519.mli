@@ -1,10 +1,13 @@
 (** X25519 Diffie-Hellman scalar multiplication (RFC 7748), pure OCaml
-    (TweetNaCl 16-bit limb schedule).
+    over the 51-bit-limb {!Fe25519} (the seed's 16-bit-limb ladder lives
+    on in {!Curve25519_ref} as the differential-testing oracle).
 
     This is the dominant CPU cost of Vuvuzela's servers (§8.2 of the
     paper); the simulator's cost model is calibrated against this module's
     measured throughput and against the paper's reported 340K ops/s per
-    36-core server. *)
+    36-core server.  [scalarmult_base] — the per-round ephemeral keygen
+    path every client takes — uses a fixed-base ladder that multiplies by
+    the base point's u-coordinate 9 via the small-constant path. *)
 
 val key_len : int
 (** 32. *)

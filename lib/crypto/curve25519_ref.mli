@@ -1,0 +1,13 @@
+(** The seed X25519 ladder over {!Fe25519_ref}, retained as the
+    differential-testing oracle for {!Curve25519}.  Used only by
+    [test/prop/] and the crypto benchmark — never on a production path. *)
+
+val scalarmult : scalar:bytes -> point:bytes -> bytes
+(** X25519(scalar, point), exactly as the seed implementation computed
+    it (the scalar is clamped internally). *)
+
+val base_point : bytes
+(** The u-coordinate 9. *)
+
+val scalarmult_base : bytes -> bytes
+(** Public key from a 32-byte secret. *)

@@ -14,44 +14,27 @@ let signature_len = 64
 
 type point = Fe25519.t array (* 4 coordinates *)
 
-let fe = Fe25519.of_limbs
+(* Curve constants, given as their canonical little-endian encodings so
+   they are independent of Fe25519's limb representation: d, 2d, the base
+   point (X, Y), and I = sqrt(-1).  These bytes are exactly the packed
+   form of TweetNaCl's limb tables (the seed implementation's constants);
+   the property harness re-checks d and I algebraically. *)
+let fe_of_hex h = Fe25519.unpack (Bytes_util.of_hex h)
 
-(* Curve constants (TweetNaCl): d, 2d, and the base point (X, Y);
-   I = sqrt(-1). *)
 let const_d =
-  fe
-    [|
-      0x78a3; 0x1359; 0x4dca; 0x75eb; 0xd8ab; 0x4141; 0x0a4d; 0x0070;
-      0xe898; 0x7779; 0x4079; 0x8cc7; 0xfe73; 0x2b6f; 0x6cee; 0x5203;
-    |]
+  fe_of_hex "a3785913ca4deb75abd841414d0a700098e879777940c78c73fe6f2bee6c0352"
 
 let const_d2 =
-  fe
-    [|
-      0xf159; 0x26b2; 0x9b94; 0xebd6; 0xb156; 0x8283; 0x149a; 0x00e0;
-      0xd130; 0xeef3; 0x80f2; 0x198e; 0xfce7; 0x56df; 0xd9dc; 0x2406;
-    |]
+  fe_of_hex "59f1b226949bd6eb56b183829a14e00030d1f3eef2808e19e7fcdf56dcd90624"
 
 let const_x =
-  fe
-    [|
-      0xd51a; 0x8f25; 0x2d60; 0xc956; 0xa7b2; 0x9525; 0xc760; 0x692c;
-      0xdc5c; 0xfdd6; 0xe231; 0xc0a4; 0x53fe; 0xcd6e; 0x36d3; 0x2169;
-    |]
+  fe_of_hex "1ad5258f602d56c9b2a7259560c72c695cdcd6fd31e2a4c0fe536ecdd3366921"
 
 let const_y =
-  fe
-    [|
-      0x6658; 0x6666; 0x6666; 0x6666; 0x6666; 0x6666; 0x6666; 0x6666;
-      0x6666; 0x6666; 0x6666; 0x6666; 0x6666; 0x6666; 0x6666; 0x6666;
-    |]
+  fe_of_hex "5866666666666666666666666666666666666666666666666666666666666666"
 
 let const_i =
-  fe
-    [|
-      0xa0b0; 0x4a0e; 0x1b27; 0xc4ee; 0xe478; 0xad2f; 0x1806; 0x2f43;
-      0xd7a7; 0x3dfb; 0x0099; 0x2b4d; 0xdf0b; 0x4fc1; 0x2480; 0x2b83;
-    |]
+  fe_of_hex "b0a00e4a271beec478e42fad0618432fa7d7fb3d99004d2b0bdfc14f8024832b"
 
 (* The group order L = 2^252 + 27742317777372353535851937790883648493,
    as 32 little-endian bytes. *)

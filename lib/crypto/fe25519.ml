@@ -1,18 +1,56 @@
-(* Field arithmetic modulo 2^255 - 19, in TweetNaCl's representation:
-   16 limbs of 16 bits in native ints (every intermediate stays far below
-   OCaml's 63-bit limit).  Shared by X25519 (Montgomery ladder) and
-   Ed25519 (Edwards-curve signatures). *)
+(* Field arithmetic modulo 2^255 - 19 on 5 limbs of 51 bits in native
+   OCaml ints (curve25519-donna's radix-2^51 representation), with lazy
+   carries.  Shared by X25519 (Montgomery ladder) and Ed25519
+   (Edwards-curve signatures); this is the hottest code in the system —
+   every onion layer costs one scalar multiplication, i.e. ~2550 calls
+   into [mul]/[square] below.
 
-type t = int array (* 16 limbs *)
+   Representation and carry discipline
+   -----------------------------------
+   A field element is l0 + 2^51 l1 + 2^102 l2 + 2^153 l3 + 2^204 l4 with
+   each limb a nonnegative native int.  Reduced limbs are < 2^51 + 2^15
+   ("carried"); [add] and [sub] are lazy (no carry), so limbs may grow:
 
-let create () = Array.make 16 0
+     - [add] of two carried values     -> limbs < 2^52.2
+     - [sub] of two carried values     -> limbs < 2^53.1 (see below)
+     - [mul]/[square] accept any mix of the above and produce carried
+       limbs again.
+
+   [sub] keeps limbs nonnegative by adding 2p limb-wise (limb 0 of 2p is
+   2^52 - 38, the rest are 2^52 - 2) before subtracting; its SECOND
+   argument must therefore be carried.  Every call site in Curve25519 and
+   Ed25519 satisfies this (subtrahends are always fresh mul/square
+   outputs or constants), and test/prop/ checks the resulting values
+   differentially against the seed implementation (Fe25519_ref).
+
+   Multiplication on 63-bit ints
+   -----------------------------
+   The product of two 51-bit limbs needs 102 bits, which native ints do
+   not have, so [mul]/[square] split each limb at bit 26 and work on ten
+   half-limbs in radix 2^25.5 (ref10's fe10 schedule, weights
+   w(i) = ceil(25.5 i)): the term f_i*g_j lands on half-limb (i+j) mod 10
+   with coefficient 2 when i and j are both odd (w(i)+w(j) = w(i+j)+1)
+   and 19 when i+j >= 10 (2^255 = 19 mod p).  Worst-case accumulators
+   stay below 2^62: with both operands post-[sub] (odd half-limbs
+   < 2^27.1), an output half-limb is bounded by five (odd,odd) terms of
+   38·2^27.1·2^27.1 plus five (even,even) terms of 19·2^26·2^26, about
+   2^61.6.  The interleaved carry chain then rebuilds the five 51-bit
+   limbs.  Differentially tested against Fe25519_ref over thousands of
+   seeded cases (test/prop/prop_fe.ml). *)
+
+type t = int array (* 5 limbs, radix 2^51 *)
+
+let mask51 = (1 lsl 51) - 1
+let mask26 = (1 lsl 26) - 1
+
+let create () = Array.make 5 0
 
 let of_limbs l =
-  if Array.length l <> 16 then invalid_arg "Fe25519.of_limbs";
+  if Array.length l <> 5 then invalid_arg "Fe25519.of_limbs";
   Array.copy l
 
 let copy = Array.copy
-let blit ~src ~dst = Array.blit src 0 dst 0 16
+let blit ~src ~dst = Array.blit src 0 dst 0 5
 
 let zero () = create ()
 
@@ -21,97 +59,283 @@ let one () =
   a.(0) <- 1;
   a
 
-(* Carry propagation; limbs may be negative mid-computation, so shifts
-   are arithmetic. *)
+(* One full reducing pass (arithmetic shifts, so mid-computation negative
+   limbs propagate correctly): afterwards limbs 0 and 2-4 are < 2^51 and
+   limb 1 is < 2^51 + 1.  Iterated by [pack] until fully reduced. *)
 let carry (o : t) =
-  for i = 0 to 15 do
-    o.(i) <- o.(i) + (1 lsl 16);
-    let c = o.(i) asr 16 in
-    if i < 15 then o.(i + 1) <- o.(i + 1) + c - 1
-    else o.(0) <- o.(0) + (38 * (c - 1));
-    o.(i) <- o.(i) - (c lsl 16)
-  done
+  let c = o.(0) asr 51 in
+  o.(0) <- o.(0) - (c lsl 51);
+  o.(1) <- o.(1) + c;
+  let c = o.(1) asr 51 in
+  o.(1) <- o.(1) - (c lsl 51);
+  o.(2) <- o.(2) + c;
+  let c = o.(2) asr 51 in
+  o.(2) <- o.(2) - (c lsl 51);
+  o.(3) <- o.(3) + c;
+  let c = o.(3) asr 51 in
+  o.(3) <- o.(3) - (c lsl 51);
+  o.(4) <- o.(4) + c;
+  let c = o.(4) asr 51 in
+  o.(4) <- o.(4) - (c lsl 51);
+  o.(0) <- o.(0) + (19 * c);
+  let c = o.(0) asr 51 in
+  o.(0) <- o.(0) - (c lsl 51);
+  o.(1) <- o.(1) + c
 
 (* Constant-time conditional swap when b = 1. *)
 let cswap (p : t) (q : t) b =
   let c = lnot (b - 1) in
-  for i = 0 to 15 do
+  for i = 0 to 4 do
     let t = c land (p.(i) lxor q.(i)) in
     p.(i) <- p.(i) lxor t;
     q.(i) <- q.(i) lxor t
   done
 
 let pack (n : t) =
-  let m = create () in
   let t = Array.copy n in
   carry t;
   carry t;
   carry t;
+  (* Limbs are now in [0, 2^51), so the value is < 2^255 < 2p: one
+     conditional subtraction of p = 2^255 - 19 canonicalises (done twice,
+     TweetNaCl-style, out of an abundance of caution — the second pass is
+     a no-op once the value is < p). *)
+  let m = Array.make 5 0 in
   for _ = 0 to 1 do
-    m.(0) <- t.(0) - 0xffed;
-    for i = 1 to 14 do
-      m.(i) <- t.(i) - 0xffff - ((m.(i - 1) asr 16) land 1);
-      m.(i - 1) <- m.(i - 1) land 0xffff
+    m.(0) <- t.(0) - 0x7ffffffffffed;
+    for i = 1 to 4 do
+      m.(i) <- t.(i) - mask51 - ((m.(i - 1) asr 51) land 1);
+      m.(i - 1) <- m.(i - 1) land mask51
     done;
-    m.(15) <- t.(15) - 0x7fff - ((m.(14) asr 16) land 1);
-    let b = (m.(15) asr 16) land 1 in
-    m.(14) <- m.(14) land 0xffff;
+    let b = (m.(4) asr 51) land 1 in
+    m.(4) <- m.(4) land mask51;
+    (* Keep m (the subtracted value) unless the subtraction borrowed. *)
     cswap t m (1 - b)
   done;
   let o = Bytes.create 32 in
-  for i = 0 to 15 do
-    Bytes_util.set_u8 o (2 * i) (t.(i) land 0xff);
-    Bytes_util.set_u8 o ((2 * i) + 1) ((t.(i) lsr 8) land 0xff)
+  for i = 0 to 31 do
+    let bit = 8 * i in
+    let j = bit / 51 in
+    let sh = bit - (51 * j) in
+    let v = t.(j) lsr sh in
+    let v = if sh > 43 && j < 4 then v lor (t.(j + 1) lsl (51 - sh)) else v in
+    Bytes_util.set_u8 o i (v land 0xff)
   done;
   o
 
 let unpack (n : bytes) : t =
   let o = create () in
-  for i = 0 to 15 do
-    o.(i) <-
-      Bytes_util.get_u8 n (2 * i) lor (Bytes_util.get_u8 n ((2 * i) + 1) lsl 8)
+  for i = 0 to 31 do
+    let v = Bytes_util.get_u8 n i in
+    let v = if i = 31 then v land 0x7f else v in
+    let bit = 8 * i in
+    let j = bit / 51 in
+    let sh = bit - (51 * j) in
+    o.(j) <- o.(j) lor ((v lsl sh) land mask51);
+    if sh > 43 && j < 4 then o.(j + 1) <- o.(j + 1) lor (v lsr (51 - sh))
   done;
-  o.(15) <- o.(15) land 0x7fff;
   o
 
 let add (o : t) (a : t) (b : t) =
-  for i = 0 to 15 do
-    o.(i) <- a.(i) + b.(i)
-  done
+  o.(0) <- a.(0) + b.(0);
+  o.(1) <- a.(1) + b.(1);
+  o.(2) <- a.(2) + b.(2);
+  o.(3) <- a.(3) + b.(3);
+  o.(4) <- a.(4) + b.(4)
+
+(* 2p limb-wise; adding it before subtracting keeps limbs nonnegative for
+   any carried subtrahend (see the carry discipline above). *)
+let two_p0 = (1 lsl 52) - 38
+let two_pi = (1 lsl 52) - 2
 
 let sub (o : t) (a : t) (b : t) =
-  for i = 0 to 15 do
-    o.(i) <- a.(i) - b.(i)
-  done
+  o.(0) <- a.(0) + two_p0 - b.(0);
+  o.(1) <- a.(1) + two_pi - b.(1);
+  o.(2) <- a.(2) + two_pi - b.(2);
+  o.(3) <- a.(3) + two_pi - b.(3);
+  o.(4) <- a.(4) + two_pi - b.(4)
 
-(* Schoolbook multiply with 2^256 = 38 (mod p) folding.  The temporary is
-   preallocated per call site via TLS-free simple allocation; profiling
-   showed allocation is not the bottleneck (the 256 multiplies are). *)
+(* Carry the ten radix-2^25.5 accumulators and recombine them into five
+   51-bit limbs of [o].  Shared by [mul], [square], and [mul_small]. *)
+let reduce10 (o : t) h0 h1 h2 h3 h4 h5 h6 h7 h8 h9 =
+  let c = h0 asr 26 in
+  let h0 = h0 - (c lsl 26) and h1 = h1 + c in
+  let c = h1 asr 25 in
+  let h1 = h1 - (c lsl 25) and h2 = h2 + c in
+  let c = h2 asr 26 in
+  let h2 = h2 - (c lsl 26) and h3 = h3 + c in
+  let c = h3 asr 25 in
+  let h3 = h3 - (c lsl 25) and h4 = h4 + c in
+  let c = h4 asr 26 in
+  let h4 = h4 - (c lsl 26) and h5 = h5 + c in
+  let c = h5 asr 25 in
+  let h5 = h5 - (c lsl 25) and h6 = h6 + c in
+  let c = h6 asr 26 in
+  let h6 = h6 - (c lsl 26) and h7 = h7 + c in
+  let c = h7 asr 25 in
+  let h7 = h7 - (c lsl 25) and h8 = h8 + c in
+  let c = h8 asr 26 in
+  let h8 = h8 - (c lsl 26) and h9 = h9 + c in
+  let c = h9 asr 25 in
+  let h9 = h9 - (c lsl 25) and h0 = h0 + (19 * c) in
+  let c = h0 asr 26 in
+  let h0 = h0 - (c lsl 26) and h1 = h1 + c in
+  o.(0) <- h0 lor (h1 lsl 26);
+  o.(1) <- h2 lor (h3 lsl 26);
+  o.(2) <- h4 lor (h5 lsl 26);
+  o.(3) <- h6 lor (h7 lsl 26);
+  o.(4) <- h8 lor (h9 lsl 26)
+
 let mul (o : t) (a : t) (b : t) =
-  let t = Array.make 31 0 in
-  for i = 0 to 15 do
-    let ai = a.(i) in
-    for j = 0 to 15 do
-      t.(i + j) <- t.(i + j) + (ai * b.(j))
-    done
-  done;
-  for i = 0 to 14 do
-    t.(i) <- t.(i) + (38 * t.(i + 16))
-  done;
-  Array.blit t 0 o 0 16;
-  carry o;
-  carry o
+  (* Split into half-limbs (arithmetic shift: a negative limb yields a
+     negative high half and a nonnegative low half, which the signed
+     accumulators absorb). *)
+  let a0 = a.(0) and a1 = a.(1) and a2 = a.(2) and a3 = a.(3) and a4 = a.(4) in
+  let b0 = b.(0) and b1 = b.(1) and b2 = b.(2) and b3 = b.(3) and b4 = b.(4) in
+  let f0 = a0 land mask26 and f1 = a0 asr 26 in
+  let f2 = a1 land mask26 and f3 = a1 asr 26 in
+  let f4 = a2 land mask26 and f5 = a2 asr 26 in
+  let f6 = a3 land mask26 and f7 = a3 asr 26 in
+  let f8 = a4 land mask26 and f9 = a4 asr 26 in
+  let g0 = b0 land mask26 and g1 = b0 asr 26 in
+  let g2 = b1 land mask26 and g3 = b1 asr 26 in
+  let g4 = b2 land mask26 and g5 = b2 asr 26 in
+  let g6 = b3 land mask26 and g7 = b3 asr 26 in
+  let g8 = b4 land mask26 and g9 = b4 asr 26 in
+  let f1_2 = 2 * f1 and f3_2 = 2 * f3 and f5_2 = 2 * f5 and f7_2 = 2 * f7 in
+  let f9_2 = 2 * f9 in
+  let g1_19 = 19 * g1 and g2_19 = 19 * g2 and g3_19 = 19 * g3 in
+  let g4_19 = 19 * g4 and g5_19 = 19 * g5 and g6_19 = 19 * g6 in
+  let g7_19 = 19 * g7 and g8_19 = 19 * g8 and g9_19 = 19 * g9 in
+  let h0 =
+    (f0 * g0) + (f1_2 * g9_19) + (f2 * g8_19) + (f3_2 * g7_19)
+    + (f4 * g6_19) + (f5_2 * g5_19) + (f6 * g4_19) + (f7_2 * g3_19)
+    + (f8 * g2_19) + (f9_2 * g1_19)
+  in
+  let h1 =
+    (f0 * g1) + (f1 * g0) + (f2 * g9_19) + (f3 * g8_19) + (f4 * g7_19)
+    + (f5 * g6_19) + (f6 * g5_19) + (f7 * g4_19) + (f8 * g3_19)
+    + (f9 * g2_19)
+  in
+  let h2 =
+    (f0 * g2) + (f1_2 * g1) + (f2 * g0) + (f3_2 * g9_19) + (f4 * g8_19)
+    + (f5_2 * g7_19) + (f6 * g6_19) + (f7_2 * g5_19) + (f8 * g4_19)
+    + (f9_2 * g3_19)
+  in
+  let h3 =
+    (f0 * g3) + (f1 * g2) + (f2 * g1) + (f3 * g0) + (f4 * g9_19)
+    + (f5 * g8_19) + (f6 * g7_19) + (f7 * g6_19) + (f8 * g5_19)
+    + (f9 * g4_19)
+  in
+  let h4 =
+    (f0 * g4) + (f1_2 * g3) + (f2 * g2) + (f3_2 * g1) + (f4 * g0)
+    + (f5_2 * g9_19) + (f6 * g8_19) + (f7_2 * g7_19) + (f8 * g6_19)
+    + (f9_2 * g5_19)
+  in
+  let h5 =
+    (f0 * g5) + (f1 * g4) + (f2 * g3) + (f3 * g2) + (f4 * g1) + (f5 * g0)
+    + (f6 * g9_19) + (f7 * g8_19) + (f8 * g7_19) + (f9 * g6_19)
+  in
+  let h6 =
+    (f0 * g6) + (f1_2 * g5) + (f2 * g4) + (f3_2 * g3) + (f4 * g2)
+    + (f5_2 * g1) + (f6 * g0) + (f7_2 * g9_19) + (f8 * g8_19)
+    + (f9_2 * g7_19)
+  in
+  let h7 =
+    (f0 * g7) + (f1 * g6) + (f2 * g5) + (f3 * g4) + (f4 * g3) + (f5 * g2)
+    + (f6 * g1) + (f7 * g0) + (f8 * g9_19) + (f9 * g8_19)
+  in
+  let h8 =
+    (f0 * g8) + (f1_2 * g7) + (f2 * g6) + (f3_2 * g5) + (f4 * g4)
+    + (f5_2 * g3) + (f6 * g2) + (f7_2 * g1) + (f8 * g0) + (f9_2 * g9_19)
+  in
+  let h9 =
+    (f0 * g9) + (f1 * g8) + (f2 * g7) + (f3 * g6) + (f4 * g5) + (f5 * g4)
+    + (f6 * g3) + (f7 * g2) + (f8 * g1) + (f9 * g0)
+  in
+  reduce10 o h0 h1 h2 h3 h4 h5 h6 h7 h8 h9
 
-let square (o : t) (a : t) = mul o a a
+(* Dedicated squaring: the symmetric terms collapse 100 half-limb
+   products to 55 (ref10's fe_sq schedule).  The Montgomery ladder does
+   four squarings per scalar bit and [invert] does 254 in a row, so this
+   is worth the duplication. *)
+let square (o : t) (a : t) =
+  let a0 = a.(0) and a1 = a.(1) and a2 = a.(2) and a3 = a.(3) and a4 = a.(4) in
+  let f0 = a0 land mask26 and f1 = a0 asr 26 in
+  let f2 = a1 land mask26 and f3 = a1 asr 26 in
+  let f4 = a2 land mask26 and f5 = a2 asr 26 in
+  let f6 = a3 land mask26 and f7 = a3 asr 26 in
+  let f8 = a4 land mask26 and f9 = a4 asr 26 in
+  let f0_2 = 2 * f0 and f1_2 = 2 * f1 and f2_2 = 2 * f2 and f3_2 = 2 * f3 in
+  let f4_2 = 2 * f4 and f5_2 = 2 * f5 and f6_2 = 2 * f6 and f7_2 = 2 * f7 in
+  let f5_38 = 38 * f5 and f6_19 = 19 * f6 and f7_38 = 38 * f7 in
+  let f8_19 = 19 * f8 and f9_38 = 38 * f9 in
+  let h0 =
+    (f0 * f0) + (f1_2 * f9_38) + (f2_2 * f8_19) + (f3_2 * f7_38)
+    + (f4_2 * f6_19) + (f5 * f5_38)
+  in
+  let h1 =
+    (f0_2 * f1) + (f2 * f9_38) + (f3_2 * f8_19) + (f4 * f7_38)
+    + (f5_2 * f6_19)
+  in
+  let h2 =
+    (f0_2 * f2) + (f1_2 * f1) + (f3_2 * f9_38) + (f4_2 * f8_19)
+    + (f5_2 * f7_38) + (f6 * f6_19)
+  in
+  let h3 =
+    (f0_2 * f3) + (f1_2 * f2) + (f4 * f9_38) + (f5_2 * f8_19) + (f6 * f7_38)
+  in
+  let h4 =
+    (f0_2 * f4) + (f1_2 * f3_2) + (f2 * f2) + (f5_2 * f9_38)
+    + (f6_2 * f8_19) + (f7 * f7_38)
+  in
+  let h5 =
+    (f0_2 * f5) + (f1_2 * f4) + (f2_2 * f3) + (f6 * f9_38) + (f7_2 * f8_19)
+  in
+  let h6 =
+    (f0_2 * f6) + (f1_2 * f5_2) + (f2_2 * f4) + (f3_2 * f3)
+    + (f7_2 * f9_38) + (f8 * f8_19)
+  in
+  let h7 =
+    (f0_2 * f7) + (f1_2 * f6) + (f2_2 * f5) + (f3_2 * f4) + (f8 * f9_38)
+  in
+  let h8 =
+    (f0_2 * f8) + (f1_2 * f7_2) + (f2_2 * f6) + (f3_2 * f5_2) + (f4 * f4)
+    + (f9 * f9_38)
+  in
+  let h9 =
+    (f0_2 * f9) + (f1_2 * f8) + (f2_2 * f7) + (f3_2 * f6) + (f4_2 * f5)
+  in
+  reduce10 o h0 h1 h2 h3 h4 h5 h6 h7 h8 h9
 
-(* Inversion by Fermat: a^(p-2). *)
+(* Multiply by a small nonnegative constant (c < 2^17 covers both users:
+   the curve constant 121665 = (A-2)/4 and the base-point u-coordinate
+   9).  A direct limb product could reach 2^54 * 2^17 = 2^71, so this
+   also goes through half-limbs. *)
+let mul_small (o : t) (a : t) c =
+  let a0 = a.(0) and a1 = a.(1) and a2 = a.(2) and a3 = a.(3) and a4 = a.(4) in
+  reduce10 o
+    ((a0 land mask26) * c)
+    ((a0 asr 26) * c)
+    ((a1 land mask26) * c)
+    ((a1 asr 26) * c)
+    ((a2 land mask26) * c)
+    ((a2 asr 26) * c)
+    ((a3 land mask26) * c)
+    ((a3 asr 26) * c)
+    ((a4 land mask26) * c)
+    ((a4 asr 26) * c)
+
+(* Inversion by Fermat: a^(p-2).  Same square-and-multiply schedule as
+   the seed implementation (p-2 has zero bits only at positions 2 and
+   4). *)
 let invert (o : t) (i : t) =
   let c = Array.copy i in
   for a = 253 downto 0 do
     square c c;
     if a <> 2 && a <> 4 then mul c c i
   done;
-  Array.blit c 0 o 0 16
+  Array.blit c 0 o 0 5
 
 (* a^((p-5)/8), the square-root helper used when decompressing Edwards
    points (RFC 8032 §5.1.3). *)
@@ -121,7 +345,7 @@ let pow2523 (o : t) (i : t) =
     square c c;
     if a <> 1 then mul c c i
   done;
-  Array.blit c 0 o 0 16
+  Array.blit c 0 o 0 5
 
 (* Parity of the canonical representation. *)
 let parity (a : t) = Bytes_util.get_u8 (pack a) 0 land 1

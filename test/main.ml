@@ -10,6 +10,7 @@ let () =
       Test_client.suite;
       Test_multiconv.suite;
       Test_network.suite;
+      Test_transcript.suite;
       Test_ratchet.suite;
       Test_certified.suite;
       Test_infra.suite;

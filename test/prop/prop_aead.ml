@@ -1,0 +1,166 @@
+(* ChaCha20-Poly1305 boundary tests: empty AAD, empty plaintext, and
+   lengths crossing the 64-byte block boundary (63/64/65), round-tripped
+   through the raw AEAD, through Box (X25519 + HKDF key agreement over
+   the rewritten field), and through full onion seal/open. *)
+
+open Vuvuzela_crypto
+open Vuvuzela_mixnet
+
+(* The block-boundary plaintext lengths; 0 also covers the empty
+   plaintext requirement. *)
+let boundary_lens = [ 0; 1; 63; 64; 65; 128; 257 ]
+
+let gen_material rng =
+  let key = Drbg.generate rng Aead.key_len in
+  let nonce = Drbg.generate rng Aead.nonce_len in
+  let aad = Drbg.generate rng 24 in
+  let big = Drbg.generate rng 257 in
+  (key, nonce, aad, big)
+
+let run () =
+  Prop.suite "chacha20-poly1305 boundaries (aead / box / onion)";
+  Prop.check ~name:"aead roundtrip at block boundaries" ~count:100
+    gen_material (fun (key, nonce, aad, big) ->
+      List.iter
+        (fun len ->
+          let pt = Bytes.sub big 0 len in
+          List.iter
+            (fun aad ->
+              let ct = Aead.seal ~key ~nonce ~aad pt in
+              Prop.require
+                (Bytes.length ct = len + Aead.tag_len)
+                "len %d: ciphertext length %d, want %d" len (Bytes.length ct)
+                (len + Aead.tag_len);
+              match Aead.open_ ~key ~nonce ~aad ct with
+              | Some pt' ->
+                  Prop.require (Bytes.equal pt pt')
+                    "len %d (aad %d): roundtrip mismatch" len
+                    (Bytes.length aad)
+              | None ->
+                  Prop.fail "len %d (aad %d): authentic message rejected" len
+                    (Bytes.length aad))
+            [ Bytes.empty; aad ])
+        boundary_lens);
+  Prop.check ~name:"aead tamper/aad-swap rejection" ~count:100 gen_material
+    (fun (key, nonce, aad, big) ->
+      List.iter
+        (fun len ->
+          let pt = Bytes.sub big 0 len in
+          let ct = Aead.seal ~key ~nonce ~aad pt in
+          (* flip one bit — in the tag when the ciphertext is empty *)
+          let pos = if len = 0 then Bytes.length ct - 1 else 0 in
+          let bad = Bytes.copy ct in
+          Bytes_util.set_u8 bad pos (Bytes_util.get_u8 bad pos lxor 1);
+          Prop.require
+            (Aead.open_ ~key ~nonce ~aad bad = None)
+            "len %d: tampered ciphertext accepted" len;
+          Prop.require
+            (Aead.open_ ~key ~nonce ~aad:Bytes.empty ct = None)
+            "len %d: AAD stripped yet accepted" len)
+        [ 0; 63; 64; 65 ]);
+  Prop.check ~name:"box roundtrip at block boundaries" ~count:50
+    (fun rng ->
+      let ska, pka = Drbg.keypair ~rng () in
+      let skb, pkb = Drbg.keypair ~rng () in
+      let aad = Drbg.generate rng 16 in
+      let big = Drbg.generate rng 257 in
+      (ska, pka, skb, pkb, aad, big))
+    (fun (ska, pka, skb, pkb, aad, big) ->
+      (* Both DH directions must agree on the precomputed key: this is
+         the first consumer of the 51-bit shared-secret path. *)
+      let kab = Box.precompute ~secret:ska ~public:pkb in
+      let kba = Box.precompute ~secret:skb ~public:pka in
+      Prop.check_hex ~what:"precompute symmetry"
+        (Bytes_util.to_hex kab) (Bytes_util.to_hex kba);
+      List.iteri
+        (fun i len ->
+          let pt = Bytes.sub big 0 len in
+          let nonce = Aead.nonce_of ~domain:0x0b0b ~counter:i in
+          List.iter
+            (fun aad ->
+              let ct = Box.seal ~key:kab ~nonce ~aad pt in
+              match Box.open_ ~key:kba ~nonce ~aad ct with
+              | Some pt' ->
+                  Prop.require (Bytes.equal pt pt')
+                    "box len %d: roundtrip mismatch" len
+              | None -> Prop.fail "box len %d: authentic message rejected" len)
+            [ Bytes.empty; aad ])
+        boundary_lens);
+  Prop.check ~name:"sealed box (invitations) boundaries" ~count:50
+    (fun rng ->
+      let sk, pk = Drbg.keypair ~rng () in
+      let big = Drbg.generate rng 128 in
+      (rng, sk, pk, big))
+    (fun (rng, sk, pk, big) ->
+      List.iter
+        (fun len ->
+          let pt = Bytes.sub big 0 len in
+          let ct = Box.seal_anonymous ~rng ~recipient_pk:pk pt in
+          Prop.require
+            (Bytes.length ct = len + Box.anonymous_overhead)
+            "sealed box len %d: overhead %d, want %d" len
+            (Bytes.length ct - len)
+            Box.anonymous_overhead;
+          match Box.open_anonymous ~recipient_sk:sk ~recipient_pk:pk ct with
+          | Some pt' ->
+              Prop.require (Bytes.equal pt pt')
+                "sealed box len %d: roundtrip mismatch" len
+          | None -> Prop.fail "sealed box len %d: rejected" len)
+        [ 0; 1; 63; 64; 65 ]);
+  (* Full onion path over a 3-server chain: wrap, peel at each hop,
+     seal the reply back up, unwrap at the client. *)
+  Prop.check ~name:"onion wrap/peel/reply at boundaries" ~count:25
+    (fun rng ->
+      let servers = Array.init 3 (fun _ -> Drbg.keypair ~rng ()) in
+      let big = Drbg.generate rng 257 in
+      (rng, servers, big))
+    (fun (rng, servers, big) ->
+      let server_pks = Array.to_list (Array.map snd servers) in
+      List.iter
+        (fun len ->
+          let payload = Bytes.sub big 0 len in
+          let round = 41 + len in
+          let { Onion.onion; secrets } =
+            Onion.wrap ~rng ~server_pks ~round payload
+          in
+          Prop.require
+            (Bytes.length onion
+            = Onion.request_size ~chain_len:3 ~payload_len:len)
+            "onion len %d: request size %d" len (Bytes.length onion);
+          (* peel through the chain *)
+          let inner = ref onion in
+          let layer_secrets = ref [] in
+          Array.iteri
+            (fun hop (sk, _) ->
+              match Onion.peel ~server_sk:sk ~round !inner with
+              | Some (next, secret) ->
+                  inner := next;
+                  layer_secrets := (hop, secret) :: !layer_secrets
+              | None -> Prop.fail "onion len %d: hop %d failed to peel" len hop)
+            servers;
+          Prop.require
+            (Bytes.equal !inner payload)
+            "onion len %d: innermost payload mismatch" len;
+          (* each stored secret must match what peel recovered *)
+          List.iter
+            (fun (hop, secret) ->
+              Prop.require
+                (Bytes.equal secret secrets.(hop))
+                "onion len %d: hop %d secret mismatch" len hop)
+            !layer_secrets;
+          (* reply path: last server seals first, then back down the chain *)
+          let reply = ref !inner in
+          for hop = 2 downto 0 do
+            reply := Onion.seal_reply ~secret:secrets.(hop) ~round !reply
+          done;
+          (match Onion.unwrap_reply ~secrets ~round !reply with
+          | Some pt ->
+              Prop.require (Bytes.equal pt payload)
+                "onion len %d: reply roundtrip mismatch" len
+          | None -> Prop.fail "onion len %d: reply rejected" len);
+          (* a peel under the wrong round must fail closed *)
+          Prop.require
+            (Onion.peel ~server_sk:(fst servers.(0)) ~round:(round + 1) onion
+            = None)
+            "onion len %d: wrong-round peel accepted" len)
+        [ 0; 1; 63; 64; 65 ])

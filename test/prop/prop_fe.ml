@@ -1,0 +1,113 @@
+(* Differential field suites: every Fe25519 (5×51-bit limbs) operation is
+   checked against the retained seed implementation Fe25519_ref
+   (TweetNaCl 16×16-bit limbs) over ≥1000 seeded cases per op.  Both
+   sides unpack the same 32-byte encoding, apply the same op, and must
+   pack to identical canonical bytes. *)
+
+open Vuvuzela_crypto
+
+let hex = Bytes_util.to_hex
+
+(* Apply [op_new]/[op_ref] to the same encodings and compare packings. *)
+let differential2 ~what op_new op_ref (ba, bb) =
+  let o = Fe25519.create () in
+  op_new o (Fe25519.unpack ba) (Fe25519.unpack bb);
+  let o' = Fe25519_ref.create () in
+  op_ref o' (Fe25519_ref.unpack ba) (Fe25519_ref.unpack bb);
+  Prop.check_hex
+    ~what:(Printf.sprintf "%s(%s, %s)" what (hex ba) (hex bb))
+    (hex (Fe25519_ref.pack o'))
+    (hex (Fe25519.pack o))
+
+let differential1 ~what op_new op_ref ba =
+  let o = Fe25519.create () in
+  op_new o (Fe25519.unpack ba);
+  let o' = Fe25519_ref.create () in
+  op_ref o' (Fe25519_ref.unpack ba);
+  Prop.check_hex
+    ~what:(Printf.sprintf "%s(%s)" what (hex ba))
+    (hex (Fe25519_ref.pack o'))
+    (hex (Fe25519.pack o))
+
+let gen2 = Prop.(gen_pair gen_fe_bytes gen_fe_bytes)
+
+let run () =
+  Prop.suite "fe25519 (51-bit limbs) vs fe25519_ref (seed, 16-bit limbs)";
+  Prop.check ~name:"fe add" gen2
+    (differential2 ~what:"add" Fe25519.add Fe25519_ref.add);
+  Prop.check ~name:"fe sub" gen2
+    (differential2 ~what:"sub" Fe25519.sub Fe25519_ref.sub);
+  Prop.check ~name:"fe mul" gen2
+    (differential2 ~what:"mul" Fe25519.mul Fe25519_ref.mul);
+  Prop.check ~name:"fe square" Prop.gen_fe_bytes
+    (differential1 ~what:"square" Fe25519.square Fe25519_ref.square);
+  Prop.check ~name:"fe invert" Prop.gen_fe_bytes
+    (differential1 ~what:"invert" Fe25519.invert Fe25519_ref.invert);
+  Prop.check ~name:"fe pow2523" Prop.gen_fe_bytes
+    (differential1 ~what:"pow2523" Fe25519.pow2523 Fe25519_ref.pow2523);
+  (* mul by the ladder's small constants must equal the general mul. *)
+  Prop.check ~name:"fe mul_small = mul (121665, 9)" Prop.gen_fe_bytes
+    (fun ba ->
+      List.iter
+        (fun c ->
+          let k = Bytes.make 32 '\000' in
+          Bytes_util.set_u8 k 0 (c land 0xff);
+          Bytes_util.set_u8 k 1 ((c lsr 8) land 0xff);
+          Bytes_util.set_u8 k 2 ((c lsr 16) land 0xff);
+          let o = Fe25519.create () and m = Fe25519.create () in
+          Fe25519.mul_small o (Fe25519.unpack ba) c;
+          Fe25519.mul m (Fe25519.unpack ba) (Fe25519.unpack k);
+          Prop.check_hex
+            ~what:(Printf.sprintf "mul_small(%s, %d)" (hex ba) c)
+            (hex (Fe25519.pack m))
+            (hex (Fe25519.pack o)))
+        [ 121665; 9; 1; 0 ]);
+  (* to/from bytes: unpack·pack agrees with the oracle and is canonical
+     (packing is idempotent even for non-canonical encodings >= p). *)
+  Prop.check ~name:"fe pack/unpack canonicality" Prop.gen_fe_bytes (fun ba ->
+      let p_new = Fe25519.pack (Fe25519.unpack ba) in
+      let p_ref = Fe25519_ref.pack (Fe25519_ref.unpack ba) in
+      Prop.check_hex
+        ~what:(Printf.sprintf "pack(unpack %s)" (hex ba))
+        (hex p_ref) (hex p_new);
+      Prop.check_hex
+        ~what:(Printf.sprintf "pack idempotent on %s" (hex ba))
+        (hex p_new)
+        (hex (Fe25519.pack (Fe25519.unpack p_new))));
+  (* The lazy-carry path: add/sub results are packed without an explicit
+     carry, exercising pack's reduction of unreduced limbs; parity and
+     equal must agree with the oracle on those values too. *)
+  Prop.check ~name:"fe parity/equal on lazy values" gen2 (fun (ba, bb) ->
+      let s = Fe25519.create () in
+      Fe25519.add s (Fe25519.unpack ba) (Fe25519.unpack bb);
+      let s' = Fe25519_ref.create () in
+      Fe25519_ref.add s' (Fe25519_ref.unpack ba) (Fe25519_ref.unpack bb);
+      Prop.require
+        (Fe25519.parity s = Fe25519_ref.parity s')
+        "parity(add %s %s): new %d, ref %d" (hex ba) (hex bb)
+        (Fe25519.parity s) (Fe25519_ref.parity s');
+      Prop.require
+        (Fe25519.equal s (Fe25519.unpack (Fe25519_ref.pack s')))
+        "equal disagrees with oracle pack on add(%s, %s)" (hex ba) (hex bb));
+  (* Aliased outputs (o == a, o == b, and both) are allowed everywhere;
+     the ladder relies on this. *)
+  Prop.check ~name:"fe aliasing (o = a, o = b, o = a = b)" gen2
+    (fun (ba, bb) ->
+      let expect op =
+        let o = Fe25519.create () in
+        op o (Fe25519.unpack ba) (Fe25519.unpack bb);
+        hex (Fe25519.pack o)
+      in
+      let m = expect Fe25519.mul in
+      let x = Fe25519.unpack ba in
+      Fe25519.mul x x (Fe25519.unpack bb);
+      Prop.check_hex ~what:"mul o=a" m (hex (Fe25519.pack x));
+      let y = Fe25519.unpack bb in
+      Fe25519.mul y (Fe25519.unpack ba) y;
+      Prop.check_hex ~what:"mul o=b" m (hex (Fe25519.pack y));
+      let z = Fe25519.unpack ba in
+      Fe25519.square z z;
+      let s = Fe25519.create () in
+      Fe25519.square s (Fe25519.unpack ba);
+      Prop.check_hex ~what:"square o=a" (hex (Fe25519.pack s))
+        (hex (Fe25519.pack z)))

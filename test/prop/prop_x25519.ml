@@ -1,0 +1,113 @@
+(* X25519: full-ladder differential agreement against the seed
+   implementation, plus Wycheproof-style edge-case vectors and the
+   RFC 7748 iterated test. *)
+
+open Vuvuzela_crypto
+
+let hex = Bytes_util.to_hex
+let of_hex = Bytes_util.of_hex
+
+(* The seven low-order points of Curve25519 (libsodium's blacklist):
+   u = 0, u = 1, the two order-8 points, and the non-canonical encodings
+   p - 1, p, p + 1.  A clamped scalar is ≡ 0 (mod 8), so the ladder maps
+   every one of them to the neutral element, encoded as all zeros. *)
+let low_order_points =
+  [
+    "0000000000000000000000000000000000000000000000000000000000000000";
+    "0100000000000000000000000000000000000000000000000000000000000000";
+    "e0eb7a7c3b41b8ae1656e3faf19fc46ada098deb9c32b1fd866205165f49b800";
+    "5f9c95bca3508c24b1d0b1559c83ef5b04445cc4581c8e86d8224eddd09f1157";
+    "ecffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f";
+    "edffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f";
+    "eeffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f";
+  ]
+
+let run () =
+  Prop.suite "x25519 (51-bit ladder) vs curve25519_ref (seed ladder)";
+  (* ≥200 full ladder agreements over arbitrary scalar/point bytes. *)
+  Prop.check ~name:"x25519 ladder agreement" ~count:200
+    Prop.(gen_pair (gen_bytes 32) (gen_bytes 32))
+    (fun (scalar, point) ->
+      Prop.check_hex
+        ~what:
+          (Printf.sprintf "scalarmult(%s, %s)" (hex scalar) (hex point))
+        (hex (Curve25519_ref.scalarmult ~scalar ~point))
+        (hex (Curve25519.scalarmult ~scalar ~point)));
+  (* The fixed-base (keygen) path must agree with both the reference
+     ladder and our own variable-base ladder. *)
+  Prop.check ~name:"x25519 fixed-base = ref and general" ~count:100
+    (Prop.gen_bytes 32) (fun scalar ->
+      let fixed = Curve25519.scalarmult_base scalar in
+      Prop.check_hex
+        ~what:(Printf.sprintf "scalarmult_base(%s) vs ref" (hex scalar))
+        (hex (Curve25519_ref.scalarmult_base scalar))
+        (hex fixed);
+      Prop.check_hex
+        ~what:(Printf.sprintf "scalarmult_base(%s) vs general" (hex scalar))
+        (hex
+           (Curve25519.scalarmult ~scalar ~point:Curve25519.base_point))
+        (hex fixed));
+  (* Wycheproof-style edges. *)
+  Prop.check ~name:"low-order points map to zero" ~count:25
+    (Prop.gen_bytes 32) (fun scalar ->
+      List.iter
+        (fun p_hex ->
+          let point = of_hex p_hex in
+          let out = Curve25519.scalarmult ~scalar ~point in
+          Prop.require
+            (Bytes.equal out (Bytes.make 32 '\000'))
+            "low-order point %s did not map to zero (got %s)" p_hex
+            (hex out);
+          Prop.check_hex
+            ~what:(Printf.sprintf "ref agrees on low-order %s" p_hex)
+            (hex (Curve25519_ref.scalarmult ~scalar ~point))
+            (hex out))
+        low_order_points);
+  Prop.check ~name:"u-coordinate high bit is masked" ~count:100
+    Prop.(gen_pair (gen_bytes 32) (gen_bytes 32))
+    (fun (scalar, point) ->
+      let masked = Bytes.copy point in
+      Bytes_util.set_u8 masked 31 (Bytes_util.get_u8 masked 31 land 0x7f);
+      let set = Bytes.copy point in
+      Bytes_util.set_u8 set 31 (Bytes_util.get_u8 set 31 lor 0x80);
+      Prop.check_hex
+        ~what:(Printf.sprintf "high bit ignored on %s" (hex point))
+        (hex (Curve25519.scalarmult ~scalar ~point:masked))
+        (hex (Curve25519.scalarmult ~scalar ~point:set)));
+  (* Non-canonical encodings: u and u + p encode the same field element
+     (for u < 19, u + p still fits in 255 bits). *)
+  Prop.check ~name:"non-canonical u (u vs u + p)" ~count:100
+    (Prop.gen_bytes 33) (fun b ->
+      let scalar = Bytes.sub b 0 32 in
+      let u = Bytes_util.get_u8 b 32 mod 19 in
+      let canonical = Bytes.make 32 '\000' in
+      Bytes_util.set_u8 canonical 0 u;
+      (* u + p = u - 19 + 2^255 *)
+      let shifted = Bytes.make 32 '\xff' in
+      Bytes_util.set_u8 shifted 0 (0xed + u);
+      Bytes_util.set_u8 shifted 31 0x7f;
+      Prop.check_hex
+        ~what:(Printf.sprintf "u=%d vs u+p" u)
+        (hex (Curve25519.scalarmult ~scalar ~point:canonical))
+        (hex (Curve25519.scalarmult ~scalar ~point:shifted)));
+  (* RFC 7748 §5.2 iterated vector, 1000 iterations (on the fast
+     implementation; the alcotest suite keeps its own copy). *)
+  Prop.vector ~name:"rfc7748 iterated ladder (1k)" (fun () ->
+      let k =
+        ref
+          (of_hex
+             "0900000000000000000000000000000000000000000000000000000000000000")
+      in
+      let u = ref !k in
+      for i = 1 to 1000 do
+        let r = Curve25519.scalarmult ~scalar:!k ~point:!u in
+        u := !k;
+        k := r;
+        if i = 1 then
+          Prop.check_hex ~what:"after 1 iteration"
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"
+            (hex !k)
+      done;
+      Prop.check_hex ~what:"after 1000 iterations"
+        "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51"
+        (hex !k))

@@ -789,7 +789,212 @@ let workload_summary () =
   Format.printf "  stress mix (churn+outages),   20 rounds: %a@."
     Vuvuzela_sim.Workload.pp_summary st
 
+(* ------------------------------------------------------------------ *)
+(* Transport: in-process chain vs real loopback-TCP daemons            *)
+(* ------------------------------------------------------------------ *)
+
+(* What the multi-process deployment costs over function calls: the same
+   seeded rounds through 3 [vuvuzela-server] daemons on 127.0.0.1 —
+   framing, syscalls and loopback hops included — at jobs ∈ {1, 4},
+   plus how long the supervisor takes to recover from the middle server
+   being SIGKILLed and restarted (the reconnect storm).  Daemons are
+   separate processes via [create_process] (never [fork]: this process
+   has spawned domains by now). *)
+let transport_bench () =
+  section "TRANSPORT - in-process vs loopback TCP (writes BENCH_transport.json)";
+  let module T = Vuvuzela_telemetry in
+  let module Addr = Vuvuzela_transport.Addr in
+  let sockets_allowed () =
+    match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error _ -> false
+    | fd -> (
+        match Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0)) with
+        | () -> Unix.close fd; true
+        | exception Unix.Unix_error _ -> Unix.close fd; false)
+  in
+  let server_bin =
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      "bin/server_main.exe"
+  in
+  if not (sockets_allowed ()) then
+    Printf.printf "  skipped: sandbox forbids loopback sockets\n"
+  else if not (Sys.file_exists server_bin) then
+    Printf.printf "  skipped: %s not built (run dune build first)\n" server_bin
+  else begin
+    let n_clients = 24 and rounds = 6 in
+    let noise = Laplace.params ~mu:4. ~b:1. in
+    let dial_noise = Laplace.params ~mu:1. ~b:1. in
+    let free_port () =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      let port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> assert false
+      in
+      Unix.close fd;
+      port
+    in
+    let spawn_daemon ~jobs ~seed ~ports index =
+      let args =
+        [| server_bin; "--listen"; Printf.sprintf ":%d" ports.(index);
+           "--index"; string_of_int index; "--chain-len"; "3";
+           "--seed"; seed; "--mu"; "4"; "--noise-b"; "1";
+           "--dial-mu"; "1"; "--dial-b"; "1"; "--deterministic-noise";
+           "--jobs"; string_of_int jobs; "--quiet" |]
+      in
+      let args =
+        if index = 2 then args
+        else
+          Array.append args
+            [| "--next"; Printf.sprintf ":%d" ports.(index + 1) |]
+      in
+      Unix.create_process server_bin args Unix.stdin Unix.stdout Unix.stderr
+    in
+    let stop_pid pid =
+      let deadline = Unix.gettimeofday () +. 3.0 in
+      let rec wait () =
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ ->
+            if Unix.gettimeofday () > deadline then begin
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              ignore (Unix.waitpid [] pid)
+            end
+            else begin
+              Unix.sleepf 0.02;
+              wait ()
+            end
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+      in
+      wait ()
+    in
+    let connect_clients net =
+      let clients =
+        List.init n_clients (fun i ->
+            Network.connect ~seed:(Printf.sprintf "tc%d" i) net)
+      in
+      let rec pair = function
+        | a :: b :: rest ->
+            Client.start_conversation a ~peer_pk:(Client.public_key b);
+            Client.start_conversation b ~peer_pk:(Client.public_key a);
+            pair rest
+        | _ -> ()
+      in
+      pair clients
+    in
+    (* ms/round and wire MB/s over [rounds] supervised rounds *)
+    let measure net =
+      ignore (Network.run_round net) (* warm-up *);
+      let t0 = Unix.gettimeofday () in
+      let reports = Network.run_rounds net rounds in
+      let dt = Unix.gettimeofday () -. t0 in
+      let wire =
+        List.fold_left (fun acc r -> acc + r.Network.wire_bytes) 0 reports
+      in
+      (1000. *. dt /. float_of_int rounds, float_of_int wire /. dt /. 1e6)
+    in
+    let in_process ~jobs =
+      let net =
+        Network.create ~seed:"bench-tcp" ~n_servers:3 ~noise ~dial_noise
+          ~noise_mode:Noise.Deterministic ~jobs ()
+      in
+      connect_clients net;
+      let r = measure net in
+      Network.shutdown net;
+      r
+    in
+    let over_tcp ~jobs f =
+      let seed = "bench-tcp" in
+      let ports = Array.init 3 (fun _ -> free_port ()) in
+      let pids = ref (List.map (spawn_daemon ~jobs ~seed ~ports) [ 2; 1; 0 ]) in
+      Fun.protect
+        ~finally:(fun () -> List.iter stop_pid !pids)
+        (fun () ->
+          match
+            Network.create_tcp ~noise ~dial_noise ~round_deadline_ms:60_000.
+              ~handshake_timeout_ms:30_000. ~max_retries:4
+              ~addr:(Addr.loopback ~port:ports.(0))
+              ()
+          with
+          | Error e -> failwith ("create_tcp: " ^ e)
+          | Ok net ->
+              connect_clients net;
+              let r = f ~seed ~ports ~pids net in
+              Network.shutdown net;
+              r)
+    in
+    let per_jobs jobs =
+      let local_ms, local_mb = in_process ~jobs in
+      let tcp_ms, tcp_mb =
+        over_tcp ~jobs (fun ~seed:_ ~ports:_ ~pids:_ net -> measure net)
+      in
+      Printf.printf
+        "  jobs=%-3d in-process %7.1f ms/round %6.2f MB/s   loopback-TCP \
+         %7.1f ms/round %6.2f MB/s  (%.2fx)\n"
+        jobs local_ms local_mb tcp_ms tcp_mb (tcp_ms /. local_ms);
+      T.Json.Obj
+        [
+          ("jobs", T.Json.Num (float_of_int jobs));
+          ("in_process_ms_per_round", T.Json.Num local_ms);
+          ("in_process_wire_mb_per_sec", T.Json.Num local_mb);
+          ("loopback_tcp_ms_per_round", T.Json.Num tcp_ms);
+          ("loopback_tcp_wire_mb_per_sec", T.Json.Num tcp_mb);
+          ("tcp_overhead_x", T.Json.Num (tcp_ms /. local_ms));
+        ]
+    in
+    let job_rows = List.map per_jobs [ 1; 4 ] in
+    (* Reconnect storm: SIGKILL the middle daemon, restart it, and time
+       the first supervised round completed after the kill. *)
+    let recovery_ms =
+      over_tcp ~jobs:1 (fun ~seed ~ports ~pids net ->
+          ignore (Network.run_round net);
+          let victim = List.nth !pids 1 in
+          Unix.kill victim Sys.sigkill;
+          ignore (Unix.waitpid [] victim);
+          let t0 = Unix.gettimeofday () in
+          pids :=
+            List.mapi
+              (fun i pid ->
+                if i = 1 then spawn_daemon ~jobs:1 ~seed ~ports 1 else pid)
+              !pids;
+          let r = Network.run_round net in
+          let dt = 1000. *. (Unix.gettimeofday () -. t0) in
+          if r.Network.failure <> None then
+            failwith "reconnect storm: round did not recover";
+          Printf.printf
+            "  reconnect storm: middle server killed + restarted, next round \
+             completed in %.0f ms (%d attempt(s))\n"
+            dt r.Network.attempts;
+          dt)
+    in
+    let doc =
+      T.Json.Obj
+        [
+          ("benchmark", T.Json.Str "transport");
+          ("servers", T.Json.Num 3.);
+          ("clients", T.Json.Num (float_of_int n_clients));
+          ("rounds_per_config", T.Json.Num (float_of_int rounds));
+          ("job_counts", T.Json.List job_rows);
+          ("reconnect_recovery_ms", T.Json.Num recovery_ms);
+        ]
+    in
+    let oc = open_out "BENCH_transport.json" in
+    output_string oc (T.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "  wrote BENCH_transport.json\n"
+  end
+
 let () =
+  (* BENCH_ONLY=transport: just the daemon round-trip section (used by
+     CI smoke; the full run takes minutes). *)
+  if Sys.getenv_opt "BENCH_ONLY" = Some "transport" then begin
+    transport_bench ();
+    exit 0
+  end;
   print_endline "VUVUZELA (SOSP 2015) - evaluation reproduction";
   let dh_ns = run_benchmarks () in
   figure6 ();
@@ -808,6 +1013,7 @@ let () =
   round_stage_export ();
   crypto_bench ();
   faults_overhead ();
+  transport_bench ();
   workload_summary ();
   line ();
   print_endline "done.  See EXPERIMENTS.md for the paper-vs-measured index."

@@ -1,0 +1,141 @@
+(* vuvuzela-server: one chain server as an OS process (§7).
+
+   A chain of N servers is N processes plus the coordinator:
+
+     vuvuzela-server --listen :7002 --index 2 --chain-len 3 --seed s &
+     vuvuzela-server --listen :7001 --next :7002 --index 1 --chain-len 3 --seed s &
+     vuvuzela-server --listen :7000 --next :7001 --index 0 --chain-len 3 --seed s &
+
+   and a coordinator built on [Network.create_tcp ~addr:(":7000")].
+   Runs until the coordinator sends Bye. *)
+
+open Cmdliner
+open Vuvuzela_dp
+open Vuvuzela
+
+let addr_conv =
+  let parse s =
+    match Vuvuzela_transport.Addr.parse s with
+    | Ok a -> Ok a
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv
+    (parse, fun ppf a -> Format.pp_print_string ppf (Vuvuzela_transport.Addr.to_string a))
+
+let fault_plan_conv =
+  let parse s =
+    match Vuvuzela_faults.Fault.parse s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv
+    (parse, fun ppf p ->
+      Format.pp_print_string ppf (Vuvuzela_faults.Fault.to_string p))
+
+let run listen next index chain_len seed mu b dial_mu dial_b det_noise
+    certified jobs fault_plan quiet =
+  let log =
+    if quiet then fun _ -> ()
+    else fun msg -> Printf.eprintf "[vuvuzela-server %d] %s\n%!" index msg
+  in
+  let cfg =
+    {
+      Daemon.listen;
+      next;
+      index;
+      chain_len;
+      seed;
+      noise = Laplace.params ~mu ~b;
+      dial_noise = Laplace.params ~mu:dial_mu ~b:dial_b;
+      noise_mode = (if det_noise then Noise.Deterministic else Noise.Sampled);
+      dial_kind = (if certified then Dialing.Certified else Dialing.Plain);
+      jobs;
+      fault_plan;
+    }
+  in
+  match Daemon.run ~log cfg with
+  | Ok () -> `Ok ()
+  | Error e -> `Error (false, e)
+
+let cmd =
+  let listen =
+    Arg.(
+      required
+      & opt (some addr_conv) None
+      & info [ "listen"; "l" ] ~docv:"HOST:PORT"
+          ~doc:"Address to accept the upstream hop on.")
+  in
+  let next =
+    Arg.(
+      value
+      & opt (some addr_conv) None
+      & info [ "next" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Next server in the chain; omit on the last server. Dialed \
+             with reconnect/backoff, so start order does not matter.")
+  in
+  let index =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "index"; "i" ] ~docv:"I" ~doc:"0-based chain position.")
+  in
+  let chain_len =
+    Arg.(value & opt int 3 & info [ "chain-len" ] ~doc:"Servers in the chain.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "seed" ]
+          ~doc:
+            "Deployment seed; every server must use the same one. A seeded \
+             multi-process chain is bit-identical to the in-process chain \
+             with that seed.")
+  in
+  let mu = Arg.(value & opt float 10. & info [ "mu" ] ~doc:"Conversation noise mean.") in
+  let b =
+    Arg.(
+      value & opt float 2.
+      & info [ "b"; "noise-b" ] ~doc:"Conversation noise scale.")
+  in
+  let dial_mu =
+    Arg.(value & opt float 3. & info [ "dial-mu" ] ~doc:"Dialing noise mean.")
+  in
+  let dial_b =
+    Arg.(value & opt float 1. & info [ "dial-b" ] ~doc:"Dialing noise scale.")
+  in
+  let det_noise =
+    Arg.(
+      value & flag
+      & info [ "deterministic-noise" ]
+          ~doc:"Always add exactly µ noise (the paper's §8.1 evaluation mode).")
+  in
+  let certified =
+    Arg.(
+      value & flag
+      & info [ "certified" ] ~doc:"Certified (signed) dialing invitations.")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc:"Crypto worker domains.")
+  in
+  let fault_plan =
+    Arg.(
+      value
+      & opt (some fault_plan_conv) None
+      & info [ "fault-plan" ] ~docv:"PLAN"
+          ~doc:
+            "Deterministic socket-level fault schedule for this server's \
+             incoming link, e.g. 'crash@2:1;drop@4:1' (entries must name \
+             this server's index).")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No stderr log.") in
+  Cmd.v
+    (Cmd.info "vuvuzela-server" ~version:"0.1.0"
+       ~doc:"one Vuvuzela chain server as its own process")
+    Term.(
+      ret
+        (const run $ listen $ next $ index $ chain_len $ seed $ mu $ b
+       $ dial_mu $ dial_b $ det_noise $ certified $ jobs $ fault_plan $ quiet))
+
+let () = exit (Cmd.eval cmd)

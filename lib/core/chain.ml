@@ -113,23 +113,6 @@ let ( let* ) = Result.bind
 (* Fault injection at forward links                                    *)
 (* ------------------------------------------------------------------ *)
 
-(* Frame-level faults mutate the encoded bytes after the tap (the tap
-   observes what the sender emitted; the fault models the wire). *)
-let mutate_frame frame = function
-  | Fault.Corrupt_frame pos ->
-      let frame = Bytes.copy frame in
-      let len = Bytes.length frame in
-      if len > 0 then begin
-        let pos = pos mod len in
-        Bytes.set frame pos
-          (Char.chr (Char.code (Bytes.get frame pos) lxor 0xff))
-      end;
-      frame
-  | Fault.Truncate_frame n -> Bytes.sub frame 0 (min n (Bytes.length frame))
-  | Fault.Extend_frame n -> Bytes.cat frame (Bytes.make n '\xaa')
-  | Fault.Crash | Fault.Drop_link | Fault.Delay_ms _ | Fault.Tamper_slot _ ->
-      frame
-
 (* A forward batch crossing the link into [server]: fire the faults
    scheduled for this (round, server) site, then frame, then decode at
    the receiver.  Control faults (crash/drop) abort with a typed status;
@@ -189,15 +172,7 @@ let forward_send t ~round ~server ~stage encode decode (batch : bytes array) =
         | Fault.Crash -> fatal := Some "server crashed (injected fault)"
         | Fault.Drop_link -> fatal := Some "link dropped (injected fault)"
         | Fault.Delay_ms ms -> t.delay_ms <- t.delay_ms +. float_of_int ms
-        | Fault.Tamper_slot s ->
-            let b = Array.map Bytes.copy !batch in
-            if Array.length b > 0 then begin
-              let item = b.(s mod Array.length b) in
-              if Bytes.length item > 0 then
-                Bytes.set item 0
-                  (Char.chr (Char.code (Bytes.get item 0) lxor 0xff));
-              batch := b
-            end
+        | Fault.Tamper_slot s -> batch := Fault.apply_tamper !batch s
         | (Fault.Corrupt_frame _ | Fault.Truncate_frame _ | Fault.Extend_frame _)
           as k -> frame_faults := k :: !frame_faults)
     kinds;
@@ -206,7 +181,9 @@ let forward_send t ~round ~server ~stage encode decode (batch : bytes array) =
   | None -> (
       let batch = !batch in
       Option.iter (fun tap -> tap ~round ~server batch) t.tap;
-      let frame = List.fold_left mutate_frame (encode batch) (List.rev !frame_faults) in
+      let frame =
+        List.fold_left Fault.apply_frame (encode batch) (List.rev !frame_faults)
+      in
       match decode frame with
       | Ok v -> Ok v
       | Error detail ->

@@ -1,0 +1,410 @@
+(* One chain server per process; see the interface for the topology and
+   the handshake cascade.
+
+   Concurrency shape: everything runs on the transport's event loop in
+   one thread.  The round protocol is lockstep per link, so the daemon
+   is a state machine over four events — upstream frame, downstream
+   frame, downstream drop, upstream accept — plus the fault injector. *)
+
+module Transport = Vuvuzela_transport.Transport
+module Conn = Vuvuzela_transport.Conn
+module Fault = Vuvuzela_faults.Fault
+
+type config = {
+  listen : Unix.sockaddr;
+  next : Unix.sockaddr option;
+  index : int;
+  chain_len : int;
+  seed : string option;
+  noise : Vuvuzela_dp.Laplace.params;
+  dial_noise : Vuvuzela_dp.Laplace.params;
+  noise_mode : Vuvuzela_dp.Noise.mode;
+  dial_kind : Dialing.kind;
+  jobs : int;
+  fault_plan : Vuvuzela_faults.Fault.plan option;
+}
+
+type st = {
+  cfg : config;
+  tp : Transport.t;
+  log : string -> unit;
+  faults : Fault.injector option;
+  mutable server : Server.t option;
+  mutable suffix : bytes list;  (** downstream public keys, chain order *)
+  mutable upstream : Conn.t option;
+  mutable downstream : Conn.t option;
+  mutable hello_pending : bool;
+      (** upstream said Hello before our own keys existed *)
+  mutable inflight : (int * bool) option;
+      (** (round, dialing) forwarded downstream, results still owed *)
+  mutable stop : bool;
+}
+
+let is_last st = st.cfg.next = None
+
+let send_upstream st msg =
+  match st.upstream with
+  | Some up when Conn.state up <> Conn.Closed -> Conn.send up (Rpc.encode msg)
+  | _ -> ()
+
+let send_downstream st msg =
+  match st.downstream with
+  | Some down -> Conn.send down (Rpc.encode msg)
+  | None -> ()
+
+let status st ~round ~stage detail =
+  { Rpc.round; server = st.cfg.index; stage; detail }
+
+(* Create the Server once the downstream suffix is known — immediately
+   for the last server, after the first successful handshake otherwise.
+   The rng-seed derivation matches Chain.create byte for byte: that is
+   the whole determinism argument for the multi-process deployment. *)
+let ensure_server ?telemetry ?on_ready st =
+  if st.server = None then begin
+    let cfg = st.cfg in
+    let rng_seed =
+      Option.map
+        (fun s ->
+          Bytes.cat (Bytes.of_string s)
+            (Bytes.of_string (Printf.sprintf "-server-%d" cfg.index)))
+        cfg.seed
+    in
+    let server =
+      Server.create ?rng_seed ?telemetry
+        ~cfg:
+          {
+            Server.position = cfg.index;
+            chain_len = cfg.chain_len;
+            noise = cfg.noise;
+            dial_noise = cfg.dial_noise;
+            noise_mode = cfg.noise_mode;
+            dial_kind = cfg.dial_kind;
+            jobs = cfg.jobs;
+          }
+        ~suffix_pks:st.suffix ()
+    in
+    st.server <- Some server;
+    st.log
+      (Printf.sprintf "server %d/%d ready (%d downstream key(s))" cfg.index
+         cfg.chain_len (List.length st.suffix));
+    Option.iter (fun f -> f ()) on_ready;
+    if st.hello_pending then begin
+      st.hello_pending <- false;
+      send_upstream st
+        (Rpc.Chain_info { pks = Server.public_key server :: st.suffix })
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Socket-level fault injection                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The in-process chain injects faults as a batch crosses the link into
+   server i; here the same plan entry fires as daemon i receives the
+   batch.  Returns what the faulty wire delivered: [None] means the
+   batch never arrives (drop, crash). *)
+let inject st ~round raw msg =
+  match st.faults with
+  | None -> Some (Ok msg, [])
+  | Some inj -> (
+      match Fault.fire inj ~round ~server:st.cfg.index with
+      | [] -> Some (Ok msg, [])
+      | kinds ->
+          st.log
+            (Printf.sprintf "round %d: firing %s" round
+               (String.concat ","
+                  (List.map (Format.asprintf "%a" Fault.pp_kind) kinds)));
+          let dropped = ref false in
+          let tampers = ref [] in
+          let frame_faults = ref [] in
+          List.iter
+            (fun k ->
+              match k with
+              | Fault.Crash ->
+                  (* The receiving server "crashes": reset the upstream
+                     connection; the peer's in-flight round dies with
+                     it and its reconnect finds us again. *)
+                  dropped := true;
+                  Option.iter Conn.close st.upstream;
+                  st.upstream <- None
+              | Fault.Drop_link -> dropped := true
+              | Fault.Delay_ms ms ->
+                  (* A real stall: over sockets there is no virtual
+                     clock to account it to. *)
+                  Unix.sleepf (float_of_int ms /. 1000.)
+              | Fault.Tamper_slot s -> tampers := s :: !tampers
+              | Fault.Corrupt_frame _ | Fault.Truncate_frame _
+              | Fault.Extend_frame _ -> frame_faults := k :: !frame_faults)
+            kinds;
+          if !dropped then None
+          else if !frame_faults <> [] then
+            (* Mutate the received frame, then decode what's left: the
+               typed rejection is exactly what the in-process receiver
+               produces. *)
+            let raw =
+              List.fold_left Fault.apply_frame raw (List.rev !frame_faults)
+            in
+            Some (Rpc.decode raw, [])
+          else Some (Ok msg, List.rev !tampers))
+
+(* ------------------------------------------------------------------ *)
+(* Frame handling                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let handle_downstream st msg =
+  let server = Option.get st.server in
+  let finish round =
+    match st.inflight with
+    | Some (r, _) when r = round -> st.inflight <- None
+    | _ -> ()
+  in
+  match msg with
+  | Rpc.Conv_results { round; replies } -> (
+      finish round;
+      match Server.conv_backward server ~round replies with
+      | replies -> send_upstream st (Rpc.Conv_results { round; replies })
+      | exception e ->
+          send_upstream st
+            (Rpc.Status
+               (status st ~round ~stage:"conv-results"
+                  (Printexc.to_string e))))
+  | Rpc.Dial_results { round; replies } -> (
+      finish round;
+      match Server.dial_backward server ~round replies with
+      | replies -> send_upstream st (Rpc.Dial_results { round; replies })
+      | exception e ->
+          send_upstream st
+            (Rpc.Status
+               (status st ~round ~stage:"dial-results"
+                  (Printexc.to_string e))))
+  | Rpc.Drop_contents _ as m -> send_upstream st m
+  | Rpc.Status s ->
+      finish s.Rpc.round;
+      send_upstream st (Rpc.Status s)
+  | _ -> ()
+
+let handle_upstream st raw =
+  match Rpc.decode raw with
+  | Error e ->
+      send_upstream st
+        (Rpc.Status (status st ~round:0 ~stage:"frame" e))
+  | Ok (Rpc.Hello _) -> (
+      match st.server with
+      | Some server ->
+          send_upstream st
+            (Rpc.Chain_info { pks = Server.public_key server :: st.suffix })
+      | None -> st.hello_pending <- true)
+  | Ok (Rpc.Bye) ->
+      send_downstream st Rpc.Bye;
+      st.stop <- true
+  | Ok (Rpc.Abort { round; dialing }) -> (
+      (match st.inflight with
+      | Some (r, d) when r = round && d = dialing -> st.inflight <- None
+      | _ -> ());
+      send_downstream st (Rpc.Abort { round; dialing });
+      match st.server with
+      | None -> ()
+      | Some server ->
+          if dialing then Server.abort_dial_round server ~round
+          else Server.abort_conv_round server ~round)
+  | Ok msg -> (
+      match st.server with
+      | None ->
+          (* A batch before our keys exist can only mean the chain is
+             still assembling; the peer's supervisor will retry. *)
+          let round =
+            match msg with
+            | Rpc.Conv_batch { round; _ }
+            | Rpc.Dial_batch { round; _ } -> round
+            | _ -> 0
+          in
+          send_upstream st
+            (Rpc.Status
+               (status st ~round ~stage:"transport" "server not ready"))
+      | Some server -> (
+          let dispatch msg =
+            match msg with
+            | Rpc.Conv_batch { round; onions } -> (
+                match
+                  if is_last st then `Reply (Server.conv_exchange server ~round onions)
+                  else `Forward (Server.conv_forward server ~round onions)
+                with
+                | `Reply replies ->
+                    send_upstream st (Rpc.Conv_results { round; replies })
+                | `Forward onions ->
+                    st.inflight <- Some (round, false);
+                    send_downstream st (Rpc.Conv_batch { round; onions })
+                | exception e ->
+                    send_upstream st
+                      (Rpc.Status
+                         (status st ~round ~stage:"conv-batch"
+                            (Printexc.to_string e))))
+            | Rpc.Dial_batch { round; m; onions } -> (
+                match
+                  if is_last st then
+                    `Reply (Server.dial_deliver server ~round ~m onions)
+                  else `Forward (Server.dial_forward server ~round ~m onions)
+                with
+                | `Reply replies ->
+                    send_upstream st (Rpc.Dial_results { round; replies })
+                | `Forward onions ->
+                    st.inflight <- Some (round, true);
+                    send_downstream st (Rpc.Dial_batch { round; m; onions })
+                | exception e ->
+                    send_upstream st
+                      (Rpc.Status
+                         (status st ~round ~stage:"dial-batch"
+                            (Printexc.to_string e))))
+            | Rpc.Fetch_drop { dial_round; index } -> (
+                if is_last st then
+                  match
+                    Server.fetch_invitations ~dial_round server ~index
+                  with
+                  | invitations ->
+                      send_upstream st
+                        (Rpc.Drop_contents { dial_round; index; invitations })
+                  | exception e ->
+                      send_upstream st
+                        (Rpc.Status
+                           (status st ~round:dial_round ~stage:"fetch-drop"
+                              (Printexc.to_string e)))
+                else send_downstream st (Rpc.Fetch_drop { dial_round; index }))
+            | _ -> ()
+          in
+          (* Socket-level fault injection happens on the received batch
+             frames, keyed like the in-process chain: (round, index). *)
+          match msg with
+          | Rpc.Conv_batch { round; _ } | Rpc.Dial_batch { round; _ } -> (
+              let dialing =
+                match msg with Rpc.Dial_batch _ -> true | _ -> false
+              in
+              match inject st ~round raw msg with
+              | None -> () (* dropped or crashed: nobody replies *)
+              | Some (Error e, _) ->
+                  (* a frame fault made the batch undecodable *)
+                  send_upstream st
+                    (Rpc.Status
+                       (status st ~round
+                          ~stage:(if dialing then "dial-batch" else "conv-batch")
+                          e))
+              | Some (Ok msg, tampers) ->
+                  let msg =
+                    List.fold_left
+                      (fun msg slot ->
+                        match msg with
+                        | Rpc.Conv_batch { round; onions } ->
+                            Rpc.Conv_batch
+                              { round; onions = Fault.apply_tamper onions slot }
+                        | Rpc.Dial_batch { round; m; onions } ->
+                            Rpc.Dial_batch
+                              { round; m; onions = Fault.apply_tamper onions slot }
+                        | m -> m)
+                      msg tampers
+                  in
+                  dispatch msg)
+          | msg -> dispatch msg))
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run ?telemetry ?(log = fun _ -> ()) ?on_ready cfg =
+  if cfg.index < 0 || cfg.index >= cfg.chain_len then
+    Error
+      (Printf.sprintf "daemon: index %d outside chain of %d" cfg.index
+         cfg.chain_len)
+  else if (cfg.next = None) <> (cfg.index = cfg.chain_len - 1) then
+    Error "daemon: exactly the last server runs without --next"
+  else begin
+    let tp = Transport.create ?telemetry () in
+    let st =
+      {
+        cfg;
+        tp;
+        log;
+        faults = Option.map Fault.injector cfg.fault_plan;
+        server = None;
+        suffix = [];
+        upstream = None;
+        downstream = None;
+        hello_pending = false;
+        inflight = None;
+        stop = false;
+      }
+    in
+    (* Listen before anything else: an upstream peer may dial while the
+       downstream handshake is still assembling; its Hello waits. *)
+    let listener =
+      Transport.listen tp cfg.listen
+        ~on_accept:(fun fd peer ->
+          st.log
+            (Printf.sprintf "upstream connection from %s"
+               (Vuvuzela_transport.Addr.to_string peer));
+          (* The chain has exactly one upstream; a new connection
+             replaces a dead (or superseded) predecessor. *)
+          Option.iter Conn.close st.upstream;
+          let conn =
+            Conn.of_fd ~loop:(Transport.loop tp) ~fd
+              ~stats:(Transport.stats tp)
+              ~on_frame:(fun _ raw -> handle_upstream st raw)
+              ~on_drop:(fun conn ->
+                (* physical equality: a Conn.t holds closures, and this
+                   conn may already have been superseded by a newer
+                   accept *)
+                match st.upstream with
+                | Some current when current == conn -> st.upstream <- None
+                | _ -> ())
+              ()
+          in
+          st.upstream <- Some conn)
+        ()
+    in
+    match listener with
+    | Error e -> Error e
+    | Ok _listener ->
+        (match cfg.next with
+        | None ->
+            ensure_server ?telemetry ?on_ready st (* last server: no suffix *)
+        | Some next_addr ->
+            let down =
+              Transport.dial tp ~addr:next_addr
+                ~hello:(Rpc.encode (Rpc.Hello { index = cfg.index }))
+                ~on_established:(fun _ payload ->
+                  match Rpc.decode payload with
+                  | Ok (Rpc.Chain_info { pks }) ->
+                      if st.server = None then begin
+                        st.suffix <- pks;
+                        ensure_server ?telemetry ?on_ready st
+                      end
+                  | Ok _ | Error _ ->
+                      st.log "malformed downstream handshake reply")
+                ~on_frame:(fun _ raw ->
+                  match Rpc.decode raw with
+                  | Ok msg when st.server <> None -> handle_downstream st msg
+                  | Ok _ | Error _ -> ())
+                ~on_drop:(fun _ ->
+                  st.log "downstream link lost";
+                  match st.inflight with
+                  | Some (round, dialing) ->
+                      st.inflight <- None;
+                      send_upstream st
+                        (Rpc.Status
+                           (status st ~round
+                              ~stage:(if dialing then "dial-batch" else "conv-batch")
+                              "downstream link lost"))
+                  | None -> ())
+                ()
+            in
+            st.downstream <- Some down);
+        while not st.stop do
+          Transport.run_once tp
+        done;
+        (* Drain: let the forwarded Bye and any last replies flush. *)
+        for _ = 1 to 10 do
+          Transport.run_once ~max_wait_ms:5. tp
+        done;
+        Option.iter Conn.close st.downstream;
+        Option.iter Conn.close st.upstream;
+        Option.iter Server.shutdown st.server;
+        Ok ()
+  end

@@ -1,0 +1,52 @@
+(** One chain server as its own OS process: the engine behind the
+    [vuvuzela-server] executable (and the forked processes of the
+    loopback tests).
+
+    Topology is the paper's §7 chain: the daemon listens for exactly
+    one upstream peer (the coordinator, or the previous server) and —
+    unless it is the last server — maintains one dialed connection to
+    [next].  Key material assembles bottom-up at handshake time: the
+    last server derives its keys immediately; every other server dials
+    its successor, learns the downstream public keys from the
+    [Chain_info] reply, and only then creates its own {!Server} and
+    starts answering its own upstream handshake.  A restarted server
+    re-derives everything from its seed and rejoins the same way, which
+    is what lets the supervisor's retry outlast a crash.
+
+    A [fault_plan] arms the socket-level counterparts of the in-process
+    link faults, fired at this daemon's incoming link (plan entries
+    must name [server = index]): [Crash] resets the upstream
+    connection, [Drop_link] swallows the batch (the coordinator's
+    deadline catches it), frame faults mutate the received frame before
+    decoding (the typed rejection crosses the wire as a [Status]),
+    [Delay_ms] stalls the process for real, [Tamper_slot] flips an
+    onion byte. *)
+
+type config = {
+  listen : Unix.sockaddr;
+  next : Unix.sockaddr option;  (** [None] for the last server *)
+  index : int;  (** 0-based chain position *)
+  chain_len : int;
+  seed : string option;
+      (** same derivation as {!Chain.create}: a multi-process chain
+          with seed [s] is bit-identical to [Chain.create ~seed:s] *)
+  noise : Vuvuzela_dp.Laplace.params;
+  dial_noise : Vuvuzela_dp.Laplace.params;
+  noise_mode : Vuvuzela_dp.Noise.mode;
+  dial_kind : Dialing.kind;
+  jobs : int;
+  fault_plan : Vuvuzela_faults.Fault.plan option;
+}
+
+val run :
+  ?telemetry:Vuvuzela_telemetry.Telemetry.t ->
+  ?log:(string -> unit) ->
+  ?on_ready:(unit -> unit) ->
+  config ->
+  (unit, string) result
+(** Run until a [Bye] arrives from upstream (forwarded down the chain
+    first), then shut the server down and return.  [Error] only for
+    startup failures (bad config, cannot bind [listen]) — runtime link
+    failures are survived: upstream may disconnect and re-accept,
+    downstream redials under backoff.  [on_ready] fires once the
+    server exists and handshakes can be answered. *)

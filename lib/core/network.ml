@@ -27,8 +27,18 @@ open Vuvuzela_dp
 module Telemetry = Vuvuzela_telemetry.Telemetry
 module Ledger = Vuvuzela_telemetry.Ledger
 
+(* Where the chain lives: in this process, or behind a TCP connection to
+   the first hop of a multi-process deployment (§7).  The supervisor is
+   backend-agnostic — both produce results-or-typed-status per round —
+   but a few capabilities are local-only: fault injection and [tap] live
+   inside the in-process chain, virtual [Delay_ms] accounting has no TCP
+   counterpart (socket delays are real and show up in wall clock), and
+   §5.4 auto-tuning needs the last server's [proposed_m], which the wire
+   protocol does not carry. *)
+type backend = Local of Chain.t | Tcp of Remote.t
+
 type t = {
-  chain : Chain.t;
+  backend : backend;
   tel : Telemetry.t option;
       (** shared with the chain and its servers; [None] is the nil sink *)
   server_pks : bytes list;
@@ -83,7 +93,7 @@ let create ?seed ?(n_servers = 3)
     else None
   in
   {
-    chain;
+    backend = Local chain;
     tel = telemetry;
     server_pks = Chain.public_keys chain;
     clients = Hashtbl.create 64;
@@ -100,10 +110,106 @@ let create ?seed ?(n_servers = 3)
     last_fetched = Hashtbl.create 64;
   }
 
-let chain t = t.chain
+(* The coordinator of a multi-process deployment: same clients, same
+   supervisor, but rounds cross a TCP connection to server 0.  [noise]
+   and [dial_noise] only feed the privacy-budget ledger here (the
+   daemons own the actual noise) — pass the daemons' parameters or the
+   ledger composes the wrong guarantee. *)
+let create_tcp ?(noise = Laplace.params ~mu:10. ~b:2.)
+    ?(dial_noise = Laplace.params ~mu:3. ~b:1.) ?dial_kind ?telemetry
+    ?budget_warn ?round_deadline_ms ?(max_retries = 2)
+    ?handshake_timeout_ms ~addr () =
+  match
+    Remote.connect ?telemetry ?dial_kind ?deadline_ms:round_deadline_ms
+      ?handshake_timeout_ms ~addr ()
+  with
+  | Error e -> Error e
+  | Ok remote ->
+      Option.iter
+        (fun tel ->
+          Telemetry.set_ledger tel
+            (Ledger.create ?warn_eps:budget_warn
+               ~conv:(Mechanism.conversation noise)
+               ~dial:(Mechanism.dialing dial_noise) ()))
+        telemetry;
+      Ok
+        {
+          backend = Tcp remote;
+          tel = telemetry;
+          server_pks = Remote.public_keys remote;
+          clients = Hashtbl.create 64;
+          order = [];
+          round = 1;
+          dial_round = 1;
+          m = 1;
+          auto_tune_m = false;
+          dial_kind = Option.value ~default:Dialing.Plain dial_kind;
+          cdn = None;
+          round_deadline_ms;
+          max_retries = max 0 max_retries;
+          m_history = [];
+          last_fetched = Hashtbl.create 64;
+        }
+
+let chain t =
+  match t.backend with
+  | Local c -> c
+  | Tcp _ -> invalid_arg "Network.chain: TCP deployment has no in-process chain"
+
+let is_remote t = match t.backend with Local _ -> false | Tcp _ -> true
 let telemetry t = t.tel
-let jobs t = Chain.jobs t.chain
-let shutdown t = Chain.shutdown t.chain
+
+let jobs t =
+  match t.backend with Local c -> Chain.jobs c | Tcp _ -> 1
+
+let shutdown t =
+  match t.backend with
+  | Local c -> Chain.shutdown c
+  | Tcp r -> Remote.shutdown r
+
+(* Backend dispatch for the round operations.  The per-round deadline is
+   synced into the remote before each call: over TCP the deadline also
+   bounds the wait for the results frame itself (a silently dead link
+   otherwise blocks forever), surfacing as a retryable transport
+   status. *)
+let chain_length t =
+  match t.backend with Local c -> Chain.length c | Tcp r -> Remote.length r
+
+let chain_conversation_round t ~round requests =
+  match t.backend with
+  | Local c -> Chain.conversation_round c ~round requests
+  | Tcp r ->
+      Remote.set_deadline_ms r t.round_deadline_ms;
+      Remote.conversation_round r ~round requests
+
+let chain_dialing_round t ~round ~m requests =
+  match t.backend with
+  | Local c -> Chain.dialing_round c ~round ~m requests
+  | Tcp r ->
+      Remote.set_deadline_ms r t.round_deadline_ms;
+      Remote.dialing_round r ~round ~m requests
+
+let chain_abort_round t ~round =
+  match t.backend with
+  | Local c -> Chain.abort_round c ~round
+  | Tcp r -> Remote.abort_round r ~round
+
+let chain_abort_dialing_round t ~round =
+  match t.backend with
+  | Local c -> Chain.abort_dialing_round c ~round
+  | Tcp r -> Remote.abort_dialing_round r ~round
+
+let chain_fetch_invitations t ~dial_round ~index =
+  match t.backend with
+  | Local c -> Chain.fetch_invitations c ~dial_round ~index
+  | Tcp r -> Remote.fetch_invitations r ~dial_round ~index
+
+(* Virtual injected delay is an in-process construct; socket-level
+   delays are real and already inside the wall clock. *)
+let chain_last_round_delay_ms t =
+  match t.backend with
+  | Local c -> Chain.last_round_delay_ms c
+  | Tcp _ -> 0.
 let round t = t.round
 let dial_round t = t.dial_round
 let n_clients t = Hashtbl.length t.clients
@@ -190,10 +296,10 @@ let pp_round_report ppf r =
       | Some st -> Format.fprintf ppf " (%a)" Rpc.pp_status st)
     r.failure
 
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let v = f () in
-  (v, (Unix.gettimeofday () -. t0) *. 1000.)
+(* The single monotonic-enough clock shared with the transport event
+   loop, so supervisor deadlines and socket deadlines measure time the
+   same way. *)
+let timed = Vuvuzela_transport.Clock.timed
 
 (* The supervisor's per-attempt deadline check.  Injected [Delay_ms]
    faults stall a link virtually (the chain accumulates them instead of
@@ -274,13 +380,13 @@ let run_round ?(blocked = fun _ -> false) (t : t) =
     let wire_bytes =
       Rpc.conv_batch_bytes ~count:batch_size
         ~item_len:
-          (Vuvuzela_mixnet.Onion.request_size ~chain_len:(Chain.length t.chain)
+          (Vuvuzela_mixnet.Onion.request_size ~chain_len:(chain_length t)
              ~payload_len:Types.exchange_payload_len)
     in
     let outcome, wall_ms =
-      timed (fun () -> Chain.conversation_round t.chain ~round requests)
+      timed (fun () -> chain_conversation_round t ~round requests)
     in
-    let elapsed_ms = wall_ms +. Chain.last_round_delay_ms t.chain in
+    let elapsed_ms = wall_ms +. chain_last_round_delay_ms t in
     observe_attempt t ~dialing:false ~wall_ms ~wire_bytes;
     let report failure events =
       { round; dialing = false; events; batch_size; wire_bytes; elapsed_ms;
@@ -291,7 +397,7 @@ let run_round ?(blocked = fun _ -> false) (t : t) =
         (* Abort everywhere: servers drop the round's state (noise is
            redrawn on retry), clients drop its reply secrets and mark
            its messages for immediate retransmission. *)
-        Chain.abort_round t.chain ~round;
+        chain_abort_round t ~round;
         List.iter (fun c -> Client.abort_round c ~round) participants;
         aborts := st :: !aborts;
         if n <= t.max_retries && Rpc.retryable st then begin
@@ -354,7 +460,7 @@ let download_invitations t c =
         let drop =
           match t.cdn with
           | Some cdn -> Cdn.fetch cdn ~client_pk:pk ~dial_round:r ~index
-          | None -> Chain.fetch_invitations t.chain ~dial_round:r ~index
+          | None -> chain_fetch_invitations t ~dial_round:r ~index
         in
         events := !events @ Client.handle_invitations c drop
   done;
@@ -387,14 +493,13 @@ let run_dialing_round ?(blocked = fun _ -> false) (t : t) =
     let wire_bytes =
       Rpc.dial_batch_bytes ~count:batch_size
         ~item_len:
-          (Vuvuzela_mixnet.Onion.request_size ~chain_len:(Chain.length t.chain)
+          (Vuvuzela_mixnet.Onion.request_size ~chain_len:(chain_length t)
              ~payload_len:(Dialing.payload_len t.dial_kind))
     in
     let outcome, wall_ms =
-      timed (fun () ->
-          Chain.dialing_round t.chain ~round:dial_round ~m requests)
+      timed (fun () -> chain_dialing_round t ~round:dial_round ~m requests)
     in
-    let elapsed_ms = wall_ms +. Chain.last_round_delay_ms t.chain in
+    let elapsed_ms = wall_ms +. chain_last_round_delay_ms t in
     observe_attempt t ~dialing:true ~wall_ms ~wire_bytes;
     let report failure ~confirmed_acks events =
       { round = dial_round; dialing = true; events; batch_size; wire_bytes;
@@ -403,7 +508,7 @@ let run_dialing_round ?(blocked = fun _ -> false) (t : t) =
     in
     match check_deadline t ~round:dial_round ~elapsed_ms outcome with
     | Error st ->
-        Chain.abort_dialing_round t.chain ~round:dial_round;
+        chain_abort_dialing_round t ~round:dial_round;
         List.iter (fun c -> Client.abort_dial_round c ~dial_round) participants;
         aborts := st :: !aborts;
         if n <= t.max_retries && Rpc.retryable st then begin
@@ -437,8 +542,11 @@ let run_dialing_round ?(blocked = fun _ -> false) (t : t) =
                 (Entry.demux ~ids acks))
         in
         (* §5.4: adopt the last server's m recommendation for the next
-           round. *)
-        if t.auto_tune_m then t.m <- max 1 (Chain.proposed_m t.chain);
+           round.  The wire protocol does not carry [proposed_m], so a
+           TCP deployment keeps its configured m. *)
+        (match t.backend with
+        | Local c -> if t.auto_tune_m then t.m <- max 1 (Chain.proposed_m c)
+        | Tcp _ -> ());
         (* Only completed rounds enter the download schedule; the bound
            matches the last server's invitation retention. *)
         t.m_history <-

@@ -43,12 +43,47 @@ val create :
     threshold.  Instrumentation never draws from the RNG: a seeded
     deployment is bit-identical with telemetry on or off. *)
 
+val create_tcp :
+  ?noise:Vuvuzela_dp.Laplace.params ->
+  ?dial_noise:Vuvuzela_dp.Laplace.params ->
+  ?dial_kind:Dialing.kind ->
+  ?telemetry:Vuvuzela_telemetry.Telemetry.t ->
+  ?budget_warn:float ->
+  ?round_deadline_ms:float ->
+  ?max_retries:int ->
+  ?handshake_timeout_ms:float ->
+  addr:Unix.sockaddr ->
+  unit ->
+  (t, string) result
+(** The coordinator of a multi-process deployment (§7): dial the first
+    [vuvuzela-server] daemon at [addr], learn the chain's public keys
+    from the handshake, and run the same supervisor over TCP.  With a
+    shared deployment seed the rounds are bit-identical to {!create}'s.
+
+    Differences from the in-process deployment: [noise]/[dial_noise]
+    here only parameterise the privacy-budget ledger (the daemons own
+    the actual noise — pass their parameters); [fault_plan]/[tap] live
+    in the daemons ([--fault-plan]); {!set_auto_tune_drops} is inert
+    (the wire protocol does not carry the last server's §5.4
+    recommendation); and [round_deadline_ms] additionally bounds the
+    wait for each results frame, so a dead link surfaces as a retryable
+    transport status instead of blocking.  [Error] if the chain cannot
+    be reached within [handshake_timeout_ms] (default 30s). *)
+
 val chain : t -> Chain.t
+(** The in-process chain.
+    @raise Invalid_argument on a {!create_tcp} deployment — the servers
+    live in other processes. *)
+
+val is_remote : t -> bool
+(** [true] iff this deployment came from {!create_tcp}. *)
 
 val telemetry : t -> Vuvuzela_telemetry.Telemetry.t option
 (** The sink the deployment was created with, if any. *)
 
 val jobs : t -> int
+(** The chain's crypto parallelism ([1] for a TCP deployment — the
+    daemons configure their own). *)
 
 val shutdown : t -> unit
 (** Join the chain's worker domains, if any, and mark the chain

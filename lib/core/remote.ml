@@ -1,0 +1,161 @@
+(* Coordinator-side remote chain; see the interface.
+
+   The protocol is lockstep — one request, one matching reply — so the
+   only asynchrony to handle is stale frames: a results frame for a
+   round the supervisor already abandoned (it timed out, aborted,
+   retried) can still arrive and must be discarded by round number, or
+   it would be taken for the retry's results. *)
+
+module Transport = Vuvuzela_transport.Transport
+
+type t = {
+  tp : Transport.t;
+  client : Transport.client;
+  pks : bytes list;
+  dial_kind : Dialing.kind;
+  mutable deadline_ms : float option;
+  mutable shut_down : bool;
+}
+
+let length t = List.length t.pks
+let public_keys t = t.pks
+let set_deadline_ms t d = t.deadline_ms <- d
+let deadline_ms t = t.deadline_ms
+let stats t = Transport.stats t.tp
+let is_shut_down t = t.shut_down
+
+let connect ?telemetry ?(dial_kind = Dialing.Plain) ?deadline_ms
+    ?(handshake_timeout_ms = 30_000.) ~addr () =
+  let tp = Transport.create ?telemetry () in
+  let client =
+    Transport.connect tp ~addr ~hello:(Rpc.encode (Rpc.Hello { index = -1 }))
+      ()
+  in
+  match Transport.handshake ~deadline_ms:handshake_timeout_ms tp client with
+  | Error `Timeout ->
+      Transport.close_client tp client;
+      Error
+        (Printf.sprintf "remote chain at %s: no handshake within %.0f ms"
+           (Vuvuzela_transport.Addr.to_string addr)
+           handshake_timeout_ms)
+  | Ok payload -> (
+      match Rpc.decode payload with
+      | Ok (Rpc.Chain_info { pks }) when pks <> [] ->
+          Ok { tp; client; pks; dial_kind; deadline_ms; shut_down = false }
+      | Ok _ | Error _ ->
+          Transport.close_client tp client;
+          Error "remote chain: malformed handshake reply")
+
+(* Entry-server ingress policy, duplicated from the in-process chain so
+   both deployments put the same bytes on the wire: a wrong-sized
+   request is replaced with random bytes of the correct size (the
+   garbage fails authentication downstream and earns a dummy reply). *)
+let normalize ~expected requests =
+  Array.map
+    (fun r ->
+      if Bytes.length r = expected then r
+      else Vuvuzela_crypto.Drbg.bytes expected)
+    requests
+
+(* Send one request frame and pump until its matching reply.  [expect]
+   filters: [Some] for the reply (or a status) of *this* round, [None]
+   for anything stale. *)
+let exchange t ~round ~send ~expect =
+  Transport.send_batch t.client (Rpc.encode send);
+  let rec await () =
+    match Transport.recv_batch ?deadline_ms:t.deadline_ms t.tp t.client with
+    | Error `Timeout ->
+        Error
+          (Rpc.transport_error ~round ~server:0
+             ~detail:
+               (Printf.sprintf "no reply within %.0f ms"
+                  (Option.value ~default:0. t.deadline_ms)))
+    | Error `Dropped ->
+        Error
+          (Rpc.transport_error ~round ~server:0
+             ~detail:"connection to first hop lost")
+    | Ok payload -> (
+        match Rpc.decode payload with
+        | Error _ -> await () (* unparseable frame: skip, keep waiting *)
+        | Ok msg -> (
+            match expect msg with
+            | Some outcome ->
+                Transport.publish t.tp;
+                outcome
+            | None -> await ()))
+  in
+  await ()
+
+let conversation_round t ~round requests =
+  if t.shut_down then Error (Rpc.chain_shutdown ~round)
+  else begin
+    let requests =
+      normalize
+        ~expected:
+          (Vuvuzela_mixnet.Onion.request_size ~chain_len:(length t)
+             ~payload_len:Types.exchange_payload_len)
+        requests
+    in
+    exchange t ~round
+      ~send:(Rpc.Conv_batch { round; onions = requests })
+      ~expect:(function
+        | Rpc.Conv_results { round = r; replies } when r = round ->
+            Some (Ok replies)
+        | Rpc.Status st when st.Rpc.round = round -> Some (Error st)
+        | _ -> None)
+  end
+
+let dialing_round t ~round ~m requests =
+  if t.shut_down then Error (Rpc.chain_shutdown ~round)
+  else begin
+    let requests =
+      normalize
+        ~expected:
+          (Vuvuzela_mixnet.Onion.request_size ~chain_len:(length t)
+             ~payload_len:(Dialing.payload_len t.dial_kind))
+        requests
+    in
+    exchange t ~round
+      ~send:(Rpc.Dial_batch { round; m; onions = requests })
+      ~expect:(function
+        | Rpc.Dial_results { round = r; replies } when r = round ->
+            Some (Ok replies)
+        | Rpc.Status st when st.Rpc.round = round -> Some (Error st)
+        | _ -> None)
+  end
+
+let abort_round t ~round =
+  if not t.shut_down then
+    Transport.send_batch t.client
+      (Rpc.encode (Rpc.Abort { round; dialing = false }))
+
+let abort_dialing_round t ~round =
+  if not t.shut_down then
+    Transport.send_batch t.client
+      (Rpc.encode (Rpc.Abort { round; dialing = true }))
+
+let fetch_invitations t ~dial_round ~index =
+  if t.shut_down then []
+  else
+    match
+      exchange t ~round:dial_round
+        ~send:(Rpc.Fetch_drop { dial_round; index })
+        ~expect:(function
+          | Rpc.Drop_contents { dial_round = r; index = i; invitations }
+            when r = dial_round && i = index -> Some (Ok invitations)
+          | Rpc.Status st when st.Rpc.round = dial_round -> Some (Error st)
+          | _ -> None)
+    with
+    | Ok invitations -> invitations
+    | Error _ -> []
+
+let shutdown t =
+  if not t.shut_down then begin
+    t.shut_down <- true;
+    Transport.send_batch t.client (Rpc.encode Rpc.Bye);
+    (* Give the Bye a beat to reach the wire before tearing down. *)
+    for _ = 1 to 5 do
+      Transport.run_once ~max_wait_ms:2. t.tp
+    done;
+    Transport.close_client t.tp t.client
+  end

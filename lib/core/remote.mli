@@ -1,0 +1,67 @@
+(** The coordinator's view of a chain whose servers are separate
+    processes: the same round operations {!Chain} offers in-process,
+    carried over a framed TCP connection to the first hop.
+
+    The coordinator dials server 0 ([Hello] with index -1), learns the
+    full public-key list from the handshake reply ([Chain_info] — each
+    server learned its suffix the same way from its successor), then
+    drives lockstep rounds: send a batch frame, pump the event loop
+    until the results frame (or a typed [Status], or the deadline)
+    comes back.  Connection loss is never fatal here — the transport
+    redials under backoff while failures surface per round as retryable
+    {!Rpc.transport_error} statuses for the supervisor's existing
+    abort/retry machinery. *)
+
+type t
+
+val connect :
+  ?telemetry:Vuvuzela_telemetry.Telemetry.t ->
+  ?dial_kind:Dialing.kind ->
+  ?deadline_ms:float ->
+  ?handshake_timeout_ms:float ->
+  addr:Unix.sockaddr ->
+  unit ->
+  (t, string) result
+(** Dial the first hop and wait (at most [handshake_timeout_ms],
+    default 30s) for the chain to assemble — the handshake reply only
+    arrives once every server downstream has its keys.  [dial_kind]
+    must match the daemons' (it sizes dialing batches).  [deadline_ms]
+    bounds each round's wait for results; [None] waits forever. *)
+
+val length : t -> int
+val public_keys : t -> bytes list
+
+val set_deadline_ms : t -> float option -> unit
+val deadline_ms : t -> float option
+
+val conversation_round :
+  t -> round:int -> bytes array -> (bytes array, Rpc.status) result
+(** Same contract as {!Chain.conversation_round}, including the
+    entry-server ingress policy (wrong-sized requests replaced with
+    random bytes of the right size).  [Error] is a typed status: one a
+    server sent in place of results, or a local
+    {!Rpc.transport_error}/deadline for a link that failed silently. *)
+
+val dialing_round :
+  t -> round:int -> m:int -> bytes array -> (bytes array, Rpc.status) result
+
+val abort_round : t -> round:int -> unit
+(** Best-effort [Abort] frame, forwarded hop to hop; a link that is
+    down simply misses it (stale round state on a server is inert —
+    every retry uses a fresh round number). *)
+
+val abort_dialing_round : t -> round:int -> unit
+
+val fetch_invitations : t -> dial_round:int -> index:int -> bytes list
+(** Download one invitation drop from the last server (relayed down the
+    chain).  Returns [[]] if the link fails — the client scans nothing
+    now and catches up on a later dialing round, exactly like a blocked
+    client. *)
+
+val stats : t -> Vuvuzela_transport.Conn.stats
+(** Wire counters for this endpoint (bytes, frames, reconnects). *)
+
+val shutdown : t -> unit
+(** Send [Bye] down the chain and close.  Idempotent. *)
+
+val is_shut_down : t -> bool

@@ -44,6 +44,17 @@ type message =
   | Status of status
       (** error frame: a server rejected a batch (framing, size, or
           protocol violation); replaces the results it cannot produce *)
+  | Hello of { index : int }
+      (** transport handshake, dialer → listener: who is connecting
+          (chain position; [-1] is the coordinator/entry) *)
+  | Chain_info of { pks : bytes list }
+      (** handshake reply, listener → dialer: the public keys of the
+          listener and everything downstream of it, in chain order —
+          how key material propagates up a multi-process chain *)
+  | Abort of { round : int; dialing : bool }
+      (** coordinator → chain (forwarded hop to hop): discard this
+          round's state; the supervisor is about to retry *)
+  | Bye  (** graceful shutdown, forwarded down the chain *)
 
 let tag_of = function
   | Round_announce _ -> 1
@@ -55,6 +66,10 @@ let tag_of = function
   | Fetch_drop _ -> 7
   | Drop_contents _ -> 8
   | Status _ -> 9
+  | Hello _ -> 10
+  | Chain_info _ -> 11
+  | Abort _ -> 12
+  | Bye -> 13
 
 (* Uniform-size batch: u32 count, u32 item length, then count items. *)
 let write_batch w (items : bytes array) =
@@ -74,6 +89,14 @@ let read_batch r =
   let count = Wire.Reader.u32 r in
   let item_len = Wire.Reader.u32 r in
   if count > 1 lsl 26 then raise (Wire.Error "Rpc.read_batch: absurd count");
+  (* The whole batch obeys the same ceiling as a frame, so a hostile
+     (count, item_len) pair is rejected before any allocation. *)
+  if item_len > Wire.max_frame_len || count * item_len > Wire.max_frame_len
+  then
+    raise
+      (Wire.Error
+         (Printf.sprintf "Rpc.read_batch: %d x %d B exceeds max frame (%d)"
+            count item_len Wire.max_frame_len));
   Array.init count (fun _ -> Wire.Reader.bytes_fixed r item_len)
 
 let encode msg =
@@ -113,7 +136,17 @@ let encode msg =
           Wire.Writer.u64 w round;
           Wire.Writer.u32 w server;
           Wire.Writer.bytes_var w (Bytes.of_string stage);
-          Wire.Writer.bytes_var w (Bytes.of_string detail))
+          Wire.Writer.bytes_var w (Bytes.of_string detail)
+      | Hello { index } ->
+          (* Biased by one so the coordinator's -1 fits a u32. *)
+          Wire.Writer.u32 w (index + 1)
+      | Chain_info { pks } ->
+          Wire.Writer.u32 w (List.length pks);
+          List.iter (fun pk -> Wire.Writer.bytes_var w pk) pks
+      | Abort { round; dialing } ->
+          Wire.Writer.u64 w round;
+          Wire.Writer.u8 w (if dialing then 1 else 0)
+      | Bye -> ())
 
 let decode b =
   Wire.decode
@@ -164,6 +197,16 @@ let decode b =
           let stage = Bytes.to_string (Wire.Reader.bytes_var r) in
           let detail = Bytes.to_string (Wire.Reader.bytes_var r) in
           Status { round; server; stage; detail }
+      | 10 -> Hello { index = Wire.Reader.u32 r - 1 }
+      | 11 ->
+          let n = Wire.Reader.u32 r in
+          if n > 1024 then raise (Wire.Error "Rpc.decode: absurd chain");
+          Chain_info { pks = List.init n (fun _ -> Wire.Reader.bytes_var r) }
+      | 12 ->
+          let round = Wire.Reader.u64 r in
+          let dialing = Wire.Reader.u8 r <> 0 in
+          Abort { round; dialing }
+      | 13 -> Bye
       | t -> raise (Wire.Error (Printf.sprintf "Rpc.decode: unknown tag %d" t)))
     b
 
@@ -184,6 +227,11 @@ let equal_message a b =
       x.dial_round = y.dial_round && x.index = y.index
       && x.invitations = y.invitations
   | Status x, Status y -> x = y
+  | Hello { index = i1 }, Hello { index = i2 } -> i1 = i2
+  | Chain_info { pks = p1 }, Chain_info { pks = p2 } -> p1 = p2
+  | ( Abort { round = r1; dialing = d1 },
+      Abort { round = r2; dialing = d2 } ) -> r1 = r2 && d1 = d2
+  | Bye, Bye -> true
   | _ -> false
 
 (* Byte size of a message on the wire without building it (used by the
@@ -203,6 +251,10 @@ let pp_status ppf { round; server; stage; detail } =
 
 let shutdown_stage = "chain-shutdown"
 let deadline_stage = "deadline"
+let transport_stage = "transport"
+
+let transport_error ~round ~server ~detail =
+  { round; server; stage = transport_stage; detail }
 
 let chain_shutdown ~round =
   {

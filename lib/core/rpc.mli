@@ -27,6 +27,17 @@ type message =
       invitations : bytes list;
     }
   | Status of status
+  | Hello of { index : int }
+      (** transport handshake, dialer → listener: the dialer's chain
+          position ([-1] for the coordinator/entry process) *)
+  | Chain_info of { pks : bytes list }
+      (** handshake reply: the listener's public key followed by its
+          whole downstream suffix, in chain order — key material
+          propagates up a multi-process chain one handshake at a time *)
+  | Abort of { round : int; dialing : bool }
+      (** discard this round's state everywhere; forwarded hop to hop
+          ahead of the supervisor's retry *)
+  | Bye  (** graceful chain shutdown, forwarded hop to hop *)
 
 val encode : message -> bytes
 (** @raise Vuvuzela_mixnet.Wire.Error on ragged batches. *)
@@ -57,6 +68,12 @@ val chain_shutdown : round:int -> status
 
 val deadline_exceeded : round:int -> deadline_ms:float -> status
 (** The round exceeded the supervisor's deadline (stage ["deadline"]). *)
+
+val transport_error : round:int -> server:int -> detail:string -> status
+(** A TCP link failed mid-round — connection lost, peer unreachable, a
+    reply that never came (stage ["transport"]).  Retryable: the
+    transport's reconnect machinery restores the link while the
+    supervisor retries the round. *)
 
 val is_chain_shutdown : status -> bool
 

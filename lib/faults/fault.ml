@@ -37,6 +37,36 @@ let pp_fault ppf { round; server; kind } =
 let to_string plan =
   String.concat ";" (List.map (Format.asprintf "%a" pp_fault) plan)
 
+(* Frame-level fault semantics, shared by every link implementation (the
+   in-process chain and the TCP daemons): given the encoded frame a
+   sender emitted, what does the faulty wire deliver?  Control faults
+   (crash/drop/delay/tamper) act elsewhere and leave the frame alone. *)
+let apply_frame frame = function
+  | Corrupt_frame pos ->
+      let frame = Bytes.copy frame in
+      let len = Bytes.length frame in
+      if len > 0 then begin
+        let pos = pos mod len in
+        Bytes.set frame pos
+          (Char.chr (Char.code (Bytes.get frame pos) lxor 0xff))
+      end;
+      frame
+  | Truncate_frame n -> Bytes.sub frame 0 (min n (Bytes.length frame))
+  | Extend_frame n -> Bytes.cat frame (Bytes.make n '\xaa')
+  | Crash | Drop_link | Delay_ms _ | Tamper_slot _ -> frame
+
+(* Likewise the batch-level semantics of the §2.1 active adversary:
+   flip one byte of one onion so framing survives but authentication at
+   the receiving server does not. *)
+let apply_tamper batch slot =
+  let batch = Array.map Bytes.copy batch in
+  if Array.length batch > 0 then begin
+    let item = batch.(slot mod Array.length batch) in
+    if Bytes.length item > 0 then
+      Bytes.set item 0 (Char.chr (Char.code (Bytes.get item 0) lxor 0xff))
+  end;
+  batch
+
 (* ------------------------------------------------------------------ *)
 (* Grammar                                                             *)
 (* ------------------------------------------------------------------ *)

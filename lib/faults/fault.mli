@@ -60,6 +60,18 @@ val parse : string -> (plan, string) result
     [crash@2:1x3] crashes server 1's link in rounds 2, 3 and 4 — one
     firing per round).  Whitespace around tokens is ignored. *)
 
+val apply_frame : bytes -> kind -> bytes
+(** What the faulty wire delivers for the frame a sender emitted —
+    frame-level kinds mutate a copy ([Corrupt_frame] XORs one byte,
+    [Truncate_frame]/[Extend_frame] resize); control kinds return the
+    frame unchanged.  Shared by the in-process chain and the TCP
+    daemons so both deployments fail identically. *)
+
+val apply_tamper : bytes array -> int -> bytes array
+(** The §2.1 active adversary on a batch: flip byte 0 of onion
+    [slot mod batch size] (in a copy).  Framing survives;
+    authentication at the receiving server does not. *)
+
 val random_plan :
   rng:Vuvuzela_crypto.Drbg.t ->
   rounds:int ->

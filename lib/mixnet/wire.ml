@@ -7,6 +7,17 @@ exception Error of string
 
 let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
+(* Hard ceiling on any length this codec will honour — a single frame,
+   a variable-length field, or a batch's total payload.  Shared with the
+   TCP transport's [Frame] codec so a hostile length prefix is rejected
+   the same way whether it arrives in-process or over a socket: with a
+   typed error, never an attempted multi-gigabyte [Bytes.create].  64
+   MiB comfortably holds the largest batch the paper's deployment ships
+   (1M onions x ~few hundred bytes crosses links in per-server batches,
+   not one frame) while staying far below anything allocable by
+   accident. *)
+let max_frame_len = 1 lsl 26
+
 module Writer = struct
   type t = Buffer.t
 
@@ -69,6 +80,8 @@ module Reader = struct
     lo lor (u32 t lsl 32)
 
   let bytes_fixed t len =
+    if len > max_frame_len then
+      error "Reader: length %d exceeds max frame (%d)" len max_frame_len;
     need t len;
     let b = Bytes.sub t.data t.pos len in
     t.pos <- t.pos + len;
@@ -76,6 +89,9 @@ module Reader = struct
 
   let bytes_var t =
     let len = u32 t in
+    if len > max_frame_len then
+      error "Reader: length prefix %d exceeds max frame (%d)" len
+        max_frame_len;
     bytes_fixed t len
 
   let rest t = bytes_fixed t (remaining t)

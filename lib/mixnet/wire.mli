@@ -4,6 +4,13 @@
 
 exception Error of string
 
+val max_frame_len : int
+(** Hard ceiling (64 MiB) on any length this codec honours: length
+    prefixes, fixed fields, and whole frames.  Shared with the TCP
+    transport's frame codec, so a hostile length prefix is rejected with
+    a typed error instead of an unbounded [Bytes.create] — whether it
+    arrives in-process or over a socket. *)
+
 module Writer : sig
   type t
 

@@ -1,0 +1,13 @@
+(* One clock for every timeout in the deployment: supervisor deadlines,
+   event-loop select timeouts, reconnect backoff.  [Unix.gettimeofday]
+   is the only primitive the toolchain offers without extra libraries;
+   confining it here means a future monotonic source is a one-line
+   change. *)
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+let elapsed_ms ~since = Float.max 0. (now_ms () -. since)
+
+let timed f =
+  let t0 = now_ms () in
+  let v = f () in
+  (v, elapsed_ms ~since:t0)

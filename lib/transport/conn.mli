@@ -1,0 +1,84 @@
+(** One framed TCP connection, as a state machine on the {!Evloop}.
+
+    Two flavours share the type:
+
+    - a {e dialed} connection ([dial]) owns its remote address and keeps
+      itself alive: non-blocking connect, a handshake (send the given
+      hello frame, wait for the peer's reply frame), then established.
+      Any failure — refused, reset, EOF, handshake timeout, a poisoned
+      frame stream — tears the socket down and redials under bounded
+      exponential backoff.  Frames sent while not established queue and
+      flush, in order, once the handshake completes, so a caller can
+      treat [send] as fire-and-forget across a peer restart.
+    - an {e accepted} connection ([of_fd]) wraps a socket from
+      [Unix.accept]: established immediately, never reconnects; the
+      acceptor interprets the peer's hello itself as the first frame.
+
+    All sockets get [TCP_NODELAY] (a round is latency-bound on small
+    frames) and are non-blocking; all I/O happens inside loop
+    callbacks. *)
+
+type t
+
+type state = Connecting | Handshaking | Established | Closed
+
+type stats = {
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable frames_in : int;
+  mutable frames_out : int;
+  mutable reconnects : int;  (** redial attempts after the first *)
+}
+(** Shared wire counters (a {!Transport} endpoint aggregates these
+    across its connections). *)
+
+val fresh_stats : unit -> stats
+
+val dial :
+  loop:Evloop.t ->
+  addr:Unix.sockaddr ->
+  hello:bytes ->
+  ?stats:stats ->
+  ?base_backoff_ms:float ->
+  ?max_backoff_ms:float ->
+  ?handshake_timeout_ms:float ->
+  on_established:(t -> bytes -> unit) ->
+  on_frame:(t -> bytes -> unit) ->
+  on_drop:(t -> unit) ->
+  unit ->
+  t
+(** [on_established] receives the peer's handshake reply payload (each
+    time the connection (re-)establishes); [on_frame] every later
+    payload; [on_drop] fires when an {e established} connection is lost
+    (the redial loop continues on its own).  Backoff doubles from
+    [base_backoff_ms] (default 25) to [max_backoff_ms] (default 1000);
+    a completed handshake resets it.  [handshake_timeout_ms] (default
+    5000) bounds connect + hello/reply. *)
+
+val of_fd :
+  loop:Evloop.t ->
+  fd:Unix.file_descr ->
+  ?stats:stats ->
+  on_frame:(t -> bytes -> unit) ->
+  on_drop:(t -> unit) ->
+  unit ->
+  t
+
+val send : t -> bytes -> unit
+(** Queue one payload (framed internally).  On a dialed connection the
+    queue survives reconnects — only a frame already partially on the
+    wire when the socket died is dropped (the peer's view of it is
+    unknowable; recovery is the round supervisor's retry).  On a closed
+    connection this is a no-op.
+    @raise Invalid_argument if the payload exceeds {!Frame.max_payload}. *)
+
+val state : t -> state
+val established : t -> bool
+
+val queued : t -> int
+(** Frames waiting to reach the wire (including any partial one). *)
+
+val reconnects : t -> int
+
+val close : t -> unit
+(** Final: close the socket, cancel timers, stop redialing. *)

@@ -1,0 +1,103 @@
+(* select(2) loop with one-shot timers on Clock's timeline.
+
+   Dispatch safety: callbacks add and remove fds (a Conn tearing itself
+   down removes its fd; an accept callback adds one), so each round
+   snapshots the ready sets and re-checks registration before invoking a
+   handler. *)
+
+type handler = {
+  on_readable : unit -> unit;
+  on_writable : unit -> unit;
+  mutable want_write : bool;
+}
+
+type timer = { id : int; fire_at : float; fn : unit -> unit }
+
+type t = {
+  fds : (Unix.file_descr, handler) Hashtbl.t;
+  mutable timers : timer list;  (** sorted by [fire_at] *)
+  mutable next_id : int;
+}
+
+let create () = { fds = Hashtbl.create 16; timers = []; next_id = 0 }
+
+let add_fd t fd ~on_readable ~on_writable =
+  Hashtbl.replace t.fds fd { on_readable; on_writable; want_write = false }
+
+let want_write t fd flag =
+  match Hashtbl.find_opt t.fds fd with
+  | Some h -> h.want_write <- flag
+  | None -> ()
+
+let remove_fd t fd = Hashtbl.remove t.fds fd
+
+let after t ~ms fn =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let tm = { id; fire_at = Clock.now_ms () +. Float.max 0. ms; fn } in
+  let rec insert = function
+    | [] -> [ tm ]
+    | x :: _ as rest when tm.fire_at < x.fire_at -> tm :: rest
+    | x :: rest -> x :: insert rest
+  in
+  t.timers <- insert t.timers;
+  id
+
+let cancel t id = t.timers <- List.filter (fun tm -> tm.id <> id) t.timers
+
+let fire_due t =
+  let now = Clock.now_ms () in
+  let due, later = List.partition (fun tm -> tm.fire_at <= now) t.timers in
+  t.timers <- later;
+  List.iter (fun tm -> tm.fn ()) due
+
+let run_once ?max_wait_ms t =
+  let until_timer =
+    match t.timers with
+    | [] -> None
+    | tm :: _ -> Some (Float.max 0. (tm.fire_at -. Clock.now_ms ()))
+  in
+  let wait_ms =
+    match (max_wait_ms, until_timer) with
+    | Some m, Some tmr -> Float.min m tmr
+    | Some m, None -> m
+    | None, Some tmr -> Float.min tmr 100.
+    | None, None -> 100.
+  in
+  let reads = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.fds [] in
+  let writes =
+    Hashtbl.fold (fun fd h acc -> if h.want_write then fd :: acc else acc)
+      t.fds []
+  in
+  (match Unix.select reads writes [] (wait_ms /. 1000.) with
+  | readable, writable, _ ->
+      List.iter
+        (fun fd ->
+          match Hashtbl.find_opt t.fds fd with
+          | Some h -> h.on_readable ()
+          | None -> ())
+        readable;
+      List.iter
+        (fun fd ->
+          match Hashtbl.find_opt t.fds fd with
+          | Some h when h.want_write -> h.on_writable ()
+          | Some _ | None -> ())
+        writable
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+  fire_due t
+
+let run_until ?deadline_ms t pred =
+  let t0 = Clock.now_ms () in
+  let rec go () =
+    if pred () then true
+    else
+      match deadline_ms with
+      | Some d when Clock.elapsed_ms ~since:t0 >= d -> false
+      | Some d ->
+          run_once ~max_wait_ms:(d -. Clock.elapsed_ms ~since:t0) t;
+          go ()
+      | None ->
+          run_once t;
+          go ()
+  in
+  go ()

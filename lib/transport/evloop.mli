@@ -1,0 +1,39 @@
+(** A non-blocking, [select]-based event loop.
+
+    Single-threaded and deliberately small: the chain's round protocol
+    is lockstep (one batch in flight per link), so a daemon needs
+    exactly "wake me when a socket is readable, writable, or a timer is
+    due".  Handlers may register and unregister fds and timers freely
+    from inside callbacks; changes take effect for the next dispatch. *)
+
+type t
+
+val create : unit -> t
+
+val add_fd :
+  t ->
+  Unix.file_descr ->
+  on_readable:(unit -> unit) ->
+  on_writable:(unit -> unit) ->
+  unit
+(** Register a (non-blocking) fd.  Read interest is permanent until
+    {!remove_fd}; write interest starts off and is toggled with
+    {!want_write} as output queues fill and drain. *)
+
+val want_write : t -> Unix.file_descr -> bool -> unit
+val remove_fd : t -> Unix.file_descr -> unit
+
+val after : t -> ms:float -> (unit -> unit) -> int
+(** One-shot timer on {!Clock}'s timeline; returns an id. *)
+
+val cancel : t -> int -> unit
+(** Cancel a pending timer; unknown ids are ignored. *)
+
+val run_once : ?max_wait_ms:float -> t -> unit
+(** One [select] round: wait (at most [max_wait_ms], default until the
+    next timer or 100 ms), dispatch ready fds, fire due timers. *)
+
+val run_until : ?deadline_ms:float -> t -> (unit -> bool) -> bool
+(** Pump {!run_once} until the predicate holds — [true] — or
+    [deadline_ms] elapses — [false].  Without a deadline, pumps
+    forever. *)

@@ -1,0 +1,79 @@
+(* Streaming length-prefixed frame reassembly.
+
+   The accumulation buffer is a flat byte region with a consumed prefix;
+   it compacts on growth, so steady-state traffic (one frame at a time,
+   as the lockstep round protocol produces) never copies more than each
+   frame once. *)
+
+let header_len = 4
+let max_payload = Vuvuzela_mixnet.Wire.max_frame_len
+
+let encode payload =
+  let n = Bytes.length payload in
+  if n > max_payload then
+    invalid_arg
+      (Printf.sprintf "Frame.encode: %d B payload exceeds max %d" n
+         max_payload);
+  let frame = Bytes.create (header_len + n) in
+  Bytes.set_uint16_le frame 0 (n land 0xffff);
+  Bytes.set_uint16_le frame 2 (n lsr 16);
+  Bytes.blit payload 0 frame header_len n;
+  frame
+
+type decoder = {
+  mutable buf : bytes;
+  mutable start : int;  (** first unconsumed byte *)
+  mutable len : int;  (** unconsumed byte count *)
+  mutable poisoned : string option;
+}
+
+let decoder () =
+  { buf = Bytes.create 4096; start = 0; len = 0; poisoned = None }
+
+let buffered d = d.len
+
+let feed d src ~off ~len =
+  if d.poisoned = None && len > 0 then begin
+    if d.start + d.len + len > Bytes.length d.buf then begin
+      (* Compact, then grow only if the data genuinely doesn't fit. *)
+      let cap = ref (Bytes.length d.buf) in
+      while d.len + len > !cap do
+        cap := !cap * 2
+      done;
+      let fresh = if !cap > Bytes.length d.buf then Bytes.create !cap else d.buf in
+      Bytes.blit d.buf d.start fresh 0 d.len;
+      d.buf <- fresh;
+      d.start <- 0
+    end;
+    Bytes.blit src off d.buf (d.start + d.len) len;
+    d.len <- d.len + len
+  end
+
+let peek_len d =
+  let b i = Char.code (Bytes.get d.buf (d.start + i)) in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+let next d =
+  match d.poisoned with
+  | Some e -> Error e
+  | None ->
+      if d.len < header_len then Ok None
+      else
+        let n = peek_len d in
+        if n > max_payload then begin
+          let e =
+            Printf.sprintf
+              "Frame: length prefix %d exceeds max payload %d" n max_payload
+          in
+          d.poisoned <- Some e;
+          d.len <- 0;
+          Error e
+        end
+        else if d.len < header_len + n then Ok None
+        else begin
+          let payload = Bytes.sub d.buf (d.start + header_len) n in
+          d.start <- d.start + header_len + n;
+          d.len <- d.len - header_len - n;
+          if d.len = 0 then d.start <- 0;
+          Ok (Some payload)
+        end

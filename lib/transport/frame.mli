@@ -1,0 +1,42 @@
+(** Length-prefixed framing for the TCP links.
+
+    A frame is a u32 little-endian payload length followed by the
+    payload — the payload being one {!Vuvuzela.Rpc}-encoded message
+    (magic, version, tag), so the transport never inspects protocol
+    bytes.  The decoder is a streaming reassembler: feed it whatever the
+    socket produced (1-byte drips, a split length prefix, several
+    coalesced frames) and pull complete payloads out.
+
+    The length prefix is hostile input: anything above
+    {!max_payload} ([= Vuvuzela_mixnet.Wire.max_frame_len]) poisons the
+    stream with a typed error before any allocation — the connection
+    must be dropped, since the byte stream can no longer be trusted to
+    refind a frame boundary. *)
+
+val header_len : int
+(** 4: the u32 length prefix. *)
+
+val max_payload : int
+(** Largest payload [encode] produces and [feed]/[next] accept;
+    equal to {!Vuvuzela_mixnet.Wire.max_frame_len}. *)
+
+val encode : bytes -> bytes
+(** Prefix a payload with its length.
+    @raise Invalid_argument if the payload exceeds {!max_payload}. *)
+
+type decoder
+
+val decoder : unit -> decoder
+
+val feed : decoder -> bytes -> off:int -> len:int -> unit
+(** Append raw socket bytes.  Accepts any chunking; bytes fed after the
+    stream is poisoned are discarded. *)
+
+val next : decoder -> (bytes option, string) result
+(** The next complete payload: [Ok None] means more bytes are needed,
+    [Error] means the stream is poisoned (oversized length prefix) and
+    every subsequent call returns the same error. *)
+
+val buffered : decoder -> int
+(** Bytes held waiting for a frame boundary (diagnostics: a nonzero
+    value at EOF is a truncated tail). *)

@@ -1,0 +1,139 @@
+(* Endpoint facade over Evloop/Conn/Frame; see the interface. *)
+
+module Telemetry = Vuvuzela_telemetry.Telemetry
+
+type t = {
+  loop : Evloop.t;
+  stats : Conn.stats;
+  tel : Telemetry.t option;
+}
+
+let create ?telemetry () =
+  (* A dying peer must be an EPIPE on its connection, not a fatal
+     signal.  Idempotent; Windows has no SIGPIPE, hence the try. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  { loop = Evloop.create (); stats = Conn.fresh_stats (); tel = telemetry }
+
+let loop t = t.loop
+let stats t = t.stats
+let run_once ?max_wait_ms t = Evloop.run_once ?max_wait_ms t.loop
+let run_until ?deadline_ms t pred = Evloop.run_until ?deadline_ms t.loop pred
+
+let publish t =
+  match t.tel with
+  | None -> ()
+  | Some _ ->
+      let s = t.stats in
+      let g name v = Telemetry.set_gauge t.tel name (float_of_int v) in
+      g "vuvuzela_net_bytes_in" s.Conn.bytes_in;
+      g "vuvuzela_net_bytes_out" s.Conn.bytes_out;
+      g "vuvuzela_net_frames_in" s.Conn.frames_in;
+      g "vuvuzela_net_frames_out" s.Conn.frames_out;
+      g "vuvuzela_net_reconnects" s.Conn.reconnects
+
+(* ------------------------------------------------------------------ *)
+(* Listening                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type listener = { lfd : Unix.file_descr; port : int }
+
+let listen t addr ?(backlog = 8) ~on_accept () =
+  match
+    let lfd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+       Unix.bind lfd addr;
+       Unix.listen lfd backlog;
+       Unix.set_nonblock lfd
+     with e ->
+       (try Unix.close lfd with Unix.Unix_error _ -> ());
+       raise e);
+    let port =
+      match Unix.getsockname lfd with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> 0
+    in
+    Evloop.add_fd t.loop lfd
+      ~on_readable:(fun () ->
+        match Unix.accept lfd with
+        | fd, peer -> on_accept fd peer
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            ()
+        | exception Unix.Unix_error _ -> ())
+      ~on_writable:(fun () -> ());
+    { lfd; port }
+  with
+  | l -> Ok l
+  | exception Unix.Unix_error (err, fn, _) ->
+      Error
+        (Printf.sprintf "listen %s: %s in %s" (Addr.to_string addr)
+           (Unix.error_message err) fn)
+
+let listener_port l = l.port
+
+let close_listener t l =
+  Evloop.remove_fd t.loop l.lfd;
+  try Unix.close l.lfd with Unix.Unix_error _ -> ()
+
+let dial t ~addr ~hello ?base_backoff_ms ?max_backoff_ms
+    ?handshake_timeout_ms ~on_established ~on_frame ~on_drop () =
+  Conn.dial ~loop:t.loop ~addr ~hello ~stats:t.stats ?base_backoff_ms
+    ?max_backoff_ms ?handshake_timeout_ms ~on_established ~on_frame ~on_drop
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Client style: synchronous lockstep exchange                         *)
+(* ------------------------------------------------------------------ *)
+
+type client = {
+  conn : Conn.t;
+  inbox : bytes Queue.t;
+  mutable last_handshake : bytes option;
+  mutable dropped : bool;  (** set on drop, cleared by the next recv *)
+}
+
+let connect t ~addr ~hello ?max_backoff_ms () =
+  let inbox = Queue.create () in
+  let rec client =
+    lazy
+      {
+        conn =
+          Conn.dial ~loop:t.loop ~addr ~hello ~stats:t.stats ?max_backoff_ms
+            ~on_established:(fun _ payload ->
+              let c = Lazy.force client in
+              c.last_handshake <- Some payload)
+            ~on_frame:(fun _ payload ->
+              Queue.push payload (Lazy.force client).inbox)
+            ~on_drop:(fun _ -> (Lazy.force client).dropped <- true)
+            ();
+        inbox;
+        last_handshake = None;
+        dropped = false;
+      }
+  in
+  Lazy.force client
+
+let client_conn c = c.conn
+
+let handshake ?deadline_ms t c =
+  if
+    run_until ?deadline_ms t (fun () ->
+        Conn.established c.conn && c.last_handshake <> None)
+  then Ok (Option.get c.last_handshake)
+  else Error `Timeout
+
+let send_batch c payload =
+  (* [dropped] means "dropped since the last send": a drop racing ahead
+     of the matching recv must not be erased by it. *)
+  c.dropped <- false;
+  Conn.send c.conn payload
+
+let recv_batch ?deadline_ms t c =
+  if
+    run_until ?deadline_ms t (fun () ->
+        (not (Queue.is_empty c.inbox)) || c.dropped)
+  then if Queue.is_empty c.inbox then Error `Dropped else Ok (Queue.pop c.inbox)
+  else Error `Timeout
+
+let close_client _t c = Conn.close c.conn

@@ -11,6 +11,7 @@ let () =
       Test_multiconv.suite;
       Test_network.suite;
       Test_transcript.suite;
+      Test_transport.suite;
       Test_ratchet.suite;
       Test_certified.suite;
       Test_infra.suite;

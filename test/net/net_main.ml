@@ -1,0 +1,360 @@
+(* Loopback multi-process deployment: 3 forked server daemons, a
+   coordinator in this process, real TCP on 127.0.0.1.
+
+   The checks mirror the ISSUE's acceptance gate:
+   - a seeded 3-server deployment runs 3 conversation rounds and a
+     dialing round whose wire transcript digest is bit-identical to the
+     in-process chain's (and to the pinned constant);
+   - a full [Network.create_tcp] deployment delivers messages and
+     confirms dialing acks over the supervisor;
+   - a crash fault at a middle server is survived by the supervisor's
+     retry path within [max_retries];
+   - a middle server killed with SIGKILL and restarted from its seed is
+     survived the same way.
+
+   Plain executable: forking is only safe in a process that never
+   spawned a domain, so this cannot live inside the alcotest binary. *)
+
+open Vuvuzela_dp
+open Vuvuzela
+module Addr = Vuvuzela_transport.Addr
+module Fault = Vuvuzela_faults.Fault
+
+let failures = ref 0
+
+let check name cond =
+  if cond then Printf.printf "  ok: %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "  FAIL: %s\n%!" name
+  end
+
+let check_str name expected got =
+  if expected = got then Printf.printf "  ok: %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "  FAIL: %s\n    expected %s\n    got      %s\n%!" name
+      expected got
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Process plumbing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let sockets_allowed () =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> false
+  | fd -> (
+      match Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0)) with
+      | () ->
+          Unix.close fd;
+          true
+      | exception Unix.Unix_error _ ->
+          Unix.close fd;
+          false)
+
+(* Bind port 0, read the assignment, release it.  The daemon rebinds
+   moments later under SO_REUSEADDR; collisions on loopback in a test
+   sandbox are vanishingly rare. *)
+let free_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close fd;
+  port
+
+let chain_len = 3
+
+let daemon_cfg ~seed ~ports ~index ?fault_plan () =
+  {
+    Daemon.listen = Addr.loopback ~port:ports.(index);
+    next =
+      (if index = chain_len - 1 then None
+       else Some (Addr.loopback ~port:ports.(index + 1)));
+    index;
+    chain_len;
+    seed = Some seed;
+    noise = Transcript_pin.noise;
+    dial_noise = Transcript_pin.dial_noise;
+    noise_mode = Noise.Deterministic;
+    dial_kind = Dialing.Plain;
+    jobs = 1;
+    fault_plan;
+  }
+
+let debug = Sys.getenv_opt "NET_DEBUG" <> None
+
+let fork_daemon cfg =
+  match Unix.fork () with
+  | 0 ->
+      let log =
+        if debug then fun m ->
+          Printf.eprintf "[daemon %d] %s\n%!" cfg.Daemon.index m
+        else fun _ -> ()
+      in
+      (match Daemon.run ~log cfg with
+      | Ok () -> ()
+      | Error e ->
+          if debug then
+            Printf.eprintf "[daemon %d] startup error: %s\n%!"
+              cfg.Daemon.index e
+      | exception e ->
+          if debug then
+            Printf.eprintf "[daemon %d] exception: %s\n%!" cfg.Daemon.index
+              (Printexc.to_string e));
+      Unix._exit 0
+  | pid -> pid
+
+(* Reap a daemon: give the Bye a moment to land, then force. *)
+let stop_pid pid =
+  let deadline = Unix.gettimeofday () +. 3.0 in
+  let rec wait () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+        if Unix.gettimeofday () > deadline then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid)
+        end
+        else begin
+          Unix.sleepf 0.02;
+          wait ()
+        end
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  in
+  wait ()
+
+let spawn_chain ?fault_plan_for ~seed ports =
+  Array.to_list
+    (Array.init chain_len (fun i ->
+         (* last server first, so the handshake cascade settles fast;
+            dial-with-backoff makes any order work *)
+         let index = chain_len - 1 - i in
+         let fault_plan =
+           match fault_plan_for with
+           | Some (j, plan) when j = index -> Some plan
+           | _ -> None
+         in
+         fork_daemon (daemon_cfg ~seed ~ports ~index ?fault_plan ())))
+
+let with_chain ?fault_plan_for ~seed f =
+  let ports = Array.init chain_len (fun _ -> free_port ()) in
+  let pids = spawn_chain ?fault_plan_for ~seed ports in
+  Fun.protect
+    ~finally:(fun () -> List.iter stop_pid pids)
+    (fun () -> f ports)
+
+(* ------------------------------------------------------------------ *)
+(* 1. Transcript parity: TCP chain ≡ in-process chain, bit for bit     *)
+(* ------------------------------------------------------------------ *)
+
+let test_transcript_parity () =
+  print_endline "transcript parity (3 conv rounds + 1 dialing round):";
+  with_chain ~seed:Transcript_pin.seed (fun ports ->
+      match
+        Remote.connect ~handshake_timeout_ms:20_000.
+          ~addr:(Addr.loopback ~port:ports.(0))
+          ()
+      with
+      | Error e -> check ("remote connect: " ^ e) false
+      | Ok remote ->
+          Remote.set_deadline_ms remote (Some 30_000.);
+          let fail_status st =
+            failwith (Format.asprintf "%a" Rpc.pp_status st)
+          in
+          let backend =
+            {
+              Transcript_pin.pks = Remote.public_keys remote;
+              conversation_round =
+                (fun ~round requests ->
+                  match Remote.conversation_round remote ~round requests with
+                  | Ok replies -> replies
+                  | Error st -> fail_status st);
+              dialing_round =
+                (fun ~round ~m requests ->
+                  match Remote.dialing_round remote ~round ~m requests with
+                  | Ok acks -> acks
+                  | Error st -> fail_status st);
+            }
+          in
+          check "3 server public keys over handshake"
+            (List.length backend.Transcript_pin.pks = chain_len);
+          let tcp_digest = Transcript_pin.full_digest backend in
+          check_str "loopback digest = pinned digest"
+            Transcript_pin.pinned_full_digest tcp_digest;
+          let in_process_digest =
+            let b, shutdown = Transcript_pin.in_process () in
+            Fun.protect ~finally:shutdown (fun () ->
+                Transcript_pin.full_digest b)
+          in
+          check_str "loopback digest = in-process digest" in_process_digest
+            tcp_digest;
+          let stats = Remote.stats remote in
+          check "wire counters moved"
+            (stats.Vuvuzela_transport.Conn.bytes_out > 0
+            && stats.Vuvuzela_transport.Conn.bytes_in > 0);
+          Remote.shutdown remote)
+
+(* ------------------------------------------------------------------ *)
+(* 2. Full supervisor over TCP: delivery + dialing acks                *)
+(* ------------------------------------------------------------------ *)
+
+let test_network_smoke () =
+  print_endline "Network.create_tcp smoke (4 clients):";
+  with_chain ~seed:"net-smoke" (fun ports ->
+      match
+        Network.create_tcp ~noise:Transcript_pin.noise
+          ~dial_noise:Transcript_pin.dial_noise ~round_deadline_ms:30_000.
+          ~handshake_timeout_ms:20_000.
+          ~addr:(Addr.loopback ~port:ports.(0))
+          ()
+      with
+      | Error e -> check ("create_tcp: " ^ e) false
+      | Ok net ->
+          check "is_remote" (Network.is_remote net);
+          let a = Network.connect ~seed:"net-a" net in
+          let b = Network.connect ~seed:"net-b" net in
+          let c = Network.connect ~seed:"net-c" net in
+          let d = Network.connect ~seed:"net-d" net in
+          Client.start_conversation a ~peer_pk:(Client.public_key b);
+          Client.start_conversation b ~peer_pk:(Client.public_key a);
+          Client.start_conversation c ~peer_pk:(Client.public_key d);
+          Client.start_conversation d ~peer_pk:(Client.public_key c);
+          Client.send a "hello over real tcp";
+          Client.send c "second pair, second link";
+          let reports = Network.run_rounds net 3 in
+          check "3 conversation rounds completed"
+            (List.for_all (fun r -> r.Network.failure = None) reports);
+          check "single attempt each"
+            (List.for_all (fun r -> r.Network.attempts = 1) reports);
+          let delivered =
+            List.concat_map
+              (fun (_, evs) ->
+                List.filter_map
+                  (function
+                    | Client.Delivered { text; _ } -> Some text | _ -> None)
+                  evs)
+              (Network.events_of reports)
+          in
+          check "both texts delivered"
+            (List.mem "hello over real tcp" delivered
+            && List.mem "second pair, second link" delivered);
+          let dial = Network.run_dialing_round net in
+          check "dialing round completed" (dial.Network.failure = None);
+          check "all 4 acks confirmed" (dial.Network.confirmed_acks = 4);
+          Network.shutdown net)
+
+(* ------------------------------------------------------------------ *)
+(* 3. Socket-level crash fault: supervisor retries within max_retries  *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_retry () =
+  print_endline "crash fault at middle server, supervisor retry:";
+  let plan = [ { Fault.round = 1; server = 1; kind = Fault.Crash } ] in
+  with_chain ~seed:"net-fault" ~fault_plan_for:(1, plan) (fun ports ->
+      match
+        Network.create_tcp ~noise:Transcript_pin.noise
+          ~dial_noise:Transcript_pin.dial_noise ~round_deadline_ms:10_000.
+          ~max_retries:3 ~handshake_timeout_ms:20_000.
+          ~addr:(Addr.loopback ~port:ports.(0))
+          ()
+      with
+      | Error e -> check ("create_tcp: " ^ e) false
+      | Ok net ->
+          let a = Network.connect ~seed:"fault-a" net in
+          let b = Network.connect ~seed:"fault-b" net in
+          Client.start_conversation a ~peer_pk:(Client.public_key b);
+          Client.start_conversation b ~peer_pk:(Client.public_key a);
+          Client.send a "survives the crash";
+          let r = Network.run_round net in
+          check "round recovered" (r.Network.failure = None);
+          check "took a retry" (r.Network.attempts = 2);
+          check "abort recorded" (List.length r.Network.aborts = 1);
+          let r2 = Network.run_round net in
+          check "delivery after recovery"
+            (List.exists
+               (fun (_, evs) ->
+                 List.exists
+                   (function
+                     | Client.Delivered { text; _ } ->
+                         text = "survives the crash"
+                     | _ -> false)
+                   evs)
+               (r.Network.events @ r2.Network.events));
+          Network.shutdown net)
+
+(* ------------------------------------------------------------------ *)
+(* 4. SIGKILL + restart of the middle server                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_kill_restart () =
+  print_endline "kill -9 the middle server, restart it, keep running:";
+  let seed = "net-restart" in
+  let ports = Array.init chain_len (fun _ -> free_port ()) in
+  let pids = ref (spawn_chain ~seed ports) in
+  Fun.protect
+    ~finally:(fun () -> List.iter stop_pid !pids)
+    (fun () ->
+      match
+        Network.create_tcp ~noise:Transcript_pin.noise
+          ~dial_noise:Transcript_pin.dial_noise ~round_deadline_ms:15_000.
+          ~max_retries:4 ~handshake_timeout_ms:20_000.
+          ~addr:(Addr.loopback ~port:ports.(0))
+          ()
+      with
+      | Error e -> check ("create_tcp: " ^ e) false
+      | Ok net ->
+          let a = Network.connect ~seed:"restart-a" net in
+          let b = Network.connect ~seed:"restart-b" net in
+          Client.start_conversation a ~peer_pk:(Client.public_key b);
+          Client.start_conversation b ~peer_pk:(Client.public_key a);
+          let r1 = Network.run_round net in
+          check "round before the kill" (r1.Network.failure = None);
+          (* SIGKILL the middle server: no goodbye, no flush. *)
+          let victim = List.nth !pids 1 in
+          Unix.kill victim Sys.sigkill;
+          ignore (Unix.waitpid [] victim);
+          pids := List.filteri (fun i _ -> i <> 1) !pids;
+          (* Restart it from the same seed; it re-derives its keys and
+             rejoins via the handshake cascade. *)
+          pids := fork_daemon (daemon_cfg ~seed ~ports ~index:1 ()) :: !pids;
+          Client.send a "through the restart";
+          let r2 = Network.run_round net in
+          check "round after restart recovered" (r2.Network.failure = None);
+          let r3 = Network.run_round net in
+          check "delivery after restart"
+            (List.exists
+               (fun (_, evs) ->
+                 List.exists
+                   (function
+                     | Client.Delivered { text; _ } ->
+                         text = "through the restart"
+                     | _ -> false)
+                   evs)
+               (r2.Network.events @ r3.Network.events));
+          Network.shutdown net)
+
+let () =
+  if not (sockets_allowed ()) then begin
+    print_endline
+      "net: skipped — sandbox forbids loopback sockets (bind failed)";
+    exit 0
+  end;
+  let only =
+    match Sys.argv with [| _; name |] -> Some name | _ -> None
+  in
+  let run name f = if only = None || only = Some name then f () in
+  run "transcript" test_transcript_parity;
+  run "smoke" test_network_smoke;
+  run "crash" test_crash_retry;
+  run "restart" test_kill_restart;
+  if !failures > 0 then begin
+    Printf.printf "net: %d failure(s)\n%!" !failures;
+    exit 1
+  end
+  else print_endline "net: all loopback deployment checks passed"

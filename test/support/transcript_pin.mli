@@ -1,0 +1,41 @@
+(** The seeded wire-transcript fixture, shared between the alcotest
+    suite (in-process chain) and the loopback-TCP deployment test
+    ([test/net]): one digest computation, two backends, so "the TCP
+    chain is bit-identical to the in-process chain" is checked against
+    literally the same bytes. *)
+
+type backend = {
+  pks : bytes list;
+  conversation_round : round:int -> bytes array -> bytes array;
+      (** must raise on failure *)
+  dialing_round : round:int -> m:int -> bytes array -> bytes array;
+}
+
+val seed : string
+(** The deployment seed ["transcript-pin"]; servers use the standard
+    per-position derivation from it. *)
+
+val n_servers : int
+val noise : Vuvuzela_dp.Laplace.params
+val dial_noise : Vuvuzela_dp.Laplace.params
+(** Chain parameters every backend must use ([Deterministic] noise). *)
+
+val in_process : unit -> backend * (unit -> unit)
+(** The reference backend: [Chain.create ~seed]; the thunk shuts the
+    chain down. *)
+
+val conv_digest : backend -> string
+(** SHA-256 (hex) over: server public keys, then rounds 1..3 — every
+    request onion, then every reply blob, in slot order — from 4 seeded
+    clients in two conversing pairs. *)
+
+val full_digest : backend -> string
+(** [conv_digest]'s schedule followed by dialing round 1 (m = 1):
+    requests, then acks, fed to the same hash. *)
+
+val pinned_conv_digest : string
+(** Captured from the seed implementation; {!conv_digest} of any
+    backend must equal it forever. *)
+
+val pinned_full_digest : string
+(** Captured when the dialing-inclusive pin was introduced. *)

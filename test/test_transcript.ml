@@ -1,79 +1,50 @@
-(* Wire-transcript pin: a seeded 3-round schedule must produce
-   bit-identical bytes on the wire forever.
+(* Wire-transcript pin: a seeded schedule must produce bit-identical
+   bytes on the wire forever.
 
-   The digest below was captured from the seed implementation (TweetNaCl
-   16×16-bit Fe25519).  The 51-bit field arithmetic that replaced it is a
-   pure representation change — every packed field element, and therefore
-   every onion ciphertext, dead-drop ID, and reply byte, must come out
-   identical.  If this test ever fails, the crypto rewrite changed
-   protocol bytes, which is a compatibility break, not a refactor. *)
+   The conversation digest was captured from the seed implementation
+   (TweetNaCl 16×16-bit Fe25519) — the 51-bit field arithmetic that
+   replaced it is a pure representation change, so every onion
+   ciphertext, dead-drop ID, and reply byte must come out identical.
+   The dialing-inclusive digest extends the same hash over a dialing
+   round.  If either test ever fails, protocol bytes changed: a
+   compatibility break, not a refactor.
 
-open Vuvuzela_crypto
-open Vuvuzela_dp
-open Vuvuzela
+   The fixture itself lives in [Transcript_pin] so the loopback-TCP
+   deployment test ([test/net]) checks its multi-process chain against
+   literally the same digest computation. *)
 
-(* SHA-256 over: server public keys, then for each of rounds 1..3 every
-   client request onion followed by every reply blob, in slot order. *)
-let pinned_digest =
-  "f0a4328962790e997f48ca4e9b15e3f27665e12abacf58dfe90af0de7915b02d"
-
-let transcript_digest () =
-  let chain =
-    Chain.create ~seed:"transcript-pin" ~n_servers:3
-      ~noise:(Laplace.params ~mu:3. ~b:1.)
-      ~dial_noise:(Laplace.params ~mu:1. ~b:1.)
-      ~noise_mode:Noise.Deterministic ()
-  in
-  let pks = Chain.public_keys chain in
-  let clients =
-    List.init 4 (fun i ->
-        let seed = Printf.sprintf "transcript-c%d" i in
-        Client.create ~seed
-          ~identity:(Types.identity_of_seed (Bytes.of_string seed))
-          ~server_pks:pks ())
-  in
-  (match clients with
-  | a :: b :: c :: d :: _ ->
-      Client.start_conversation a ~peer_pk:(Client.public_key b);
-      Client.start_conversation b ~peer_pk:(Client.public_key a);
-      Client.start_conversation c ~peer_pk:(Client.public_key d);
-      Client.start_conversation d ~peer_pk:(Client.public_key c);
-      Client.send a "hello from the pinned transcript";
-      Client.send c "second pair payload"
-  | _ -> assert false);
-  let h = Sha256.init () in
-  List.iter (fun pk -> Sha256.feed h pk) pks;
-  for round = 1 to 3 do
-    let requests =
-      Array.of_list
-        (List.map (fun c -> Client.conversation_request c ~round) clients)
-    in
-    Array.iter (Sha256.feed h) requests;
-    let replies = Chain.conversation_round_exn chain ~round requests in
-    Array.iter (Sha256.feed h) replies;
-    List.iteri
-      (fun i c ->
-        ignore (Client.handle_conversation_reply c ~round replies.(i)))
-      clients
-  done;
-  Bytes_util.to_hex (Sha256.get h)
+let with_in_process f =
+  let backend, shutdown = Transcript_pin.in_process () in
+  Fun.protect ~finally:shutdown (fun () -> f backend)
 
 let test_pinned_transcript () =
-  Alcotest.(check string)
-    "3-round wire transcript matches the seed implementation" pinned_digest
-    (transcript_digest ())
+  with_in_process (fun backend ->
+      Alcotest.(check string)
+        "3-round wire transcript matches the seed implementation"
+        Transcript_pin.pinned_conv_digest
+        (Transcript_pin.conv_digest backend))
+
+let test_pinned_full_transcript () =
+  with_in_process (fun backend ->
+      Alcotest.(check string)
+        "conversation + dialing transcript matches its pin"
+        Transcript_pin.pinned_full_digest
+        (Transcript_pin.full_digest backend))
 
 (* The transcript is a function of the seed alone: two fresh deployments
    agree byte for byte (guards against hidden global state). *)
 let test_transcript_deterministic () =
-  Alcotest.(check string)
-    "transcript reproducible" (transcript_digest ()) (transcript_digest ())
+  let d1 = with_in_process Transcript_pin.full_digest in
+  let d2 = with_in_process Transcript_pin.full_digest in
+  Alcotest.(check string) "transcript reproducible" d1 d2
 
 let suite =
   ( "transcript",
     [
       Alcotest.test_case "pinned 3-round wire transcript" `Quick
         test_pinned_transcript;
+      Alcotest.test_case "pinned dialing-inclusive transcript" `Quick
+        test_pinned_full_transcript;
       Alcotest.test_case "transcript deterministic" `Quick
         test_transcript_deterministic;
     ] )

@@ -82,9 +82,11 @@ let make_bench_tests () =
 let make_round_bench () =
   let noise = Laplace.params ~mu:2. ~b:1. in
   let chain =
-    Chain.create ~seed:"bench-chain" ~n_servers:3 ~noise
-      ~dial_noise:(Laplace.params ~mu:1. ~b:1.)
-      ~noise_mode:Noise.Deterministic ()
+    Chain.of_config
+      Config.(
+        default |> with_seed "bench-chain" |> with_noise noise
+        |> with_dial_noise (Laplace.params ~mu:1. ~b:1.)
+        |> with_noise_mode Noise.Deterministic)
   in
   let pks = Chain.public_keys chain in
   let clients =
@@ -332,9 +334,11 @@ let live_round_scaling () =
     (fun n_clients ->
       let noise = Laplace.params ~mu:4. ~b:1. in
       let net =
-        Network.create ~seed:"bench-live" ~n_servers:3 ~noise
-          ~dial_noise:(Laplace.params ~mu:1. ~b:1.)
-          ~noise_mode:Noise.Deterministic ()
+        Network.of_config
+          Network.Config.(
+            default |> with_seed "bench-live" |> with_noise noise
+            |> with_dial_noise (Laplace.params ~mu:1. ~b:1.)
+            |> with_noise_mode Noise.Deterministic)
       in
       let clients =
         List.init n_clients (fun i ->
@@ -351,7 +355,7 @@ let live_round_scaling () =
       let t0 = Unix.gettimeofday () in
       let rounds = 3 in
       for _ = 1 to rounds do
-        ignore (Network.run_round net)
+        ignore (Network.run ~kind:Round.Conversation net)
       done;
       let dt = (Unix.gettimeofday () -. t0) /. float_of_int rounds in
       Printf.printf
@@ -378,9 +382,11 @@ let parallel_scaling () =
     (fun jobs ->
       let noise = Laplace.params ~mu:4. ~b:1. in
       let net =
-        Network.create ~seed:"bench-par" ~n_servers:3 ~noise
-          ~dial_noise:(Laplace.params ~mu:1. ~b:1.)
-          ~noise_mode:Noise.Deterministic ~jobs ()
+        Network.of_config
+          Network.Config.(
+            default |> with_seed "bench-par" |> with_noise noise
+            |> with_dial_noise (Laplace.params ~mu:1. ~b:1.)
+            |> with_noise_mode Noise.Deterministic |> with_jobs jobs)
       in
       let clients =
         List.init n_clients (fun i ->
@@ -394,11 +400,11 @@ let parallel_scaling () =
         | _ -> ()
       in
       pair clients;
-      ignore (Network.run_round net) (* warm-up: spin up the domains *);
+      ignore (Network.run ~kind:Round.Conversation net) (* warm-up: spin up the domains *);
       let rounds = 3 in
       let t0 = Unix.gettimeofday () in
       for _ = 1 to rounds do
-        ignore (Network.run_round net)
+        ignore (Network.run ~kind:Round.Conversation net)
       done;
       let dt = (Unix.gettimeofday () -. t0) /. float_of_int rounds in
       Network.shutdown net;
@@ -430,10 +436,13 @@ let round_stage_export () =
   let per_jobs jobs =
     let tel = T.Telemetry.create () in
     let net =
-      Network.create ~seed:"bench-stages" ~n_servers:3
-        ~noise:(Laplace.params ~mu:4. ~b:1.)
-        ~dial_noise:(Laplace.params ~mu:1. ~b:1.)
-        ~noise_mode:Noise.Deterministic ~jobs ~telemetry:tel ()
+      Network.of_config
+        Network.Config.(
+          default |> with_seed "bench-stages"
+          |> with_noise (Laplace.params ~mu:4. ~b:1.)
+          |> with_dial_noise (Laplace.params ~mu:1. ~b:1.)
+          |> with_noise_mode Noise.Deterministic |> with_jobs jobs
+          |> with_telemetry tel)
     in
     let clients =
       List.init n_clients (fun i ->
@@ -504,8 +513,11 @@ let round_stage_export () =
 
 (* Throughput of the rewritten X25519 (5×51-bit limbs) against the
    retained seed ladder (Curve25519_ref, 16×16-bit limbs), AEAD seal/open
-   throughput, and the end-to-end round cost at jobs ∈ {1, 4} — written
-   to BENCH_crypto.json so the speedup is diffable run-to-run. *)
+   throughput, the chunked-vs-per-item pool dispatch cost, and the
+   end-to-end round cost at jobs ∈ {1, 2, 4} plus a pipelined run —
+   written to BENCH_crypto.json so the numbers are diffable run-to-run.
+   The host core count is recorded alongside: on a 1-core container the
+   jobs > 1 rows measure scheduling overhead, not speedup. *)
 let crypto_bench () =
   section "CRYPTO - 51-bit field vs seed ladder (writes BENCH_crypto.json)";
   let module T = Vuvuzela_telemetry in
@@ -557,12 +569,18 @@ let crypto_bench () =
   Printf.printf "  aead open (1 KiB)       %10.1f MB/s\n" (mb open_ops);
   (* End-to-end conversation rounds (real crypto, 3 servers, 24 clients)
      at jobs 1 and 4 — the consumer-visible effect of the field rewrite. *)
-  let round_ms jobs =
+  let round_ms ?pipeline_chunk jobs =
     let net =
-      Network.create ~seed:"bench-crypto-round" ~n_servers:3
-        ~noise:(Laplace.params ~mu:4. ~b:1.)
-        ~dial_noise:(Laplace.params ~mu:1. ~b:1.)
-        ~noise_mode:Noise.Deterministic ~jobs ()
+      Network.of_config
+        Network.Config.(
+          default |> with_seed "bench-crypto-round"
+          |> with_noise (Laplace.params ~mu:4. ~b:1.)
+          |> with_dial_noise (Laplace.params ~mu:1. ~b:1.)
+          |> with_noise_mode Noise.Deterministic |> with_jobs jobs
+          |>
+          match pipeline_chunk with
+          | None -> Fun.id
+          | Some chunk -> with_pipeline ~chunk true)
     in
     let clients =
       List.init 24 (fun i ->
@@ -576,27 +594,63 @@ let crypto_bench () =
       | _ -> ()
     in
     pair clients;
-    ignore (Network.run_round net) (* warm-up *);
+    ignore (Network.run ~kind:Round.Conversation net) (* warm-up *);
     let rounds = 4 in
     let t0 = Unix.gettimeofday () in
     for _ = 1 to rounds do
-      ignore (Network.run_round net)
+      ignore (Network.run ~kind:Round.Conversation net)
     done;
     let dt = (Unix.gettimeofday () -. t0) /. float_of_int rounds in
     Network.shutdown net;
-    Printf.printf "  round (24 clients)      %10.1f ms at jobs=%d\n"
-      (1000. *. dt) jobs;
+    Printf.printf "  round (24 clients)      %10.1f ms at jobs=%d%s\n"
+      (1000. *. dt) jobs
+      (match pipeline_chunk with
+      | None -> ""
+      | Some c -> Printf.sprintf " pipelined chunk=%d" c);
     T.Json.Obj
-      [
-        ("jobs", T.Json.Num (float_of_int jobs));
-        ("ms_per_round", T.Json.Num (1000. *. dt));
-      ]
+      ([
+         ("jobs", T.Json.Num (float_of_int jobs));
+         ("ms_per_round", T.Json.Num (1000. *. dt));
+       ]
+      @
+      match pipeline_chunk with
+      | None -> []
+      | Some c -> [ ("pipeline_chunk", T.Json.Num (float_of_int c)) ])
   in
-  let rounds = List.map round_ms [ 1; 4 ] in
+  let rounds =
+    (* Bound one by one: list elements evaluate right-to-left, which
+       would print the rows bottom-up. *)
+    let r1 = round_ms 1 in
+    let r2 = round_ms 2 in
+    let r4 = round_ms 4 in
+    let rp = round_ms ~pipeline_chunk:16 4 in
+    [ r1; r2; r4; rp ]
+  in
+  (* Pool dispatch A/B: the same per-onion-sized crypto job fanned out
+     chunked (one task per domain) vs per-item (one queued closure per
+     element).  The gap is pure dispatch overhead. *)
+  let module Pool = Vuvuzela_parallel.Pool in
+  let pool_jobs = min 4 (Pool.default_jobs ()) in
+  let p = Pool.create ~jobs:pool_jobs in
+  let items = Array.init 256 (fun i -> Drbg.generate rng (240 + (i mod 16))) in
+  let work _ b = Sha256.digest b in
+  let chunked_ops =
+    ops_per_sec ~min_s:0.3 (fun () -> ignore (Pool.mapi_array p work items))
+  in
+  let per_item_ops =
+    ops_per_sec ~min_s:0.3 (fun () ->
+        ignore (Pool.mapi_array_per_item p work items))
+  in
+  Pool.shutdown p;
+  Printf.printf
+    "  pool 256x sha256: chunked %8.0f batches/s, per-item %8.0f batches/s \
+     (%.2fx) at jobs=%d\n"
+    chunked_ops per_item_ops (chunked_ops /. per_item_ops) pool_jobs;
   let doc =
     T.Json.Obj
       [
         ("benchmark", T.Json.Str "crypto");
+        ("host_cores", T.Json.Num (float_of_int (Pool.default_jobs ())));
         ( "x25519",
           T.Json.Obj
             [
@@ -610,6 +664,15 @@ let crypto_bench () =
             [
               ("seal_mb_per_sec", T.Json.Num (mb seal_ops));
               ("open_mb_per_sec", T.Json.Num (mb open_ops));
+            ] );
+        ( "pool_dispatch_256x_sha256",
+          T.Json.Obj
+            [
+              ("jobs", T.Json.Num (float_of_int pool_jobs));
+              ("chunked_batches_per_sec", T.Json.Num chunked_ops);
+              ("per_item_batches_per_sec", T.Json.Num per_item_ops);
+              ( "chunked_speedup_vs_per_item",
+                T.Json.Num (chunked_ops /. per_item_ops) );
             ] );
         ("round", T.Json.List rounds);
       ]
@@ -647,10 +710,17 @@ let faults_overhead () =
       else None
     in
     let net =
-      Network.create ~seed:"bench-faults" ~n_servers:3
-        ~noise:(Laplace.params ~mu:4. ~b:1.)
-        ~dial_noise:(Laplace.params ~mu:1. ~b:1.)
-        ~noise_mode:Noise.Deterministic ~jobs ?fault_plan ~max_retries:2 ()
+      Network.of_config
+        Network.Config.(
+          default |> with_seed "bench-faults"
+          |> with_noise (Laplace.params ~mu:4. ~b:1.)
+          |> with_dial_noise (Laplace.params ~mu:1. ~b:1.)
+          |> with_noise_mode Noise.Deterministic |> with_jobs jobs
+          |> with_max_retries 2
+          |>
+          match fault_plan with
+          | None -> Fun.id
+          | Some plan -> with_fault_plan plan)
     in
     let clients =
       List.init n_clients (fun i ->
@@ -664,7 +734,7 @@ let faults_overhead () =
       | _ -> ()
     in
     pair clients;
-    ignore (Network.run_round net) (* warm-up, and lands on round 1 *);
+    ignore (Network.run ~kind:Round.Conversation net) (* warm-up, and lands on round 1 *);
     let t0 = Unix.gettimeofday () in
     let reports = Network.run_rounds net rounds in
     let dt = (Unix.gettimeofday () -. t0) /. float_of_int rounds in
@@ -887,7 +957,7 @@ let transport_bench () =
     in
     (* ms/round and wire MB/s over [rounds] supervised rounds *)
     let measure net =
-      ignore (Network.run_round net) (* warm-up *);
+      ignore (Network.run ~kind:Round.Conversation net) (* warm-up *);
       let t0 = Unix.gettimeofday () in
       let reports = Network.run_rounds net rounds in
       let dt = Unix.gettimeofday () -. t0 in
@@ -898,8 +968,11 @@ let transport_bench () =
     in
     let in_process ~jobs =
       let net =
-        Network.create ~seed:"bench-tcp" ~n_servers:3 ~noise ~dial_noise
-          ~noise_mode:Noise.Deterministic ~jobs ()
+        Network.of_config
+          Network.Config.(
+            default |> with_seed "bench-tcp" |> with_noise noise
+            |> with_dial_noise dial_noise
+            |> with_noise_mode Noise.Deterministic |> with_jobs jobs)
       in
       connect_clients net;
       let r = measure net in
@@ -914,12 +987,15 @@ let transport_bench () =
         ~finally:(fun () -> List.iter stop_pid !pids)
         (fun () ->
           match
-            Network.create_tcp ~noise ~dial_noise ~round_deadline_ms:60_000.
-              ~handshake_timeout_ms:30_000. ~max_retries:4
+            Network.of_config_tcp
+              Network.Config.(
+                default |> with_noise noise |> with_dial_noise dial_noise
+                |> with_round_deadline_ms 60_000.
+                |> with_handshake_timeout_ms 30_000.
+                |> with_max_retries 4)
               ~addr:(Addr.loopback ~port:ports.(0))
-              ()
           with
-          | Error e -> failwith ("create_tcp: " ^ e)
+          | Error e -> failwith ("of_config_tcp: " ^ e)
           | Ok net ->
               connect_clients net;
               let r = f ~seed ~ports ~pids net in
@@ -950,7 +1026,7 @@ let transport_bench () =
        the first supervised round completed after the kill. *)
     let recovery_ms =
       over_tcp ~jobs:1 (fun ~seed ~ports ~pids net ->
-          ignore (Network.run_round net);
+          ignore (Network.run ~kind:Round.Conversation net);
           let victim = List.nth !pids 1 in
           Unix.kill victim Sys.sigkill;
           ignore (Unix.waitpid [] victim);
@@ -960,7 +1036,7 @@ let transport_bench () =
               (fun i pid ->
                 if i = 1 then spawn_daemon ~jobs:1 ~seed ~ports 1 else pid)
               !pids;
-          let r = Network.run_round net in
+          let r = Network.run ~kind:Round.Conversation net in
           let dt = 1000. *. (Unix.gettimeofday () -. t0) in
           if r.Network.failure <> None then
             failwith "reconnect storm: round did not recover";
@@ -993,6 +1069,10 @@ let () =
      CI smoke; the full run takes minutes). *)
   if Sys.getenv_opt "BENCH_ONLY" = Some "transport" then begin
     transport_bench ();
+    exit 0
+  end;
+  if Sys.getenv_opt "BENCH_ONLY" = Some "crypto" then begin
+    crypto_bench ();
     exit 0
   end;
   print_endline "VUVUZELA (SOSP 2015) - evaluation reproduction";

@@ -19,8 +19,8 @@ let write_file path s =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
 
-let demo users rounds mu seed jobs fault_plan round_deadline_ms max_retries
-    metrics_out trace_out budget_warn =
+let demo users rounds mu seed jobs pipeline fault_plan round_deadline_ms
+    max_retries metrics_out trace_out budget_warn =
   let noise = Laplace.params ~mu ~b:(Float.max 1. (mu /. 21.7)) in
   (* Any observability flag turns the sink on; without one the nil sink
      keeps the demo on the exact zero-cost path the tests pin. *)
@@ -29,11 +29,20 @@ let demo users rounds mu seed jobs fault_plan round_deadline_ms max_retries
       Some (Vuvuzela_telemetry.Telemetry.create ())
     else None
   in
+  let opt f v cfg = match v with None -> cfg | Some v -> f v cfg in
   let net =
-    Network.create ~seed ~n_servers:3 ~noise
-      ~dial_noise:(Laplace.params ~mu:(Float.max 1. (mu /. 20.)) ~b:1.)
-      ~noise_mode:Noise.Sampled ~jobs ?fault_plan ?telemetry
-      ?budget_warn ?round_deadline_ms ~max_retries ()
+    Network.of_config
+      Network.Config.(
+        default |> with_seed seed |> with_noise noise
+        |> with_dial_noise
+             (Laplace.params ~mu:(Float.max 1. (mu /. 20.)) ~b:1.)
+        |> with_noise_mode Noise.Sampled |> with_jobs jobs
+        |> with_pipeline pipeline
+        |> with_max_retries max_retries
+        |> opt with_fault_plan fault_plan
+        |> opt with_telemetry telemetry
+        |> opt with_budget_warn budget_warn
+        |> opt with_round_deadline_ms round_deadline_ms)
   in
   let clients =
     List.init (max 2 users) (fun i ->
@@ -53,7 +62,7 @@ let demo users rounds mu seed jobs fault_plan round_deadline_ms max_retries
                  rounds\n"
     (List.length clients) mu (Network.jobs net) rounds;
   for _ = 1 to rounds do
-    let report = Network.run_round net in
+    let report = Network.run ~kind:Round.Conversation net in
     let round = Network.round net - 1 in
     Format.printf "  %a@." Network.pp_round_report report;
     List.iter
@@ -148,6 +157,15 @@ let demo_cmd =
             "Worker domains for the servers' per-onion crypto (results are \
              identical at any value).")
   in
+  let pipeline =
+    Arg.(
+      value & flag
+      & info [ "pipeline" ]
+          ~doc:
+            "Relay batches between servers as streamed chunked parts, so a \
+             server starts peeling before its predecessor finishes (results \
+             are identical either way).")
+  in
   let fault_plan =
     let plan_conv =
       let parse s =
@@ -214,7 +232,7 @@ let demo_cmd =
   Cmd.v
     (Cmd.info "demo" ~doc:"run an in-process Vuvuzela deployment")
     Term.(
-      const demo $ users $ rounds $ mu $ seed $ jobs $ fault_plan
+      const demo $ users $ rounds $ mu $ seed $ jobs $ pipeline $ fault_plan
       $ round_deadline_ms $ max_retries $ metrics_out $ trace_out
       $ budget_warn)
 

@@ -6,7 +6,7 @@
      vuvuzela-server --listen :7001 --next :7002 --index 1 --chain-len 3 --seed s &
      vuvuzela-server --listen :7000 --next :7001 --index 0 --chain-len 3 --seed s &
 
-   and a coordinator built on [Network.create_tcp ~addr:(":7000")].
+   and a coordinator built on [Network.of_config_tcp ~addr:(":7000")].
    Runs until the coordinator sends Bye. *)
 
 open Cmdliner
@@ -33,7 +33,7 @@ let fault_plan_conv =
       Format.pp_print_string ppf (Vuvuzela_faults.Fault.to_string p))
 
 let run listen next index chain_len seed mu b dial_mu dial_b det_noise
-    certified jobs fault_plan quiet =
+    certified jobs pipeline pipeline_chunk fault_plan quiet =
   let log =
     if quiet then fun _ -> ()
     else fun msg -> Printf.eprintf "[vuvuzela-server %d] %s\n%!" index msg
@@ -50,6 +50,7 @@ let run listen next index chain_len seed mu b dial_mu dial_b det_noise
       noise_mode = (if det_noise then Noise.Deterministic else Noise.Sampled);
       dial_kind = (if certified then Dialing.Certified else Dialing.Plain);
       jobs;
+      pipeline_chunk = (if pipeline then Some (max 1 pipeline_chunk) else None);
       fault_plan;
     }
   in
@@ -119,6 +120,21 @@ let cmd =
   let jobs =
     Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc:"Crypto worker domains.")
   in
+  let pipeline =
+    Arg.(
+      value & flag
+      & info [ "pipeline" ]
+          ~doc:
+            "Stream forward batches to the next server as chunked parts so \
+             it starts peeling before the whole batch arrives. Results are \
+             bit-identical either way.")
+  in
+  let pipeline_chunk =
+    Arg.(
+      value & opt int 16
+      & info [ "pipeline-chunk" ] ~docv:"N"
+          ~doc:"Onions per streamed part (with $(b,--pipeline)).")
+  in
   let fault_plan =
     Arg.(
       value
@@ -136,6 +152,7 @@ let cmd =
     Term.(
       ret
         (const run $ listen $ next $ index $ chain_len $ seed $ mu $ b
-       $ dial_mu $ dial_b $ det_noise $ certified $ jobs $ fault_plan $ quiet))
+       $ dial_mu $ dial_b $ det_noise $ certified $ jobs $ pipeline
+       $ pipeline_chunk $ fault_plan $ quiet))
 
 let () = exit (Cmd.eval cmd)

@@ -18,10 +18,13 @@ let short pk = String.sub (Bytes_util.to_hex pk) 0 8
 let () =
   Printf.printf "== Newsroom tip-line (certified dialing + multi-conversation) ==\n\n";
   let net =
-    Network.create ~seed:"newsroom" ~n_servers:3
-      ~noise:(Laplace.params ~mu:12. ~b:3.)
-      ~dial_noise:(Laplace.params ~mu:4. ~b:2.)
-      ~noise_mode:Noise.Sampled ~dial_kind:Dialing.Certified ()
+    Network.of_config
+      Network.Config.(
+        default |> with_seed "newsroom"
+        |> with_noise (Laplace.params ~mu:12. ~b:3.)
+        |> with_dial_noise (Laplace.params ~mu:4. ~b:2.)
+        |> with_noise_mode Noise.Sampled
+        |> with_dial_kind Dialing.Certified)
   in
 
   (* The desk: 3 conversation slots. *)
@@ -60,7 +63,7 @@ let () =
     [ deep_throat; insider; impostor ];
 
   Printf.printf "\ndialing round: three calls arrive at the desk...\n";
-  let events = (Network.run_dialing_round net).Network.events in
+  let events = (Network.run ~kind:Round.Dialing net).Network.events in
   let now = Network.dial_round net - 1 in
   let trusted k = Hashtbl.mem vetted (Bytes.to_string k) in
   List.iter

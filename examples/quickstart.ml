@@ -19,10 +19,12 @@ let () =
      Test-scale noise; production parameters come from the planner
      (see examples/privacy_planner.ml). *)
   let net =
-    Network.create ~seed:"quickstart" ~n_servers:3
-      ~noise:(Laplace.params ~mu:20. ~b:5.)
-      ~dial_noise:(Laplace.params ~mu:5. ~b:2.)
-      ~noise_mode:Noise.Sampled ()
+    Network.of_config
+      Network.Config.(
+        default |> with_seed "quickstart"
+        |> with_noise (Laplace.params ~mu:20. ~b:5.)
+        |> with_dial_noise (Laplace.params ~mu:5. ~b:2.)
+        |> with_noise_mode Noise.Sampled)
   in
   let alice = Network.connect ~seed:"alice" net in
   let bob = Network.connect ~seed:"bob" net in
@@ -38,7 +40,7 @@ let () =
   Client.dial alice ~callee_pk:(Client.public_key bob);
   Client.start_conversation alice ~peer_pk:(Client.public_key bob);
   Printf.printf "\nalice dials bob...\n";
-  let dial_report = Network.run_dialing_round net in
+  let dial_report = Network.run ~kind:Round.Dialing net in
   Printf.printf "  (%d of %d dialing requests acked by the chain)\n"
     dial_report.Network.confirmed_acks dial_report.Network.batch_size;
   List.iter
@@ -62,7 +64,7 @@ let () =
   Client.send bob "And if I stay quiet, nobody can tell that either.";
   Printf.printf "\nrunning conversation rounds:\n";
   for _ = 1 to 4 do
-    let report = Network.run_round net in
+    let report = Network.run ~kind:Round.Conversation net in
     let round = Network.round net - 1 in
     List.iter
       (fun (c, evs) ->

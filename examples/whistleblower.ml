@@ -33,10 +33,12 @@ let () =
 
   (* The in-process network (scaled noise, same ratio). *)
   let net =
-    Network.create ~seed:"whistleblower" ~n_servers:3
-      ~noise:(Laplace.params ~mu:60. ~b:(60. /. 21.7))
-      ~dial_noise:(Laplace.params ~mu:8. ~b:2.)
-      ~noise_mode:Noise.Sampled ()
+    Network.of_config
+      Network.Config.(
+        default |> with_seed "whistleblower"
+        |> with_noise (Laplace.params ~mu:60. ~b:(60. /. 21.7))
+        |> with_dial_noise (Laplace.params ~mu:8. ~b:2.)
+        |> with_noise_mode Noise.Sampled)
   in
   let source = Network.connect ~seed:"source" net in
   let reporter = Network.connect ~seed:"reporter" net in
@@ -55,7 +57,7 @@ let () =
   Printf.printf "phase 2: source dials the reporter\n";
   Client.dial source ~callee_pk:(Client.public_key reporter);
   Client.start_conversation source ~peer_pk:(Client.public_key reporter);
-  let events = (Network.run_dialing_round net).Network.events in
+  let events = (Network.run ~kind:Round.Dialing net).Network.events in
   List.iter
     (fun (c, evs) ->
       List.iter
@@ -82,7 +84,7 @@ let () =
   let rounds_used = ref 0 in
   while !delivered < List.length documents && !rounds_used < 20 do
     incr rounds_used;
-    let events = (Network.run_round net).Network.events in
+    let events = (Network.run ~kind:Round.Conversation net).Network.events in
     List.iter
       (fun (c, evs) ->
         List.iter

@@ -102,9 +102,12 @@ let network_attack ?(idle_users = 3) ?(n_servers = 3) ~noise ~talking ~rounds
     ~prior ~seed () =
   let open Vuvuzela in
   let net =
-    Network.create ~seed ~n_servers ~noise
-      ~dial_noise:(Laplace.params ~mu:1. ~b:1.)
-      ~noise_mode:Vuvuzela_dp.Noise.Sampled ()
+    Network.of_config
+      Network.Config.(
+        default |> with_seed seed |> with_n_servers n_servers
+        |> with_noise noise
+        |> with_dial_noise (Laplace.params ~mu:1. ~b:1.)
+        |> with_noise_mode Vuvuzela_dp.Noise.Sampled)
   in
   let alice = Network.connect ~seed:"attack-alice" net in
   let bob = Network.connect ~seed:"attack-bob" net in
@@ -117,7 +120,7 @@ let network_attack ?(idle_users = 3) ?(n_servers = 3) ~noise ~talking ~rounds
   end;
   let observations = ref [] in
   for _ = 1 to rounds do
-    ignore (Network.run_round net);
+    ignore (Network.run ~kind:Round.Conversation net);
     match Observation.observe_chain (Network.chain net) with
     | Some v -> observations := v.Observation.m2 :: !observations
     | None -> ()

@@ -19,33 +19,35 @@ type t = {
           (post-tamper, pre-framing) — the tests' wiretap *)
   tel : Telemetry.t option;
       (** shared with the servers; [None] is the nil sink *)
+  pipeline : bool;  (** relay forward batches as streamed parts *)
+  chunk : int;  (** onions per part when pipelined *)
   mutable shut_down : bool;
   mutable delay_ms : float;
       (** virtual link stall accumulated by [Delay_ms] faults during the
           round in flight; reset when a round starts *)
 }
 
-let create ?seed ?(dial_kind = Dialing.Plain) ?(jobs = 1) ?fault_plan ?tap
-    ?telemetry ~n_servers ~noise ~dial_noise ~noise_mode () =
-  if n_servers < 1 then invalid_arg "Chain.create: need at least one server";
-  if jobs < 1 then invalid_arg "Chain.create: jobs must be >= 1";
+let of_config (cfg : Config.t) =
+  if cfg.n_servers < 1 then
+    invalid_arg "Chain.of_config: need at least one server";
+  if cfg.jobs < 1 then invalid_arg "Chain.of_config: jobs must be >= 1";
   (* The servers take turns (the in-process round trip is sequential
      along the chain), so one pool serves them all. *)
-  let pool = if jobs > 1 then Some (Pool.create ~jobs) else None in
+  let pool = if cfg.jobs > 1 then Some (Pool.create ~jobs:cfg.jobs) else None in
   (* Build from the last server backwards so each server knows the public
      keys of its downstream suffix. *)
-  let servers = Array.make n_servers None in
+  let servers = Array.make cfg.n_servers None in
   let suffix = ref [] in
-  for position = n_servers - 1 downto 0 do
-    let cfg =
+  for position = cfg.n_servers - 1 downto 0 do
+    let scfg =
       {
         Server.position;
-        chain_len = n_servers;
-        noise;
-        dial_noise;
-        noise_mode;
-        dial_kind;
-        jobs;
+        chain_len = cfg.n_servers;
+        noise = cfg.noise;
+        dial_noise = cfg.dial_noise;
+        noise_mode = cfg.noise_mode;
+        dial_kind = cfg.dial_kind;
+        jobs = cfg.jobs;
       }
     in
     let rng_seed =
@@ -53,10 +55,11 @@ let create ?seed ?(dial_kind = Dialing.Plain) ?(jobs = 1) ?fault_plan ?tap
         (fun s ->
           Bytes.cat (Bytes.of_string s)
             (Bytes.of_string (Printf.sprintf "-server-%d" position)))
-        seed
+        cfg.seed
     in
     let server =
-      Server.create ?rng_seed ?pool ?telemetry ~cfg ~suffix_pks:!suffix ()
+      Server.create ?rng_seed ?pool ?telemetry:cfg.telemetry ~cfg:scfg
+        ~suffix_pks:!suffix ()
     in
     servers.(position) <- Some server;
     suffix := Server.public_key server :: !suffix
@@ -64,17 +67,38 @@ let create ?seed ?(dial_kind = Dialing.Plain) ?(jobs = 1) ?fault_plan ?tap
   {
     servers = Array.map Option.get servers;
     pool;
-    faults = Option.map Fault.injector fault_plan;
-    tap;
-    tel = telemetry;
+    faults = Option.map Fault.injector cfg.fault_plan;
+    tap = cfg.tap;
+    tel = cfg.telemetry;
+    pipeline = cfg.pipeline;
+    chunk = max 1 cfg.pipeline_chunk;
     shut_down = false;
     delay_ms = 0.;
   }
+
+let create ?seed ?(dial_kind = Dialing.Plain) ?(jobs = 1) ?fault_plan ?tap
+    ?telemetry ~n_servers ~noise ~dial_noise ~noise_mode () =
+  of_config
+    {
+      Config.default with
+      seed;
+      n_servers;
+      noise;
+      dial_noise;
+      noise_mode;
+      dial_kind;
+      jobs;
+      fault_plan;
+      tap;
+      telemetry;
+    }
 
 let length t = Array.length t.servers
 let server t i = t.servers.(i)
 let last t = t.servers.(length t - 1)
 let jobs t = match t.pool with Some p -> Pool.jobs p | None -> 1
+let pipelined t = t.pipeline
+let pipeline_chunk t = t.chunk
 
 let shutdown t =
   t.shut_down <- true;
@@ -155,7 +179,14 @@ let record_faults t ~server kinds =
           | _ -> ())
         kinds
 
-let forward_send t ~round ~server ~stage encode decode (batch : bytes array) =
+(* The fault/tap prelude of a link crossing, shared by the lockstep and
+   pipelined relays: faults fire once per (round, server) site against
+   the WHOLE logical batch — a crash kills the entire batch, a
+   [Tamper_slot] indexes into the full batch, and the tap observes the
+   batch exactly once — so fault semantics are identical in both relay
+   modes by construction.  Returns the (possibly tampered) batch plus
+   any frame-level faults left to apply at the framing stage. *)
+let apply_link_faults t ~round ~server ~stage (batch : bytes array) =
   let kinds =
     match t.faults with
     | None -> []
@@ -178,16 +209,50 @@ let forward_send t ~round ~server ~stage encode decode (batch : bytes array) =
     kinds;
   match !fatal with
   | Some detail -> Error (status_frame { Rpc.round; server; stage; detail })
-  | None -> (
+  | None ->
       let batch = !batch in
       Option.iter (fun tap -> tap ~round ~server batch) t.tap;
+      Ok (batch, List.rev !frame_faults)
+
+let forward_send t ~round ~server ~stage encode decode (batch : bytes array) =
+  let* batch, frame_faults =
+    apply_link_faults t ~round ~server ~stage batch
+  in
+  let frame = List.fold_left Fault.apply_frame (encode batch) frame_faults in
+  match decode frame with
+  | Ok v -> Ok v
+  | Error detail -> Error (status_frame { Rpc.round; server; stage; detail })
+
+(* The pipelined relay for one link: split the batch into ≤[chunk]-sized
+   parts, push each through the part codec, and feed the decoded onions
+   straight into the receiver's stream.  Frame-level faults corrupt the
+   first part's frame (the lockstep relay corrupts its single frame, so
+   "the frame on this link is damaged" maps to "the first part frame is
+   damaged"). *)
+let forward_send_parts t ~round ~server ~stage encode_part decode_part feed
+    (batch : bytes array) =
+  let* batch, frame_faults =
+    apply_link_faults t ~round ~server ~stage batch
+  in
+  let parts = Rpc.split_parts ~chunk:t.chunk batch in
+  let n_parts = Array.length parts in
+  let rec loop seq =
+    if seq >= n_parts then Ok ()
+    else begin
+      let frame = encode_part ~seq ~last:(seq = n_parts - 1) parts.(seq) in
       let frame =
-        List.fold_left Fault.apply_frame (encode batch) (List.rev !frame_faults)
+        if seq = 0 then List.fold_left Fault.apply_frame frame frame_faults
+        else frame
       in
-      match decode frame with
-      | Ok v -> Ok v
+      match decode_part frame with
+      | Ok onions ->
+          feed onions;
+          loop (seq + 1)
       | Error detail ->
-          Error (status_frame { Rpc.round; server; stage; detail }))
+          Error (status_frame { Rpc.round; server; stage; detail })
+    end
+  in
+  loop 0
 
 let send_conv_batch t ~round ~server onions =
   forward_send t ~round ~server ~stage:"conv-batch"
@@ -256,13 +321,46 @@ let conversation_round t ~round requests =
         requests
     in
     let rec go i batch =
-      let* batch = send_conv_batch t ~round ~server:i batch in
-      if i = n - 1 then Ok (Server.conv_exchange t.servers.(i) ~round batch)
+      let srv = t.servers.(i) in
+      let* peeled =
+        if t.pipeline then begin
+          (* Streamed relay: the batch crosses the link as ordered
+             [Conv_batch_part] frames and the receiver peels each part
+             as it lands — the same code path a pipelined TCP
+             deployment runs, so its determinism is tested here. *)
+          let stream = Server.conv_stream srv ~round in
+          let* () =
+            forward_send_parts t ~round ~server:i ~stage:"conv-batch"
+              (fun ~seq ~last onions ->
+                Rpc.encode (Rpc.Conv_batch_part { round; seq; last; onions }))
+              (fun b ->
+                match Rpc.decode b with
+                | Ok (Rpc.Conv_batch_part { onions; _ }) -> Ok onions
+                | Ok _ -> Error "unexpected message"
+                | Error e -> Error e)
+              (fun onions -> Server.stream_feed srv stream onions)
+              batch
+          in
+          Ok (`Stream stream)
+        end
+        else
+          let* batch = send_conv_batch t ~round ~server:i batch in
+          Ok (`Batch batch)
+      in
+      if i = n - 1 then
+        Ok
+          (match peeled with
+          | `Stream stream -> Server.conv_finish_exchange srv stream
+          | `Batch batch -> Server.conv_exchange srv ~round batch)
       else begin
-        let forwarded = Server.conv_forward t.servers.(i) ~round batch in
+        let forwarded =
+          match peeled with
+          | `Stream stream -> Server.conv_finish_forward srv stream
+          | `Batch batch -> Server.conv_forward srv ~round batch
+        in
         let* below = go (i + 1) forwarded in
         let* results = send_conv_results ~round ~server:i below in
-        Ok (Server.conv_backward t.servers.(i) ~round results)
+        Ok (Server.conv_backward srv ~round results)
       end
     in
     Telemetry.span t.tel ~name:"conv-round" ~round (fun () -> go 0 requests)
@@ -282,13 +380,43 @@ let dialing_round t ~round ~m requests =
         requests
     in
     let rec go i batch =
-      let* batch = send_dial_batch t ~round ~m ~server:i batch in
-      if i = n - 1 then Ok (Server.dial_deliver t.servers.(i) ~round ~m batch)
+      let srv = t.servers.(i) in
+      let* peeled =
+        if t.pipeline then begin
+          let stream = Server.dial_stream srv ~round in
+          let* () =
+            forward_send_parts t ~round ~server:i ~stage:"dial-batch"
+              (fun ~seq ~last onions ->
+                Rpc.encode
+                  (Rpc.Dial_batch_part { round; m; seq; last; onions }))
+              (fun b ->
+                match Rpc.decode b with
+                | Ok (Rpc.Dial_batch_part { onions; _ }) -> Ok onions
+                | Ok _ -> Error "unexpected message"
+                | Error e -> Error e)
+              (fun onions -> Server.stream_feed srv stream onions)
+              batch
+          in
+          Ok (`Stream stream)
+        end
+        else
+          let* batch = send_dial_batch t ~round ~m ~server:i batch in
+          Ok (`Batch batch)
+      in
+      if i = n - 1 then
+        Ok
+          (match peeled with
+          | `Stream stream -> Server.dial_finish_deliver srv stream ~m
+          | `Batch batch -> Server.dial_deliver srv ~round ~m batch)
       else begin
-        let forwarded = Server.dial_forward t.servers.(i) ~round ~m batch in
+        let forwarded =
+          match peeled with
+          | `Stream stream -> Server.dial_finish_forward srv stream ~m
+          | `Batch batch -> Server.dial_forward srv ~round ~m batch
+        in
         let* below = go (i + 1) forwarded in
         let* results = send_dial_results ~round ~server:i below in
-        Ok (Server.dial_backward t.servers.(i) ~round results)
+        Ok (Server.dial_backward srv ~round results)
       end
     in
     Telemetry.span t.tel ~name:"dial-round" ~round ~dialing:true (fun () ->

@@ -2,6 +2,31 @@
 
 type t
 
+val of_config : Config.t -> t
+(** Build a chain from a {!Config.t}.  With [seed] the whole deployment
+    (keys, noise, shuffles) is deterministic, for tests.  [jobs] sets
+    the domain count for the per-onion crypto; the servers share one
+    pool.  [pipeline] relays forward batches between servers as streamed
+    [*_batch_part] frames of [pipeline_chunk] onions each, the same code
+    path a pipelined TCP deployment runs.  Round results are
+    bit-identical at any job count, pipelined or lockstep.
+
+    [fault_plan] arms deterministic fault injection at the forward link
+    boundaries (each fault fires once at its (round, server) site,
+    against the whole logical batch — identically in both relay modes).
+    [tap] observes every forward batch exactly as it crosses a link —
+    after any [Tamper_slot] fault, before framing — so tests can assert
+    wire-level invariants such as "no onion ciphertext crosses twice".
+
+    [telemetry] (default: the nil sink) is shared with every server: each
+    round gets a root span ([conv-round] / [dial-round]) with the
+    per-stage server spans beneath it, and fired faults are counted
+    ([vuvuzela_faults_injected_total{kind}], with [Delay_ms] stall also
+    accumulated into [vuvuzela_injected_delay_ms_total]) and annotated
+    on the innermost open span.  Instrumentation never draws from the
+    RNG — rounds are bit-identical with telemetry on or off.
+    @raise Invalid_argument on [n_servers < 1] or [jobs < 1]. *)
+
 val create :
   ?seed:string ->
   ?dial_kind:Dialing.kind ->
@@ -15,24 +40,15 @@ val create :
   noise_mode:Vuvuzela_dp.Noise.mode ->
   unit ->
   t
-(** Build a chain; with [seed] the whole deployment (keys, noise,
-    shuffles) is deterministic, for tests.  [jobs] (default 1) sets the
-    domain count for the per-onion crypto; the servers share one pool.
-    Round results are bit-identical at any job count.
+[@@ocaml.deprecated "use Chain.of_config with a Config.t"]
+(** @deprecated The keyword-argument constructor; equivalent to
+    {!of_config} on {!Config.default} with the given fields. *)
 
-    [fault_plan] arms deterministic fault injection at the forward link
-    boundaries (each fault fires once at its (round, server) site).
-    [tap] observes every forward batch exactly as it crosses a link —
-    after any [Tamper_slot] fault, before framing — so tests can assert
-    wire-level invariants such as "no onion ciphertext crosses twice".
+val pipelined : t -> bool
+(** Whether forward batches are relayed as streamed parts. *)
 
-    [telemetry] (default: the nil sink) is shared with every server: each
-    round gets a root span ([conv-round] / [dial-round]) with the
-    per-stage server spans beneath it, and fired faults are counted
-    ([vuvuzela_faults_injected_total{kind}], with [Delay_ms] stall also
-    accumulated into [vuvuzela_injected_delay_ms_total]) and annotated
-    on the innermost open span.  Instrumentation never draws from the
-    RNG — rounds are bit-identical with telemetry on or off. *)
+val pipeline_chunk : t -> int
+(** Onions per streamed part (meaningful when {!pipelined}). *)
 
 val length : t -> int
 val server : t -> int -> Server.t

@@ -1,0 +1,68 @@
+(** Deployment configuration — the one record behind {!Chain.of_config},
+    {!Network.of_config} and {!Network.of_config_tcp}.
+
+    Build one with {!default} and the [with_*] helpers:
+    {[
+      Config.(default |> with_seed "demo" |> with_jobs 4
+              |> with_pipeline true)
+    ]}
+
+    The legacy keyword-argument constructors ([Chain.create],
+    [Network.create], [Network.create_tcp]) survive one release as
+    deprecated wrappers over this record. *)
+
+type t = {
+  seed : string option;
+      (** deployment seed: keys, noise and shuffles become a pure
+          function of it (tests); [None] draws from the system RNG *)
+  n_servers : int;
+  noise : Vuvuzela_dp.Laplace.params;  (** conversation noise (µ, b) *)
+  dial_noise : Vuvuzela_dp.Laplace.params;  (** per-invitation-drop noise *)
+  noise_mode : Vuvuzela_dp.Noise.mode;
+  dial_kind : Dialing.kind;
+  jobs : int;  (** domains for the per-onion crypto; [1] = sequential *)
+  pipeline : bool;
+      (** stream forward batches between servers as chunked
+          [*_batch_part] frames so a receiver peels while the rest of
+          the batch is still in flight; results are bit-identical to
+          lockstep *)
+  pipeline_chunk : int;  (** onions per streamed part (≥ 1) *)
+  cdn_edges : int;  (** §5.5 invitation-drop distribution; [0] = none *)
+  fault_plan : Vuvuzela_faults.Fault.plan option;
+  tap : (round:int -> server:int -> bytes array -> unit) option;
+      (** observes every forward batch as it crosses a link
+          (post-tamper, pre-framing) *)
+  telemetry : Vuvuzela_telemetry.Telemetry.t option;
+  budget_warn : float option;  (** ledger cumulative-ε′ warning threshold *)
+  round_deadline_ms : float option;
+      (** supervisor deadline per attempt; [None] disables the check *)
+  max_retries : int;  (** extra attempts after the first (≥ 0) *)
+  handshake_timeout_ms : float;  (** TCP deployments only *)
+}
+
+val default : t
+(** Test-sized defaults: 3 servers, tiny sampled noise, sequential,
+    lockstep relay, no faults, no telemetry, 2 retries. *)
+
+(** Functional updates, pipeline-friendly (value first, record last). *)
+
+val with_seed : string -> t -> t
+val with_n_servers : int -> t -> t
+val with_noise : Vuvuzela_dp.Laplace.params -> t -> t
+val with_dial_noise : Vuvuzela_dp.Laplace.params -> t -> t
+val with_noise_mode : Vuvuzela_dp.Noise.mode -> t -> t
+val with_dial_kind : Dialing.kind -> t -> t
+val with_jobs : int -> t -> t
+
+val with_pipeline : ?chunk:int -> bool -> t -> t
+(** Enable/disable the streamed relay; [chunk] (default
+    {!default}[.pipeline_chunk], clamped ≥ 1) sets the onions per part. *)
+
+val with_cdn_edges : int -> t -> t
+val with_fault_plan : Vuvuzela_faults.Fault.plan -> t -> t
+val with_tap : (round:int -> server:int -> bytes array -> unit) -> t -> t
+val with_telemetry : Vuvuzela_telemetry.Telemetry.t -> t -> t
+val with_budget_warn : float -> t -> t
+val with_round_deadline_ms : float -> t -> t
+val with_max_retries : int -> t -> t
+val with_handshake_timeout_ms : float -> t -> t

@@ -21,7 +21,29 @@ type config = {
   noise_mode : Vuvuzela_dp.Noise.mode;
   dial_kind : Dialing.kind;
   jobs : int;
+  pipeline_chunk : int option;
+      (** [Some chunk]: forward batches downstream as streamed
+          [*_batch_part] frames of [chunk] onions.  Ingress always
+          accepts both framings. *)
   fault_plan : Vuvuzela_faults.Fault.plan option;
+}
+
+(* The ingress state of one pipelined round: parts are peeled into the
+   server's stream as they arrive; the faults of this (round, server)
+   site fired once, at part 0, against the logical whole batch. *)
+type part_stream = {
+  ps_round : int;
+  ps_dialing : bool;
+  ps_m : int;  (** dial rounds; [0] for conversation *)
+  ps_stream : Server.stream;
+  mutable ps_seq : int;  (** next expected part sequence number *)
+  mutable ps_off : int;  (** onions received so far = absolute slot offset *)
+  mutable ps_tampers : int list;
+      (** [Tamper_slot] absolute slots not yet applied *)
+  mutable ps_poisoned : bool;
+      (** a crash/drop fault consumed this round: swallow its remaining
+          parts silently, exactly as the lockstep wire loses the whole
+          batch *)
 }
 
 type st = {
@@ -37,6 +59,10 @@ type st = {
       (** upstream said Hello before our own keys existed *)
   mutable inflight : (int * bool) option;
       (** (round, dialing) forwarded downstream, results still owed *)
+  mutable stream : part_stream option;
+      (** at most one pipelined round assembles at a time (the protocol
+          is lockstep per link; a part for a different round supersedes
+          the stale stream) *)
   mutable stop : bool;
 }
 
@@ -54,6 +80,26 @@ let send_downstream st msg =
 
 let status st ~round ~stage detail =
   { Rpc.round; server = st.cfg.index; stage; detail }
+
+(* Forward a processed batch to the next hop — as one frame, or as
+   streamed parts when this daemon pipelines, so the next server starts
+   peeling while we are still queueing the rest. *)
+let forward_downstream st ~round ~dialing ~m onions =
+  st.inflight <- Some (round, dialing);
+  match st.cfg.pipeline_chunk with
+  | None ->
+      if dialing then send_downstream st (Rpc.Dial_batch { round; m; onions })
+      else send_downstream st (Rpc.Conv_batch { round; onions })
+  | Some chunk ->
+      let parts = Rpc.split_parts ~chunk onions in
+      let n = Array.length parts in
+      for seq = 0 to n - 1 do
+        let last = seq = n - 1 in
+        let onions = parts.(seq) in
+        if dialing then
+          send_downstream st (Rpc.Dial_batch_part { round; m; seq; last; onions })
+        else send_downstream st (Rpc.Conv_batch_part { round; seq; last; onions })
+      done
 
 (* Create the Server once the downstream suffix is known — immediately
    for the last server, after the first successful handshake otherwise.
@@ -148,6 +194,114 @@ let inject st ~round raw msg =
           else Some (Ok msg, List.rev !tampers))
 
 (* ------------------------------------------------------------------ *)
+(* Pipelined ingress                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One [*_batch_part] frame.  The faults of this (round, server) site
+   fire once, at part 0, with lockstep semantics: crash/drop lose the
+   whole logical batch (remaining parts are swallowed silently), frame
+   faults damage the first part's frame, and [Tamper_slot] indexes the
+   logical batch — it is applied to whichever arriving part carries
+   that absolute slot. *)
+let handle_part st server ~raw msg =
+  let round, dialing, m, seq, last, onions =
+    match msg with
+    | Rpc.Conv_batch_part { round; seq; last; onions } ->
+        (round, false, 0, seq, last, onions)
+    | Rpc.Dial_batch_part { round; m; seq; last; onions } ->
+        (round, true, m, seq, last, onions)
+    | _ -> assert false
+  in
+  let stage = if dialing then "dial-batch" else "conv-batch" in
+  let fail detail =
+    st.stream <- None;
+    send_upstream st (Rpc.Status (status st ~round ~stage detail))
+  in
+  let feed ps ~last onions =
+    let len = Array.length onions in
+    let onions =
+      List.fold_left
+        (fun o s ->
+          if s >= ps.ps_off && s < ps.ps_off + len then
+            Fault.apply_tamper o (s - ps.ps_off)
+          else o)
+        onions ps.ps_tampers
+    in
+    ps.ps_tampers <- List.filter (fun s -> s >= ps.ps_off + len) ps.ps_tampers;
+    match Server.stream_feed server ps.ps_stream onions with
+    | () -> (
+        ps.ps_off <- ps.ps_off + len;
+        ps.ps_seq <- ps.ps_seq + 1;
+        if last then begin
+          st.stream <- None;
+          match
+            if dialing then
+              if is_last st then
+                `Reply (Server.dial_finish_deliver server ps.ps_stream ~m:ps.ps_m)
+              else
+                `Forward (Server.dial_finish_forward server ps.ps_stream ~m:ps.ps_m)
+            else if is_last st then
+              `Reply (Server.conv_finish_exchange server ps.ps_stream)
+            else `Forward (Server.conv_finish_forward server ps.ps_stream)
+          with
+          | `Reply replies ->
+              send_upstream st
+                (if dialing then Rpc.Dial_results { round; replies }
+                 else Rpc.Conv_results { round; replies })
+          | `Forward onions ->
+              forward_downstream st ~round ~dialing ~m:ps.ps_m onions
+          | exception e -> fail (Printexc.to_string e)
+        end)
+    | exception e -> fail (Printexc.to_string e)
+  in
+  (* A part for a different round supersedes the stale stream: the
+     supervisor moved on (its abort may have been lost with a link). *)
+  (match st.stream with
+  | Some ps when ps.ps_round <> round || ps.ps_dialing <> dialing ->
+      st.stream <- None
+  | _ -> ());
+  if seq = 0 then begin
+    let ps =
+      {
+        ps_round = round;
+        ps_dialing = dialing;
+        ps_m = m;
+        ps_stream =
+          (if dialing then Server.dial_stream server ~round
+           else Server.conv_stream server ~round);
+        ps_seq = 0;
+        ps_off = 0;
+        ps_tampers = [];
+        ps_poisoned = false;
+      }
+    in
+    st.stream <- Some ps;
+    match inject st ~round raw msg with
+    | None -> ps.ps_poisoned <- true (* the whole batch never arrives *)
+    | Some (Error e, _) ->
+        ps.ps_poisoned <- true;
+        send_upstream st (Rpc.Status (status st ~round ~stage e))
+    | Some (Ok msg, tampers) ->
+        ps.ps_tampers <- tampers;
+        (* A [Corrupt_frame] can re-decode to different content. *)
+        let last, onions =
+          match msg with
+          | Rpc.Conv_batch_part { last; onions; _ }
+          | Rpc.Dial_batch_part { last; onions; _ } -> (last, onions)
+          | _ -> (last, onions)
+        in
+        feed ps ~last onions
+  end
+  else
+    match st.stream with
+    | None -> () (* stale tail of an abandoned round *)
+    | Some ps when ps.ps_poisoned -> ()
+    | Some ps when ps.ps_seq = seq -> feed ps ~last onions
+    | Some ps ->
+        (* Ordered link: a sequence gap is a protocol violation. *)
+        fail (Printf.sprintf "part %d arrived, expected %d" seq ps.ps_seq)
+
+(* ------------------------------------------------------------------ *)
 (* Frame handling                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -201,6 +355,10 @@ let handle_upstream st raw =
       (match st.inflight with
       | Some (r, d) when r = round && d = dialing -> st.inflight <- None
       | _ -> ());
+      (match st.stream with
+      | Some ps when ps.ps_round = round && ps.ps_dialing = dialing ->
+          st.stream <- None
+      | _ -> ());
       send_downstream st (Rpc.Abort { round; dialing });
       match st.server with
       | None -> ()
@@ -209,18 +367,26 @@ let handle_upstream st raw =
           else Server.abort_conv_round server ~round)
   | Ok msg -> (
       match st.server with
-      | None ->
+      | None -> (
           (* A batch before our keys exist can only mean the chain is
-             still assembling; the peer's supervisor will retry. *)
-          let round =
-            match msg with
-            | Rpc.Conv_batch { round; _ }
-            | Rpc.Dial_batch { round; _ } -> round
-            | _ -> 0
-          in
-          send_upstream st
-            (Rpc.Status
-               (status st ~round ~stage:"transport" "server not ready"))
+             still assembling; the peer's supervisor will retry.  A
+             streamed round answers once, at its first part. *)
+          match msg with
+          | Rpc.Conv_batch_part { seq; _ } | Rpc.Dial_batch_part { seq; _ }
+            when seq > 0 ->
+              ()
+          | _ ->
+              let round =
+                match msg with
+                | Rpc.Conv_batch { round; _ }
+                | Rpc.Dial_batch { round; _ }
+                | Rpc.Conv_batch_part { round; _ }
+                | Rpc.Dial_batch_part { round; _ } -> round
+                | _ -> 0
+              in
+              send_upstream st
+                (Rpc.Status
+                   (status st ~round ~stage:"transport" "server not ready")))
       | Some server -> (
           let dispatch msg =
             match msg with
@@ -232,8 +398,7 @@ let handle_upstream st raw =
                 | `Reply replies ->
                     send_upstream st (Rpc.Conv_results { round; replies })
                 | `Forward onions ->
-                    st.inflight <- Some (round, false);
-                    send_downstream st (Rpc.Conv_batch { round; onions })
+                    forward_downstream st ~round ~dialing:false ~m:0 onions
                 | exception e ->
                     send_upstream st
                       (Rpc.Status
@@ -248,8 +413,7 @@ let handle_upstream st raw =
                 | `Reply replies ->
                     send_upstream st (Rpc.Dial_results { round; replies })
                 | `Forward onions ->
-                    st.inflight <- Some (round, true);
-                    send_downstream st (Rpc.Dial_batch { round; m; onions })
+                    forward_downstream st ~round ~dialing:true ~m onions
                 | exception e ->
                     send_upstream st
                       (Rpc.Status
@@ -302,6 +466,8 @@ let handle_upstream st raw =
                       msg tampers
                   in
                   dispatch msg)
+          | (Rpc.Conv_batch_part _ | Rpc.Dial_batch_part _) as msg ->
+              handle_part st server ~raw msg
           | msg -> dispatch msg))
 
 (* ------------------------------------------------------------------ *)
@@ -329,6 +495,7 @@ let run ?telemetry ?(log = fun _ -> ()) ?on_ready cfg =
         downstream = None;
         hello_pending = false;
         inflight = None;
+        stream = None;
         stop = false;
       }
     in

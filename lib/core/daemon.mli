@@ -35,6 +35,13 @@ type config = {
   noise_mode : Vuvuzela_dp.Noise.mode;
   dial_kind : Dialing.kind;
   jobs : int;
+  pipeline_chunk : int option;
+      (** [Some chunk]: forward batches leave for the next server as
+          streamed [*_batch_part] frames of [chunk] onions each, so the
+          successor peels early parts while later ones are still in
+          flight.  [None]: one whole-batch frame.  Ingress always
+          accepts both framings; results are bit-identical either
+          way. *)
   fault_plan : Vuvuzela_faults.Fault.plan option;
 }
 

@@ -26,6 +26,7 @@
 open Vuvuzela_dp
 module Telemetry = Vuvuzela_telemetry.Telemetry
 module Ledger = Vuvuzela_telemetry.Ledger
+module Config = Config
 
 (* Where the chain lives: in this process, or behind a TCP connection to
    the first hop of a multi-process deployment (§7).  The supervisor is
@@ -62,31 +63,26 @@ type t = {
           downloaded (or predates) *)
 }
 
-let create ?seed ?(n_servers = 3)
-    ?(noise = Laplace.params ~mu:10. ~b:2.)
-    ?(dial_noise = Laplace.params ~mu:3. ~b:1.)
-    ?(noise_mode = Noise.Sampled) ?dial_kind ?jobs ?(cdn_edges = 0)
-    ?fault_plan ?tap ?telemetry ?budget_warn ?round_deadline_ms
-    ?(max_retries = 2) () =
-  let chain =
-    Chain.create ?seed ?dial_kind ?jobs ?fault_plan ?tap ?telemetry ~n_servers
-      ~noise ~dial_noise ~noise_mode ()
-  in
-  (* The privacy-budget ledger composes the deployment's actual per-round
-     guarantees (Theorem 1 for conversations, §6.5 for dialing) under
-     Theorem 2, per client, per *attempt* — each attempt publishes a
-     fresh noise draw. *)
+(* The privacy-budget ledger composes the deployment's actual per-round
+   guarantees (Theorem 1 for conversations, §6.5 for dialing) under
+   Theorem 2, per client, per *attempt* — each attempt publishes a
+   fresh noise draw. *)
+let install_ledger (cfg : Config.t) =
   Option.iter
     (fun tel ->
       Telemetry.set_ledger tel
-        (Ledger.create ?warn_eps:budget_warn
-           ~conv:(Mechanism.conversation noise)
-           ~dial:(Mechanism.dialing dial_noise) ()))
-    telemetry;
+        (Ledger.create ?warn_eps:cfg.budget_warn
+           ~conv:(Mechanism.conversation cfg.noise)
+           ~dial:(Mechanism.dialing cfg.dial_noise) ()))
+    cfg.telemetry
+
+let of_config (cfg : Config.t) =
+  let chain = Chain.of_config cfg in
+  install_ledger cfg;
   let cdn =
-    if cdn_edges > 0 then
+    if cfg.cdn_edges > 0 then
       Some
-        (Cdn.create ~edges:cdn_edges ~history:Server.invitation_history
+        (Cdn.create ~edges:cfg.cdn_edges ~history:Server.invitation_history
            ~fetch:(fun ~dial_round ~index ->
              Chain.fetch_invitations chain ~dial_round ~index)
            ())
@@ -94,7 +90,7 @@ let create ?seed ?(n_servers = 3)
   in
   {
     backend = Local chain;
-    tel = telemetry;
+    tel = cfg.telemetry;
     server_pks = Chain.public_keys chain;
     clients = Hashtbl.create 64;
     order = [];
@@ -102,40 +98,60 @@ let create ?seed ?(n_servers = 3)
     dial_round = 1;
     m = 1;
     auto_tune_m = false;
-    dial_kind = Option.value ~default:Dialing.Plain dial_kind;
+    dial_kind = cfg.dial_kind;
     cdn;
-    round_deadline_ms;
-    max_retries = max 0 max_retries;
+    round_deadline_ms = cfg.round_deadline_ms;
+    max_retries = max 0 cfg.max_retries;
     m_history = [];
     last_fetched = Hashtbl.create 64;
   }
+
+let create ?seed ?(n_servers = 3)
+    ?(noise = Laplace.params ~mu:10. ~b:2.)
+    ?(dial_noise = Laplace.params ~mu:3. ~b:1.)
+    ?(noise_mode = Noise.Sampled) ?dial_kind ?jobs ?(cdn_edges = 0)
+    ?fault_plan ?tap ?telemetry ?budget_warn ?round_deadline_ms
+    ?(max_retries = 2) () =
+  of_config
+    {
+      Config.default with
+      seed;
+      n_servers;
+      noise;
+      dial_noise;
+      noise_mode;
+      dial_kind = Option.value ~default:Config.default.dial_kind dial_kind;
+      jobs = Option.value ~default:Config.default.jobs jobs;
+      cdn_edges;
+      fault_plan;
+      tap;
+      telemetry;
+      budget_warn;
+      round_deadline_ms;
+      max_retries;
+    }
 
 (* The coordinator of a multi-process deployment: same clients, same
    supervisor, but rounds cross a TCP connection to server 0.  [noise]
    and [dial_noise] only feed the privacy-budget ledger here (the
    daemons own the actual noise) — pass the daemons' parameters or the
-   ledger composes the wrong guarantee. *)
-let create_tcp ?(noise = Laplace.params ~mu:10. ~b:2.)
-    ?(dial_noise = Laplace.params ~mu:3. ~b:1.) ?dial_kind ?telemetry
-    ?budget_warn ?round_deadline_ms ?(max_retries = 2)
-    ?handshake_timeout_ms ~addr () =
+   ledger composes the wrong guarantee.  With [pipeline] set, entry
+   batches leave the coordinator as streamed [*_batch_part] frames. *)
+let of_config_tcp (cfg : Config.t) ~addr =
   match
-    Remote.connect ?telemetry ?dial_kind ?deadline_ms:round_deadline_ms
-      ?handshake_timeout_ms ~addr ()
+    Remote.connect ?telemetry:cfg.telemetry ~dial_kind:cfg.dial_kind
+      ?deadline_ms:cfg.round_deadline_ms
+      ~handshake_timeout_ms:cfg.handshake_timeout_ms ~addr ()
   with
   | Error e -> Error e
   | Ok remote ->
-      Option.iter
-        (fun tel ->
-          Telemetry.set_ledger tel
-            (Ledger.create ?warn_eps:budget_warn
-               ~conv:(Mechanism.conversation noise)
-               ~dial:(Mechanism.dialing dial_noise) ()))
-        telemetry;
+      install_ledger cfg;
+      Remote.set_pipeline remote
+        (if cfg.pipeline then Some (max 1 cfg.pipeline_chunk) else None);
       Ok
         {
           backend = Tcp remote;
-          tel = telemetry;
+          tel = cfg.telemetry;
           server_pks = Remote.public_keys remote;
           clients = Hashtbl.create 64;
           order = [];
@@ -143,13 +159,33 @@ let create_tcp ?(noise = Laplace.params ~mu:10. ~b:2.)
           dial_round = 1;
           m = 1;
           auto_tune_m = false;
-          dial_kind = Option.value ~default:Dialing.Plain dial_kind;
+          dial_kind = cfg.dial_kind;
           cdn = None;
-          round_deadline_ms;
-          max_retries = max 0 max_retries;
+          round_deadline_ms = cfg.round_deadline_ms;
+          max_retries = max 0 cfg.max_retries;
           m_history = [];
           last_fetched = Hashtbl.create 64;
         }
+
+let create_tcp ?(noise = Laplace.params ~mu:10. ~b:2.)
+    ?(dial_noise = Laplace.params ~mu:3. ~b:1.) ?dial_kind ?telemetry
+    ?budget_warn ?round_deadline_ms ?(max_retries = 2)
+    ?handshake_timeout_ms ~addr () =
+  of_config_tcp
+    {
+      Config.default with
+      noise;
+      dial_noise;
+      dial_kind = Option.value ~default:Config.default.dial_kind dial_kind;
+      telemetry;
+      budget_warn;
+      round_deadline_ms;
+      max_retries;
+      handshake_timeout_ms =
+        Option.value ~default:Config.default.handshake_timeout_ms
+          handshake_timeout_ms;
+    }
+    ~addr
 
 let chain t =
   match t.backend with
@@ -359,83 +395,101 @@ let count_outcome t ~dialing outcome =
         | `Retried -> "vuvuzela_round_retries_total"
         | `Failed -> "vuvuzela_round_failures_total")
 
-let run_round ?(blocked = fun _ -> false) (t : t) =
-  let participants = List.filter (fun c -> not (blocked c)) (clients t) in
+(* The attempt loop shared by both round kinds: bump the round counter,
+   charge the ledger, collect requests through the entry server, time
+   the chain call, check the deadline, and either finish or abort +
+   retry (bounded, and only for retryable statuses).  The two kinds
+   plug in their request builder, chain call, abort propagation, and
+   success handler; the supervisor proper exists exactly once. *)
+let supervise t ~dialing ~participants ~next_round ~submit ~wire_bytes_of
+    ~call ~abort ~finish =
   let aborts = ref [] in
   let rec attempt n =
-    let round = t.round in
-    t.round <- round + 1;
-    charge_attempt t ~participants ~dialing:false;
+    let round = next_round () in
+    charge_attempt t ~participants ~dialing;
     let entry = Entry.create () in
-    Telemetry.span t.tel ~name:"client-build" ~round (fun () ->
-        List.iter
-          (fun c ->
-            List.iteri
-              (fun slot onion ->
-                Entry.submit entry (Client.public_key c, slot) onion)
-              (Client.conversation_requests c ~round))
-          participants);
+    Telemetry.span t.tel ~name:"client-build" ~round ~dialing (fun () ->
+        submit entry ~round);
     let requests, ids = Entry.close_round entry in
     let batch_size = Array.length requests in
-    let wire_bytes =
-      Rpc.conv_batch_bytes ~count:batch_size
-        ~item_len:
-          (Vuvuzela_mixnet.Onion.request_size ~chain_len:(chain_length t)
-             ~payload_len:Types.exchange_payload_len)
-    in
-    let outcome, wall_ms =
-      timed (fun () -> chain_conversation_round t ~round requests)
-    in
+    let wire_bytes = wire_bytes_of ~count:batch_size in
+    let outcome, wall_ms = timed (fun () -> call ~round requests) in
     let elapsed_ms = wall_ms +. chain_last_round_delay_ms t in
-    observe_attempt t ~dialing:false ~wall_ms ~wire_bytes;
-    let report failure events =
-      { round; dialing = false; events; batch_size; wire_bytes; elapsed_ms;
-        confirmed_acks = 0; attempts = n; aborts = List.rev !aborts; failure }
+    observe_attempt t ~dialing ~wall_ms ~wire_bytes;
+    let report failure ~confirmed_acks events =
+      { round; dialing; events; batch_size; wire_bytes; elapsed_ms;
+        confirmed_acks; attempts = n; aborts = List.rev !aborts; failure }
     in
     match check_deadline t ~round ~elapsed_ms outcome with
     | Error st ->
         (* Abort everywhere: servers drop the round's state (noise is
-           redrawn on retry), clients drop its reply secrets and mark
-           its messages for immediate retransmission. *)
-        chain_abort_round t ~round;
-        List.iter (fun c -> Client.abort_round c ~round) participants;
+           redrawn on retry), clients drop its reply secrets and requeue
+           what the round carried. *)
+        abort ~round;
         aborts := st :: !aborts;
         if n <= t.max_retries && Rpc.retryable st then begin
-          count_outcome t ~dialing:false `Retried;
+          count_outcome t ~dialing `Retried;
           attempt (n + 1)
         end
         else begin
-          count_outcome t ~dialing:false `Failed;
-          report (Some st)
+          count_outcome t ~dialing `Failed;
+          report (Some st) ~confirmed_acks:0
             (List.map
                (fun c ->
-                 (c, [ Client.Round_failed { round; dialing = false; status = st } ]))
+                 (c, [ Client.Round_failed { round; dialing; status = st } ]))
                participants)
         end
     | Ok results ->
-        count_outcome t ~dialing:false `Completed;
-        (* Group each client's slot replies back together, in slot order. *)
-        let by_client = Hashtbl.create 64 in
-        List.iter
-          (fun ((pk, slot), reply) ->
-            let prev = Option.value ~default:[] (Hashtbl.find_opt by_client pk) in
-            Hashtbl.replace by_client pk ((slot, reply) :: prev))
-          (Entry.demux ~ids results);
-        report None
-          (Telemetry.span t.tel ~name:"client-decrypt" ~round (fun () ->
-               List.filter_map
-                 (fun c ->
-                   let pk = Client.public_key c in
-                   match Hashtbl.find_opt by_client pk with
-                   | None -> None
-                   | Some slot_replies ->
-                       let replies =
-                         List.sort compare slot_replies |> List.map snd
-                       in
-                       Some (c, Client.handle_conversation_replies c ~round replies))
-                 participants))
+        count_outcome t ~dialing `Completed;
+        let confirmed_acks, events = finish ~round ~ids results in
+        report None ~confirmed_acks events
   in
   attempt 1
+
+let run_conversation ~participants (t : t) =
+  supervise t ~dialing:false ~participants
+    ~next_round:(fun () ->
+      let round = t.round in
+      t.round <- round + 1;
+      round)
+    ~submit:(fun entry ~round ->
+      List.iter
+        (fun c ->
+          List.iteri
+            (fun slot onion ->
+              Entry.submit entry (Client.public_key c, slot) onion)
+            (Client.conversation_requests c ~round))
+        participants)
+    ~wire_bytes_of:(fun ~count ->
+      Rpc.conv_batch_bytes ~count
+        ~item_len:
+          (Vuvuzela_mixnet.Onion.request_size ~chain_len:(chain_length t)
+             ~payload_len:Types.exchange_payload_len))
+    ~call:(fun ~round requests -> chain_conversation_round t ~round requests)
+    ~abort:(fun ~round ->
+      chain_abort_round t ~round;
+      List.iter (fun c -> Client.abort_round c ~round) participants)
+    ~finish:(fun ~round ~ids results ->
+      (* Group each client's slot replies back together, in slot order. *)
+      let by_client = Hashtbl.create 64 in
+      List.iter
+        (fun ((pk, slot), reply) ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_client pk) in
+          Hashtbl.replace by_client pk ((slot, reply) :: prev))
+        (Entry.demux ~ids results);
+      ( 0,
+        Telemetry.span t.tel ~name:"client-decrypt" ~round (fun () ->
+            List.filter_map
+              (fun c ->
+                let pk = Client.public_key c in
+                match Hashtbl.find_opt by_client pk with
+                | None -> None
+                | Some slot_replies ->
+                    let replies =
+                      List.sort compare slot_replies |> List.map snd
+                    in
+                    Some (c, Client.handle_conversation_replies c ~round replies))
+              participants) ))
 
 (* The download/scan phase of a dialing round (unmixed; §5.5) — through
    the CDN when one is deployed, straight from the last server
@@ -472,101 +526,80 @@ let download_invitations t c =
    downloads and scans the invitation drops it has not seen yet.  An
    aborted attempt requeues each client's invitation (the retry builds a
    fresh one) and discards the last server's partial invitation store. *)
-let run_dialing_round ?(blocked = fun _ -> false) (t : t) =
-  let participants = List.filter (fun c -> not (blocked c)) (clients t) in
+let run_dialing ~participants (t : t) =
   let m = t.m in
-  let aborts = ref [] in
-  let rec attempt n =
-    let dial_round = t.dial_round in
-    t.dial_round <- dial_round + 1;
-    charge_attempt t ~participants ~dialing:true;
-    let entry = Entry.create () in
-    Telemetry.span t.tel ~name:"client-build" ~round:dial_round ~dialing:true
-      (fun () ->
-        List.iter
-          (fun c ->
-            Entry.submit entry (Client.public_key c)
-              (Client.dialing_request c ~dial_round ~m))
-          participants);
-    let requests, ids = Entry.close_round entry in
-    let batch_size = Array.length requests in
-    let wire_bytes =
-      Rpc.dial_batch_bytes ~count:batch_size
+  supervise t ~dialing:true ~participants
+    ~next_round:(fun () ->
+      let dial_round = t.dial_round in
+      t.dial_round <- dial_round + 1;
+      dial_round)
+    ~submit:(fun entry ~round ->
+      List.iter
+        (fun c ->
+          Entry.submit entry (Client.public_key c)
+            (Client.dialing_request c ~dial_round:round ~m))
+        participants)
+    ~wire_bytes_of:(fun ~count ->
+      Rpc.dial_batch_bytes ~count
         ~item_len:
           (Vuvuzela_mixnet.Onion.request_size ~chain_len:(chain_length t)
-             ~payload_len:(Dialing.payload_len t.dial_kind))
-    in
-    let outcome, wall_ms =
-      timed (fun () -> chain_dialing_round t ~round:dial_round ~m requests)
-    in
-    let elapsed_ms = wall_ms +. chain_last_round_delay_ms t in
-    observe_attempt t ~dialing:true ~wall_ms ~wire_bytes;
-    let report failure ~confirmed_acks events =
-      { round = dial_round; dialing = true; events; batch_size; wire_bytes;
-        elapsed_ms; confirmed_acks; attempts = n; aborts = List.rev !aborts;
-        failure }
-    in
-    match check_deadline t ~round:dial_round ~elapsed_ms outcome with
-    | Error st ->
-        chain_abort_dialing_round t ~round:dial_round;
-        List.iter (fun c -> Client.abort_dial_round c ~dial_round) participants;
-        aborts := st :: !aborts;
-        if n <= t.max_retries && Rpc.retryable st then begin
-          count_outcome t ~dialing:true `Retried;
-          attempt (n + 1)
-        end
-        else begin
-          count_outcome t ~dialing:true `Failed;
-          report (Some st) ~confirmed_acks:0
-            (List.map
-               (fun c ->
-                 ( c,
-                   [ Client.Round_failed
-                       { round = dial_round; dialing = true; status = st } ] ))
-               participants)
-        end
-    | Ok acks ->
-        count_outcome t ~dialing:true `Completed;
-        (* Route each slot's ack back to its client; a confirmed ack
-           means that request survived every hop. *)
-        let confirmed_acks =
-          Telemetry.span t.tel ~name:"client-decrypt" ~round:dial_round
-            ~dialing:true (fun () ->
-              List.fold_left
-                (fun n (pk, ack) ->
-                  match Hashtbl.find_opt t.clients pk with
-                  | Some c when Client.confirm_dial_ack c ~dial_round ack ->
-                      n + 1
-                  | Some _ | None -> n)
-                0
-                (Entry.demux ~ids acks))
-        in
-        (* §5.4: adopt the last server's m recommendation for the next
-           round.  The wire protocol does not carry [proposed_m], so a
-           TCP deployment keeps its configured m. *)
-        (match t.backend with
-        | Local c -> if t.auto_tune_m then t.m <- max 1 (Chain.proposed_m c)
-        | Tcp _ -> ());
-        (* Only completed rounds enter the download schedule; the bound
-           matches the last server's invitation retention. *)
-        t.m_history <-
-          (dial_round, m)
-          :: List.filteri
-               (fun i _ -> i < Server.invitation_history - 1)
-               t.m_history;
-        report None ~confirmed_acks
-          (List.filter_map
-             (fun c ->
-               match download_invitations t c with
-               | [] -> None
-               | events -> Some (c, events))
-             participants)
-  in
-  attempt 1
+             ~payload_len:(Dialing.payload_len t.dial_kind)))
+    ~call:(fun ~round requests -> chain_dialing_round t ~round ~m requests)
+    ~abort:(fun ~round ->
+      chain_abort_dialing_round t ~round;
+      List.iter
+        (fun c -> Client.abort_dial_round c ~dial_round:round)
+        participants)
+    ~finish:(fun ~round ~ids acks ->
+      (* Route each slot's ack back to its client; a confirmed ack
+         means that request survived every hop. *)
+      let confirmed_acks =
+        Telemetry.span t.tel ~name:"client-decrypt" ~round ~dialing:true
+          (fun () ->
+            List.fold_left
+              (fun n (pk, ack) ->
+                match Hashtbl.find_opt t.clients pk with
+                | Some c when Client.confirm_dial_ack c ~dial_round:round ack
+                  -> n + 1
+                | Some _ | None -> n)
+              0
+              (Entry.demux ~ids acks))
+      in
+      (* §5.4: adopt the last server's m recommendation for the next
+         round.  The wire protocol does not carry [proposed_m], so a
+         TCP deployment keeps its configured m. *)
+      (match t.backend with
+      | Local c -> if t.auto_tune_m then t.m <- max 1 (Chain.proposed_m c)
+      | Tcp _ -> ());
+      (* Only completed rounds enter the download schedule; the bound
+         matches the last server's invitation retention. *)
+      t.m_history <-
+        (round, m)
+        :: List.filteri
+             (fun i _ -> i < Server.invitation_history - 1)
+             t.m_history;
+      ( confirmed_acks,
+        List.filter_map
+          (fun c ->
+            match download_invitations t c with
+            | [] -> None
+            | events -> Some (c, events))
+          participants ))
+
+(* The one round entry point: both protocols run under the same
+   supervisor, selected by {!Round.kind}. *)
+let run ?(blocked = fun _ -> false) ~kind (t : t) =
+  let participants = List.filter (fun c -> not (blocked c)) (clients t) in
+  match (kind : Round.kind) with
+  | Round.Conversation -> run_conversation ~participants t
+  | Round.Dialing -> run_dialing ~participants t
+
+let run_round ?blocked t = run ?blocked ~kind:Round.Conversation t
+let run_dialing_round ?blocked t = run ?blocked ~kind:Round.Dialing t
 
 (* Convenience: run n conversation rounds, collecting the reports. *)
 let run_rounds ?blocked t n =
-  List.init n (fun _ -> run_round ?blocked t)
+  List.init n (fun _ -> run ?blocked ~kind:Round.Conversation t)
 
 (* The deployment schedule of §8.1: conversation rounds run continuously
    and a dialing round fires every [dial_every] conversation rounds (the
@@ -575,7 +608,8 @@ let run_rounds ?blocked t n =
 let run_schedule ?blocked ?(dial_every = 10) t ~rounds =
   let acc = ref [] in
   for i = 1 to rounds do
-    if i mod dial_every = 0 then acc := run_dialing_round ?blocked t :: !acc;
-    acc := run_round ?blocked t :: !acc
+    if i mod dial_every = 0 then
+      acc := run ?blocked ~kind:Round.Dialing t :: !acc;
+    acc := run ?blocked ~kind:Round.Conversation t :: !acc
   done;
   List.rev !acc

@@ -2,7 +2,56 @@
     round clock, run by a supervisor with deadlines, bounded retries,
     and fault injection for the active adversary. *)
 
+module Config = Config
+(** The deployment configuration record; see {!Config.default} and the
+    [with_*] helpers. *)
+
 type t
+
+val of_config : Config.t -> t
+(** An in-process deployment from a {!Config.t}.  Defaults are sized for
+    tests (tiny noise); production parameters come from
+    {!Vuvuzela_dp.Composition.noise_for_target}.  [jobs] sets the
+    chain's crypto parallelism and [pipeline] relays forward batches
+    between servers as streamed parts; results are bit-identical at any
+    job count, pipelined or lockstep.
+
+    [fault_plan] arms deterministic fault injection at the chain's link
+    boundaries and [tap] observes every forward batch on the wire (see
+    {!Chain.of_config}).  [round_deadline_ms] ([None]: no deadline)
+    bounds each round attempt — wall clock plus any injected virtual
+    delay — and [max_retries] bounds how many times the supervisor
+    retries an aborted round before giving up.
+
+    [telemetry] (default: the nil sink) is shared down the stack (chain,
+    servers): per-stage spans, round spans, client-build/client-decrypt
+    spans, round latency/wire-byte/outcome metrics — latency histograms
+    record wall-clock only, with injected virtual delay kept in its own
+    counter — and a privacy-budget ledger composing the deployment's
+    per-round guarantees under Theorem 2, charged per client per
+    attempt.  [budget_warn] sets the ledger's cumulative-ε′ warning
+    threshold.  Instrumentation never draws from the RNG: a seeded
+    deployment is bit-identical with telemetry on or off. *)
+
+val of_config_tcp : Config.t -> addr:Unix.sockaddr -> (t, string) result
+(** The coordinator of a multi-process deployment (§7): dial the first
+    [vuvuzela-server] daemon at [addr], learn the chain's public keys
+    from the handshake, and run the same supervisor over TCP.  With a
+    shared deployment seed the rounds are bit-identical to
+    {!of_config}'s.
+
+    Differences from the in-process deployment: [noise]/[dial_noise]
+    here only parameterise the privacy-budget ledger (the daemons own
+    the actual noise — pass their parameters); [fault_plan]/[tap] live
+    in the daemons ([--fault-plan]); [jobs] is inert (each daemon
+    configures its own); {!set_auto_tune_drops} is inert (the wire
+    protocol does not carry the last server's §5.4 recommendation); and
+    [round_deadline_ms] additionally bounds the wait for each results
+    frame, so a dead link surfaces as a retryable transport status
+    instead of blocking.  With [pipeline] set, entry batches leave the
+    coordinator as streamed [*_batch_part] frames of [pipeline_chunk]
+    onions.  [Error] if the chain cannot be reached within
+    [handshake_timeout_ms]. *)
 
 val create :
   ?seed:string ->
@@ -21,27 +70,9 @@ val create :
   ?max_retries:int ->
   unit ->
   t
-(** Defaults are sized for tests (tiny noise); production parameters come
-    from {!Vuvuzela_dp.Composition.noise_for_target}.  [jobs] (default 1)
-    sets the chain's crypto parallelism; results are bit-identical at any
-    job count.
-
-    [fault_plan] arms deterministic fault injection at the chain's link
-    boundaries and [tap] observes every forward batch on the wire (see
-    {!Chain.create}).  [round_deadline_ms] (default: no deadline) bounds
-    each round attempt — wall clock plus any injected virtual delay —
-    and [max_retries] (default 2) bounds how many times the supervisor
-    retries an aborted round before giving up.
-
-    [telemetry] (default: the nil sink) is shared down the stack (chain,
-    servers): per-stage spans, round spans, client-build/client-decrypt
-    spans, round latency/wire-byte/outcome metrics — latency histograms
-    record wall-clock only, with injected virtual delay kept in its own
-    counter — and a privacy-budget ledger composing the deployment's
-    per-round guarantees under Theorem 2, charged per client per
-    attempt.  [budget_warn] sets the ledger's cumulative-ε′ warning
-    threshold.  Instrumentation never draws from the RNG: a seeded
-    deployment is bit-identical with telemetry on or off. *)
+[@@ocaml.deprecated "use Network.of_config with a Network.Config.t"]
+(** @deprecated The keyword-argument constructor; equivalent to
+    {!of_config} on {!Config.default} with the given fields. *)
 
 val create_tcp :
   ?noise:Vuvuzela_dp.Laplace.params ->
@@ -55,20 +86,9 @@ val create_tcp :
   addr:Unix.sockaddr ->
   unit ->
   (t, string) result
-(** The coordinator of a multi-process deployment (§7): dial the first
-    [vuvuzela-server] daemon at [addr], learn the chain's public keys
-    from the handshake, and run the same supervisor over TCP.  With a
-    shared deployment seed the rounds are bit-identical to {!create}'s.
-
-    Differences from the in-process deployment: [noise]/[dial_noise]
-    here only parameterise the privacy-budget ledger (the daemons own
-    the actual noise — pass their parameters); [fault_plan]/[tap] live
-    in the daemons ([--fault-plan]); {!set_auto_tune_drops} is inert
-    (the wire protocol does not carry the last server's §5.4
-    recommendation); and [round_deadline_ms] additionally bounds the
-    wait for each results frame, so a dead link surfaces as a retryable
-    transport status instead of blocking.  [Error] if the chain cannot
-    be reached within [handshake_timeout_ms] (default 30s). *)
+[@@ocaml.deprecated "use Network.of_config_tcp with a Network.Config.t"]
+(** @deprecated The keyword-argument constructor; equivalent to
+    {!of_config_tcp} on {!Config.default} with the given fields. *)
 
 val chain : t -> Chain.t
 (** The in-process chain.
@@ -175,21 +195,31 @@ dialing round 1: 8 requests, 2345 B wire, 1.3 ms, 8 acks, attempts=2, aborts=1
 conv round 5 FAILED: 8 requests, 12345 B wire, 3.1 ms, attempts=3, aborts=3 (...)
     v} *)
 
+val run : ?blocked:(Client.t -> bool) -> kind:Round.kind -> t -> round_report
+(** Run one round of the given kind under the supervisor; [blocked]
+    clients send nothing (the §2.1 active attack, or an outage).  A
+    failed attempt is aborted on every server and client, then retried
+    under a fresh round number with freshly built requests (fresh
+    ephemeral keys — a stored onion is never re-submitted) and freshly
+    drawn noise, at most [max_retries] times.
+
+    [Conversation]: each client submits [max_conversations] exchange
+    requests (one slot each, §9) and decrypts the slot replies.
+
+    [Dialing]: each client submits an invitation or no-op, confirms the
+    chain's ack, then downloads and scans every completed dialing round
+    it has not seen yet (within the last server's retention window), so
+    a client blocked across dialing rounds still receives its
+    invitations later.  An aborted attempt requeues each participant's
+    invitation for the retry. *)
+
 val run_round : ?blocked:(Client.t -> bool) -> t -> round_report
-(** Run one conversation round under the supervisor; [blocked] clients
-    send nothing (the §2.1 active attack, or an outage).  A failed
-    attempt is aborted on every server and client, then retried under a
-    fresh round number with freshly built requests (fresh ephemeral
-    keys — a stored onion is never re-submitted) and freshly drawn
-    noise, at most [max_retries] times. *)
+[@@ocaml.deprecated "use Network.run ~kind:Round.Conversation"]
+(** @deprecated Alias for {!run}[ ~kind:Round.Conversation]. *)
 
 val run_dialing_round : ?blocked:(Client.t -> bool) -> t -> round_report
-(** Run one dialing round under the same supervisor: submissions, ack
-    confirmation, and the download/scan phase.  An aborted attempt
-    requeues each participant's invitation for the retry.  The download
-    phase covers every completed dialing round a client has not seen
-    yet (within the last server's retention window), so a client blocked
-    across dialing rounds still receives its invitations later. *)
+[@@ocaml.deprecated "use Network.run ~kind:Round.Dialing"]
+(** @deprecated Alias for {!run}[ ~kind:Round.Dialing]. *)
 
 val run_rounds :
   ?blocked:(Client.t -> bool) -> t -> int -> round_report list

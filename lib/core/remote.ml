@@ -14,6 +14,10 @@ type t = {
   pks : bytes list;
   dial_kind : Dialing.kind;
   mutable deadline_ms : float option;
+  mutable pipeline : int option;
+      (** [Some chunk]: entry batches leave as streamed [*_batch_part]
+          frames of [chunk] onions, so server 0 peels while the rest of
+          the batch is still crossing the wire *)
   mutable shut_down : bool;
 }
 
@@ -21,6 +25,8 @@ let length t = List.length t.pks
 let public_keys t = t.pks
 let set_deadline_ms t d = t.deadline_ms <- d
 let deadline_ms t = t.deadline_ms
+let set_pipeline t p = t.pipeline <- Option.map (max 1) p
+let pipeline t = t.pipeline
 let stats t = Transport.stats t.tp
 let is_shut_down t = t.shut_down
 
@@ -41,7 +47,16 @@ let connect ?telemetry ?(dial_kind = Dialing.Plain) ?deadline_ms
   | Ok payload -> (
       match Rpc.decode payload with
       | Ok (Rpc.Chain_info { pks }) when pks <> [] ->
-          Ok { tp; client; pks; dial_kind; deadline_ms; shut_down = false }
+          Ok
+            {
+              tp;
+              client;
+              pks;
+              dial_kind;
+              deadline_ms;
+              pipeline = None;
+              shut_down = false;
+            }
       | Ok _ | Error _ ->
           Transport.close_client tp client;
           Error "remote chain: malformed handshake reply")
@@ -57,11 +72,13 @@ let normalize ~expected requests =
       else Vuvuzela_crypto.Drbg.bytes expected)
     requests
 
-(* Send one request frame and pump until its matching reply.  [expect]
-   filters: [Some] for the reply (or a status) of *this* round, [None]
-   for anything stale. *)
-let exchange t ~round ~send ~expect =
-  Transport.send_batch t.client (Rpc.encode send);
+(* Send the request frame(s) and pump until the matching reply.
+   [expect] filters: [Some] for the reply (or a status) of *this*
+   round, [None] for anything stale.  A pipelined round queues several
+   part frames at once; the transport's write path drains them in
+   order while the first hop starts peeling the earliest parts. *)
+let exchange t ~round ~send_frames ~expect =
+  List.iter (fun frame -> Transport.send_batch t.client frame) send_frames;
   let rec await () =
     match Transport.recv_batch ?deadline_ms:t.deadline_ms t.tp t.client with
     | Error `Timeout ->
@@ -96,8 +113,18 @@ let conversation_round t ~round requests =
              ~payload_len:Types.exchange_payload_len)
         requests
     in
-    exchange t ~round
-      ~send:(Rpc.Conv_batch { round; onions = requests })
+    let send_frames =
+      match t.pipeline with
+      | None -> [ Rpc.encode (Rpc.Conv_batch { round; onions = requests }) ]
+      | Some chunk ->
+          let parts = Rpc.split_parts ~chunk requests in
+          let n = Array.length parts in
+          List.init n (fun seq ->
+              Rpc.encode
+                (Rpc.Conv_batch_part
+                   { round; seq; last = seq = n - 1; onions = parts.(seq) }))
+    in
+    exchange t ~round ~send_frames
       ~expect:(function
         | Rpc.Conv_results { round = r; replies } when r = round ->
             Some (Ok replies)
@@ -115,8 +142,19 @@ let dialing_round t ~round ~m requests =
              ~payload_len:(Dialing.payload_len t.dial_kind))
         requests
     in
-    exchange t ~round
-      ~send:(Rpc.Dial_batch { round; m; onions = requests })
+    let send_frames =
+      match t.pipeline with
+      | None ->
+          [ Rpc.encode (Rpc.Dial_batch { round; m; onions = requests }) ]
+      | Some chunk ->
+          let parts = Rpc.split_parts ~chunk requests in
+          let n = Array.length parts in
+          List.init n (fun seq ->
+              Rpc.encode
+                (Rpc.Dial_batch_part
+                   { round; m; seq; last = seq = n - 1; onions = parts.(seq) }))
+    in
+    exchange t ~round ~send_frames
       ~expect:(function
         | Rpc.Dial_results { round = r; replies } when r = round ->
             Some (Ok replies)
@@ -139,7 +177,7 @@ let fetch_invitations t ~dial_round ~index =
   else
     match
       exchange t ~round:dial_round
-        ~send:(Rpc.Fetch_drop { dial_round; index })
+        ~send_frames:[ Rpc.encode (Rpc.Fetch_drop { dial_round; index }) ]
         ~expect:(function
           | Rpc.Drop_contents { dial_round = r; index = i; invitations }
             when r = dial_round && i = index -> Some (Ok invitations)

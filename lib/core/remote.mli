@@ -34,6 +34,15 @@ val public_keys : t -> bytes list
 val set_deadline_ms : t -> float option -> unit
 val deadline_ms : t -> float option
 
+val set_pipeline : t -> int option -> unit
+(** [Some chunk] (clamped ≥ 1): send entry batches as streamed
+    [*_batch_part] frames of [chunk] onions each, so the first hop
+    peels early parts while later ones are still crossing the wire.
+    [None] (the default) sends one whole-batch frame.  The daemons
+    accept both framings on any round; results are bit-identical. *)
+
+val pipeline : t -> int option
+
 val conversation_round :
   t -> round:int -> bytes array -> (bytes array, Rpc.status) result
 (** Same contract as {!Chain.conversation_round}, including the

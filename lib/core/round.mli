@@ -1,0 +1,7 @@
+(** The two round types of the protocol, as data, so one supervisor
+    ({!Network.run}) serves both. *)
+
+type kind = Conversation | Dialing
+
+val is_dialing : kind -> bool
+val pp_kind : Format.formatter -> kind -> unit

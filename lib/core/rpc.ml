@@ -55,6 +55,26 @@ type message =
       (** coordinator → chain (forwarded hop to hop): discard this
           round's state; the supervisor is about to retry *)
   | Bye  (** graceful shutdown, forwarded down the chain *)
+  | Conv_batch_part of {
+      round : int;
+      seq : int;
+      last : bool;
+      onions : bytes array;
+    }
+      (** pipelined relay: one contiguous chunk of a [Conv_batch], sent
+          as soon as the upstream server has produced it so the receiver
+          peels while the rest of the batch is still being computed.
+          Parts arrive in [seq] order on a single ordered link; the part
+          with [last = true] closes the batch.  Reassembling the parts
+          of a round yields exactly the [Conv_batch] the lockstep relay
+          would have sent. *)
+  | Dial_batch_part of {
+      round : int;
+      m : int;
+      seq : int;
+      last : bool;
+      onions : bytes array;
+    }  (** pipelined chunk of a [Dial_batch]; [m] repeats on every part *)
 
 let tag_of = function
   | Round_announce _ -> 1
@@ -70,6 +90,8 @@ let tag_of = function
   | Chain_info _ -> 11
   | Abort _ -> 12
   | Bye -> 13
+  | Conv_batch_part _ -> 14
+  | Dial_batch_part _ -> 15
 
 (* Uniform-size batch: u32 count, u32 item length, then count items. *)
 let write_batch w (items : bytes array) =
@@ -146,7 +168,23 @@ let encode msg =
       | Abort { round; dialing } ->
           Wire.Writer.u64 w round;
           Wire.Writer.u8 w (if dialing then 1 else 0)
-      | Bye -> ())
+      | Bye -> ()
+      | Conv_batch_part { round; seq; last; onions } ->
+          Wire.Writer.u64 w round;
+          Wire.Writer.u32 w seq;
+          Wire.Writer.u8 w (if last then 1 else 0);
+          write_batch w onions
+      | Dial_batch_part { round; m; seq; last; onions } ->
+          Wire.Writer.u64 w round;
+          Wire.Writer.u32 w m;
+          Wire.Writer.u32 w seq;
+          Wire.Writer.u8 w (if last then 1 else 0);
+          write_batch w onions)
+
+let read_seq r =
+  let seq = Wire.Reader.u32 r in
+  if seq > 1 lsl 26 then raise (Wire.Error "Rpc.decode: absurd part seq");
+  seq
 
 let decode b =
   Wire.decode
@@ -207,6 +245,17 @@ let decode b =
           let dialing = Wire.Reader.u8 r <> 0 in
           Abort { round; dialing }
       | 13 -> Bye
+      | 14 ->
+          let round = Wire.Reader.u64 r in
+          let seq = read_seq r in
+          let last = Wire.Reader.u8 r <> 0 in
+          Conv_batch_part { round; seq; last; onions = read_batch r }
+      | 15 ->
+          let round = Wire.Reader.u64 r in
+          let m = Wire.Reader.u32 r in
+          let seq = read_seq r in
+          let last = Wire.Reader.u8 r <> 0 in
+          Dial_batch_part { round; m; seq; last; onions = read_batch r }
       | t -> raise (Wire.Error (Printf.sprintf "Rpc.decode: unknown tag %d" t)))
     b
 
@@ -232,7 +281,25 @@ let equal_message a b =
   | ( Abort { round = r1; dialing = d1 },
       Abort { round = r2; dialing = d2 } ) -> r1 = r2 && d1 = d2
   | Bye, Bye -> true
+  | Conv_batch_part x, Conv_batch_part y ->
+      x.round = y.round && x.seq = y.seq && x.last = y.last
+      && x.onions = y.onions
+  | Dial_batch_part x, Dial_batch_part y ->
+      x.round = y.round && x.m = y.m && x.seq = y.seq && x.last = y.last
+      && x.onions = y.onions
   | _ -> false
+
+(* Split a logical batch into the contiguous slices the pipelined relay
+   ships as [*_batch_part] frames.  An empty batch is one empty part so
+   a [last = true] frame always closes the round. *)
+let split_parts ~chunk onions =
+  let n = Array.length onions in
+  if n = 0 then [| onions |]
+  else
+    let chunk = max 1 chunk in
+    let parts = (n + chunk - 1) / chunk in
+    Array.init parts (fun p ->
+        Array.sub onions (p * chunk) (min chunk (n - (p * chunk))))
 
 (* Byte size of a message on the wire without building it (used by the
    cost model's bandwidth accounting and the round reports). *)

@@ -38,6 +38,25 @@ type message =
       (** discard this round's state everywhere; forwarded hop to hop
           ahead of the supervisor's retry *)
   | Bye  (** graceful chain shutdown, forwarded hop to hop *)
+  | Conv_batch_part of {
+      round : int;
+      seq : int;
+      last : bool;
+      onions : bytes array;
+    }
+      (** pipelined relay: one contiguous chunk of a [Conv_batch], sent
+          as soon as the upstream hop has produced it.  Parts of a round
+          arrive in [seq] order on a single ordered link; [last = true]
+          closes the batch.  Concatenating a round's parts yields
+          exactly the [Conv_batch] the lockstep relay would have sent,
+          which is why the pipelined mode is bit-identical. *)
+  | Dial_batch_part of {
+      round : int;
+      m : int;
+      seq : int;
+      last : bool;
+      onions : bytes array;
+    }  (** pipelined chunk of a [Dial_batch]; [m] repeats on every part *)
 
 val encode : message -> bytes
 (** @raise Vuvuzela_mixnet.Wire.Error on ragged batches. *)
@@ -47,6 +66,12 @@ val decode : bytes -> (message, string) result
     truncated or trailing bytes. *)
 
 val equal_message : message -> message -> bool
+
+val split_parts : chunk:int -> bytes array -> bytes array array
+(** Split a logical batch into the ≤[chunk]-sized contiguous slices the
+    pipelined relay ships as [*_batch_part] frames ([chunk] clamped
+    ≥ 1).  An empty batch yields one empty part, so every round is
+    closed by a [last = true] frame. *)
 
 val conv_batch_bytes : count:int -> item_len:int -> int
 (** Exact wire size of a [Conv_batch], for bandwidth accounting. *)

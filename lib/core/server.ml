@@ -154,80 +154,34 @@ let last_histogram t = t.last_histogram
 let downstream t = t.cfg.chain_len - t.cfg.position - 1
 
 (* ------------------------------------------------------------------ *)
-(* Common peel + shuffle machinery                                     *)
+(* Streaming peel                                                      *)
 (* ------------------------------------------------------------------ *)
 
-(* Peel all incoming onions; returns the slot table and valid inners.
+(* A round's ingress is a stream: the pipelined relay feeds the batch in
+   contiguous chunks as they come off the wire, and the expensive peel
+   happens per chunk — so this server overlaps its DH + AEAD work with
+   the upstream server still producing the rest of the batch.  The
+   lockstep path uses the same machinery with a single chunk, so the two
+   modes share every line of ingress logic.
 
-   Two ingress defenses run before any request enters the mix:
+   Determinism: chunks arrive in slot order on one ordered link, the
+   dedup table and valid-index counter persist across feeds, and the
+   peel itself is a pure per-onion function — so the final (slots,
+   inners) pair is byte-identical to peeling the whole batch at once,
+   at any chunk size and any job count. *)
+type stream = {
+  s_round : int;
+  s_dialing : bool;
+  s_expected_len : int;
+  s_seen : (string, unit) Hashtbl.t;  (** dedup across the whole round *)
+  mutable s_slots_rev : slot list;
+  mutable s_inners_rev : bytes list;
+  mutable s_n_valid : int;
+  mutable s_n_in : int;
+}
 
-   - size uniformity ([expected_len]): a wrong-sized request is dropped;
-     it could otherwise be traced by its size through every hop;
-   - deduplication: a byte-identical copy of an earlier request in the
-     batch is dropped.  Without this, an adversary who replays a
-     victim's onion makes her dead drop receive three accesses — m_more
-     is observable and NOT covered by the (m1, m2) noise, so replay
-     would reveal that the victim is in a conversation. *)
-let peel_batch t ~round ~expected_len (onions : bytes array) =
-  (* Pass 1 (coordinator): the cheap ingress checks, in slot order —
-     they share the dedup table. *)
-  let seen = Hashtbl.create (Array.length onions) in
-  let admitted =
-    Array.map
-      (fun onion ->
-        if Bytes.length onion <> expected_len then `Bad_size
-        else begin
-          let key = Bytes.to_string onion in
-          if Hashtbl.mem seen key then `Duplicate
-          else begin
-            Hashtbl.replace seen key ();
-            `Peel
-          end
-        end)
-      onions
-  in
-  (* Pass 2 (fan-out): the expensive DH + AEAD peel, pure per slot. *)
-  let peeled =
-    par_mapi t
-      (fun i onion ->
-        match admitted.(i) with
-        | `Peel -> Onion.peel ~server_sk:t.secret ~round onion
-        | `Bad_size | `Duplicate -> None)
-      onions
-  in
-  (* Pass 3 (coordinator): assign batch indices in slot order, count. *)
-  let inners = ref [] in
-  let n_valid = ref 0 in
-  let slots =
-    Array.mapi
-      (fun i admit ->
-        match (admit, peeled.(i)) with
-        | `Peel, Some (inner, secret) ->
-            let index = !n_valid in
-            incr n_valid;
-            inners := inner :: !inners;
-            Valid { index; secret }
-        | `Duplicate, _ ->
-            t.metrics.duplicate_requests <- t.metrics.duplicate_requests + 1;
-            Invalid
-        | (`Bad_size | `Peel), _ ->
-            t.metrics.invalid_requests <- t.metrics.invalid_requests + 1;
-            Invalid)
-      admitted
-  in
-  t.metrics.requests_in <- t.metrics.requests_in + Array.length onions;
-  (match t.tel with
-  | None -> ()
-  | Some _ ->
-      let server = [ ("server", string_of_int t.cfg.position) ] in
-      Telemetry.add_counter t.tel ~labels:server
-        ~by:(float_of_int (Array.length onions))
-        "vuvuzela_requests_total";
-      let bad = Array.length onions - !n_valid in
-      if bad > 0 then
-        Telemetry.add_counter t.tel ~labels:server ~by:(float_of_int bad)
-          "vuvuzela_rejected_requests_total");
-  (slots, Array.of_list (List.rev !inners))
+let stream_round st = st.s_round
+let stream_dialing st = st.s_dialing
 
 (* Expected request size arriving at this server: the payload plus one
    onion layer per remaining server. *)
@@ -240,6 +194,106 @@ let dial_request_len t =
   Onion.request_size
     ~chain_len:(t.cfg.chain_len - t.cfg.position)
     ~payload_len:(Dialing.payload_len t.cfg.dial_kind)
+
+let make_stream ~round ~dialing ~expected_len =
+  {
+    s_round = round;
+    s_dialing = dialing;
+    s_expected_len = expected_len;
+    s_seen = Hashtbl.create 64;
+    s_slots_rev = [];
+    s_inners_rev = [];
+    s_n_valid = 0;
+    s_n_in = 0;
+  }
+
+let conv_stream t ~round =
+  make_stream ~round ~dialing:false ~expected_len:(conv_request_len t)
+
+let dial_stream t ~round =
+  make_stream ~round ~dialing:true ~expected_len:(dial_request_len t)
+
+(* Peel one chunk of the round's ingress.
+
+   Two ingress defenses run before any request enters the mix:
+
+   - size uniformity ([expected_len]): a wrong-sized request is dropped;
+     it could otherwise be traced by its size through every hop;
+   - deduplication: a byte-identical copy of an earlier request anywhere
+     in the round (the table spans chunks) is dropped.  Without this, an
+     adversary who replays a victim's onion makes her dead drop receive
+     three accesses — m_more is observable and NOT covered by the
+     (m1, m2) noise, so replay would reveal that the victim is in a
+     conversation. *)
+let stream_feed t st (onions : bytes array) =
+  Telemetry.stage t.tel ~name:"peel" ~round:st.s_round
+    ~server:t.cfg.position ~dialing:st.s_dialing
+  @@ fun () ->
+  (* Pass 1 (coordinator): the cheap ingress checks, in slot order —
+     they share the round's dedup table. *)
+  let admitted =
+    Array.map
+      (fun onion ->
+        if Bytes.length onion <> st.s_expected_len then `Bad_size
+        else begin
+          let key = Bytes.to_string onion in
+          if Hashtbl.mem st.s_seen key then `Duplicate
+          else begin
+            Hashtbl.replace st.s_seen key ();
+            `Peel
+          end
+        end)
+      onions
+  in
+  (* Pass 2 (fan-out): the expensive DH + AEAD peel, pure per slot. *)
+  let peeled =
+    par_mapi t
+      (fun i onion ->
+        match admitted.(i) with
+        | `Peel -> Onion.peel ~server_sk:t.secret ~round:st.s_round onion
+        | `Bad_size | `Duplicate -> None)
+      onions
+  in
+  (* Pass 3 (coordinator): assign batch indices in slot order, count. *)
+  Array.iteri
+    (fun i admit ->
+      match (admit, peeled.(i)) with
+      | `Peel, Some (inner, secret) ->
+          st.s_slots_rev <-
+            Valid { index = st.s_n_valid; secret } :: st.s_slots_rev;
+          st.s_n_valid <- st.s_n_valid + 1;
+          st.s_inners_rev <- inner :: st.s_inners_rev
+      | `Duplicate, _ ->
+          t.metrics.duplicate_requests <- t.metrics.duplicate_requests + 1;
+          st.s_slots_rev <- Invalid :: st.s_slots_rev
+      | (`Bad_size | `Peel), _ ->
+          t.metrics.invalid_requests <- t.metrics.invalid_requests + 1;
+          st.s_slots_rev <- Invalid :: st.s_slots_rev)
+    admitted;
+  st.s_n_in <- st.s_n_in + Array.length onions;
+  t.metrics.requests_in <- t.metrics.requests_in + Array.length onions;
+  match t.tel with
+  | None -> ()
+  | Some _ ->
+      let server = [ ("server", string_of_int t.cfg.position) ] in
+      Telemetry.add_counter t.tel ~labels:server
+        ~by:(float_of_int (Array.length onions))
+        "vuvuzela_requests_total"
+
+(* Materialize the accumulated ingress in slot order. *)
+let stream_collect t st =
+  let slots = Array.of_list (List.rev st.s_slots_rev) in
+  let inners = Array.of_list (List.rev st.s_inners_rev) in
+  (match t.tel with
+  | None -> ()
+  | Some _ ->
+      let bad = st.s_n_in - st.s_n_valid in
+      if bad > 0 then
+        Telemetry.add_counter t.tel
+          ~labels:[ ("server", string_of_int t.cfg.position) ]
+          ~by:(float_of_int bad) "vuvuzela_rejected_requests_total");
+  (slots, inners)
+
 
 (* Noise onions are planned in two stages so the wrapping crypto can
    fan out: the coordinator draws every random input (payload bytes and
@@ -346,18 +400,19 @@ let conv_noise t ~round =
   done;
   wrap_noise_specs t ~round (Array.of_list !out)
 
-(* Forward pass of a mixing server: peel, add noise, shuffle.  The
-   stage spans ([peel]/[noise]/[shuffle], plus a zero-duration
-   [exchange] marker — mixing servers host no dead drops) wrap the work
-   without reordering it: each thunk runs exactly once, in place, so the
-   DRBG stream is identical with telemetry on or off. *)
-let conv_forward t ~round onions =
+(* Forward pass of a mixing server: peel (already done, chunk by chunk,
+   by [stream_feed]), add noise, shuffle.  The stage spans
+   ([noise]/[shuffle], plus a zero-duration [exchange] marker — mixing
+   servers host no dead drops) wrap the work without reordering it: each
+   thunk runs exactly once, in place, so the DRBG stream is identical
+   with telemetry on or off, pipelined or not. *)
+let conv_finish_forward t st =
   if is_last t then invalid_arg "Server.conv_forward: last server";
+  if st.s_dialing then
+    invalid_arg "Server.conv_finish_forward: dialing stream";
+  let round = st.s_round in
   let pos = t.cfg.position in
-  let slots, inners =
-    Telemetry.stage t.tel ~name:"peel" ~round ~server:pos (fun () ->
-        peel_batch t ~round ~expected_len:(conv_request_len t) onions)
-  in
+  let slots, inners = stream_collect t st in
   let noise =
     Telemetry.stage t.tel ~name:"noise" ~round ~server:pos (fun () ->
         conv_noise t ~round)
@@ -365,7 +420,7 @@ let conv_forward t ~round onions =
   Telemetry.mark t.tel ~name:"exchange" ~round ~server:pos ();
   Log.debug (fun m ->
       m "server %d: round %d fwd: %d in, %d valid, %d noise"
-        t.cfg.position round (Array.length onions) (Array.length inners)
+        t.cfg.position round st.s_n_in (Array.length inners)
         (Array.length noise));
   let reply_payload_len =
     Types.exchange_result_len + (Onion.reply_overhead * downstream t)
@@ -374,18 +429,23 @@ let conv_forward t ~round onions =
       shuffle_and_record t t.conv_rounds ~round ~slots ~reply_payload_len
         (Array.append inners noise))
 
+let conv_forward t ~round onions =
+  let st = conv_stream t ~round in
+  stream_feed t st onions;
+  conv_finish_forward t st
+
 let conv_backward t ~round results =
   unshuffle_and_reply t t.conv_rounds ~round ~dialing:false results
 
-(* The last server: peel, match dead drops, record the observable
-   histogram, seal results (Algorithm 2 steps 3b and 4). *)
-let conv_exchange t ~round onions =
+(* The last server: dead-drop matching over the streamed ingress, record
+   the observable histogram, seal results (Algorithm 2 steps 3b/4). *)
+let conv_finish_exchange t st =
   if not (is_last t) then invalid_arg "Server.conv_exchange: not last server";
+  if st.s_dialing then
+    invalid_arg "Server.conv_finish_exchange: dialing stream";
+  let round = st.s_round in
   let pos = t.cfg.position in
-  let slots, inners =
-    Telemetry.stage t.tel ~name:"peel" ~round ~server:pos (fun () ->
-        peel_batch t ~round ~expected_len:(conv_request_len t) onions)
-  in
+  let slots, inners = stream_collect t st in
   (* The last server adds no conversation noise and never shuffles (its
      output goes straight back up); zero-duration markers keep stage
      coverage total for every (round, server) pair. *)
@@ -431,6 +491,11 @@ let conv_exchange t ~round onions =
       | Invalid -> dummies.(i))
     slots
 
+let conv_exchange t ~round onions =
+  let st = conv_stream t ~round in
+  stream_feed t st onions;
+  conv_finish_exchange t st
+
 (* ------------------------------------------------------------------ *)
 (* Dialing protocol                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -454,13 +519,13 @@ let dial_noise t ~round ~m =
     "vuvuzela_noise_onions_total";
   wrap_noise_specs t ~round (Array.of_list !out)
 
-let dial_forward t ~round ~m onions =
+let dial_finish_forward t st ~m =
   if is_last t then invalid_arg "Server.dial_forward: last server";
+  if not st.s_dialing then
+    invalid_arg "Server.dial_finish_forward: conversation stream";
+  let round = st.s_round in
   let pos = t.cfg.position in
-  let slots, inners =
-    Telemetry.stage t.tel ~name:"peel" ~round ~server:pos ~dialing:true
-      (fun () -> peel_batch t ~round ~expected_len:(dial_request_len t) onions)
-  in
+  let slots, inners = stream_collect t st in
   let noise =
     Telemetry.stage t.tel ~name:"noise" ~round ~server:pos ~dialing:true
       (fun () -> dial_noise t ~round ~m)
@@ -474,6 +539,11 @@ let dial_forward t ~round ~m onions =
       shuffle_and_record t t.dial_rounds ~round ~slots ~reply_payload_len
         (Array.append inners noise))
 
+let dial_forward t ~round ~m onions =
+  let st = dial_stream t ~round in
+  stream_feed t st onions;
+  dial_finish_forward t st ~m
+
 let dial_backward t ~round results =
   unshuffle_and_reply t t.dial_rounds ~round ~dialing:true results
 
@@ -481,13 +551,13 @@ let dial_ack = Bytes.make Types.dial_result_len '\x01'
 
 (* Last server: file invitations into drops, add its own per-drop noise
    (the last server's noise need not transit the mixnet), ack. *)
-let dial_deliver t ~round ~m onions =
+let dial_finish_deliver t st ~m =
   if not (is_last t) then invalid_arg "Server.dial_deliver: not last server";
+  if not st.s_dialing then
+    invalid_arg "Server.dial_finish_deliver: conversation stream";
+  let round = st.s_round in
   let pos = t.cfg.position in
-  let slots, inners =
-    Telemetry.stage t.tel ~name:"peel" ~round ~server:pos ~dialing:true
-      (fun () -> peel_batch t ~round ~expected_len:(dial_request_len t) onions)
-  in
+  let slots, inners = stream_collect t st in
   let store = Deaddrop.Invitation.create ~m in
   Telemetry.stage t.tel ~name:"exchange" ~round ~server:pos ~dialing:true
     (fun () ->
@@ -557,6 +627,11 @@ let dial_deliver t ~round ~m onions =
       | Valid { secret; _ } -> Onion.seal_reply ~secret ~round dial_ack
       | Invalid -> dummies.(i))
     slots
+
+let dial_deliver t ~round ~m onions =
+  let st = dial_stream t ~round in
+  stream_feed t st onions;
+  dial_finish_deliver t st ~m
 
 (* Clients download invitation drops directly (§5.5: fetches need no
    mixing or noising, and would be served by a CDN at scale).  Without

@@ -66,6 +66,43 @@ val last_histogram : t -> Deaddrop.histogram option
     in the most recent conversation round — exactly the adversary's view
     (§4.2). *)
 
+(** {2 Streamed ingress}
+
+    The pipelined relay feeds a round's batch to a server in contiguous
+    chunks as they come off the wire, so the expensive per-onion peel
+    overlaps with the upstream server still producing the rest of the
+    batch.  Start a stream, feed it every chunk in slot order, then call
+    the matching [*_finish_*] exactly once.  The one-shot entry points
+    below ({!conv_forward} etc.) are these three steps with a single
+    chunk, so lockstep and pipelined relays share every line of ingress
+    logic and produce bit-identical results. *)
+
+type stream
+(** Incremental peel state for one round on one server: the dedup table,
+    slot table, and peeled inners accumulated so far. *)
+
+val conv_stream : t -> round:int -> stream
+val dial_stream : t -> round:int -> stream
+
+val stream_feed : t -> stream -> bytes array -> unit
+(** Peel one contiguous chunk (size-check, dedup against the whole
+    round so far, fan the DH + AEAD out over the pool).  Chunks must
+    arrive in slot order. *)
+
+val stream_round : stream -> int
+val stream_dialing : stream -> bool
+
+val conv_finish_forward : t -> stream -> bytes array
+(** Mixing server: noise + shuffle over everything fed so far; returns
+    the outgoing batch.  Equals [conv_forward] on the concatenation of
+    the fed chunks. *)
+
+val conv_finish_exchange : t -> stream -> bytes array
+(** Last server: dead-drop matching + reseal over everything fed. *)
+
+val dial_finish_forward : t -> stream -> m:int -> bytes array
+val dial_finish_deliver : t -> stream -> m:int -> bytes array
+
 (** {2 Conversation rounds} *)
 
 val conv_forward : t -> round:int -> bytes array -> bytes array

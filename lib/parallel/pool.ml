@@ -1,17 +1,25 @@
 (* A persistent domain pool with a shared job queue.
 
    Workers block on a condition variable between batches, so an idle
-   pool costs nothing but memory.  A batch ([run]) enqueues one closure
-   per chunk; the coordinating domain executes chunk 0 itself, helps
-   drain the queue, then waits for stragglers.  There is exactly one
-   coordinator per pool (the round engine is single-threaded above us),
-   so the queue only ever holds jobs of the current batch. *)
+   pool costs nothing but memory.  A batch enqueues one closure per
+   *chunk* — never one per item — and the coordinating domain executes
+   chunk 0 itself, helps drain the queue, then waits for stragglers.
+   There is exactly one coordinator per pool (the round engine is
+   single-threaded above us), so the queue only ever holds jobs of the
+   current batch.
+
+   The chunked combinators write straight into one preallocated result
+   array: each domain owns a contiguous index range, so there are no
+   per-chunk intermediate arrays, no concatenation copy, and no per-item
+   closure or option box.  (The per-item strategy is retained as
+   [mapi_array_per_item] purely as a benchmark baseline.) *)
 
 type t = {
   jobs : int;
   queue : (unit -> unit) Queue.t;
   lock : Mutex.t;
   work_available : Condition.t;
+  batch_done : Condition.t;  (** reused across batches — one coordinator *)
   mutable live : bool;
   mutable domains : unit Domain.t list;
 }
@@ -52,6 +60,7 @@ let create ~jobs =
       queue = Queue.create ();
       lock = Mutex.create ();
       work_available = Condition.create ();
+      batch_done = Condition.create ();
       live = true;
       domains = [];
     }
@@ -76,7 +85,6 @@ let run_units t (thunks : (unit -> unit) array) =
   else if t.jobs = 1 || n = 1 then Array.iter (fun job -> job ()) thunks
   else begin
     let remaining = ref n in
-    let all_done = Condition.create () in
     let first_exn = ref None in
     let wrapped job () =
       (try job ()
@@ -86,7 +94,7 @@ let run_units t (thunks : (unit -> unit) array) =
          Mutex.unlock t.lock);
       Mutex.lock t.lock;
       decr remaining;
-      if !remaining = 0 then Condition.broadcast all_done;
+      if !remaining = 0 then Condition.broadcast t.batch_done;
       Mutex.unlock t.lock
     in
     Mutex.lock t.lock;
@@ -109,7 +117,7 @@ let run_units t (thunks : (unit -> unit) array) =
     help ();
     Mutex.lock t.lock;
     while !remaining > 0 do
-      Condition.wait all_done t.lock
+      Condition.wait t.batch_done t.lock
     done;
     Mutex.unlock t.lock;
     match !first_exn with Some e -> raise e | None -> ()
@@ -128,17 +136,31 @@ let run t thunks =
 (* Contiguous chunks, one per domain: the per-item cost on our hot
    paths is uniform (fixed-size crypto), so equal splits balance well
    and keep per-batch overhead at [jobs] closures. *)
+let run_ranges t n body =
+  if n > 0 then begin
+    let chunks = min t.jobs n in
+    if chunks <= 1 then body 0 n
+    else
+      run_units t
+        (Array.init chunks (fun c ->
+             let lo = c * n / chunks and hi = (c + 1) * n / chunks in
+             fun () -> body lo hi))
+  end
+
 let mapi_array t f a =
   let n = Array.length a in
   if t.jobs = 1 || n < 2 * t.jobs then Array.mapi f a
   else begin
-    let chunks = t.jobs in
-    let parts = Array.make chunks [||] in
-    run_units t
-      (Array.init chunks (fun c () ->
-           let lo = c * n / chunks and hi = (c + 1) * n / chunks in
-           parts.(c) <- Array.init (hi - lo) (fun k -> f (lo + k) a.(lo + k))));
-    Array.concat (Array.to_list parts)
+    (* Seed the output with element 0 (computed on the coordinator; [f]
+       is pure, so evaluation order is unobservable), then let each
+       chunk fill its own range in place — result [i] is written from
+       input [i] whatever domain ran it. *)
+    let out = Array.make n (f 0 a.(0)) in
+    run_ranges t n (fun lo hi ->
+        for i = max 1 lo to hi - 1 do
+          out.(i) <- f i a.(i)
+        done);
+    out
   end
 
 let map_array t f a = mapi_array t (fun _ x -> f x) a
@@ -146,12 +168,20 @@ let map_array t f a = mapi_array t (fun _ x -> f x) a
 let iter_array t f a =
   let n = Array.length a in
   if t.jobs = 1 || n < 2 * t.jobs then Array.iter f a
+  else
+    run_ranges t n (fun lo hi ->
+        for i = lo to hi - 1 do
+          f a.(i)
+        done)
+
+(* The naive strategy the chunked engine replaced: one closure and one
+   option box per item, all of it through the shared queue.  Kept only
+   so the benchmark can show the A/B delta; never used on a hot path. *)
+let mapi_array_per_item t f a =
+  let n = Array.length a in
+  if t.jobs = 1 || n < 2 then Array.mapi f a
   else begin
-    let chunks = t.jobs in
-    run_units t
-      (Array.init chunks (fun c () ->
-           let lo = c * n / chunks and hi = (c + 1) * n / chunks in
-           for i = lo to hi - 1 do
-             f a.(i)
-           done))
+    let results = Array.make n None in
+    run_units t (Array.init n (fun i () -> results.(i) <- Some (f i a.(i))));
+    Array.map Option.get results
   end

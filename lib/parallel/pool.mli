@@ -29,12 +29,21 @@ val default_jobs : unit -> int
     available to this process. *)
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
-(** Chunked parallel [Array.map].  [f] must be pure (or at least
-    domain-safe and index-independent); exceptions raised by [f] are
-    re-raised on the calling domain after the batch drains. *)
+(** Chunked parallel [Array.map]: at most [jobs] tasks, each filling a
+    contiguous range of one preallocated result array in place — no
+    per-item closures, no intermediate chunk arrays, no concatenation
+    copy.  [f] must be pure (or at least domain-safe and
+    index-independent); exceptions raised by [f] are re-raised on the
+    calling domain after the batch drains. *)
 
 val mapi_array : t -> (int -> 'a -> 'b) -> 'a array -> 'b array
 (** Chunked parallel [Array.mapi]. *)
+
+val mapi_array_per_item : t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** The naive one-task-per-item strategy (one closure and one option box
+    per element, all through the shared queue).  Semantically identical
+    to {!mapi_array}; kept only as the benchmark baseline that shows
+    what per-domain chunking buys.  Never use it on a hot path. *)
 
 val iter_array : t -> ('a -> unit) -> 'a array -> unit
 (** Chunked parallel [Array.iter].  Side effects of [f] run in no

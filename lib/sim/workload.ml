@@ -75,8 +75,11 @@ let run ?(seed = "workload") ?(noise = Vuvuzela_dp.Laplace.params ~mu:4. ~b:1.)
     ?(dial_noise = Vuvuzela_dp.Laplace.params ~mu:2. ~b:1.) ~profile ~rounds ()
     =
   let net =
-    Network.create ~seed ~n_servers:3 ~noise ~dial_noise
-      ~noise_mode:Vuvuzela_dp.Noise.Deterministic ()
+    Network.of_config
+      Network.Config.(
+        default |> with_seed seed |> with_noise noise
+        |> with_dial_noise dial_noise
+        |> with_noise_mode Vuvuzela_dp.Noise.Deterministic)
   in
   Network.set_auto_tune_drops net true;
   let rng = Drbg.of_string (seed ^ "-driver") in
@@ -147,7 +150,7 @@ let run ?(seed = "workload") ?(noise = Vuvuzela_dp.Laplace.params ~mu:4. ~b:1.)
           end
         end
       done;
-      let events = (Network.run_dialing_round net).Network.events in
+      let events = (Network.run ~kind:Round.Dialing net).Network.events in
       List.iter
         (fun (c, evs) ->
           List.iter
@@ -183,7 +186,7 @@ let run ?(seed = "workload") ?(noise = Vuvuzela_dp.Laplace.params ~mu:4. ~b:1.)
     done;
     (* Outages: each client independently misses the round. *)
     let blocked _c = bernoulli profile.offline in
-    let events = (Network.run_round ~blocked net).Network.events in
+    let events = (Network.run ~blocked ~kind:Round.Conversation net).Network.events in
     List.iter
       (fun (_, evs) ->
         List.iter
@@ -204,7 +207,7 @@ let run ?(seed = "workload") ?(noise = Vuvuzela_dp.Laplace.params ~mu:4. ~b:1.)
   (* Drain outstanding retransmissions. *)
   let drain = 15 in
   for extra = 1 to drain do
-    let events = (Network.run_round net).Network.events in
+    let events = (Network.run ~kind:Round.Conversation net).Network.events in
     List.iter
       (fun (_, evs) ->
         List.iter

@@ -3,9 +3,12 @@
    Invariants:
    - [fd = None] exactly in states Connecting (between retries) and
      Closed.
-   - [wbuf] holds at most one partially-written frame; complete frames
-     wait in [outq].  On disconnect [wbuf] is dropped (the peer's view
-     of a half-frame is unknowable), [outq] is kept.
+   - [wbuf] holds the partially-written write buffer — one frame, or
+     several queued frames coalesced into a single buffer so a burst of
+     small frames (pipelined batch parts) costs one [write] instead of
+     one syscall each; complete frames wait in [outq].  On disconnect
+     [wbuf] is dropped (the peer's view of a half-sent buffer is
+     unknowable), [outq] is kept.
    - the decoder is replaced on every new socket: frame boundaries do
      not survive a reconnect. *)
 
@@ -64,6 +67,43 @@ let close_socket t =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       t.fd <- None
 
+(* Pull the next write buffer off the queue, folding as many queued
+   frames as fit under the budget into one buffer.  Capped so a slow
+   peer cannot make us commit unbounded bytes to an unrecoverable
+   half-sent buffer. *)
+let coalesce_budget = 256 * 1024
+
+let next_write_buffer t =
+  let first = Queue.pop t.outq in
+  if Queue.is_empty t.outq || Bytes.length first >= coalesce_budget then first
+  else begin
+    let total = ref (Bytes.length first) in
+    let rev_parts = ref [ first ] in
+    let fits () =
+      (not (Queue.is_empty t.outq))
+      && !total + Bytes.length (Queue.peek t.outq) <= coalesce_budget
+    in
+    while fits () do
+      let part = Queue.pop t.outq in
+      rev_parts := part :: !rev_parts;
+      total := !total + Bytes.length part
+    done;
+    match !rev_parts with
+    | [ single ] -> single
+    | rev_parts ->
+        let buf = Bytes.create !total in
+        let (_ : int) =
+          List.fold_left
+            (fun tail part ->
+              let len = Bytes.length part in
+              let off = tail - len in
+              Bytes.blit part 0 buf off len;
+              off)
+            !total rev_parts
+        in
+        buf
+  end
+
 (* Write as much pending output as the socket accepts; toggle write
    interest accordingly.  Raises Unix_error on a dead peer — callers
    route that through their disconnect path. *)
@@ -74,7 +114,7 @@ let rec flush_output t fd =
          queued frames; queued data otherwise waits for the handshake. *)
       t.st = Established && not (Queue.is_empty t.outq)
     then begin
-      t.wbuf <- Queue.pop t.outq;
+      t.wbuf <- next_write_buffer t;
       t.woff <- 0;
       flush_output t fd
     end

@@ -76,7 +76,9 @@ val state : t -> state
 val established : t -> bool
 
 val queued : t -> int
-(** Frames waiting to reach the wire (including any partial one). *)
+(** Buffers waiting to reach the wire (including any partial one).  A
+    lower bound on frames: the write path coalesces bursts of queued
+    frames into single buffers. *)
 
 val reconnects : t -> int
 

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Tier-1 gate: build everything, then run the full test suite —
+# crypto vectors, protocol, DP accounting, @prop differential
+# properties, @chaos fault schedules, @smoke trace validation, and the
+# @net loopback multi-process deployment (which skips itself where the
+# sandbox forbids sockets).  This is the determinism gate: run it
+# before every push, and point any future CI at it.
+#
+# For quick iteration, `dune build @fast` runs just the alcotest and
+# smoke suites, skipping @net/@chaos/@prop.
+set -eu
+cd "$(dirname "$0")/.."
+dune build @all
+dune runtest

@@ -49,7 +49,7 @@ let normalize_report (r : Network.round_report) =
 
 (* One full chaos run: returns the normalized reports plus everything
    the invariants need. *)
-let scenario ~seed ~jobs () =
+let scenario ?pipeline_chunk ~seed ~jobs () =
   let plan =
     Fault.random_plan
       ~rng:(Drbg.of_string ("chaos-plan-" ^ seed))
@@ -66,11 +66,20 @@ let scenario ~seed ~jobs () =
       batch
   in
   let net =
-    Network.create ~seed:("chaos-net-" ^ seed) ~n_servers:3
-      ~noise:(Laplace.params ~mu:3. ~b:1.)
-      ~dial_noise:(Laplace.params ~mu:2. ~b:1.)
-      ~noise_mode:Noise.Sampled ~jobs ~fault_plan:plan ~tap
-      ~round_deadline_ms:60_000. ~max_retries ()
+    Network.of_config
+      Network.Config.(
+        default
+        |> with_seed ("chaos-net-" ^ seed)
+        |> with_noise (Laplace.params ~mu:3. ~b:1.)
+        |> with_dial_noise (Laplace.params ~mu:2. ~b:1.)
+        |> with_noise_mode Noise.Sampled |> with_jobs jobs
+        |> with_fault_plan plan |> with_tap tap
+        |> with_round_deadline_ms 60_000.
+        |> with_max_retries max_retries
+        |>
+        match pipeline_chunk with
+        | None -> Fun.id
+        | Some chunk -> with_pipeline ~chunk true)
   in
   let clients =
     Array.init (2 * n_pairs) (fun i ->
@@ -161,6 +170,25 @@ let test_chaos_deterministic_across_jobs () =
         true (recv1 = recvj))
     [ 2; 4 ]
 
+let test_chaos_pipelined_matches_lockstep () =
+  (* The streamed relay under the same crash/tamper/delay schedule:
+     every fault still fires against the whole logical batch, so the
+     pipelined transcript — reports, aborts, retries, deliveries — is
+     byte-identical to the lockstep one. *)
+  let norm, _, _, recv = scenario ~seed:"s1" ~jobs:1 () in
+  List.iter
+    (fun (jobs, chunk) ->
+      let normp, _, dupp, recvp =
+        scenario ~pipeline_chunk:chunk ~seed:"s1" ~jobs ()
+      in
+      let label = Printf.sprintf "jobs=%d chunk=%d" jobs chunk in
+      Alcotest.(check (list string))
+        (label ^ " reports match lockstep") norm normp;
+      Alcotest.(check int) (label ^ " no duplicate onions") 0 dupp;
+      Alcotest.(check bool)
+        (label ^ " deliveries match lockstep") true (recv = recvp))
+    [ (1, 1); (1, 4); (2, 3); (4, 16) ]
+
 let test_noise_redrawn_across_attempts () =
   (* Deterministic two-attempt round: a crash at the last server's link
      leaves server 0's forwarded batch observable (at server 1's link)
@@ -172,10 +200,13 @@ let test_noise_redrawn_across_attempts () =
     if server = 1 then Hashtbl.replace sizes round (Array.length batch)
   in
   let net =
-    Network.create ~seed:"chaos-noise-redraw" ~n_servers:3
-      ~noise:(Laplace.params ~mu:3. ~b:1.)
-      ~dial_noise:(Laplace.params ~mu:2. ~b:1.)
-      ~noise_mode:Noise.Sampled ~fault_plan:plan ~tap ~max_retries:2 ()
+    Network.of_config
+      Network.Config.(
+        default |> with_seed "chaos-noise-redraw"
+        |> with_noise (Laplace.params ~mu:3. ~b:1.)
+        |> with_dial_noise (Laplace.params ~mu:2. ~b:1.)
+        |> with_noise_mode Noise.Sampled |> with_fault_plan plan
+        |> with_tap tap |> with_max_retries 2)
   in
   let _ = Network.connect ~seed:"nr-a" net in
   let _ = Network.connect ~seed:"nr-b" net in
@@ -197,6 +228,8 @@ let () =
             test_chaos_invariants;
           Alcotest.test_case "bit-deterministic at jobs 1/2/4" `Quick
             test_chaos_deterministic_across_jobs;
+          Alcotest.test_case "pipelined relay matches lockstep under faults"
+            `Quick test_chaos_pipelined_matches_lockstep;
           Alcotest.test_case "noise redrawn across attempts" `Quick
             test_noise_redrawn_across_attempts;
         ] );

@@ -4,8 +4,9 @@
    The checks mirror the ISSUE's acceptance gate:
    - a seeded 3-server deployment runs 3 conversation rounds and a
      dialing round whose wire transcript digest is bit-identical to the
-     in-process chain's (and to the pinned constant);
-   - a full [Network.create_tcp] deployment delivers messages and
+     in-process chain's (and to the pinned constant) — lockstep, and
+     again with every link streaming chunked batch parts;
+   - a full [Network.of_config_tcp] deployment delivers messages and
      confirms dialing acks over the supervisor;
    - a crash fault at a middle server is survived by the supervisor's
      retry path within [max_retries];
@@ -70,7 +71,7 @@ let free_port () =
 
 let chain_len = 3
 
-let daemon_cfg ~seed ~ports ~index ?fault_plan () =
+let daemon_cfg ~seed ~ports ~index ?fault_plan ?pipeline_chunk () =
   {
     Daemon.listen = Addr.loopback ~port:ports.(index);
     next =
@@ -84,6 +85,7 @@ let daemon_cfg ~seed ~ports ~index ?fault_plan () =
     noise_mode = Noise.Deterministic;
     dial_kind = Dialing.Plain;
     jobs = 1;
+    pipeline_chunk;
     fault_plan;
   }
 
@@ -129,7 +131,7 @@ let stop_pid pid =
   in
   wait ()
 
-let spawn_chain ?fault_plan_for ~seed ports =
+let spawn_chain ?fault_plan_for ?pipeline_chunk ~seed ports =
   Array.to_list
     (Array.init chain_len (fun i ->
          (* last server first, so the handshake cascade settles fast;
@@ -140,11 +142,12 @@ let spawn_chain ?fault_plan_for ~seed ports =
            | Some (j, plan) when j = index -> Some plan
            | _ -> None
          in
-         fork_daemon (daemon_cfg ~seed ~ports ~index ?fault_plan ())))
+         fork_daemon
+           (daemon_cfg ~seed ~ports ~index ?fault_plan ?pipeline_chunk ())))
 
-let with_chain ?fault_plan_for ~seed f =
+let with_chain ?fault_plan_for ?pipeline_chunk ~seed f =
   let ports = Array.init chain_len (fun _ -> free_port ()) in
-  let pids = spawn_chain ?fault_plan_for ~seed ports in
+  let pids = spawn_chain ?fault_plan_for ?pipeline_chunk ~seed ports in
   Fun.protect
     ~finally:(fun () -> List.iter stop_pid pids)
     (fun () -> f ports)
@@ -201,20 +204,63 @@ let test_transcript_parity () =
           Remote.shutdown remote)
 
 (* ------------------------------------------------------------------ *)
-(* 2. Full supervisor over TCP: delivery + dialing acks                *)
+(* 1b. Same parity with every link streaming chunked batch parts       *)
 (* ------------------------------------------------------------------ *)
 
-let test_network_smoke () =
-  print_endline "Network.create_tcp smoke (4 clients):";
-  with_chain ~seed:"net-smoke" (fun ports ->
+let test_transcript_parity_pipelined () =
+  print_endline "pipelined transcript parity (chunk 4 on every link):";
+  with_chain ~pipeline_chunk:4 ~seed:Transcript_pin.seed (fun ports ->
       match
-        Network.create_tcp ~noise:Transcript_pin.noise
-          ~dial_noise:Transcript_pin.dial_noise ~round_deadline_ms:30_000.
-          ~handshake_timeout_ms:20_000.
+        Remote.connect ~handshake_timeout_ms:20_000.
           ~addr:(Addr.loopback ~port:ports.(0))
           ()
       with
-      | Error e -> check ("create_tcp: " ^ e) false
+      | Error e -> check ("remote connect: " ^ e) false
+      | Ok remote ->
+          Remote.set_deadline_ms remote (Some 30_000.);
+          Remote.set_pipeline remote (Some 4);
+          let fail_status st =
+            failwith (Format.asprintf "%a" Rpc.pp_status st)
+          in
+          let backend =
+            {
+              Transcript_pin.pks = Remote.public_keys remote;
+              conversation_round =
+                (fun ~round requests ->
+                  match Remote.conversation_round remote ~round requests with
+                  | Ok replies -> replies
+                  | Error st -> fail_status st);
+              dialing_round =
+                (fun ~round ~m requests ->
+                  match Remote.dialing_round remote ~round ~m requests with
+                  | Ok acks -> acks
+                  | Error st -> fail_status st);
+            }
+          in
+          let tcp_digest = Transcript_pin.full_digest backend in
+          check_str "pipelined loopback digest = pinned digest"
+            Transcript_pin.pinned_full_digest tcp_digest;
+          Remote.shutdown remote)
+
+(* ------------------------------------------------------------------ *)
+(* 2. Full supervisor over TCP: delivery + dialing acks                *)
+(* ------------------------------------------------------------------ *)
+
+let tcp_config =
+  Network.Config.(
+    default |> with_noise Transcript_pin.noise
+    |> with_dial_noise Transcript_pin.dial_noise
+    |> with_handshake_timeout_ms 20_000.)
+
+let test_network_smoke () =
+  print_endline "Network.of_config_tcp smoke (4 clients):";
+  with_chain ~seed:"net-smoke" (fun ports ->
+      match
+        Network.of_config_tcp
+          Network.Config.(tcp_config |> with_round_deadline_ms 30_000.)
+          ~addr:(Addr.loopback ~port:ports.(0))
+      with
+      | Error e -> check ("of_config_tcp: " ^ e) false
       | Ok net ->
           check "is_remote" (Network.is_remote net);
           let a = Network.connect ~seed:"net-a" net in
@@ -244,7 +290,7 @@ let test_network_smoke () =
           check "both texts delivered"
             (List.mem "hello over real tcp" delivered
             && List.mem "second pair, second link" delivered);
-          let dial = Network.run_dialing_round net in
+          let dial = Network.run ~kind:Round.Dialing net in
           check "dialing round completed" (dial.Network.failure = None);
           check "all 4 acks confirmed" (dial.Network.confirmed_acks = 4);
           Network.shutdown net)
@@ -258,24 +304,23 @@ let test_crash_retry () =
   let plan = [ { Fault.round = 1; server = 1; kind = Fault.Crash } ] in
   with_chain ~seed:"net-fault" ~fault_plan_for:(1, plan) (fun ports ->
       match
-        Network.create_tcp ~noise:Transcript_pin.noise
-          ~dial_noise:Transcript_pin.dial_noise ~round_deadline_ms:10_000.
-          ~max_retries:3 ~handshake_timeout_ms:20_000.
+        Network.of_config_tcp
+          Network.Config.(
+            tcp_config |> with_round_deadline_ms 10_000. |> with_max_retries 3)
           ~addr:(Addr.loopback ~port:ports.(0))
-          ()
       with
-      | Error e -> check ("create_tcp: " ^ e) false
+      | Error e -> check ("of_config_tcp: " ^ e) false
       | Ok net ->
           let a = Network.connect ~seed:"fault-a" net in
           let b = Network.connect ~seed:"fault-b" net in
           Client.start_conversation a ~peer_pk:(Client.public_key b);
           Client.start_conversation b ~peer_pk:(Client.public_key a);
           Client.send a "survives the crash";
-          let r = Network.run_round net in
+          let r = Network.run ~kind:Round.Conversation net in
           check "round recovered" (r.Network.failure = None);
           check "took a retry" (r.Network.attempts = 2);
           check "abort recorded" (List.length r.Network.aborts = 1);
-          let r2 = Network.run_round net in
+          let r2 = Network.run ~kind:Round.Conversation net in
           check "delivery after recovery"
             (List.exists
                (fun (_, evs) ->
@@ -301,19 +346,18 @@ let test_kill_restart () =
     ~finally:(fun () -> List.iter stop_pid !pids)
     (fun () ->
       match
-        Network.create_tcp ~noise:Transcript_pin.noise
-          ~dial_noise:Transcript_pin.dial_noise ~round_deadline_ms:15_000.
-          ~max_retries:4 ~handshake_timeout_ms:20_000.
+        Network.of_config_tcp
+          Network.Config.(
+            tcp_config |> with_round_deadline_ms 15_000. |> with_max_retries 4)
           ~addr:(Addr.loopback ~port:ports.(0))
-          ()
       with
-      | Error e -> check ("create_tcp: " ^ e) false
+      | Error e -> check ("of_config_tcp: " ^ e) false
       | Ok net ->
           let a = Network.connect ~seed:"restart-a" net in
           let b = Network.connect ~seed:"restart-b" net in
           Client.start_conversation a ~peer_pk:(Client.public_key b);
           Client.start_conversation b ~peer_pk:(Client.public_key a);
-          let r1 = Network.run_round net in
+          let r1 = Network.run ~kind:Round.Conversation net in
           check "round before the kill" (r1.Network.failure = None);
           (* SIGKILL the middle server: no goodbye, no flush. *)
           let victim = List.nth !pids 1 in
@@ -324,9 +368,9 @@ let test_kill_restart () =
              rejoins via the handshake cascade. *)
           pids := fork_daemon (daemon_cfg ~seed ~ports ~index:1 ()) :: !pids;
           Client.send a "through the restart";
-          let r2 = Network.run_round net in
+          let r2 = Network.run ~kind:Round.Conversation net in
           check "round after restart recovered" (r2.Network.failure = None);
-          let r3 = Network.run_round net in
+          let r3 = Network.run ~kind:Round.Conversation net in
           check "delivery after restart"
             (List.exists
                (fun (_, evs) ->
@@ -350,6 +394,7 @@ let () =
   in
   let run name f = if only = None || only = Some name then f () in
   run "transcript" test_transcript_parity;
+  run "pipeline" test_transcript_parity_pipelined;
   run "smoke" test_network_smoke;
   run "crash" test_crash_retry;
   run "restart" test_kill_restart;

@@ -10,4 +10,5 @@ let () =
   Prop_x25519.run ();
   Prop_ed25519.run ();
   Prop_aead.run ();
+  Prop_pool.run ();
   Prop.exit_summary ()

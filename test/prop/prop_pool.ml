@@ -1,0 +1,95 @@
+(* Properties of the chunked domain pool: every combinator must be
+   observationally equal to its sequential Array counterpart for pure
+   functions — at any job count, any array size, including the empty
+   array and sizes that don't divide evenly into chunks.  This is the
+   determinism contract the relay's peel stage (and the transcript
+   pins) stand on. *)
+
+open Vuvuzela_crypto
+module Pool = Vuvuzela_parallel.Pool
+
+(* Domains are expensive to spawn on every case; reuse one pool per job
+   count across the whole suite. *)
+let pools = Hashtbl.create 4
+
+let pool ~jobs =
+  match Hashtbl.find_opt pools jobs with
+  | Some p -> p
+  | None ->
+      let p = Pool.create ~jobs in
+      Hashtbl.add pools jobs p;
+      p
+
+let shutdown_pools () =
+  Hashtbl.iter (fun _ p -> Pool.shutdown p) pools;
+  Hashtbl.reset pools
+
+(* A generated case: a job count, and an int array whose size sweeps
+   the awkward range around chunk boundaries. *)
+let gen_case rng =
+  let jobs = 1 + Drbg.uniform ~rng 4 in
+  let n = Drbg.uniform ~rng 97 in
+  let arr = Array.init n (fun _ -> Drbg.uniform ~rng 1_000_000) in
+  (jobs, arr)
+
+(* Pure, index-sensitive, collision-resistant enough to catch a result
+   written to the wrong slot or computed from the wrong input. *)
+let f i x = (x * 2_654_435_761) lxor (i * 40_503) lxor (x lsr 7)
+
+let run () =
+  Prop.suite "parallel pool (chunked)";
+  Prop.check ~name:"mapi_array = Array.mapi" ~count:60 gen_case
+    (fun (jobs, arr) ->
+      let expected = Array.mapi f arr in
+      let got = Pool.mapi_array (pool ~jobs) f arr in
+      Prop.require (got = expected) "jobs=%d n=%d: mapi_array diverged" jobs
+        (Array.length arr));
+  Prop.check ~name:"map_array = Array.map" ~count:60 gen_case
+    (fun (jobs, arr) ->
+      let g x = f 0 x in
+      let expected = Array.map g arr in
+      let got = Pool.map_array (pool ~jobs) g arr in
+      Prop.require (got = expected) "jobs=%d n=%d: map_array diverged" jobs
+        (Array.length arr));
+  Prop.check ~name:"per-item strategy = chunked strategy" ~count:40 gen_case
+    (fun (jobs, arr) ->
+      let chunked = Pool.mapi_array (pool ~jobs) f arr in
+      let per_item = Pool.mapi_array_per_item (pool ~jobs) f arr in
+      Prop.require (chunked = per_item)
+        "jobs=%d n=%d: strategies disagree" jobs (Array.length arr));
+  Prop.check ~name:"iter_array visits every element once" ~count:40 gen_case
+    (fun (jobs, arr) ->
+      let n = Array.length arr in
+      (* Tag each element with its index so the visit counter does not
+         depend on which domain runs which chunk. *)
+      let tagged = Array.mapi (fun i x -> (i, x)) arr in
+      let seen = Array.make n 0 in
+      (* Disjoint chunks touch disjoint slots, so unsynchronized writes
+         are safe here. *)
+      Pool.iter_array (pool ~jobs) (fun (i, _) -> seen.(i) <- seen.(i) + 1)
+        tagged;
+      Prop.require
+        (Array.for_all (fun c -> c = 1) seen)
+        "jobs=%d n=%d: some element visited != once" jobs n);
+  Prop.check ~name:"exceptions reach the caller" ~count:20 gen_case
+    (fun (jobs, arr) ->
+      let n = Array.length arr in
+      if n > 0 then begin
+        let bad = n / 2 in
+        match
+          Pool.mapi_array (pool ~jobs)
+            (fun i x -> if i = bad then failwith "boom" else f i x)
+            arr
+        with
+        | _ -> Prop.fail "jobs=%d n=%d: exception swallowed" jobs n
+        | exception Failure _ -> ()
+      end);
+  Prop.vector ~name:"empty array at every job count" (fun () ->
+      List.iter
+        (fun jobs ->
+          Prop.require
+            (Pool.mapi_array (pool ~jobs) f [||] = [||])
+            "jobs=%d: empty mapi_array not empty" jobs;
+          Pool.iter_array (pool ~jobs) (fun _ -> assert false) [||])
+        [ 1; 2; 3; 4 ]);
+  shutdown_pools ()

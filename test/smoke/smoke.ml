@@ -13,10 +13,13 @@ let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("SMOKE FAIL: " ^ s); exi
 let () =
   let tel = T.Telemetry.create () in
   let net =
-    Network.create ~seed:"smoke" ~n_servers:3
-      ~noise:(Laplace.params ~mu:3. ~b:1.)
-      ~dial_noise:(Laplace.params ~mu:2. ~b:1.)
-      ~noise_mode:Noise.Sampled ~telemetry:tel ~budget_warn:1.0 ()
+    Network.of_config
+      Network.Config.(
+        default |> with_seed "smoke"
+        |> with_noise (Laplace.params ~mu:3. ~b:1.)
+        |> with_dial_noise (Laplace.params ~mu:2. ~b:1.)
+        |> with_noise_mode Noise.Sampled |> with_telemetry tel
+        |> with_budget_warn 1.0)
   in
   let a = Network.connect ~seed:"a" net in
   let b = Network.connect ~seed:"b" net in

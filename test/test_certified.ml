@@ -6,10 +6,13 @@ open Vuvuzela_dp
 open Vuvuzela
 
 let make_net () =
-  Network.create ~seed:"certified-net" ~n_servers:3
-    ~noise:(Laplace.params ~mu:3. ~b:1.)
-    ~dial_noise:(Laplace.params ~mu:2. ~b:1.)
-    ~noise_mode:Noise.Deterministic ~dial_kind:Dialing.Certified ()
+  Network.of_config
+    Network.Config.(
+      default |> with_seed "certified-net"
+      |> with_noise (Laplace.params ~mu:3. ~b:1.)
+      |> with_dial_noise (Laplace.params ~mu:2. ~b:1.)
+      |> with_noise_mode Noise.Deterministic
+      |> with_dial_kind Dialing.Certified)
 
 let signing_identity seed = Ed25519.keypair ~rng:(Drbg.of_string seed) ()
 
@@ -30,7 +33,7 @@ let test_certified_call_end_to_end () =
       net
   in
   Client.dial alice ~callee_pk:(Client.public_key bob);
-  let events = (Network.run_dialing_round net).Network.events in
+  let events = (Network.run ~kind:Round.Dialing net).Network.events in
   match events with
   | [ (c, [ Client.Incoming_call { caller; certificate = Some cert } ]) ] ->
       Alcotest.(check bool) "callee is bob" true (c == bob);
@@ -91,7 +94,7 @@ let test_plain_invitation_rejected_in_certified_deployment () =
   Client.dial alice ~callee_pk:(Client.public_key bob);
   Alcotest.(check bool) "client-side guard" true
     (try
-       ignore (Network.run_dialing_round net);
+       ignore (Network.run ~kind:Round.Dialing net);
        false
      with Invalid_argument _ -> true);
   (* Inject the plain invitation directly through the chain. *)
@@ -134,7 +137,7 @@ let test_expired_certificate_flagged () =
   in
   let bob = Network.connect ~seed:"bob3" net in
   Client.dial alice ~callee_pk:(Client.public_key bob);
-  let events = (Network.run_dialing_round net).Network.events in
+  let events = (Network.run ~kind:Round.Dialing net).Network.events in
   match events with
   | [ (_, [ Client.Incoming_call { certificate = Some cert; _ } ]) ] -> (
       (* validity 0 expires after the dialing round it was issued in;
@@ -159,7 +162,7 @@ let test_certified_noise_not_decryptable () =
       net
   in
   ignore bob;
-  let events = (Network.run_dialing_round net).Network.events in
+  let events = (Network.run ~kind:Round.Dialing net).Network.events in
   Alcotest.(check int) "silence" 0 (List.length events);
   (* The drop is nonetheless non-empty (noise from 3 servers). *)
   let size =

@@ -9,8 +9,11 @@ let tiny_noise = Laplace.params ~mu:3. ~b:1.
 let tiny_dial = Laplace.params ~mu:1. ~b:1.
 
 let make_net ?(seed = "client-tests") ?(n_servers = 3) () =
-  Network.create ~seed ~n_servers ~noise:tiny_noise ~dial_noise:tiny_dial
-    ~noise_mode:Noise.Deterministic ()
+  Network.of_config
+    Network.Config.(
+      default |> with_seed seed |> with_n_servers n_servers
+      |> with_noise tiny_noise |> with_dial_noise tiny_dial
+      |> with_noise_mode Noise.Deterministic)
 
 let delivered_texts events =
   List.concat_map
@@ -123,7 +126,7 @@ let test_no_duplicate_delivery () =
   let all = ref [] in
   for round = 1 to 30 do
     let blocked c = (round mod 3 = 0 && c == a) || (round mod 4 = 0 && c == b) in
-    let events = (Network.run_round ~blocked net).Network.events in
+    let events = (Network.run ~kind:Round.Conversation ~blocked net).Network.events in
     all := !all @ texts_for b events
   done;
   Alcotest.(check (list string)) "exactly once, in order" msgs !all
@@ -207,7 +210,7 @@ let test_dial_and_converse () =
   let _idle = Network.connect ~seed:"idle" net in
   Client.dial a ~callee_pk:(Client.public_key b);
   Client.start_conversation a ~peer_pk:(Client.public_key b);
-  let dial_events = (Network.run_dialing_round net).Network.events in
+  let dial_events = (Network.run ~kind:Round.Dialing net).Network.events in
   (* Bob (and only Bob) hears the call. *)
   (match dial_events with
   | [ (c, [ Client.Incoming_call { caller; _ } ]) ] ->
@@ -227,9 +230,9 @@ let test_dial_consumed_once () =
   let a = Network.connect ~seed:"alice" net in
   let b = Network.connect ~seed:"bob" net in
   Client.dial a ~callee_pk:(Client.public_key b);
-  let ev1 = (Network.run_dialing_round net).Network.events in
+  let ev1 = (Network.run ~kind:Round.Dialing net).Network.events in
   Alcotest.(check int) "first round rings" 1 (List.length ev1);
-  let ev2 = (Network.run_dialing_round net).Network.events in
+  let ev2 = (Network.run ~kind:Round.Dialing net).Network.events in
   Alcotest.(check int) "second round silent (dial consumed)" 0
     (List.length ev2)
 
@@ -241,7 +244,7 @@ let test_multiple_invitation_drops () =
   let c = Network.connect ~seed:"charlie" net in
   Client.dial a ~callee_pk:(Client.public_key b);
   Client.dial c ~callee_pk:(Client.public_key a);
-  let events = (Network.run_dialing_round net).Network.events in
+  let events = (Network.run ~kind:Round.Dialing net).Network.events in
   let callers_of client =
     List.concat_map
       (fun (cl, evs) ->
@@ -261,7 +264,7 @@ let test_blocked_dialer_silent () =
   let a = Network.connect ~seed:"alice" net in
   let b = Network.connect ~seed:"bob" net in
   Client.dial a ~callee_pk:(Client.public_key b);
-  let events = (Network.run_dialing_round ~blocked:(fun c -> c == a) net).Network.events in
+  let events = (Network.run ~kind:Round.Dialing ~blocked:(fun c -> c == a) net).Network.events in
   Alcotest.(check int) "no call when dialer blocked" 0 (List.length events)
 
 (* ------------------------------------------------------------------ *)

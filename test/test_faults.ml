@@ -10,10 +10,17 @@ module Fault = Vuvuzela_faults.Fault
 
 let make_net ?fault_plan ?tap ?round_deadline_ms ?(max_retries = 2)
     ?(noise_mode = Noise.Deterministic) ?(seed = "fault-tests") () =
-  Network.create ~seed ~n_servers:3
-    ~noise:(Laplace.params ~mu:3. ~b:1.)
-    ~dial_noise:(Laplace.params ~mu:2. ~b:1.)
-    ~noise_mode ?fault_plan ?tap ?round_deadline_ms ~max_retries ()
+  let opt f v cfg = match v with None -> cfg | Some v -> f v cfg in
+  Network.of_config
+    Network.Config.(
+      default |> with_seed seed
+      |> with_noise (Laplace.params ~mu:3. ~b:1.)
+      |> with_dial_noise (Laplace.params ~mu:2. ~b:1.)
+      |> with_noise_mode noise_mode
+      |> with_max_retries max_retries
+      |> opt with_fault_plan fault_plan
+      |> opt with_tap tap
+      |> opt with_round_deadline_ms round_deadline_ms)
 
 let pair net =
   let a = Network.connect ~seed:"a" net in
@@ -118,7 +125,7 @@ let test_round_after_shutdown_is_typed () =
       Alcotest.(check bool) "shutdown is not retryable" false (Rpc.retryable st)
   | Ok _ -> Alcotest.fail "round ran after shutdown");
   (* Supervisor level: reported as a failure, never retried. *)
-  let report = Network.run_round net in
+  let report = Network.run ~kind:Round.Conversation net in
   (match report.Network.failure with
   | Some st ->
       Alcotest.(check bool) "supervisor surfaces chain-shutdown" true
@@ -126,7 +133,7 @@ let test_round_after_shutdown_is_typed () =
   | None -> Alcotest.fail "round succeeded after shutdown");
   Alcotest.(check int) "non-retryable: a single attempt" 1
     report.Network.attempts;
-  match Network.run_dialing_round net with
+  match Network.run ~kind:Round.Dialing net with
   | { Network.failure = Some st; attempts = 1; _ } ->
       Alcotest.(check bool) "dialing too" true (Rpc.is_chain_shutdown st)
   | _ -> Alcotest.fail "dialing round not cleanly refused after shutdown"
@@ -182,7 +189,7 @@ let test_adversarial_frames_are_reports () =
       let net = make_net ~fault_plan:plan ~max_retries:0 () in
       let _ = pair net in
       let report =
-        try Network.run_round net
+        try Network.run ~kind:Round.Conversation net
         with e ->
           Alcotest.failf "%s frame raised %s instead of reporting" what
             (Printexc.to_string e)
@@ -252,13 +259,13 @@ let test_attempts_bounded () =
   let plan = Result.get_ok (Fault.parse "crash@2x4") in
   let net = make_net ~fault_plan:plan ~max_retries:2 () in
   let _ = pair net in
-  let report = Network.run_round net in
+  let report = Network.run ~kind:Round.Conversation net in
   Alcotest.(check bool) "round 1 clean" true (report.Network.failure = None);
-  let report = Network.run_round net in
+  let report = Network.run ~kind:Round.Conversation net in
   Alcotest.(check bool) "rounds 2-4 exhausted retries" true
     (report.Network.failure <> None);
   Alcotest.(check int) "attempts = 1 + max_retries" 3 report.Network.attempts;
-  let report = Network.run_round net in
+  let report = Network.run ~kind:Round.Conversation net in
   Alcotest.(check bool) "round 5 crashes once, retry recovers" true
     (report.Network.failure = None && report.Network.attempts = 2);
   Alcotest.(check int) "plan exhausted" 0
@@ -329,7 +336,7 @@ let test_dial_requeued_after_abort () =
   let a = Network.connect ~seed:"a" net in
   let b = Network.connect ~seed:"b" net in
   Client.dial a ~callee_pk:(Client.public_key b);
-  let report = Network.run_dialing_round net in
+  let report = Network.run ~kind:Round.Dialing net in
   Alcotest.(check bool) "dial round recovered" true
     (report.Network.failure = None);
   Alcotest.(check int) "on the second attempt" 2 report.Network.attempts;
@@ -354,10 +361,10 @@ let test_dial_failure_does_not_lose_caller () =
   let a = Network.connect ~seed:"a" net in
   let b = Network.connect ~seed:"b" net in
   Client.dial a ~callee_pk:(Client.public_key b);
-  let report = Network.run_dialing_round net in
+  let report = Network.run ~kind:Round.Dialing net in
   Alcotest.(check bool) "first dialing round failed" true
     (report.Network.failure <> None);
-  let report = Network.run_dialing_round net in
+  let report = Network.run ~kind:Round.Dialing net in
   Alcotest.(check bool) "second dialing round clean" true
     (report.Network.failure = None);
   let b_called =

@@ -142,15 +142,17 @@ let test_cdn_against_live_chain () =
      what a direct fetch returns, while the origin serves each edge
      once. *)
   let net =
-    Network.create ~seed:"cdn-live" ~n_servers:3
-      ~noise:(Laplace.params ~mu:2. ~b:1.)
-      ~dial_noise:(Laplace.params ~mu:2. ~b:1.)
-      ~noise_mode:Noise.Deterministic ()
+    Network.of_config
+      Network.Config.(
+        default |> with_seed "cdn-live"
+        |> with_noise (Laplace.params ~mu:2. ~b:1.)
+        |> with_dial_noise (Laplace.params ~mu:2. ~b:1.)
+        |> with_noise_mode Noise.Deterministic)
   in
   let alice = Network.connect ~seed:"alice" net in
   let bob = Network.connect ~seed:"bob" net in
   Client.dial alice ~callee_pk:(Client.public_key bob);
-  ignore (Network.run_dialing_round net);
+  ignore (Network.run ~kind:Round.Dialing net);
   let chain = Network.chain net in
   let cdn =
     Cdn.create ~edges:2
@@ -356,10 +358,12 @@ let suite =
 (* CDN integrated into the deployment's dialing downloads. *)
 let test_network_with_cdn () =
   let net =
-    Network.create ~seed:"net-cdn" ~n_servers:3
-      ~noise:(Laplace.params ~mu:2. ~b:1.)
-      ~dial_noise:(Laplace.params ~mu:2. ~b:1.)
-      ~noise_mode:Noise.Deterministic ~cdn_edges:2 ()
+    Network.of_config
+      Network.Config.(
+        default |> with_seed "net-cdn"
+        |> with_noise (Laplace.params ~mu:2. ~b:1.)
+        |> with_dial_noise (Laplace.params ~mu:2. ~b:1.)
+        |> with_noise_mode Noise.Deterministic |> with_cdn_edges 2)
   in
   let a = Network.connect ~seed:"a" net in
   let b = Network.connect ~seed:"b" net in
@@ -367,7 +371,7 @@ let test_network_with_cdn () =
     List.init 6 (fun i -> Network.connect ~seed:(Printf.sprintf "x%d" i) net)
   in
   Client.dial a ~callee_pk:(Client.public_key b);
-  let events = (Network.run_dialing_round net).Network.events in
+  let events = (Network.run ~kind:Round.Dialing net).Network.events in
   Alcotest.(check int) "call delivered through cdn" 1 (List.length events);
   match Network.cdn_stats net with
   | Some s ->

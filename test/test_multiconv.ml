@@ -8,9 +8,11 @@ open Vuvuzela
 let tiny_noise = Laplace.params ~mu:3. ~b:1.
 
 let make_net () =
-  Network.create ~seed:"multiconv" ~n_servers:3 ~noise:tiny_noise
-    ~dial_noise:(Laplace.params ~mu:1. ~b:1.)
-    ~noise_mode:Noise.Deterministic ()
+  Network.of_config
+    Network.Config.(
+      default |> with_seed "multiconv" |> with_noise tiny_noise
+      |> with_dial_noise (Laplace.params ~mu:1. ~b:1.)
+      |> with_noise_mode Noise.Deterministic)
 
 let texts_from peer events client =
   List.concat_map

@@ -7,10 +7,12 @@ open Vuvuzela_dp
 open Vuvuzela
 
 let make_net ?(dial_mu = 2.) () =
-  Network.create ~seed:"net-tests" ~n_servers:3
-    ~noise:(Laplace.params ~mu:3. ~b:1.)
-    ~dial_noise:(Laplace.params ~mu:dial_mu ~b:1.)
-    ~noise_mode:Noise.Deterministic ()
+  Network.of_config
+    Network.Config.(
+      default |> with_seed "net-tests"
+      |> with_noise (Laplace.params ~mu:3. ~b:1.)
+      |> with_dial_noise (Laplace.params ~mu:dial_mu ~b:1.)
+      |> with_noise_mode Noise.Deterministic)
 
 (* ------------------------------------------------------------------ *)
 (* §5.4 m auto-tuning                                                  *)
@@ -29,7 +31,7 @@ let test_m_grows_with_dialers () =
       if c != target then Client.dial c ~callee_pk:(Client.public_key target))
     clients;
   Alcotest.(check int) "m starts at 1" 1 (Network.invitation_drops net);
-  ignore (Network.run_dialing_round net);
+  ignore (Network.run ~kind:Round.Dialing net);
   let m = Network.invitation_drops net in
   if m < 4 || m > 8 then
     Alcotest.failf "m=%d, expected ≈ real/µ = 11/2" m
@@ -39,7 +41,7 @@ let test_m_shrinks_when_idle () =
   Network.set_auto_tune_drops net true;
   Network.set_invitation_drops net 6;
   let _ = List.init 8 (fun i -> Network.connect ~seed:(Printf.sprintf "i%d" i) net) in
-  ignore (Network.run_dialing_round net);
+  ignore (Network.run ~kind:Round.Dialing net);
   Alcotest.(check int) "m collapses to 1 with no real dialers" 1
     (Network.invitation_drops net)
 
@@ -55,12 +57,12 @@ let test_m_tuning_preserves_delivery () =
   in
   (* Round 1: everyone dials (m will grow). *)
   List.iter (fun c -> Client.dial c ~callee_pk:(Client.public_key a)) others;
-  ignore (Network.run_dialing_round net);
+  ignore (Network.run ~kind:Round.Dialing net);
   let m2 = Network.invitation_drops net in
   Alcotest.(check bool) "m grew" true (m2 > 1);
   (* Round 2 at the new m: a dials b; b must still hear it. *)
   Client.dial a ~callee_pk:(Client.public_key b);
-  let events = (Network.run_dialing_round net).Network.events in
+  let events = (Network.run ~kind:Round.Dialing net).Network.events in
   let b_called =
     List.exists
       (fun (c, evs) ->
@@ -74,7 +76,7 @@ let test_manual_m_not_overridden () =
   let net = make_net () in
   Network.set_invitation_drops net 4;
   let _ = Network.connect ~seed:"x" net in
-  ignore (Network.run_dialing_round net);
+  ignore (Network.run ~kind:Round.Dialing net);
   Alcotest.(check int) "m stays manual without auto-tune" 4
     (Network.invitation_drops net)
 
@@ -103,8 +105,8 @@ let test_schedule_dial_then_converse () =
                   Client.start_conversation b ~peer_pk:caller
               | _ -> ())
             evs)
-        (Network.run_dialing_round net).Network.events;
-    events := (Network.run_round net).Network.events @ !events
+        (Network.run ~kind:Round.Dialing net).Network.events;
+    events := (Network.run ~kind:Round.Conversation net).Network.events @ !events
   done;
   List.iter
     (fun (c, evs) ->
@@ -139,7 +141,7 @@ let test_blocked_client_spans_dialing_rounds () =
        (List.filter (fun (c, _) -> c == b) (Network.events_of outage)));
   (* b returns: the next dialing round's download phase covers the
      missed rounds, so the invitation arrives without a re-dial. *)
-  let report = Network.run_dialing_round net in
+  let report = Network.run ~kind:Round.Dialing net in
   let b_called =
     List.exists
       (fun (c, evs) ->
@@ -229,7 +231,7 @@ let test_soak () =
     (* Random blocking. *)
     let victim = Drbg.uniform ~rng (2 * n) in
     let blocked c = victim < n && c == clients.(victim) in
-    let events = (Network.run_round ~blocked net).Network.events in
+    let events = (Network.run ~kind:Round.Conversation ~blocked net).Network.events in
     ignore round;
     List.iter
       (fun (c, evs) ->

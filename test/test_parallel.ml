@@ -69,12 +69,18 @@ let test_pool_jobs_one_is_sequential () =
 (* Run a small seeded deployment (dialing + 6 conversation rounds) and
    summarize everything observable: the last server's histogram, every
    round report's accounting, and every client event. *)
-let run_deployment ~jobs =
+let run_deployment ?pipeline_chunk ~jobs () =
   let net =
-    Network.create ~seed:"par-det" ~n_servers:3
-      ~noise:(Laplace.params ~mu:3. ~b:1.)
-      ~dial_noise:(Laplace.params ~mu:2. ~b:1.)
-      ~noise_mode:Noise.Sampled ~jobs ()
+    Network.of_config
+      Network.Config.(
+        default |> with_seed "par-det"
+        |> with_noise (Laplace.params ~mu:3. ~b:1.)
+        |> with_dial_noise (Laplace.params ~mu:2. ~b:1.)
+        |> with_noise_mode Noise.Sampled |> with_jobs jobs
+        |>
+        match pipeline_chunk with
+        | None -> Fun.id
+        | Some chunk -> with_pipeline ~chunk true)
   in
   Alcotest.(check int) "configured jobs" jobs (Network.jobs net);
   let a = Network.connect ~seed:"a" net in
@@ -84,7 +90,7 @@ let run_deployment ~jobs =
   in
   Client.dial a ~callee_pk:(Client.public_key b);
   Client.start_conversation a ~peer_pk:(Client.public_key b);
-  let dial_report = Network.run_dialing_round net in
+  let dial_report = Network.run ~kind:Round.Dialing net in
   List.iter
     (fun (c, evs) ->
       List.iter
@@ -124,21 +130,24 @@ let run_deployment ~jobs =
   (histogram, transcript)
 
 let test_deployment_determinism () =
-  let ref_h, ref_t = run_deployment ~jobs:1 in
+  let ref_h, ref_t = run_deployment ~jobs:1 () in
   (* The conversation actually happened... *)
   Alcotest.(check bool) "events occurred" true
     (List.exists (fun line -> String.length line > 60) ref_t);
-  (* ...and replays bit-identically under 2 and 4 domains. *)
+  (* ...and replays bit-identically under 2 and 4 domains, lockstep or
+     with the relay streaming chunked batch parts. *)
   List.iter
-    (fun jobs ->
-      let h, t = run_deployment ~jobs in
-      Alcotest.(check (pair int int))
-        (Printf.sprintf "histogram jobs=%d" jobs)
-        ref_h h;
-      Alcotest.(check (list string))
-        (Printf.sprintf "transcript jobs=%d" jobs)
-        ref_t t)
-    [ 2; 4 ]
+    (fun (jobs, pipeline_chunk) ->
+      let h, t = run_deployment ?pipeline_chunk ~jobs () in
+      let label =
+        Printf.sprintf "jobs=%d%s" jobs
+          (match pipeline_chunk with
+          | None -> ""
+          | Some c -> Printf.sprintf " chunk=%d" c)
+      in
+      Alcotest.(check (pair int int)) ("histogram " ^ label) ref_h h;
+      Alcotest.(check (list string)) ("transcript " ^ label) ref_t t)
+    [ (2, None); (4, None); (1, Some 1); (2, Some 3); (4, Some 4) ]
 
 let test_standalone_server_pool () =
   (* A server created with jobs > 1 and no shared pool owns one, and

@@ -9,8 +9,11 @@ let tiny_noise = Laplace.params ~mu:5. ~b:1.
 let tiny_dial_noise = Laplace.params ~mu:2. ~b:1.
 
 let make_chain ?(n = 3) ?(noise = tiny_noise) ?(mode = Noise.Deterministic) () =
-  Chain.create ~seed:"test-chain" ~n_servers:n ~noise
-    ~dial_noise:tiny_dial_noise ~noise_mode:mode ()
+  Chain.of_config
+    Config.(
+      default |> with_seed "test-chain" |> with_n_servers n
+      |> with_noise noise |> with_dial_noise tiny_dial_noise
+      |> with_noise_mode mode)
 
 let alice = Types.identity_of_seed (Bytes.of_string "srv-alice")
 let bob = Types.identity_of_seed (Bytes.of_string "srv-bob")

@@ -218,9 +218,16 @@ let test_ledger_monotone_and_warns () =
 (* ------------------------------------------------------------------ *)
 
 let make_net ?telemetry ?fault_plan ?round_deadline_ms ?budget_warn ~jobs () =
-  Network.create ~seed:"tel-det" ~n_servers:3 ~noise:conv_noise
-    ~dial_noise ~noise_mode:Noise.Sampled ~jobs ?telemetry ?fault_plan
-    ?round_deadline_ms ?budget_warn ()
+  let opt f v cfg = match v with None -> cfg | Some v -> f v cfg in
+  Network.of_config
+    Network.Config.(
+      default |> with_seed "tel-det" |> with_noise conv_noise
+      |> with_dial_noise dial_noise |> with_noise_mode Noise.Sampled
+      |> with_jobs jobs
+      |> opt with_telemetry telemetry
+      |> opt with_fault_plan fault_plan
+      |> opt with_round_deadline_ms round_deadline_ms
+      |> opt with_budget_warn budget_warn)
 
 (* The same seeded workload as test_parallel's determinism check, with a
    dialing round in the schedule. *)
@@ -429,7 +436,7 @@ let test_injected_delay_excluded_from_latency () =
   let net = make_net ~telemetry:tel ~fault_plan:plan ~jobs:1 () in
   let _a = Network.connect ~seed:"a" net in
   let _b = Network.connect ~seed:"b" net in
-  let report = Network.run_round net in
+  let report = Network.run ~kind:Round.Conversation net in
   Network.shutdown net;
   Alcotest.(check int) "no retry needed" 1 report.Network.attempts;
   let reg = Telemetry.metrics tel in
@@ -466,7 +473,7 @@ let test_retry_counters () =
   let net = make_net ~telemetry:tel ~fault_plan:plan ~jobs:1 () in
   let _a = Network.connect ~seed:"a" net in
   let _b = Network.connect ~seed:"b" net in
-  let report = Network.run_round net in
+  let report = Network.run ~kind:Round.Conversation net in
   Network.shutdown net;
   Alcotest.(check int) "recovered on attempt 2" 2 report.Network.attempts;
   Alcotest.(check bool) "round succeeded" true (report.Network.failure = None);

@@ -13,8 +13,8 @@
    deployment test ([test/net]) checks its multi-process chain against
    literally the same digest computation. *)
 
-let with_in_process f =
-  let backend, shutdown = Transcript_pin.in_process () in
+let with_in_process ?jobs ?pipeline_chunk f =
+  let backend, shutdown = Transcript_pin.in_process ?jobs ?pipeline_chunk () in
   Fun.protect ~finally:shutdown (fun () -> f backend)
 
 let test_pinned_transcript () =
@@ -38,6 +38,29 @@ let test_transcript_deterministic () =
   let d2 = with_in_process Transcript_pin.full_digest in
   Alcotest.(check string) "transcript reproducible" d1 d2
 
+(* The engine knobs — worker domains, streamed relay, chunk size — are
+   pure scheduling: any combination must reproduce the pinned bytes. *)
+let test_transcript_engine_invariant () =
+  List.iter
+    (fun (jobs, pipeline_chunk) ->
+      let digest =
+        with_in_process ~jobs ?pipeline_chunk Transcript_pin.full_digest
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d chunk=%s" jobs
+           (match pipeline_chunk with
+           | None -> "-"
+           | Some c -> string_of_int c))
+        Transcript_pin.pinned_full_digest digest)
+    [
+      (2, None);
+      (4, None);
+      (1, Some 1);
+      (1, Some 3);
+      (2, Some 2);
+      (4, Some 16);
+    ]
+
 let suite =
   ( "transcript",
     [
@@ -47,4 +70,6 @@ let suite =
         test_pinned_full_transcript;
       Alcotest.test_case "transcript deterministic" `Quick
         test_transcript_deterministic;
+      Alcotest.test_case "pinned at any jobs/pipeline combination" `Quick
+        test_transcript_engine_invariant;
     ] )

@@ -1064,6 +1064,272 @@ let transport_bench () =
     Printf.printf "  wrote BENCH_transport.json\n"
   end
 
+(* ------------------------------------------------------------------ *)
+(* Churn: rounds over emulated WAN links, flap rates, reconnect storm  *)
+(* ------------------------------------------------------------------ *)
+
+(* What the WAN costs: the same loopback-TCP deployment with every link
+   behind the deterministic shaper — rounds/sec at ~50 ms and ~100 ms
+   emulated RTT per link at jobs ∈ {1, 4}; how round latency degrades
+   as the middle server's upstream link flaps more often (the daemon
+   outbox + coordinator flap grace absorbing each outage without a
+   retry); and the reconnect-storm recovery time with latency applied. *)
+let churn_bench () =
+  section "CHURN - emulated WAN links and flap rates (writes BENCH_churn.json)";
+  let module T = Vuvuzela_telemetry in
+  let module Addr = Vuvuzela_transport.Addr in
+  let module Shaper = Vuvuzela_transport.Shaper in
+  let sockets_allowed () =
+    match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error _ -> false
+    | fd -> (
+        match Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0)) with
+        | () -> Unix.close fd; true
+        | exception Unix.Unix_error _ -> Unix.close fd; false)
+  in
+  let server_bin =
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      "bin/server_main.exe"
+  in
+  if not (sockets_allowed ()) then
+    Printf.printf "  skipped: sandbox forbids loopback sockets\n"
+  else if not (Sys.file_exists server_bin) then
+    Printf.printf "  skipped: %s not built (run dune build first)\n" server_bin
+  else begin
+    let n_clients = 16 and rounds = 4 in
+    let noise = Laplace.params ~mu:4. ~b:1. in
+    let dial_noise = Laplace.params ~mu:1. ~b:1. in
+    let free_port () =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      let port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> assert false
+      in
+      Unix.close fd;
+      port
+    in
+    let spawn_daemon ~jobs ~seed ~ports ?link_latency ?fault_plan index =
+      let args =
+        [| server_bin; "--listen"; Printf.sprintf ":%d" ports.(index);
+           "--index"; string_of_int index; "--chain-len"; "3";
+           "--seed"; seed; "--mu"; "4"; "--noise-b"; "1";
+           "--dial-mu"; "1"; "--dial-b"; "1"; "--deterministic-noise";
+           "--jobs"; string_of_int jobs; "--flap-grace-ms"; "5000";
+           "--quiet" |]
+      in
+      let args =
+        if index = 2 then args
+        else
+          Array.append args
+            [| "--next"; Printf.sprintf ":%d" ports.(index + 1) |]
+      in
+      let args =
+        match link_latency with
+        | None -> args
+        | Some lat -> Array.append args [| "--link-latency"; lat |]
+      in
+      let args =
+        match fault_plan with
+        | Some (j, plan) when j = index ->
+            Array.append args [| "--fault-plan"; plan |]
+        | _ -> args
+      in
+      Unix.create_process server_bin args Unix.stdin Unix.stdout Unix.stderr
+    in
+    let stop_pid pid =
+      let deadline = Unix.gettimeofday () +. 3.0 in
+      let rec wait () =
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ ->
+            if Unix.gettimeofday () > deadline then begin
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              ignore (Unix.waitpid [] pid)
+            end
+            else begin
+              Unix.sleepf 0.02;
+              wait ()
+            end
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+      in
+      wait ()
+    in
+    let connect_clients net =
+      let clients =
+        List.init n_clients (fun i ->
+            Network.connect ~seed:(Printf.sprintf "cc%d" i) net)
+      in
+      let rec pair = function
+        | a :: b :: rest ->
+            Client.start_conversation a ~peer_pk:(Client.public_key b);
+            Client.start_conversation b ~peer_pk:(Client.public_key a);
+            pair rest
+        | _ -> ()
+      in
+      pair clients
+    in
+    (* ms/round, total attempts over [rounds] measured rounds (after one
+       warm-up round — which is also where round-1 faults land). *)
+    let measure net =
+      ignore (Network.run ~kind:Round.Conversation net);
+      let t0 = Unix.gettimeofday () in
+      let reports = Network.run_rounds net rounds in
+      let dt = Unix.gettimeofday () -. t0 in
+      (match Network.failures_of reports with
+      | [] -> ()
+      | st :: _ ->
+          failwith
+            (Format.asprintf "churn bench round failed: %a" Rpc.pp_status st));
+      let attempts =
+        List.fold_left (fun n r -> n + r.Network.attempts) 0 reports
+      in
+      (1000. *. dt /. float_of_int rounds, attempts)
+    in
+    let over_tcp ~jobs ?link_latency ?fault_plan f =
+      let seed = "bench-churn" in
+      let ports = Array.init 3 (fun _ -> free_port ()) in
+      let pids =
+        ref
+          (List.map
+             (spawn_daemon ~jobs ~seed ~ports ?link_latency ?fault_plan)
+             [ 2; 1; 0 ])
+      in
+      Fun.protect
+        ~finally:(fun () -> List.iter stop_pid !pids)
+        (fun () ->
+          let cfg =
+            Network.Config.(
+              default |> with_noise noise |> with_dial_noise dial_noise
+              |> with_round_deadline_ms 60_000.
+              |> with_handshake_timeout_ms 30_000.
+              |> with_max_retries 4 |> with_flap_grace_ms 5_000.)
+          in
+          let cfg =
+            match link_latency with
+            | None -> cfg
+            | Some lat -> (
+                match Shaper.parse lat with
+                | Ok s ->
+                    Network.Config.with_link
+                      (Shaper.with_seed "bench-churn-coord" s)
+                      cfg
+                | Error e -> failwith ("--link-latency " ^ lat ^ ": " ^ e))
+          in
+          match
+            Network.of_config_tcp cfg ~addr:(Addr.loopback ~port:ports.(0))
+          with
+          | Error e -> failwith ("of_config_tcp: " ^ e)
+          | Ok net ->
+              connect_clients net;
+              let r = f ~seed ~ports ~pids net in
+              Network.shutdown net;
+              r)
+    in
+    (* Rounds/sec with every link (daemon hops and the coordinator's)
+       behind an emulated one-way latency: 25 ms ≈ 50 ms RTT per link,
+       50 ms ≈ 100 ms RTT per link. *)
+    let wan_rows =
+      List.concat_map
+        (fun latency_ms ->
+          List.map
+            (fun jobs ->
+              let ms, _ =
+                over_tcp ~jobs
+                  ~link_latency:(string_of_int latency_ms)
+                  (fun ~seed:_ ~ports:_ ~pids:_ net -> measure net)
+              in
+              Printf.printf
+                "  link %2d ms (~%3d ms RTT) jobs=%-3d %7.1f ms/round  %5.2f \
+                 rounds/sec\n"
+                latency_ms (2 * latency_ms) jobs ms (1000. /. ms);
+              T.Json.Obj
+                [
+                  ("link_latency_ms", T.Json.Num (float_of_int latency_ms));
+                  ("approx_rtt_ms", T.Json.Num (float_of_int (2 * latency_ms)));
+                  ("jobs", T.Json.Num (float_of_int jobs));
+                  ("ms_per_round", T.Json.Num ms);
+                  ("rounds_per_sec", T.Json.Num (1000. /. ms));
+                ])
+            [ 1; 4 ])
+        [ 25; 50 ]
+    in
+    (* Round latency vs flap rate: the middle server's upstream link
+       flaps in 0 / 1 / 2 / all 4 of the measured rounds; the outbox +
+       flap grace must absorb every outage without a retry, so attempts
+       stays at one per round while ms/round climbs. *)
+    let flap_rows =
+      List.map
+        (fun flaps ->
+          let plan =
+            if flaps = 0 then None
+            else Some (1, Printf.sprintf "flap(10)@2:1x%d" flaps)
+          in
+          let ms, attempts =
+            over_tcp ~jobs:1 ?fault_plan:plan
+              (fun ~seed:_ ~ports:_ ~pids:_ net -> measure net)
+          in
+          Printf.printf
+            "  flaps=%d/%d rounds: %7.1f ms/round, %d attempt(s) total\n"
+            flaps rounds ms attempts;
+          T.Json.Obj
+            [
+              ("flapped_rounds", T.Json.Num (float_of_int flaps));
+              ("measured_rounds", T.Json.Num (float_of_int rounds));
+              ("ms_per_round", T.Json.Num ms);
+              ("total_attempts", T.Json.Num (float_of_int attempts));
+            ])
+        [ 0; 1; 2; 4 ]
+    in
+    (* Reconnect storm under emulated latency: SIGKILL the middle
+       daemon, restart it, time the first recovered round. *)
+    let recovery_ms =
+      over_tcp ~jobs:1 ~link_latency:"25"
+        (fun ~seed ~ports ~pids net ->
+          ignore (Network.run ~kind:Round.Conversation net);
+          let victim = List.nth !pids 1 in
+          Unix.kill victim Sys.sigkill;
+          ignore (Unix.waitpid [] victim);
+          let t0 = Unix.gettimeofday () in
+          pids :=
+            List.mapi
+              (fun i pid ->
+                if i = 1 then
+                  spawn_daemon ~jobs:1 ~seed ~ports ~link_latency:"25" 1
+                else pid)
+              !pids;
+          let r = Network.run ~kind:Round.Conversation net in
+          let dt = 1000. *. (Unix.gettimeofday () -. t0) in
+          if r.Network.failure <> None then
+            failwith "churn reconnect storm: round did not recover";
+          Printf.printf
+            "  reconnect storm at 25 ms links: recovered in %.0f ms (%d \
+             attempt(s))\n"
+            dt r.Network.attempts;
+          dt)
+    in
+    let doc =
+      T.Json.Obj
+        [
+          ("benchmark", T.Json.Str "churn");
+          ("servers", T.Json.Num 3.);
+          ("clients", T.Json.Num (float_of_int n_clients));
+          ("rounds_per_config", T.Json.Num (float_of_int rounds));
+          ("wan_rows", T.Json.List wan_rows);
+          ("flap_rows", T.Json.List flap_rows);
+          ("reconnect_recovery_ms", T.Json.Num recovery_ms);
+        ]
+    in
+    let oc = open_out "BENCH_churn.json" in
+    output_string oc (T.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "  wrote BENCH_churn.json\n"
+  end
+
 let () =
   (* BENCH_ONLY=transport: just the daemon round-trip section (used by
      CI smoke; the full run takes minutes). *)
@@ -1073,6 +1339,10 @@ let () =
   end;
   if Sys.getenv_opt "BENCH_ONLY" = Some "crypto" then begin
     crypto_bench ();
+    exit 0
+  end;
+  if Sys.getenv_opt "BENCH_ONLY" = Some "churn" then begin
+    churn_bench ();
     exit 0
   end;
   print_endline "VUVUZELA (SOSP 2015) - evaluation reproduction";
@@ -1094,6 +1364,7 @@ let () =
   crypto_bench ();
   faults_overhead ();
   transport_bench ();
+  churn_bench ();
   workload_summary ();
   line ();
   print_endline "done.  See EXPERIMENTS.md for the paper-vs-measured index."

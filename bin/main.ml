@@ -20,7 +20,7 @@ let write_file path s =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
 
 let demo users rounds mu seed jobs pipeline fault_plan round_deadline_ms
-    max_retries metrics_out trace_out budget_warn =
+    max_retries admission_ms client_latency metrics_out trace_out budget_warn =
   let noise = Laplace.params ~mu ~b:(Float.max 1. (mu /. 21.7)) in
   (* Any observability flag turns the sink on; without one the nil sink
      keeps the demo on the exact zero-cost path the tests pin. *)
@@ -42,7 +42,18 @@ let demo users rounds mu seed jobs pipeline fault_plan round_deadline_ms
         |> opt with_fault_plan fault_plan
         |> opt with_telemetry telemetry
         |> opt with_budget_warn budget_warn
-        |> opt with_round_deadline_ms round_deadline_ms)
+        |> opt with_round_deadline_ms round_deadline_ms
+        |> opt with_admission_ms admission_ms
+        |> fun cfg ->
+        (* An admission window needs arrival times; default the latency
+           model when only the window was given so the flag is visible. *)
+        match (client_latency, admission_ms) with
+        | None, None -> cfg
+        | _ ->
+            let base_ms, jitter_ms =
+              Option.value client_latency ~default:(5., 10.)
+            in
+            with_client_latency ~base_ms ~jitter_ms cfg)
   in
   let clients =
     List.init (max 2 users) (fun i ->
@@ -203,6 +214,46 @@ let demo_cmd =
       & info [ "max-retries" ]
           ~doc:"Retries per round after the first attempt fails.")
   in
+  let admission_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "admission-ms" ] ~docv:"MS"
+          ~doc:
+            "Entry-tier admission window: each round attempt admits only \
+             the clients whose emulated arrival (see \
+             $(b,--client-latency)) lands within MS milliseconds; \
+             stragglers get a typed Late answer, their payloads are \
+             requeued, and the round runs degraded with whoever showed \
+             up.")
+  in
+  let client_latency =
+    let lat_conv =
+      let parse s =
+        match Vuvuzela_transport.Shaper.parse s with
+        | Ok c ->
+            Ok
+              (Some
+                 ( c.Vuvuzela_transport.Shaper.latency_ms,
+                   c.Vuvuzela_transport.Shaper.jitter_ms ))
+        | Error e -> Error (`Msg e)
+      in
+      let pp ppf = function
+        | None -> Format.pp_print_string ppf ""
+        | Some (b, j) -> Format.fprintf ppf "%g±%g" b j
+      in
+      Arg.conv (parse, pp)
+    in
+    Arg.(
+      value
+      & opt lat_conv None
+      & info [ "client-latency" ] ~docv:"BASE[±JIT]"
+          ~doc:
+            "Emulated client → entry arrival latency in milliseconds \
+             (e.g. '5±10'), drawn per client per attempt from the \
+             deployment seed; feeds the $(b,--admission-ms) check.  \
+             Defaults to 5±10 when only the window is given.")
+  in
   let metrics_out =
     Arg.(
       value & opt (some string) None
@@ -233,8 +284,8 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"run an in-process Vuvuzela deployment")
     Term.(
       const demo $ users $ rounds $ mu $ seed $ jobs $ pipeline $ fault_plan
-      $ round_deadline_ms $ max_retries $ metrics_out $ trace_out
-      $ budget_warn)
+      $ round_deadline_ms $ max_retries $ admission_ms $ client_latency
+      $ metrics_out $ trace_out $ budget_warn)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)

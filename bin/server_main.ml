@@ -32,11 +32,43 @@ let fault_plan_conv =
     (parse, fun ppf p ->
       Format.pp_print_string ppf (Vuvuzela_faults.Fault.to_string p))
 
+let link_conv =
+  let parse s =
+    match Vuvuzela_transport.Shaper.parse s with
+    | Ok c -> Ok c
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv
+    (parse, fun ppf c ->
+      Format.pp_print_string ppf (Vuvuzela_transport.Shaper.to_string c))
+
 let run listen next index chain_len seed mu b dial_mu dial_b det_noise
-    certified jobs pipeline pipeline_chunk fault_plan quiet =
+    certified jobs pipeline pipeline_chunk fault_plan link_latency link_jitter
+    link_bw flap_grace_ms quiet =
   let log =
     if quiet then fun _ -> ()
     else fun msg -> Printf.eprintf "[vuvuzela-server %d] %s\n%!" index msg
+  in
+  let link =
+    (* --link-latency LAT[±JIT][@BW] is the one-stop syntax; the split
+       flags override its fields for scripting convenience. *)
+    match (link_latency, link_jitter, link_bw) with
+    | None, None, None -> None
+    | base, jitter, bw ->
+        let c =
+          Option.value base
+            ~default:(Vuvuzela_transport.Shaper.config ())
+        in
+        Some
+          {
+            c with
+            Vuvuzela_transport.Shaper.jitter_ms =
+              Option.value jitter ~default:c.Vuvuzela_transport.Shaper.jitter_ms;
+            bandwidth_bytes_per_sec =
+              (match bw with
+              | Some bw -> Some bw
+              | None -> c.Vuvuzela_transport.Shaper.bandwidth_bytes_per_sec);
+          }
   in
   let cfg =
     {
@@ -52,6 +84,8 @@ let run listen next index chain_len seed mu b dial_mu dial_b det_noise
       jobs;
       pipeline_chunk = (if pipeline then Some (max 1 pipeline_chunk) else None);
       fault_plan;
+      link;
+      flap_grace_ms;
     }
   in
   match Daemon.run ~log cfg with
@@ -145,6 +179,41 @@ let cmd =
              incoming link, e.g. 'crash@2:1;drop@4:1' (entries must name \
              this server's index).")
   in
+  let link_latency =
+    Arg.(
+      value
+      & opt (some link_conv) None
+      & info [ "link-latency" ] ~docv:"LAT[±JIT][@BW]"
+          ~doc:
+            "Emulate WAN characteristics on the downstream link: one-way \
+             latency in ms, optional ± jitter in ms, optional @ bandwidth \
+             in bytes/sec (k/m suffixes), e.g. '25', '25±5', '50±10\\@1m'. \
+             Jitter is DRBG-seeded per link when $(b,--seed) is set.")
+  in
+  let link_jitter =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "link-jitter" ] ~docv:"MS"
+          ~doc:"Override the jitter component of $(b,--link-latency).")
+  in
+  let link_bw =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "link-bw" ] ~docv:"BYTES/SEC"
+          ~doc:
+            "Override the bandwidth component of $(b,--link-latency) \
+             (token-bucket serialization limit).")
+  in
+  let flap_grace_ms =
+    Arg.(
+      value & opt float 2000.
+      & info [ "flap-grace-ms" ] ~docv:"MS"
+          ~doc:
+            "How long a lost downstream link may stay down mid-round \
+             before the round is abandoned; 0 aborts on the first drop.")
+  in
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No stderr log.") in
   Cmd.v
     (Cmd.info "vuvuzela-server" ~version:"0.1.0"
@@ -153,6 +222,7 @@ let cmd =
       ret
         (const run $ listen $ next $ index $ chain_len $ seed $ mu $ b
        $ dial_mu $ dial_b $ det_noise $ certified $ jobs $ pipeline
-       $ pipeline_chunk $ fault_plan $ quiet))
+       $ pipeline_chunk $ fault_plan $ link_latency $ link_jitter $ link_bw
+       $ flap_grace_ms $ quiet))
 
 let () = exit (Cmd.eval cmd)

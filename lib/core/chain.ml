@@ -153,6 +153,9 @@ let fault_tag = function
   | Fault.Corrupt_frame _ -> "corrupt-frame"
   | Fault.Truncate_frame _ -> "truncate-frame"
   | Fault.Extend_frame _ -> "extend-frame"
+  | Fault.Slow_link _ -> "slow-link"
+  | Fault.Flap _ -> "flap"
+  | Fault.Partition _ -> "partition"
 
 (* Every fired fault becomes a counter sample and a span annotation on
    the innermost open span (the round's root span when firing between
@@ -174,6 +177,14 @@ let record_faults t ~server kinds =
             (Printf.sprintf "server=%d" server);
           match k with
           | Fault.Delay_ms ms ->
+              Telemetry.add_counter t.tel ~by:(float_of_int ms)
+                "vuvuzela_injected_delay_ms_total"
+          | Fault.Slow_link ms | Fault.Flap ms | Fault.Partition ms ->
+              (* Churn kinds are link stalls: count the event and the
+                 stall time so degraded rounds are observable. *)
+              Telemetry.add_counter t.tel
+                ~labels:[ ("kind", tag) ]
+                "vuvuzela_link_stalls_total";
               Telemetry.add_counter t.tel ~by:(float_of_int ms)
                 "vuvuzela_injected_delay_ms_total"
           | _ -> ())
@@ -203,6 +214,17 @@ let apply_link_faults t ~round ~server ~stage (batch : bytes array) =
         | Fault.Crash -> fatal := Some "server crashed (injected fault)"
         | Fault.Drop_link -> fatal := Some "link dropped (injected fault)"
         | Fault.Delay_ms ms -> t.delay_ms <- t.delay_ms +. float_of_int ms
+        | Fault.Slow_link ms ->
+            (* Congested link: the batch arrives intact, late. *)
+            t.delay_ms <- t.delay_ms +. float_of_int ms
+        | Fault.Flap ms ->
+            (* A reset that heals: the in-process link has no socket to
+               reset, so only the outage's stall is observable. *)
+            t.delay_ms <- t.delay_ms +. float_of_int ms
+        | Fault.Partition ms ->
+            (* A cut link: the batch is lost and the heal takes [ms]. *)
+            t.delay_ms <- t.delay_ms +. float_of_int ms;
+            fatal := Some "link partitioned (injected fault)"
         | Fault.Tamper_slot s -> batch := Fault.apply_tamper !batch s
         | (Fault.Corrupt_frame _ | Fault.Truncate_frame _ | Fault.Extend_frame _)
           as k -> frame_faults := k :: !frame_faults)

@@ -30,6 +30,10 @@ type event =
   | Round_failed of { round : int; dialing : bool; status : Rpc.status }
       (** the round this client submitted a request to was aborted; the
           supervisor will retry (or has given up — see the report) *)
+  | Round_late of { round : int; next_round : int; dialing : bool }
+      (** this client's request missed the round's admission window; the
+          entry server excluded it and what it carried was requeued for
+          [next_round] *)
 
 let pp_event fmt = function
   | Delivered { text; _ } -> Format.fprintf fmt "Delivered %S" text
@@ -39,6 +43,10 @@ let pp_event fmt = function
       Format.fprintf fmt "Round_failed %s%d [%s]"
         (if dialing then "dial " else "")
         round status.Rpc.stage
+  | Round_late { round; next_round; dialing } ->
+      Format.fprintf fmt "Round_late %s%d->%d"
+        (if dialing then "dial " else "")
+        round next_round
 
 type unacked = { seq : int; text : string; mutable last_sent : int }
 

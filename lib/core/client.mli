@@ -12,6 +12,10 @@ type event =
   | Round_failed of { round : int; dialing : bool; status : Rpc.status }
       (** a round this client submitted to was aborted (fault, deadline,
           or shutdown); queued messages are retried in later rounds *)
+  | Round_late of { round : int; next_round : int; dialing : bool }
+      (** this client missed [round]'s admission window — the entry
+          server excluded it and whatever it carried was requeued for
+          [next_round]; cover traffic for the slot is redrawn noise *)
 
 val pp_event : Format.formatter -> event -> unit
 

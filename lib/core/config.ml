@@ -20,6 +20,10 @@ type t = {
   round_deadline_ms : float option;
   max_retries : int;
   handshake_timeout_ms : float;
+  admission_ms : float option;
+  client_latency : (float * float) option;
+  flap_grace_ms : float;
+  link : Vuvuzela_transport.Shaper.config option;
 }
 
 let default =
@@ -41,6 +45,10 @@ let default =
     round_deadline_ms = None;
     max_retries = 2;
     handshake_timeout_ms = 30_000.;
+    admission_ms = None;
+    client_latency = None;
+    flap_grace_ms = 2000.;
+    link = None;
   }
 
 let with_seed seed t = { t with seed = Some seed }
@@ -61,3 +69,8 @@ let with_round_deadline_ms ms t = { t with round_deadline_ms = Some ms }
 let with_max_retries max_retries t = { t with max_retries = max 0 max_retries }
 let with_handshake_timeout_ms handshake_timeout_ms t =
   { t with handshake_timeout_ms }
+let with_admission_ms ms t = { t with admission_ms = Some ms }
+let with_client_latency ~base_ms ~jitter_ms t =
+  { t with client_latency = Some (base_ms, jitter_ms) }
+let with_flap_grace_ms flap_grace_ms t = { t with flap_grace_ms }
+let with_link link t = { t with link = Some link }

@@ -38,6 +38,20 @@ type t = {
       (** supervisor deadline per attempt; [None] disables the check *)
   max_retries : int;  (** extra attempts after the first (≥ 0) *)
   handshake_timeout_ms : float;  (** TCP deployments only *)
+  admission_ms : float option;
+      (** entry-server admission window per round: clients whose
+          (emulated) arrival exceeds it are excluded from the round and
+          told to re-wrap for the next one; [None] admits everyone *)
+  client_latency : (float * float) option;
+      (** [(base_ms, jitter_ms)] emulated client → entry arrival delay;
+          drawn per client per round from the deployment DRBG when
+          [seed] is set, so admission outcomes replay bit-identically *)
+  flap_grace_ms : float;
+      (** how long a dropped server link may stay down mid-round before
+          the attempt is abandoned; [0.] aborts on the first drop *)
+  link : Vuvuzela_transport.Shaper.config option;
+      (** emulated WAN characteristics of every chain link; also widens
+          the effective round deadline by the links' RTT budget *)
 }
 
 val default : t
@@ -66,3 +80,10 @@ val with_budget_warn : float -> t -> t
 val with_round_deadline_ms : float -> t -> t
 val with_max_retries : int -> t -> t
 val with_handshake_timeout_ms : float -> t -> t
+val with_admission_ms : float -> t -> t
+
+val with_client_latency : base_ms:float -> jitter_ms:float -> t -> t
+(** Emulated client arrival latency feeding the admission check. *)
+
+val with_flap_grace_ms : float -> t -> t
+val with_link : Vuvuzela_transport.Shaper.config -> t -> t

@@ -8,6 +8,8 @@
 
 module Transport = Vuvuzela_transport.Transport
 module Conn = Vuvuzela_transport.Conn
+module Evloop = Vuvuzela_transport.Evloop
+module Shaper = Vuvuzela_transport.Shaper
 module Fault = Vuvuzela_faults.Fault
 
 type config = {
@@ -26,6 +28,11 @@ type config = {
           [*_batch_part] frames of [chunk] onions.  Ingress always
           accepts both framings. *)
   fault_plan : Vuvuzela_faults.Fault.plan option;
+  link : Shaper.config option;
+      (** emulated WAN characteristics of the downstream link *)
+  flap_grace_ms : float;
+      (** how long a lost downstream link may stay down mid-round before
+          the round is abandoned with a [Status] *)
 }
 
 (* The ingress state of one pipelined round: parts are peeled into the
@@ -63,14 +70,34 @@ type st = {
       (** at most one pipelined round assembles at a time (the protocol
           is lockstep per link; a part for a different round supersedes
           the stale stream) *)
+  outbox : bytes Queue.t;
+      (** upstream frames owed while the upstream link is down; flushed
+          (after the Chain_info reply) when the peer reconnects — a
+          round survives an upstream flap instead of silently losing its
+          results *)
   mutable stop : bool;
 }
 
 let is_last st = st.cfg.next = None
 
+(* Bounded so a peer that never returns cannot pin unbounded replies;
+   drop-oldest, because the supervisor has certainly abandoned the
+   oldest round first. *)
+let outbox_cap = 128
+
 let send_upstream st msg =
   match st.upstream with
   | Some up when Conn.state up <> Conn.Closed -> Conn.send up (Rpc.encode msg)
+  | _ ->
+      if Queue.length st.outbox >= outbox_cap then ignore (Queue.pop st.outbox);
+      Queue.push (Rpc.encode msg) st.outbox
+
+let flush_outbox st =
+  match st.upstream with
+  | Some up when Conn.state up <> Conn.Closed ->
+      while not (Queue.is_empty st.outbox) do
+        Conn.send up (Queue.pop st.outbox)
+      done
   | _ -> ()
 
 let send_downstream st msg =
@@ -137,7 +164,8 @@ let ensure_server ?telemetry ?on_ready st =
     if st.hello_pending then begin
       st.hello_pending <- false;
       send_upstream st
-        (Rpc.Chain_info { pks = Server.public_key server :: st.suffix })
+        (Rpc.Chain_info { pks = Server.public_key server :: st.suffix });
+      flush_outbox st
     end
   end
 
@@ -178,6 +206,22 @@ let inject st ~round raw msg =
                   (* A real stall: over sockets there is no virtual
                      clock to account it to. *)
                   Unix.sleepf (float_of_int ms /. 1000.)
+              | Fault.Slow_link ms ->
+                  (* Congested link: the batch arrived, late. *)
+                  Unix.sleepf (float_of_int ms /. 1000.)
+              | Fault.Flap ms ->
+                  (* A reset that heals: drop the socket but keep the
+                     batch — the round's reply waits in the outbox for
+                     the peer's reconnect. *)
+                  Option.iter Conn.close st.upstream;
+                  st.upstream <- None;
+                  if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.)
+              | Fault.Partition ms ->
+                  (* A cut link: batch lost, socket reset, slow heal. *)
+                  dropped := true;
+                  Option.iter Conn.close st.upstream;
+                  st.upstream <- None;
+                  if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.)
               | Fault.Tamper_slot s -> tampers := s :: !tampers
               | Fault.Corrupt_frame _ | Fault.Truncate_frame _
               | Fault.Extend_frame _ -> frame_faults := k :: !frame_faults)
@@ -346,7 +390,11 @@ let handle_upstream st raw =
       match st.server with
       | Some server ->
           send_upstream st
-            (Rpc.Chain_info { pks = Server.public_key server :: st.suffix })
+            (Rpc.Chain_info { pks = Server.public_key server :: st.suffix });
+          (* Frames owed from before the flap follow the handshake
+             reply, in order: the reconnected peer's pending round can
+             still complete. *)
+          flush_outbox st
       | None -> st.hello_pending <- true)
   | Ok (Rpc.Bye) ->
       send_downstream st Rpc.Bye;
@@ -496,6 +544,7 @@ let run ?telemetry ?(log = fun _ -> ()) ?on_ready cfg =
         hello_pending = false;
         inflight = None;
         stream = None;
+        outbox = Queue.create ();
         stop = false;
       }
     in
@@ -533,9 +582,26 @@ let run ?telemetry ?(log = fun _ -> ()) ?on_ready cfg =
         | None ->
             ensure_server ?telemetry ?on_ready st (* last server: no suffix *)
         | Some next_addr ->
+            let backoff_seed =
+              Option.map
+                (fun s -> Printf.sprintf "%s-backoff-%d" s cfg.index)
+                cfg.seed
+            in
+            let shaper =
+              Option.map
+                (fun link ->
+                  match cfg.seed with
+                  | Some s ->
+                      Shaper.with_seed
+                        (Printf.sprintf "%s-link-%d" s cfg.index)
+                        link
+                  | None -> link)
+                cfg.link
+            in
             let down =
               Transport.dial tp ~addr:next_addr
                 ~hello:(Rpc.encode (Rpc.Hello { index = cfg.index }))
+                ?backoff_seed ?shaper
                 ~on_established:(fun _ payload ->
                   match Rpc.decode payload with
                   | Ok (Rpc.Chain_info { pks }) ->
@@ -549,9 +615,32 @@ let run ?telemetry ?(log = fun _ -> ()) ?on_ready cfg =
                   match Rpc.decode raw with
                   | Ok msg when st.server <> None -> handle_downstream st msg
                   | Ok _ | Error _ -> ())
-                ~on_drop:(fun _ ->
+                ~on_drop:(fun conn ->
                   st.log "downstream link lost";
+                  (* Grace, not instant abort: the connection redials on
+                     its own, the successor holds our round's results in
+                     its outbox, and a link that heals inside
+                     [flap_grace_ms] lets the round complete.  Only a
+                     link still down (for the same in-flight round) when
+                     the grace expires abandons the round. *)
                   match st.inflight with
+                  | Some (round, dialing) when cfg.flap_grace_ms > 0. ->
+                      ignore
+                        (Evloop.after (Transport.loop tp)
+                           ~ms:cfg.flap_grace_ms (fun () ->
+                             match st.inflight with
+                             | Some (r, d)
+                               when r = round && d = dialing
+                                    && not (Conn.established conn) ->
+                                 st.inflight <- None;
+                                 send_upstream st
+                                   (Rpc.Status
+                                      (status st ~round
+                                         ~stage:
+                                           (if dialing then "dial-batch"
+                                            else "conv-batch")
+                                         "downstream link lost"))
+                             | _ -> ()))
                   | Some (round, dialing) ->
                       st.inflight <- None;
                       send_upstream st

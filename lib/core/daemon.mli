@@ -13,14 +13,22 @@
     re-derives everything from its seed and rejoins the same way, which
     is what lets the supervisor's retry outlast a crash.
 
+    Churn resilience: frames owed upstream while that link is down wait
+    in a bounded outbox and are flushed (after the handshake reply) when
+    the peer reconnects, and a lost downstream link gets [flap_grace_ms]
+    to heal before the in-flight round is abandoned — so a connection
+    flap that recovers inside the grace costs latency, not the round.
+
     A [fault_plan] arms the socket-level counterparts of the in-process
     link faults, fired at this daemon's incoming link (plan entries
     must name [server = index]): [Crash] resets the upstream
     connection, [Drop_link] swallows the batch (the coordinator's
     deadline catches it), frame faults mutate the received frame before
     decoding (the typed rejection crosses the wire as a [Status]),
-    [Delay_ms] stalls the process for real, [Tamper_slot] flips an
-    onion byte. *)
+    [Delay_ms] and [Slow_link] stall the process for real,
+    [Tamper_slot] flips an onion byte, [Flap] resets the upstream
+    socket but keeps the batch (the reply waits in the outbox),
+    [Partition] drops the batch and resets the socket. *)
 
 type config = {
   listen : Unix.sockaddr;
@@ -43,6 +51,13 @@ type config = {
           accepts both framings; results are bit-identical either
           way. *)
   fault_plan : Vuvuzela_faults.Fault.plan option;
+  link : Vuvuzela_transport.Shaper.config option;
+      (** emulated WAN characteristics of the downstream link (jitter
+          seed derived per link from [seed] when present) *)
+  flap_grace_ms : float;
+      (** grace for a lost downstream link to heal before the in-flight
+          round is abandoned with a [Status]; [0.] restores the old
+          abort-on-drop behaviour *)
 }
 
 val run :

@@ -3,20 +3,42 @@
 
    It learns only which clients are connected — which the threat model
    already concedes — and cannot read or alter onions undetected (any
-   tampering makes the first server's AEAD open fail). *)
+   tampering makes the first server's AEAD open fail).
+
+   Admission: the collector is tied to a round number.  Once the round
+   closes, a straggler is not a protocol error any more — its onion is
+   keyed to a round that is already sealed, so the only sound move is to
+   tell the sender which round to re-wrap for.  [submit] therefore
+   returns a typed status instead of raising. *)
+
+type submit_status = Accepted | Late of { next_round : int }
 
 type 'id t = {
+  round : int;
   mutable pending : ('id * bytes) list;  (** newest first *)
+  mutable count : int;  (** |pending|, tracked so [size] is O(1) *)
   mutable closed : bool;
+  mutable late : 'id list;  (** stragglers seen after close, newest first *)
 }
 
-let create () = { pending = []; closed = false }
+let create ?(round = 0) () =
+  { round; pending = []; count = 0; closed = false; late = [] }
+
+let round t = t.round
 
 let submit t id request =
-  if t.closed then invalid_arg "Entry.submit: round already closed";
-  t.pending <- (id, request) :: t.pending
+  if t.closed then begin
+    t.late <- id :: t.late;
+    Late { next_round = t.round + 1 }
+  end
+  else begin
+    t.pending <- (id, request) :: t.pending;
+    t.count <- t.count + 1;
+    Accepted
+  end
 
-let size t = List.length t.pending
+let size t = t.count
+let late t = List.rev t.late
 
 (* Freeze the round: slot-ordered requests plus the slot → client map. *)
 let close_round t =

@@ -1,15 +1,28 @@
 (** The untrusted entry server (§7): multiplexes client requests into
     rounds and demultiplexes results. *)
 
+type submit_status =
+  | Accepted  (** inside the admission window; the request has a slot *)
+  | Late of { next_round : int }
+      (** the round already closed — onions are round-keyed, so the
+          request cannot join it; re-wrap for [next_round] *)
+
 type 'id t
 
-val create : unit -> 'id t
-(** A fresh round collector. *)
+val create : ?round:int -> unit -> 'id t
+(** A fresh collector for [round] (default [0]). *)
 
-val submit : 'id t -> 'id -> bytes -> unit
-(** @raise Invalid_argument after {!close_round}. *)
+val round : 'id t -> int
+
+val submit : 'id t -> 'id -> bytes -> submit_status
+(** Before {!close_round}: record the request, [Accepted].  After:
+    record the straggler in {!late} and answer [Late] — never raises. *)
 
 val size : 'id t -> int
+(** Admitted requests so far; O(1). *)
+
+val late : 'id t -> 'id list
+(** Clients that submitted after {!close_round}, in arrival order. *)
 
 val close_round : 'id t -> bytes array * 'id array
 (** Slot-ordered request batch and the matching client ids. *)

@@ -26,6 +26,8 @@
 open Vuvuzela_dp
 module Telemetry = Vuvuzela_telemetry.Telemetry
 module Ledger = Vuvuzela_telemetry.Ledger
+module Drbg = Vuvuzela_crypto.Drbg
+module Shaper = Vuvuzela_transport.Shaper
 module Config = Config
 
 (* Where the chain lives: in this process, or behind a TCP connection to
@@ -54,6 +56,17 @@ type t = {
   mutable round_deadline_ms : float option;
       (** supervisor deadline per attempt; [None] disables the check *)
   mutable max_retries : int;  (** extra attempts after the first *)
+  admission_rng : Drbg.t;
+      (** arrival-latency draws for the admission check, derived from
+          the deployment seed so admission outcomes replay *)
+  mutable admission_ms : float option;
+      (** entry-server admission window; [None] admits everyone *)
+  mutable client_latency : (float * float) option;
+      (** [(base_ms, jitter_ms)] emulated client → entry arrival *)
+  link : Shaper.config option;
+      (** emulated WAN link profile: widens the effective deadline by
+          the chain's RTT budget so shaped links aren't misread as
+          failures *)
   mutable m_history : (int * int) list;
       (** completed dialing rounds and their [m], newest first, bounded
           by the last server's invitation retention — the download
@@ -67,6 +80,14 @@ type t = {
    guarantees (Theorem 1 for conversations, §6.5 for dialing) under
    Theorem 2, per client, per *attempt* — each attempt publishes a
    fresh noise draw. *)
+(* Admission draws come from their own DRBG stream (domain-separated
+   from keys/noise/shuffles) so turning the admission window on or off
+   never perturbs the rest of a seeded deployment. *)
+let admission_rng_of (cfg : Config.t) =
+  match cfg.seed with
+  | Some s -> Drbg.of_string (s ^ "-admission")
+  | None -> Drbg.create_system ()
+
 let install_ledger (cfg : Config.t) =
   Option.iter
     (fun tel ->
@@ -90,6 +111,10 @@ let of_config (cfg : Config.t) =
   in
   {
     backend = Local chain;
+    admission_rng = admission_rng_of cfg;
+    admission_ms = cfg.admission_ms;
+    client_latency = cfg.client_latency;
+    link = cfg.link;
     tel = cfg.telemetry;
     server_pks = Chain.public_keys chain;
     clients = Hashtbl.create 64;
@@ -138,10 +163,23 @@ let create ?seed ?(n_servers = 3)
    ledger composes the wrong guarantee.  With [pipeline] set, entry
    batches leave the coordinator as streamed [*_batch_part] frames. *)
 let of_config_tcp (cfg : Config.t) ~addr =
+  (* The coordinator → first-hop link gets the same WAN profile the
+     daemons put on their inter-server links, with its own derived
+     jitter seed, plus deterministic reconnect backoff under a seed. *)
+  let link =
+    Option.map
+      (fun l ->
+        match cfg.seed with
+        | Some s -> Shaper.with_seed (s ^ "-link-coordinator") l
+        | None -> l)
+      cfg.link
+  in
   match
     Remote.connect ?telemetry:cfg.telemetry ~dial_kind:cfg.dial_kind
       ?deadline_ms:cfg.round_deadline_ms
-      ~handshake_timeout_ms:cfg.handshake_timeout_ms ~addr ()
+      ~handshake_timeout_ms:cfg.handshake_timeout_ms
+      ?backoff_seed:(Option.map (fun s -> s ^ "-backoff-coordinator") cfg.seed)
+      ?link ~flap_grace_ms:cfg.flap_grace_ms ~addr ()
   with
   | Error e -> Error e
   | Ok remote ->
@@ -151,6 +189,10 @@ let of_config_tcp (cfg : Config.t) ~addr =
       Ok
         {
           backend = Tcp remote;
+          admission_rng = admission_rng_of cfg;
+          admission_ms = cfg.admission_ms;
+          client_latency = cfg.client_latency;
+          link = cfg.link;
           tel = cfg.telemetry;
           server_pks = Remote.public_keys remote;
           clients = Hashtbl.create 64;
@@ -211,18 +253,32 @@ let shutdown t =
 let chain_length t =
   match t.backend with Local c -> Chain.length c | Tcp r -> Remote.length r
 
+(* Hedged deadline (§WAN): an emulated link adds a predictable RTT to
+   every round, so the effective deadline is the configured one widened
+   by the link's round-trip budget across the chain's hops — a shaped
+   link costs latency without being misread as a failure, while a link
+   that is genuinely stuck still trips the (widened) deadline. *)
+let effective_deadline_ms t =
+  match t.round_deadline_ms with
+  | None -> None
+  | Some d ->
+      Some
+        (match t.link with
+        | Some link -> d +. Shaper.rtt_budget_ms link ~hops:(chain_length t)
+        | None -> d)
+
 let chain_conversation_round t ~round requests =
   match t.backend with
   | Local c -> Chain.conversation_round c ~round requests
   | Tcp r ->
-      Remote.set_deadline_ms r t.round_deadline_ms;
+      Remote.set_deadline_ms r (effective_deadline_ms t);
       Remote.conversation_round r ~round requests
 
 let chain_dialing_round t ~round ~m requests =
   match t.backend with
   | Local c -> Chain.dialing_round c ~round ~m requests
   | Tcp r ->
-      Remote.set_deadline_ms r t.round_deadline_ms;
+      Remote.set_deadline_ms r (effective_deadline_ms t);
       Remote.dialing_round r ~round ~m requests
 
 let chain_abort_round t ~round =
@@ -257,6 +313,10 @@ let set_round_deadline_ms t d = t.round_deadline_ms <- d
 let round_deadline_ms t = t.round_deadline_ms
 let set_max_retries t n = t.max_retries <- max 0 n
 let max_retries t = t.max_retries
+let set_admission_ms t w = t.admission_ms <- w
+let admission_ms t = t.admission_ms
+let set_client_latency t l = t.client_latency <- l
+let client_latency t = t.client_latency
 
 let connect ?seed ?window ?rtt ?max_conversations ?certified t =
   let identity =
@@ -288,6 +348,13 @@ type round_report = {
       (** per participating client, in connection order; on a failed
           report these are the [Round_failed] notifications *)
   batch_size : int;  (** requests the entry server forwarded *)
+  admitted : int;
+      (** clients inside the last attempt's admission window (= all
+          participants when no window is configured) *)
+  late : int;
+      (** clients the last attempt excluded as stragglers: their onions
+          reached the closed collector, earned the typed
+          [Entry.Late] answer, and what they carried was requeued *)
   wire_bytes : int;  (** size of the entry → first-server batch frame *)
   elapsed_ms : float;
       (** wall clock for the last attempt's chain round trip, plus any
@@ -319,7 +386,8 @@ let failures_of reports = List.filter_map (fun r -> r.failure) reports
    consumers need exactly one format.  Pinned by a regression test. *)
 let pp_round_report ppf r =
   Format.fprintf ppf
-    "%s round %d%s: %d requests, %d B wire, %.1f ms%s, attempts=%d, aborts=%d%a"
+    "%s round %d%s: %d requests, %d B wire, %.1f ms%s, attempts=%d, \
+     aborts=%d, admitted=%d, late=%d%a"
     (if r.dialing then "dialing" else "conv")
     r.round
     (if r.failure = None then "" else " FAILED")
@@ -327,6 +395,7 @@ let pp_round_report ppf r =
     (if r.dialing then Printf.sprintf ", %d acks" r.confirmed_acks else "")
     r.attempts
     (List.length r.aborts)
+    r.admitted r.late
     (fun ppf -> function
       | None -> ()
       | Some st -> Format.fprintf ppf " (%a)" Rpc.pp_status st)
@@ -342,7 +411,7 @@ let timed = Vuvuzela_transport.Clock.timed
    sleeping), so the effective round time is wall clock plus virtual
    delay — which keeps deadline misses deterministic under a seed. *)
 let check_deadline t ~round ~elapsed_ms outcome =
-  match (outcome, t.round_deadline_ms) with
+  match (outcome, effective_deadline_ms t) with
   | Ok _, Some deadline_ms when elapsed_ms > deadline_ms ->
       Error (Rpc.deadline_exceeded ~round ~deadline_ms)
   | _ -> outcome
@@ -395,37 +464,106 @@ let count_outcome t ~dialing outcome =
         | `Retried -> "vuvuzela_round_retries_total"
         | `Failed -> "vuvuzela_round_failures_total")
 
+(* Layer (b) of the WAN story: round admission.  The entry server no
+   longer freezes the round on an all-or-nothing barrier — clients
+   "arrive" under an emulated last-mile latency, and whoever misses the
+   [admission_ms] window is excluded from this round and redirected to
+   the next one.  One arrival draw per participant, in connection
+   order, from the dedicated admission DRBG stream, so a seeded
+   deployment replays the same admission outcome bit for bit.  [late]
+   (tests, attack harnesses) forces chosen clients late regardless of
+   their draw; the draw still happens so the stream stays aligned. *)
+let admission_split t ~late_pred ~participants =
+  let arrival () =
+    match (t.admission_ms, t.client_latency) with
+    | Some _, Some (base, jitter) ->
+        Some
+          (base
+          +.
+          if jitter > 0. then
+            Drbg.float_unit ~rng:t.admission_rng () *. jitter
+          else 0.)
+    | _ -> None
+  in
+  let rec go admitted late = function
+    | [] -> (List.rev admitted, List.rev late)
+    | c :: rest ->
+        let drawn_late =
+          match (arrival (), t.admission_ms) with
+          | Some a, Some window -> a > window
+          | _ -> false
+        in
+        let forced = match late_pred with Some f -> f c | None -> false in
+        if drawn_late || forced then go admitted (c :: late) rest
+        else go (c :: admitted) late rest
+  in
+  go [] [] participants
+
+let observe_admission t ~dialing ~admitted ~late =
+  match t.tel with
+  | None -> ()
+  | Some _ ->
+      let kind = [ ("kind", if dialing then "dial" else "conv") ] in
+      Telemetry.set_gauge t.tel ~labels:kind "vuvuzela_admitted_clients"
+        (float_of_int admitted);
+      if late > 0 then
+        Telemetry.add_counter t.tel ~labels:kind ~by:(float_of_int late)
+          "vuvuzela_late_onions_total"
+
 (* The attempt loop shared by both round kinds: bump the round counter,
-   charge the ledger, collect requests through the entry server, time
-   the chain call, check the deadline, and either finish or abort +
-   retry (bounded, and only for retryable statuses).  The two kinds
-   plug in their request builder, chain call, abort propagation, and
-   success handler; the supervisor proper exists exactly once. *)
-let supervise t ~dialing ~participants ~next_round ~submit ~wire_bytes_of
-    ~call ~abort ~finish =
+   split the participants at the admission window, charge the ledger
+   (admitted only — stragglers publish nothing, and the redrawn noise
+   of the retried/naturally-next round covers them), collect requests
+   through the entry server, time the chain call, check the (hedged)
+   deadline, and either finish or abort + retry (bounded, and only for
+   retryable statuses).  The two kinds plug in their request builder,
+   chain call, abort propagation, per-client requeue, and success
+   handler; the supervisor proper exists exactly once. *)
+let supervise t ~dialing ~late_pred ~participants ~next_round ~submit
+    ~wire_bytes_of ~call ~abort ~requeue ~finish =
   let aborts = ref [] in
   let rec attempt n =
     let round = next_round () in
-    charge_attempt t ~participants ~dialing;
-    let entry = Entry.create () in
+    let admitted, stragglers = admission_split t ~late_pred ~participants in
+    charge_attempt t ~participants:admitted ~dialing;
+    observe_admission t ~dialing ~admitted:(List.length admitted)
+      ~late:(List.length stragglers);
+    let entry = Entry.create ~round () in
     Telemetry.span t.tel ~name:"client-build" ~round ~dialing (fun () ->
-        submit entry ~round);
+        submit entry ~round admitted);
     let requests, ids = Entry.close_round entry in
+    (* Stragglers still sent: their onions reach the closed collector,
+       earn the typed [Entry.Late] answer (onions are round-keyed, so
+       joining a sealed round is impossible), and what they carried is
+       requeued for the round the entry server named. *)
+    let late_events =
+      List.map
+        (fun c ->
+          submit entry ~round [ c ];
+          requeue c ~round;
+          let next_round = Entry.round entry + 1 in
+          (c, [ Client.Round_late { round; next_round; dialing } ]))
+        stragglers
+    in
     let batch_size = Array.length requests in
     let wire_bytes = wire_bytes_of ~count:batch_size in
     let outcome, wall_ms = timed (fun () -> call ~round requests) in
     let elapsed_ms = wall_ms +. chain_last_round_delay_ms t in
     observe_attempt t ~dialing ~wall_ms ~wire_bytes;
     let report failure ~confirmed_acks events =
-      { round; dialing; events; batch_size; wire_bytes; elapsed_ms;
-        confirmed_acks; attempts = n; aborts = List.rev !aborts; failure }
+      { round; dialing; events; batch_size;
+        admitted = List.length admitted; late = List.length stragglers;
+        wire_bytes; elapsed_ms; confirmed_acks; attempts = n;
+        aborts = List.rev !aborts; failure }
     in
     match check_deadline t ~round ~elapsed_ms outcome with
     | Error st ->
         (* Abort everywhere: servers drop the round's state (noise is
-           redrawn on retry), clients drop its reply secrets and requeue
-           what the round carried. *)
+           redrawn on retry), admitted clients drop its reply secrets
+           and requeue what the round carried.  Stragglers were already
+           requeued above. *)
         abort ~round;
+        List.iter (fun c -> requeue c ~round) admitted;
         aborts := st :: !aborts;
         if n <= t.max_retries && Rpc.retryable st then begin
           count_outcome t ~dialing `Retried;
@@ -437,38 +575,40 @@ let supervise t ~dialing ~participants ~next_round ~submit ~wire_bytes_of
             (List.map
                (fun c ->
                  (c, [ Client.Round_failed { round; dialing; status = st } ]))
-               participants)
+               admitted
+            @ late_events)
         end
     | Ok results ->
         count_outcome t ~dialing `Completed;
         let confirmed_acks, events = finish ~round ~ids results in
-        report None ~confirmed_acks events
+        report None ~confirmed_acks (events @ late_events)
   in
   attempt 1
 
-let run_conversation ~participants (t : t) =
-  supervise t ~dialing:false ~participants
+let run_conversation ?late ~participants (t : t) =
+  supervise t ~dialing:false ~late_pred:late ~participants
     ~next_round:(fun () ->
       let round = t.round in
       t.round <- round + 1;
       round)
-    ~submit:(fun entry ~round ->
+    ~submit:(fun entry ~round cs ->
       List.iter
         (fun c ->
           List.iteri
             (fun slot onion ->
-              Entry.submit entry (Client.public_key c, slot) onion)
+              ignore
+                (Entry.submit entry (Client.public_key c, slot) onion
+                  : Entry.submit_status))
             (Client.conversation_requests c ~round))
-        participants)
+        cs)
     ~wire_bytes_of:(fun ~count ->
       Rpc.conv_batch_bytes ~count
         ~item_len:
           (Vuvuzela_mixnet.Onion.request_size ~chain_len:(chain_length t)
              ~payload_len:Types.exchange_payload_len))
     ~call:(fun ~round requests -> chain_conversation_round t ~round requests)
-    ~abort:(fun ~round ->
-      chain_abort_round t ~round;
-      List.iter (fun c -> Client.abort_round c ~round) participants)
+    ~abort:(fun ~round -> chain_abort_round t ~round)
+    ~requeue:(fun c ~round -> Client.abort_round c ~round)
     ~finish:(fun ~round ~ids results ->
       (* Group each client's slot replies back together, in slot order. *)
       let by_client = Hashtbl.create 64 in
@@ -526,30 +666,29 @@ let download_invitations t c =
    downloads and scans the invitation drops it has not seen yet.  An
    aborted attempt requeues each client's invitation (the retry builds a
    fresh one) and discards the last server's partial invitation store. *)
-let run_dialing ~participants (t : t) =
+let run_dialing ?late ~participants (t : t) =
   let m = t.m in
-  supervise t ~dialing:true ~participants
+  supervise t ~dialing:true ~late_pred:late ~participants
     ~next_round:(fun () ->
       let dial_round = t.dial_round in
       t.dial_round <- dial_round + 1;
       dial_round)
-    ~submit:(fun entry ~round ->
+    ~submit:(fun entry ~round cs ->
       List.iter
         (fun c ->
-          Entry.submit entry (Client.public_key c)
-            (Client.dialing_request c ~dial_round:round ~m))
-        participants)
+          ignore
+            (Entry.submit entry (Client.public_key c)
+               (Client.dialing_request c ~dial_round:round ~m)
+              : Entry.submit_status))
+        cs)
     ~wire_bytes_of:(fun ~count ->
       Rpc.dial_batch_bytes ~count
         ~item_len:
           (Vuvuzela_mixnet.Onion.request_size ~chain_len:(chain_length t)
              ~payload_len:(Dialing.payload_len t.dial_kind)))
     ~call:(fun ~round requests -> chain_dialing_round t ~round ~m requests)
-    ~abort:(fun ~round ->
-      chain_abort_dialing_round t ~round;
-      List.iter
-        (fun c -> Client.abort_dial_round c ~dial_round:round)
-        participants)
+    ~abort:(fun ~round -> chain_abort_dialing_round t ~round)
+    ~requeue:(fun c ~round -> Client.abort_dial_round c ~dial_round:round)
     ~finish:(fun ~round ~ids acks ->
       (* Route each slot's ack back to its client; a confirmed ack
          means that request survived every hop. *)
@@ -588,28 +727,28 @@ let run_dialing ~participants (t : t) =
 
 (* The one round entry point: both protocols run under the same
    supervisor, selected by {!Round.kind}. *)
-let run ?(blocked = fun _ -> false) ~kind (t : t) =
+let run ?(blocked = fun _ -> false) ?late ~kind (t : t) =
   let participants = List.filter (fun c -> not (blocked c)) (clients t) in
   match (kind : Round.kind) with
-  | Round.Conversation -> run_conversation ~participants t
-  | Round.Dialing -> run_dialing ~participants t
+  | Round.Conversation -> run_conversation ?late ~participants t
+  | Round.Dialing -> run_dialing ?late ~participants t
 
 let run_round ?blocked t = run ?blocked ~kind:Round.Conversation t
 let run_dialing_round ?blocked t = run ?blocked ~kind:Round.Dialing t
 
 (* Convenience: run n conversation rounds, collecting the reports. *)
-let run_rounds ?blocked t n =
-  List.init n (fun _ -> run ?blocked ~kind:Round.Conversation t)
+let run_rounds ?blocked ?late t n =
+  List.init n (fun _ -> run ?blocked ?late ~kind:Round.Conversation t)
 
 (* The deployment schedule of §8.1: conversation rounds run continuously
    and a dialing round fires every [dial_every] conversation rounds (the
    paper's prototype uses 10-minute dialing rounds against tens of
    seconds per conversation round). *)
-let run_schedule ?blocked ?(dial_every = 10) t ~rounds =
+let run_schedule ?blocked ?late ?(dial_every = 10) t ~rounds =
   let acc = ref [] in
   for i = 1 to rounds do
     if i mod dial_every = 0 then
-      acc := run ?blocked ~kind:Round.Dialing t :: !acc;
-    acc := run ?blocked ~kind:Round.Conversation t :: !acc
+      acc := run ?blocked ?late ~kind:Round.Dialing t :: !acc;
+    acc := run ?blocked ?late ~kind:Round.Conversation t :: !acc
   done;
   List.rev !acc

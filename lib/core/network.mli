@@ -133,6 +133,24 @@ val set_max_retries : t -> int -> unit
 
 val max_retries : t -> int
 
+val set_admission_ms : t -> float option -> unit
+(** Entry-server admission window per attempt: participants whose
+    emulated arrival (see {!set_client_latency}) exceeds it are
+    excluded from the round — their onions meet the closed collector,
+    earn the typed {!Entry.Late} answer, and what they carried is
+    requeued for the next round with a [Round_late] event.  [None]
+    (the default) admits everyone. *)
+
+val admission_ms : t -> float option
+
+val set_client_latency : t -> (float * float) option -> unit
+(** [(base_ms, jitter_ms)] emulated client → entry arrival latency
+    feeding the admission check; one seeded draw per participant per
+    attempt, in connection order, so admission outcomes replay under a
+    deployment seed. *)
+
+val client_latency : t -> (float * float) option
+
 val cdn_stats : t -> Cdn.stats option
 (** Present when the deployment was created with [cdn_edges > 0]. *)
 
@@ -159,6 +177,12 @@ type round_report = {
           report these are the per-client [Round_failed] notifications
           instead. *)
   batch_size : int;  (** requests the entry server forwarded *)
+  admitted : int;
+      (** clients inside the last attempt's admission window (= all
+          participants when no window is configured) *)
+  late : int;
+      (** clients excluded as stragglers on the last attempt; each got
+          a [Round_late] event and its payload was requeued *)
   wire_bytes : int;  (** size of the entry → first-server batch frame *)
   elapsed_ms : float;
       (** wall clock for the last attempt's chain round trip, plus any
@@ -190,14 +214,22 @@ val pp_round_report : Format.formatter -> round_report -> unit
 (** One stable line per report — same fields, same order, success or
     failure:
     {v
-conv round 3: 8 requests, 12345 B wire, 4.2 ms, attempts=1, aborts=0
-dialing round 1: 8 requests, 2345 B wire, 1.3 ms, 8 acks, attempts=2, aborts=1
-conv round 5 FAILED: 8 requests, 12345 B wire, 3.1 ms, attempts=3, aborts=3 (...)
+conv round 3: 8 requests, 12345 B wire, 4.2 ms, attempts=1, aborts=0, admitted=8, late=0
+dialing round 1: 8 requests, 2345 B wire, 1.3 ms, 8 acks, attempts=2, aborts=1, admitted=8, late=0
+conv round 5 FAILED: 8 requests, 12345 B wire, 3.1 ms, attempts=3, aborts=3, admitted=8, late=1 (...)
     v} *)
 
-val run : ?blocked:(Client.t -> bool) -> kind:Round.kind -> t -> round_report
+val run :
+  ?blocked:(Client.t -> bool) ->
+  ?late:(Client.t -> bool) ->
+  kind:Round.kind ->
+  t ->
+  round_report
 (** Run one round of the given kind under the supervisor; [blocked]
-    clients send nothing (the §2.1 active attack, or an outage).  A
+    clients send nothing (the §2.1 active attack, or an outage), while
+    [late] clients send but are forced past the admission window — the
+    entry server excludes them exactly as if their arrival draw had
+    missed {!set_admission_ms} (useful for deterministic tests).  A
     failed attempt is aborted on every server and client, then retried
     under a fresh round number with freshly built requests (fresh
     ephemeral keys — a stored onion is never re-submitted) and freshly
@@ -222,10 +254,15 @@ val run_dialing_round : ?blocked:(Client.t -> bool) -> t -> round_report
 (** @deprecated Alias for {!run}[ ~kind:Round.Dialing]. *)
 
 val run_rounds :
-  ?blocked:(Client.t -> bool) -> t -> int -> round_report list
+  ?blocked:(Client.t -> bool) ->
+  ?late:(Client.t -> bool) ->
+  t ->
+  int ->
+  round_report list
 
 val run_schedule :
   ?blocked:(Client.t -> bool) ->
+  ?late:(Client.t -> bool) ->
   ?dial_every:int ->
   t ->
   rounds:int ->

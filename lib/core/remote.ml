@@ -18,6 +18,9 @@ type t = {
       (** [Some chunk]: entry batches leave as streamed [*_batch_part]
           frames of [chunk] onions, so server 0 peels while the rest of
           the batch is still crossing the wire *)
+  mutable flap_grace_ms : float;
+      (** on a mid-round drop, keep pumping this long for the healed
+          link to re-deliver the reply (the daemon's outbox holds it) *)
   mutable shut_down : bool;
 }
 
@@ -27,15 +30,18 @@ let set_deadline_ms t d = t.deadline_ms <- d
 let deadline_ms t = t.deadline_ms
 let set_pipeline t p = t.pipeline <- Option.map (max 1) p
 let pipeline t = t.pipeline
+let set_flap_grace_ms t g = t.flap_grace_ms <- Float.max 0. g
+let flap_grace_ms t = t.flap_grace_ms
 let stats t = Transport.stats t.tp
 let is_shut_down t = t.shut_down
 
 let connect ?telemetry ?(dial_kind = Dialing.Plain) ?deadline_ms
-    ?(handshake_timeout_ms = 30_000.) ~addr () =
+    ?(handshake_timeout_ms = 30_000.) ?backoff_seed ?link
+    ?(flap_grace_ms = 0.) ~addr () =
   let tp = Transport.create ?telemetry () in
   let client =
     Transport.connect tp ~addr ~hello:(Rpc.encode (Rpc.Hello { index = -1 }))
-      ()
+      ?backoff_seed ?shaper:link ()
   in
   match Transport.handshake ~deadline_ms:handshake_timeout_ms tp client with
   | Error `Timeout ->
@@ -55,6 +61,7 @@ let connect ?telemetry ?(dial_kind = Dialing.Plain) ?deadline_ms
               dial_kind;
               deadline_ms;
               pipeline = None;
+              flap_grace_ms = Float.max 0. flap_grace_ms;
               shut_down = false;
             }
       | Ok _ | Error _ ->
@@ -79,8 +86,9 @@ let normalize ~expected requests =
    order while the first hop starts peeling the earliest parts. *)
 let exchange t ~round ~send_frames ~expect =
   List.iter (fun frame -> Transport.send_batch t.client frame) send_frames;
+  let grace_ms = if t.flap_grace_ms > 0. then Some t.flap_grace_ms else None in
   let rec await () =
-    match Transport.recv_batch ?deadline_ms:t.deadline_ms t.tp t.client with
+    match Transport.recv_batch ?deadline_ms:t.deadline_ms ?grace_ms t.tp t.client with
     | Error `Timeout ->
         Error
           (Rpc.transport_error ~round ~server:0

@@ -19,6 +19,9 @@ val connect :
   ?dial_kind:Dialing.kind ->
   ?deadline_ms:float ->
   ?handshake_timeout_ms:float ->
+  ?backoff_seed:string ->
+  ?link:Vuvuzela_transport.Shaper.config ->
+  ?flap_grace_ms:float ->
   addr:Unix.sockaddr ->
   unit ->
   (t, string) result
@@ -26,7 +29,13 @@ val connect :
     default 30s) for the chain to assemble — the handshake reply only
     arrives once every server downstream has its keys.  [dial_kind]
     must match the daemons' (it sizes dialing batches).  [deadline_ms]
-    bounds each round's wait for results; [None] waits forever. *)
+    bounds each round's wait for results; [None] waits forever.
+    [backoff_seed] makes the reconnect backoff's full jitter
+    deterministic, [link] emulates WAN characteristics on the
+    coordinator → first-hop link, and [flap_grace_ms] (default [0.])
+    lets a round survive a mid-round connection flap: on a drop the
+    coordinator keeps pumping that long for the healed link to
+    re-deliver the reply the daemon parked in its outbox. *)
 
 val length : t -> int
 val public_keys : t -> bytes list
@@ -42,6 +51,12 @@ val set_pipeline : t -> int option -> unit
     accept both framings on any round; results are bit-identical. *)
 
 val pipeline : t -> int option
+
+val set_flap_grace_ms : t -> float -> unit
+(** Change the mid-round flap tolerance (clamped ≥ 0; [0.] restores
+    fail-on-drop). *)
+
+val flap_grace_ms : t -> float
 
 val conversation_round :
   t -> round:int -> bytes array -> (bytes array, Rpc.status) result

@@ -18,6 +18,9 @@ type kind =
   | Extend_frame of int
   | Delay_ms of int
   | Tamper_slot of int
+  | Slow_link of int
+  | Flap of int
+  | Partition of int
 
 type fault = { round : int; server : int; kind : kind }
 type plan = fault list
@@ -30,6 +33,9 @@ let pp_kind ppf = function
   | Extend_frame n -> Format.fprintf ppf "pad(%d)" n
   | Delay_ms ms -> Format.fprintf ppf "delay(%d)" ms
   | Tamper_slot slot -> Format.fprintf ppf "tamper(%d)" slot
+  | Slow_link ms -> Format.fprintf ppf "slow(%d)" ms
+  | Flap ms -> Format.fprintf ppf "flap(%d)" ms
+  | Partition ms -> Format.fprintf ppf "partition(%d)" ms
 
 let pp_fault ppf { round; server; kind } =
   Format.fprintf ppf "%a@@%d:%d" pp_kind kind round server
@@ -53,7 +59,9 @@ let apply_frame frame = function
       frame
   | Truncate_frame n -> Bytes.sub frame 0 (min n (Bytes.length frame))
   | Extend_frame n -> Bytes.cat frame (Bytes.make n '\xaa')
-  | Crash | Drop_link | Delay_ms _ | Tamper_slot _ -> frame
+  | Crash | Drop_link | Delay_ms _ | Tamper_slot _ | Slow_link _ | Flap _
+  | Partition _ ->
+      frame
 
 (* Likewise the batch-level semantics of the §2.1 active adversary:
    flip one byte of one onion so framing survives but authentication at
@@ -86,6 +94,7 @@ let kind_of spec =
       match spec with
       | "crash" -> Ok Crash
       | "drop" -> Ok Drop_link
+      | "flap" -> Ok (Flap 0)
       | _ -> Error (Printf.sprintf "unknown fault kind %S" spec))
   | Some lp ->
       if spec.[String.length spec - 1] <> ')' then
@@ -100,6 +109,9 @@ let kind_of spec =
         | "pad" -> Ok (Extend_frame n)
         | "delay" -> Ok (Delay_ms n)
         | "tamper" -> Ok (Tamper_slot n)
+        | "slow" -> Ok (Slow_link n)
+        | "flap" -> Ok (Flap n)
+        | "partition" -> Ok (Partition n)
         | other -> Error (Printf.sprintf "unknown fault kind %S" other))
 
 let split_on char s =
@@ -160,6 +172,23 @@ let random_plan ~rng ~rounds ~n_servers ?(faults = 4) () =
         | 2 -> Corrupt_frame (Drbg.uniform ~rng 6)
         | 3 -> Delay_ms 3_600_000
         | _ -> Tamper_slot (Drbg.uniform ~rng 8)
+      in
+      { round; server; kind })
+
+(* Churn-only schedule: the link misbehaves but always heals — flaps
+   (connection resets that lose no processed batch), bounded slowdowns,
+   short partitions.  Distinct from [random_plan] on purpose: existing
+   chaos seeds pin that generator's draw sequence, and churn scenarios
+   need every fault to be survivable inside a sane round deadline. *)
+let random_churn_plan ~rng ~rounds ~n_servers ?(faults = 6) () =
+  List.init faults (fun _ ->
+      let round = 1 + Drbg.uniform ~rng rounds in
+      let server = Drbg.uniform ~rng n_servers in
+      let kind =
+        match Drbg.uniform ~rng 3 with
+        | 0 -> Flap (Drbg.uniform ~rng 30)
+        | 1 -> Slow_link (10 + Drbg.uniform ~rng 40)
+        | _ -> Partition (50 + Drbg.uniform ~rng 100)
       in
       { round; server; kind })
 

@@ -31,6 +31,18 @@ type kind =
       (** the §2.1 active adversary: flip a byte of onion
           [slot mod batch size]; framing survives but that request fails
           authentication at the receiving server *)
+  | Slow_link of int
+      (** the link is congested for [ms]: the batch arrives intact but
+          late (virtual stall in-process, a real stall on daemons) —
+          survivable when the round deadline has slack *)
+  | Flap of int
+      (** the connection resets and heals after [ms]: no processed data
+          is lost — daemons reset the socket but keep the round's reply
+          in their outbox for the healed link; the in-process relay just
+          accounts the outage as stall time *)
+  | Partition of int
+      (** the link is cut for [ms]: the in-flight batch is lost {e and}
+          the round stalls for the outage — a drop plus a slow heal *)
 
 type fault = { round : int; server : int; kind : kind }
 (** [server] is the 0-based chain position whose incoming link the fault
@@ -53,6 +65,7 @@ val parse : string -> (plan, string) result
     fault  := kind '@' round [':' server] ['x' count]
     kind   := 'crash' | 'drop' | 'corrupt(' byte ')' | 'truncate(' n ')'
             | 'pad(' n ')' | 'delay(' ms ')' | 'tamper(' slot ')'
+            | 'slow(' ms ')' | 'flap' | 'flap(' ms ')' | 'partition(' ms ')'
     v}
 
     [server] defaults to 0 (the entry link); ['x' count] repeats the
@@ -84,6 +97,19 @@ val random_plan :
     parameters chosen so every kind misbehaves decisively (header-byte
     corruption that always breaks decoding, delays far past any sane
     deadline).  Same [rng] state, same plan. *)
+
+val random_churn_plan :
+  rng:Vuvuzela_crypto.Drbg.t ->
+  rounds:int ->
+  n_servers:int ->
+  ?faults:int ->
+  unit ->
+  plan
+(** A churn schedule: [faults] (default 6) faults drawn only from the
+    healing kinds — [Flap] (0–30 ms), [Slow_link] (10–50 ms),
+    [Partition] (50–150 ms) — so every failure is survivable inside a
+    sane round deadline.  A separate generator from {!random_plan}: its
+    draw sequence is pinned by existing chaos seeds. *)
 
 (** {2 Injection} *)
 

@@ -12,6 +12,8 @@
    - the decoder is replaced on every new socket: frame boundaries do
      not survive a reconnect. *)
 
+module Drbg = Vuvuzela_crypto.Drbg
+
 type state = Connecting | Handshaking | Established | Closed
 
 type stats = {
@@ -20,10 +22,24 @@ type stats = {
   mutable frames_in : int;
   mutable frames_out : int;
   mutable reconnects : int;
+  mutable outages : int;
+  mutable last_outage_ms : float;
+  mutable shaped_frames : int;
+  mutable shaped_delay_ms : float;
 }
 
 let fresh_stats () =
-  { bytes_in = 0; bytes_out = 0; frames_in = 0; frames_out = 0; reconnects = 0 }
+  {
+    bytes_in = 0;
+    bytes_out = 0;
+    frames_in = 0;
+    frames_out = 0;
+    reconnects = 0;
+    outages = 0;
+    last_outage_ms = 0.;
+    shaped_frames = 0;
+    shaped_delay_ms = 0.;
+  }
 
 type t = {
   loop : Evloop.t;
@@ -36,6 +52,8 @@ type t = {
   base_backoff_ms : float;
   max_backoff_ms : float;
   handshake_timeout_ms : float;
+  backoff_rng : Drbg.t option;  (** full-jitter draws; [None] = lockstep *)
+  shaper : Shaper.t option;
   rbuf : bytes;  (** read scratch *)
   outq : bytes Queue.t;  (** complete encoded frames *)
   mutable fd : Unix.file_descr option;
@@ -46,6 +64,8 @@ type t = {
   mutable backoff_ms : float;
   mutable timer : int option;  (** pending retry / handshake deadline *)
   mutable reconnects : int;
+  mutable outage_since : float option;
+      (** when an established stream was lost, until re-established *)
 }
 
 let state t = t.st
@@ -130,17 +150,39 @@ let rec flush_output t fd =
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         Evloop.want_write t.loop fd true
 
+let enqueue_frame t frame =
+  Queue.push frame t.outq;
+  match t.fd with
+  | Some fd when t.st = Established -> (
+      try flush_output t fd with Unix.Unix_error _ -> ())
+      (* a write error here also surfaces via on_readable EOF *)
+  | _ -> ()
+
 let send t payload =
   match t.st with
   | Closed -> ()
   | _ -> (
-      Queue.push (Frame.encode payload) t.outq;
+      let frame = Frame.encode payload in
       t.stats.frames_out <- t.stats.frames_out + 1;
-      match t.fd with
-      | Some fd when t.st = Established -> (
-          try flush_output t fd with Unix.Unix_error _ -> ())
-          (* a write error here also surfaces via on_readable EOF *)
-      | _ -> ())
+      match t.shaper with
+      | None -> enqueue_frame t frame
+      | Some sh ->
+          (* Link emulation: hold the frame off the wire until its
+             release instant.  Release times are monotonic per shaper,
+             and the loop fires equal-deadline timers in registration
+             order, so shaped frames keep their FIFO order. *)
+          let delay =
+            Shaper.delay_ms sh ~now_ms:(Clock.now_ms ())
+              ~bytes:(Bytes.length frame)
+          in
+          if delay <= 0. then enqueue_frame t frame
+          else begin
+            t.stats.shaped_frames <- t.stats.shaped_frames + 1;
+            t.stats.shaped_delay_ms <- t.stats.shaped_delay_ms +. delay;
+            ignore
+              (Evloop.after t.loop ~ms:delay (fun () ->
+                   if t.st <> Closed then enqueue_frame t frame))
+          end)
 
 (* ------------------------------------------------------------------ *)
 (* Dialer lifecycle                                                    *)
@@ -183,8 +225,19 @@ and retry t =
     t.st <- Connecting;
     t.reconnects <- t.reconnects + 1;
     t.stats.reconnects <- t.stats.reconnects + 1;
-    let delay = t.backoff_ms in
-    t.backoff_ms <- Float.min t.max_backoff_ms (t.backoff_ms *. 2.);
+    (* Full jitter: draw uniformly in [base, cap) so a fleet of clients
+       redialing a restarted server spreads out instead of storming it
+       in lockstep.  The draw comes from a per-connection DRBG, so a
+       seeded run replays the same delays. *)
+    let cap = t.backoff_ms in
+    let delay =
+      match t.backoff_rng with
+      | None -> cap
+      | Some rng ->
+          t.base_backoff_ms
+          +. (Drbg.float_unit ~rng () *. Float.max 0. (cap -. t.base_backoff_ms))
+    in
+    t.backoff_ms <- Float.min t.max_backoff_ms (cap *. 2.);
     t.timer <-
       Some
         (Evloop.after t.loop ~ms:delay (fun () ->
@@ -199,6 +252,7 @@ and drop_established t =
   t.wbuf <- Bytes.empty;
   t.woff <- 0;
   t.st <- Connecting;
+  if t.outage_since = None then t.outage_since <- Some (Clock.now_ms ());
   t.on_drop t;
   retry t
 
@@ -252,6 +306,12 @@ and drain_frames t fd =
           cancel_timer t;
           t.st <- Established;
           t.backoff_ms <- t.base_backoff_ms;
+          (match t.outage_since with
+          | Some since ->
+              t.outage_since <- None;
+              t.stats.outages <- t.stats.outages + 1;
+              t.stats.last_outage_ms <- Clock.elapsed_ms ~since
+          | None -> ());
           Option.iter (fun f -> f t payload) t.on_established;
           (* Frames queued while disconnected flush now, in order. *)
           if t.st = Established then (
@@ -261,7 +321,8 @@ and drain_frames t fd =
 
 let dial ~loop ~addr ~hello ?(stats = fresh_stats ())
     ?(base_backoff_ms = 25.) ?(max_backoff_ms = 1000.)
-    ?(handshake_timeout_ms = 5000.) ~on_established ~on_frame ~on_drop () =
+    ?(handshake_timeout_ms = 5000.) ?backoff_seed ?shaper ~on_established
+    ~on_frame ~on_drop () =
   let t =
     {
       loop;
@@ -274,6 +335,8 @@ let dial ~loop ~addr ~hello ?(stats = fresh_stats ())
       base_backoff_ms;
       max_backoff_ms;
       handshake_timeout_ms;
+      backoff_rng = Option.map Drbg.of_string backoff_seed;
+      shaper;
       rbuf = Bytes.create 65536;
       outq = Queue.create ();
       fd = None;
@@ -284,6 +347,7 @@ let dial ~loop ~addr ~hello ?(stats = fresh_stats ())
       backoff_ms = base_backoff_ms;
       timer = None;
       reconnects = 0;
+      outage_since = None;
     }
   in
   start_connect t;
@@ -293,7 +357,7 @@ let dial ~loop ~addr ~hello ?(stats = fresh_stats ())
 (* Accepted connections                                                *)
 (* ------------------------------------------------------------------ *)
 
-let of_fd ~loop ~fd ?(stats = fresh_stats ()) ~on_frame ~on_drop () =
+let of_fd ~loop ~fd ?(stats = fresh_stats ()) ?shaper ~on_frame ~on_drop () =
   Unix.set_nonblock fd;
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
   let t =
@@ -308,6 +372,8 @@ let of_fd ~loop ~fd ?(stats = fresh_stats ()) ~on_frame ~on_drop () =
       base_backoff_ms = 0.;
       max_backoff_ms = 0.;
       handshake_timeout_ms = 0.;
+      backoff_rng = None;
+      shaper;
       rbuf = Bytes.create 65536;
       outq = Queue.create ();
       fd = Some fd;
@@ -318,6 +384,7 @@ let of_fd ~loop ~fd ?(stats = fresh_stats ()) ~on_frame ~on_drop () =
       backoff_ms = 0.;
       timer = None;
       reconnects = 0;
+      outage_since = None;
     }
   in
   let teardown () =

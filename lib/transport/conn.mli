@@ -28,6 +28,13 @@ type stats = {
   mutable frames_in : int;
   mutable frames_out : int;
   mutable reconnects : int;  (** redial attempts after the first *)
+  mutable outages : int;
+      (** established → lost → re-established cycles completed *)
+  mutable last_outage_ms : float;
+      (** wall time the most recent completed outage lasted — the
+          recovery latency of a reconnect storm *)
+  mutable shaped_frames : int;  (** frames the link shaper delayed *)
+  mutable shaped_delay_ms : float;  (** total emulated delay injected *)
 }
 (** Shared wire counters (a {!Transport} endpoint aggregates these
     across its connections). *)
@@ -42,6 +49,8 @@ val dial :
   ?base_backoff_ms:float ->
   ?max_backoff_ms:float ->
   ?handshake_timeout_ms:float ->
+  ?backoff_seed:string ->
+  ?shaper:Shaper.t ->
   on_established:(t -> bytes -> unit) ->
   on_frame:(t -> bytes -> unit) ->
   on_drop:(t -> unit) ->
@@ -50,15 +59,23 @@ val dial :
 (** [on_established] receives the peer's handshake reply payload (each
     time the connection (re-)establishes); [on_frame] every later
     payload; [on_drop] fires when an {e established} connection is lost
-    (the redial loop continues on its own).  Backoff doubles from
-    [base_backoff_ms] (default 25) to [max_backoff_ms] (default 1000);
-    a completed handshake resets it.  [handshake_timeout_ms] (default
-    5000) bounds connect + hello/reply. *)
+    (the redial loop continues on its own).  The backoff cap doubles
+    from [base_backoff_ms] (default 25) to [max_backoff_ms] (default
+    1000); a completed handshake resets it.  With [backoff_seed] each
+    retry sleeps a {e full-jitter} draw, uniform in [\[base, cap)] from
+    a DRBG seeded with it — reproducible, but a fleet of seeded dialers
+    no longer redials a restarted server in lockstep.  Without a seed
+    the delay is exactly the cap (the legacy deterministic schedule).
+    [handshake_timeout_ms] (default 5000) bounds connect + hello/reply.
+    [shaper] emulates this link's WAN characteristics: each outgoing
+    frame (the hello excepted) is held back by {!Shaper.delay_ms} before
+    it may reach the wire. *)
 
 val of_fd :
   loop:Evloop.t ->
   fd:Unix.file_descr ->
   ?stats:stats ->
+  ?shaper:Shaper.t ->
   on_frame:(t -> bytes -> unit) ->
   on_drop:(t -> unit) ->
   unit ->

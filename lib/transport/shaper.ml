@@ -1,0 +1,134 @@
+(* Link emulation; see the interface.
+
+   The virtual transmission clock [tx_free_ms] is the instant the
+   emulated link finishes serializing everything queued so far.  A frame
+   queued at [now] starts transmitting at [max now tx_free_ms], takes
+   [bytes / bandwidth] to serialize, then propagates for
+   [latency + jitter].  Clamping release times monotonic keeps the link
+   FIFO even when a small jitter draw follows a large one. *)
+
+module Drbg = Vuvuzela_crypto.Drbg
+
+type config = {
+  latency_ms : float;
+  jitter_ms : float;
+  bandwidth_bytes_per_sec : float option;
+  seed : string;
+}
+
+let config ?(latency_ms = 0.) ?(jitter_ms = 0.) ?bandwidth_bytes_per_sec
+    ?(seed = "link") () =
+  {
+    latency_ms = Float.max 0. latency_ms;
+    jitter_ms = Float.max 0. jitter_ms;
+    bandwidth_bytes_per_sec;
+    seed;
+  }
+
+let is_transparent c =
+  c.latency_ms = 0. && c.jitter_ms = 0. && c.bandwidth_bytes_per_sec = None
+
+let with_seed seed c = { c with seed }
+
+type t = {
+  cfg : config;
+  rng : Drbg.t;
+  mutable tx_free_ms : float;  (** virtual clock: link busy until then *)
+  mutable last_release_ms : float;  (** FIFO clamp *)
+}
+
+let create cfg = { cfg; rng = Drbg.of_string cfg.seed; tx_free_ms = 0.; last_release_ms = 0. }
+
+let delay_ms t ~now_ms ~bytes =
+  let serialize_ms =
+    match t.cfg.bandwidth_bytes_per_sec with
+    | None -> 0.
+    | Some bw when bw <= 0. -> 0.
+    | Some bw -> 1000. *. float_of_int bytes /. bw
+  in
+  let tx_start = Float.max now_ms t.tx_free_ms in
+  t.tx_free_ms <- tx_start +. serialize_ms;
+  let jitter =
+    if t.cfg.jitter_ms > 0. then Drbg.float_unit ~rng:t.rng () *. t.cfg.jitter_ms
+    else 0.
+  in
+  let release = t.tx_free_ms +. t.cfg.latency_ms +. jitter in
+  let release = Float.max release t.last_release_ms in
+  t.last_release_ms <- release;
+  Float.max 0. (release -. now_ms)
+
+let rtt_budget_ms cfg ~hops =
+  2. *. float_of_int (max 0 hops) *. (cfg.latency_ms +. cfg.jitter_ms)
+
+let to_string c =
+  let bw =
+    match c.bandwidth_bytes_per_sec with
+    | None -> ""
+    | Some bw -> Printf.sprintf "@%.0f" bw
+  in
+  if c.jitter_ms > 0. then
+    Printf.sprintf "%.0f±%.0f%s" c.latency_ms c.jitter_ms bw
+  else Printf.sprintf "%.0f%s" c.latency_ms bw
+
+(* LAT[±JIT][@BW]; ± may also be spelled '+-' for shells without the
+   glyph. *)
+let parse s =
+  let s = String.trim s in
+  let float_of ~what v =
+    match float_of_string_opt (String.trim v) with
+    | Some f when f >= 0. -> Ok f
+    | Some _ -> Error (Printf.sprintf "%s must be >= 0 in %S" what s)
+    | None -> Error (Printf.sprintf "bad %s %S" what v)
+  in
+  let bandwidth_of v =
+    let v = String.trim v in
+    let scale, v =
+      let n = String.length v in
+      if n = 0 then (1., v)
+      else
+        match Char.lowercase_ascii v.[n - 1] with
+        | 'k' -> (1e3, String.sub v 0 (n - 1))
+        | 'm' -> (1e6, String.sub v 0 (n - 1))
+        | _ -> (1., v)
+    in
+    Result.map (fun f -> f *. scale) (float_of ~what:"bandwidth" v)
+  in
+  let ( let* ) = Result.bind in
+  let lat_jit, bw_s =
+    match String.index_opt s '@' with
+    | None -> (s, None)
+    | Some i ->
+        (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+  in
+  (* split on the jitter separator: UTF-8 "±" or ASCII "+-" *)
+  let split_jitter str =
+    let find_sub needle =
+      let nl = String.length needle and l = String.length str in
+      let rec go i =
+        if i + nl > l then None
+        else if String.sub str i nl = needle then Some i
+        else go (i + 1)
+      in
+      go 0
+    in
+    match find_sub "\xc2\xb1" with
+    | Some i ->
+        (String.sub str 0 i, Some (String.sub str (i + 2) (String.length str - i - 2)))
+    | None -> (
+        match find_sub "+-" with
+        | Some i ->
+            ( String.sub str 0 i,
+              Some (String.sub str (i + 2) (String.length str - i - 2)) )
+        | None -> (str, None))
+  in
+  let lat_s, jit_s = split_jitter lat_jit in
+  let* latency_ms = float_of ~what:"latency" lat_s in
+  let* jitter_ms =
+    match jit_s with None -> Ok 0. | Some j -> float_of ~what:"jitter" j
+  in
+  let* bandwidth_bytes_per_sec =
+    match bw_s with
+    | None -> Ok None
+    | Some b -> Result.map Option.some (bandwidth_of b)
+  in
+  Ok { latency_ms; jitter_ms; bandwidth_bytes_per_sec; seed = "link" }

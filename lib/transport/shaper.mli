@@ -1,0 +1,70 @@
+(** Deterministic link emulation: per-link latency distributions and
+    token-bucket bandwidth limits, so a geo-distributed chain can be
+    emulated on loopback.
+
+    A shaper sits on the {e sending} side of one connection and answers
+    one question per outgoing frame: how long after "now" may these
+    bytes reach the wire?  The answer combines three terms:
+
+    - {b serialization}: bytes / bandwidth, accumulated in virtual time
+      (a second frame queued behind a first waits for the first's
+      transmission to finish — the classic token-bucket/virtual-clock
+      link model);
+    - {b propagation}: a fixed one-way [latency_ms];
+    - {b jitter}: a uniform draw in [\[0, jitter_ms)] from a
+      ChaCha20-DRBG seeded at creation, so the i-th frame of a seeded
+      run always draws the same jitter (the queueing term still depends
+      on real arrival times, but the random sequence is reproducible —
+      the same discipline as [vuvuzela_faults]).
+
+    Frames on one link never reorder: release times are clamped
+    monotonic. *)
+
+type config = {
+  latency_ms : float;  (** fixed one-way propagation delay per frame *)
+  jitter_ms : float;  (** uniform extra in [\[0, jitter_ms)], seeded *)
+  bandwidth_bytes_per_sec : float option;
+      (** token-bucket rate; [None] = infinite (latency only) *)
+  seed : string;  (** jitter DRBG seed *)
+}
+
+val config :
+  ?latency_ms:float ->
+  ?jitter_ms:float ->
+  ?bandwidth_bytes_per_sec:float ->
+  ?seed:string ->
+  unit ->
+  config
+(** Defaults: 0 ms latency, 0 ms jitter, unlimited bandwidth, seed
+    ["link"]. *)
+
+val is_transparent : config -> bool
+(** [true] when the config shapes nothing (no latency, no jitter, no
+    bandwidth cap) — callers skip the shaper entirely. *)
+
+type t
+
+val create : config -> t
+
+val delay_ms : t -> now_ms:float -> bytes:int -> float
+(** Delay (>= 0) before a frame of [bytes] queued at [now_ms] may be
+    released to the socket.  Mutates the virtual transmission clock and
+    the jitter DRBG. *)
+
+val rtt_budget_ms : config -> hops:int -> float
+(** The extra round-trip budget a supervisor should grant a chain of
+    [hops] shaped links: [2 * hops * (latency + jitter)].  Serialization
+    time is workload-dependent and intentionally excluded — size the
+    deadline for it separately. *)
+
+val to_string : config -> string
+(** Render in the [parse] syntax. *)
+
+val parse : string -> (config, string) result
+(** Parse the CLI link syntax [LAT\[±JIT\]\[@BW\]]: latency in ms, an
+    optional [±] jitter in ms, an optional [@] bandwidth in bytes/sec
+    (suffixes [k]/[m] = 1e3/1e6).  Examples: ["25"], ["25±5"],
+    ["50±10@1m"].  The seed defaults to ["link"] — derive a per-link
+    seed with {!with_seed} for independent jitter streams. *)
+
+val with_seed : string -> config -> config

@@ -25,11 +25,16 @@ let publish t =
   | Some _ ->
       let s = t.stats in
       let g name v = Telemetry.set_gauge t.tel name (float_of_int v) in
+      let gf name v = Telemetry.set_gauge t.tel name v in
       g "vuvuzela_net_bytes_in" s.Conn.bytes_in;
       g "vuvuzela_net_bytes_out" s.Conn.bytes_out;
       g "vuvuzela_net_frames_in" s.Conn.frames_in;
       g "vuvuzela_net_frames_out" s.Conn.frames_out;
-      g "vuvuzela_net_reconnects" s.Conn.reconnects
+      g "vuvuzela_net_reconnects" s.Conn.reconnects;
+      g "vuvuzela_net_outages" s.Conn.outages;
+      gf "vuvuzela_net_reconnect_storm_ms" s.Conn.last_outage_ms;
+      g "vuvuzela_net_link_stalls" s.Conn.shaped_frames;
+      gf "vuvuzela_net_shaped_delay_ms" s.Conn.shaped_delay_ms
 
 (* ------------------------------------------------------------------ *)
 (* Listening                                                           *)
@@ -77,10 +82,17 @@ let close_listener t l =
   try Unix.close l.lfd with Unix.Unix_error _ -> ()
 
 let dial t ~addr ~hello ?base_backoff_ms ?max_backoff_ms
-    ?handshake_timeout_ms ~on_established ~on_frame ~on_drop () =
+    ?handshake_timeout_ms ?backoff_seed ?shaper ~on_established ~on_frame
+    ~on_drop () =
+  let shaper =
+    match shaper with
+    | Some cfg when not (Shaper.is_transparent cfg) ->
+        Some (Shaper.create cfg)
+    | Some _ | None -> None
+  in
   Conn.dial ~loop:t.loop ~addr ~hello ~stats:t.stats ?base_backoff_ms
-    ?max_backoff_ms ?handshake_timeout_ms ~on_established ~on_frame ~on_drop
-    ()
+    ?max_backoff_ms ?handshake_timeout_ms ?backoff_seed ?shaper
+    ~on_established ~on_frame ~on_drop ()
 
 (* ------------------------------------------------------------------ *)
 (* Client style: synchronous lockstep exchange                         *)
@@ -93,13 +105,20 @@ type client = {
   mutable dropped : bool;  (** set on drop, cleared by the next recv *)
 }
 
-let connect t ~addr ~hello ?max_backoff_ms () =
+let connect t ~addr ~hello ?max_backoff_ms ?backoff_seed ?shaper () =
   let inbox = Queue.create () in
+  let shaper =
+    match shaper with
+    | Some cfg when not (Shaper.is_transparent cfg) ->
+        Some (Shaper.create cfg)
+    | Some _ | None -> None
+  in
   let rec client =
     lazy
       {
         conn =
           Conn.dial ~loop:t.loop ~addr ~hello ~stats:t.stats ?max_backoff_ms
+            ?backoff_seed ?shaper
             ~on_established:(fun _ payload ->
               let c = Lazy.force client in
               c.last_handshake <- Some payload)
@@ -129,11 +148,40 @@ let send_batch c payload =
   c.dropped <- false;
   Conn.send c.conn payload
 
-let recv_batch ?deadline_ms t c =
-  if
-    run_until ?deadline_ms t (fun () ->
-        (not (Queue.is_empty c.inbox)) || c.dropped)
-  then if Queue.is_empty c.inbox then Error `Dropped else Ok (Queue.pop c.inbox)
-  else Error `Timeout
+let recv_batch ?deadline_ms ?grace_ms t c =
+  (* [grace_ms] is flap tolerance: a drop while waiting does not fail
+     the round immediately — the connection keeps redialing, and a peer
+     that queued our reply in its outbox re-delivers it once the link
+     heals.  Only when the grace (or the overall deadline) runs out with
+     no frame do we report the drop. *)
+  let started = Clock.now_ms () in
+  let remaining () =
+    Option.map
+      (fun d -> Float.max 0. (d -. Clock.elapsed_ms ~since:started))
+      deadline_ms
+  in
+  let wait () =
+    if
+      run_until ?deadline_ms:(remaining ()) t (fun () ->
+          (not (Queue.is_empty c.inbox)) || c.dropped)
+    then
+      if not (Queue.is_empty c.inbox) then Ok (Queue.pop c.inbox)
+      else
+        match grace_ms with
+        | None -> Error `Dropped
+        | Some g ->
+            c.dropped <- false;
+            let g =
+              match remaining () with Some r -> Float.min g r | None -> g
+            in
+            if g <= 0. then Error `Dropped
+            else if
+              run_until ~deadline_ms:g t (fun () ->
+                  not (Queue.is_empty c.inbox))
+            then Ok (Queue.pop c.inbox)
+            else Error `Dropped
+    else Error `Timeout
+  in
+  wait ()
 
 let close_client _t c = Conn.close c.conn

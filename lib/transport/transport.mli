@@ -28,7 +28,11 @@ val run_until : ?deadline_ms:float -> t -> (unit -> bool) -> bool
 val publish : t -> unit
 (** Push the counters into the telemetry registry as gauges
     ([vuvuzela_net_bytes_in], [..._bytes_out], [..._frames_in],
-    [..._frames_out], [..._reconnects]).  No-op without a sink. *)
+    [..._frames_out], [..._reconnects], [..._outages],
+    [..._reconnect_storm_ms] — duration of the most recent completed
+    outage —, [..._link_stalls] and [..._shaped_delay_ms] — frames held
+    back by the link shaper and the total emulated delay).  No-op
+    without a sink. *)
 
 (** {2 Daemon style} *)
 
@@ -58,12 +62,17 @@ val dial :
   ?base_backoff_ms:float ->
   ?max_backoff_ms:float ->
   ?handshake_timeout_ms:float ->
+  ?backoff_seed:string ->
+  ?shaper:Shaper.config ->
   on_established:(Conn.t -> bytes -> unit) ->
   on_frame:(Conn.t -> bytes -> unit) ->
   on_drop:(Conn.t -> unit) ->
   unit ->
   Conn.t
-(** {!Conn.dial} wired to this endpoint's loop and counters. *)
+(** {!Conn.dial} wired to this endpoint's loop and counters.
+    [backoff_seed] enables seeded full-jitter reconnect backoff;
+    [shaper] emulates the link's WAN characteristics (ignored when
+    {!Shaper.is_transparent}). *)
 
 (** {2 Client style} *)
 
@@ -74,10 +83,12 @@ val connect :
   addr:Unix.sockaddr ->
   hello:bytes ->
   ?max_backoff_ms:float ->
+  ?backoff_seed:string ->
+  ?shaper:Shaper.config ->
   unit ->
   client
 (** Start dialing (the connection maintains itself); returns
-    immediately. *)
+    immediately.  [backoff_seed]/[shaper] as in {!dial}. *)
 
 val handshake : ?deadline_ms:float -> t -> client -> (bytes, [ `Timeout ]) result
 (** Pump until the connection is established; returns the peer's
@@ -88,11 +99,19 @@ val send_batch : client -> bytes -> unit
 (** Queue one payload toward the peer (sent once established). *)
 
 val recv_batch :
-  ?deadline_ms:float -> t -> client -> (bytes, [ `Timeout | `Dropped ]) result
+  ?deadline_ms:float ->
+  ?grace_ms:float ->
+  t ->
+  client ->
+  (bytes, [ `Timeout | `Dropped ]) result
 (** The next incoming payload, pumping the loop as needed.  [`Dropped]
     means the connection was lost while waiting — with a lockstep
     protocol, whatever reply was owed is gone and the round must be
-    retried (the connection itself keeps redialing). *)
+    retried (the connection itself keeps redialing).  [grace_ms] adds
+    flap tolerance: on a drop, keep pumping for up to that long (capped
+    by [deadline_ms]) before giving up — a peer that held our reply in
+    an outbox re-delivers it over the healed link, and the round
+    survives the flap. *)
 
 val client_conn : client -> Conn.t
 

@@ -12,6 +12,7 @@ let () =
       Test_network.suite;
       Test_transcript.suite;
       Test_transport.suite;
+      Test_evloop.suite;
       Test_ratchet.suite;
       Test_certified.suite;
       Test_infra.suite;

@@ -350,6 +350,8 @@ let test_round_report_format () =
       dialing = false;
       events = [];
       batch_size = 12;
+      admitted = 6;
+      late = 0;
       wire_bytes = 34560;
       elapsed_ms = 4.2;
       confirmed_acks = 0;
@@ -360,19 +362,25 @@ let test_round_report_format () =
   in
   let render r = Format.asprintf "%a" Network.pp_round_report r in
   Alcotest.(check string) "success line"
-    "conv round 7: 12 requests, 34560 B wire, 4.2 ms, attempts=1, aborts=0"
+    "conv round 7: 12 requests, 34560 B wire, 4.2 ms, attempts=1, aborts=0, \
+     admitted=6, late=0"
     (render base);
   let st = { Rpc.round = 8; server = 1; stage = "conv-batch"; detail = "boom" } in
   Alcotest.(check string) "recovered line counts its aborts"
-    "conv round 9: 12 requests, 34560 B wire, 4.2 ms, attempts=2, aborts=1"
+    "conv round 9: 12 requests, 34560 B wire, 4.2 ms, attempts=2, aborts=1, \
+     admitted=6, late=0"
     (render { base with Network.round = 9; attempts = 2; aborts = [ st ] });
   Alcotest.(check string) "dialing line carries acks"
     "dialing round 3: 12 requests, 34560 B wire, 4.2 ms, 11 acks, attempts=1, \
-     aborts=0"
+     aborts=0, admitted=6, late=0"
     (render { base with Network.round = 3; dialing = true; confirmed_acks = 11 });
+  Alcotest.(check string) "late stragglers show up in every line"
+    "conv round 4: 12 requests, 34560 B wire, 4.2 ms, attempts=1, aborts=0, \
+     admitted=5, late=1"
+    (render { base with Network.round = 4; admitted = 5; late = 1 });
   Alcotest.(check string) "failure line keeps every field"
     "conv round 8 FAILED: 12 requests, 34560 B wire, 4.2 ms, attempts=3, \
-     aborts=3 (round 8: server 1 [conv-batch]: boom)"
+     aborts=3, admitted=6, late=0 (round 8: server 1 [conv-batch]: boom)"
     (render
        { base with
          Network.round = 8;
@@ -380,6 +388,108 @@ let test_round_report_format () =
          aborts = [ st; st; st ];
          failure = Some st;
        })
+
+(* ------------------------------------------------------------------ *)
+(* Round admission control                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A straggler is excluded, told the next round, and loses nothing: the
+   message it carried goes out — exactly once — on the next round. *)
+let test_late_client_requeued_not_lost () =
+  let net = make_net () in
+  let a = Network.connect ~seed:"a" net in
+  let b = Network.connect ~seed:"b" net in
+  Client.start_conversation a ~peer_pk:(Client.public_key b);
+  Client.start_conversation b ~peer_pk:(Client.public_key a);
+  Client.send a "late hello";
+  let r1 =
+    Network.run ~late:(fun c -> c == a) ~kind:Round.Conversation net
+  in
+  Alcotest.(check int) "one straggler" 1 r1.Network.late;
+  Alcotest.(check int) "one admitted" 1 r1.Network.admitted;
+  let a_late =
+    List.exists
+      (fun (c, evs) ->
+        c == a
+        && List.exists
+             (function
+               | Client.Round_late { round; next_round; dialing } ->
+                   (not dialing) && next_round = round + 1
+               | _ -> false)
+             evs)
+      r1.Network.events
+  in
+  Alcotest.(check bool) "straggler notified with the next round" true a_late;
+  let delivered_in r =
+    List.exists
+      (fun (c, evs) ->
+        c == b
+        && List.exists
+             (function
+               | Client.Delivered { text; _ } -> text = "late hello"
+               | _ -> false)
+             evs)
+      r.Network.events
+  in
+  Alcotest.(check bool) "nothing delivered on the missed round" false
+    (delivered_in r1);
+  let r2 = Network.run ~kind:Round.Conversation net in
+  Alcotest.(check int) "no stragglers on the retry round" 0 r2.Network.late;
+  Alcotest.(check bool) "requeued text arrives next round" true
+    (delivered_in r2);
+  (* Exactly once: further rounds redeliver nothing. *)
+  let r3 = Network.run ~kind:Round.Conversation net in
+  Alcotest.(check bool) "no duplicate delivery" false (delivered_in r3)
+
+let test_late_dialing_requeued () =
+  let net = make_net () in
+  let a = Network.connect ~seed:"a" net in
+  let b = Network.connect ~seed:"b" net in
+  Client.dial a ~callee_pk:(Client.public_key b);
+  let r1 = Network.run ~late:(fun c -> c == a) ~kind:Round.Dialing net in
+  Alcotest.(check int) "dial straggler excluded" 1 r1.Network.late;
+  let heard r =
+    List.exists
+      (fun (c, evs) ->
+        c == b
+        && List.exists
+             (function Client.Incoming_call _ -> true | _ -> false)
+             evs)
+      r.Network.events
+  in
+  Alcotest.(check bool) "call not placed on the missed round" false (heard r1);
+  let r2 = Network.run ~kind:Round.Dialing net in
+  Alcotest.(check bool) "requeued invitation goes out next round" true
+    (heard r2)
+
+(* A seeded admission window replays bit for bit: same seed, same
+   per-round (admitted, late) split across the whole schedule. *)
+let test_admission_window_deterministic () =
+  let run_once () =
+    let net =
+      Network.of_config
+        Network.Config.(
+          default |> with_seed "admission-det"
+          |> with_noise (Laplace.params ~mu:3. ~b:1.)
+          |> with_noise_mode Noise.Deterministic
+          |> with_admission_ms 10.
+          |> with_client_latency ~base_ms:5. ~jitter_ms:10.)
+    in
+    let _ =
+      List.init 8 (fun i -> Network.connect ~seed:(Printf.sprintf "c%d" i) net)
+    in
+    List.map
+      (fun r -> (r.Network.admitted, r.Network.late))
+      (Network.run_rounds net 5)
+  in
+  let first = run_once () in
+  let second = run_once () in
+  Alcotest.(check (list (pair int int)))
+    "same admission outcome on replay" first second;
+  Alcotest.(check bool) "window actually excludes someone" true
+    (List.exists (fun (_, late) -> late > 0) first);
+  Alcotest.(check bool) "window actually admits someone" true
+    (List.exists (fun (admitted, _) -> admitted > 0) first)
 
 let suite =
   ( fst suite,
@@ -389,4 +499,10 @@ let suite =
           test_deployment_determinism;
         Alcotest.test_case "round report format (pinned)" `Quick
           test_round_report_format;
+        Alcotest.test_case "late client requeued, not lost" `Quick
+          test_late_client_requeued_not_lost;
+        Alcotest.test_case "late dialing requeued" `Quick
+          test_late_dialing_requeued;
+        Alcotest.test_case "admission window deterministic" `Quick
+          test_admission_window_deterministic;
       ] )

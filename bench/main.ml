@@ -650,7 +650,8 @@ let crypto_bench () =
     T.Json.Obj
       [
         ("benchmark", T.Json.Str "crypto");
-        ("host_cores", T.Json.Num (float_of_int (Pool.default_jobs ())));
+        ("schema", T.Json.Num 1.);
+        ("host_cores", T.Json.Num (float_of_int (Vuvuzela_parallel.Pool.default_jobs ())));
         ( "x25519",
           T.Json.Obj
             [
@@ -1050,6 +1051,8 @@ let transport_bench () =
       T.Json.Obj
         [
           ("benchmark", T.Json.Str "transport");
+          ("schema", T.Json.Num 1.);
+          ("host_cores", T.Json.Num (float_of_int (Vuvuzela_parallel.Pool.default_jobs ())));
           ("servers", T.Json.Num 3.);
           ("clients", T.Json.Num (float_of_int n_clients));
           ("rounds_per_config", T.Json.Num (float_of_int rounds));
@@ -1315,6 +1318,8 @@ let churn_bench () =
       T.Json.Obj
         [
           ("benchmark", T.Json.Str "churn");
+          ("schema", T.Json.Num 1.);
+          ("host_cores", T.Json.Num (float_of_int (Vuvuzela_parallel.Pool.default_jobs ())));
           ("servers", T.Json.Num 3.);
           ("clients", T.Json.Num (float_of_int n_clients));
           ("rounds_per_config", T.Json.Num (float_of_int rounds));

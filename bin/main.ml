@@ -20,13 +20,16 @@ let write_file path s =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
 
 let demo users rounds mu seed jobs pipeline fault_plan round_deadline_ms
-    max_retries admission_ms client_latency metrics_out trace_out budget_warn =
+    max_retries admission_ms client_latency metrics_out trace_out budget_warn
+    obs_dir =
   let noise = Laplace.params ~mu ~b:(Float.max 1. (mu /. 21.7)) in
   (* Any observability flag turns the sink on; without one the nil sink
      keeps the demo on the exact zero-cost path the tests pin. *)
   let telemetry =
-    if metrics_out <> None || trace_out <> None || budget_warn <> None then
-      Some (Vuvuzela_telemetry.Telemetry.create ())
+    if
+      metrics_out <> None || trace_out <> None || budget_warn <> None
+      || obs_dir <> None
+    then Some (Vuvuzela_telemetry.Telemetry.create ())
     else None
   in
   let opt f v cfg = match v with None -> cfg | Some v -> f v cfg in
@@ -44,6 +47,7 @@ let demo users rounds mu seed jobs pipeline fault_plan round_deadline_ms
         |> opt with_budget_warn budget_warn
         |> opt with_round_deadline_ms round_deadline_ms
         |> opt with_admission_ms admission_ms
+        |> opt with_obs_dir obs_dir
         |> fun cfg ->
         (* An admission window needs arrival times; default the latency
            model when only the window was given so the flag is visible. *)
@@ -136,6 +140,9 @@ let demo users rounds mu seed jobs pipeline fault_plan round_deadline_ms
         (T.Telemetry.ledger tel))
     telemetry;
   Network.shutdown net;
+  Option.iter
+    (fun dir -> Printf.printf "observability written to %s\n" dir)
+    obs_dir;
   0
 
 let demo_cmd =
@@ -280,12 +287,22 @@ let demo_cmd =
              composition over attempted rounds) and warn when ε' crosses \
              EPS.  Also enables the budget gauges in --metrics-out.")
   in
+  let obs_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "obs-dir" ] ~docv:"DIR"
+          ~doc:
+            "Collect observability into DIR: a per-round JSONL event \
+             log while running, plus the trace, metrics and a \
+             human-readable round digest on exit (re-render it any time \
+             with $(b,vuvuzela inspect DIR)).")
+  in
   Cmd.v
     (Cmd.info "demo" ~doc:"run an in-process Vuvuzela deployment")
     Term.(
       const demo $ users $ rounds $ mu $ seed $ jobs $ pipeline $ fault_plan
       $ round_deadline_ms $ max_retries $ admission_ms $ client_latency
-      $ metrics_out $ trace_out $ budget_warn)
+      $ metrics_out $ trace_out $ budget_warn $ obs_dir)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -571,6 +588,36 @@ let baselines_cmd =
     (Cmd.info "baselines" ~doc:"compare against O(n^2) prior systems (§1/§10)")
     Term.(const baselines $ budget)
 
+(* ------------------------------------------------------------------ *)
+(* inspect                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let inspect dir =
+  match Obs.render_digest ~dir with
+  | Ok digest ->
+      print_string digest;
+      `Ok 0
+  | Error e -> `Error (false, e)
+
+let inspect_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR"
+          ~doc:
+            "An observability directory written by a deployment's \
+             $(b,--obs-dir) mode.")
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "render the per-round digest of an --obs-dir collection: one \
+          line per round, hop-by-hop latency waterfalls from the merged \
+          cross-process trace, the abort/late timeline, and the \
+          cumulative privacy spend")
+    Term.(ret (const inspect $ dir))
+
 let () =
   let doc = "Vuvuzela: scalable private messaging (SOSP 2015) in OCaml" in
   exit
@@ -578,5 +625,5 @@ let () =
        (Cmd.group (Cmd.info "vuvuzela" ~doc)
           [
             demo_cmd; analyze_cmd; simulate_cmd; attack_cmd; figures_cmd;
-            keygen_cmd; cert_cmd; baselines_cmd;
+            keygen_cmd; cert_cmd; baselines_cmd; inspect_cmd;
           ]))

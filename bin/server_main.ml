@@ -44,7 +44,7 @@ let link_conv =
 
 let run listen next index chain_len seed mu b dial_mu dial_b det_noise
     certified jobs pipeline pipeline_chunk fault_plan link_latency link_jitter
-    link_bw flap_grace_ms quiet =
+    link_bw flap_grace_ms metrics_listen trace_out quiet =
   let log =
     if quiet then fun _ -> ()
     else fun msg -> Printf.eprintf "[vuvuzela-server %d] %s\n%!" index msg
@@ -86,6 +86,8 @@ let run listen next index chain_len seed mu b dial_mu dial_b det_noise
       fault_plan;
       link;
       flap_grace_ms;
+      metrics_listen;
+      trace_out;
     }
   in
   match Daemon.run ~log cfg with
@@ -214,6 +216,27 @@ let cmd =
             "How long a lost downstream link may stay down mid-round \
              before the round is abandoned; 0 aborts on the first drop.")
   in
+  let metrics_listen =
+    Arg.(
+      value
+      & opt (some addr_conv) None
+      & info [ "metrics-listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Serve scrape endpoints on this address: $(b,/metrics) \
+             (Prometheus text), $(b,/healthz) (JSON liveness: chain \
+             position, peer connectivity, round progress, uptime), and \
+             $(b,/trace) (the span trace as JSONL). Served from the \
+             daemon's own event loop; scrapes never block a round.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write this server's span trace (JSONL) here on shutdown, \
+             ready for the coordinator's cross-process merge.")
+  in
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No stderr log.") in
   Cmd.v
     (Cmd.info "vuvuzela-server" ~version:"0.1.0"
@@ -223,6 +246,6 @@ let cmd =
         (const run $ listen $ next $ index $ chain_len $ seed $ mu $ b
        $ dial_mu $ dial_b $ det_noise $ certified $ jobs $ pipeline
        $ pipeline_chunk $ fault_plan $ link_latency $ link_jitter $ link_bw
-       $ flap_grace_ms $ quiet))
+       $ flap_grace_ms $ metrics_listen $ trace_out $ quiet))
 
 let () = exit (Cmd.eval cmd)

@@ -24,6 +24,8 @@ type t = {
   client_latency : (float * float) option;
   flap_grace_ms : float;
   link : Vuvuzela_transport.Shaper.config option;
+  obs_dir : string option;
+  obs_scrape : (int * Unix.sockaddr) list;
 }
 
 let default =
@@ -49,6 +51,8 @@ let default =
     client_latency = None;
     flap_grace_ms = 2000.;
     link = None;
+    obs_dir = None;
+    obs_scrape = [];
   }
 
 let with_seed seed t = { t with seed = Some seed }
@@ -74,3 +78,5 @@ let with_client_latency ~base_ms ~jitter_ms t =
   { t with client_latency = Some (base_ms, jitter_ms) }
 let with_flap_grace_ms flap_grace_ms t = { t with flap_grace_ms }
 let with_link link t = { t with link = Some link }
+let with_obs_dir dir t = { t with obs_dir = Some dir }
+let with_obs_scrape targets t = { t with obs_scrape = targets }

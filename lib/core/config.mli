@@ -52,6 +52,17 @@ type t = {
   link : Vuvuzela_transport.Shaper.config option;
       (** emulated WAN characteristics of every chain link; also widens
           the effective round deadline by the links' RTT budget *)
+  obs_dir : string option;
+      (** observability collection directory (the [--obs-dir] mode):
+          {!Network} appends one JSONL event per round, and shutdown
+          writes the coordinator trace/metrics, scrapes the daemons
+          named in [obs_scrape], merges the traces, and renders a
+          per-round digest.  See {!Obs}.  Requires [telemetry] for
+          traces; the event log works without it. *)
+  obs_scrape : (int * Unix.sockaddr) list;
+      (** [(server index, metrics address)] scrape targets — each
+          daemon's [--metrics-listen] address — collected into [obs_dir]
+          at shutdown *)
 }
 
 val default : t
@@ -87,3 +98,5 @@ val with_client_latency : base_ms:float -> jitter_ms:float -> t -> t
 
 val with_flap_grace_ms : float -> t -> t
 val with_link : Vuvuzela_transport.Shaper.config -> t -> t
+val with_obs_dir : string -> t -> t
+val with_obs_scrape : (int * Unix.sockaddr) list -> t -> t

@@ -10,7 +10,12 @@ module Transport = Vuvuzela_transport.Transport
 module Conn = Vuvuzela_transport.Conn
 module Evloop = Vuvuzela_transport.Evloop
 module Shaper = Vuvuzela_transport.Shaper
+module Httpd = Vuvuzela_transport.Httpd
 module Fault = Vuvuzela_faults.Fault
+module Telemetry = Vuvuzela_telemetry.Telemetry
+module Trace = Vuvuzela_telemetry.Trace
+module Metrics = Vuvuzela_telemetry.Metrics
+module Json = Vuvuzela_telemetry.Json
 
 type config = {
   listen : Unix.sockaddr;
@@ -33,6 +38,12 @@ type config = {
   flap_grace_ms : float;
       (** how long a lost downstream link may stay down mid-round before
           the round is abandoned with a [Status] *)
+  metrics_listen : Unix.sockaddr option;
+      (** mount the scrape endpoints ([/metrics], [/healthz], [/trace])
+          on this address; a telemetry sink is created if none is
+          supplied *)
+  trace_out : string option;
+      (** write this daemon's span trace (JSONL) here on shutdown *)
 }
 
 (* The ingress state of one pipelined round: parts are peeled into the
@@ -57,6 +68,8 @@ type st = {
   cfg : config;
   tp : Transport.t;
   log : string -> unit;
+  tel : Telemetry.t option;
+  started_ms : float;
   faults : Fault.injector option;
   mutable server : Server.t option;
   mutable suffix : bytes list;  (** downstream public keys, chain order *)
@@ -75,6 +88,14 @@ type st = {
           (after the Chain_info reply) when the peer reconnects — a
           round survives an upstream flap instead of silently losing its
           results *)
+  mutable ctx : Trace.context option;
+      (** trace context announced by the upstream peer for the next
+          batch; consumed when the hop span opens *)
+  mutable hop : (Trace.span * (float * int)) option;
+      (** the open per-round hop span, with the (shaped delay, outage
+          count) transport-stats snapshot taken when it opened *)
+  mutable last_round : int;
+  mutable hops_done : int;
   mutable stop : bool;
 }
 
@@ -85,20 +106,26 @@ let is_last st = st.cfg.next = None
    oldest round first. *)
 let outbox_cap = 128
 
+let outbox_gauge st =
+  Telemetry.set_gauge st.tel "vuvuzela_daemon_outbox_depth"
+    (float_of_int (Queue.length st.outbox))
+
 let send_upstream st msg =
-  match st.upstream with
+  (match st.upstream with
   | Some up when Conn.state up <> Conn.Closed -> Conn.send up (Rpc.encode msg)
   | _ ->
       if Queue.length st.outbox >= outbox_cap then ignore (Queue.pop st.outbox);
-      Queue.push (Rpc.encode msg) st.outbox
+      Queue.push (Rpc.encode msg) st.outbox);
+  outbox_gauge st
 
 let flush_outbox st =
-  match st.upstream with
+  (match st.upstream with
   | Some up when Conn.state up <> Conn.Closed ->
       while not (Queue.is_empty st.outbox) do
         Conn.send up (Queue.pop st.outbox)
       done
-  | _ -> ()
+  | _ -> ());
+  outbox_gauge st
 
 let send_downstream st msg =
   match st.downstream with
@@ -108,11 +135,83 @@ let send_downstream st msg =
 let status st ~round ~stage detail =
   { Rpc.round; server = st.cfg.index; stage; detail }
 
+(* ------------------------------------------------------------------ *)
+(* Hop spans (distributed tracing)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One span per (round, daemon) covering everything between batch
+   arrival and the last frame owed for it; the upstream [Trace_ctx] (if
+   any) becomes its remote parent, and the [Server] stage spans nest
+   under it via the tracer's open stack.  WAN-emulation waits are
+   recorded as annotations, not latency: the shaped delay and flap
+   outages accumulated while the hop was open mirror PR 3's
+   virtual-delay exclusion rule on the daemon side. *)
+
+let close_hop st =
+  match st.hop with
+  | None -> ()
+  | Some (span, (shaped0, outages0)) ->
+      st.hop <- None;
+      (match st.tel with
+      | None -> ()
+      | Some tel ->
+          let s = Transport.stats st.tp in
+          let shaped = s.Conn.shaped_delay_ms -. shaped0 in
+          if shaped > 0. then
+            span.Trace.annotations <-
+              ("shaper.delay_ms", Printf.sprintf "%.3f" shaped)
+              :: span.Trace.annotations;
+          if s.Conn.outages > outages0 then begin
+            span.Trace.annotations <-
+              ("flap.outages", string_of_int (s.Conn.outages - outages0))
+              :: span.Trace.annotations;
+            span.Trace.annotations <-
+              ("flap.wait_ms", Printf.sprintf "%.3f" s.Conn.last_outage_ms)
+              :: span.Trace.annotations
+          end;
+          Trace.end_span (Telemetry.trace tel) span;
+          st.hops_done <- st.hops_done + 1;
+          Telemetry.add_counter st.tel "vuvuzela_daemon_hops_total";
+          Transport.publish st.tp)
+
+let open_hop st ~round ~dialing =
+  st.last_round <- round;
+  match st.tel with
+  | None -> st.ctx <- None
+  | Some tel ->
+      close_hop st;
+      let span =
+        Trace.begin_remote_span (Telemetry.trace tel) ~name:"hop" ~round
+          ~server:st.cfg.index ~dialing ?remote:st.ctx ()
+      in
+      st.ctx <- None;
+      let s = Transport.stats st.tp in
+      st.hop <- Some (span, (s.Conn.shaped_delay_ms, s.Conn.outages))
+
 (* Forward a processed batch to the next hop — as one frame, or as
    streamed parts when this daemon pipelines, so the next server starts
    peeling while we are still queueing the rest. *)
 let forward_downstream st ~round ~dialing ~m onions =
   st.inflight <- Some (round, dialing);
+  (* Re-stamp the trace context per hop: downstream parents into our
+     hop span (transitively into the coordinator's round root).  With
+     tracing off, the upstream context passes through unchanged so the
+     hops beyond us still link up. *)
+  (match st.tel, st.hop with
+  | Some tel, Some (span, _) ->
+      send_downstream st
+        (Rpc.Trace_ctx
+           {
+             ctx =
+               Trace.encode_context
+                 (Trace.context_of (Telemetry.trace tel) span);
+           })
+  | _ -> (
+      match st.ctx with
+      | Some c ->
+          st.ctx <- None;
+          send_downstream st (Rpc.Trace_ctx { ctx = Trace.encode_context c })
+      | None -> ()));
   match st.cfg.pipeline_chunk with
   | None ->
       if dialing then send_downstream st (Rpc.Dial_batch { round; m; onions })
@@ -259,7 +358,8 @@ let handle_part st server ~raw msg =
   let stage = if dialing then "dial-batch" else "conv-batch" in
   let fail detail =
     st.stream <- None;
-    send_upstream st (Rpc.Status (status st ~round ~stage detail))
+    send_upstream st (Rpc.Status (status st ~round ~stage detail));
+    close_hop st
   in
   let feed ps ~last onions =
     let len = Array.length onions in
@@ -291,7 +391,8 @@ let handle_part st server ~raw msg =
           | `Reply replies ->
               send_upstream st
                 (if dialing then Rpc.Dial_results { round; replies }
-                 else Rpc.Conv_results { round; replies })
+                 else Rpc.Conv_results { round; replies });
+              close_hop st
           | `Forward onions ->
               forward_downstream st ~round ~dialing ~m:ps.ps_m onions
           | exception e -> fail (Printexc.to_string e)
@@ -305,6 +406,7 @@ let handle_part st server ~raw msg =
       st.stream <- None
   | _ -> ());
   if seq = 0 then begin
+    open_hop st ~round ~dialing;
     let ps =
       {
         ps_round = round;
@@ -321,10 +423,13 @@ let handle_part st server ~raw msg =
     in
     st.stream <- Some ps;
     match inject st ~round raw msg with
-    | None -> ps.ps_poisoned <- true (* the whole batch never arrives *)
+    | None ->
+        ps.ps_poisoned <- true (* the whole batch never arrives *);
+        close_hop st
     | Some (Error e, _) ->
         ps.ps_poisoned <- true;
-        send_upstream st (Rpc.Status (status st ~round ~stage e))
+        send_upstream st (Rpc.Status (status st ~round ~stage e));
+        close_hop st
     | Some (Ok msg, tampers) ->
         ps.ps_tampers <- tampers;
         (* A [Corrupt_frame] can re-decode to different content. *)
@@ -360,25 +465,32 @@ let handle_downstream st msg =
   | Rpc.Conv_results { round; replies } -> (
       finish round;
       match Server.conv_backward server ~round replies with
-      | replies -> send_upstream st (Rpc.Conv_results { round; replies })
+      | replies ->
+          send_upstream st (Rpc.Conv_results { round; replies });
+          close_hop st
       | exception e ->
           send_upstream st
             (Rpc.Status
                (status st ~round ~stage:"conv-results"
-                  (Printexc.to_string e))))
+                  (Printexc.to_string e)));
+          close_hop st)
   | Rpc.Dial_results { round; replies } -> (
       finish round;
       match Server.dial_backward server ~round replies with
-      | replies -> send_upstream st (Rpc.Dial_results { round; replies })
+      | replies ->
+          send_upstream st (Rpc.Dial_results { round; replies });
+          close_hop st
       | exception e ->
           send_upstream st
             (Rpc.Status
                (status st ~round ~stage:"dial-results"
-                  (Printexc.to_string e))))
+                  (Printexc.to_string e)));
+          close_hop st)
   | Rpc.Drop_contents _ as m -> send_upstream st m
   | Rpc.Status s ->
       finish s.Rpc.round;
-      send_upstream st (Rpc.Status s)
+      send_upstream st (Rpc.Status s);
+      close_hop st
   | _ -> ()
 
 let handle_upstream st raw =
@@ -396,10 +508,16 @@ let handle_upstream st raw =
              still complete. *)
           flush_outbox st
       | None -> st.hello_pending <- true)
+  | Ok (Rpc.Trace_ctx { ctx }) ->
+      (* Tolerated-if-absent, ignored-if-malformed: a poisoned blob
+         decodes to [None] and costs only the parent link. *)
+      st.ctx <- Trace.decode_context ctx
   | Ok (Rpc.Bye) ->
+      close_hop st;
       send_downstream st Rpc.Bye;
       st.stop <- true
   | Ok (Rpc.Abort { round; dialing }) -> (
+      close_hop st;
       (match st.inflight with
       | Some (r, d) when r = round && d = dialing -> st.inflight <- None
       | _ -> ());
@@ -444,14 +562,16 @@ let handle_upstream st raw =
                   else `Forward (Server.conv_forward server ~round onions)
                 with
                 | `Reply replies ->
-                    send_upstream st (Rpc.Conv_results { round; replies })
+                    send_upstream st (Rpc.Conv_results { round; replies });
+                    close_hop st
                 | `Forward onions ->
                     forward_downstream st ~round ~dialing:false ~m:0 onions
                 | exception e ->
                     send_upstream st
                       (Rpc.Status
                          (status st ~round ~stage:"conv-batch"
-                            (Printexc.to_string e))))
+                            (Printexc.to_string e)));
+                    close_hop st)
             | Rpc.Dial_batch { round; m; onions } -> (
                 match
                   if is_last st then
@@ -459,14 +579,16 @@ let handle_upstream st raw =
                   else `Forward (Server.dial_forward server ~round ~m onions)
                 with
                 | `Reply replies ->
-                    send_upstream st (Rpc.Dial_results { round; replies })
+                    send_upstream st (Rpc.Dial_results { round; replies });
+                    close_hop st
                 | `Forward onions ->
                     forward_downstream st ~round ~dialing:true ~m onions
                 | exception e ->
                     send_upstream st
                       (Rpc.Status
                          (status st ~round ~stage:"dial-batch"
-                            (Printexc.to_string e))))
+                            (Printexc.to_string e)));
+                    close_hop st)
             | Rpc.Fetch_drop { dial_round; index } -> (
                 if is_last st then
                   match
@@ -490,15 +612,17 @@ let handle_upstream st raw =
               let dialing =
                 match msg with Rpc.Dial_batch _ -> true | _ -> false
               in
+              open_hop st ~round ~dialing;
               match inject st ~round raw msg with
-              | None -> () (* dropped or crashed: nobody replies *)
+              | None -> close_hop st (* dropped or crashed: nobody replies *)
               | Some (Error e, _) ->
                   (* a frame fault made the batch undecodable *)
                   send_upstream st
                     (Rpc.Status
                        (status st ~round
                           ~stage:(if dialing then "dial-batch" else "conv-batch")
-                          e))
+                          e));
+                  close_hop st
               | Some (Ok msg, tampers) ->
                   let msg =
                     List.fold_left
@@ -530,12 +654,24 @@ let run ?telemetry ?(log = fun _ -> ()) ?on_ready cfg =
   else if (cfg.next = None) <> (cfg.index = cfg.chain_len - 1) then
     Error "daemon: exactly the last server runs without --next"
   else begin
+    (* Scrape endpoints imply a sink: a daemon asked to expose /metrics
+       self-instruments even when the embedder passed none.  Origin
+       [index + 1] is the merge convention (0 is the coordinator). *)
+    let telemetry =
+      match telemetry with
+      | Some _ -> telemetry
+      | None when cfg.metrics_listen <> None || cfg.trace_out <> None ->
+          Some (Telemetry.create ~origin:(cfg.index + 1) ())
+      | None -> None
+    in
     let tp = Transport.create ?telemetry () in
     let st =
       {
         cfg;
         tp;
         log;
+        tel = telemetry;
+        started_ms = Unix.gettimeofday () *. 1000.;
         faults = Option.map Fault.injector cfg.fault_plan;
         server = None;
         suffix = [];
@@ -545,6 +681,10 @@ let run ?telemetry ?(log = fun _ -> ()) ?on_ready cfg =
         inflight = None;
         stream = None;
         outbox = Queue.create ();
+        ctx = None;
+        hop = None;
+        last_round = 0;
+        hops_done = 0;
         stop = false;
       }
     in
@@ -577,7 +717,67 @@ let run ?telemetry ?(log = fun _ -> ()) ?on_ready cfg =
     in
     match listener with
     | Error e -> Error e
-    | Ok _listener ->
+    | Ok _listener -> (
+        (* /healthz is rendered per request, so it always reflects live
+           state: chain position, peer liveness, round progress. *)
+        let healthz () =
+          let connected = function
+            | Some c -> Conn.state c <> Conn.Closed
+            | None -> false
+          in
+          Json.to_string
+            (Json.Obj
+               [
+                 ( "status",
+                   Json.Str (if st.server <> None then "ok" else "starting") );
+                 ("index", Json.Num (float_of_int cfg.index));
+                 ("chain_len", Json.Num (float_of_int cfg.chain_len));
+                 ("last", Json.Bool (is_last st));
+                 ("round", Json.Num (float_of_int st.last_round));
+                 ("hops_done", Json.Num (float_of_int st.hops_done));
+                 ("upstream_connected", Json.Bool (connected st.upstream));
+                 ("downstream_connected", Json.Bool (connected st.downstream));
+                 ("outbox_depth", Json.Num (float_of_int (Queue.length st.outbox)));
+                 ( "uptime_ms",
+                   Json.Num ((Unix.gettimeofday () *. 1000.) -. st.started_ms) );
+               ])
+          ^ "\n"
+        in
+        let routes path =
+          match (path, st.tel) with
+          | "/healthz", _ -> Some ("application/json", healthz ())
+          | "/metrics", Some tel ->
+              (* Refresh the liveness gauges at scrape time so the
+                 exposition is never empty: a freshly started daemon
+                 already reports uptime, position, and queue depth. *)
+              Telemetry.set_gauge st.tel "vuvuzela_daemon_uptime_ms"
+                ((Unix.gettimeofday () *. 1000.) -. st.started_ms);
+              Telemetry.set_gauge st.tel "vuvuzela_daemon_chain_index"
+                (float_of_int cfg.index);
+              Telemetry.set_gauge st.tel "vuvuzela_daemon_outbox_depth"
+                (float_of_int (Queue.length st.outbox));
+              Telemetry.set_gauge st.tel "vuvuzela_daemon_round"
+                (float_of_int st.last_round);
+              Some
+                ( "text/plain; version=0.0.4",
+                  Metrics.to_prometheus (Telemetry.metrics tel) )
+          | "/trace", Some tel ->
+              Some ("application/jsonl", Trace.to_jsonl (Telemetry.trace tel))
+          | _ -> None
+        in
+        let httpd =
+          match cfg.metrics_listen with
+          | None -> Ok None
+          | Some addr -> (
+              match Httpd.serve (Transport.loop tp) ~addr ~routes with
+              | Ok h ->
+                  st.log (Printf.sprintf "scrape endpoints on port %d" (Httpd.port h));
+                  Ok (Some h)
+              | Error e -> Error e)
+        in
+        match httpd with
+        | Error e -> Error e
+        | Ok httpd ->
         (match cfg.next with
         | None ->
             ensure_server ?telemetry ?on_ready st (* last server: no suffix *)
@@ -659,8 +859,16 @@ let run ?telemetry ?(log = fun _ -> ()) ?on_ready cfg =
         for _ = 1 to 10 do
           Transport.run_once ~max_wait_ms:5. tp
         done;
+        close_hop st;
+        (match (cfg.trace_out, st.tel) with
+        | Some path, Some tel ->
+            let oc = open_out path in
+            output_string oc (Trace.to_jsonl (Telemetry.trace tel));
+            close_out oc
+        | _ -> ());
+        Option.iter (fun h -> Httpd.close h) httpd;
         Option.iter Conn.close st.downstream;
         Option.iter Conn.close st.upstream;
         Option.iter Server.shutdown st.server;
-        Ok ()
+        Ok ())
   end

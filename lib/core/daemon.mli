@@ -58,6 +58,19 @@ type config = {
       (** grace for a lost downstream link to heal before the in-flight
           round is abandoned with a [Status]; [0.] restores the old
           abort-on-drop behaviour *)
+  metrics_listen : Unix.sockaddr option;
+      (** mount the scrape endpoints on this address (the
+          [--metrics-listen] flag): [/metrics] is the daemon's own
+          registry in Prometheus text format, [/healthz] a JSON liveness
+          document (chain position, peer connectivity, round progress,
+          uptime), [/trace] the span trace as JSONL for the
+          coordinator's merge.  Served from the daemon's own select
+          loop; requests never block the round pipeline.  When set (or
+          when [trace_out] is), a telemetry sink with merge origin
+          [index + 1] is created if the embedder passed none. *)
+  trace_out : string option;
+      (** write the daemon's span trace (JSONL, one span per line) to
+          this path on shutdown *)
 }
 
 val run :

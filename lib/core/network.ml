@@ -25,6 +25,7 @@
 
 open Vuvuzela_dp
 module Telemetry = Vuvuzela_telemetry.Telemetry
+module Trace = Vuvuzela_telemetry.Trace
 module Ledger = Vuvuzela_telemetry.Ledger
 module Drbg = Vuvuzela_crypto.Drbg
 module Shaper = Vuvuzela_transport.Shaper
@@ -74,6 +75,9 @@ type t = {
   last_fetched : (bytes, int) Hashtbl.t;
       (** per client: the newest dialing round whose drops it has
           downloaded (or predates) *)
+  obs : Obs.t option;
+      (** the [--obs-dir] collector: one event per round, scrape +
+          trace merge + digest at shutdown *)
 }
 
 (* The privacy-budget ledger composes the deployment's actual per-round
@@ -87,6 +91,19 @@ let admission_rng_of (cfg : Config.t) =
   match cfg.seed with
   | Some s -> Drbg.of_string (s ^ "-admission")
   | None -> Drbg.create_system ()
+
+(* The observability collector is best-effort infrastructure: a
+   directory that cannot be created costs the collection, not the
+   deployment. *)
+let obs_of (cfg : Config.t) =
+  match cfg.obs_dir with
+  | None -> None
+  | Some dir -> (
+      match Obs.create ~dir ~scrape:cfg.obs_scrape () with
+      | Ok obs -> Some obs
+      | Error e ->
+          Printf.eprintf "[vuvuzela] %s (observability disabled)\n%!" e;
+          None)
 
 let install_ledger (cfg : Config.t) =
   Option.iter
@@ -129,6 +146,7 @@ let of_config (cfg : Config.t) =
     max_retries = max 0 cfg.max_retries;
     m_history = [];
     last_fetched = Hashtbl.create 64;
+    obs = obs_of cfg;
   }
 
 let create ?seed ?(n_servers = 3)
@@ -207,6 +225,7 @@ let of_config_tcp (cfg : Config.t) ~addr =
           max_retries = max 0 cfg.max_retries;
           m_history = [];
           last_fetched = Hashtbl.create 64;
+          obs = obs_of cfg;
         }
 
 let create_tcp ?(noise = Laplace.params ~mu:10. ~b:2.)
@@ -241,6 +260,9 @@ let jobs t =
   match t.backend with Local c -> Chain.jobs c | Tcp _ -> 1
 
 let shutdown t =
+  (* Finalize observability first: the scrape needs the daemons still
+     answering, so it must precede the Bye cascade. *)
+  Option.iter (fun obs -> Obs.finalize ?telemetry:t.tel obs) t.obs;
   match t.backend with
   | Local c -> Chain.shutdown c
   | Tcp r -> Remote.shutdown r
@@ -267,19 +289,40 @@ let effective_deadline_ms t =
         | Some link -> d +. Shaper.rtt_budget_ms link ~hops:(chain_length t)
         | None -> d)
 
+(* The TCP counterpart of the chain's per-round root span
+   ([conv-round] / [dial-round], opened inside {!Chain} in-process):
+   the remote chain cannot open one in this process, so the coordinator
+   wraps the round trip itself and announces the span's wire context to
+   the first hop ahead of the batch — at merge time every daemon hop
+   span parents transitively into this root. *)
+let round_root t r ~name ~round ~dialing f =
+  match t.tel with
+  | None -> f ()
+  | Some tel ->
+      let tr = Telemetry.trace tel in
+      let span = Trace.begin_span tr ~name ~round ~dialing () in
+      Remote.set_trace_ctx r (Some (Trace.context_of tr span));
+      Fun.protect
+        ~finally:(fun () ->
+          Remote.set_trace_ctx r None;
+          Trace.end_span tr span)
+        f
+
 let chain_conversation_round t ~round requests =
   match t.backend with
   | Local c -> Chain.conversation_round c ~round requests
   | Tcp r ->
       Remote.set_deadline_ms r (effective_deadline_ms t);
-      Remote.conversation_round r ~round requests
+      round_root t r ~name:"conv-round" ~round ~dialing:false (fun () ->
+          Remote.conversation_round r ~round requests)
 
 let chain_dialing_round t ~round ~m requests =
   match t.backend with
   | Local c -> Chain.dialing_round c ~round ~m requests
   | Tcp r ->
       Remote.set_deadline_ms r (effective_deadline_ms t);
-      Remote.dialing_round r ~round ~m requests
+      round_root t r ~name:"dial-round" ~round ~dialing:true (fun () ->
+          Remote.dialing_round r ~round ~m requests)
 
 let chain_abort_round t ~round =
   match t.backend with
@@ -519,6 +562,29 @@ let observe_admission t ~dialing ~admitted ~late =
    retryable statuses).  The two kinds plug in their request builder,
    chain call, abort propagation, per-client requeue, and success
    handler; the supervisor proper exists exactly once. *)
+(* One observability event per completed round report (success or
+   failure), carrying the ledger's worst-case cumulative spend so the
+   event log doubles as the privacy-budget curve. *)
+let record_obs t (r : round_report) =
+  match t.obs with
+  | None -> ()
+  | Some obs ->
+      let budget =
+        Option.bind t.tel (fun tel ->
+            Option.map
+              (fun l ->
+                let g = Ledger.worst l in
+                (g.Mechanism.eps, g.Mechanism.delta))
+              (Telemetry.ledger tel))
+      in
+      Obs.record_round obs
+        ~kind:(if r.dialing then "dial" else "conv")
+        ~round:r.round ~attempts:r.attempts ~batch:r.batch_size
+        ~admitted:r.admitted ~late:r.late ~wire_bytes:r.wire_bytes
+        ~elapsed_ms:r.elapsed_ms ~acks:r.confirmed_acks
+        ~aborts:(List.map (Format.asprintf "%a" Rpc.pp_status) r.aborts)
+        ~failed:(r.failure <> None) ?budget ()
+
 let supervise t ~dialing ~late_pred ~participants ~next_round ~submit
     ~wire_bytes_of ~call ~abort ~requeue ~finish =
   let aborts = ref [] in
@@ -583,7 +649,9 @@ let supervise t ~dialing ~late_pred ~participants ~next_round ~submit
         let confirmed_acks, events = finish ~round ~ids results in
         report None ~confirmed_acks (events @ late_events)
   in
-  attempt 1
+  let r = attempt 1 in
+  record_obs t r;
+  r
 
 let run_conversation ?late ~participants (t : t) =
   supervise t ~dialing:false ~late_pred:late ~participants

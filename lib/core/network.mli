@@ -106,8 +106,10 @@ val jobs : t -> int
     daemons configure their own). *)
 
 val shutdown : t -> unit
-(** Join the chain's worker domains, if any, and mark the chain
-    finished: subsequent rounds fail with the typed
+(** Finalize the observability collector first, if one was configured
+    ({!Config.t.obs_dir}) — the daemon scrape must precede the Bye
+    cascade — then join the chain's worker domains, if any, and mark
+    the chain finished: subsequent rounds fail with the typed
     {!Rpc.chain_shutdown} status (never retried).  Idempotent. *)
 
 val round : t -> int

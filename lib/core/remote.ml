@@ -7,6 +7,7 @@
    it would be taken for the retry's results. *)
 
 module Transport = Vuvuzela_transport.Transport
+module Trace = Vuvuzela_telemetry.Trace
 
 type t = {
   tp : Transport.t;
@@ -21,6 +22,9 @@ type t = {
   mutable flap_grace_ms : float;
       (** on a mid-round drop, keep pumping this long for the healed
           link to re-deliver the reply (the daemon's outbox holds it) *)
+  mutable trace_ctx : Trace.context option;
+      (** announced to the first hop ahead of the next batch so its hop
+          span parents into the coordinator's round root *)
   mutable shut_down : bool;
 }
 
@@ -34,6 +38,7 @@ let set_flap_grace_ms t g = t.flap_grace_ms <- Float.max 0. g
 let flap_grace_ms t = t.flap_grace_ms
 let stats t = Transport.stats t.tp
 let is_shut_down t = t.shut_down
+let set_trace_ctx t c = t.trace_ctx <- c
 
 let connect ?telemetry ?(dial_kind = Dialing.Plain) ?deadline_ms
     ?(handshake_timeout_ms = 30_000.) ?backoff_seed ?link
@@ -62,6 +67,7 @@ let connect ?telemetry ?(dial_kind = Dialing.Plain) ?deadline_ms
               deadline_ms;
               pipeline = None;
               flap_grace_ms = Float.max 0. flap_grace_ms;
+              trace_ctx = None;
               shut_down = false;
             }
       | Ok _ | Error _ ->
@@ -85,6 +91,15 @@ let normalize ~expected requests =
    part frames at once; the transport's write path drains them in
    order while the first hop starts peeling the earliest parts. *)
 let exchange t ~round ~send_frames ~expect =
+  (* The trace context precedes the batch on the same ordered link, so
+     the first hop reads it before opening its hop span.  It is a pure
+     control frame: digests cover request/reply bytes only, so presence
+     or absence cannot perturb the transcript. *)
+  (match t.trace_ctx with
+  | Some c ->
+      Transport.send_batch t.client
+        (Rpc.encode (Rpc.Trace_ctx { ctx = Trace.encode_context c }))
+  | None -> ());
   List.iter (fun frame -> Transport.send_batch t.client frame) send_frames;
   let grace_ms = if t.flap_grace_ms > 0. then Some t.flap_grace_ms else None in
   let rec await () =

@@ -58,6 +58,13 @@ val set_flap_grace_ms : t -> float -> unit
 
 val flap_grace_ms : t -> float
 
+val set_trace_ctx : t -> Vuvuzela_telemetry.Trace.context option -> unit
+(** Announce this context to the first hop ahead of the next round's
+    batch (an [Rpc.Trace_ctx] control frame on the same ordered link),
+    so daemon hop spans parent into the coordinator's round root.
+    [None] stops announcing.  Pure control plane: transcripts cover
+    request/reply bytes only, so this never perturbs a digest. *)
+
 val conversation_round :
   t -> round:int -> bytes array -> (bytes array, Rpc.status) result
 (** Same contract as {!Chain.conversation_round}, including the

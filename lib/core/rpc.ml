@@ -75,6 +75,13 @@ type message =
       last : bool;
       onions : bytes array;
     }  (** pipelined chunk of a [Dial_batch]; [m] repeats on every part *)
+  | Trace_ctx of { ctx : bytes }
+      (** observability control frame, sent immediately before a batch:
+          an opaque [Trace.context] blob naming the sender's open span so
+          the receiver's hop span can parent into it across the process
+          boundary.  Tolerated-if-absent, ignored-if-malformed: a peer
+          that never sends it, or sends garbage, costs nothing but the
+          cross-process parent link. *)
 
 let tag_of = function
   | Round_announce _ -> 1
@@ -92,6 +99,7 @@ let tag_of = function
   | Bye -> 13
   | Conv_batch_part _ -> 14
   | Dial_batch_part _ -> 15
+  | Trace_ctx _ -> 16
 
 (* Uniform-size batch: u32 count, u32 item length, then count items. *)
 let write_batch w (items : bytes array) =
@@ -179,7 +187,8 @@ let encode msg =
           Wire.Writer.u32 w m;
           Wire.Writer.u32 w seq;
           Wire.Writer.u8 w (if last then 1 else 0);
-          write_batch w onions)
+          write_batch w onions
+      | Trace_ctx { ctx } -> Wire.Writer.bytes_var w ctx)
 
 let read_seq r =
   let seq = Wire.Reader.u32 r in
@@ -256,6 +265,13 @@ let decode b =
           let seq = read_seq r in
           let last = Wire.Reader.u8 r <> 0 in
           Dial_batch_part { round; m; seq; last; onions = read_batch r }
+      | 16 ->
+          (* The blob is bounded but otherwise uninterpreted here;
+             [Trace.decode_context] decides whether it is usable. *)
+          let ctx = Wire.Reader.bytes_var r in
+          if Bytes.length ctx > 256 then
+            raise (Wire.Error "Rpc.decode: absurd trace context");
+          Trace_ctx { ctx }
       | t -> raise (Wire.Error (Printf.sprintf "Rpc.decode: unknown tag %d" t)))
     b
 
@@ -287,6 +303,7 @@ let equal_message a b =
   | Dial_batch_part x, Dial_batch_part y ->
       x.round = y.round && x.m = y.m && x.seq = y.seq && x.last = y.last
       && x.onions = y.onions
+  | Trace_ctx { ctx = c1 }, Trace_ctx { ctx = c2 } -> c1 = c2
   | _ -> false
 
 (* Split a logical batch into the contiguous slices the pipelined relay

@@ -57,6 +57,14 @@ type message =
       last : bool;
       onions : bytes array;
     }  (** pipelined chunk of a [Dial_batch]; [m] repeats on every part *)
+  | Trace_ctx of { ctx : bytes }
+      (** observability control frame (tag 16), sent immediately before
+          a batch: an opaque {!Vuvuzela_telemetry.Trace.context} blob
+          naming the sender's open span, so the receiver's hop span can
+          parent into it across the process boundary.  Backward
+          compatible by construction — peers that never send it lose
+          only the cross-process parent link, and a malformed blob is
+          ignored (never aborts a round). *)
 
 val encode : message -> bytes
 (** @raise Vuvuzela_mixnet.Wire.Error on ragged batches. *)

@@ -189,12 +189,27 @@ let fmt_value f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%g" f
 
+(* Prometheus exposition-format escaping for label values: backslash,
+   double quote, and newline only — OCaml's [%S] would also escape bytes
+   outside the printable range, which scrapers reject. *)
+let prom_escape v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
 let prom_labels labels =
   if labels = [] then ""
   else
     "{"
     ^ String.concat ","
-        (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v)) labels)
     ^ "}"
 
 let to_prometheus reg =

@@ -10,8 +10,12 @@ type t = {
   mutable ledger : Ledger.t option;
 }
 
-let create ?clock () =
-  { metrics = Metrics.create (); trace = Trace.create ?clock (); ledger = None }
+let create ?clock ?trace_id ?origin () =
+  {
+    metrics = Metrics.create ();
+    trace = Trace.create ?clock ?trace_id ?origin ();
+    ledger = None;
+  }
 
 let metrics t = t.metrics
 let trace t = t.trace

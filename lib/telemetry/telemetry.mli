@@ -11,9 +11,12 @@
 
 type t
 
-val create : ?clock:(unit -> float) -> unit -> t
+val create :
+  ?clock:(unit -> float) -> ?trace_id:int -> ?origin:int -> unit -> t
 (** [clock] is injected into the tracer (seconds; default
-    [Unix.gettimeofday]). *)
+    [Unix.gettimeofday]).  [trace_id] and [origin] identify this
+    process's tracer in a merged cross-process trace (see
+    {!Trace.create}). *)
 
 val metrics : t -> Metrics.registry
 val trace : t -> Trace.t

@@ -15,9 +15,17 @@
 
 type t
 
+type context = { trace : int; origin : int; span : int }
+(** A compact cross-process parent reference: the emitting tracer's
+    trace id and origin, plus the local id of the span to parent into.
+    Carried on the wire ([Rpc.Trace_ctx]) so daemon-side spans can link
+    into the coordinator's round root at merge time. *)
+
 type span = {
   id : int;
   parent : int option;
+  remote : context option;
+      (** parent span in another process, resolved by {!merge_jsonl} *)
   name : string;
   round : int;
   server : int;  (** chain position; [-1] for coordinator/client spans *)
@@ -28,15 +36,47 @@ type span = {
   mutable closed : bool;
 }
 
-val create : ?clock:(unit -> float) -> unit -> t
+val create : ?clock:(unit -> float) -> ?trace_id:int -> ?origin:int -> unit -> t
 (** [clock] returns seconds (monotonic enough for durations); defaults
-    to [Unix.gettimeofday]. *)
+    to [Unix.gettimeofday].  [trace_id] defaults to a fresh pid/time
+    derived value; [origin] identifies the process in a merged trace
+    (convention: 0 = coordinator, [i + 1] = chain server [i]). *)
+
+val trace_id : t -> int
+val origin : t -> int
 
 val begin_span :
   t -> name:string -> round:int -> ?server:int -> ?dialing:bool -> unit ->
   span
 (** Opens a span as a child of the innermost open span (if any) and
     makes it the innermost. *)
+
+val begin_remote_span :
+  t -> name:string -> round:int -> ?server:int -> ?dialing:bool ->
+  ?remote:context -> unit -> span
+(** Opens a span whose parent lives in another process: the local open
+    stack is ignored ([parent = None]) and [remote] — the context that
+    arrived on the wire, if any — is recorded for {!merge_jsonl} to
+    resolve.  The span still becomes the innermost open span, so local
+    stage spans nest under it as usual. *)
+
+val context_of : t -> span -> context
+(** The wire context that makes [span] the remote parent of spans opened
+    in another process.  If [span] was itself opened with
+    {!begin_remote_span} and a remote context, the context propagates
+    {e that} trace id — the one the coordinator minted — so re-stamped
+    contexts along a chain all name the root trace. *)
+
+(** {2 Wire codec} *)
+
+val context_len : int
+(** Encoded size in bytes (20). *)
+
+val encode_context : context -> bytes
+
+val decode_context : bytes -> context option
+(** Total: wrong length, negative ids, or an out-of-range origin decode
+    to [None] — a poisoned context never raises. *)
 
 val end_span : t -> span -> unit
 (** Closes the span (idempotent), recording its duration and popping it
@@ -64,12 +104,25 @@ val span_count : t -> int
 
 (** {2 Export} *)
 
-val span_to_json : span -> Json.t
+val span_to_json : ?origin:int -> ?trace:int -> span -> Json.t
+(** [origin]/[trace] stamp the process identity onto the line; when
+    present, a remote parent is emitted as a ["ctx"] sub-object. *)
 
 val to_jsonl : t -> string
 (** One span per line, in begin order:
     [{"id":…,"parent":…,"name":…,"round":…,"server":…,"dialing":…,
-      "start_ms":…,"dur_ms":…,"annotations":{…}}]. *)
+      "start_ms":…,"dur_ms":…,"annotations":{…},"origin":…,"trace":…}]
+    plus ["ctx":{"trace","origin","span"}] on remote-rooted spans. *)
+
+val merge_jsonl : (string * string) list -> (string, string) result
+(** [merge_jsonl [(label, jsonl); …]] merges per-process exports into
+    one trace.  The coordinator's export must come first (its trace id
+    anchors the merge).  Span ids are renumbered via an
+    [(origin, local id)] map, each ["ctx"] back-reference whose trace id
+    matches the root's becomes an ordinary ["parent"] link, and every
+    line gains a ["process"] label.  The result passes
+    {!validate_jsonl}: processes are emitted in the given order, so
+    resolved parents always precede their children. *)
 
 val flame_summary : t -> ((int * bool) * (string * float) list) list
 (** Per (round, dialing): total duration by stage name (coordinator

@@ -1,0 +1,214 @@
+(* A deliberately tiny HTTP/1.0 responder for the daemon scrape
+   endpoints (/metrics, /healthz, /trace).  It shares the daemon's
+   select loop — no threads, no buffering library — and speaks just
+   enough HTTP for curl and a Prometheus scraper: GET, Connection:
+   close, one response per connection.  Anything fancier (keep-alive,
+   chunking, POST) is out of scope by design; observability must not
+   grow an attack surface comparable to the protocol itself. *)
+
+let max_request = 8192
+
+type t = {
+  loop : Evloop.t;
+  lfd : Unix.file_descr;
+  port : int;
+  mutable conns : Unix.file_descr list;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable out : bytes;
+  mutable off : int;
+  mutable responding : bool;
+}
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+     Connection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let header_complete s = contains_sub s "\r\n\r\n" || contains_sub s "\n\n"
+
+(* The request line is all we interpret: "GET <path> HTTP/1.x". *)
+let handle routes raw =
+  let line =
+    match String.index_opt raw '\n' with
+    | Some i -> String.trim (String.sub raw 0 i)
+    | None -> String.trim raw
+  in
+  match String.split_on_char ' ' line with
+  | "GET" :: path :: _ -> (
+      match routes path with
+      | Some (content_type, body) ->
+          http_response ~status:"200 OK" ~content_type body
+      | None ->
+          http_response ~status:"404 Not Found" ~content_type:"text/plain"
+            "not found\n")
+  | _ :: _ :: _ ->
+      http_response ~status:"405 Method Not Allowed" ~content_type:"text/plain"
+        "method not allowed\n"
+  | _ ->
+      http_response ~status:"400 Bad Request" ~content_type:"text/plain"
+        "bad request\n"
+
+let teardown t c =
+  Evloop.remove_fd t.loop c.fd;
+  t.conns <- List.filter (fun fd -> fd <> c.fd) t.conns;
+  try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let register t ~routes fd =
+  (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+  let c = { fd; inbuf = Buffer.create 256; out = Bytes.empty; off = 0;
+            responding = false }
+  in
+  t.conns <- fd :: t.conns;
+  let on_readable () =
+    let b = Bytes.create 4096 in
+    match Unix.read c.fd b 0 4096 with
+    | 0 -> teardown t c
+    | n ->
+        Buffer.add_subbytes c.inbuf b 0 n;
+        if Buffer.length c.inbuf > max_request then teardown t c
+        else if (not c.responding) && header_complete (Buffer.contents c.inbuf)
+        then begin
+          c.responding <- true;
+          c.out <- Bytes.of_string (handle routes (Buffer.contents c.inbuf));
+          Evloop.want_write t.loop c.fd true
+        end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error _ -> teardown t c
+  in
+  let on_writable () =
+    if c.responding then
+      let len = Bytes.length c.out in
+      match Unix.write c.fd c.out c.off (len - c.off) with
+      | n ->
+          c.off <- c.off + n;
+          if c.off >= len then teardown t c
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception Unix.Unix_error _ -> teardown t c
+  in
+  Evloop.add_fd t.loop fd ~on_readable ~on_writable
+
+let serve loop ~addr ~routes =
+  match
+    let lfd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+       Unix.bind lfd addr;
+       Unix.listen lfd 8;
+       Unix.set_nonblock lfd
+     with e ->
+       (try Unix.close lfd with Unix.Unix_error _ -> ());
+       raise e);
+    let port =
+      match Unix.getsockname lfd with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> 0
+    in
+    let t = { loop; lfd; port; conns = [] } in
+    Evloop.add_fd loop lfd
+      ~on_readable:(fun () ->
+        match Unix.accept lfd with
+        | fd, _peer -> register t ~routes fd
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            ()
+        | exception Unix.Unix_error _ -> ())
+      ~on_writable:(fun () -> ());
+    t
+  with
+  | t -> Ok t
+  | exception Unix.Unix_error (err, fn, _) ->
+      Error
+        (Printf.sprintf "httpd %s: %s in %s" (Addr.to_string addr)
+           (Unix.error_message err) fn)
+
+let port t = t.port
+
+let close t =
+  Evloop.remove_fd t.loop t.lfd;
+  (try Unix.close t.lfd with Unix.Unix_error _ -> ());
+  List.iter
+    (fun fd ->
+      Evloop.remove_fd t.loop fd;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    t.conns;
+  t.conns <- []
+
+(* ------------------------------------------------------------------ *)
+(* Blocking client                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Used by the coordinator's observability collector and the tests; a
+   scrape is a synchronous one-shot GET with a socket-level timeout, so
+   a wedged daemon costs [timeout_ms], never a hang. *)
+let get ?(timeout_ms = 2000.) addr path =
+  match
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let secs = Float.max 0.01 (timeout_ms /. 1000.) in
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO secs;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO secs;
+        Unix.connect fd addr;
+        let req =
+          Printf.sprintf "GET %s HTTP/1.0\r\nHost: vuvuzela\r\n\r\n" path
+        in
+        ignore (Unix.write_substring fd req 0 (String.length req));
+        let buf = Buffer.create 1024 in
+        let b = Bytes.create 4096 in
+        let rec drain () =
+          match Unix.read fd b 0 4096 with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes buf b 0 n;
+              drain ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+        in
+        drain ();
+        Buffer.contents buf)
+  with
+  | raw -> (
+      let split_at sep =
+        let rec go i =
+          if i + String.length sep > String.length raw then None
+          else if String.sub raw i (String.length sep) = sep then
+            Some
+              ( String.sub raw 0 i,
+                String.sub raw
+                  (i + String.length sep)
+                  (String.length raw - i - String.length sep) )
+          else go (i + 1)
+        in
+        go 0
+      in
+      match
+        match split_at "\r\n\r\n" with Some _ as r -> r | None -> split_at "\n\n"
+      with
+      | None -> Error "malformed HTTP response (no header terminator)"
+      | Some (headers, body) -> (
+          let status_line =
+            match String.index_opt headers '\n' with
+            | Some i -> String.trim (String.sub headers 0 i)
+            | None -> String.trim headers
+          in
+          match String.split_on_char ' ' status_line with
+          | _http :: code :: _ -> (
+              match int_of_string_opt code with
+              | Some code -> Ok (code, body)
+              | None -> Error ("malformed status line: " ^ status_line))
+          | _ -> Error ("malformed status line: " ^ status_line)))
+  | exception Unix.Unix_error (err, fn, _) ->
+      Error (Printf.sprintf "GET %s: %s in %s" path (Unix.error_message err) fn)

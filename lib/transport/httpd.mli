@@ -1,0 +1,35 @@
+(** A minimal HTTP/1.0 responder mounted on an existing {!Evloop} —
+    the daemon scrape endpoints ([/metrics], [/healthz], [/trace]).
+
+    GET-only, one response per connection ([Connection: close]), request
+    size capped at 8 KiB; everything else is answered with 4xx.  All I/O
+    is non-blocking and shares the daemon's select loop, so serving a
+    scrape never stalls the round pipeline, and a scraper can observe a
+    daemon mid-round. *)
+
+type t
+
+val serve :
+  Evloop.t ->
+  addr:Unix.sockaddr ->
+  routes:(string -> (string * string) option) ->
+  (t, string) result
+(** [serve loop ~addr ~routes] binds and listens on [addr] (port 0 picks
+    an ephemeral port — read it back with {!port}).  [routes path]
+    returns [Some (content_type, body)] or [None] for 404; it is called
+    per request, so bodies always reflect live state. *)
+
+val port : t -> int
+
+val close : t -> unit
+(** Stop listening and drop any in-flight connections. *)
+
+val get :
+  ?timeout_ms:float ->
+  Unix.sockaddr ->
+  string ->
+  (int * string, string) result
+(** Blocking one-shot client: [get addr "/metrics"] returns
+    [(status code, body)].  Socket-level send/receive timeouts (default
+    2 s) bound the cost of scraping a wedged peer.  Used by the
+    coordinator's observability collector and the tests. *)

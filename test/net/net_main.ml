@@ -72,7 +72,7 @@ let free_port () =
 let chain_len = 3
 
 let daemon_cfg ~seed ~ports ~index ?fault_plan ?pipeline_chunk ?link
-    ?(flap_grace_ms = 2000.) () =
+    ?(flap_grace_ms = 2000.) ?(jobs = 1) ?metrics_port () =
   {
     Daemon.listen = Addr.loopback ~port:ports.(index);
     next =
@@ -85,11 +85,13 @@ let daemon_cfg ~seed ~ports ~index ?fault_plan ?pipeline_chunk ?link
     dial_noise = Transcript_pin.dial_noise;
     noise_mode = Noise.Deterministic;
     dial_kind = Dialing.Plain;
-    jobs = 1;
+    jobs;
     pipeline_chunk;
     fault_plan;
     link;
     flap_grace_ms;
+    metrics_listen = Option.map (fun port -> Addr.loopback ~port) metrics_port;
+    trace_out = None;
   }
 
 let debug = Sys.getenv_opt "NET_DEBUG" <> None
@@ -483,6 +485,268 @@ let test_shaped_links () =
           check "emulated latency actually applied" (elapsed_ms > 80.);
           Remote.shutdown remote)
 
+(* ------------------------------------------------------------------ *)
+(* 7. Observability plane: scrape endpoints, merged trace, digest      *)
+(* ------------------------------------------------------------------ *)
+
+module T = Vuvuzela_telemetry
+module Httpd = Vuvuzela_transport.Httpd
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let spawn_obs_chain ?(jobs = 1) ~seed ~ports ~mports () =
+  Array.to_list
+    (Array.init chain_len (fun i ->
+         let index = chain_len - 1 - i in
+         fork_daemon
+           (daemon_cfg ~seed ~ports ~index ~pipeline_chunk:4 ~jobs
+              ~metrics_port:mports.(index) ())))
+
+(* A full [--obs-dir] deployment: daemons expose scrape endpoints, the
+   coordinator traces its rounds, and shutdown collects everything.
+   Checks the live /metrics + /healthz answers, then the merged trace's
+   cross-process parent links, then the rendered digest. *)
+let test_observability () =
+  print_endline "observability plane (scrape endpoints + merged trace + digest):";
+  let ports = Array.init chain_len (fun _ -> free_port ()) in
+  let mports = Array.init chain_len (fun _ -> free_port ()) in
+  let pids = spawn_obs_chain ~seed:"net-obs" ~ports ~mports () in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vuvuzela-obs-%d" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter stop_pid pids)
+    (fun () ->
+      let telemetry = T.Telemetry.create () in
+      match
+        Network.of_config_tcp
+          Network.Config.(
+            tcp_config |> with_round_deadline_ms 30_000.
+            |> with_pipeline ~chunk:4 true
+            |> with_telemetry telemetry |> with_obs_dir dir
+            |> with_obs_scrape
+                 (Array.to_list
+                    (Array.mapi
+                       (fun i port -> (i, Addr.loopback ~port))
+                       mports)))
+          ~addr:(Addr.loopback ~port:ports.(0))
+      with
+      | Error e -> check ("of_config_tcp: " ^ e) false
+      | Ok net ->
+          let a = Network.connect ~seed:"obs-a" net in
+          let b = Network.connect ~seed:"obs-b" net in
+          Client.start_conversation a ~peer_pk:(Client.public_key b);
+          Client.start_conversation b ~peer_pk:(Client.public_key a);
+          Client.send a "observed round";
+          let reports = Network.run_rounds net 2 in
+          check "2 rounds completed"
+            (List.for_all (fun r -> r.Network.failure = None) reports);
+          (* Live scrape of the middle daemon while the chain is up. *)
+          let maddr = Addr.loopback ~port:mports.(1) in
+          (match Httpd.get maddr "/metrics" with
+          | Ok (200, body) ->
+              check "/metrics serves the stage histogram family"
+                (contains body "vuvuzela_stage_ms_bucket");
+              check "/metrics serves the hop counter"
+                (contains body "vuvuzela_daemon_hops_total");
+              check "/metrics serves net gauges"
+                (contains body "vuvuzela_net_frames_in")
+          | Ok (status, _) ->
+              check (Printf.sprintf "/metrics answered %d" status) false
+          | Error e -> check ("/metrics: " ^ e) false);
+          (match Httpd.get maddr "/healthz" with
+          | Ok (200, body) -> (
+              match T.Json.parse body with
+              | Error e -> check ("/healthz parses: " ^ e) false
+              | Ok json ->
+                  let str k = Option.bind (T.Json.member k json) T.Json.to_str in
+                  let int k = Option.bind (T.Json.member k json) T.Json.to_int in
+                  let flag k =
+                    Option.bind (T.Json.member k json) T.Json.to_bool
+                  in
+                  check "/healthz status ok" (str "status" = Some "ok");
+                  check "/healthz chain position"
+                    (int "index" = Some 1 && int "chain_len" = Some chain_len);
+                  check "/healthz round progressed"
+                    (match int "round" with Some r -> r >= 2 | None -> false);
+                  check "/healthz hops counted"
+                    (match int "hops_done" with Some h -> h >= 2 | None -> false);
+                  check "/healthz peers connected"
+                    (flag "upstream_connected" = Some true
+                    && flag "downstream_connected" = Some true))
+          | Ok (status, _) ->
+              check (Printf.sprintf "/healthz answered %d" status) false
+          | Error e -> check ("/healthz: " ^ e) false);
+          (match Httpd.get maddr "/nope" with
+          | Ok (404, _) -> check "unknown path answers 404" true
+          | Ok (status, _) ->
+              check (Printf.sprintf "unknown path answered %d" status) false
+          | Error e -> check ("unknown path: " ^ e) false);
+          (* Shutdown scrapes the daemons, merges the traces and renders
+             the digest — all before the Bye cascade. *)
+          Network.shutdown net;
+          let merged_path = Filename.concat dir "merged-trace.jsonl" in
+          check "merged trace written" (Sys.file_exists merged_path);
+          if Sys.file_exists merged_path then begin
+            let merged = read_file merged_path in
+            check "merged trace passes the schema checker"
+              (T.Trace.validate_jsonl merged = Ok ());
+            (* Every daemon hop/stage span must reach a coordinator
+               round root through parent links alone. *)
+            let spans =
+              String.split_on_char '\n' merged
+              |> List.filter (fun l -> String.trim l <> "")
+              |> List.filter_map (fun l ->
+                     match T.Json.parse l with
+                     | Error _ -> None
+                     | Ok j ->
+                         let get f k = Option.bind (T.Json.member k j) f in
+                         Some
+                           ( Option.value ~default:(-1) (get T.Json.to_int "id"),
+                             get T.Json.to_int "parent",
+                             Option.value ~default:"?" (get T.Json.to_str "process"),
+                             Option.value ~default:"?" (get T.Json.to_str "name") ))
+            in
+            let tbl = Hashtbl.create 256 in
+            List.iter
+              (fun (id, parent, process, name) ->
+                Hashtbl.replace tbl id (parent, process, name))
+              spans;
+            let rec root_of id =
+              match Hashtbl.find_opt tbl id with
+              | None -> None
+              | Some (None, process, name) -> Some (process, name)
+              | Some (Some p, _, _) -> root_of p
+            in
+            let daemon_work =
+              List.filter
+                (fun (_, _, process, name) ->
+                  process <> "coordinator"
+                  && (name = "hop" || List.mem name T.Telemetry.server_stages))
+                spans
+            in
+            check "daemon hop/stage spans present in the merge"
+              (List.length daemon_work > 0
+              && List.exists (fun (_, _, p, n) -> p = "server-2" && n = "hop")
+                   daemon_work);
+            check "every daemon span roots at the coordinator"
+              (List.for_all
+                 (fun (id, _, _, _) ->
+                   match root_of id with
+                   | Some ("coordinator", ("conv-round" | "dial-round")) -> true
+                   | _ -> false)
+                 daemon_work)
+          end;
+          check "daemon metrics scraped"
+            (Sys.file_exists (Filename.concat dir "daemon-1-metrics.prom"));
+          check "daemon healthz scraped"
+            (Sys.file_exists (Filename.concat dir "daemon-1-healthz.json"));
+          check "round events logged"
+            (contains
+               (read_file (Filename.concat dir "events.jsonl"))
+               "\"event\":\"round\"");
+          let digest_path = Filename.concat dir "digest.txt" in
+          check "digest rendered" (Sys.file_exists digest_path);
+          if Sys.file_exists digest_path then begin
+            let digest = read_file digest_path in
+            check "digest counts the rounds" (contains digest "conv round 1");
+            check "digest draws the waterfall" (contains digest "hop")
+          end;
+          match Obs.render_digest ~dir with
+          | Ok _ -> check "inspector re-renders from disk" true
+          | Error e -> check ("inspector: " ^ e) false)
+
+(* ------------------------------------------------------------------ *)
+(* 7b. Digest parity with observability on, jobs × pipeline            *)
+(* ------------------------------------------------------------------ *)
+
+(* The acceptance bar for the whole plane: the pinned transcript, over
+   TCP, with every daemon scraping and tracing and the coordinator
+   announcing round contexts — bit-identical at jobs 1 and 4 with the
+   streamed relay on. *)
+let test_obs_transcript_parity () =
+  print_endline
+    "transcript parity with observability on (jobs 1 and 4, pipelined):";
+  List.iter
+    (fun jobs ->
+      let ports = Array.init chain_len (fun _ -> free_port ()) in
+      let mports = Array.init chain_len (fun _ -> free_port ()) in
+      let pids =
+        spawn_obs_chain ~jobs ~seed:Transcript_pin.seed ~ports ~mports ()
+      in
+      Fun.protect
+        ~finally:(fun () -> List.iter stop_pid pids)
+        (fun () ->
+          let tel = T.Telemetry.create () in
+          match
+            Remote.connect ~telemetry:tel ~handshake_timeout_ms:20_000.
+              ~addr:(Addr.loopback ~port:ports.(0))
+              ()
+          with
+          | Error e -> check ("remote connect: " ^ e) false
+          | Ok remote ->
+              Remote.set_deadline_ms remote (Some 30_000.);
+              Remote.set_pipeline remote (Some 4);
+              let fail_status st =
+                failwith (Format.asprintf "%a" Rpc.pp_status st)
+              in
+              let tr = T.Telemetry.trace tel in
+              (* The coordinator side of the tentpole, as [Network]
+                 wires it: a root span per round, its context announced
+                 ahead of the batch. *)
+              let traced name ~round ~dialing f =
+                let span = T.Trace.begin_span tr ~name ~round ~dialing () in
+                Remote.set_trace_ctx remote
+                  (Some (T.Trace.context_of tr span));
+                Fun.protect
+                  ~finally:(fun () ->
+                    Remote.set_trace_ctx remote None;
+                    T.Trace.end_span tr span)
+                  f
+              in
+              let backend =
+                {
+                  Transcript_pin.pks = Remote.public_keys remote;
+                  conversation_round =
+                    (fun ~round requests ->
+                      traced "conv-round" ~round ~dialing:false (fun () ->
+                          match
+                            Remote.conversation_round remote ~round requests
+                          with
+                          | Ok replies -> replies
+                          | Error st -> fail_status st));
+                  dialing_round =
+                    (fun ~round ~m requests ->
+                      traced "dial-round" ~round ~dialing:true (fun () ->
+                          match
+                            Remote.dialing_round remote ~round ~m requests
+                          with
+                          | Ok acks -> acks
+                          | Error st -> fail_status st));
+                }
+              in
+              let digest = Transcript_pin.full_digest backend in
+              check_str
+                (Printf.sprintf "obs-on digest = pinned digest (jobs=%d)" jobs)
+                Transcript_pin.pinned_full_digest digest;
+              check
+                (Printf.sprintf "coordinator recorded round roots (jobs=%d)"
+                   jobs)
+                (T.Trace.span_count tr >= 4);
+              Remote.shutdown remote))
+    [ 1; 4 ]
+
 let () =
   if not (sockets_allowed ()) then begin
     print_endline
@@ -503,6 +767,8 @@ let () =
   run "restart" test_kill_restart;
   run "flap" test_flap_survival;
   run "shaped" test_shaped_links;
+  run "obs" test_observability;
+  run "obs-parity" test_obs_transcript_parity;
   if !failures > 0 then begin
     Printf.printf "net: %d failure(s)\n%!" !failures;
     exit 1

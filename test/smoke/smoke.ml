@@ -2,7 +2,12 @@
    schedule (with one dialing round) under a live sink, exports the
    span trace as JSONL, and validates it — schema check, full six-stage
    coverage for every (round, server) pair, client spans present, and a
-   monotone budget ledger.  Fails loudly; no Alcotest machinery. *)
+   monotone budget ledger.  Fails loudly; no Alcotest machinery.
+
+   The run also collects an observability directory ([SMOKE_OBS_DIR],
+   default [smoke-obs/] in the cwd): merged trace, metrics exposition,
+   round events and the rendered digest — CI uploads it as the build's
+   trace artifact. *)
 
 open Vuvuzela_dp
 open Vuvuzela
@@ -12,6 +17,11 @@ let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("SMOKE FAIL: " ^ s); exi
 
 let () =
   let tel = T.Telemetry.create () in
+  let obs_dir =
+    match Sys.getenv_opt "SMOKE_OBS_DIR" with
+    | Some d when d <> "" -> d
+    | _ -> "smoke-obs"
+  in
   let net =
     Network.of_config
       Network.Config.(
@@ -19,7 +29,7 @@ let () =
         |> with_noise (Laplace.params ~mu:3. ~b:1.)
         |> with_dial_noise (Laplace.params ~mu:2. ~b:1.)
         |> with_noise_mode Noise.Sampled |> with_telemetry tel
-        |> with_budget_warn 1.0)
+        |> with_budget_warn 1.0 |> with_obs_dir obs_dir)
   in
   let a = Network.connect ~seed:"a" net in
   let b = Network.connect ~seed:"b" net in
@@ -70,6 +80,26 @@ let () =
       if not (w.Mechanism.eps > 0. && w.Mechanism.delta > 0.) then
         fail "budget spend not positive");
 
+  (* Shutdown finalized the observability directory: the merged trace
+     must validate on its own and the digest must render — this is the
+     artifact CI uploads. *)
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let merged = Filename.concat obs_dir "merged-trace.jsonl" in
+  if not (Sys.file_exists merged) then fail "%s not written" merged;
+  (match T.Trace.validate_jsonl (read_file merged) with
+  | Ok () -> ()
+  | Error e -> fail "merged trace schema: %s" e);
+  (match Obs.render_digest ~dir:obs_dir with
+  | Ok digest when String.length digest > 0 -> ()
+  | Ok _ -> fail "empty digest"
+  | Error e -> fail "digest: %s" e);
+
   Printf.printf "smoke: %d spans across %d rounds, trace schema OK\n"
     (T.Trace.span_count (T.Telemetry.trace tel))
-    (List.length reports)
+    (List.length reports);
+  Printf.printf "smoke: observability artifact in %s\n" obs_dir

@@ -26,13 +26,16 @@ let pinned_conv_digest =
 let pinned_full_digest =
   "29314874846a3d68a8bd449a79cc736a758e2ef32eeb722911ecb7b741700eab"
 
-let in_process ?(jobs = 1) ?pipeline_chunk () =
+let in_process ?telemetry ?(jobs = 1) ?pipeline_chunk () =
   let chain =
     Chain.of_config
       Config.(
         default |> with_seed seed |> with_n_servers n_servers
         |> with_noise noise |> with_dial_noise dial_noise
         |> with_noise_mode Noise.Deterministic |> with_jobs jobs
+        |> (match telemetry with
+           | None -> Fun.id
+           | Some tel -> with_telemetry tel)
         |>
         match pipeline_chunk with
         | None -> Fun.id

@@ -33,7 +33,14 @@ let test_rpc_roundtrips () =
   roundtrip
     (Rpc.Status
        { round = 12; server = 1; stage = "conv-batch"; detail = "ragged" });
-  roundtrip (Rpc.Status { round = 0; server = 0; stage = ""; detail = "" })
+  roundtrip (Rpc.Status { round = 0; server = 0; stage = ""; detail = "" });
+  roundtrip
+    (Rpc.Trace_ctx
+       {
+         ctx =
+           Vuvuzela_telemetry.Trace.encode_context
+             { Vuvuzela_telemetry.Trace.trace = 77; origin = 1; span = 3 };
+       })
 
 let test_rpc_rejections () =
   let good = Rpc.encode (Rpc.Round_announce { round = 1; deadline_ms = 1 }) in
@@ -76,6 +83,63 @@ let test_rpc_fuzz () =
     let len = Drbg.uniform ~rng 64 in
     match Rpc.decode (Drbg.generate rng len) with
     | Ok _ | Error _ -> ()
+  done
+
+(* The trace-context control frame is tolerated-if-absent and
+   ignored-if-malformed: old-style streams (no Trace_ctx frame) parse
+   exactly as before, a wrong-sized or bit-flipped context decodes to
+   [None] at the [Trace.decode_context] layer, and an absurdly large
+   one is rejected at the frame layer with a clean [Error] — no input
+   reachable from the wire may raise, because a raise would take the
+   daemon's round down with it. *)
+let test_trace_ctx_wire () =
+  let module Trace = Vuvuzela_telemetry.Trace in
+  let ctx = { Trace.trace = 0x12345678; origin = 2; span = 41 } in
+  let enc = Trace.encode_context ctx in
+  Alcotest.(check int) "context length" Trace.context_len (Bytes.length enc);
+  (match Trace.decode_context enc with
+  | Some c -> Alcotest.(check bool) "context roundtrip" true (c = ctx)
+  | None -> Alcotest.fail "valid context failed to decode");
+  (* Wrong-sized payloads survive the frame layer; the context layer
+     rejects them totally. *)
+  List.iter
+    (fun len ->
+      let bad = Bytes.make len '\x41' in
+      match Rpc.decode (Rpc.encode (Rpc.Trace_ctx { ctx = bad })) with
+      | Ok (Rpc.Trace_ctx { ctx }) ->
+          if len <> Trace.context_len then
+            Alcotest.(check bool)
+              (Printf.sprintf "%d-byte context decodes to None" len)
+              true
+              (Trace.decode_context ctx = None)
+      | Ok _ -> Alcotest.fail "trace ctx decoded to another message"
+      | Error e -> Alcotest.failf "%d-byte context rejected at frame: %s" len e)
+    [ 0; 1; Trace.context_len - 1; Trace.context_len; Trace.context_len + 1; 64 ];
+  (* Negative ids and out-of-range origins are poisoned, not fatal. *)
+  Alcotest.(check bool) "all-ones context decodes to None" true
+    (Trace.decode_context (Bytes.make Trace.context_len '\xff') = None);
+  (* The frame-layer cap on absurd contexts fails cleanly (and the
+     daemon answers an undecodable frame with a round-0 status the
+     round-filtered coordinator ignores). *)
+  (match Rpc.decode (Rpc.encode (Rpc.Trace_ctx { ctx = Bytes.make 300 'z' })) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "absurd context accepted");
+  (* Seeded fuzz: random payloads and random bit flips of a valid
+     encoding never raise anywhere in the stack. *)
+  let rng = Drbg.of_string "trace-ctx-fuzz" in
+  for _ = 1 to 500 do
+    let len = Drbg.uniform ~rng 48 in
+    let blob = Drbg.generate rng len in
+    (match Rpc.decode (Rpc.encode (Rpc.Trace_ctx { ctx = blob })) with
+    | Ok (Rpc.Trace_ctx { ctx }) ->
+        ignore (Trace.decode_context ctx : Trace.context option)
+    | Ok _ -> Alcotest.fail "trace ctx decoded to another message"
+    | Error _ -> ());
+    let flipped = Bytes.copy enc in
+    let i = Drbg.uniform ~rng Trace.context_len in
+    Bytes.set flipped i
+      (Char.chr (Char.code (Bytes.get flipped i) lxor (1 lsl Drbg.uniform ~rng 8)));
+    ignore (Trace.decode_context flipped : Trace.context option)
   done
 
 let test_rpc_batch_bytes () =
@@ -343,6 +407,7 @@ let suite =
       tc "rpc roundtrips" `Quick test_rpc_roundtrips;
       tc "rpc rejections" `Quick test_rpc_rejections;
       tc "rpc fuzz" `Quick test_rpc_fuzz;
+      tc "trace context wire fuzz" `Quick test_trace_ctx_wire;
       tc "rpc batch byte accounting" `Quick test_rpc_batch_bytes;
       tc "rpc status formatting" `Quick test_rpc_status_pp;
       tc "cdn caching" `Quick test_cdn_caching;

@@ -158,6 +158,137 @@ let test_validate_rejects () =
     "{\"id\":0,\"parent\":7,\"name\":\"x\",\"round\":1,\"server\":-1,\
      \"dialing\":false,\"start_ms\":0,\"dur_ms\":0,\"annotations\":{}}\n"
 
+(* Cross-process parenting: a coordinator tracer and a "daemon" tracer
+   whose hop span carries the coordinator's wire context.  After the
+   merge every daemon span must reach the coordinator's round root
+   through parent links alone, the export must still satisfy the schema
+   checker, and a context whose trace id does not match the root's must
+   be dropped rather than resolved. *)
+let test_remote_span_merge () =
+  let now = ref 0. in
+  let clock () = !now in
+  let coord = Trace.create ~clock ~trace_id:71 ~origin:0 () in
+  let daemon = Trace.create ~clock ~trace_id:9999 ~origin:1 () in
+  (* Coordinator: round root, context announced over the (simulated)
+     wire exactly as [Remote.exchange] sends it. *)
+  let root = Trace.begin_span coord ~name:"conv-round" ~round:1 () in
+  let ctx =
+    match Trace.decode_context (Trace.encode_context (Trace.context_of coord root)) with
+    | Some c -> c
+    | None -> Alcotest.fail "wire context did not survive the codec"
+  in
+  (* Daemon: hop span rooted at the remote context, one stage under it. *)
+  let hop = Trace.begin_remote_span daemon ~name:"hop" ~round:1 ~server:0 ~remote:ctx () in
+  now := 0.002;
+  let peel = Trace.begin_span daemon ~name:"peel" ~round:1 ~server:0 () in
+  now := 0.003;
+  Trace.end_span daemon peel;
+  Trace.end_span daemon hop;
+  (* A second daemon whose context belongs to some other trace: its hop
+     must come out parentless, not mislinked. *)
+  let stray = Trace.create ~clock ~trace_id:4242 ~origin:2 () in
+  let stray_hop =
+    Trace.begin_remote_span stray ~name:"hop" ~round:1 ~server:1
+      ~remote:{ Trace.trace = 123456; origin = 0; span = 0 } ()
+  in
+  Trace.end_span stray stray_hop;
+  now := 0.010;
+  Trace.end_span coord root;
+  let merged =
+    match
+      Trace.merge_jsonl
+        [
+          ("coordinator", Trace.to_jsonl coord);
+          ("server-0", Trace.to_jsonl daemon);
+          ("server-1", Trace.to_jsonl stray);
+        ]
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail ("merge failed: " ^ e)
+  in
+  (match Trace.validate_jsonl merged with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("merged trace rejected: " ^ e));
+  let lines =
+    String.split_on_char '\n' merged
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map (fun l ->
+           match T.Json.parse l with
+           | Ok j -> j
+           | Error e -> Alcotest.fail ("merged line does not parse: " ^ e))
+  in
+  let field name j = Option.bind (T.Json.member name j) T.Json.to_int in
+  let named want =
+    List.filter
+      (fun j ->
+        Option.bind (T.Json.member "name" j) T.Json.to_str = Some want)
+      lines
+  in
+  let root_id =
+    match named "conv-round" with
+    | [ j ] -> Option.get (field "id" j)
+    | _ -> Alcotest.fail "expected exactly one round root"
+  in
+  (match named "hop" with
+  | [ a; b ] ->
+      let by_process want =
+        if Option.bind (T.Json.member "process" a) T.Json.to_str = Some want
+        then a else b
+      in
+      Alcotest.(check (option int)) "hop parents into the round root"
+        (Some root_id)
+        (field "parent" (by_process "server-0"));
+      Alcotest.(check (option int)) "foreign-trace context dropped" None
+        (field "parent" (by_process "server-1"));
+      Alcotest.(check bool) "ctx back-reference consumed" true
+        (T.Json.member "ctx" (by_process "server-0") = None);
+      (* Transitivity: the stage span reaches the root via the hop. *)
+      let hop_id = Option.get (field "id" (by_process "server-0")) in
+      (match named "peel" with
+      | [ p ] ->
+          Alcotest.(check (option int)) "stage parents into the hop"
+            (Some hop_id) (field "parent" p)
+      | _ -> Alcotest.fail "expected exactly one peel span")
+  | hops -> Alcotest.failf "expected 2 hop spans, got %d" (List.length hops))
+
+(* The exposition satellite: scrape output is deterministic (families
+   and label sets sorted, registration order irrelevant) and label
+   values escape exactly the three characters the Prometheus text
+   format names — backslash, double quote, newline. *)
+let test_prometheus_deterministic_escaped () =
+  let build order =
+    let reg = Metrics.create () in
+    List.iter
+      (fun (name, labels) ->
+        Metrics.inc (Metrics.counter reg ~labels name))
+      order;
+    Metrics.set (Metrics.gauge reg "a_gauge") 2.;
+    Metrics.to_prometheus reg
+  in
+  let series =
+    [
+      ("zz_total", [ ("kind", "conv") ]);
+      ("aa_total", [ ("path", "C:\\temp") ]);
+      ("mm_total", [ ("detail", "he said \"hi\"\nbye") ]);
+      ("zz_total", [ ("kind", "dial") ]);
+    ]
+  in
+  let text = build series in
+  Alcotest.(check string) "registration order is invisible" text
+    (build (List.rev series));
+  let expected =
+    "# TYPE a_gauge gauge\n\
+     a_gauge 2\n\
+     # TYPE aa_total counter\n\
+     aa_total{path=\"C:\\\\temp\"} 1\n\
+     # TYPE mm_total counter\n\
+     mm_total{detail=\"he said \\\"hi\\\"\\nbye\"} 1\n\
+     # TYPE zz_total counter\n\
+     zz_total{kind=\"conv\"} 1\n\
+     zz_total{kind=\"dial\"} 1\n"
+  in
+  Alcotest.(check string) "golden exposition" expected text
+
 (* ------------------------------------------------------------------ *)
 (* Privacy-budget ledger vs the composition theorem                    *)
 (* ------------------------------------------------------------------ *)
@@ -505,6 +636,9 @@ let suite =
       tc "prometheus and json export" `Quick test_prometheus_exposition;
       tc "span nesting and durations" `Quick test_trace_nesting;
       tc "jsonl schema checker rejects" `Quick test_validate_rejects;
+      tc "cross-process span merge" `Quick test_remote_span_merge;
+      tc "prometheus deterministic + escaped" `Quick
+        test_prometheus_deterministic_escaped;
       tc "ledger matches composition theorem" `Quick
         test_ledger_matches_composition;
       tc "ledger monotone, warns once" `Quick test_ledger_monotone_and_warns;

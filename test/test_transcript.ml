@@ -61,6 +61,36 @@ let test_transcript_engine_invariant () =
       (4, Some 16);
     ]
 
+(* Observability is pure control plane: the same schedule with a live
+   telemetry sink — spans, metrics and the budget ledger all recording
+   — must reproduce the pinned bytes at the job counts and pipeline
+   settings the observability plane promises not to perturb. *)
+let test_transcript_observability_invariant () =
+  List.iter
+    (fun (jobs, pipeline_chunk) ->
+      let telemetry = Vuvuzela_telemetry.Telemetry.create () in
+      let backend, shutdown =
+        Transcript_pin.in_process ~telemetry ~jobs ?pipeline_chunk ()
+      in
+      let digest =
+        Fun.protect ~finally:shutdown (fun () ->
+            Transcript_pin.full_digest backend)
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "telemetry on, jobs=%d chunk=%s" jobs
+           (match pipeline_chunk with
+           | None -> "-"
+           | Some c -> string_of_int c))
+        Transcript_pin.pinned_full_digest digest;
+      (* The sink really was live, not a nil path. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "spans recorded at jobs=%d" jobs)
+        true
+        (Vuvuzela_telemetry.Trace.span_count
+           (Vuvuzela_telemetry.Telemetry.trace telemetry)
+        > 0))
+    [ (1, None); (4, None); (1, Some 3); (4, Some 3) ]
+
 let suite =
   ( "transcript",
     [
@@ -72,4 +102,6 @@ let suite =
         test_transcript_deterministic;
       Alcotest.test_case "pinned at any jobs/pipeline combination" `Quick
         test_transcript_engine_invariant;
+      Alcotest.test_case "pinned with observability on" `Quick
+        test_transcript_observability_invariant;
     ] )

@@ -519,7 +519,9 @@ let round_stage_export () =
    The host core count is recorded alongside: on a 1-core container the
    jobs > 1 rows measure scheduling overhead, not speedup. *)
 let crypto_bench () =
-  section "CRYPTO - 51-bit field vs seed ladder (writes BENCH_crypto.json)";
+  section
+    "CRYPTO - 51-bit field + unrolled chacha vs seed (writes \
+     BENCH_crypto.json)";
   let module T = Vuvuzela_telemetry in
   let rng = Drbg.of_string "bench-crypto" in
   let sk, _pk = Drbg.keypair ~rng () in
@@ -567,6 +569,32 @@ let crypto_bench () =
   let mb ops = ops *. 1024. /. 1e6 in
   Printf.printf "  aead seal (1 KiB)       %10.1f MB/s\n" (mb seal_ops);
   Printf.printf "  aead open (1 KiB)       %10.1f MB/s\n" (mb open_ops);
+  (* In-place _into path: what the server peel/reseal loops actually
+     run — no plaintext/ciphertext allocations at all. *)
+  let scratch = Bytes.create (1024 + Aead.tag_len) in
+  let seal_into_ops =
+    ops_per_sec (fun () ->
+        Bytes.blit msg 0 scratch 0 1024;
+        Aead.seal_into ~key ~nonce ~src:scratch ~src_off:0 ~len:1024
+          ~dst:scratch ~dst_off:0 ())
+  in
+  Printf.printf "  aead seal_into (1 KiB)  %10.1f MB/s\n" (mb seal_into_ops);
+  (* Raw ChaCha20 stream, unrolled fast path vs the retained seed
+     oracle, on a 16 KiB buffer. *)
+  let big = Drbg.generate rng 16384 in
+  let mb16 ops = ops *. 16384. /. 1e6 in
+  let chacha_fast =
+    ops_per_sec (fun () -> ignore (Chacha20.encrypt ~key ~nonce big))
+  in
+  let chacha_ref =
+    ops_per_sec ~min_s:0.3 (fun () ->
+        ignore (Chacha20_ref.encrypt ~key ~nonce big))
+  in
+  Printf.printf "  chacha20 (16 KiB)       %10.1f MB/s (unrolled)\n"
+    (mb16 chacha_fast);
+  Printf.printf "  chacha20 (16 KiB, seed) %10.1f MB/s (%.2fx)\n"
+    (mb16 chacha_ref)
+    (chacha_fast /. chacha_ref);
   (* End-to-end conversation rounds (real crypto, 3 servers, 24 clients)
      at jobs 1 and 4 — the consumer-visible effect of the field rewrite. *)
   let round_ms ?pipeline_chunk jobs =
@@ -665,6 +693,14 @@ let crypto_bench () =
             [
               ("seal_mb_per_sec", T.Json.Num (mb seal_ops));
               ("open_mb_per_sec", T.Json.Num (mb open_ops));
+              ("seal_into_mb_per_sec", T.Json.Num (mb seal_into_ops));
+            ] );
+        ( "chacha20_16kib",
+          T.Json.Obj
+            [
+              ("fast_mb_per_sec", T.Json.Num (mb16 chacha_fast));
+              ("seed_mb_per_sec", T.Json.Num (mb16 chacha_ref));
+              ("speedup_vs_seed", T.Json.Num (chacha_fast /. chacha_ref));
             ] );
         ( "pool_dispatch_256x_sha256",
           T.Json.Obj

@@ -95,12 +95,22 @@ let direction_keys ~base ~my_pk ~their_pk =
 let msg_nonce ~round = Aead.nonce_of ~domain:0x564d ~counter:round
 
 let seal ~keys ~round t =
-  Aead.seal ~key:keys.send ~nonce:(msg_nonce ~round) (encode t)
+  let plain = encode t in
+  let out = Bytes.create Types.sealed_message_len in
+  Aead.seal_into ~key:keys.send
+    ~nonce:(msg_nonce ~round)
+    ~src:plain ~src_off:0 ~len:Types.message_plain_len ~dst:out ~dst_off:0 ();
+  out
 
 let open_ ~keys ~round sealed =
   if Bytes.length sealed <> Types.sealed_message_len then None
-  else
-    match Aead.open_ ~key:keys.recv ~nonce:(msg_nonce ~round) sealed with
-    | None -> None
-    | Some plain -> (
-        match decode plain with Ok m -> Some m | Error _ -> None)
+  else begin
+    let plain = Bytes.create Types.message_plain_len in
+    if
+      Aead.open_into ~key:keys.recv
+        ~nonce:(msg_nonce ~round)
+        ~src:sealed ~src_off:0 ~len:Types.sealed_message_len ~dst:plain
+        ~dst_off:0 ()
+    then match decode plain with Ok m -> Some m | Error _ -> None
+    else None
+  end

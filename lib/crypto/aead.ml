@@ -1,36 +1,124 @@
 (* ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).  This is Vuvuzela's
    indistinguishable symmetric encryption: every onion layer and message
    payload is sealed with it, so all ciphertexts of equal plaintext length
-   are equal length and uniformly distributed. *)
+   are equal length and uniformly distributed.
+
+   The hot path is allocation-lean: [seal_into]/[open_into] encrypt
+   between caller buffers and feed Poly1305 incrementally over
+   aad / ciphertext / zero padding / lengths, so no [mac_data] buffer,
+   tag, or ciphertext copy is materialized.  [seal]/[open_] are thin
+   wrappers and produce bit-identical wire bytes to the seed
+   implementation. *)
 
 let key_len = 32
 let nonce_len = 12
 let tag_len = 16
 
-let pad16 n = match n mod 16 with 0 -> Bytes.empty | r -> Bytes.make (16 - r) '\000'
+(* Shared all-zero block for the two pad16 gaps in the MAC stream. *)
+let zeros16 = Bytes.make 16 '\000'
 
-let mac_data ~aad ~ct =
-  let lens = Bytes.create 16 in
-  Bytes_util.store_le64 lens 0 (Bytes.length aad);
-  Bytes_util.store_le64 lens 8 (Bytes.length ct);
-  Bytes_util.concat
-    [ aad; pad16 (Bytes.length aad); ct; pad16 (Bytes.length ct); lens ]
+(* Poly1305 key: the first 32 bytes of the counter-0 keystream block,
+   drawn directly — no 64-byte block to allocate and slice.  (The hot
+   paths below never materialize even these 32 bytes; this stays for the
+   RFC §2.6 vector tables and external callers.) *)
+let poly_key ~key ~nonce =
+  let pk = Bytes.create 32 in
+  Chacha20.keystream_into ~key ~nonce ~counter:0 pk ~off:0 ~len:32;
+  pk
 
-let poly_key ~key ~nonce = Bytes.sub (Chacha20.block ~key ~nonce ~counter:0) 0 32
+(* One state setup for both halves of the AEAD: the ChaCha20 state is
+   initialized once, block 0's keystream words seed Poly1305 directly
+   (word-level, no 32-byte key round-trip), and the same state array is
+   handed back for the cipher stream at counter 1. *)
+let cipher_and_mac ~key ~nonce =
+  let st = Chacha20.init_state ~key ~nonce ~counter:0 in
+  let ws = Array.make 16 0 in
+  Chacha20.block_words st 0 ws;
+  let poly =
+    Poly1305.init_from_words ~w0:ws.(0) ~w1:ws.(1) ~w2:ws.(2) ~w3:ws.(3)
+      ~w4:ws.(4) ~w5:ws.(5) ~w6:ws.(6) ~w7:ws.(7)
+  in
+  (st, poly)
+
+(* Tag over aad ‖ pad16 ‖ ct ‖ pad16 ‖ le64 lens, fed incrementally,
+   written at [tag]/[tag_off]. *)
+let mac_into poly ~aad ~ct ~ct_off ~ct_len ~tag ~tag_off =
+  let aad_len = Bytes.length aad in
+  Poly1305.feed poly aad;
+  (match aad_len land 15 with
+  | 0 -> ()
+  | r -> Poly1305.feed_sub poly zeros16 ~off:0 ~len:(16 - r));
+  Poly1305.feed_sub poly ct ~off:ct_off ~len:ct_len;
+  (match ct_len land 15 with
+  | 0 -> ()
+  | r -> Poly1305.feed_sub poly zeros16 ~off:0 ~len:(16 - r));
+  Poly1305.absorb_lens poly ~aad_len ~ct_len;
+  Poly1305.finish_into poly tag ~off:tag_off
+
+let check_range what b off len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg ("Aead: " ^ what ^ " range out of bounds")
+
+(* In-place operation (same buffer, same offset) is supported; the same
+   buffer with distinct overlapping ranges is not — the 64-byte-block XOR
+   would read bytes it already wrote. *)
+let reject_overlap ~fn src src_off src_len dst dst_off dst_len =
+  if
+    src == dst && src_off <> dst_off
+    && src_off < dst_off + dst_len
+    && dst_off < src_off + src_len
+  then invalid_arg ("Aead." ^ fn ^ ": overlapping src/dst ranges")
+
+let seal_into ~key ~nonce ?(aad = Bytes.empty) ~src ~src_off ~len ~dst
+    ~dst_off () =
+  check_range "src" src src_off len;
+  check_range "dst" dst dst_off (len + tag_len);
+  reject_overlap ~fn:"seal_into" src src_off len dst dst_off (len + tag_len);
+  let st, poly = cipher_and_mac ~key ~nonce in
+  Chacha20.xor_with_state st ~counter:1 ~src ~src_off ~dst ~dst_off ~len;
+  mac_into poly ~aad ~ct:dst ~ct_off:dst_off ~ct_len:len ~tag:dst
+    ~tag_off:(dst_off + len)
+
+(* Verify-then-decrypt: the tag is checked over the ciphertext before a
+   single byte is decrypted, so [dst] is untouched on failure. *)
+let open_into ~key ~nonce ?(aad = Bytes.empty) ~src ~src_off ~len ~dst
+    ~dst_off () =
+  check_range "src" src src_off len;
+  if len < tag_len then false
+  else begin
+    let ct_len = len - tag_len in
+    check_range "dst" dst dst_off ct_len;
+    reject_overlap ~fn:"open_into" src src_off len dst dst_off ct_len;
+    let st, poly = cipher_and_mac ~key ~nonce in
+    let tag = Bytes.create tag_len in
+    mac_into poly ~aad ~ct:src ~ct_off:src_off ~ct_len ~tag ~tag_off:0;
+    if
+      Bytes_util.ct_equal_sub tag ~a_off:0 src
+        ~b_off:(src_off + ct_len) ~len:tag_len
+    then begin
+      Chacha20.xor_with_state st ~counter:1 ~src ~src_off ~dst ~dst_off
+        ~len:ct_len;
+      true
+    end
+    else false
+  end
 
 let seal ~key ~nonce ?(aad = Bytes.empty) plaintext =
-  let ct = Chacha20.encrypt ~counter:1 ~key ~nonce plaintext in
-  let tag = Poly1305.mac ~key:(poly_key ~key ~nonce) (mac_data ~aad ~ct) in
-  Bytes_util.concat [ ct; tag ]
+  let len = Bytes.length plaintext in
+  let out = Bytes.create (len + tag_len) in
+  seal_into ~key ~nonce ~aad ~src:plaintext ~src_off:0 ~len ~dst:out
+    ~dst_off:0 ();
+  out
 
 let open_ ~key ~nonce ?(aad = Bytes.empty) sealed =
   let n = Bytes.length sealed in
   if n < tag_len then None
   else begin
-    let ct = Bytes.sub sealed 0 (n - tag_len) in
-    let tag = Bytes.sub sealed (n - tag_len) tag_len in
-    if Poly1305.verify ~key:(poly_key ~key ~nonce) ~tag (mac_data ~aad ~ct)
-    then Some (Chacha20.decrypt ~counter:1 ~key ~nonce ct)
+    let pt = Bytes.create (n - tag_len) in
+    if
+      open_into ~key ~nonce ~aad ~src:sealed ~src_off:0 ~len:n ~dst:pt
+        ~dst_off:0 ()
+    then Some pt
     else None
   end
 

@@ -1,7 +1,9 @@
 (** ChaCha20-Poly1305 AEAD (RFC 8439).
 
     Sealing adds exactly {!tag_len} bytes, matching the paper's 16-byte
-    per-layer encryption overhead. *)
+    per-layer encryption overhead.  The [_into] variants are the
+    allocation-lean hot path used by the onion wrap/peel and server
+    reseal loops; [seal]/[open_] are thin wrappers over them. *)
 
 val key_len : int
 (** 32. *)
@@ -17,6 +19,44 @@ val seal : key:bytes -> nonce:bytes -> ?aad:bytes -> bytes -> bytes
 
 val open_ : key:bytes -> nonce:bytes -> ?aad:bytes -> bytes -> bytes option
 (** Authenticated decryption; [None] on any tampering. *)
+
+val seal_into :
+  key:bytes ->
+  nonce:bytes ->
+  ?aad:bytes ->
+  src:bytes ->
+  src_off:int ->
+  len:int ->
+  dst:bytes ->
+  dst_off:int ->
+  unit ->
+  unit
+(** Seal [len] plaintext bytes of [src] at [src_off], writing
+    [ciphertext || tag] ([len + tag_len] bytes) to [dst] at [dst_off].
+    [src] and [dst] may be the same buffer at the same offset (in-place
+    seal); distinct overlapping ranges raise [Invalid_argument], as do
+    out-of-bounds ranges. *)
+
+val open_into :
+  key:bytes ->
+  nonce:bytes ->
+  ?aad:bytes ->
+  src:bytes ->
+  src_off:int ->
+  len:int ->
+  dst:bytes ->
+  dst_off:int ->
+  unit ->
+  bool
+(** Open [len] sealed bytes of [src] at [src_off] into [dst] at
+    [dst_off] ([len - tag_len] bytes).  Returns [false] (leaving [dst]
+    untouched — the tag is verified before any byte is decrypted) on
+    tampering or if [len < tag_len].  Same overlap rules as
+    {!seal_into}. *)
+
+val poly_key : key:bytes -> nonce:bytes -> bytes
+(** The one-time Poly1305 key for this (key, nonce) pair (RFC 8439
+    §2.6); exposed for the standards vector suite. *)
 
 val nonce_of : domain:int -> counter:int -> bytes
 (** Deterministic 12-byte nonce from a 32-bit domain separator and a

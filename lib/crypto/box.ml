@@ -21,6 +21,12 @@ let precompute ~secret ~public =
 let seal ~key ~nonce ?aad pt = Aead.seal ~key ~nonce ?aad pt
 let open_ ~key ~nonce ?aad ct = Aead.open_ ~key ~nonce ?aad ct
 
+let seal_into ~key ~nonce ?aad ~src ~src_off ~len ~dst ~dst_off () =
+  Aead.seal_into ~key ~nonce ?aad ~src ~src_off ~len ~dst ~dst_off ()
+
+let open_into ~key ~nonce ?aad ~src ~src_off ~len ~dst ~dst_off () =
+  Aead.open_into ~key ~nonce ?aad ~src ~src_off ~len ~dst ~dst_off ()
+
 (* Sealed (anonymous) box: a fresh ephemeral keypair per message; the
    ephemeral public key rides in front of the ciphertext.  The nonce is
    derived from both public keys so it is unique per ephemeral key. *)
@@ -31,17 +37,24 @@ let seal_anonymous ?rng ~recipient_pk pt =
   let esk, epk = Drbg.keypair ?rng () in
   let key = precompute ~secret:esk ~public:recipient_pk in
   let nonce = anon_nonce ~epk ~pk:recipient_pk in
-  Bytes_util.concat [ epk; Aead.seal ~key ~nonce pt ]
+  let len = Bytes.length pt in
+  let out = Bytes.create (Curve25519.key_len + len + Aead.tag_len) in
+  Bytes.blit epk 0 out 0 Curve25519.key_len;
+  Aead.seal_into ~key ~nonce ~src:pt ~src_off:0 ~len ~dst:out
+    ~dst_off:Curve25519.key_len ();
+  out
 
 let open_anonymous ~recipient_sk ~recipient_pk sealed =
-  if Bytes.length sealed < anonymous_overhead then None
+  let n = Bytes.length sealed in
+  if n < anonymous_overhead then None
   else begin
     let epk = Bytes.sub sealed 0 Curve25519.key_len in
-    let ct =
-      Bytes.sub sealed Curve25519.key_len
-        (Bytes.length sealed - Curve25519.key_len)
-    in
     let key = precompute ~secret:recipient_sk ~public:epk in
     let nonce = anon_nonce ~epk ~pk:recipient_pk in
-    Aead.open_ ~key ~nonce ct
+    let pt = Bytes.create (n - anonymous_overhead) in
+    if
+      Aead.open_into ~key ~nonce ~src:sealed ~src_off:Curve25519.key_len
+        ~len:(n - Curve25519.key_len) ~dst:pt ~dst_off:0 ()
+    then Some pt
+    else None
   end

@@ -16,6 +16,32 @@ val precompute : secret:bytes -> public:bytes -> bytes
 val seal : key:bytes -> nonce:bytes -> ?aad:bytes -> bytes -> bytes
 val open_ : key:bytes -> nonce:bytes -> ?aad:bytes -> bytes -> bytes option
 
+val seal_into :
+  key:bytes ->
+  nonce:bytes ->
+  ?aad:bytes ->
+  src:bytes ->
+  src_off:int ->
+  len:int ->
+  dst:bytes ->
+  dst_off:int ->
+  unit ->
+  unit
+(** Allocation-lean variants re-exported from {!Aead}; see
+    {!Aead.seal_into}/{!Aead.open_into} for range and overlap rules. *)
+
+val open_into :
+  key:bytes ->
+  nonce:bytes ->
+  ?aad:bytes ->
+  src:bytes ->
+  src_off:int ->
+  len:int ->
+  dst:bytes ->
+  dst_off:int ->
+  unit ->
+  bool
+
 val seal_anonymous : ?rng:Drbg.t -> recipient_pk:bytes -> bytes -> bytes
 (** Sealed box: fresh ephemeral key per message; the recipient can open it
     but cannot identify the sender from the ciphertext, and third parties

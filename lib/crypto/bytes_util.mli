@@ -18,6 +18,25 @@ val be32 : bytes -> int -> int
 val store_be32 : bytes -> int -> int -> unit
 val store_be64 : bytes -> int -> int -> unit
 
+val unsafe_get_u8 : bytes -> int -> int
+(** Unchecked byte load for hot loops whose bounds were validated up
+    front.  Callers must guard every range themselves. *)
+
+val unsafe_set_u8 : bytes -> int -> int -> unit
+val unsafe_le32 : bytes -> int -> int
+val unsafe_store_le32 : bytes -> int -> int -> unit
+
+val unsafe_store64_le : bytes -> int -> lo:int -> hi:int -> unit
+(** Store eight little-endian bytes given as two 32-bit words ([~lo]
+    first).  Two halves rather than one int because OCaml native ints
+    are 63-bit — a [le64] round-trip would zero bit 63 — and boxed
+    [Int64] would allocate without flambda. *)
+
+val unsafe_xor64_le :
+  src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> lo:int -> hi:int -> unit
+(** XOR the 32-bit words [~lo]/[~hi] into eight bytes of [src] at
+    [src_off], storing into [dst] at [dst_off].  Unchecked. *)
+
 val xor_into : src:bytes -> dst:bytes -> int -> unit
 (** [xor_into ~src ~dst len] xors the first [len] bytes of [src] into
     [dst] in place. *)
@@ -27,6 +46,11 @@ val xor : bytes -> bytes -> bytes
 
 val ct_equal : bytes -> bytes -> bool
 (** Constant-time equality.  Lengths are treated as public. *)
+
+val ct_equal_sub :
+  bytes -> a_off:int -> bytes -> b_off:int -> len:int -> bool
+(** Constant-time equality of [len]-byte sub-ranges.  Offsets/length are
+    treated as public; raises [Invalid_argument] on bad ranges. *)
 
 val of_hex : string -> bytes
 (** Decode a hex string; spaces and newlines are ignored.

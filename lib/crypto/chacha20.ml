@@ -1,27 +1,22 @@
-(* ChaCha20 stream cipher (RFC 8439).  32-bit words are native ints masked
-   to 32 bits. *)
+(* ChaCha20 stream cipher (RFC 8439), rewritten for throughput: the
+   16-word state lives in unboxed native-int locals, the ten double-rounds
+   are fully unrolled (the [block_words] body below is machine-generated
+   from the RFC quarter-round schedule), and keystream is combined with
+   the buffer eight bytes at a time through the word helpers in
+   {!Bytes_util}.  The seed implementation survives verbatim as
+   {!Chacha20_ref} and is the differential oracle for this module
+   (test/prop/prop_chacha.ml); wire bytes are bit-identical by
+   construction and by pinned transcript digests. *)
 
 let mask32 = 0xffffffff
 let key_len = 32
 let nonce_len = 12
-
-let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
 
 (* The "expand 32-byte k" sigma constants. *)
 let c0 = 0x61707865
 let c1 = 0x3320646e
 let c2 = 0x79622d32
 let c3 = 0x6b206574
-
-let quarter_round st a b c d =
-  st.(a) <- (st.(a) + st.(b)) land mask32;
-  st.(d) <- rotl (st.(d) lxor st.(a)) 16;
-  st.(c) <- (st.(c) + st.(d)) land mask32;
-  st.(b) <- rotl (st.(b) lxor st.(c)) 12;
-  st.(a) <- (st.(a) + st.(b)) land mask32;
-  st.(d) <- rotl (st.(d) lxor st.(a)) 8;
-  st.(c) <- (st.(c) + st.(d)) land mask32;
-  st.(b) <- rotl (st.(b) lxor st.(c)) 7
 
 let init_state ~key ~nonce ~counter =
   if Bytes.length key <> key_len then invalid_arg "Chacha20: bad key length";
@@ -41,56 +36,1143 @@ let init_state ~key ~nonce ~counter =
   done;
   st
 
-(* One 64-byte keystream block into [out] at offset [off]. *)
-let block_into st out off =
-  let w = Array.copy st in
-  for _ = 1 to 10 do
-    quarter_round w 0 4 8 12;
-    quarter_round w 1 5 9 13;
-    quarter_round w 2 6 10 14;
-    quarter_round w 3 7 11 15;
-    quarter_round w 0 5 10 15;
-    quarter_round w 1 6 11 12;
-    quarter_round w 2 7 8 13;
-    quarter_round w 3 4 9 14
-  done;
-  for i = 0 to 15 do
-    Bytes_util.store_le32 out (off + (4 * i)) ((w.(i) + st.(i)) land mask32)
+(* One block of keystream words for state [st] at block counter [ctr],
+   written into [ws].(0..15).  [st].(12) is ignored in favour of [ctr] so
+   the multi-block loops never write the state array back.
+
+   Machine-generated from the RFC 8439 quarter-round schedule, with two
+   codegen-driven twists (the hot loop is fetch-bound, so instruction
+   bytes matter as much as count):
+
+   - Rotations are written [((x land lo_mask) lsl k) lor ((x lsr (32-k))
+     land hi_mask)] with sub-32-bit masks.  Both masks fit an x86 imm32
+     even after OCaml's tag bit (a [land 0xffffffff] needs a 10-byte
+     movabs per occurrence), and they make the rotation insensitive to
+     garbage above bit 31, so its output is exactly rot32(x land 2^32-1).
+
+   - Additions are therefore left unmasked: a quarter-round's xor-rotate
+     steps absorb dirty high bits, and only the add-accumulating words
+     (x0..x3, x8..x11) are clamped back to 32 bits twice per block to
+     stay far below the 63-bit native-int range.  The final state adds
+     stay dirty too — every consumer of [ws] stores through 16-bit
+     primitives that truncate in hardware ({!Bytes_util}).
+
+   The tagged values never exceed 2^49, and the serialized keystream is
+   bit-identical to {!Chacha20_ref} (gated by test/prop/prop_chacha.ml). *)
+let block_words st ctr ws =
+  let x0 = Array.unsafe_get st 0 in
+  let x1 = Array.unsafe_get st 1 in
+  let x2 = Array.unsafe_get st 2 in
+  let x3 = Array.unsafe_get st 3 in
+  let x4 = Array.unsafe_get st 4 in
+  let x5 = Array.unsafe_get st 5 in
+  let x6 = Array.unsafe_get st 6 in
+  let x7 = Array.unsafe_get st 7 in
+  let x8 = Array.unsafe_get st 8 in
+  let x9 = Array.unsafe_get st 9 in
+  let x10 = Array.unsafe_get st 10 in
+  let x11 = Array.unsafe_get st 11 in
+  let x12 = ctr in
+  let x13 = Array.unsafe_get st 13 in
+  let x14 = Array.unsafe_get st 14 in
+  let x15 = Array.unsafe_get st 15 in
+  (* double round 1 *)
+  let x0 = x0 + x4 in
+  let x12 = x12 lxor x0 in
+  let x12 = ((x12 land 0xffff) lsl 16) lor ((x12 lsr 16) land 0xffff) in
+  let x8 = x8 + x12 in
+  let x4 = x4 lxor x8 in
+  let x4 = ((x4 land 0xfffff) lsl 12) lor ((x4 lsr 20) land 0xfff) in
+  let x0 = x0 + x4 in
+  let x12 = x12 lxor x0 in
+  let x12 = ((x12 land 0xffffff) lsl 8) lor ((x12 lsr 24) land 0xff) in
+  let x8 = x8 + x12 in
+  let x4 = x4 lxor x8 in
+  let x4 = ((x4 land 0x1ffffff) lsl 7) lor ((x4 lsr 25) land 0x7f) in
+  let x1 = x1 + x5 in
+  let x13 = x13 lxor x1 in
+  let x13 = ((x13 land 0xffff) lsl 16) lor ((x13 lsr 16) land 0xffff) in
+  let x9 = x9 + x13 in
+  let x5 = x5 lxor x9 in
+  let x5 = ((x5 land 0xfffff) lsl 12) lor ((x5 lsr 20) land 0xfff) in
+  let x1 = x1 + x5 in
+  let x13 = x13 lxor x1 in
+  let x13 = ((x13 land 0xffffff) lsl 8) lor ((x13 lsr 24) land 0xff) in
+  let x9 = x9 + x13 in
+  let x5 = x5 lxor x9 in
+  let x5 = ((x5 land 0x1ffffff) lsl 7) lor ((x5 lsr 25) land 0x7f) in
+  let x2 = x2 + x6 in
+  let x14 = x14 lxor x2 in
+  let x14 = ((x14 land 0xffff) lsl 16) lor ((x14 lsr 16) land 0xffff) in
+  let x10 = x10 + x14 in
+  let x6 = x6 lxor x10 in
+  let x6 = ((x6 land 0xfffff) lsl 12) lor ((x6 lsr 20) land 0xfff) in
+  let x2 = x2 + x6 in
+  let x14 = x14 lxor x2 in
+  let x14 = ((x14 land 0xffffff) lsl 8) lor ((x14 lsr 24) land 0xff) in
+  let x10 = x10 + x14 in
+  let x6 = x6 lxor x10 in
+  let x6 = ((x6 land 0x1ffffff) lsl 7) lor ((x6 lsr 25) land 0x7f) in
+  let x3 = x3 + x7 in
+  let x15 = x15 lxor x3 in
+  let x15 = ((x15 land 0xffff) lsl 16) lor ((x15 lsr 16) land 0xffff) in
+  let x11 = x11 + x15 in
+  let x7 = x7 lxor x11 in
+  let x7 = ((x7 land 0xfffff) lsl 12) lor ((x7 lsr 20) land 0xfff) in
+  let x3 = x3 + x7 in
+  let x15 = x15 lxor x3 in
+  let x15 = ((x15 land 0xffffff) lsl 8) lor ((x15 lsr 24) land 0xff) in
+  let x11 = x11 + x15 in
+  let x7 = x7 lxor x11 in
+  let x7 = ((x7 land 0x1ffffff) lsl 7) lor ((x7 lsr 25) land 0x7f) in
+  let x0 = x0 + x5 in
+  let x15 = x15 lxor x0 in
+  let x15 = ((x15 land 0xffff) lsl 16) lor ((x15 lsr 16) land 0xffff) in
+  let x10 = x10 + x15 in
+  let x5 = x5 lxor x10 in
+  let x5 = ((x5 land 0xfffff) lsl 12) lor ((x5 lsr 20) land 0xfff) in
+  let x0 = x0 + x5 in
+  let x15 = x15 lxor x0 in
+  let x15 = ((x15 land 0xffffff) lsl 8) lor ((x15 lsr 24) land 0xff) in
+  let x10 = x10 + x15 in
+  let x5 = x5 lxor x10 in
+  let x5 = ((x5 land 0x1ffffff) lsl 7) lor ((x5 lsr 25) land 0x7f) in
+  let x1 = x1 + x6 in
+  let x12 = x12 lxor x1 in
+  let x12 = ((x12 land 0xffff) lsl 16) lor ((x12 lsr 16) land 0xffff) in
+  let x11 = x11 + x12 in
+  let x6 = x6 lxor x11 in
+  let x6 = ((x6 land 0xfffff) lsl 12) lor ((x6 lsr 20) land 0xfff) in
+  let x1 = x1 + x6 in
+  let x12 = x12 lxor x1 in
+  let x12 = ((x12 land 0xffffff) lsl 8) lor ((x12 lsr 24) land 0xff) in
+  let x11 = x11 + x12 in
+  let x6 = x6 lxor x11 in
+  let x6 = ((x6 land 0x1ffffff) lsl 7) lor ((x6 lsr 25) land 0x7f) in
+  let x2 = x2 + x7 in
+  let x13 = x13 lxor x2 in
+  let x13 = ((x13 land 0xffff) lsl 16) lor ((x13 lsr 16) land 0xffff) in
+  let x8 = x8 + x13 in
+  let x7 = x7 lxor x8 in
+  let x7 = ((x7 land 0xfffff) lsl 12) lor ((x7 lsr 20) land 0xfff) in
+  let x2 = x2 + x7 in
+  let x13 = x13 lxor x2 in
+  let x13 = ((x13 land 0xffffff) lsl 8) lor ((x13 lsr 24) land 0xff) in
+  let x8 = x8 + x13 in
+  let x7 = x7 lxor x8 in
+  let x7 = ((x7 land 0x1ffffff) lsl 7) lor ((x7 lsr 25) land 0x7f) in
+  let x3 = x3 + x4 in
+  let x14 = x14 lxor x3 in
+  let x14 = ((x14 land 0xffff) lsl 16) lor ((x14 lsr 16) land 0xffff) in
+  let x9 = x9 + x14 in
+  let x4 = x4 lxor x9 in
+  let x4 = ((x4 land 0xfffff) lsl 12) lor ((x4 lsr 20) land 0xfff) in
+  let x3 = x3 + x4 in
+  let x14 = x14 lxor x3 in
+  let x14 = ((x14 land 0xffffff) lsl 8) lor ((x14 lsr 24) land 0xff) in
+  let x9 = x9 + x14 in
+  let x4 = x4 lxor x9 in
+  let x4 = ((x4 land 0x1ffffff) lsl 7) lor ((x4 lsr 25) land 0x7f) in
+  (* double round 2 *)
+  let x0 = x0 + x4 in
+  let x12 = x12 lxor x0 in
+  let x12 = ((x12 land 0xffff) lsl 16) lor ((x12 lsr 16) land 0xffff) in
+  let x8 = x8 + x12 in
+  let x4 = x4 lxor x8 in
+  let x4 = ((x4 land 0xfffff) lsl 12) lor ((x4 lsr 20) land 0xfff) in
+  let x0 = x0 + x4 in
+  let x12 = x12 lxor x0 in
+  let x12 = ((x12 land 0xffffff) lsl 8) lor ((x12 lsr 24) land 0xff) in
+  let x8 = x8 + x12 in
+  let x4 = x4 lxor x8 in
+  let x4 = ((x4 land 0x1ffffff) lsl 7) lor ((x4 lsr 25) land 0x7f) in
+  let x1 = x1 + x5 in
+  let x13 = x13 lxor x1 in
+  let x13 = ((x13 land 0xffff) lsl 16) lor ((x13 lsr 16) land 0xffff) in
+  let x9 = x9 + x13 in
+  let x5 = x5 lxor x9 in
+  let x5 = ((x5 land 0xfffff) lsl 12) lor ((x5 lsr 20) land 0xfff) in
+  let x1 = x1 + x5 in
+  let x13 = x13 lxor x1 in
+  let x13 = ((x13 land 0xffffff) lsl 8) lor ((x13 lsr 24) land 0xff) in
+  let x9 = x9 + x13 in
+  let x5 = x5 lxor x9 in
+  let x5 = ((x5 land 0x1ffffff) lsl 7) lor ((x5 lsr 25) land 0x7f) in
+  let x2 = x2 + x6 in
+  let x14 = x14 lxor x2 in
+  let x14 = ((x14 land 0xffff) lsl 16) lor ((x14 lsr 16) land 0xffff) in
+  let x10 = x10 + x14 in
+  let x6 = x6 lxor x10 in
+  let x6 = ((x6 land 0xfffff) lsl 12) lor ((x6 lsr 20) land 0xfff) in
+  let x2 = x2 + x6 in
+  let x14 = x14 lxor x2 in
+  let x14 = ((x14 land 0xffffff) lsl 8) lor ((x14 lsr 24) land 0xff) in
+  let x10 = x10 + x14 in
+  let x6 = x6 lxor x10 in
+  let x6 = ((x6 land 0x1ffffff) lsl 7) lor ((x6 lsr 25) land 0x7f) in
+  let x3 = x3 + x7 in
+  let x15 = x15 lxor x3 in
+  let x15 = ((x15 land 0xffff) lsl 16) lor ((x15 lsr 16) land 0xffff) in
+  let x11 = x11 + x15 in
+  let x7 = x7 lxor x11 in
+  let x7 = ((x7 land 0xfffff) lsl 12) lor ((x7 lsr 20) land 0xfff) in
+  let x3 = x3 + x7 in
+  let x15 = x15 lxor x3 in
+  let x15 = ((x15 land 0xffffff) lsl 8) lor ((x15 lsr 24) land 0xff) in
+  let x11 = x11 + x15 in
+  let x7 = x7 lxor x11 in
+  let x7 = ((x7 land 0x1ffffff) lsl 7) lor ((x7 lsr 25) land 0x7f) in
+  let x0 = x0 + x5 in
+  let x15 = x15 lxor x0 in
+  let x15 = ((x15 land 0xffff) lsl 16) lor ((x15 lsr 16) land 0xffff) in
+  let x10 = x10 + x15 in
+  let x5 = x5 lxor x10 in
+  let x5 = ((x5 land 0xfffff) lsl 12) lor ((x5 lsr 20) land 0xfff) in
+  let x0 = x0 + x5 in
+  let x15 = x15 lxor x0 in
+  let x15 = ((x15 land 0xffffff) lsl 8) lor ((x15 lsr 24) land 0xff) in
+  let x10 = x10 + x15 in
+  let x5 = x5 lxor x10 in
+  let x5 = ((x5 land 0x1ffffff) lsl 7) lor ((x5 lsr 25) land 0x7f) in
+  let x1 = x1 + x6 in
+  let x12 = x12 lxor x1 in
+  let x12 = ((x12 land 0xffff) lsl 16) lor ((x12 lsr 16) land 0xffff) in
+  let x11 = x11 + x12 in
+  let x6 = x6 lxor x11 in
+  let x6 = ((x6 land 0xfffff) lsl 12) lor ((x6 lsr 20) land 0xfff) in
+  let x1 = x1 + x6 in
+  let x12 = x12 lxor x1 in
+  let x12 = ((x12 land 0xffffff) lsl 8) lor ((x12 lsr 24) land 0xff) in
+  let x11 = x11 + x12 in
+  let x6 = x6 lxor x11 in
+  let x6 = ((x6 land 0x1ffffff) lsl 7) lor ((x6 lsr 25) land 0x7f) in
+  let x2 = x2 + x7 in
+  let x13 = x13 lxor x2 in
+  let x13 = ((x13 land 0xffff) lsl 16) lor ((x13 lsr 16) land 0xffff) in
+  let x8 = x8 + x13 in
+  let x7 = x7 lxor x8 in
+  let x7 = ((x7 land 0xfffff) lsl 12) lor ((x7 lsr 20) land 0xfff) in
+  let x2 = x2 + x7 in
+  let x13 = x13 lxor x2 in
+  let x13 = ((x13 land 0xffffff) lsl 8) lor ((x13 lsr 24) land 0xff) in
+  let x8 = x8 + x13 in
+  let x7 = x7 lxor x8 in
+  let x7 = ((x7 land 0x1ffffff) lsl 7) lor ((x7 lsr 25) land 0x7f) in
+  let x3 = x3 + x4 in
+  let x14 = x14 lxor x3 in
+  let x14 = ((x14 land 0xffff) lsl 16) lor ((x14 lsr 16) land 0xffff) in
+  let x9 = x9 + x14 in
+  let x4 = x4 lxor x9 in
+  let x4 = ((x4 land 0xfffff) lsl 12) lor ((x4 lsr 20) land 0xfff) in
+  let x3 = x3 + x4 in
+  let x14 = x14 lxor x3 in
+  let x14 = ((x14 land 0xffffff) lsl 8) lor ((x14 lsr 24) land 0xff) in
+  let x9 = x9 + x14 in
+  let x4 = x4 lxor x9 in
+  let x4 = ((x4 land 0x1ffffff) lsl 7) lor ((x4 lsr 25) land 0x7f) in
+  (* double round 3 *)
+  let x0 = x0 + x4 in
+  let x12 = x12 lxor x0 in
+  let x12 = ((x12 land 0xffff) lsl 16) lor ((x12 lsr 16) land 0xffff) in
+  let x8 = x8 + x12 in
+  let x4 = x4 lxor x8 in
+  let x4 = ((x4 land 0xfffff) lsl 12) lor ((x4 lsr 20) land 0xfff) in
+  let x0 = x0 + x4 in
+  let x12 = x12 lxor x0 in
+  let x12 = ((x12 land 0xffffff) lsl 8) lor ((x12 lsr 24) land 0xff) in
+  let x8 = x8 + x12 in
+  let x4 = x4 lxor x8 in
+  let x4 = ((x4 land 0x1ffffff) lsl 7) lor ((x4 lsr 25) land 0x7f) in
+  let x1 = x1 + x5 in
+  let x13 = x13 lxor x1 in
+  let x13 = ((x13 land 0xffff) lsl 16) lor ((x13 lsr 16) land 0xffff) in
+  let x9 = x9 + x13 in
+  let x5 = x5 lxor x9 in
+  let x5 = ((x5 land 0xfffff) lsl 12) lor ((x5 lsr 20) land 0xfff) in
+  let x1 = x1 + x5 in
+  let x13 = x13 lxor x1 in
+  let x13 = ((x13 land 0xffffff) lsl 8) lor ((x13 lsr 24) land 0xff) in
+  let x9 = x9 + x13 in
+  let x5 = x5 lxor x9 in
+  let x5 = ((x5 land 0x1ffffff) lsl 7) lor ((x5 lsr 25) land 0x7f) in
+  let x2 = x2 + x6 in
+  let x14 = x14 lxor x2 in
+  let x14 = ((x14 land 0xffff) lsl 16) lor ((x14 lsr 16) land 0xffff) in
+  let x10 = x10 + x14 in
+  let x6 = x6 lxor x10 in
+  let x6 = ((x6 land 0xfffff) lsl 12) lor ((x6 lsr 20) land 0xfff) in
+  let x2 = x2 + x6 in
+  let x14 = x14 lxor x2 in
+  let x14 = ((x14 land 0xffffff) lsl 8) lor ((x14 lsr 24) land 0xff) in
+  let x10 = x10 + x14 in
+  let x6 = x6 lxor x10 in
+  let x6 = ((x6 land 0x1ffffff) lsl 7) lor ((x6 lsr 25) land 0x7f) in
+  let x3 = x3 + x7 in
+  let x15 = x15 lxor x3 in
+  let x15 = ((x15 land 0xffff) lsl 16) lor ((x15 lsr 16) land 0xffff) in
+  let x11 = x11 + x15 in
+  let x7 = x7 lxor x11 in
+  let x7 = ((x7 land 0xfffff) lsl 12) lor ((x7 lsr 20) land 0xfff) in
+  let x3 = x3 + x7 in
+  let x15 = x15 lxor x3 in
+  let x15 = ((x15 land 0xffffff) lsl 8) lor ((x15 lsr 24) land 0xff) in
+  let x11 = x11 + x15 in
+  let x7 = x7 lxor x11 in
+  let x7 = ((x7 land 0x1ffffff) lsl 7) lor ((x7 lsr 25) land 0x7f) in
+  let x0 = x0 + x5 in
+  let x15 = x15 lxor x0 in
+  let x15 = ((x15 land 0xffff) lsl 16) lor ((x15 lsr 16) land 0xffff) in
+  let x10 = x10 + x15 in
+  let x5 = x5 lxor x10 in
+  let x5 = ((x5 land 0xfffff) lsl 12) lor ((x5 lsr 20) land 0xfff) in
+  let x0 = x0 + x5 in
+  let x15 = x15 lxor x0 in
+  let x15 = ((x15 land 0xffffff) lsl 8) lor ((x15 lsr 24) land 0xff) in
+  let x10 = x10 + x15 in
+  let x5 = x5 lxor x10 in
+  let x5 = ((x5 land 0x1ffffff) lsl 7) lor ((x5 lsr 25) land 0x7f) in
+  let x1 = x1 + x6 in
+  let x12 = x12 lxor x1 in
+  let x12 = ((x12 land 0xffff) lsl 16) lor ((x12 lsr 16) land 0xffff) in
+  let x11 = x11 + x12 in
+  let x6 = x6 lxor x11 in
+  let x6 = ((x6 land 0xfffff) lsl 12) lor ((x6 lsr 20) land 0xfff) in
+  let x1 = x1 + x6 in
+  let x12 = x12 lxor x1 in
+  let x12 = ((x12 land 0xffffff) lsl 8) lor ((x12 lsr 24) land 0xff) in
+  let x11 = x11 + x12 in
+  let x6 = x6 lxor x11 in
+  let x6 = ((x6 land 0x1ffffff) lsl 7) lor ((x6 lsr 25) land 0x7f) in
+  let x2 = x2 + x7 in
+  let x13 = x13 lxor x2 in
+  let x13 = ((x13 land 0xffff) lsl 16) lor ((x13 lsr 16) land 0xffff) in
+  let x8 = x8 + x13 in
+  let x7 = x7 lxor x8 in
+  let x7 = ((x7 land 0xfffff) lsl 12) lor ((x7 lsr 20) land 0xfff) in
+  let x2 = x2 + x7 in
+  let x13 = x13 lxor x2 in
+  let x13 = ((x13 land 0xffffff) lsl 8) lor ((x13 lsr 24) land 0xff) in
+  let x8 = x8 + x13 in
+  let x7 = x7 lxor x8 in
+  let x7 = ((x7 land 0x1ffffff) lsl 7) lor ((x7 lsr 25) land 0x7f) in
+  let x3 = x3 + x4 in
+  let x14 = x14 lxor x3 in
+  let x14 = ((x14 land 0xffff) lsl 16) lor ((x14 lsr 16) land 0xffff) in
+  let x9 = x9 + x14 in
+  let x4 = x4 lxor x9 in
+  let x4 = ((x4 land 0xfffff) lsl 12) lor ((x4 lsr 20) land 0xfff) in
+  let x3 = x3 + x4 in
+  let x14 = x14 lxor x3 in
+  let x14 = ((x14 land 0xffffff) lsl 8) lor ((x14 lsr 24) land 0xff) in
+  let x9 = x9 + x14 in
+  let x4 = x4 lxor x9 in
+  let x4 = ((x4 land 0x1ffffff) lsl 7) lor ((x4 lsr 25) land 0x7f) in
+  (* double round 4 *)
+  let x0 = x0 + x4 in
+  let x12 = x12 lxor x0 in
+  let x12 = ((x12 land 0xffff) lsl 16) lor ((x12 lsr 16) land 0xffff) in
+  let x8 = x8 + x12 in
+  let x4 = x4 lxor x8 in
+  let x4 = ((x4 land 0xfffff) lsl 12) lor ((x4 lsr 20) land 0xfff) in
+  let x0 = x0 + x4 in
+  let x12 = x12 lxor x0 in
+  let x12 = ((x12 land 0xffffff) lsl 8) lor ((x12 lsr 24) land 0xff) in
+  let x8 = x8 + x12 in
+  let x4 = x4 lxor x8 in
+  let x4 = ((x4 land 0x1ffffff) lsl 7) lor ((x4 lsr 25) land 0x7f) in
+  let x1 = x1 + x5 in
+  let x13 = x13 lxor x1 in
+  let x13 = ((x13 land 0xffff) lsl 16) lor ((x13 lsr 16) land 0xffff) in
+  let x9 = x9 + x13 in
+  let x5 = x5 lxor x9 in
+  let x5 = ((x5 land 0xfffff) lsl 12) lor ((x5 lsr 20) land 0xfff) in
+  let x1 = x1 + x5 in
+  let x13 = x13 lxor x1 in
+  let x13 = ((x13 land 0xffffff) lsl 8) lor ((x13 lsr 24) land 0xff) in
+  let x9 = x9 + x13 in
+  let x5 = x5 lxor x9 in
+  let x5 = ((x5 land 0x1ffffff) lsl 7) lor ((x5 lsr 25) land 0x7f) in
+  let x2 = x2 + x6 in
+  let x14 = x14 lxor x2 in
+  let x14 = ((x14 land 0xffff) lsl 16) lor ((x14 lsr 16) land 0xffff) in
+  let x10 = x10 + x14 in
+  let x6 = x6 lxor x10 in
+  let x6 = ((x6 land 0xfffff) lsl 12) lor ((x6 lsr 20) land 0xfff) in
+  let x2 = x2 + x6 in
+  let x14 = x14 lxor x2 in
+  let x14 = ((x14 land 0xffffff) lsl 8) lor ((x14 lsr 24) land 0xff) in
+  let x10 = x10 + x14 in
+  let x6 = x6 lxor x10 in
+  let x6 = ((x6 land 0x1ffffff) lsl 7) lor ((x6 lsr 25) land 0x7f) in
+  let x3 = x3 + x7 in
+  let x15 = x15 lxor x3 in
+  let x15 = ((x15 land 0xffff) lsl 16) lor ((x15 lsr 16) land 0xffff) in
+  let x11 = x11 + x15 in
+  let x7 = x7 lxor x11 in
+  let x7 = ((x7 land 0xfffff) lsl 12) lor ((x7 lsr 20) land 0xfff) in
+  let x3 = x3 + x7 in
+  let x15 = x15 lxor x3 in
+  let x15 = ((x15 land 0xffffff) lsl 8) lor ((x15 lsr 24) land 0xff) in
+  let x11 = x11 + x15 in
+  let x7 = x7 lxor x11 in
+  let x7 = ((x7 land 0x1ffffff) lsl 7) lor ((x7 lsr 25) land 0x7f) in
+  let x0 = x0 + x5 in
+  let x15 = x15 lxor x0 in
+  let x15 = ((x15 land 0xffff) lsl 16) lor ((x15 lsr 16) land 0xffff) in
+  let x10 = x10 + x15 in
+  let x5 = x5 lxor x10 in
+  let x5 = ((x5 land 0xfffff) lsl 12) lor ((x5 lsr 20) land 0xfff) in
+  let x0 = x0 + x5 in
+  let x15 = x15 lxor x0 in
+  let x15 = ((x15 land 0xffffff) lsl 8) lor ((x15 lsr 24) land 0xff) in
+  let x10 = x10 + x15 in
+  let x5 = x5 lxor x10 in
+  let x5 = ((x5 land 0x1ffffff) lsl 7) lor ((x5 lsr 25) land 0x7f) in
+  let x1 = x1 + x6 in
+  let x12 = x12 lxor x1 in
+  let x12 = ((x12 land 0xffff) lsl 16) lor ((x12 lsr 16) land 0xffff) in
+  let x11 = x11 + x12 in
+  let x6 = x6 lxor x11 in
+  let x6 = ((x6 land 0xfffff) lsl 12) lor ((x6 lsr 20) land 0xfff) in
+  let x1 = x1 + x6 in
+  let x12 = x12 lxor x1 in
+  let x12 = ((x12 land 0xffffff) lsl 8) lor ((x12 lsr 24) land 0xff) in
+  let x11 = x11 + x12 in
+  let x6 = x6 lxor x11 in
+  let x6 = ((x6 land 0x1ffffff) lsl 7) lor ((x6 lsr 25) land 0x7f) in
+  let x2 = x2 + x7 in
+  let x13 = x13 lxor x2 in
+  let x13 = ((x13 land 0xffff) lsl 16) lor ((x13 lsr 16) land 0xffff) in
+  let x8 = x8 + x13 in
+  let x7 = x7 lxor x8 in
+  let x7 = ((x7 land 0xfffff) lsl 12) lor ((x7 lsr 20) land 0xfff) in
+  let x2 = x2 + x7 in
+  let x13 = x13 lxor x2 in
+  let x13 = ((x13 land 0xffffff) lsl 8) lor ((x13 lsr 24) land 0xff) in
+  let x8 = x8 + x13 in
+  let x7 = x7 lxor x8 in
+  let x7 = ((x7 land 0x1ffffff) lsl 7) lor ((x7 lsr 25) land 0x7f) in
+  let x3 = x3 + x4 in
+  let x14 = x14 lxor x3 in
+  let x14 = ((x14 land 0xffff) lsl 16) lor ((x14 lsr 16) land 0xffff) in
+  let x9 = x9 + x14 in
+  let x4 = x4 lxor x9 in
+  let x4 = ((x4 land 0xfffff) lsl 12) lor ((x4 lsr 20) land 0xfff) in
+  let x3 = x3 + x4 in
+  let x14 = x14 lxor x3 in
+  let x14 = ((x14 land 0xffffff) lsl 8) lor ((x14 lsr 24) land 0xff) in
+  let x9 = x9 + x14 in
+  let x4 = x4 lxor x9 in
+  let x4 = ((x4 land 0x1ffffff) lsl 7) lor ((x4 lsr 25) land 0x7f) in
+  (* re-mask the add-accumulating words: the a/c columns gain at most
+     four dirty high bits per double round, so clamping them here keeps
+     every intermediate below 2^48 << 2^62. *)
+  let x0 = x0 land mask32 in
+  let x1 = x1 land mask32 in
+  let x2 = x2 land mask32 in
+  let x3 = x3 land mask32 in
+  let x8 = x8 land mask32 in
+  let x9 = x9 land mask32 in
+  let x10 = x10 land mask32 in
+  let x11 = x11 land mask32 in
+  (* double round 5 *)
+  let x0 = x0 + x4 in
+  let x12 = x12 lxor x0 in
+  let x12 = ((x12 land 0xffff) lsl 16) lor ((x12 lsr 16) land 0xffff) in
+  let x8 = x8 + x12 in
+  let x4 = x4 lxor x8 in
+  let x4 = ((x4 land 0xfffff) lsl 12) lor ((x4 lsr 20) land 0xfff) in
+  let x0 = x0 + x4 in
+  let x12 = x12 lxor x0 in
+  let x12 = ((x12 land 0xffffff) lsl 8) lor ((x12 lsr 24) land 0xff) in
+  let x8 = x8 + x12 in
+  let x4 = x4 lxor x8 in
+  let x4 = ((x4 land 0x1ffffff) lsl 7) lor ((x4 lsr 25) land 0x7f) in
+  let x1 = x1 + x5 in
+  let x13 = x13 lxor x1 in
+  let x13 = ((x13 land 0xffff) lsl 16) lor ((x13 lsr 16) land 0xffff) in
+  let x9 = x9 + x13 in
+  let x5 = x5 lxor x9 in
+  let x5 = ((x5 land 0xfffff) lsl 12) lor ((x5 lsr 20) land 0xfff) in
+  let x1 = x1 + x5 in
+  let x13 = x13 lxor x1 in
+  let x13 = ((x13 land 0xffffff) lsl 8) lor ((x13 lsr 24) land 0xff) in
+  let x9 = x9 + x13 in
+  let x5 = x5 lxor x9 in
+  let x5 = ((x5 land 0x1ffffff) lsl 7) lor ((x5 lsr 25) land 0x7f) in
+  let x2 = x2 + x6 in
+  let x14 = x14 lxor x2 in
+  let x14 = ((x14 land 0xffff) lsl 16) lor ((x14 lsr 16) land 0xffff) in
+  let x10 = x10 + x14 in
+  let x6 = x6 lxor x10 in
+  let x6 = ((x6 land 0xfffff) lsl 12) lor ((x6 lsr 20) land 0xfff) in
+  let x2 = x2 + x6 in
+  let x14 = x14 lxor x2 in
+  let x14 = ((x14 land 0xffffff) lsl 8) lor ((x14 lsr 24) land 0xff) in
+  let x10 = x10 + x14 in
+  let x6 = x6 lxor x10 in
+  let x6 = ((x6 land 0x1ffffff) lsl 7) lor ((x6 lsr 25) land 0x7f) in
+  let x3 = x3 + x7 in
+  let x15 = x15 lxor x3 in
+  let x15 = ((x15 land 0xffff) lsl 16) lor ((x15 lsr 16) land 0xffff) in
+  let x11 = x11 + x15 in
+  let x7 = x7 lxor x11 in
+  let x7 = ((x7 land 0xfffff) lsl 12) lor ((x7 lsr 20) land 0xfff) in
+  let x3 = x3 + x7 in
+  let x15 = x15 lxor x3 in
+  let x15 = ((x15 land 0xffffff) lsl 8) lor ((x15 lsr 24) land 0xff) in
+  let x11 = x11 + x15 in
+  let x7 = x7 lxor x11 in
+  let x7 = ((x7 land 0x1ffffff) lsl 7) lor ((x7 lsr 25) land 0x7f) in
+  let x0 = x0 + x5 in
+  let x15 = x15 lxor x0 in
+  let x15 = ((x15 land 0xffff) lsl 16) lor ((x15 lsr 16) land 0xffff) in
+  let x10 = x10 + x15 in
+  let x5 = x5 lxor x10 in
+  let x5 = ((x5 land 0xfffff) lsl 12) lor ((x5 lsr 20) land 0xfff) in
+  let x0 = x0 + x5 in
+  let x15 = x15 lxor x0 in
+  let x15 = ((x15 land 0xffffff) lsl 8) lor ((x15 lsr 24) land 0xff) in
+  let x10 = x10 + x15 in
+  let x5 = x5 lxor x10 in
+  let x5 = ((x5 land 0x1ffffff) lsl 7) lor ((x5 lsr 25) land 0x7f) in
+  let x1 = x1 + x6 in
+  let x12 = x12 lxor x1 in
+  let x12 = ((x12 land 0xffff) lsl 16) lor ((x12 lsr 16) land 0xffff) in
+  let x11 = x11 + x12 in
+  let x6 = x6 lxor x11 in
+  let x6 = ((x6 land 0xfffff) lsl 12) lor ((x6 lsr 20) land 0xfff) in
+  let x1 = x1 + x6 in
+  let x12 = x12 lxor x1 in
+  let x12 = ((x12 land 0xffffff) lsl 8) lor ((x12 lsr 24) land 0xff) in
+  let x11 = x11 + x12 in
+  let x6 = x6 lxor x11 in
+  let x6 = ((x6 land 0x1ffffff) lsl 7) lor ((x6 lsr 25) land 0x7f) in
+  let x2 = x2 + x7 in
+  let x13 = x13 lxor x2 in
+  let x13 = ((x13 land 0xffff) lsl 16) lor ((x13 lsr 16) land 0xffff) in
+  let x8 = x8 + x13 in
+  let x7 = x7 lxor x8 in
+  let x7 = ((x7 land 0xfffff) lsl 12) lor ((x7 lsr 20) land 0xfff) in
+  let x2 = x2 + x7 in
+  let x13 = x13 lxor x2 in
+  let x13 = ((x13 land 0xffffff) lsl 8) lor ((x13 lsr 24) land 0xff) in
+  let x8 = x8 + x13 in
+  let x7 = x7 lxor x8 in
+  let x7 = ((x7 land 0x1ffffff) lsl 7) lor ((x7 lsr 25) land 0x7f) in
+  let x3 = x3 + x4 in
+  let x14 = x14 lxor x3 in
+  let x14 = ((x14 land 0xffff) lsl 16) lor ((x14 lsr 16) land 0xffff) in
+  let x9 = x9 + x14 in
+  let x4 = x4 lxor x9 in
+  let x4 = ((x4 land 0xfffff) lsl 12) lor ((x4 lsr 20) land 0xfff) in
+  let x3 = x3 + x4 in
+  let x14 = x14 lxor x3 in
+  let x14 = ((x14 land 0xffffff) lsl 8) lor ((x14 lsr 24) land 0xff) in
+  let x9 = x9 + x14 in
+  let x4 = x4 lxor x9 in
+  let x4 = ((x4 land 0x1ffffff) lsl 7) lor ((x4 lsr 25) land 0x7f) in
+  (* double round 6 *)
+  let x0 = x0 + x4 in
+  let x12 = x12 lxor x0 in
+  let x12 = ((x12 land 0xffff) lsl 16) lor ((x12 lsr 16) land 0xffff) in
+  let x8 = x8 + x12 in
+  let x4 = x4 lxor x8 in
+  let x4 = ((x4 land 0xfffff) lsl 12) lor ((x4 lsr 20) land 0xfff) in
+  let x0 = x0 + x4 in
+  let x12 = x12 lxor x0 in
+  let x12 = ((x12 land 0xffffff) lsl 8) lor ((x12 lsr 24) land 0xff) in
+  let x8 = x8 + x12 in
+  let x4 = x4 lxor x8 in
+  let x4 = ((x4 land 0x1ffffff) lsl 7) lor ((x4 lsr 25) land 0x7f) in
+  let x1 = x1 + x5 in
+  let x13 = x13 lxor x1 in
+  let x13 = ((x13 land 0xffff) lsl 16) lor ((x13 lsr 16) land 0xffff) in
+  let x9 = x9 + x13 in
+  let x5 = x5 lxor x9 in
+  let x5 = ((x5 land 0xfffff) lsl 12) lor ((x5 lsr 20) land 0xfff) in
+  let x1 = x1 + x5 in
+  let x13 = x13 lxor x1 in
+  let x13 = ((x13 land 0xffffff) lsl 8) lor ((x13 lsr 24) land 0xff) in
+  let x9 = x9 + x13 in
+  let x5 = x5 lxor x9 in
+  let x5 = ((x5 land 0x1ffffff) lsl 7) lor ((x5 lsr 25) land 0x7f) in
+  let x2 = x2 + x6 in
+  let x14 = x14 lxor x2 in
+  let x14 = ((x14 land 0xffff) lsl 16) lor ((x14 lsr 16) land 0xffff) in
+  let x10 = x10 + x14 in
+  let x6 = x6 lxor x10 in
+  let x6 = ((x6 land 0xfffff) lsl 12) lor ((x6 lsr 20) land 0xfff) in
+  let x2 = x2 + x6 in
+  let x14 = x14 lxor x2 in
+  let x14 = ((x14 land 0xffffff) lsl 8) lor ((x14 lsr 24) land 0xff) in
+  let x10 = x10 + x14 in
+  let x6 = x6 lxor x10 in
+  let x6 = ((x6 land 0x1ffffff) lsl 7) lor ((x6 lsr 25) land 0x7f) in
+  let x3 = x3 + x7 in
+  let x15 = x15 lxor x3 in
+  let x15 = ((x15 land 0xffff) lsl 16) lor ((x15 lsr 16) land 0xffff) in
+  let x11 = x11 + x15 in
+  let x7 = x7 lxor x11 in
+  let x7 = ((x7 land 0xfffff) lsl 12) lor ((x7 lsr 20) land 0xfff) in
+  let x3 = x3 + x7 in
+  let x15 = x15 lxor x3 in
+  let x15 = ((x15 land 0xffffff) lsl 8) lor ((x15 lsr 24) land 0xff) in
+  let x11 = x11 + x15 in
+  let x7 = x7 lxor x11 in
+  let x7 = ((x7 land 0x1ffffff) lsl 7) lor ((x7 lsr 25) land 0x7f) in
+  let x0 = x0 + x5 in
+  let x15 = x15 lxor x0 in
+  let x15 = ((x15 land 0xffff) lsl 16) lor ((x15 lsr 16) land 0xffff) in
+  let x10 = x10 + x15 in
+  let x5 = x5 lxor x10 in
+  let x5 = ((x5 land 0xfffff) lsl 12) lor ((x5 lsr 20) land 0xfff) in
+  let x0 = x0 + x5 in
+  let x15 = x15 lxor x0 in
+  let x15 = ((x15 land 0xffffff) lsl 8) lor ((x15 lsr 24) land 0xff) in
+  let x10 = x10 + x15 in
+  let x5 = x5 lxor x10 in
+  let x5 = ((x5 land 0x1ffffff) lsl 7) lor ((x5 lsr 25) land 0x7f) in
+  let x1 = x1 + x6 in
+  let x12 = x12 lxor x1 in
+  let x12 = ((x12 land 0xffff) lsl 16) lor ((x12 lsr 16) land 0xffff) in
+  let x11 = x11 + x12 in
+  let x6 = x6 lxor x11 in
+  let x6 = ((x6 land 0xfffff) lsl 12) lor ((x6 lsr 20) land 0xfff) in
+  let x1 = x1 + x6 in
+  let x12 = x12 lxor x1 in
+  let x12 = ((x12 land 0xffffff) lsl 8) lor ((x12 lsr 24) land 0xff) in
+  let x11 = x11 + x12 in
+  let x6 = x6 lxor x11 in
+  let x6 = ((x6 land 0x1ffffff) lsl 7) lor ((x6 lsr 25) land 0x7f) in
+  let x2 = x2 + x7 in
+  let x13 = x13 lxor x2 in
+  let x13 = ((x13 land 0xffff) lsl 16) lor ((x13 lsr 16) land 0xffff) in
+  let x8 = x8 + x13 in
+  let x7 = x7 lxor x8 in
+  let x7 = ((x7 land 0xfffff) lsl 12) lor ((x7 lsr 20) land 0xfff) in
+  let x2 = x2 + x7 in
+  let x13 = x13 lxor x2 in
+  let x13 = ((x13 land 0xffffff) lsl 8) lor ((x13 lsr 24) land 0xff) in
+  let x8 = x8 + x13 in
+  let x7 = x7 lxor x8 in
+  let x7 = ((x7 land 0x1ffffff) lsl 7) lor ((x7 lsr 25) land 0x7f) in
+  let x3 = x3 + x4 in
+  let x14 = x14 lxor x3 in
+  let x14 = ((x14 land 0xffff) lsl 16) lor ((x14 lsr 16) land 0xffff) in
+  let x9 = x9 + x14 in
+  let x4 = x4 lxor x9 in
+  let x4 = ((x4 land 0xfffff) lsl 12) lor ((x4 lsr 20) land 0xfff) in
+  let x3 = x3 + x4 in
+  let x14 = x14 lxor x3 in
+  let x14 = ((x14 land 0xffffff) lsl 8) lor ((x14 lsr 24) land 0xff) in
+  let x9 = x9 + x14 in
+  let x4 = x4 lxor x9 in
+  let x4 = ((x4 land 0x1ffffff) lsl 7) lor ((x4 lsr 25) land 0x7f) in
+  (* double round 7 *)
+  let x0 = x0 + x4 in
+  let x12 = x12 lxor x0 in
+  let x12 = ((x12 land 0xffff) lsl 16) lor ((x12 lsr 16) land 0xffff) in
+  let x8 = x8 + x12 in
+  let x4 = x4 lxor x8 in
+  let x4 = ((x4 land 0xfffff) lsl 12) lor ((x4 lsr 20) land 0xfff) in
+  let x0 = x0 + x4 in
+  let x12 = x12 lxor x0 in
+  let x12 = ((x12 land 0xffffff) lsl 8) lor ((x12 lsr 24) land 0xff) in
+  let x8 = x8 + x12 in
+  let x4 = x4 lxor x8 in
+  let x4 = ((x4 land 0x1ffffff) lsl 7) lor ((x4 lsr 25) land 0x7f) in
+  let x1 = x1 + x5 in
+  let x13 = x13 lxor x1 in
+  let x13 = ((x13 land 0xffff) lsl 16) lor ((x13 lsr 16) land 0xffff) in
+  let x9 = x9 + x13 in
+  let x5 = x5 lxor x9 in
+  let x5 = ((x5 land 0xfffff) lsl 12) lor ((x5 lsr 20) land 0xfff) in
+  let x1 = x1 + x5 in
+  let x13 = x13 lxor x1 in
+  let x13 = ((x13 land 0xffffff) lsl 8) lor ((x13 lsr 24) land 0xff) in
+  let x9 = x9 + x13 in
+  let x5 = x5 lxor x9 in
+  let x5 = ((x5 land 0x1ffffff) lsl 7) lor ((x5 lsr 25) land 0x7f) in
+  let x2 = x2 + x6 in
+  let x14 = x14 lxor x2 in
+  let x14 = ((x14 land 0xffff) lsl 16) lor ((x14 lsr 16) land 0xffff) in
+  let x10 = x10 + x14 in
+  let x6 = x6 lxor x10 in
+  let x6 = ((x6 land 0xfffff) lsl 12) lor ((x6 lsr 20) land 0xfff) in
+  let x2 = x2 + x6 in
+  let x14 = x14 lxor x2 in
+  let x14 = ((x14 land 0xffffff) lsl 8) lor ((x14 lsr 24) land 0xff) in
+  let x10 = x10 + x14 in
+  let x6 = x6 lxor x10 in
+  let x6 = ((x6 land 0x1ffffff) lsl 7) lor ((x6 lsr 25) land 0x7f) in
+  let x3 = x3 + x7 in
+  let x15 = x15 lxor x3 in
+  let x15 = ((x15 land 0xffff) lsl 16) lor ((x15 lsr 16) land 0xffff) in
+  let x11 = x11 + x15 in
+  let x7 = x7 lxor x11 in
+  let x7 = ((x7 land 0xfffff) lsl 12) lor ((x7 lsr 20) land 0xfff) in
+  let x3 = x3 + x7 in
+  let x15 = x15 lxor x3 in
+  let x15 = ((x15 land 0xffffff) lsl 8) lor ((x15 lsr 24) land 0xff) in
+  let x11 = x11 + x15 in
+  let x7 = x7 lxor x11 in
+  let x7 = ((x7 land 0x1ffffff) lsl 7) lor ((x7 lsr 25) land 0x7f) in
+  let x0 = x0 + x5 in
+  let x15 = x15 lxor x0 in
+  let x15 = ((x15 land 0xffff) lsl 16) lor ((x15 lsr 16) land 0xffff) in
+  let x10 = x10 + x15 in
+  let x5 = x5 lxor x10 in
+  let x5 = ((x5 land 0xfffff) lsl 12) lor ((x5 lsr 20) land 0xfff) in
+  let x0 = x0 + x5 in
+  let x15 = x15 lxor x0 in
+  let x15 = ((x15 land 0xffffff) lsl 8) lor ((x15 lsr 24) land 0xff) in
+  let x10 = x10 + x15 in
+  let x5 = x5 lxor x10 in
+  let x5 = ((x5 land 0x1ffffff) lsl 7) lor ((x5 lsr 25) land 0x7f) in
+  let x1 = x1 + x6 in
+  let x12 = x12 lxor x1 in
+  let x12 = ((x12 land 0xffff) lsl 16) lor ((x12 lsr 16) land 0xffff) in
+  let x11 = x11 + x12 in
+  let x6 = x6 lxor x11 in
+  let x6 = ((x6 land 0xfffff) lsl 12) lor ((x6 lsr 20) land 0xfff) in
+  let x1 = x1 + x6 in
+  let x12 = x12 lxor x1 in
+  let x12 = ((x12 land 0xffffff) lsl 8) lor ((x12 lsr 24) land 0xff) in
+  let x11 = x11 + x12 in
+  let x6 = x6 lxor x11 in
+  let x6 = ((x6 land 0x1ffffff) lsl 7) lor ((x6 lsr 25) land 0x7f) in
+  let x2 = x2 + x7 in
+  let x13 = x13 lxor x2 in
+  let x13 = ((x13 land 0xffff) lsl 16) lor ((x13 lsr 16) land 0xffff) in
+  let x8 = x8 + x13 in
+  let x7 = x7 lxor x8 in
+  let x7 = ((x7 land 0xfffff) lsl 12) lor ((x7 lsr 20) land 0xfff) in
+  let x2 = x2 + x7 in
+  let x13 = x13 lxor x2 in
+  let x13 = ((x13 land 0xffffff) lsl 8) lor ((x13 lsr 24) land 0xff) in
+  let x8 = x8 + x13 in
+  let x7 = x7 lxor x8 in
+  let x7 = ((x7 land 0x1ffffff) lsl 7) lor ((x7 lsr 25) land 0x7f) in
+  let x3 = x3 + x4 in
+  let x14 = x14 lxor x3 in
+  let x14 = ((x14 land 0xffff) lsl 16) lor ((x14 lsr 16) land 0xffff) in
+  let x9 = x9 + x14 in
+  let x4 = x4 lxor x9 in
+  let x4 = ((x4 land 0xfffff) lsl 12) lor ((x4 lsr 20) land 0xfff) in
+  let x3 = x3 + x4 in
+  let x14 = x14 lxor x3 in
+  let x14 = ((x14 land 0xffffff) lsl 8) lor ((x14 lsr 24) land 0xff) in
+  let x9 = x9 + x14 in
+  let x4 = x4 lxor x9 in
+  let x4 = ((x4 land 0x1ffffff) lsl 7) lor ((x4 lsr 25) land 0x7f) in
+  (* double round 8 *)
+  let x0 = x0 + x4 in
+  let x12 = x12 lxor x0 in
+  let x12 = ((x12 land 0xffff) lsl 16) lor ((x12 lsr 16) land 0xffff) in
+  let x8 = x8 + x12 in
+  let x4 = x4 lxor x8 in
+  let x4 = ((x4 land 0xfffff) lsl 12) lor ((x4 lsr 20) land 0xfff) in
+  let x0 = x0 + x4 in
+  let x12 = x12 lxor x0 in
+  let x12 = ((x12 land 0xffffff) lsl 8) lor ((x12 lsr 24) land 0xff) in
+  let x8 = x8 + x12 in
+  let x4 = x4 lxor x8 in
+  let x4 = ((x4 land 0x1ffffff) lsl 7) lor ((x4 lsr 25) land 0x7f) in
+  let x1 = x1 + x5 in
+  let x13 = x13 lxor x1 in
+  let x13 = ((x13 land 0xffff) lsl 16) lor ((x13 lsr 16) land 0xffff) in
+  let x9 = x9 + x13 in
+  let x5 = x5 lxor x9 in
+  let x5 = ((x5 land 0xfffff) lsl 12) lor ((x5 lsr 20) land 0xfff) in
+  let x1 = x1 + x5 in
+  let x13 = x13 lxor x1 in
+  let x13 = ((x13 land 0xffffff) lsl 8) lor ((x13 lsr 24) land 0xff) in
+  let x9 = x9 + x13 in
+  let x5 = x5 lxor x9 in
+  let x5 = ((x5 land 0x1ffffff) lsl 7) lor ((x5 lsr 25) land 0x7f) in
+  let x2 = x2 + x6 in
+  let x14 = x14 lxor x2 in
+  let x14 = ((x14 land 0xffff) lsl 16) lor ((x14 lsr 16) land 0xffff) in
+  let x10 = x10 + x14 in
+  let x6 = x6 lxor x10 in
+  let x6 = ((x6 land 0xfffff) lsl 12) lor ((x6 lsr 20) land 0xfff) in
+  let x2 = x2 + x6 in
+  let x14 = x14 lxor x2 in
+  let x14 = ((x14 land 0xffffff) lsl 8) lor ((x14 lsr 24) land 0xff) in
+  let x10 = x10 + x14 in
+  let x6 = x6 lxor x10 in
+  let x6 = ((x6 land 0x1ffffff) lsl 7) lor ((x6 lsr 25) land 0x7f) in
+  let x3 = x3 + x7 in
+  let x15 = x15 lxor x3 in
+  let x15 = ((x15 land 0xffff) lsl 16) lor ((x15 lsr 16) land 0xffff) in
+  let x11 = x11 + x15 in
+  let x7 = x7 lxor x11 in
+  let x7 = ((x7 land 0xfffff) lsl 12) lor ((x7 lsr 20) land 0xfff) in
+  let x3 = x3 + x7 in
+  let x15 = x15 lxor x3 in
+  let x15 = ((x15 land 0xffffff) lsl 8) lor ((x15 lsr 24) land 0xff) in
+  let x11 = x11 + x15 in
+  let x7 = x7 lxor x11 in
+  let x7 = ((x7 land 0x1ffffff) lsl 7) lor ((x7 lsr 25) land 0x7f) in
+  let x0 = x0 + x5 in
+  let x15 = x15 lxor x0 in
+  let x15 = ((x15 land 0xffff) lsl 16) lor ((x15 lsr 16) land 0xffff) in
+  let x10 = x10 + x15 in
+  let x5 = x5 lxor x10 in
+  let x5 = ((x5 land 0xfffff) lsl 12) lor ((x5 lsr 20) land 0xfff) in
+  let x0 = x0 + x5 in
+  let x15 = x15 lxor x0 in
+  let x15 = ((x15 land 0xffffff) lsl 8) lor ((x15 lsr 24) land 0xff) in
+  let x10 = x10 + x15 in
+  let x5 = x5 lxor x10 in
+  let x5 = ((x5 land 0x1ffffff) lsl 7) lor ((x5 lsr 25) land 0x7f) in
+  let x1 = x1 + x6 in
+  let x12 = x12 lxor x1 in
+  let x12 = ((x12 land 0xffff) lsl 16) lor ((x12 lsr 16) land 0xffff) in
+  let x11 = x11 + x12 in
+  let x6 = x6 lxor x11 in
+  let x6 = ((x6 land 0xfffff) lsl 12) lor ((x6 lsr 20) land 0xfff) in
+  let x1 = x1 + x6 in
+  let x12 = x12 lxor x1 in
+  let x12 = ((x12 land 0xffffff) lsl 8) lor ((x12 lsr 24) land 0xff) in
+  let x11 = x11 + x12 in
+  let x6 = x6 lxor x11 in
+  let x6 = ((x6 land 0x1ffffff) lsl 7) lor ((x6 lsr 25) land 0x7f) in
+  let x2 = x2 + x7 in
+  let x13 = x13 lxor x2 in
+  let x13 = ((x13 land 0xffff) lsl 16) lor ((x13 lsr 16) land 0xffff) in
+  let x8 = x8 + x13 in
+  let x7 = x7 lxor x8 in
+  let x7 = ((x7 land 0xfffff) lsl 12) lor ((x7 lsr 20) land 0xfff) in
+  let x2 = x2 + x7 in
+  let x13 = x13 lxor x2 in
+  let x13 = ((x13 land 0xffffff) lsl 8) lor ((x13 lsr 24) land 0xff) in
+  let x8 = x8 + x13 in
+  let x7 = x7 lxor x8 in
+  let x7 = ((x7 land 0x1ffffff) lsl 7) lor ((x7 lsr 25) land 0x7f) in
+  let x3 = x3 + x4 in
+  let x14 = x14 lxor x3 in
+  let x14 = ((x14 land 0xffff) lsl 16) lor ((x14 lsr 16) land 0xffff) in
+  let x9 = x9 + x14 in
+  let x4 = x4 lxor x9 in
+  let x4 = ((x4 land 0xfffff) lsl 12) lor ((x4 lsr 20) land 0xfff) in
+  let x3 = x3 + x4 in
+  let x14 = x14 lxor x3 in
+  let x14 = ((x14 land 0xffffff) lsl 8) lor ((x14 lsr 24) land 0xff) in
+  let x9 = x9 + x14 in
+  let x4 = x4 lxor x9 in
+  let x4 = ((x4 land 0x1ffffff) lsl 7) lor ((x4 lsr 25) land 0x7f) in
+  (* re-mask the add-accumulating words: the a/c columns gain at most
+     four dirty high bits per double round, so clamping them here keeps
+     every intermediate below 2^48 << 2^62. *)
+  let x0 = x0 land mask32 in
+  let x1 = x1 land mask32 in
+  let x2 = x2 land mask32 in
+  let x3 = x3 land mask32 in
+  let x8 = x8 land mask32 in
+  let x9 = x9 land mask32 in
+  let x10 = x10 land mask32 in
+  let x11 = x11 land mask32 in
+  (* double round 9 *)
+  let x0 = x0 + x4 in
+  let x12 = x12 lxor x0 in
+  let x12 = ((x12 land 0xffff) lsl 16) lor ((x12 lsr 16) land 0xffff) in
+  let x8 = x8 + x12 in
+  let x4 = x4 lxor x8 in
+  let x4 = ((x4 land 0xfffff) lsl 12) lor ((x4 lsr 20) land 0xfff) in
+  let x0 = x0 + x4 in
+  let x12 = x12 lxor x0 in
+  let x12 = ((x12 land 0xffffff) lsl 8) lor ((x12 lsr 24) land 0xff) in
+  let x8 = x8 + x12 in
+  let x4 = x4 lxor x8 in
+  let x4 = ((x4 land 0x1ffffff) lsl 7) lor ((x4 lsr 25) land 0x7f) in
+  let x1 = x1 + x5 in
+  let x13 = x13 lxor x1 in
+  let x13 = ((x13 land 0xffff) lsl 16) lor ((x13 lsr 16) land 0xffff) in
+  let x9 = x9 + x13 in
+  let x5 = x5 lxor x9 in
+  let x5 = ((x5 land 0xfffff) lsl 12) lor ((x5 lsr 20) land 0xfff) in
+  let x1 = x1 + x5 in
+  let x13 = x13 lxor x1 in
+  let x13 = ((x13 land 0xffffff) lsl 8) lor ((x13 lsr 24) land 0xff) in
+  let x9 = x9 + x13 in
+  let x5 = x5 lxor x9 in
+  let x5 = ((x5 land 0x1ffffff) lsl 7) lor ((x5 lsr 25) land 0x7f) in
+  let x2 = x2 + x6 in
+  let x14 = x14 lxor x2 in
+  let x14 = ((x14 land 0xffff) lsl 16) lor ((x14 lsr 16) land 0xffff) in
+  let x10 = x10 + x14 in
+  let x6 = x6 lxor x10 in
+  let x6 = ((x6 land 0xfffff) lsl 12) lor ((x6 lsr 20) land 0xfff) in
+  let x2 = x2 + x6 in
+  let x14 = x14 lxor x2 in
+  let x14 = ((x14 land 0xffffff) lsl 8) lor ((x14 lsr 24) land 0xff) in
+  let x10 = x10 + x14 in
+  let x6 = x6 lxor x10 in
+  let x6 = ((x6 land 0x1ffffff) lsl 7) lor ((x6 lsr 25) land 0x7f) in
+  let x3 = x3 + x7 in
+  let x15 = x15 lxor x3 in
+  let x15 = ((x15 land 0xffff) lsl 16) lor ((x15 lsr 16) land 0xffff) in
+  let x11 = x11 + x15 in
+  let x7 = x7 lxor x11 in
+  let x7 = ((x7 land 0xfffff) lsl 12) lor ((x7 lsr 20) land 0xfff) in
+  let x3 = x3 + x7 in
+  let x15 = x15 lxor x3 in
+  let x15 = ((x15 land 0xffffff) lsl 8) lor ((x15 lsr 24) land 0xff) in
+  let x11 = x11 + x15 in
+  let x7 = x7 lxor x11 in
+  let x7 = ((x7 land 0x1ffffff) lsl 7) lor ((x7 lsr 25) land 0x7f) in
+  let x0 = x0 + x5 in
+  let x15 = x15 lxor x0 in
+  let x15 = ((x15 land 0xffff) lsl 16) lor ((x15 lsr 16) land 0xffff) in
+  let x10 = x10 + x15 in
+  let x5 = x5 lxor x10 in
+  let x5 = ((x5 land 0xfffff) lsl 12) lor ((x5 lsr 20) land 0xfff) in
+  let x0 = x0 + x5 in
+  let x15 = x15 lxor x0 in
+  let x15 = ((x15 land 0xffffff) lsl 8) lor ((x15 lsr 24) land 0xff) in
+  let x10 = x10 + x15 in
+  let x5 = x5 lxor x10 in
+  let x5 = ((x5 land 0x1ffffff) lsl 7) lor ((x5 lsr 25) land 0x7f) in
+  let x1 = x1 + x6 in
+  let x12 = x12 lxor x1 in
+  let x12 = ((x12 land 0xffff) lsl 16) lor ((x12 lsr 16) land 0xffff) in
+  let x11 = x11 + x12 in
+  let x6 = x6 lxor x11 in
+  let x6 = ((x6 land 0xfffff) lsl 12) lor ((x6 lsr 20) land 0xfff) in
+  let x1 = x1 + x6 in
+  let x12 = x12 lxor x1 in
+  let x12 = ((x12 land 0xffffff) lsl 8) lor ((x12 lsr 24) land 0xff) in
+  let x11 = x11 + x12 in
+  let x6 = x6 lxor x11 in
+  let x6 = ((x6 land 0x1ffffff) lsl 7) lor ((x6 lsr 25) land 0x7f) in
+  let x2 = x2 + x7 in
+  let x13 = x13 lxor x2 in
+  let x13 = ((x13 land 0xffff) lsl 16) lor ((x13 lsr 16) land 0xffff) in
+  let x8 = x8 + x13 in
+  let x7 = x7 lxor x8 in
+  let x7 = ((x7 land 0xfffff) lsl 12) lor ((x7 lsr 20) land 0xfff) in
+  let x2 = x2 + x7 in
+  let x13 = x13 lxor x2 in
+  let x13 = ((x13 land 0xffffff) lsl 8) lor ((x13 lsr 24) land 0xff) in
+  let x8 = x8 + x13 in
+  let x7 = x7 lxor x8 in
+  let x7 = ((x7 land 0x1ffffff) lsl 7) lor ((x7 lsr 25) land 0x7f) in
+  let x3 = x3 + x4 in
+  let x14 = x14 lxor x3 in
+  let x14 = ((x14 land 0xffff) lsl 16) lor ((x14 lsr 16) land 0xffff) in
+  let x9 = x9 + x14 in
+  let x4 = x4 lxor x9 in
+  let x4 = ((x4 land 0xfffff) lsl 12) lor ((x4 lsr 20) land 0xfff) in
+  let x3 = x3 + x4 in
+  let x14 = x14 lxor x3 in
+  let x14 = ((x14 land 0xffffff) lsl 8) lor ((x14 lsr 24) land 0xff) in
+  let x9 = x9 + x14 in
+  let x4 = x4 lxor x9 in
+  let x4 = ((x4 land 0x1ffffff) lsl 7) lor ((x4 lsr 25) land 0x7f) in
+  (* double round 10 *)
+  let x0 = x0 + x4 in
+  let x12 = x12 lxor x0 in
+  let x12 = ((x12 land 0xffff) lsl 16) lor ((x12 lsr 16) land 0xffff) in
+  let x8 = x8 + x12 in
+  let x4 = x4 lxor x8 in
+  let x4 = ((x4 land 0xfffff) lsl 12) lor ((x4 lsr 20) land 0xfff) in
+  let x0 = x0 + x4 in
+  let x12 = x12 lxor x0 in
+  let x12 = ((x12 land 0xffffff) lsl 8) lor ((x12 lsr 24) land 0xff) in
+  let x8 = x8 + x12 in
+  let x4 = x4 lxor x8 in
+  let x4 = ((x4 land 0x1ffffff) lsl 7) lor ((x4 lsr 25) land 0x7f) in
+  let x1 = x1 + x5 in
+  let x13 = x13 lxor x1 in
+  let x13 = ((x13 land 0xffff) lsl 16) lor ((x13 lsr 16) land 0xffff) in
+  let x9 = x9 + x13 in
+  let x5 = x5 lxor x9 in
+  let x5 = ((x5 land 0xfffff) lsl 12) lor ((x5 lsr 20) land 0xfff) in
+  let x1 = x1 + x5 in
+  let x13 = x13 lxor x1 in
+  let x13 = ((x13 land 0xffffff) lsl 8) lor ((x13 lsr 24) land 0xff) in
+  let x9 = x9 + x13 in
+  let x5 = x5 lxor x9 in
+  let x5 = ((x5 land 0x1ffffff) lsl 7) lor ((x5 lsr 25) land 0x7f) in
+  let x2 = x2 + x6 in
+  let x14 = x14 lxor x2 in
+  let x14 = ((x14 land 0xffff) lsl 16) lor ((x14 lsr 16) land 0xffff) in
+  let x10 = x10 + x14 in
+  let x6 = x6 lxor x10 in
+  let x6 = ((x6 land 0xfffff) lsl 12) lor ((x6 lsr 20) land 0xfff) in
+  let x2 = x2 + x6 in
+  let x14 = x14 lxor x2 in
+  let x14 = ((x14 land 0xffffff) lsl 8) lor ((x14 lsr 24) land 0xff) in
+  let x10 = x10 + x14 in
+  let x6 = x6 lxor x10 in
+  let x6 = ((x6 land 0x1ffffff) lsl 7) lor ((x6 lsr 25) land 0x7f) in
+  let x3 = x3 + x7 in
+  let x15 = x15 lxor x3 in
+  let x15 = ((x15 land 0xffff) lsl 16) lor ((x15 lsr 16) land 0xffff) in
+  let x11 = x11 + x15 in
+  let x7 = x7 lxor x11 in
+  let x7 = ((x7 land 0xfffff) lsl 12) lor ((x7 lsr 20) land 0xfff) in
+  let x3 = x3 + x7 in
+  let x15 = x15 lxor x3 in
+  let x15 = ((x15 land 0xffffff) lsl 8) lor ((x15 lsr 24) land 0xff) in
+  let x11 = x11 + x15 in
+  let x7 = x7 lxor x11 in
+  let x7 = ((x7 land 0x1ffffff) lsl 7) lor ((x7 lsr 25) land 0x7f) in
+  let x0 = x0 + x5 in
+  let x15 = x15 lxor x0 in
+  let x15 = ((x15 land 0xffff) lsl 16) lor ((x15 lsr 16) land 0xffff) in
+  let x10 = x10 + x15 in
+  let x5 = x5 lxor x10 in
+  let x5 = ((x5 land 0xfffff) lsl 12) lor ((x5 lsr 20) land 0xfff) in
+  let x0 = x0 + x5 in
+  let x15 = x15 lxor x0 in
+  let x15 = ((x15 land 0xffffff) lsl 8) lor ((x15 lsr 24) land 0xff) in
+  let x10 = x10 + x15 in
+  let x5 = x5 lxor x10 in
+  let x5 = ((x5 land 0x1ffffff) lsl 7) lor ((x5 lsr 25) land 0x7f) in
+  let x1 = x1 + x6 in
+  let x12 = x12 lxor x1 in
+  let x12 = ((x12 land 0xffff) lsl 16) lor ((x12 lsr 16) land 0xffff) in
+  let x11 = x11 + x12 in
+  let x6 = x6 lxor x11 in
+  let x6 = ((x6 land 0xfffff) lsl 12) lor ((x6 lsr 20) land 0xfff) in
+  let x1 = x1 + x6 in
+  let x12 = x12 lxor x1 in
+  let x12 = ((x12 land 0xffffff) lsl 8) lor ((x12 lsr 24) land 0xff) in
+  let x11 = x11 + x12 in
+  let x6 = x6 lxor x11 in
+  let x6 = ((x6 land 0x1ffffff) lsl 7) lor ((x6 lsr 25) land 0x7f) in
+  let x2 = x2 + x7 in
+  let x13 = x13 lxor x2 in
+  let x13 = ((x13 land 0xffff) lsl 16) lor ((x13 lsr 16) land 0xffff) in
+  let x8 = x8 + x13 in
+  let x7 = x7 lxor x8 in
+  let x7 = ((x7 land 0xfffff) lsl 12) lor ((x7 lsr 20) land 0xfff) in
+  let x2 = x2 + x7 in
+  let x13 = x13 lxor x2 in
+  let x13 = ((x13 land 0xffffff) lsl 8) lor ((x13 lsr 24) land 0xff) in
+  let x8 = x8 + x13 in
+  let x7 = x7 lxor x8 in
+  let x7 = ((x7 land 0x1ffffff) lsl 7) lor ((x7 lsr 25) land 0x7f) in
+  let x3 = x3 + x4 in
+  let x14 = x14 lxor x3 in
+  let x14 = ((x14 land 0xffff) lsl 16) lor ((x14 lsr 16) land 0xffff) in
+  let x9 = x9 + x14 in
+  let x4 = x4 lxor x9 in
+  let x4 = ((x4 land 0xfffff) lsl 12) lor ((x4 lsr 20) land 0xfff) in
+  let x3 = x3 + x4 in
+  let x14 = x14 lxor x3 in
+  let x14 = ((x14 land 0xffffff) lsl 8) lor ((x14 lsr 24) land 0xff) in
+  let x9 = x9 + x14 in
+  let x4 = x4 lxor x9 in
+  let x4 = ((x4 land 0x1ffffff) lsl 7) lor ((x4 lsr 25) land 0x7f) in
+  Array.unsafe_set ws 0 (x0 + Array.unsafe_get st 0);
+  Array.unsafe_set ws 1 (x1 + Array.unsafe_get st 1);
+  Array.unsafe_set ws 2 (x2 + Array.unsafe_get st 2);
+  Array.unsafe_set ws 3 (x3 + Array.unsafe_get st 3);
+  Array.unsafe_set ws 4 (x4 + Array.unsafe_get st 4);
+  Array.unsafe_set ws 5 (x5 + Array.unsafe_get st 5);
+  Array.unsafe_set ws 6 (x6 + Array.unsafe_get st 6);
+  Array.unsafe_set ws 7 (x7 + Array.unsafe_get st 7);
+  Array.unsafe_set ws 8 (x8 + Array.unsafe_get st 8);
+  Array.unsafe_set ws 9 (x9 + Array.unsafe_get st 9);
+  Array.unsafe_set ws 10 (x10 + Array.unsafe_get st 10);
+  Array.unsafe_set ws 11 (x11 + Array.unsafe_get st 11);
+  Array.unsafe_set ws 12 (x12 + ctr);
+  Array.unsafe_set ws 13 (x13 + Array.unsafe_get st 13);
+  Array.unsafe_set ws 14 (x14 + Array.unsafe_get st 14);
+  Array.unsafe_set ws 15 (x15 + Array.unsafe_get st 15)
+
+(* Keystream words of the block in [ws], serialized into [buf] (>= 64
+   bytes at [off], bounds already validated by the caller). *)
+let store_block ws buf off =
+  for i = 0 to 7 do
+    Bytes_util.unsafe_store64_le buf
+      (off + (8 * i))
+      ~lo:(Array.unsafe_get ws (2 * i))
+      ~hi:(Array.unsafe_get ws ((2 * i) + 1))
   done
+
+let check_range what b off len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg ("Chacha20: " ^ what ^ " range out of bounds")
+
+(* XOR [len] keystream bytes (starting at block [counter]) into [dst] at
+   [dst_off] from [src] at [src_off]; this is encryption and decryption.
+   Full blocks go eight bytes at a time; the sub-block tail serializes
+   one last block and finishes byte-wise.  The state-taking variant lets
+   Aead reuse one [init_state] for poly-key derivation and the cipher
+   stream; [st].(12) is ignored in favour of [counter]. *)
+let xor_with_state st ~counter ~src ~src_off ~dst ~dst_off ~len =
+  check_range "src" src src_off len;
+  check_range "dst" dst dst_off len;
+  let ws = Array.make 16 0 in
+  let ctr = ref (counter land mask32) in
+  let pos = ref 0 in
+  while len - !pos >= 64 do
+    block_words st !ctr ws;
+    ctr := (!ctr + 1) land mask32;
+    let so = src_off + !pos and dofs = dst_off + !pos in
+    for i = 0 to 7 do
+      Bytes_util.unsafe_xor64_le ~src ~src_off:(so + (8 * i)) ~dst
+        ~dst_off:(dofs + (8 * i))
+        ~lo:(Array.unsafe_get ws (2 * i))
+        ~hi:(Array.unsafe_get ws ((2 * i) + 1))
+    done;
+    pos := !pos + 64
+  done;
+  if !pos < len then begin
+    block_words st !ctr ws;
+    let tail = Bytes.create 64 in
+    store_block ws tail 0;
+    for i = !pos to len - 1 do
+      Bytes_util.unsafe_set_u8 dst (dst_off + i)
+        (Bytes_util.unsafe_get_u8 src (src_off + i)
+        lxor Bytes_util.unsafe_get_u8 tail (i - !pos))
+    done
+  end
+
+let xor_into ~key ~nonce ~counter ~src ~src_off ~dst ~dst_off ~len =
+  let st = init_state ~key ~nonce ~counter in
+  xor_with_state st ~counter ~src ~src_off ~dst ~dst_off ~len
+
+(* Raw keystream straight into [buf] — no zero buffer to allocate and
+   encrypt (the DRBG draws through this). *)
+let keystream_into ~key ~nonce ~counter buf ~off ~len =
+  check_range "dst" buf off len;
+  let st = init_state ~key ~nonce ~counter in
+  let ws = Array.make 16 0 in
+  let ctr = ref st.(12) in
+  let pos = ref 0 in
+  while len - !pos >= 64 do
+    block_words st !ctr ws;
+    ctr := (!ctr + 1) land mask32;
+    store_block ws buf (off + !pos);
+    pos := !pos + 64
+  done;
+  if !pos < len then begin
+    block_words st !ctr ws;
+    let tail = Bytes.create 64 in
+    store_block ws tail 0;
+    Bytes.blit tail 0 buf (off + !pos) (len - !pos)
+  end
 
 let block ~key ~nonce ~counter =
-  let st = init_state ~key ~nonce ~counter in
   let out = Bytes.create 64 in
-  block_into st out 0;
+  keystream_into ~key ~nonce ~counter out ~off:0 ~len:64;
   out
 
-let encrypt_into ~key ~nonce ~counter ~src ~dst =
-  let len = Bytes.length src in
-  if Bytes.length dst < len then invalid_arg "Chacha20: dst too short";
-  let st = init_state ~key ~nonce ~counter in
-  let ks = Bytes.create 64 in
-  let pos = ref 0 in
-  while !pos < len do
-    block_into st ks 0;
-    st.(12) <- (st.(12) + 1) land mask32;
-    let n = min 64 (len - !pos) in
-    for i = 0 to n - 1 do
-      Bytes_util.set_u8 dst (!pos + i)
-        (Bytes_util.get_u8 src (!pos + i) lxor Bytes_util.get_u8 ks i)
-    done;
-    pos := !pos + n
-  done
-
 let encrypt ?(counter = 1) ~key ~nonce src =
-  let dst = Bytes.create (Bytes.length src) in
-  encrypt_into ~key ~nonce ~counter ~src ~dst;
+  let len = Bytes.length src in
+  let dst = Bytes.create len in
+  xor_into ~key ~nonce ~counter ~src ~src_off:0 ~dst ~dst_off:0 ~len;
   dst
 
 let decrypt = encrypt
 
-(* Raw keystream, used by the DRBG. *)
 let keystream ~key ~nonce ~counter len =
-  let zero = Bytes.make len '\000' in
   let dst = Bytes.create len in
-  encrypt_into ~key ~nonce ~counter ~src:zero ~dst;
+  keystream_into ~key ~nonce ~counter dst ~off:0 ~len;
   dst

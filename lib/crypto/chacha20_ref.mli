@@ -1,0 +1,20 @@
+(** Reference ChaCha20 (RFC 8439): the seed implementation kept verbatim
+    as the differential oracle for the optimized {!Chacha20}. *)
+
+val key_len : int
+(** 32. *)
+
+val nonce_len : int
+(** 12. *)
+
+val block : key:bytes -> nonce:bytes -> counter:int -> bytes
+(** One 64-byte keystream block (exposed for test vectors). *)
+
+val encrypt : ?counter:int -> key:bytes -> nonce:bytes -> bytes -> bytes
+(** Encrypt (= decrypt) with initial block counter [counter]
+    (default 1, per the RFC's AEAD usage). *)
+
+val decrypt : ?counter:int -> key:bytes -> nonce:bytes -> bytes -> bytes
+
+val keystream : key:bytes -> nonce:bytes -> counter:int -> int -> bytes
+(** [keystream ~key ~nonce ~counter len] is [len] raw keystream bytes. *)

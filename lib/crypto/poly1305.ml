@@ -32,9 +32,36 @@ let init key =
     buf_len = 0;
   }
 
-(* Absorb one 16-byte block at [off]; [hibit] is [1 lsl 24] for full
-   blocks and [0] for the padded final partial block. *)
-let absorb_block t m off hibit =
+(* Initialize straight from the eight little-endian 32-bit words of the
+   key, ignoring bits above 31 (the AEAD derives its one-time key as
+   ChaCha20 block-0 keystream words, whose high bits are dirty by
+   design — see Chacha20.block_words).  Equivalent to [init] on the
+   serialized 32 bytes; the word-sliced clamping below is the byte-offset
+   le32 reads of [init] rewritten on 32-bit word boundaries. *)
+let init_from_words ~w0 ~w1 ~w2 ~w3 ~w4 ~w5 ~w6 ~w7 =
+  let m = 0xffffffff in
+  let w0 = w0 land m
+  and w1 = w1 land m
+  and w2 = w2 land m
+  and w3 = w3 land m in
+  {
+    r =
+      [|
+        w0 land 0x3ffffff;
+        ((w0 lsr 26) lor (w1 lsl 6)) land 0x3ffff03;
+        ((w1 lsr 20) lor (w2 lsl 12)) land 0x3ffc0ff;
+        ((w2 lsr 14) lor (w3 lsl 18)) land 0x3f03fff;
+        (w3 lsr 8) land 0x00fffff;
+      |];
+    pad = [| w4 land m; w5 land m; w6 land m; w7 land m |];
+    h = Array.make 5 0;
+    buf = Bytes.create 16;
+    buf_len = 0;
+  }
+
+(* Absorb one block given its five 26-bit limb increments (the message
+   block plus the high bit, already sliced). *)
+let absorb_limbs t m0 m1 m2 m3 m4 =
   let r0 = t.r.(0)
   and r1 = t.r.(1)
   and r2 = t.r.(2)
@@ -44,12 +71,11 @@ let absorb_block t m off hibit =
   and s2 = r2 * 5
   and s3 = r3 * 5
   and s4 = r4 * 5 in
-  let le32 = Bytes_util.le32 in
-  let h0 = t.h.(0) + (le32 m off land limb_mask) in
-  let h1 = t.h.(1) + ((le32 m (off + 3) lsr 2) land limb_mask) in
-  let h2 = t.h.(2) + ((le32 m (off + 6) lsr 4) land limb_mask) in
-  let h3 = t.h.(3) + ((le32 m (off + 9) lsr 6) land limb_mask) in
-  let h4 = t.h.(4) + ((le32 m (off + 12) lsr 8) lor hibit) in
+  let h0 = t.h.(0) + m0 in
+  let h1 = t.h.(1) + m1 in
+  let h2 = t.h.(2) + m2 in
+  let h3 = t.h.(3) + m3 in
+  let h4 = t.h.(4) + m4 in
   let d0 = (h0 * r0) + (h1 * s4) + (h2 * s3) + (h3 * s2) + (h4 * s1) in
   let d1 = (h0 * r1) + (h1 * r0) + (h2 * s4) + (h3 * s3) + (h4 * s2) in
   let d2 = (h0 * r2) + (h1 * r1) + (h2 * r0) + (h3 * s4) + (h4 * s3) in
@@ -79,29 +105,126 @@ let absorb_block t m off hibit =
   t.h.(3) <- h3;
   t.h.(4) <- h4
 
-let feed t data =
-  let len = Bytes.length data in
-  let pos = ref 0 in
+(* Absorb one 16-byte block at [off]; [hibit] is [1 lsl 24] for full
+   blocks and [0] for the padded final partial block.  Unsafe loads:
+   every caller ([feed_sub] and the buffered paths) range-checks before
+   absorbing. *)
+let absorb_block t m off hibit =
+  let le32 = Bytes_util.unsafe_le32 in
+  absorb_limbs t
+    (le32 m off land limb_mask)
+    ((le32 m (off + 3) lsr 2) land limb_mask)
+    ((le32 m (off + 6) lsr 4) land limb_mask)
+    ((le32 m (off + 9) lsr 6) land limb_mask)
+    ((le32 m (off + 12) lsr 8) lor hibit)
+
+(* The bulk path: [nblocks] full blocks at [off], with r, s and the h
+   accumulator in locals for the whole run — the per-block cost is the
+   25 multiplies, not t.r/t.h traffic.  Caller range-checks. *)
+let absorb_blocks t m ~off ~nblocks =
+  let r0 = t.r.(0)
+  and r1 = t.r.(1)
+  and r2 = t.r.(2)
+  and r3 = t.r.(3)
+  and r4 = t.r.(4) in
+  let s1 = r1 * 5
+  and s2 = r2 * 5
+  and s3 = r3 * 5
+  and s4 = r4 * 5 in
+  let le32 = Bytes_util.unsafe_le32 in
+  let rec go h0 h1 h2 h3 h4 off n =
+    if n = 0 then begin
+      t.h.(0) <- h0;
+      t.h.(1) <- h1;
+      t.h.(2) <- h2;
+      t.h.(3) <- h3;
+      t.h.(4) <- h4
+    end
+    else begin
+      let h0 = h0 + (le32 m off land limb_mask) in
+      let h1 = h1 + ((le32 m (off + 3) lsr 2) land limb_mask) in
+      let h2 = h2 + ((le32 m (off + 6) lsr 4) land limb_mask) in
+      let h3 = h3 + ((le32 m (off + 9) lsr 6) land limb_mask) in
+      let h4 = h4 + ((le32 m (off + 12) lsr 8) lor (1 lsl 24)) in
+      let d0 = (h0 * r0) + (h1 * s4) + (h2 * s3) + (h3 * s2) + (h4 * s1) in
+      let d1 = (h0 * r1) + (h1 * r0) + (h2 * s4) + (h3 * s3) + (h4 * s2) in
+      let d2 = (h0 * r2) + (h1 * r1) + (h2 * r0) + (h3 * s4) + (h4 * s3) in
+      let d3 = (h0 * r3) + (h1 * r2) + (h2 * r1) + (h3 * r0) + (h4 * s4) in
+      let d4 = (h0 * r4) + (h1 * r3) + (h2 * r2) + (h3 * r1) + (h4 * r0) in
+      let c = d0 lsr 26 in
+      let h0 = d0 land limb_mask in
+      let d1 = d1 + c in
+      let c = d1 lsr 26 in
+      let h1 = d1 land limb_mask in
+      let d2 = d2 + c in
+      let c = d2 lsr 26 in
+      let h2 = d2 land limb_mask in
+      let d3 = d3 + c in
+      let c = d3 lsr 26 in
+      let h3 = d3 land limb_mask in
+      let d4 = d4 + c in
+      let c = d4 lsr 26 in
+      let h4 = d4 land limb_mask in
+      let h0 = h0 + (c * 5) in
+      let c = h0 lsr 26 in
+      let h0 = h0 land limb_mask in
+      let h1 = h1 + c in
+      go h0 h1 h2 h3 h4 (off + 16) (n - 1)
+    end
+  in
+  go t.h.(0) t.h.(1) t.h.(2) t.h.(3) t.h.(4) off nblocks
+
+let feed_sub t data ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length data then
+    invalid_arg "Poly1305.feed_sub: range out of bounds";
+  let pos = ref off in
+  let fin = off + len in
   if t.buf_len > 0 then begin
     let want = min (16 - t.buf_len) len in
-    Bytes.blit data 0 t.buf t.buf_len want;
+    Bytes.blit data off t.buf t.buf_len want;
     t.buf_len <- t.buf_len + want;
-    pos := want;
+    pos := off + want;
     if t.buf_len = 16 then begin
       absorb_block t t.buf 0 (1 lsl 24);
       t.buf_len <- 0
     end
   end;
-  while len - !pos >= 16 do
-    absorb_block t data !pos (1 lsl 24);
-    pos := !pos + 16
-  done;
-  if !pos < len then begin
-    Bytes.blit data !pos t.buf 0 (len - !pos);
-    t.buf_len <- len - !pos
+  let nblocks = (fin - !pos) lsr 4 in
+  if nblocks > 0 then begin
+    absorb_blocks t data ~off:!pos ~nblocks;
+    pos := !pos + (nblocks lsl 4)
+  end;
+  if !pos < fin then begin
+    Bytes.blit data !pos t.buf 0 (fin - !pos);
+    t.buf_len <- fin - !pos
   end
 
-let finish t =
+let feed t data = feed_sub t data ~off:0 ~len:(Bytes.length data)
+
+(* Absorb the AEAD length block — le64(aad_len) ‖ le64(ct_len) — without
+   materializing its 16 bytes.  Callers (Aead) are block-aligned here (it
+   follows a pad16), so the buffered path is only a cold fallback. *)
+let absorb_lens t ~aad_len ~ct_len =
+  if t.buf_len <> 0 then begin
+    let lens = Bytes.create 16 in
+    Bytes_util.store_le64 lens 0 aad_len;
+    Bytes_util.store_le64 lens 8 ct_len;
+    feed t lens
+  end
+  else begin
+    let m = 0xffffffff in
+    let w0 = aad_len land m
+    and w1 = (aad_len lsr 32) land m
+    and w2 = ct_len land m
+    and w3 = (ct_len lsr 32) land m in
+    absorb_limbs t (w0 land limb_mask)
+      (((w0 lsr 26) lor (w1 lsl 6)) land limb_mask)
+      (((w1 lsr 20) lor (w2 lsl 12)) land limb_mask)
+      (((w2 lsr 14) lor (w3 lsl 18)) land limb_mask)
+      ((w3 lsr 8) lor (1 lsl 24))
+  end
+
+let finish_into t dst ~off =
   if t.buf_len > 0 then begin
     (* Pad the final partial block with 0x01 then zeros; hibit = 0. *)
     let block = Bytes.make 16 '\000' in
@@ -165,11 +288,14 @@ let finish t =
   let o2 = f land 0xffffffff in
   let f = w3 + t.pad.(3) + (f lsr 32) in
   let o3 = f land 0xffffffff in
+  Bytes_util.store_le32 dst off o0;
+  Bytes_util.store_le32 dst (off + 4) o1;
+  Bytes_util.store_le32 dst (off + 8) o2;
+  Bytes_util.store_le32 dst (off + 12) o3
+
+let finish t =
   let out = Bytes.create 16 in
-  Bytes_util.store_le32 out 0 o0;
-  Bytes_util.store_le32 out 4 o1;
-  Bytes_util.store_le32 out 8 o2;
-  Bytes_util.store_le32 out 12 o3;
+  finish_into t out ~off:0;
   out
 
 let mac ~key data =

@@ -56,7 +56,12 @@ let wrap_with ~eph_sks ~server_pks ~round payload =
         let epk = Curve25519.scalarmult_base esk in
         let s = Box.precompute ~secret:esk ~public:spk in
         secrets.(i) <- s;
-        Bytes_util.concat [ epk; Aead.seal ~key:s ~nonce inner ]
+        let ilen = Bytes.length inner in
+        let out = Bytes.create (Curve25519.key_len + ilen + Aead.tag_len) in
+        Bytes.blit epk 0 out 0 Curve25519.key_len;
+        Aead.seal_into ~key:s ~nonce ~src:inner ~src_off:0 ~len:ilen ~dst:out
+          ~dst_off:Curve25519.key_len ();
+        out
   in
   let onion = go 0 server_pks payload in
   { onion; secrets }
@@ -82,21 +87,29 @@ let wrap ?rng ~server_pks ~round payload =
 (* Server side: strip one layer.  Returns the inner onion and the layer
    secret to seal the reply with. *)
 let peel ~server_sk ~round onion =
-  if Bytes.length onion < layer_overhead then None
+  let n = Bytes.length onion in
+  if n < layer_overhead then None
   else begin
     let epk = Bytes.sub onion 0 Curve25519.key_len in
-    let sealed =
-      Bytes.sub onion Curve25519.key_len
-        (Bytes.length onion - Curve25519.key_len)
-    in
     let s = Box.precompute ~secret:server_sk ~public:epk in
-    match Aead.open_ ~key:s ~nonce:(request_nonce ~round) sealed with
-    | Some inner -> Some (inner, s)
-    | None -> None
+    let inner = Bytes.create (n - layer_overhead) in
+    if
+      Aead.open_into ~key:s
+        ~nonce:(request_nonce ~round)
+        ~src:onion ~src_off:Curve25519.key_len
+        ~len:(n - Curve25519.key_len)
+        ~dst:inner ~dst_off:0 ()
+    then Some (inner, s)
+    else None
   end
 
 let seal_reply ~secret ~round reply =
-  Aead.seal ~key:secret ~nonce:(reply_nonce ~round) reply
+  let len = Bytes.length reply in
+  let out = Bytes.create (len + reply_overhead) in
+  Aead.seal_into ~key:secret
+    ~nonce:(reply_nonce ~round)
+    ~src:reply ~src_off:0 ~len ~dst:out ~dst_off:0 ();
+  out
 
 (* Client side: remove all reply layers (first server's layer is
    outermost). *)

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "vuvuzela"
     [
       Test_crypto.suite;
+      Test_aead_wycheproof.suite;
       Test_ed25519.suite;
       Test_dp.suite;
       Test_mixnet.suite;

@@ -58,6 +58,57 @@ let run () =
             (Aead.open_ ~key ~nonce ~aad:Bytes.empty ct = None)
             "len %d: AAD stripped yet accepted" len)
         [ 0; 63; 64; 65 ]);
+  Prop.check ~name:"seal_into = seal / open_into = open_" ~count:100
+    gen_material (fun (key, nonce, aad, big) ->
+      List.iter
+        (fun len ->
+          let pt = Bytes.sub big 0 len in
+          let sealed = Aead.seal ~key ~nonce ~aad pt in
+          (* seal_into at an offset into a larger buffer must produce
+             the exact wrapper bytes *)
+          let dst = Bytes.make (7 + len + Aead.tag_len + 4) '\xab' in
+          Aead.seal_into ~key ~nonce ~aad ~src:big ~src_off:0 ~len ~dst
+            ~dst_off:7 ();
+          Prop.require
+            (Bytes.equal sealed (Bytes.sub dst 7 (len + Aead.tag_len)))
+            "len %d: seal_into differs from seal" len;
+          (* open_into from that offset must recover the plaintext *)
+          let out = Bytes.make (5 + len) '\x00' in
+          Prop.require
+            (Aead.open_into ~key ~nonce ~aad ~src:dst ~src_off:7
+               ~len:(len + Aead.tag_len) ~dst:out ~dst_off:5 ())
+            "len %d: open_into rejected authentic bytes" len;
+          Prop.require
+            (Bytes.equal pt (Bytes.sub out 5 len))
+            "len %d: open_into plaintext differs from open_" len;
+          (* in-place seal: plaintext becomes ct||tag in one buffer *)
+          let buf = Bytes.create (len + Aead.tag_len) in
+          Bytes.blit big 0 buf 0 len;
+          Aead.seal_into ~key ~nonce ~aad ~src:buf ~src_off:0 ~len ~dst:buf
+            ~dst_off:0 ();
+          Prop.require (Bytes.equal sealed buf)
+            "len %d: in-place seal_into differs from seal" len;
+          (* ... and in-place open restores it *)
+          Prop.require
+            (Aead.open_into ~key ~nonce ~aad ~src:buf ~src_off:0
+               ~len:(len + Aead.tag_len) ~dst:buf ~dst_off:0 ())
+            "len %d: in-place open_into rejected" len;
+          Prop.require
+            (Bytes.equal pt (Bytes.sub buf 0 len))
+            "len %d: in-place open_into plaintext mismatch" len)
+        boundary_lens);
+  (* The AEAD pins its ChaCha20 block counters at 0 (poly key) and 1
+     (payload), so a payload long enough would wrap the 32-bit counter
+     only after 256 GiB; the wraparound contract is instead pinned
+     differentially here at the stream layer the AEAD sits on. *)
+  Prop.vector ~name:"aead stream at 32-bit counter wraparound" (fun () ->
+      let key = Bytes.init 32 (fun i -> Char.chr (0x80 lor i)) in
+      let nonce = Bytes.init 12 (fun i -> Char.chr (i * 3)) in
+      let pt = Bytes.init 200 (fun i -> Char.chr (i land 0xff)) in
+      let fast = Chacha20.encrypt ~counter:0xffffffff ~key ~nonce pt in
+      let oracle = Chacha20_ref.encrypt ~counter:0xffffffff ~key ~nonce pt in
+      Prop.check_hex ~what:"wraparound ciphertext"
+        (Bytes_util.to_hex oracle) (Bytes_util.to_hex fast));
   Prop.check ~name:"box roundtrip at block boundaries" ~count:50
     (fun rng ->
       let ska, pka = Drbg.keypair ~rng () in

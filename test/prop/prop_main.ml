@@ -9,6 +9,7 @@ let () =
   Prop_fe.run ();
   Prop_x25519.run ();
   Prop_ed25519.run ();
+  Prop_chacha.run ();
   Prop_aead.run ();
   Prop_pool.run ();
   Prop.exit_summary ()

@@ -1,0 +1,197 @@
+(* Wycheproof-style negative tests for ChaCha20-Poly1305.
+
+   Wycheproof's chacha20_poly1305_test.json is dominated by mutation
+   cases: tags truncated or flipped at every byte, modified aad, and
+   malformed parameter lengths.  We regenerate that shape locally —
+   every case must reject ([None] / [false]) or raise, and a rejecting
+   [open_into] must leave the destination untouched.  This is the
+   misuse-resistance half of the oracle gate; byte-exactness lives in
+   test_crypto.ml and test/prop. *)
+
+open Vuvuzela_crypto
+
+let key = Bytes.init 32 (fun i -> Char.chr (0xa0 lxor i))
+let nonce = Aead.nonce_of ~domain:0x77 ~counter:9
+let aad = Bytes.of_string "wycheproof-aad"
+let pt = Bytes.of_string "attack at dawn, bring snacks"
+let sealed = Aead.seal ~key ~nonce ~aad pt
+
+let flip b i mask =
+  let c = Bytes.copy b in
+  Bytes.set c i (Char.chr (Char.code (Bytes.get c i) lxor mask));
+  c
+
+(* Every byte of the tag, flipped by every single-bit mask at the
+   boundary positions plus 0x01/0x80 in between: all must reject. *)
+let test_tag_flips () =
+  let n = Bytes.length sealed in
+  for i = n - Aead.tag_len to n - 1 do
+    List.iter
+      (fun mask ->
+        match Aead.open_ ~key ~nonce ~aad (flip sealed i mask) with
+        | None -> ()
+        | Some _ ->
+            Alcotest.fail
+              (Printf.sprintf "flipped tag byte %d (mask %#x) accepted" i mask))
+      [ 0x01; 0x80; 0xff ]
+  done
+
+(* Truncating the sealed text anywhere — from stripping one byte to
+   leaving less than a whole tag — must reject, never mis-decrypt. *)
+let test_truncation () =
+  for len = 0 to Bytes.length sealed - 1 do
+    match Aead.open_ ~key ~nonce ~aad (Bytes.sub sealed 0 len) with
+    | None -> ()
+    | Some _ -> Alcotest.fail (Printf.sprintf "truncation to %d accepted" len)
+  done
+
+let test_aad_mutations () =
+  let reject name aad' =
+    match Aead.open_ ~key ~nonce ~aad:aad' sealed with
+    | None -> ()
+    | Some _ -> Alcotest.fail (name ^ " accepted")
+  in
+  for i = 0 to Bytes.length aad - 1 do
+    reject (Printf.sprintf "aad flip %d" i) (flip aad i 0x01)
+  done;
+  reject "aad truncated" (Bytes.sub aad 0 (Bytes.length aad - 1));
+  reject "aad extended" (Bytes.cat aad (Bytes.of_string "x"));
+  reject "aad empty" Bytes.empty;
+  (* and sealing with empty aad must not open under the real aad *)
+  let sealed_no_aad = Aead.seal ~key ~nonce pt in
+  match Aead.open_ ~key ~nonce ~aad sealed_no_aad with
+  | None -> ()
+  | Some _ -> Alcotest.fail "aad added after sealing accepted"
+
+let test_wrong_key_nonce () =
+  (match Aead.open_ ~key:(flip key 0 0x01) ~nonce ~aad sealed with
+  | None -> ()
+  | Some _ -> Alcotest.fail "wrong key accepted");
+  match Aead.open_ ~key ~nonce:(flip nonce 11 0x01) ~aad sealed with
+  | None -> ()
+  | Some _ -> Alcotest.fail "wrong nonce accepted"
+
+(* Malformed key/nonce lengths must raise, in both directions and in
+   both the allocating and _into APIs. *)
+let test_bad_lengths () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "bad length accepted"
+  in
+  List.iter
+    (fun n ->
+      let short_key = Bytes.make n 'k' in
+      raises (fun () -> Aead.seal ~key:short_key ~nonce pt);
+      raises (fun () -> Aead.open_ ~key:short_key ~nonce sealed))
+    [ 0; 16; 31; 33; 64 ];
+  List.iter
+    (fun n ->
+      let bad_nonce = Bytes.make n 'n' in
+      raises (fun () -> Aead.seal ~key ~nonce:bad_nonce pt);
+      raises (fun () -> Aead.open_ ~key ~nonce:bad_nonce sealed))
+    [ 0; 8; 11; 13; 24 ]
+
+(* Ciphertext shorter than the tag is a rejection, not an exception:
+   the wire can legitimately deliver garbage. *)
+let test_short_ciphertext () =
+  for len = 0 to Aead.tag_len - 1 do
+    (match Aead.open_ ~key ~nonce ~aad (Bytes.make len '\x5a') with
+    | None -> ()
+    | Some _ -> Alcotest.fail "short ciphertext accepted");
+    let dst = Bytes.make 8 '\xee' in
+    let src = Bytes.make len '\x5a' in
+    if Aead.open_into ~key ~nonce ~aad ~src ~src_off:0 ~len ~dst ~dst_off:0 ()
+    then Alcotest.fail "open_into accepted short ciphertext"
+  done
+
+(* _into range misuse: undersized and out-of-bounds buffers raise;
+   distinct overlapping ranges in one buffer raise. *)
+let test_into_ranges () =
+  let raises name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  in
+  let len = Bytes.length pt in
+  raises "seal dst undersized" (fun () ->
+      let dst = Bytes.create (len + Aead.tag_len - 1) in
+      Aead.seal_into ~key ~nonce ~aad ~src:pt ~src_off:0 ~len ~dst ~dst_off:0
+        ());
+  raises "seal src range past end" (fun () ->
+      let dst = Bytes.create (len + Aead.tag_len) in
+      Aead.seal_into ~key ~nonce ~aad ~src:pt ~src_off:1 ~len ~dst ~dst_off:0
+        ());
+  raises "seal negative offset" (fun () ->
+      let dst = Bytes.create (len + Aead.tag_len) in
+      Aead.seal_into ~key ~nonce ~aad ~src:pt ~src_off:(-1) ~len ~dst
+        ~dst_off:0 ());
+  raises "seal overlapping ranges" (fun () ->
+      let buf = Bytes.create (len + Aead.tag_len + 4) in
+      Bytes.blit pt 0 buf 0 len;
+      Aead.seal_into ~key ~nonce ~aad ~src:buf ~src_off:0 ~len ~dst:buf
+        ~dst_off:4 ());
+  raises "open dst undersized" (fun () ->
+      let n = Bytes.length sealed in
+      let dst = Bytes.create (n - Aead.tag_len - 1) in
+      Aead.open_into ~key ~nonce ~aad ~src:sealed ~src_off:0 ~len:n ~dst
+        ~dst_off:0 ()
+      |> ignore);
+  raises "open src range past end" (fun () ->
+      let n = Bytes.length sealed in
+      let dst = Bytes.create n in
+      Aead.open_into ~key ~nonce ~aad ~src:sealed ~src_off:4 ~len:n ~dst
+        ~dst_off:0 ()
+      |> ignore);
+  raises "open overlapping ranges" (fun () ->
+      let n = Bytes.length sealed in
+      let buf = Bytes.create (n + 4) in
+      Bytes.blit sealed 0 buf 4 n;
+      Aead.open_into ~key ~nonce ~aad ~src:buf ~src_off:4 ~len:n ~dst:buf
+        ~dst_off:0 ()
+      |> ignore)
+
+(* A failed open_into must leave dst exactly as it was (verify before
+   decrypt), and a successful in-place open must work. *)
+let test_into_semantics () =
+  let n = Bytes.length sealed in
+  let dst = Bytes.make (n - Aead.tag_len) '\xcc' in
+  let tampered = flip sealed (n - 1) 0x01 in
+  let ok =
+    Aead.open_into ~key ~nonce ~aad ~src:tampered ~src_off:0 ~len:n ~dst
+      ~dst_off:0 ()
+  in
+  Alcotest.(check bool) "tampered open_into rejects" false ok;
+  Alcotest.(check bytes)
+    "dst untouched on reject"
+    (Bytes.make (n - Aead.tag_len) '\xcc')
+    dst;
+  (* In-place: same buffer, same offset. *)
+  let buf = Bytes.copy sealed in
+  let ok =
+    Aead.open_into ~key ~nonce ~aad ~src:buf ~src_off:0 ~len:n ~dst:buf
+      ~dst_off:0 ()
+  in
+  Alcotest.(check bool) "in-place open accepts" true ok;
+  Alcotest.(check bytes) "in-place plaintext" pt
+    (Bytes.sub buf 0 (n - Aead.tag_len));
+  (* In-place seal too: plaintext at offset 0 becomes ct||tag. *)
+  let buf = Bytes.create n in
+  Bytes.blit pt 0 buf 0 (Bytes.length pt);
+  Aead.seal_into ~key ~nonce ~aad ~src:buf ~src_off:0 ~len:(Bytes.length pt)
+    ~dst:buf ~dst_off:0 ();
+  Alcotest.(check bytes) "in-place seal matches seal" sealed buf
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "aead-wycheproof",
+    [
+      tc "tag flips (every byte)" `Quick test_tag_flips;
+      tc "truncations (every length)" `Quick test_truncation;
+      tc "aad mutations" `Quick test_aad_mutations;
+      tc "wrong key/nonce" `Quick test_wrong_key_nonce;
+      tc "bad key/nonce lengths" `Quick test_bad_lengths;
+      tc "ciphertext shorter than tag" `Quick test_short_ciphertext;
+      tc "_into range misuse" `Quick test_into_ranges;
+      tc "_into semantics (reject/in-place)" `Quick test_into_semantics;
+    ] )

@@ -210,6 +210,290 @@ let test_aead_wrong_aad () =
   Alcotest.(check bool) "short input rejected" true
     (Aead.open_ ~key ~nonce (Bytes.make 3 'x') = None)
 
+
+(* ------------------------------------------------------------------ *)
+(* RFC 8439 standards vector tables                                    *)
+(*                                                                     *)
+(* Table-driven vectors from the RFC body and appendix A, each run     *)
+(* against BOTH the optimized fast path and the retained seed oracle   *)
+(* [Chacha20_ref], so a regression in either implementation — or any   *)
+(* divergence between them — fails here before the differential prop   *)
+(* suite even runs.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The two long appendix plaintexts (A.2 / A.3). *)
+let ietf_text =
+  "Any submission to the IETF intended by the Contributor for \
+   publication as all or part of an IETF Internet-Draft or RFC and any \
+   statement made within the context of an IETF activity is considered \
+   an \"IETF Contribution\". Such statements include oral statements in \
+   IETF sessions, as well as written and electronic communications made \
+   at any time or place, which are addressed to"
+
+let jabberwock =
+  "'Twas brillig, and the slithy toves\n\
+   Did gyre and gimble in the wabe:\n\
+   All mimsy were the borogoves,\n\
+   And the mome raths outgrabe."
+
+let k_zero = Bytes.make 32 '\000'
+let n_zero = Bytes.make 12 '\000'
+let k_one = hex "0000000000000000000000000000000000000000000000000000000000000001"
+let k_jab = hex "1c9240a5eb55d38af333888604f6b5f0473917c1402b80099dcc806d3f9e4c0a"
+let n_two = hex "000000000000000000000002"
+
+(* ChaCha20 block function: §2.3.2 and A.1.  (The §2.3.2 counter=1 block
+   is already pinned in [test_chacha20_block]; these are the appendix
+   edge cases: counter 0, counter 2, key bit in the last word, nonce bit
+   in the last word.) *)
+let chacha_block_vectors =
+  [
+    ( "A.1 #1 (zero key/nonce, ctr 0)", k_zero, n_zero, 0,
+      "76b8e0ada0f13d90405d6ae55386bd28bdd219b8a08ded1aa836efcc8b770dc7\
+       da41597c5157488d7724e03fb8d84a376a43b8f41518a11cc387b669b2ee6586" );
+    ( "A.1 #2 (zero key/nonce, ctr 1)", k_zero, n_zero, 1,
+      "9f07e7be5551387a98ba977c732d080dcb0f29a048e3656912c6533e32ee7aed\
+       29b721769ce64e43d57133b074d839d531ed1f28510afb45ace10a1f4b794d6f" );
+    ( "A.1 #3 (key ..01, ctr 1)", k_one, n_zero, 1,
+      "3aeb5224ecf849929b9d828db1ced4dd832025e8018b8160b82284f3c949aa5a\
+       8eca00bbb4a73bdad192b5c42f73f2fd4e273644c8b36125a64addeb006c13a0" );
+    ( "A.1 #4 (key 00ff.., ctr 2)",
+      hex "00ff000000000000000000000000000000000000000000000000000000000000",
+      n_zero, 2,
+      "72d54dfbf12ec44b362692df94137f328fea8da73990265ec1bbbea1ae9af0ca\
+       13b25aa26cb4a648cb9b9d1be65b2c0924a66c54d545ec1b7374f4872e99f096" );
+    ( "A.1 #5 (nonce ..02, ctr 0)", k_zero,
+      hex "000000000000000000000002", 0,
+      "c2c64d378cd536374ae204b9ef933fcd1a8b2288b3dfa49672ab765b54ee27c7\
+       8a970e0e955c14f3a88e741b97c286f75f8fc299e8148362fa198a39531bed6d" );
+  ]
+
+let test_chacha20_block_table () =
+  List.iter
+    (fun (name, key, nonce, counter, expected) ->
+      check_hex (name ^ " [fast]") expected
+        (Chacha20.block ~key ~nonce ~counter);
+      check_hex (name ^ " [ref]") expected
+        (Chacha20_ref.block ~key ~nonce ~counter))
+    chacha_block_vectors
+
+(* ChaCha20 encryption: A.2 (incl. the counter=2-spanning vectors; the
+   §2.4.2 sunscreen vector lives in [test_chacha20_encrypt]). *)
+let chacha_encrypt_vectors =
+  [
+    ( "A.2 #1 (zero, ctr 0, 64x00)", k_zero, n_zero, 0,
+      Bytes.make 64 '\000',
+      "76b8e0ada0f13d90405d6ae55386bd28bdd219b8a08ded1aa836efcc8b770dc7\
+       da41597c5157488d7724e03fb8d84a376a43b8f41518a11cc387b669b2ee6586" );
+    ( "A.2 #2 (IETF text, ctr 1)", k_one, n_two, 1,
+      Bytes.of_string ietf_text,
+      "a3fbf07df3fa2fde4f376ca23e82737041605d9f4f4f57bd8cff2c1d4b7955ec\
+       2a97948bd3722915c8f3d337f7d370050e9e96d647b7c39f56e031ca5eb6250d\
+       4042e02785ececfa4b4bb5e8ead0440e20b6e8db09d881a7c6132f420e527950\
+       42bdfa7773d8a9051447b3291ce1411c680465552aa6c405b7764d5e87bea85a\
+       d00f8449ed8f72d0d662ab052691ca66424bc86d2df80ea41f43abf937d3259d\
+       c4b2d0dfb48a6c9139ddd7f76966e928e635553ba76c5c879d7b35d49eb2e62b\
+       0871cdac638939e25e8a1e0ef9d5280fa8ca328b351c3c765989cbcf3daa8b6c\
+       cc3aaf9f3979c92b3720fc88dc95ed84a1be059c6499b9fda236e7e818b04b0b\
+       c39c1e876b193bfe5569753f88128cc08aaa9b63d1a16f80ef2554d7189c411f\
+       5869ca52c5b83fa36ff216b9c1d30062bebcfd2dc5bce0911934fda79a86f6e6\
+       98ced759c3ff9b6477338f3da4f9cd8514ea9982ccafb341b2384dd902f3d1ab\
+       7ac61dd29c6f21ba5b862f3730e37cfdc4fd806c22f221" );
+    ( "A.2 #3 (jabberwock, ctr 42)", k_jab, n_two, 42,
+      Bytes.of_string jabberwock,
+      "4842b04530b464f51486a182060af45a1618ef17da32d434f346c35a23cd0d39\
+       8cb42c674dbc38eaa562e2f214df48530895b24490fedde676e1d9d89ffb49f4\
+       a93f500955fe23171b09bcefd9685c0e828de315c73e0705bea8cd38864e7b57\
+       31e8cca33b296cdb901ac5a2a497a7e09868dd2d95ecb7dc1e98ebc447c141" );
+  ]
+
+let test_chacha20_encrypt_table () =
+  List.iter
+    (fun (name, key, nonce, counter, pt, expected) ->
+      let ct = Chacha20.encrypt ~counter ~key ~nonce pt in
+      check_hex (name ^ " [fast]") expected ct;
+      check_hex (name ^ " [ref]") expected
+        (Chacha20_ref.encrypt ~counter ~key ~nonce pt);
+      Alcotest.(check bool)
+        (name ^ " roundtrip") true
+        (Bytes.equal pt (Chacha20.decrypt ~counter ~key ~nonce ct)))
+    chacha_encrypt_vectors
+
+(* Poly1305: A.3, including the r=0 edge keys (#1/#2), tag = s when
+   r = 0 (#2/#3), and the h >= p wraparound constructions (#4-#9; the
+   donna "#2" wrap case is in [test_poly1305_edge], the §2.5.2 vector in
+   [test_poly1305_vector]). *)
+let poly1305_vectors =
+  [
+    ( "A.3 #1 (zero key, 64x00)",
+      "0000000000000000000000000000000000000000000000000000000000000000",
+      Bytes.make 64 '\000', "00000000000000000000000000000000" );
+    ( "A.3 #2 (r=0, tag = s)",
+      "0000000000000000000000000000000036e5f6b5c5e06070f0efca96227a863e",
+      Bytes.of_string ietf_text, "36e5f6b5c5e06070f0efca96227a863e" );
+    ( "A.3 #3 (s=0)",
+      "36e5f6b5c5e06070f0efca96227a863e00000000000000000000000000000000",
+      Bytes.of_string ietf_text, "f3477e7cd95417af89a6b8794c310cf0" );
+    ( "A.3 #4 (jabberwock)",
+      "1c9240a5eb55d38af333888604f6b5f0473917c1402b80099dcc806d3f9e4c0a",
+      Bytes.of_string jabberwock, "4541669a7eaaee61e70a002edbf3c2ac" );
+    ( "A.3 #5 (h wraps 2^130-5)",
+      "0200000000000000000000000000000000000000000000000000000000000000",
+      hex "ffffffffffffffffffffffffffffffff",
+      "03000000000000000000000000000000" );
+    ( "A.3 #6 (s wraps 2^128)",
+      "02000000000000000000000000000000ffffffffffffffffffffffffffffffff",
+      hex "02000000000000000000000000000000",
+      "03000000000000000000000000000000" );
+    ( "A.3 #7 (5*H + L >= 2^130)",
+      "0100000000000000000000000000000000000000000000000000000000000000",
+      hex "fffffffffffffffffffffffffffffffff0ffffffffffffffffffffffffffff\
+           ff11000000000000000000000000000000",
+      "05000000000000000000000000000000" );
+    ( "A.3 #8 (h = 0 after reduction)",
+      "0100000000000000000000000000000000000000000000000000000000000000",
+      hex "fffffffffffffffffffffffffffffffffbfefefefefefefefefefefefefefe\
+           fe01010101010101010101010101010101",
+      "00000000000000000000000000000000" );
+    ( "A.3 #9 (2^130-6 -> -5 -> tag)",
+      "0200000000000000000000000000000000000000000000000000000000000000",
+      hex "fdffffffffffffffffffffffffffffff",
+      "faffffffffffffffffffffffffffffff" );
+  ]
+
+let test_poly1305_table () =
+  List.iter
+    (fun (name, key_hex, msg, expected) ->
+      check_hex name expected (Poly1305.mac ~key:(hex key_hex) msg))
+    poly1305_vectors
+
+(* Poly1305 key generation (§2.6.2 + A.4): the fast path derives the
+   one-time key via a direct 32-byte [keystream_into]; the reference
+   slices the counter-0 block.  Both must match the RFC. *)
+let ref_poly_key ~key ~nonce =
+  Bytes.sub (Chacha20_ref.block ~key ~nonce ~counter:0) 0 32
+
+let poly_key_vectors =
+  [
+    ( "2.6.2",
+      "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f",
+      "000000000001020304050607",
+      "8ad5a08b905f81cc815040274ab29471a833b637e3fd0da508dbb8e2fdd1a646" );
+    ( "A.4 #1 (zero)",
+      "0000000000000000000000000000000000000000000000000000000000000000",
+      "000000000000000000000000",
+      "76b8e0ada0f13d90405d6ae55386bd28bdd219b8a08ded1aa836efcc8b770dc7" );
+    ( "A.4 #2 (key ..01)",
+      "0000000000000000000000000000000000000000000000000000000000000001",
+      "000000000000000000000002",
+      "ecfa254f845f647473d3cb140da9e87606cb33066c447b87bc2666dde3fbb739" );
+    ( "A.4 #3 (jabberwock key)",
+      "1c9240a5eb55d38af333888604f6b5f0473917c1402b80099dcc806d3f9e4c0a",
+      "000000000000000000000002",
+      "ae8078856f2f76f952a918f7c4e12912ab9207e65d37ec701a2c80003e235b59" );
+  ]
+
+let test_poly_key_table () =
+  List.iter
+    (fun (name, key_hex, nonce_hex, expected) ->
+      let key = hex key_hex and nonce = hex nonce_hex in
+      check_hex (name ^ " [fast]") expected (Aead.poly_key ~key ~nonce);
+      check_hex (name ^ " [ref]") expected (ref_poly_key ~key ~nonce))
+    poly_key_vectors
+
+(* Seed-construction AEAD seal, composed from the retained oracle pieces
+   exactly the way the seed [Aead] did it (concat-based mac_data), so the
+   appendix vectors pin both implementations. *)
+let ref_seal ~key ~nonce ~aad pt =
+  let ct = Chacha20_ref.encrypt ~counter:1 ~key ~nonce pt in
+  let pad16 n =
+    match n mod 16 with 0 -> Bytes.empty | r -> Bytes.make (16 - r) '\000'
+  in
+  let lens = Bytes.create 16 in
+  Bytes_util.store_le64 lens 0 (Bytes.length aad);
+  Bytes_util.store_le64 lens 8 (Bytes.length ct);
+  let mac_data =
+    Bytes_util.concat
+      [ aad; pad16 (Bytes.length aad); ct; pad16 (Bytes.length ct); lens ]
+  in
+  let tag = Poly1305.mac ~key:(ref_poly_key ~key ~nonce) mac_data in
+  Bytes_util.concat [ ct; tag ]
+
+(* A.5-direction AEAD vector.  The RFC prints A.5 as a decryption test
+   whose plaintext is the "Internet-Drafts are draft documents..."
+   boilerplate; this table pins the ct||tag our implementation produces
+   for those A.5 inputs (key/nonce/aad from the RFC, reconstructed
+   plaintext), cross-checked fast vs seed oracle.  RFC-printed AEAD
+   bytes are anchored by the §2.8.2 vector in [test_aead_vector]. *)
+let id_text =
+  "Internet-Drafts are draft documents valid for a maximum of six \
+   months and may be updated, replaced, or obsoleted by other documents \
+   at any time. It is inappropriate to use Internet-Drafts as reference \
+   material or to cite them other than as \xe2\x80\x9cwork in \
+   progress.\xe2\x80\x9d"
+
+let aead_table_vectors =
+  [
+    ( "A.5-style (id text, 263 B)",
+      "1c9240a5eb55d38af333888604f6b5f0473917c1402b80099dcc806d3f9e4c0a",
+      "000000000102030405060708", "f33388860000000000004e91",
+      Bytes.of_string id_text,
+      "55ef6433364c948c5459cb46d856dbc4eb30484d818f339277b8bab37e55ea63\
+       f0874f6be668df3a873f43f519dbc6c687bc2ac6d2a3f2b4cee9981108844fe6\
+       0dde17d3342c7b4c8583486696a176fca78554115bfefd4a7a1047182195a4f1\
+       bc565502e704227be451f3fb044d674c5af2981f17c76983594d9a9da179b755\
+       fb14cac1d8024f1e327a78fe80bcaa55d6e698c7f3f56cd6d525a5f7221f82e6\
+       ca13b599c0dd3b1d83567c09d229aadf5505eebffd1ddac3e7466ae494300eb9\
+       53198568eff0736ff60748eb77a1556f42239b2f98f9ba041ea755283dd7d07a\
+       dfe94a818dd9b1df81c2ed491a2328a81c47f9a5e2b5acaefc9ec9032155b546\
+       3f5d9374b22c5616d8fc227caee0efc47de62d1984852e" );
+  ]
+
+let test_aead_table () =
+  List.iter
+    (fun (name, key_hex, nonce_hex, aad_hex, pt, expected) ->
+      let key = hex key_hex and nonce = hex nonce_hex and aad = hex aad_hex in
+      let sealed = Aead.seal ~key ~nonce ~aad pt in
+      check_hex (name ^ " [fast]") expected sealed;
+      check_hex (name ^ " [ref]") expected (ref_seal ~key ~nonce ~aad pt);
+      match Aead.open_ ~key ~nonce ~aad sealed with
+      | Some got ->
+          Alcotest.(check bool) (name ^ " roundtrip") true (Bytes.equal got pt)
+      | None -> Alcotest.fail (name ^ ": open failed"))
+    aead_table_vectors
+
+(* §2.8.2 against the seed-composed oracle too (the fast path is pinned
+   in [test_aead_vector]). *)
+let test_aead_ref_282 () =
+  let key = hex "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f" in
+  let nonce = hex "070000004041424344454647" in
+  let aad = hex "50515253c0c1c2c3c4c5c6c7" in
+  check_hex "rfc8439 2.8.2 [ref]"
+    "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6\
+     3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36\
+     92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc\
+     3ff4def08e4b7a9de576d26586cec64b61161ae10b594f09e26a7e902ecbd0600691"
+    (ref_seal ~key ~nonce ~aad (Bytes.of_string sunscreen))
+
+(* Drbg output pinned byte-for-byte: [generate] now draws keystream
+   straight into the result (no over-allocated block buffer + sub), and
+   these vectors prove the stream did not move. *)
+let test_drbg_pinned () =
+  let rng = Drbg.of_string "drbg-pin" in
+  check_hex "drbg draw 1 (64 B)"
+    "35a2a86b47d595f9fc154d35ddcf277d3b913ffa72b189903d0e82bb9eb5d5d3\
+     4f039518228057c7ac55530d1a130b34eeb8c3f05ff455e131c0dae6e660f13b"
+    (Drbg.generate rng 64);
+  check_hex "drbg draw 2 (100 B, rolled nonce)"
+    "a03f65f7837aa1dfe29a7817a16410b12b1fba217e9347586c22926d29dd72d4\
+     246caa6b6c8fc4c03655ee4aa7f51b70b3ad609e97bac9076e1c99fc098c4370\
+     72079fa4df31c797153dda36cb8feb1e9cf9ac91a6d34fc2f0422c214df79a9f\
+     2cf082ce"
+    (Drbg.generate rng 100);
+  check_hex "drbg fresh seed (32 B)"
+    "f9d8a275c4566de3de29b95dec68d64bc41f18dae060f2813975a92d9a77cb95"
+    (Drbg.generate (Drbg.of_string "seed") 32)
+
 (* ------------------------------------------------------------------ *)
 (* X25519 (RFC 7748)                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -426,6 +710,16 @@ let suite =
       tc "poly1305 wrap edge" `Quick test_poly1305_edge;
       tc "aead vector + tamper sweep" `Quick test_aead_vector;
       tc "aead wrong aad" `Quick test_aead_wrong_aad;
+      tc "chacha20 block table (A.1, fast+ref)" `Quick
+        test_chacha20_block_table;
+      tc "chacha20 encrypt table (A.2, fast+ref)" `Quick
+        test_chacha20_encrypt_table;
+      tc "poly1305 table (A.3)" `Quick test_poly1305_table;
+      tc "poly key table (2.6.2 + A.4, fast+ref)" `Quick
+        test_poly_key_table;
+      tc "aead table (A.5-style, fast+ref)" `Quick test_aead_table;
+      tc "aead 2.8.2 against ref oracle" `Quick test_aead_ref_282;
+      tc "drbg pinned output" `Quick test_drbg_pinned;
       tc "x25519 vectors" `Quick test_x25519_vectors;
       tc "x25519 diffie-hellman" `Quick test_x25519_dh;
       tc "x25519 iterated (1000)" `Slow test_x25519_iterated;

@@ -1371,6 +1371,285 @@ let churn_bench () =
     Printf.printf "  wrote BENCH_churn.json\n"
   end
 
+(* ------------------------------------------------------------------ *)
+(* Scale: a 100k-client population through the streamed entry tier     *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's Figure 9 headline: 68,000 messages/sec end-to-end at one
+   million users on three 36-core servers.  This section pushes a
+   vectorized synthetic population ([Vuvuzela_loadgen]) through a real
+   deployment — by default three loopback-TCP daemons with the sharded
+   dead-drop store and every link streaming chunked parts — and records
+   msgs/sec, ms/round and the peak-RSS high-water marks (VmHWM) of the
+   coordinator and every daemon, per population × job count.  Every
+   round is verified end to end (each pair's message delivered, the
+   loner's slot empty) before it counts.
+
+   Knobs: SCALE_POPS (default "1000,10000,100000"), SCALE_JOBS
+   (default "1,4"), SCALE_TRANSPORT ("tcp" | "local", default "tcp"),
+   SCALE_ROUNDS (timed rounds per cell, default 1).  CI runs the
+   in-process smoke: SCALE_TRANSPORT=local SCALE_POPS=5000. *)
+let scale_bench () =
+  section
+    "SCALE - 100k-client load generator, streamed entry, sharded drops \
+     (writes BENCH_scale.json)";
+  let module T = Vuvuzela_telemetry in
+  let module Addr = Vuvuzela_transport.Addr in
+  let module Loadgen = Vuvuzela_loadgen.Loadgen in
+  let env_ints name default =
+    match Sys.getenv_opt name with
+    | None | Some "" -> default
+    | Some s -> List.filter_map int_of_string_opt (String.split_on_char ',' s)
+  in
+  let pops = env_ints "SCALE_POPS" [ 1_000; 10_000; 100_000 ] in
+  let jobs_list = env_ints "SCALE_JOBS" [ 1; 4 ] in
+  let rounds =
+    match env_ints "SCALE_ROUNDS" [ 1 ] with r :: _ -> max 1 r | [] -> 1
+  in
+  let transport =
+    match Sys.getenv_opt "SCALE_TRANSPORT" with
+    | Some "local" -> `Local
+    | _ -> `Tcp
+  in
+  let chunk = 512 and shards = 8 in
+  let noise = Laplace.params ~mu:4. ~b:1. in
+  let dial_noise = Laplace.params ~mu:1. ~b:1. in
+  (* Peak-RSS proxy: the VmHWM high-water mark from /proc/<pid>/status,
+     in kB (0 where /proc is unavailable). *)
+  let vm_hwm_kb pid =
+    match open_in (Printf.sprintf "/proc/%d/status" pid) with
+    | exception Sys_error _ -> 0
+    | ic ->
+        let rec scan () =
+          match input_line ic with
+          | exception End_of_file -> 0
+          | line ->
+              if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+                String.fold_left
+                  (fun acc c ->
+                    if c >= '0' && c <= '9'
+                    then (acc * 10) + Char.code c - Char.code '0'
+                    else acc)
+                  0 line
+              else scan ()
+        in
+        Fun.protect ~finally:(fun () -> close_in ic) scan
+  in
+  let sockets_allowed () =
+    match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error _ -> false
+    | fd -> (
+        match Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0)) with
+        | () -> Unix.close fd; true
+        | exception Unix.Unix_error _ -> Unix.close fd; false)
+  in
+  let server_bin =
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      "bin/server_main.exe"
+  in
+  let free_port () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    let port =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> assert false
+    in
+    Unix.close fd;
+    port
+  in
+  let spawn_daemon ~jobs ~seed ~ports index =
+    let args =
+      [| server_bin; "--listen"; Printf.sprintf ":%d" ports.(index);
+         "--index"; string_of_int index; "--chain-len"; "3";
+         "--seed"; seed; "--mu"; "4"; "--noise-b"; "1";
+         "--dial-mu"; "1"; "--dial-b"; "1"; "--deterministic-noise";
+         "--jobs"; string_of_int jobs;
+         "--deaddrop-shards"; string_of_int shards;
+         "--pipeline"; "--pipeline-chunk"; string_of_int chunk; "--quiet" |]
+    in
+    let args =
+      if index = 2 then args
+      else
+        Array.append args
+          [| "--next"; Printf.sprintf ":%d" ports.(index + 1) |]
+    in
+    Unix.create_process server_bin args Unix.stdin Unix.stdout Unix.stderr
+  in
+  let stop_pid pid =
+    (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+    let deadline = Unix.gettimeofday () +. 3.0 in
+    let rec wait () =
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+          if Unix.gettimeofday () > deadline then begin
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            ignore (Unix.waitpid [] pid)
+          end
+          else begin
+            Unix.sleepf 0.02;
+            wait ()
+          end
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+    in
+    wait ()
+  in
+  (* One cell: [rounds] verified conversation rounds of [n] clients
+     through [round_streamed]; reports (ms/round, msgs/sec, delivered,
+     expected). *)
+  let run_cell ~n ~jobs ~server_pks ~round_streamed =
+    let pop = Loadgen.create ~seed:(Printf.sprintf "scale-%d" n) ~n () in
+    let pool =
+      if jobs > 1 then Some (Vuvuzela_parallel.Pool.create ~jobs) else None
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Vuvuzela_parallel.Pool.shutdown pool)
+      (fun () ->
+        let delivered = ref 0 and expected = ref 0 in
+        let t0 = Unix.gettimeofday () in
+        for round = 1 to rounds do
+          let replies =
+            round_streamed ~round ~produce:(fun feed ->
+                Loadgen.feed_conversation ?pool pop ~round ~server_pks ~chunk
+                  ~sink:feed)
+          in
+          let d = Loadgen.verify ?pool pop ~round replies in
+          delivered := !delivered + d.Loadgen.delivered;
+          expected := !expected + d.Loadgen.expected;
+          if d.Loadgen.delivered <> d.Loadgen.expected then
+            failwith
+              (Printf.sprintf "scale: round %d delivered %d/%d" round
+                 d.Loadgen.delivered d.Loadgen.expected);
+          if d.Loadgen.lone <> n mod 2 then
+            failwith "scale: loner did not see the empty result"
+        done;
+        let dt = Unix.gettimeofday () -. t0 in
+        let ms_per_round = 1000. *. dt /. float_of_int rounds in
+        let msgs_per_sec = float_of_int (n * rounds) /. dt in
+        (ms_per_round, msgs_per_sec, !delivered, !expected))
+  in
+  let row ~n ~jobs ~server_rss (ms, mps, delivered, expected) =
+    Printf.printf
+      "  n=%-7d jobs=%-3d %9.1f ms/round %9.0f msgs/sec   coordinator \
+       %d MB peak, servers %d MB peak\n%!"
+      n jobs ms mps
+      (vm_hwm_kb (Unix.getpid ()) / 1024)
+      (server_rss / 1024);
+    T.Json.Obj
+      [
+        ("population", T.Json.Num (float_of_int n));
+        ("jobs", T.Json.Num (float_of_int jobs));
+        ("ms_per_round", T.Json.Num ms);
+        ("msgs_per_sec", T.Json.Num mps);
+        ("delivered", T.Json.Num (float_of_int delivered));
+        ("expected", T.Json.Num (float_of_int expected));
+        ( "coordinator_peak_rss_kb",
+          T.Json.Num (float_of_int (vm_hwm_kb (Unix.getpid ()))) );
+        ("server_peak_rss_kb", T.Json.Num (float_of_int server_rss));
+      ]
+  in
+  let tcp_cell ~n ~jobs =
+    let seed = "bench-scale" in
+    let ports = Array.init 3 (fun _ -> free_port ()) in
+    let pids = List.map (spawn_daemon ~jobs ~seed ~ports) [ 2; 1; 0 ] in
+    Fun.protect
+      ~finally:(fun () -> List.iter stop_pid pids)
+      (fun () ->
+        match
+          Remote.connect ~handshake_timeout_ms:30_000.
+            ~addr:(Addr.loopback ~port:ports.(0))
+            ()
+        with
+        | Error e -> failwith ("scale: remote connect: " ^ e)
+        | Ok remote ->
+            Fun.protect
+              ~finally:(fun () -> Remote.shutdown remote)
+              (fun () ->
+                Remote.set_deadline_ms remote (Some 600_000.);
+                let server_pks = Remote.public_keys remote in
+                let round_streamed ~round ~produce =
+                  match
+                    Remote.conversation_round_streamed remote ~round ~produce
+                  with
+                  | Ok replies -> replies
+                  | Error st ->
+                      failwith (Format.asprintf "scale: %a" Rpc.pp_status st)
+                in
+                let cell = run_cell ~n ~jobs ~server_pks ~round_streamed in
+                let server_rss =
+                  List.fold_left (fun acc pid -> max acc (vm_hwm_kb pid)) 0 pids
+                in
+                row ~n ~jobs ~server_rss cell))
+  in
+  let local_cell ~n ~jobs =
+    let chain =
+      Chain.of_config
+        Config.(
+          default |> with_seed "bench-scale" |> with_n_servers 3
+          |> with_noise noise |> with_dial_noise dial_noise
+          |> with_noise_mode Noise.Deterministic |> with_jobs jobs
+          |> with_deaddrop_shards shards |> with_pipeline ~chunk true)
+    in
+    Fun.protect
+      ~finally:(fun () -> Chain.shutdown chain)
+      (fun () ->
+        let server_pks = Chain.public_keys chain in
+        let round_streamed ~round ~produce =
+          match Chain.conversation_round_streamed chain ~round ~produce with
+          | Ok replies -> replies
+          | Error st -> failwith (Format.asprintf "scale: %a" Rpc.pp_status st)
+        in
+        let cell = run_cell ~n ~jobs ~server_pks ~round_streamed in
+        (* Servers live in this process: one VmHWM covers both roles. *)
+        row ~n ~jobs ~server_rss:(vm_hwm_kb (Unix.getpid ())) cell)
+  in
+  let can_tcp =
+    transport = `Tcp && sockets_allowed () && Sys.file_exists server_bin
+  in
+  if transport = `Tcp && not can_tcp then
+    Printf.printf
+      "  loopback TCP unavailable (sandbox or missing %s): falling back to \
+       the in-process chain\n"
+      server_bin;
+  let transport_name = if can_tcp then "loopback-tcp" else "in-process" in
+  Printf.printf
+    "  transport=%s  shards=%d  chunk=%d  rounds/cell=%d  (paper Figure 9: \
+     68,000 msgs/sec at 1M users, 3x36 cores)\n"
+    transport_name shards chunk rounds;
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun jobs ->
+            if can_tcp then tcp_cell ~n ~jobs else local_cell ~n ~jobs)
+          jobs_list)
+      pops
+  in
+  let doc =
+    T.Json.Obj
+      [
+        ("benchmark", T.Json.Str "scale");
+        ("schema", T.Json.Num 1.);
+        ( "host_cores",
+          T.Json.Num (float_of_int (Vuvuzela_parallel.Pool.default_jobs ())) );
+        ("transport", T.Json.Str transport_name);
+        ("servers", T.Json.Num 3.);
+        ("deaddrop_shards", T.Json.Num (float_of_int shards));
+        ("entry_chunk", T.Json.Num (float_of_int chunk));
+        ("rounds_per_cell", T.Json.Num (float_of_int rounds));
+        ("paper_msgs_per_sec", T.Json.Num 68_000.);
+        ("rows", T.Json.List rows);
+      ]
+  in
+  let oc = open_out "BENCH_scale.json" in
+  output_string oc (T.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote BENCH_scale.json\n"
+
 let () =
   (* BENCH_ONLY=transport: just the daemon round-trip section (used by
      CI smoke; the full run takes minutes). *)
@@ -1384,6 +1663,10 @@ let () =
   end;
   if Sys.getenv_opt "BENCH_ONLY" = Some "churn" then begin
     churn_bench ();
+    exit 0
+  end;
+  if Sys.getenv_opt "BENCH_ONLY" = Some "scale" then begin
+    scale_bench ();
     exit 0
   end;
   print_endline "VUVUZELA (SOSP 2015) - evaluation reproduction";
@@ -1406,6 +1689,7 @@ let () =
   faults_overhead ();
   transport_bench ();
   churn_bench ();
+  scale_bench ();
   workload_summary ();
   line ();
   print_endline "done.  See EXPERIMENTS.md for the paper-vs-measured index."

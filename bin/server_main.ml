@@ -43,8 +43,9 @@ let link_conv =
       Format.pp_print_string ppf (Vuvuzela_transport.Shaper.to_string c))
 
 let run listen next index chain_len seed mu b dial_mu dial_b det_noise
-    certified jobs pipeline pipeline_chunk fault_plan link_latency link_jitter
-    link_bw flap_grace_ms metrics_listen trace_out quiet =
+    certified jobs deaddrop_shards pipeline pipeline_chunk fault_plan
+    link_latency link_jitter link_bw flap_grace_ms metrics_listen trace_out
+    quiet =
   let log =
     if quiet then fun _ -> ()
     else fun msg -> Printf.eprintf "[vuvuzela-server %d] %s\n%!" index msg
@@ -82,6 +83,7 @@ let run listen next index chain_len seed mu b dial_mu dial_b det_noise
       noise_mode = (if det_noise then Noise.Deterministic else Noise.Sampled);
       dial_kind = (if certified then Dialing.Certified else Dialing.Plain);
       jobs;
+      deaddrop_shards = max 1 deaddrop_shards;
       pipeline_chunk = (if pipeline then Some (max 1 pipeline_chunk) else None);
       fault_plan;
       link;
@@ -155,6 +157,16 @@ let cmd =
   in
   let jobs =
     Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc:"Crypto worker domains.")
+  in
+  let deaddrop_shards =
+    Arg.(
+      value & opt int 1
+      & info [ "deaddrop-shards" ] ~docv:"N"
+          ~doc:
+            "Shards for the conversation dead-drop store (last server): \
+             drops route by id prefix and the exchange pair-matches per \
+             shard over the worker domains. Results are bit-identical \
+             for any count.")
   in
   let pipeline =
     Arg.(
@@ -244,8 +256,8 @@ let cmd =
     Term.(
       ret
         (const run $ listen $ next $ index $ chain_len $ seed $ mu $ b
-       $ dial_mu $ dial_b $ det_noise $ certified $ jobs $ pipeline
-       $ pipeline_chunk $ fault_plan $ link_latency $ link_jitter $ link_bw
-       $ flap_grace_ms $ metrics_listen $ trace_out $ quiet))
+       $ dial_mu $ dial_b $ det_noise $ certified $ jobs $ deaddrop_shards
+       $ pipeline $ pipeline_chunk $ fault_plan $ link_latency $ link_jitter
+       $ link_bw $ flap_grace_ms $ metrics_listen $ trace_out $ quiet))
 
 let () = exit (Cmd.eval cmd)

@@ -48,6 +48,7 @@ let of_config (cfg : Config.t) =
         noise_mode = cfg.noise_mode;
         dial_kind = cfg.dial_kind;
         jobs = cfg.jobs;
+        deaddrop_shards = cfg.deaddrop_shards;
       }
     in
     let rng_seed =
@@ -327,6 +328,54 @@ let normalize ~expected requests =
       else Vuvuzela_crypto.Drbg.bytes expected)
     requests
 
+(* The conversation descent from server [i] down: forward through each
+   mixing server, exchange at the last, results back up.  Shared by the
+   materializing round (which starts at server 0) and the streamed-entry
+   round (which hand-feeds server 0 and descends from server 1). *)
+let rec conv_go t ~round i batch =
+  let n = length t in
+  let srv = t.servers.(i) in
+  let* peeled =
+    if t.pipeline then begin
+      (* Streamed relay: the batch crosses the link as ordered
+         [Conv_batch_part] frames and the receiver peels each part
+         as it lands — the same code path a pipelined TCP
+         deployment runs, so its determinism is tested here. *)
+      let stream = Server.conv_stream srv ~round in
+      let* () =
+        forward_send_parts t ~round ~server:i ~stage:"conv-batch"
+          (fun ~seq ~last onions ->
+            Rpc.encode (Rpc.Conv_batch_part { round; seq; last; onions }))
+          (fun b ->
+            match Rpc.decode b with
+            | Ok (Rpc.Conv_batch_part { onions; _ }) -> Ok onions
+            | Ok _ -> Error "unexpected message"
+            | Error e -> Error e)
+          (fun onions -> Server.stream_feed srv stream onions)
+          batch
+      in
+      Ok (`Stream stream)
+    end
+    else
+      let* batch = send_conv_batch t ~round ~server:i batch in
+      Ok (`Batch batch)
+  in
+  if i = n - 1 then
+    Ok
+      (match peeled with
+      | `Stream stream -> Server.conv_finish_exchange srv stream
+      | `Batch batch -> Server.conv_exchange srv ~round batch)
+  else begin
+    let forwarded =
+      match peeled with
+      | `Stream stream -> Server.conv_finish_forward srv stream
+      | `Batch batch -> Server.conv_forward srv ~round batch
+    in
+    let* below = conv_go t ~round (i + 1) forwarded in
+    let* results = send_conv_results ~round ~server:i below in
+    Ok (Server.conv_backward srv ~round results)
+  end
+
 (* One conversation round: forward through each mixing server, exchange
    at the last, then backward.  [requests] are the clients' onions in
    slot order; the result array is aligned with it. *)
@@ -342,50 +391,49 @@ let conversation_round t ~round requests =
              ~payload_len:Types.exchange_payload_len)
         requests
     in
-    let rec go i batch =
-      let srv = t.servers.(i) in
-      let* peeled =
-        if t.pipeline then begin
-          (* Streamed relay: the batch crosses the link as ordered
-             [Conv_batch_part] frames and the receiver peels each part
-             as it lands — the same code path a pipelined TCP
-             deployment runs, so its determinism is tested here. *)
-          let stream = Server.conv_stream srv ~round in
-          let* () =
-            forward_send_parts t ~round ~server:i ~stage:"conv-batch"
-              (fun ~seq ~last onions ->
-                Rpc.encode (Rpc.Conv_batch_part { round; seq; last; onions }))
-              (fun b ->
-                match Rpc.decode b with
-                | Ok (Rpc.Conv_batch_part { onions; _ }) -> Ok onions
-                | Ok _ -> Error "unexpected message"
-                | Error e -> Error e)
-              (fun onions -> Server.stream_feed srv stream onions)
-              batch
-          in
-          Ok (`Stream stream)
-        end
-        else
-          let* batch = send_conv_batch t ~round ~server:i batch in
-          Ok (`Batch batch)
+    Telemetry.span t.tel ~name:"conv-round" ~round (fun () ->
+        conv_go t ~round 0 requests)
+  end
+
+(* The dialing descent from server [i] down (see [conv_go]). *)
+let rec dial_go t ~round ~m i batch =
+  let n = length t in
+  let srv = t.servers.(i) in
+  let* peeled =
+    if t.pipeline then begin
+      let stream = Server.dial_stream srv ~round in
+      let* () =
+        forward_send_parts t ~round ~server:i ~stage:"dial-batch"
+          (fun ~seq ~last onions ->
+            Rpc.encode (Rpc.Dial_batch_part { round; m; seq; last; onions }))
+          (fun b ->
+            match Rpc.decode b with
+            | Ok (Rpc.Dial_batch_part { onions; _ }) -> Ok onions
+            | Ok _ -> Error "unexpected message"
+            | Error e -> Error e)
+          (fun onions -> Server.stream_feed srv stream onions)
+          batch
       in
-      if i = n - 1 then
-        Ok
-          (match peeled with
-          | `Stream stream -> Server.conv_finish_exchange srv stream
-          | `Batch batch -> Server.conv_exchange srv ~round batch)
-      else begin
-        let forwarded =
-          match peeled with
-          | `Stream stream -> Server.conv_finish_forward srv stream
-          | `Batch batch -> Server.conv_forward srv ~round batch
-        in
-        let* below = go (i + 1) forwarded in
-        let* results = send_conv_results ~round ~server:i below in
-        Ok (Server.conv_backward srv ~round results)
-      end
+      Ok (`Stream stream)
+    end
+    else
+      let* batch = send_dial_batch t ~round ~m ~server:i batch in
+      Ok (`Batch batch)
+  in
+  if i = n - 1 then
+    Ok
+      (match peeled with
+      | `Stream stream -> Server.dial_finish_deliver srv stream ~m
+      | `Batch batch -> Server.dial_deliver srv ~round ~m batch)
+  else begin
+    let forwarded =
+      match peeled with
+      | `Stream stream -> Server.dial_finish_forward srv stream ~m
+      | `Batch batch -> Server.dial_forward srv ~round ~m batch
     in
-    Telemetry.span t.tel ~name:"conv-round" ~round (fun () -> go 0 requests)
+    let* below = dial_go t ~round ~m (i + 1) forwarded in
+    let* results = send_dial_results ~round ~server:i below in
+    Ok (Server.dial_backward srv ~round results)
   end
 
 (* One dialing round with [m] invitation drops. *)
@@ -401,48 +449,183 @@ let dialing_round t ~round ~m requests =
              ~payload_len:(Dialing.payload_len (Server.dial_kind t.servers.(0))))
         requests
     in
-    let rec go i batch =
-      let srv = t.servers.(i) in
-      let* peeled =
-        if t.pipeline then begin
-          let stream = Server.dial_stream srv ~round in
-          let* () =
-            forward_send_parts t ~round ~server:i ~stage:"dial-batch"
-              (fun ~seq ~last onions ->
-                Rpc.encode
-                  (Rpc.Dial_batch_part { round; m; seq; last; onions }))
-              (fun b ->
-                match Rpc.decode b with
-                | Ok (Rpc.Dial_batch_part { onions; _ }) -> Ok onions
-                | Ok _ -> Error "unexpected message"
-                | Error e -> Error e)
-              (fun onions -> Server.stream_feed srv stream onions)
-              batch
-          in
-          Ok (`Stream stream)
-        end
-        else
-          let* batch = send_dial_batch t ~round ~m ~server:i batch in
-          Ok (`Batch batch)
-      in
-      if i = n - 1 then
-        Ok
-          (match peeled with
-          | `Stream stream -> Server.dial_finish_deliver srv stream ~m
-          | `Batch batch -> Server.dial_deliver srv ~round ~m batch)
-      else begin
-        let forwarded =
-          match peeled with
-          | `Stream stream -> Server.dial_finish_forward srv stream ~m
-          | `Batch batch -> Server.dial_forward srv ~round ~m batch
+    Telemetry.span t.tel ~name:"dial-round" ~round ~dialing:true (fun () ->
+        dial_go t ~round ~m 0 requests)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Streamed-entry rounds (scale plane)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The streamed-entry ingress into server 0: the producer pushes the
+   batch in slot-ordered chunks (the streaming [Entry] collector's
+   sink), each crossing the link as a [*_batch_part] frame, so neither
+   the entry tier nor server 0 ever holds the whole onion batch.
+
+   Fault semantics stay lockstep-equivalent, mirroring the daemon's
+   part-stream ingress: the (round, server 0) site fires once before
+   the first chunk against the logical batch — crash/drop kill the
+   whole round, frame faults damage the first part's frame, and
+   [Tamper_slot] is applied to whichever chunk carries its absolute
+   slot.  The tap observes each chunk as it crosses the link (same
+   bytes in the same order as the lockstep tap, just chunked). *)
+type entry_ingress = {
+  mutable in_off : int;  (** onions fed so far = absolute slot offset *)
+  mutable in_seq : int;
+  mutable in_tampers : int list;  (** absolute slots not yet applied *)
+  mutable in_err : Rpc.status option;
+}
+
+let stream_entry_prelude t ~round ~stage =
+  let kinds =
+    match t.faults with
+    | None -> []
+    | Some inj -> Fault.fire inj ~round ~server:0
+  in
+  record_faults t ~server:0 kinds;
+  let fatal = ref None in
+  let tampers = ref [] in
+  let frame_faults = ref [] in
+  List.iter
+    (fun k ->
+      if !fatal = None then
+        match k with
+        | Fault.Crash -> fatal := Some "server crashed (injected fault)"
+        | Fault.Drop_link -> fatal := Some "link dropped (injected fault)"
+        | Fault.Delay_ms ms | Fault.Slow_link ms | Fault.Flap ms ->
+            t.delay_ms <- t.delay_ms +. float_of_int ms
+        | Fault.Partition ms ->
+            t.delay_ms <- t.delay_ms +. float_of_int ms;
+            fatal := Some "link partitioned (injected fault)"
+        | Fault.Tamper_slot s -> tampers := s :: !tampers
+        | (Fault.Corrupt_frame _ | Fault.Truncate_frame _ | Fault.Extend_frame _)
+          as k -> frame_faults := k :: !frame_faults)
+    kinds;
+  match !fatal with
+  | Some detail -> Error (status_frame { Rpc.round; server = 0; stage; detail })
+  | None -> Ok (List.rev !tampers, List.rev !frame_faults)
+
+(* Feed one producer chunk through the part codec into server 0's
+   stream, applying any pending absolute-slot tampers and (on the first
+   part) the frame faults. *)
+let stream_entry_feed t ~round ~stage ~expected ~encode_part ~decode_part
+    ~frame_faults ingress feed_server chunk =
+  if ingress.in_err = None then begin
+    let onions = normalize ~expected chunk in
+    let len = Array.length onions in
+    let onions =
+      List.fold_left
+        (fun o s ->
+          if s >= ingress.in_off && s < ingress.in_off + len then
+            Fault.apply_tamper o (s - ingress.in_off)
+          else o)
+        onions ingress.in_tampers
+    in
+    ingress.in_tampers <-
+      List.filter (fun s -> s >= ingress.in_off + len) ingress.in_tampers;
+    Option.iter (fun tap -> tap ~round ~server:0 onions) t.tap;
+    let frame = encode_part ~seq:ingress.in_seq onions in
+    let frame =
+      if ingress.in_seq = 0 then
+        List.fold_left Fault.apply_frame frame frame_faults
+      else frame
+    in
+    match decode_part frame with
+    | Ok onions ->
+        feed_server onions;
+        ingress.in_off <- ingress.in_off + len;
+        ingress.in_seq <- ingress.in_seq + 1
+    | Error detail ->
+        ingress.in_err <-
+          Some (status_frame { Rpc.round; server = 0; stage; detail })
+  end
+
+(* A conversation round whose entry batch arrives as a stream:
+   [produce feed] must call [feed chunk] with slot-ordered chunks (the
+   streaming [Entry] collector does exactly this) and return once the
+   round's intake is complete.  Decoded onions, and therefore results,
+   are bit-identical to [conversation_round] on the concatenation of
+   the chunks. *)
+let conversation_round_streamed t ~round ~produce =
+  if t.shut_down then Error (status_frame (Rpc.chain_shutdown ~round))
+  else begin
+    t.delay_ms <- 0.;
+    let n = length t in
+    let stage = "conv-batch" in
+    let expected =
+      Vuvuzela_mixnet.Onion.request_size ~chain_len:n
+        ~payload_len:Types.exchange_payload_len
+    in
+    Telemetry.span t.tel ~name:"conv-round" ~round (fun () ->
+        let srv0 = t.servers.(0) in
+        let* tampers, frame_faults = stream_entry_prelude t ~round ~stage in
+        let stream = Server.conv_stream srv0 ~round in
+        let ingress =
+          { in_off = 0; in_seq = 0; in_tampers = tampers; in_err = None }
         in
-        let* below = go (i + 1) forwarded in
-        let* results = send_dial_results ~round ~server:i below in
-        Ok (Server.dial_backward srv ~round results)
-      end
+        produce
+          (stream_entry_feed t ~round ~stage ~expected
+             ~encode_part:(fun ~seq onions ->
+               Rpc.encode (Rpc.Conv_batch_part { round; seq; last = false; onions }))
+             ~decode_part:(fun b ->
+               match Rpc.decode b with
+               | Ok (Rpc.Conv_batch_part { onions; _ }) -> Ok onions
+               | Ok _ -> Error "unexpected message"
+               | Error e -> Error e)
+             ~frame_faults ingress
+             (fun onions -> Server.stream_feed srv0 stream onions));
+        match ingress.in_err with
+        | Some st -> Error st
+        | None ->
+            if n = 1 then Ok (Server.conv_finish_exchange srv0 stream)
+            else begin
+              let forwarded = Server.conv_finish_forward srv0 stream in
+              let* below = conv_go t ~round 1 forwarded in
+              let* results = send_conv_results ~round ~server:0 below in
+              Ok (Server.conv_backward srv0 ~round results)
+            end)
+  end
+
+(* Streamed-entry dialing round (see [conversation_round_streamed]). *)
+let dialing_round_streamed t ~round ~m ~produce =
+  if t.shut_down then Error (status_frame (Rpc.chain_shutdown ~round))
+  else begin
+    t.delay_ms <- 0.;
+    let n = length t in
+    let stage = "dial-batch" in
+    let expected =
+      Vuvuzela_mixnet.Onion.request_size ~chain_len:n
+        ~payload_len:(Dialing.payload_len (Server.dial_kind t.servers.(0)))
     in
     Telemetry.span t.tel ~name:"dial-round" ~round ~dialing:true (fun () ->
-        go 0 requests)
+        let srv0 = t.servers.(0) in
+        let* tampers, frame_faults = stream_entry_prelude t ~round ~stage in
+        let stream = Server.dial_stream srv0 ~round in
+        let ingress =
+          { in_off = 0; in_seq = 0; in_tampers = tampers; in_err = None }
+        in
+        produce
+          (stream_entry_feed t ~round ~stage ~expected
+             ~encode_part:(fun ~seq onions ->
+               Rpc.encode
+                 (Rpc.Dial_batch_part { round; m; seq; last = false; onions }))
+             ~decode_part:(fun b ->
+               match Rpc.decode b with
+               | Ok (Rpc.Dial_batch_part { onions; _ }) -> Ok onions
+               | Ok _ -> Error "unexpected message"
+               | Error e -> Error e)
+             ~frame_faults ingress
+             (fun onions -> Server.stream_feed srv0 stream onions));
+        match ingress.in_err with
+        | Some st -> Error st
+        | None ->
+            if n = 1 then Ok (Server.dial_finish_deliver srv0 stream ~m)
+            else begin
+              let forwarded = Server.dial_finish_forward srv0 stream ~m in
+              let* below = dial_go t ~round ~m 1 forwarded in
+              let* results = send_dial_results ~round ~server:0 below in
+              Ok (Server.dial_backward srv0 ~round results)
+            end)
   end
 
 (* Convenience for callers (benchmarks, attack harnesses) that treat a

@@ -86,6 +86,26 @@ val conversation_round :
 val dialing_round :
   t -> round:int -> m:int -> bytes array -> (bytes array, Rpc.status) result
 
+val conversation_round_streamed :
+  t ->
+  round:int ->
+  produce:((bytes array -> unit) -> unit) ->
+  (bytes array, Rpc.status) result
+(** Streamed-entry conversation round: [produce feed] pushes the batch
+    as slot-ordered chunks (a streaming {!Entry} collector's sink) and
+    returns when the intake is complete; server 0 peels each chunk as
+    it lands, so no tier materializes the whole onion batch.  Results
+    are bit-identical to {!conversation_round} on the chunk
+    concatenation; faults for the entry link keep lockstep semantics
+    (fire once against the logical batch, absolute tamper slots). *)
+
+val dialing_round_streamed :
+  t ->
+  round:int ->
+  m:int ->
+  produce:((bytes array -> unit) -> unit) ->
+  (bytes array, Rpc.status) result
+
 val conversation_round_exn : t -> round:int -> bytes array -> bytes array
 (** [conversation_round], raising [Failure] on a status frame. *)
 

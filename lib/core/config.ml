@@ -12,7 +12,10 @@ type t = {
   jobs : int;
   pipeline : bool;
   pipeline_chunk : int;
+  deaddrop_shards : int;
+  entry_streaming : bool;
   cdn_edges : int;
+  cdn_bloom_fp : float option;
   fault_plan : Vuvuzela_faults.Fault.plan option;
   tap : (round:int -> server:int -> bytes array -> unit) option;
   telemetry : Vuvuzela_telemetry.Telemetry.t option;
@@ -39,7 +42,10 @@ let default =
     jobs = 1;
     pipeline = false;
     pipeline_chunk = 16;
+    deaddrop_shards = 1;
+    entry_streaming = false;
     cdn_edges = 0;
+    cdn_bloom_fp = None;
     fault_plan = None;
     tap = None;
     telemetry = None;
@@ -64,7 +70,10 @@ let with_dial_kind dial_kind t = { t with dial_kind }
 let with_jobs jobs t = { t with jobs }
 let with_pipeline ?(chunk = default.pipeline_chunk) pipeline t =
   { t with pipeline; pipeline_chunk = max 1 chunk }
+let with_deaddrop_shards shards t = { t with deaddrop_shards = max 1 shards }
+let with_entry_streaming entry_streaming t = { t with entry_streaming }
 let with_cdn_edges cdn_edges t = { t with cdn_edges }
+let with_cdn_bloom_fp fp t = { t with cdn_bloom_fp = Some fp }
 let with_fault_plan plan t = { t with fault_plan = Some plan }
 let with_tap tap t = { t with tap = Some tap }
 let with_telemetry tel t = { t with telemetry = Some tel }

@@ -27,7 +27,21 @@ type t = {
           the batch is still in flight; results are bit-identical to
           lockstep *)
   pipeline_chunk : int;  (** onions per streamed part (≥ 1) *)
+  deaddrop_shards : int;
+      (** conversation dead-drop store shards (≥ 1): drops are routed
+          by id prefix and [exchange] pair-matches per shard over the
+          domain pool; results are bit-identical for any count *)
+  entry_streaming : bool;
+      (** stream client onions through the entry tier in
+          [pipeline_chunk]-sized chunks instead of materializing the
+          whole batch — peak buffered onions are bounded by the chunk
+          size, not the population; transcripts are bit-identical *)
   cdn_edges : int;  (** §5.5 invitation-drop distribution; [0] = none *)
+  cdn_bloom_fp : float option;
+      (** stable-bloom invitation prefilter at the CDN edges: clients
+          register subscription tags and edges serve every drop whose
+          tag matches, at the configured false-positive rate (never a
+          false negative); [None] keeps the exact-index fetch *)
   fault_plan : Vuvuzela_faults.Fault.plan option;
   tap : (round:int -> server:int -> bytes array -> unit) option;
       (** observes every forward batch as it crosses a link
@@ -83,7 +97,17 @@ val with_pipeline : ?chunk:int -> bool -> t -> t
 (** Enable/disable the streamed relay; [chunk] (default
     {!default}[.pipeline_chunk], clamped ≥ 1) sets the onions per part. *)
 
+val with_deaddrop_shards : int -> t -> t
+(** Shard count for the conversation dead-drop store (clamped ≥ 1). *)
+
+val with_entry_streaming : bool -> t -> t
+(** Chunked entry-tier intake (see {!type-t.entry_streaming}). *)
+
 val with_cdn_edges : int -> t -> t
+
+val with_cdn_bloom_fp : float -> t -> t
+(** Enable the CDN stable-bloom prefilter at this false-positive rate. *)
+
 val with_fault_plan : Vuvuzela_faults.Fault.plan -> t -> t
 val with_tap : (round:int -> server:int -> bytes array -> unit) -> t -> t
 val with_telemetry : Vuvuzela_telemetry.Telemetry.t -> t -> t

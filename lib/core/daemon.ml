@@ -28,6 +28,7 @@ type config = {
   noise_mode : Vuvuzela_dp.Noise.mode;
   dial_kind : Dialing.kind;
   jobs : int;
+  deaddrop_shards : int;
   pipeline_chunk : int option;
       (** [Some chunk]: forward batches downstream as streamed
           [*_batch_part] frames of [chunk] onions.  Ingress always
@@ -252,6 +253,7 @@ let ensure_server ?telemetry ?on_ready st =
             noise_mode = cfg.noise_mode;
             dial_kind = cfg.dial_kind;
             jobs = cfg.jobs;
+            deaddrop_shards = cfg.deaddrop_shards;
           }
         ~suffix_pks:st.suffix ()
     in

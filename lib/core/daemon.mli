@@ -43,6 +43,8 @@ type config = {
   noise_mode : Vuvuzela_dp.Noise.mode;
   dial_kind : Dialing.kind;
   jobs : int;
+  deaddrop_shards : int;
+      (** conversation dead-drop store shards (last server; >= 1) *)
   pipeline_chunk : int option;
       (** [Some chunk]: forward batches leave for the next server as
           streamed [*_batch_part] frames of [chunk] onions each, so the

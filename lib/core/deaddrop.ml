@@ -8,50 +8,101 @@
    paper: honest collisions are negligible, so >2 accesses only arise
    from adversarial duplication, and those learn nothing new).
 
+   Only the first two accesses ever matter to [resolve], so each drop
+   stores exactly those plus an access count; the count transitions also
+   maintain the (m1, m2, m_more) histogram incrementally, making
+   [histogram] O(1) instead of a List.length walk per drop.  The seed
+   implementation survives verbatim as {!Deaddrop_ref}, the differential
+   oracle for [test/prop/prop_deaddrop.ml].
+
    Invitation drops (§5): a small fixed number m of large drops, each
    accumulating all invitations (real + noise) for the public keys that
    hash to it. *)
 
-type access = { slot : int; sealed : bytes }
-
-type t = {
-  drops : (string, access list) Hashtbl.t;
-      (* key: drop id; value: accesses in arrival order (newest first) *)
-  mutable total_accesses : int;
+(* One dead drop.  [a2_*] are meaningful only when [count >= 2]. *)
+type cell = {
+  a1_slot : int;
+  a1_sealed : bytes;
+  mutable a2_slot : int;
+  mutable a2_sealed : bytes;
+  mutable count : int;
 }
 
-let create () = { drops = Hashtbl.create 1024; total_accesses = 0 }
+type t = {
+  drops : (string, cell) Hashtbl.t;
+  mutable total_accesses : int;
+  mutable m1 : int;
+  mutable m2 : int;
+  mutable m_more : int;
+}
+
+let create () =
+  { drops = Hashtbl.create 1024; total_accesses = 0; m1 = 0; m2 = 0; m_more = 0 }
 
 let clear t =
   Hashtbl.reset t.drops;
-  t.total_accesses <- 0
+  t.total_accesses <- 0;
+  t.m1 <- 0;
+  t.m2 <- 0;
+  t.m_more <- 0
 
-(* Record one exchange request. *)
+let no_sealed = Bytes.create 0
+
+(* Record one exchange request.  Each batch slot must be put at most
+   once per round (the server enforces this upstream). *)
 let put t ~slot ~drop_id ~sealed =
   let key = Bytes.to_string drop_id in
-  let prev = Option.value ~default:[] (Hashtbl.find_opt t.drops key) in
-  Hashtbl.replace t.drops key ({ slot; sealed } :: prev);
+  (match Hashtbl.find_opt t.drops key with
+  | None ->
+      Hashtbl.add t.drops key
+        { a1_slot = slot; a1_sealed = sealed; a2_slot = -1;
+          a2_sealed = no_sealed; count = 1 };
+      t.m1 <- t.m1 + 1
+  | Some c ->
+      (match c.count with
+      | 1 ->
+          c.a2_slot <- slot;
+          c.a2_sealed <- sealed;
+          t.m1 <- t.m1 - 1;
+          t.m2 <- t.m2 + 1
+      | 2 ->
+          t.m2 <- t.m2 - 1;
+          t.m_more <- t.m_more + 1
+      | _ -> ());
+      c.count <- c.count + 1);
   t.total_accesses <- t.total_accesses + 1
 
 let empty_result = Bytes.make Types.exchange_result_len '\000'
 
+(* Swap the first two accesses of every paired drop into [results].
+   Slots not written keep whatever [results] was prefilled with. *)
+let resolve_into drops results =
+  Hashtbl.iter
+    (fun _ c ->
+      if c.count >= 2 then begin
+        (* First two accesses exchange contents; any later (necessarily
+           adversarial) duplicates keep the empty result. *)
+        results.(c.a1_slot) <- c.a2_sealed;
+        results.(c.a2_slot) <- c.a1_sealed
+      end)
+    drops
+
+(* Every slot the pair-matching left untouched gets its own fresh
+   all-zero buffer: [empty_result] itself must never escape, or a caller
+   mutating one lone slot's result would corrupt every other's. *)
+let copy_lone_slots results =
+  Array.iteri
+    (fun i r -> if r == empty_result then results.(i) <- Bytes.copy empty_result)
+    results;
+  results
+
 (* Resolve all drops: returns the per-slot results.  [n_slots] is the
    batch size; every slot receives exactly [Types.exchange_result_len]
-   bytes. *)
+   bytes, freshly allocated for lone/unused slots. *)
 let resolve t ~n_slots =
   let results = Array.make n_slots empty_result in
-  Hashtbl.iter
-    (fun _ accesses ->
-      match List.rev accesses with
-      | [ _ ] -> () (* lone access: empty result *)
-      | a :: b :: _rest ->
-          (* First two accesses exchange contents; any later (necessarily
-             adversarial) duplicates keep the empty result. *)
-          results.(a.slot) <- b.sealed;
-          results.(b.slot) <- a.sealed
-      | [] -> ())
-    t.drops;
-  results
+  resolve_into t.drops results;
+  copy_lone_slots results
 
 (* Observable variables (§4.2): the histogram of access counts.  [m1] is
    the number of drops accessed once, [m2] accessed twice.  These two
@@ -59,31 +110,87 @@ let resolve t ~n_slots =
    beyond what its own requests tell it. *)
 type histogram = { m1 : int; m2 : int; m_more : int }
 
-let histogram t =
-  Hashtbl.fold
-    (fun _ accesses acc ->
-      match List.length accesses with
-      | 1 -> { acc with m1 = acc.m1 + 1 }
-      | 2 -> { acc with m2 = acc.m2 + 1 }
-      | n when n > 2 -> { acc with m_more = acc.m_more + 1 }
-      | _ -> acc)
-    t.drops
-    { m1 = 0; m2 = 0; m_more = 0 }
+let histogram (t : t) = { m1 = t.m1; m2 = t.m2; m_more = t.m_more }
 
 let pp_histogram fmt { m1; m2; m_more } =
   Format.fprintf fmt "{m1=%d; m2=%d; m>2=%d}" m1 m2 m_more
+
+(* ------------------------------------------------------------------ *)
+(* Sharded store (scale plane)                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Drop ids are HMAC outputs (uniform), so routing on the id prefix
+   balances shards without touching the histogram semantics: a drop's
+   accesses all share the id, hence the shard, so pair-matching inside
+   each shard sees exactly the accesses the monolithic store would.
+   Each batch slot belongs to exactly one drop and therefore exactly one
+   shard, which makes the per-shard [resolve] writes into the shared
+   results array disjoint — safe to fan over the domain pool and
+   bit-identical to the sequential store regardless of shard count. *)
+module Sharded = struct
+  type monolithic = t
+
+  type t = { shards : monolithic array; n : int }
+
+  let create ?(shards = 1) () =
+    let n = max 1 shards in
+    { shards = Array.init n (fun _ -> create ()); n }
+
+  let shard_count t = t.n
+
+  (* Big-endian prefix of the drop id mod shard count; ids are at least
+     two bytes ({!Types.drop_id_len} = 16). *)
+  let shard_of t drop_id =
+    ((Char.code (Bytes.get drop_id 0) lsl 8) lor Char.code (Bytes.get drop_id 1))
+    mod t.n
+
+  let put t ~slot ~drop_id ~sealed =
+    put t.shards.(shard_of t drop_id) ~slot ~drop_id ~sealed
+
+  let clear t = Array.iter clear t.shards
+
+  let total_accesses t =
+    Array.fold_left (fun acc s -> acc + s.total_accesses) 0 t.shards
+
+  let histogram t =
+    Array.fold_left
+      (fun acc (s : monolithic) ->
+        { m1 = acc.m1 + s.m1; m2 = acc.m2 + s.m2; m_more = acc.m_more + s.m_more })
+      { m1 = 0; m2 = 0; m_more = 0 }
+      t.shards
+
+  let resolve ?pool t ~n_slots =
+    let results = Array.make n_slots empty_result in
+    (match pool with
+    | Some p when t.n > 1 ->
+        ignore
+          (Vuvuzela_parallel.Pool.run p
+             (Array.map (fun s () -> resolve_into s.drops results) t.shards))
+    | _ -> Array.iter (fun s -> resolve_into s.drops results) t.shards);
+    copy_lone_slots results
+end
 
 (* ------------------------------------------------------------------ *)
 (* Invitation drops (dialing)                                          *)
 (* ------------------------------------------------------------------ *)
 
 module Invitation = struct
-  type store = { mutable drops : bytes list array (* newest first *) }
+  type store = {
+    mutable drops : bytes list array; (* newest first *)
+    counts : int array;  (* per-index size, tracked at put so [size] is O(1) *)
+    mutable total_invitations : int;
+  }
 
-  let create ~m = { drops = Array.make (max 1 m) [] }
+  let create ~m =
+    let m = max 1 m in
+    { drops = Array.make m []; counts = Array.make m 0; total_invitations = 0 }
+
   let drop_count s = Array.length s.drops
 
-  let clear s = Array.fill s.drops 0 (Array.length s.drops) []
+  let clear s =
+    Array.fill s.drops 0 (Array.length s.drops) [];
+    Array.fill s.counts 0 (Array.length s.counts) 0;
+    s.total_invitations <- 0
 
   (* §5.1: invitations for public key pk live in drop H(pk) mod m. *)
   let index_of ~m pk =
@@ -99,7 +206,9 @@ module Invitation = struct
     if index <> Types.noop_drop then begin
       if index < 0 || index >= Array.length s.drops then
         invalid_arg "Invitation.put: bad drop index";
-      s.drops.(index) <- invitation :: s.drops.(index)
+      s.drops.(index) <- invitation :: s.drops.(index);
+      s.counts.(index) <- s.counts.(index) + 1;
+      s.total_invitations <- s.total_invitations + 1
     end
 
   (* Clients download their whole drop and trial-decrypt (§5.1). *)
@@ -108,6 +217,6 @@ module Invitation = struct
       invalid_arg "Invitation.fetch: bad drop index";
     List.rev s.drops.(index)
 
-  let size s ~index = List.length s.drops.(index)
-  let total s = Array.fold_left (fun acc l -> acc + List.length l) 0 s.drops
+  let size s ~index = s.counts.(index)
+  let total s = s.total_invitations
 end

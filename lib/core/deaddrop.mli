@@ -7,22 +7,57 @@ val create : unit -> t
 val clear : t -> unit
 
 val put : t -> slot:int -> drop_id:Types.drop_id -> sealed:bytes -> unit
-(** Record one exchange request occupying batch position [slot]. *)
+(** Record one exchange request occupying batch position [slot].  Each
+    slot must be put at most once per round. *)
 
 val empty_result : bytes
-(** The all-zero {!Types.exchange_result_len}-byte result returned for
-    lone accesses. *)
+(** The all-zero {!Types.exchange_result_len}-byte reference value for
+    lone accesses.  Treat as immutable: {!resolve} never returns this
+    buffer itself, only fresh copies. *)
 
 val resolve : t -> n_slots:int -> bytes array
 (** Match up all accesses: the first two requests to a drop swap sealed
-    messages; every other slot gets {!empty_result}. *)
+    messages; every other slot gets a fresh all-zero buffer (mutating
+    one slot's result never affects another's). *)
 
 type histogram = { m1 : int; m2 : int; m_more : int }
 (** The protocol's only observable variables (§4.2): counts of drops
     accessed once, twice, and (adversarially) more than twice. *)
 
 val histogram : t -> histogram
+(** O(1): the counts are maintained incrementally at {!put} time. *)
+
 val pp_histogram : Format.formatter -> histogram -> unit
+
+(** Sharded conversation store (scale plane): drops are routed to
+    shards by drop-id prefix, so [resolve] parallelizes per shard over
+    the domain pool.  Observationally identical to the monolithic store
+    for any shard count — gated by [test/prop/prop_deaddrop.ml] against
+    the retained seed oracle {!Deaddrop_ref}. *)
+module Sharded : sig
+  type t
+
+  val create : ?shards:int -> unit -> t
+  (** [shards] defaults to 1; clamped to at least 1. *)
+
+  val shard_count : t -> int
+
+  val shard_of : t -> Types.drop_id -> int
+  (** Shard owning a drop id (big-endian 2-byte prefix mod shard count). *)
+
+  val put : t -> slot:int -> drop_id:Types.drop_id -> sealed:bytes -> unit
+  val clear : t -> unit
+  val total_accesses : t -> int
+
+  val histogram : t -> histogram
+  (** Sum of per-shard O(1) histograms. *)
+
+  val resolve : ?pool:Vuvuzela_parallel.Pool.t -> t -> n_slots:int -> bytes array
+  (** As {!Deaddrop.resolve}; with [pool] the per-shard pair matching
+      fans out over the domain pool (each slot belongs to exactly one
+      drop, hence one shard, so the writes are disjoint and the result
+      is bit-identical to the sequential path). *)
+end
 
 module Invitation : sig
   type store
@@ -41,5 +76,7 @@ module Invitation : sig
   (** All invitations in arrival order (clients trial-decrypt each). *)
 
   val size : store -> index:int -> int
+  (** O(1): per-index counts are tracked at {!put} time. *)
+
   val total : store -> int
 end

@@ -9,22 +9,66 @@
    closes, a straggler is not a protocol error any more — its onion is
    keyed to a round that is already sealed, so the only sound move is to
    tell the sender which round to re-wrap for.  [submit] therefore
-   returns a typed status instead of raising. *)
+   returns a typed status instead of raising.
+
+   Two intake modes:
+   - materializing (seed behavior): every onion is buffered until
+     [close_round] freezes the slot-ordered batch — peak memory grows
+     with the population;
+   - streaming (scale plane): [create_streaming] attaches a sink and a
+     chunk size; whenever [chunk] onions are buffered they are flushed
+     to the sink (in slot order) and the buffer drains, so the peak
+     buffered onion count is bounded by the chunk size, not the
+     population.  The sink feeds the pipelined relay's part frames
+     ([Rpc.Conv_batch_part]), which is why the chunking matches
+     [Rpc.split_parts] exactly. *)
 
 type submit_status = Accepted | Late of { next_round : int }
 
+type 'id stream = { chunk : int; sink : bytes array -> unit }
+
 type 'id t = {
   round : int;
-  mutable pending : ('id * bytes) list;  (** newest first *)
-  mutable count : int;  (** |pending|, tracked so [size] is O(1) *)
+  mutable pending : ('id * bytes) list;  (** buffered requests, newest first *)
+  mutable count : int;  (** admitted requests, O(1) [size] *)
+  mutable buffered : int;  (** |pending| *)
+  mutable peak : int;  (** high-water mark of [buffered] *)
+  stream : 'id stream option;
+  mutable ids_rev : 'id list;  (** streaming mode: ids of flushed slots *)
   mutable closed : bool;
   mutable late : 'id list;  (** stragglers seen after close, newest first *)
 }
 
-let create ?(round = 0) () =
-  { round; pending = []; count = 0; closed = false; late = [] }
+let make ?(round = 0) stream =
+  {
+    round;
+    pending = [];
+    count = 0;
+    buffered = 0;
+    peak = 0;
+    stream;
+    ids_rev = [];
+    closed = false;
+    late = [];
+  }
+
+let create ?round () = make ?round None
+
+let create_streaming ?round ~chunk ~sink () =
+  if chunk < 1 then invalid_arg "Entry.create_streaming: chunk < 1";
+  make ?round (Some { chunk; sink })
 
 let round t = t.round
+
+(* Drain the buffer to the sink as one slot-ordered chunk. *)
+let flush t sink =
+  if t.buffered > 0 then begin
+    let in_order = List.rev t.pending in
+    sink (Array.of_list (List.map snd in_order));
+    t.ids_rev <- List.rev_append (List.map fst in_order) t.ids_rev;
+    t.pending <- [];
+    t.buffered <- 0
+  end
 
 let submit t id request =
   if t.closed then begin
@@ -34,19 +78,38 @@ let submit t id request =
   else begin
     t.pending <- (id, request) :: t.pending;
     t.count <- t.count + 1;
+    t.buffered <- t.buffered + 1;
+    if t.buffered > t.peak then t.peak <- t.buffered;
+    (match t.stream with
+    | Some { chunk; sink } when t.buffered >= chunk -> flush t sink
+    | _ -> ());
     Accepted
   end
 
 let size t = t.count
 let late t = List.rev t.late
+let peak_buffered t = t.peak
 
-(* Freeze the round: slot-ordered requests plus the slot → client map. *)
+(* Freeze a materializing round: slot-ordered requests plus the
+   slot → client map. *)
 let close_round t =
+  if t.stream <> None then
+    invalid_arg "Entry.close_round: streaming collector (use close_stream)";
   t.closed <- true;
   let in_order = List.rev t.pending in
   let requests = Array.of_list (List.map snd in_order) in
   let ids = Array.of_list (List.map fst in_order) in
   (requests, ids)
+
+(* Freeze a streaming round: flush the tail chunk and return the
+   slot → client map (the requests already went to the sink). *)
+let close_stream t =
+  match t.stream with
+  | None -> invalid_arg "Entry.close_stream: materializing collector"
+  | Some { sink; _ } ->
+      flush t sink;
+      t.closed <- true;
+      Array.of_list (List.rev t.ids_rev)
 
 (* Route results back: pairs each slot's result with its client. *)
 let demux ~ids results =

@@ -54,6 +54,11 @@ type t = {
   mutable auto_tune_m : bool;
   dial_kind : Dialing.kind;
   cdn : Cdn.t option;  (** §5.5 distribution of invitation drops *)
+  mutable entry_streaming : bool;
+      (** scale plane: collect entry requests through a streaming
+          {!Entry} collector feeding the chain in chunks, so no tier
+          materializes the whole onion batch *)
+  entry_chunk : int;  (** onions per streamed entry chunk *)
   mutable round_deadline_ms : float option;
       (** supervisor deadline per attempt; [None] disables the check *)
   mutable max_retries : int;  (** extra attempts after the first *)
@@ -121,6 +126,7 @@ let of_config (cfg : Config.t) =
     if cfg.cdn_edges > 0 then
       Some
         (Cdn.create ~edges:cfg.cdn_edges ~history:Server.invitation_history
+           ?bloom_fp:cfg.cdn_bloom_fp
            ~fetch:(fun ~dial_round ~index ->
              Chain.fetch_invitations chain ~dial_round ~index)
            ())
@@ -128,6 +134,8 @@ let of_config (cfg : Config.t) =
   in
   {
     backend = Local chain;
+    entry_streaming = cfg.entry_streaming;
+    entry_chunk = max 1 cfg.pipeline_chunk;
     admission_rng = admission_rng_of cfg;
     admission_ms = cfg.admission_ms;
     client_latency = cfg.client_latency;
@@ -207,6 +215,8 @@ let of_config_tcp (cfg : Config.t) ~addr =
       Ok
         {
           backend = Tcp remote;
+          entry_streaming = cfg.entry_streaming;
+          entry_chunk = max 1 cfg.pipeline_chunk;
           admission_rng = admission_rng_of cfg;
           admission_ms = cfg.admission_ms;
           client_latency = cfg.client_latency;
@@ -316,6 +326,14 @@ let chain_conversation_round t ~round requests =
       round_root t r ~name:"conv-round" ~round ~dialing:false (fun () ->
           Remote.conversation_round r ~round requests)
 
+let chain_conversation_round_streamed t ~round ~produce =
+  match t.backend with
+  | Local c -> Chain.conversation_round_streamed c ~round ~produce
+  | Tcp r ->
+      Remote.set_deadline_ms r (effective_deadline_ms t);
+      round_root t r ~name:"conv-round" ~round ~dialing:false (fun () ->
+          Remote.conversation_round_streamed r ~round ~produce)
+
 let chain_dialing_round t ~round ~m requests =
   match t.backend with
   | Local c -> Chain.dialing_round c ~round ~m requests
@@ -323,6 +341,14 @@ let chain_dialing_round t ~round ~m requests =
       Remote.set_deadline_ms r (effective_deadline_ms t);
       round_root t r ~name:"dial-round" ~round ~dialing:true (fun () ->
           Remote.dialing_round r ~round ~m requests)
+
+let chain_dialing_round_streamed t ~round ~m ~produce =
+  match t.backend with
+  | Local c -> Chain.dialing_round_streamed c ~round ~m ~produce
+  | Tcp r ->
+      Remote.set_deadline_ms r (effective_deadline_ms t);
+      round_root t r ~name:"dial-round" ~round ~dialing:true (fun () ->
+          Remote.dialing_round_streamed r ~round ~m ~produce)
 
 let chain_abort_round t ~round =
   match t.backend with
@@ -356,6 +382,9 @@ let set_round_deadline_ms t d = t.round_deadline_ms <- d
 let round_deadline_ms t = t.round_deadline_ms
 let set_max_retries t n = t.max_retries <- max 0 n
 let max_retries t = t.max_retries
+let set_entry_streaming t flag = t.entry_streaming <- flag
+let entry_streaming t = t.entry_streaming
+let entry_chunk t = t.entry_chunk
 let set_admission_ms t w = t.admission_ms <- w
 let admission_ms t = t.admission_ms
 let set_client_latency t l = t.client_latency <- l
@@ -391,6 +420,10 @@ type round_report = {
       (** per participating client, in connection order; on a failed
           report these are the [Round_failed] notifications *)
   batch_size : int;  (** requests the entry server forwarded *)
+  peak_buffered : int;
+      (** most onions the entry server held at once: [batch_size] when
+          it materialized the batch, at most the configured chunk when
+          it streamed (the scale plane's memory bound) *)
   admitted : int;
       (** clients inside the last attempt's admission window (= all
           participants when no window is configured) *)
@@ -429,12 +462,12 @@ let failures_of reports = List.filter_map (fun r -> r.failure) reports
    consumers need exactly one format.  Pinned by a regression test. *)
 let pp_round_report ppf r =
   Format.fprintf ppf
-    "%s round %d%s: %d requests, %d B wire, %.1f ms%s, attempts=%d, \
-     aborts=%d, admitted=%d, late=%d%a"
+    "%s round %d%s: %d requests (peak %d buffered), %d B wire, %.1f ms%s, \
+     attempts=%d, aborts=%d, admitted=%d, late=%d%a"
     (if r.dialing then "dialing" else "conv")
     r.round
     (if r.failure = None then "" else " FAILED")
-    r.batch_size r.wire_bytes r.elapsed_ms
+    r.batch_size r.peak_buffered r.wire_bytes r.elapsed_ms
     (if r.dialing then Printf.sprintf ", %d acks" r.confirmed_acks else "")
     r.attempts
     (List.length r.aborts)
@@ -586,7 +619,7 @@ let record_obs t (r : round_report) =
         ~failed:(r.failure <> None) ?budget ()
 
 let supervise t ~dialing ~late_pred ~participants ~next_round ~submit
-    ~wire_bytes_of ~call ~abort ~requeue ~finish =
+    ~wire_bytes_of ~call ~call_streamed ~abort ~requeue ~finish =
   let aborts = ref [] in
   let rec attempt n =
     let round = next_round () in
@@ -594,30 +627,72 @@ let supervise t ~dialing ~late_pred ~participants ~next_round ~submit
     charge_attempt t ~participants:admitted ~dialing;
     observe_admission t ~dialing ~admitted:(List.length admitted)
       ~late:(List.length stragglers);
-    let entry = Entry.create ~round () in
-    Telemetry.span t.tel ~name:"client-build" ~round ~dialing (fun () ->
-        submit entry ~round admitted);
-    let requests, ids = Entry.close_round entry in
+    (* Collect requests and run the chain call.  Materializing (the
+       default): close the round first, then time the chain trip alone.
+       Streaming (scale plane): the chain call's [produce] hook owns the
+       collector — clients submit into a streaming {!Entry} whose sink
+       is the chain's chunk feed, so the entry tier never holds more
+       than [entry_chunk] onions while server 0 peels earlier chunks.
+       Building then overlaps the wire, so the timed window includes
+       it.  Either way the chain sees the same slot-ordered request
+       bytes, so transcripts are bit-identical. *)
+    let collector = ref None in
+    let ids = ref [||] in
+    let batch_size = ref 0 in
+    let peak = ref 0 in
+    let outcome, wall_ms =
+      if not t.entry_streaming then begin
+        let entry = Entry.create ~round () in
+        collector := Some entry;
+        Telemetry.span t.tel ~name:"client-build" ~round ~dialing (fun () ->
+            submit entry ~round admitted);
+        let requests, i = Entry.close_round entry in
+        ids := i;
+        batch_size := Array.length requests;
+        peak := Entry.peak_buffered entry;
+        timed (fun () -> call ~round requests)
+      end
+      else
+        timed (fun () ->
+            call_streamed ~round ~produce:(fun feed ->
+                let entry =
+                  Entry.create_streaming ~round ~chunk:t.entry_chunk
+                    ~sink:feed ()
+                in
+                collector := Some entry;
+                Telemetry.span t.tel ~name:"client-build" ~round ~dialing
+                  (fun () -> submit entry ~round admitted);
+                ids := Entry.close_stream entry;
+                batch_size := Array.length !ids;
+                peak := Entry.peak_buffered entry))
+    in
     (* Stragglers still sent: their onions reach the closed collector,
        earn the typed [Entry.Late] answer (onions are round-keyed, so
        joining a sealed round is impossible), and what they carried is
-       requeued for the round the entry server named. *)
+       requeued for the round the entry server named.  A streamed call
+       that failed before opening its collector answers from the round
+       number alone. *)
     let late_events =
       List.map
         (fun c ->
-          submit entry ~round [ c ];
+          Option.iter (fun entry -> submit entry ~round [ c ]) !collector;
           requeue c ~round;
-          let next_round = Entry.round entry + 1 in
+          let next_round =
+            match !collector with
+            | Some entry -> Entry.round entry + 1
+            | None -> round + 1
+          in
           (c, [ Client.Round_late { round; next_round; dialing } ]))
         stragglers
     in
-    let batch_size = Array.length requests in
+    let ids = !ids in
+    let batch_size = !batch_size in
+    let peak_buffered = !peak in
     let wire_bytes = wire_bytes_of ~count:batch_size in
-    let outcome, wall_ms = timed (fun () -> call ~round requests) in
     let elapsed_ms = wall_ms +. chain_last_round_delay_ms t in
     observe_attempt t ~dialing ~wall_ms ~wire_bytes;
     let report failure ~confirmed_acks events =
-      { round; dialing; events; batch_size;
+      { round; dialing; events; batch_size; peak_buffered;
         admitted = List.length admitted; late = List.length stragglers;
         wire_bytes; elapsed_ms; confirmed_acks; attempts = n;
         aborts = List.rev !aborts; failure }
@@ -675,6 +750,8 @@ let run_conversation ?late ~participants (t : t) =
           (Vuvuzela_mixnet.Onion.request_size ~chain_len:(chain_length t)
              ~payload_len:Types.exchange_payload_len))
     ~call:(fun ~round requests -> chain_conversation_round t ~round requests)
+    ~call_streamed:(fun ~round ~produce ->
+      chain_conversation_round_streamed t ~round ~produce)
     ~abort:(fun ~round -> chain_abort_round t ~round)
     ~requeue:(fun c ~round -> Client.abort_round c ~round)
     ~finish:(fun ~round ~ids results ->
@@ -721,6 +798,14 @@ let download_invitations t c =
         let index = Client.my_invitation_drop c ~m in
         let drop =
           match t.cdn with
+          | Some cdn when Cdn.has_prefilter cdn ->
+              (* Prefiltered download: the edge registers this client's
+                 subscription tag and serves every drop of the round its
+                 bloom filter matches — always including [index] (no
+                 false negatives), plus false-positive drops whose
+                 invitations simply fail trial decryption below. *)
+              List.concat_map snd
+                (Cdn.fetch_matched cdn ~client_pk:pk ~dial_round:r ~index ~m)
           | Some cdn -> Cdn.fetch cdn ~client_pk:pk ~dial_round:r ~index
           | None -> chain_fetch_invitations t ~dial_round:r ~index
         in
@@ -755,6 +840,8 @@ let run_dialing ?late ~participants (t : t) =
           (Vuvuzela_mixnet.Onion.request_size ~chain_len:(chain_length t)
              ~payload_len:(Dialing.payload_len t.dial_kind)))
     ~call:(fun ~round requests -> chain_dialing_round t ~round ~m requests)
+    ~call_streamed:(fun ~round ~produce ->
+      chain_dialing_round_streamed t ~round ~m ~produce)
     ~abort:(fun ~round -> chain_abort_dialing_round t ~round)
     ~requeue:(fun c ~round -> Client.abort_dial_round c ~dial_round:round)
     ~finish:(fun ~round ~ids acks ->

@@ -156,6 +156,21 @@ val client_latency : t -> (float * float) option
 val cdn_stats : t -> Cdn.stats option
 (** Present when the deployment was created with [cdn_edges > 0]. *)
 
+val set_entry_streaming : t -> bool -> unit
+(** Scale plane: collect each round's requests through a streaming
+    {!Entry} collector that feeds the chain in chunks of
+    {!entry_chunk} onions (in-process: {!Chain}'s streamed-entry
+    rounds; TCP: streamed [*_batch_part] frames with one chunk of
+    lookahead), so no tier ever materializes the whole batch.  Results
+    and transcripts are bit-identical to the materializing path; the
+    report's [peak_buffered] shows the bound.  Defaults to
+    [Config.entry_streaming]. *)
+
+val entry_streaming : t -> bool
+
+val entry_chunk : t -> int
+(** Onions per streamed entry chunk (= [Config.pipeline_chunk]). *)
+
 val connect :
   ?seed:string ->
   ?window:int ->
@@ -179,6 +194,10 @@ type round_report = {
           report these are the per-client [Round_failed] notifications
           instead. *)
   batch_size : int;  (** requests the entry server forwarded *)
+  peak_buffered : int;
+      (** most onions the entry server held at once: [batch_size] when
+          it materialized the batch, at most the configured chunk when
+          it streamed (the scale plane's memory bound) *)
   admitted : int;
       (** clients inside the last attempt's admission window (= all
           participants when no window is configured) *)

@@ -90,17 +90,18 @@ let normalize ~expected requests =
    round, [None] for anything stale.  A pipelined round queues several
    part frames at once; the transport's write path drains them in
    order while the first hop starts peeling the earliest parts. *)
-let exchange t ~round ~send_frames ~expect =
-  (* The trace context precedes the batch on the same ordered link, so
-     the first hop reads it before opening its hop span.  It is a pure
-     control frame: digests cover request/reply bytes only, so presence
-     or absence cannot perturb the transcript. *)
-  (match t.trace_ctx with
+(* The trace context precedes the batch on the same ordered link, so
+   the first hop reads it before opening its hop span.  It is a pure
+   control frame: digests cover request/reply bytes only, so presence
+   or absence cannot perturb the transcript. *)
+let send_trace_ctx t =
+  match t.trace_ctx with
   | Some c ->
       Transport.send_batch t.client
         (Rpc.encode (Rpc.Trace_ctx { ctx = Trace.encode_context c }))
-  | None -> ());
-  List.iter (fun frame -> Transport.send_batch t.client frame) send_frames;
+  | None -> ()
+
+let await_reply t ~round ~expect =
   let grace_ms = if t.flap_grace_ms > 0. then Some t.flap_grace_ms else None in
   let rec await () =
     match Transport.recv_batch ?deadline_ms:t.deadline_ms ?grace_ms t.tp t.client with
@@ -125,6 +126,75 @@ let exchange t ~round ~send_frames ~expect =
             | None -> await ()))
   in
   await ()
+
+let exchange t ~round ~send_frames ~expect =
+  send_trace_ctx t;
+  List.iter (fun frame -> Transport.send_batch t.client frame) send_frames;
+  await_reply t ~round ~expect
+
+(* Streamed-entry send: each producer chunk leaves as one [*_batch_part]
+   frame as soon as it exists, with one chunk of lookahead so the final
+   part carries [last = true] (the daemon finishes the round on it).
+   The coordinator therefore holds at most two chunks of onions, and the
+   first hop peels early parts while later ones are still being built.
+   Zero chunks degrade to one empty [last] part — the same framing
+   [Rpc.split_parts] gives an empty batch. *)
+let stream_parts t ~encode_part ~produce =
+  send_trace_ctx t;
+  let held = ref None in
+  let seq = ref 0 in
+  produce (fun chunk ->
+      (match !held with
+      | Some prev ->
+          Transport.send_batch t.client
+            (encode_part ~seq:!seq ~last:false prev);
+          incr seq;
+          (* Opportunistically drain the socket so parts cross the wire
+             (and the first hop starts peeling) while the producer is
+             still wrapping later chunks. *)
+          Transport.run_once ~max_wait_ms:0. t.tp
+      | None -> ());
+      held := Some chunk);
+  let final = Option.value !held ~default:[||] in
+  Transport.send_batch t.client (encode_part ~seq:!seq ~last:true final)
+
+let conversation_round_streamed t ~round ~produce =
+  if t.shut_down then Error (Rpc.chain_shutdown ~round)
+  else begin
+    let expected =
+      Vuvuzela_mixnet.Onion.request_size ~chain_len:(length t)
+        ~payload_len:Types.exchange_payload_len
+    in
+    stream_parts t
+      ~encode_part:(fun ~seq ~last onions ->
+        Rpc.encode (Rpc.Conv_batch_part { round; seq; last; onions }))
+      ~produce:(fun feed -> produce (fun chunk -> feed (normalize ~expected chunk)));
+    await_reply t ~round
+      ~expect:(function
+        | Rpc.Conv_results { round = r; replies } when r = round ->
+            Some (Ok replies)
+        | Rpc.Status st when st.Rpc.round = round -> Some (Error st)
+        | _ -> None)
+  end
+
+let dialing_round_streamed t ~round ~m ~produce =
+  if t.shut_down then Error (Rpc.chain_shutdown ~round)
+  else begin
+    let expected =
+      Vuvuzela_mixnet.Onion.request_size ~chain_len:(length t)
+        ~payload_len:(Dialing.payload_len t.dial_kind)
+    in
+    stream_parts t
+      ~encode_part:(fun ~seq ~last onions ->
+        Rpc.encode (Rpc.Dial_batch_part { round; m; seq; last; onions }))
+      ~produce:(fun feed -> produce (fun chunk -> feed (normalize ~expected chunk)));
+    await_reply t ~round
+      ~expect:(function
+        | Rpc.Dial_results { round = r; replies } when r = round ->
+            Some (Ok replies)
+        | Rpc.Status st when st.Rpc.round = round -> Some (Error st)
+        | _ -> None)
+  end
 
 let conversation_round t ~round requests =
   if t.shut_down then Error (Rpc.chain_shutdown ~round)

@@ -76,6 +76,26 @@ val conversation_round :
 val dialing_round :
   t -> round:int -> m:int -> bytes array -> (bytes array, Rpc.status) result
 
+val conversation_round_streamed :
+  t ->
+  round:int ->
+  produce:((bytes array -> unit) -> unit) ->
+  (bytes array, Rpc.status) result
+(** Streamed-entry variant (same contract as
+    {!Chain.conversation_round_streamed}): each producer chunk leaves
+    as one [Conv_batch_part] frame with one chunk of lookahead (so the
+    final part carries [last]), bounding the coordinator's buffered
+    onions at two chunks while the first hop peels early parts.
+    Results are bit-identical to {!conversation_round} on the chunk
+    concatenation. *)
+
+val dialing_round_streamed :
+  t ->
+  round:int ->
+  m:int ->
+  produce:((bytes array -> unit) -> unit) ->
+  (bytes array, Rpc.status) result
+
 val abort_round : t -> round:int -> unit
 (** Best-effort [Abort] frame, forwarded hop to hop; a link that is
     down simply misses it (stale round state on a server is inert —

@@ -28,6 +28,7 @@ type config = {
   noise_mode : Noise.mode;
   dial_kind : Dialing.kind;  (** deployment-wide invitation format *)
   jobs : int;  (** domains for the per-onion crypto hot paths *)
+  deaddrop_shards : int;  (** conversation dead-drop store shards (>= 1) *)
 }
 
 type slot = Valid of { index : int; secret : bytes } | Invalid
@@ -61,7 +62,7 @@ type t = {
   rng : Drbg.t;
   conv_rounds : (int, round_state) Hashtbl.t;
   dial_rounds : (int, round_state) Hashtbl.t;
-  drops : Deaddrop.t;  (** last server only *)
+  drops : Deaddrop.Sharded.t;  (** last server only *)
   mutable invitations : (int * Deaddrop.Invitation.store) list;
       (** last server only; newest round first, at most
           [invitation_history] rounds so briefly-blocked clients can
@@ -105,7 +106,7 @@ let create ?rng_seed ?pool ?telemetry ~cfg ~suffix_pks () =
     rng;
     conv_rounds = Hashtbl.create 8;
     dial_rounds = Hashtbl.create 8;
-    drops = Deaddrop.create ();
+    drops = Deaddrop.Sharded.create ~shards:cfg.deaddrop_shards ();
     invitations = [];
     last_histogram = None;
     proposed_m = 1;
@@ -453,7 +454,7 @@ let conv_finish_exchange t st =
   Telemetry.mark t.tel ~name:"shuffle" ~round ~server:pos ();
   let results =
     Telemetry.stage t.tel ~name:"exchange" ~round ~server:pos (fun () ->
-        Deaddrop.clear t.drops;
+        Deaddrop.Sharded.clear t.drops;
         Array.iteri
           (fun slot payload ->
             if Bytes.length payload = Types.exchange_payload_len then begin
@@ -461,15 +462,16 @@ let conv_finish_exchange t st =
               let sealed =
                 Bytes.sub payload Types.drop_id_len Types.sealed_message_len
               in
-              Deaddrop.put t.drops ~slot ~drop_id ~sealed
+              Deaddrop.Sharded.put t.drops ~slot ~drop_id ~sealed
             end)
           inners;
-        t.last_histogram <- Some (Deaddrop.histogram t.drops);
+        t.last_histogram <- Some (Deaddrop.Sharded.histogram t.drops);
         t.metrics.rounds <- t.metrics.rounds + 1;
-        Deaddrop.resolve t.drops ~n_slots:(Array.length inners))
+        Deaddrop.Sharded.resolve ?pool:t.pool t.drops
+          ~n_slots:(Array.length inners))
   in
   Log.debug (fun m ->
-      let h = Deaddrop.histogram t.drops in
+      let h = Deaddrop.Sharded.histogram t.drops in
       m "server %d: round %d exchange: %d requests, m1=%d m2=%d"
         t.cfg.position round (Array.length inners) h.Deaddrop.m1
         h.Deaddrop.m2);

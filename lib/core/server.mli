@@ -12,6 +12,10 @@ type config = {
   jobs : int;
       (** domains for the per-onion crypto hot paths; [1] = sequential.
           Results are bit-identical at any job count. *)
+  deaddrop_shards : int;
+      (** conversation dead-drop store shards (>= 1); the exchange
+          pair-matches per shard over the pool, bit-identical for any
+          count *)
 }
 
 type metrics = {

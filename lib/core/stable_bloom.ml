@@ -1,0 +1,104 @@
+(* Stable bloom filter (Deng & Rafiei, SIGMOD 2006) for the CDN's
+   invitation-subscription prefilter (§5.5).
+
+   A classic bloom filter over a continuous stream saturates: once
+   enough distinct elements have been inserted, every cell is set and
+   the false-positive rate goes to 1.  The stable variant replaces bits
+   with small saturating counters and, before each insert, decrements a
+   few deterministically-drawn cells — stale elements decay, recent ones
+   stay at the ceiling, and the fraction of zero cells converges to a
+   stable point that bounds the false-positive rate forever.
+
+   Guarantees as used by {!Cdn}:
+   - An element queried in the same operation that inserted it (or
+     before any further inserts) is ALWAYS found: [insert] decrements
+     first and then raises the element's own cells to the ceiling, so
+     there are no false negatives for fresh elements — the soundness the
+     invitation prefilter needs, since a subscription is registered and
+     matched inside one [fetch_matched] call.
+   - With [decay = 0] the structure degenerates to a classic counting
+     bloom filter: no decay, no false negatives ever, the usual
+     (1 - e^{-kn/m})^k false-positive rate while under capacity.
+
+   Sizing is the classic one from the target rate p and capacity n:
+   m = ceil(-n ln p / (ln 2)^2) cells, k = round(m/n ln 2) hashes.  Cell
+   positions come from double hashing over one SHA-256 of the element;
+   the decay victims come from a ChaCha20 DRBG seeded at [create], so a
+   filter's whole trajectory is a deterministic function of (seed,
+   insert sequence). *)
+
+type t = {
+  cells : Bytes.t;  (* saturating counters, one byte each *)
+  m : int;  (* number of cells *)
+  k : int;  (* hash positions per element *)
+  ceiling : int;  (* value a fresh insert sets its cells to *)
+  decay : int;  (* cells decremented before each insert; 0 = classic *)
+  fp : float;  (* configured target false-positive rate *)
+  rng : Vuvuzela_crypto.Drbg.t;  (* decay victim stream *)
+  mutable inserts : int;
+}
+
+let ln2 = log 2.
+
+let create ?(seed = "stable-bloom") ?decay ~capacity ~fp () =
+  if not (fp > 0. && fp < 1.) then invalid_arg "Stable_bloom.create: fp";
+  let n = max 1 capacity in
+  let m = max 8 (int_of_float (ceil (-.float n *. log fp /. (ln2 *. ln2)))) in
+  let k = max 1 (int_of_float (Float.round (float m /. float n *. ln2))) in
+  (* Deng & Rafiei eq. 17 rearranged: pick the decrement budget P so the
+     stable fraction of zero cells keeps the false-positive rate at the
+     target.  At the stable point each of the k cells of a stale element
+     is zero with probability p0 >= fp^{1/k}; P = m / (ceiling * steps)
+     with steps = the expected survival window.  A window of [capacity]
+     inserts keeps anything from the last capacity-insert epoch alive. *)
+  let decay =
+    match decay with
+    | Some d -> max 0 d
+    | None -> max 1 (m / (max 1 (3 * n)))
+  in
+  {
+    cells = Bytes.make m '\000';
+    m;
+    k;
+    ceiling = 3;
+    decay;
+    fp;
+    rng = Vuvuzela_crypto.Drbg.of_string (seed ^ "-sbf");
+    inserts = 0;
+  }
+
+let bits t = t.m
+let hashes t = t.k
+let fp_rate t = t.fp
+let inserts t = t.inserts
+
+(* Double hashing (Kirsch–Mitzenmacher): position_i = h1 + i*h2 mod m,
+   both halves read big-endian from one SHA-256 of the element. *)
+let positions t element =
+  let h = Vuvuzela_crypto.Sha256.digest element in
+  let word off =
+    let v = ref 0 in
+    for i = off to off + 7 do
+      v := ((!v lsl 8) lor Char.code (Bytes.get h i)) land max_int
+    done;
+    !v
+  in
+  let h1 = word 0 mod t.m and h2 = (word 8 mod (t.m - 1)) + 1 in
+  Array.init t.k (fun i -> (h1 + (i * h2)) mod t.m)
+
+let insert t element =
+  (* Decay first, then set: the element's own cells always end at the
+     ceiling, so a query immediately after an insert cannot miss. *)
+  if t.decay > 0 then
+    for _ = 1 to t.decay do
+      let victim = Vuvuzela_crypto.Drbg.uniform ~rng:t.rng t.m in
+      let v = Char.code (Bytes.get t.cells victim) in
+      if v > 0 then Bytes.set t.cells victim (Char.chr (v - 1))
+    done;
+  Array.iter
+    (fun pos -> Bytes.set t.cells pos (Char.chr t.ceiling))
+    (positions t element);
+  t.inserts <- t.inserts + 1
+
+let query t element =
+  Array.for_all (fun pos -> Bytes.get t.cells pos <> '\000') (positions t element)

@@ -1,0 +1,37 @@
+(** Stable bloom filter (Deng & Rafiei) backing the CDN's
+    invitation-subscription prefilter (§5.5).
+
+    Approximate membership over a continuous stream with a bounded
+    false-positive rate: cells are small saturating counters, and each
+    insert first decays a few deterministically-drawn cells before
+    raising the element's own cells to the ceiling.  Stale elements fade
+    instead of saturating the filter.
+
+    Soundness: an element queried after its own insert, with no
+    intervening inserts, is always found (decay happens before set), and
+    with [decay = 0] there are no false negatives ever. *)
+
+type t
+
+val create : ?seed:string -> ?decay:int -> capacity:int -> fp:float -> unit -> t
+(** Size the filter for [capacity] live elements at target
+    false-positive rate [fp] (0 < fp < 1).  [decay] is the number of
+    cells decremented per insert: [0] gives a classic (non-decaying)
+    counting bloom filter; the default keeps elements from the last
+    ~[3*capacity] inserts alive.  [seed] fixes the decay victim stream.
+    @raise Invalid_argument if [fp] is out of range. *)
+
+val insert : t -> bytes -> unit
+val query : t -> bytes -> bool
+
+val bits : t -> int
+(** Number of cells [m]. *)
+
+val hashes : t -> int
+(** Hash positions per element [k]. *)
+
+val fp_rate : t -> float
+(** The configured target rate. *)
+
+val inserts : t -> int
+(** Total inserts so far. *)

@@ -22,5 +22,6 @@ let () =
       Test_telemetry.suite;
       Test_sim.suite;
       Test_workload.suite;
+      Test_scale_plane.suite;
       Test_attack.suite;
     ]

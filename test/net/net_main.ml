@@ -72,7 +72,8 @@ let free_port () =
 let chain_len = 3
 
 let daemon_cfg ~seed ~ports ~index ?fault_plan ?pipeline_chunk ?link
-    ?(flap_grace_ms = 2000.) ?(jobs = 1) ?metrics_port () =
+    ?(flap_grace_ms = 2000.) ?(jobs = 1) ?(deaddrop_shards = 1) ?metrics_port
+    () =
   {
     Daemon.listen = Addr.loopback ~port:ports.(index);
     next =
@@ -86,6 +87,7 @@ let daemon_cfg ~seed ~ports ~index ?fault_plan ?pipeline_chunk ?link
     noise_mode = Noise.Deterministic;
     dial_kind = Dialing.Plain;
     jobs;
+    deaddrop_shards;
     pipeline_chunk;
     fault_plan;
     link;
@@ -136,7 +138,8 @@ let stop_pid pid =
   in
   wait ()
 
-let spawn_chain ?fault_plan_for ?pipeline_chunk ~seed ports =
+let spawn_chain ?fault_plan_for ?pipeline_chunk ?jobs ?deaddrop_shards ~seed
+    ports =
   Array.to_list
     (Array.init chain_len (fun i ->
          (* last server first, so the handshake cascade settles fast;
@@ -148,11 +151,15 @@ let spawn_chain ?fault_plan_for ?pipeline_chunk ~seed ports =
            | _ -> None
          in
          fork_daemon
-           (daemon_cfg ~seed ~ports ~index ?fault_plan ?pipeline_chunk ())))
+           (daemon_cfg ~seed ~ports ~index ?fault_plan ?pipeline_chunk ?jobs
+              ?deaddrop_shards ())))
 
-let with_chain ?fault_plan_for ?pipeline_chunk ~seed f =
+let with_chain ?fault_plan_for ?pipeline_chunk ?jobs ?deaddrop_shards ~seed f =
   let ports = Array.init chain_len (fun _ -> free_port ()) in
-  let pids = spawn_chain ?fault_plan_for ?pipeline_chunk ~seed ports in
+  let pids =
+    spawn_chain ?fault_plan_for ?pipeline_chunk ?jobs ?deaddrop_shards ~seed
+      ports
+  in
   Fun.protect
     ~finally:(fun () -> List.iter stop_pid pids)
     (fun () -> f ports)
@@ -246,6 +253,71 @@ let test_transcript_parity_pipelined () =
           check_str "pipelined loopback digest = pinned digest"
             Transcript_pin.pinned_full_digest tcp_digest;
           Remote.shutdown remote)
+
+(* ------------------------------------------------------------------ *)
+(* 1c. Scale-plane parity: sharded dead drops + streamed entry tier    *)
+(*     over real daemons, at jobs 1 and 4 — still the pinned bytes     *)
+(* ------------------------------------------------------------------ *)
+
+let test_transcript_parity_scale_plane () =
+  print_endline
+    "scale-plane transcript parity (4 dead-drop shards, streamed entry):";
+  List.iter
+    (fun jobs ->
+      with_chain ~pipeline_chunk:4 ~jobs ~deaddrop_shards:4
+        ~seed:Transcript_pin.seed (fun ports ->
+          match
+            Remote.connect ~handshake_timeout_ms:20_000.
+              ~addr:(Addr.loopback ~port:ports.(0))
+              ()
+          with
+          | Error e -> check ("remote connect: " ^ e) false
+          | Ok remote ->
+              Remote.set_deadline_ms remote (Some 30_000.);
+              let fail_status st =
+                failwith (Format.asprintf "%a" Rpc.pp_status st)
+              in
+              (* Awkward chunk size on purpose: the last part is a
+                 short tail, exercising the [last]-frame path. *)
+              let chunk = 3 in
+              let feed_chunks requests feed =
+                let n = Array.length requests in
+                let off = ref 0 in
+                while !off < n do
+                  let len = min chunk (n - !off) in
+                  feed (Array.sub requests !off len);
+                  off := !off + len
+                done
+              in
+              let backend =
+                {
+                  Transcript_pin.pks = Remote.public_keys remote;
+                  conversation_round =
+                    (fun ~round requests ->
+                      match
+                        Remote.conversation_round_streamed remote ~round
+                          ~produce:(feed_chunks requests)
+                      with
+                      | Ok replies -> replies
+                      | Error st -> fail_status st);
+                  dialing_round =
+                    (fun ~round ~m requests ->
+                      match
+                        Remote.dialing_round_streamed remote ~round ~m
+                          ~produce:(feed_chunks requests)
+                      with
+                      | Ok acks -> acks
+                      | Error st -> fail_status st);
+                }
+              in
+              let tcp_digest = Transcript_pin.full_digest backend in
+              check_str
+                (Printf.sprintf
+                   "sharded+streamed loopback digest = pinned digest (jobs=%d)"
+                   jobs)
+                Transcript_pin.pinned_full_digest tcp_digest;
+              Remote.shutdown remote))
+    [ 1; 4 ]
 
 (* ------------------------------------------------------------------ *)
 (* 2. Full supervisor over TCP: delivery + dialing acks                *)
@@ -762,6 +834,7 @@ let () =
   let run name f = if only = None || only = Some name then f () in
   run "transcript" test_transcript_parity;
   run "pipeline" test_transcript_parity_pipelined;
+  run "scale" test_transcript_parity_scale_plane;
   run "smoke" test_network_smoke;
   run "crash" test_crash_retry;
   run "restart" test_kill_restart;

@@ -12,4 +12,5 @@ let () =
   Prop_chacha.run ();
   Prop_aead.run ();
   Prop_pool.run ();
+  Prop_deaddrop.run ();
   Prop.exit_summary ()

@@ -350,6 +350,7 @@ let test_round_report_format () =
       dialing = false;
       events = [];
       batch_size = 12;
+      peak_buffered = 12;
       admitted = 6;
       late = 0;
       wire_bytes = 34560;
@@ -362,24 +363,24 @@ let test_round_report_format () =
   in
   let render r = Format.asprintf "%a" Network.pp_round_report r in
   Alcotest.(check string) "success line"
-    "conv round 7: 12 requests, 34560 B wire, 4.2 ms, attempts=1, aborts=0, \
+    "conv round 7: 12 requests (peak 12 buffered), 34560 B wire, 4.2 ms, attempts=1, aborts=0, \
      admitted=6, late=0"
     (render base);
   let st = { Rpc.round = 8; server = 1; stage = "conv-batch"; detail = "boom" } in
   Alcotest.(check string) "recovered line counts its aborts"
-    "conv round 9: 12 requests, 34560 B wire, 4.2 ms, attempts=2, aborts=1, \
+    "conv round 9: 12 requests (peak 12 buffered), 34560 B wire, 4.2 ms, attempts=2, aborts=1, \
      admitted=6, late=0"
     (render { base with Network.round = 9; attempts = 2; aborts = [ st ] });
   Alcotest.(check string) "dialing line carries acks"
-    "dialing round 3: 12 requests, 34560 B wire, 4.2 ms, 11 acks, attempts=1, \
+    "dialing round 3: 12 requests (peak 12 buffered), 34560 B wire, 4.2 ms, 11 acks, attempts=1, \
      aborts=0, admitted=6, late=0"
     (render { base with Network.round = 3; dialing = true; confirmed_acks = 11 });
   Alcotest.(check string) "late stragglers show up in every line"
-    "conv round 4: 12 requests, 34560 B wire, 4.2 ms, attempts=1, aborts=0, \
+    "conv round 4: 12 requests (peak 12 buffered), 34560 B wire, 4.2 ms, attempts=1, aborts=0, \
      admitted=5, late=1"
     (render { base with Network.round = 4; admitted = 5; late = 1 });
   Alcotest.(check string) "failure line keeps every field"
-    "conv round 8 FAILED: 12 requests, 34560 B wire, 4.2 ms, attempts=3, \
+    "conv round 8 FAILED: 12 requests (peak 12 buffered), 34560 B wire, 4.2 ms, attempts=3, \
      aborts=3, admitted=6, late=0 (round 8: server 1 [conv-batch]: boom)"
     (render
        { base with

@@ -161,6 +161,7 @@ let test_standalone_server_pool () =
       noise_mode = Noise.Deterministic;
       dial_kind = Dialing.Plain;
       jobs = 2;
+      deaddrop_shards = 1;
     }
   in
   let s =

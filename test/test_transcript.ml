@@ -13,8 +13,11 @@
    deployment test ([test/net]) checks its multi-process chain against
    literally the same digest computation. *)
 
-let with_in_process ?jobs ?pipeline_chunk f =
-  let backend, shutdown = Transcript_pin.in_process ?jobs ?pipeline_chunk () in
+let with_in_process ?jobs ?pipeline_chunk ?deaddrop_shards ?entry_streaming f =
+  let backend, shutdown =
+    Transcript_pin.in_process ?jobs ?pipeline_chunk ?deaddrop_shards
+      ?entry_streaming ()
+  in
   Fun.protect ~finally:shutdown (fun () -> f backend)
 
 let test_pinned_transcript () =
@@ -61,6 +64,30 @@ let test_transcript_engine_invariant () =
       (4, Some 16);
     ]
 
+(* The scale plane — sharded dead-drop store, streamed entry tier — is
+   pure engine too: any shard count, at any job count, streamed or
+   materialized, must reproduce the pinned bytes.  (The TCP counterpart
+   of this matrix runs in [test/net].) *)
+let test_transcript_scale_plane_invariant () =
+  List.iter
+    (fun (jobs, deaddrop_shards, entry_streaming) ->
+      let digest =
+        with_in_process ~jobs ~deaddrop_shards ~entry_streaming
+          Transcript_pin.full_digest
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d shards=%d streaming=%b" jobs deaddrop_shards
+           entry_streaming)
+        Transcript_pin.pinned_full_digest digest)
+    [
+      (1, 4, false);
+      (4, 4, false);
+      (1, 16, true);
+      (4, 16, true);
+      (1, 1, true);
+      (4, 1, true);
+    ]
+
 (* Observability is pure control plane: the same schedule with a live
    telemetry sink — spans, metrics and the budget ledger all recording
    — must reproduce the pinned bytes at the job counts and pipeline
@@ -102,6 +129,8 @@ let suite =
         test_transcript_deterministic;
       Alcotest.test_case "pinned at any jobs/pipeline combination" `Quick
         test_transcript_engine_invariant;
+      Alcotest.test_case "pinned across the scale plane" `Quick
+        test_transcript_scale_plane_invariant;
       Alcotest.test_case "pinned with observability on" `Quick
         test_transcript_observability_invariant;
     ] )
